@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the simulator's building blocks: compiler
+//! pipeline, fabric execution, the reference interpreter, and the memory
+//! hierarchy booking machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+use dmt_core::common::config::WritePolicy;
+use dmt_core::common::geom::{Delta, Dim3};
+use dmt_core::common::ids::Addr;
+use dmt_core::fabric::FabricMachine;
+use dmt_core::mem::{AccessOutcome, MemSystem};
+use dmt_core::{compiler, dfg, KernelBuilder, LaunchInput, MemImage, SystemConfig, Word};
+
+fn sample_kernel() -> dmt_core::Kernel {
+    let n = 256u32;
+    let mut kb = KernelBuilder::new("sample", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(inp, tid, 4);
+    let x = kb.load_global(a);
+    let prev = kb.from_thread_or_const(x, Delta::new(-1), Word::from_i32(0), None);
+    let s = kb.add_i(prev, x);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, s);
+    kb.finish().expect("well-formed")
+}
+
+fn sample_input() -> LaunchInput {
+    let mut mem = MemImage::with_words(512);
+    mem.write_i32_slice(Addr(0), &(0..256).collect::<Vec<_>>());
+    LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(1024)], mem)
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let kernel = sample_kernel();
+    let cfg = SystemConfig::default();
+    c.bench_function("compiler/compile", |b| {
+        b.iter(|| compiler::compile(&kernel, &cfg).expect("compiles"));
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let kernel = sample_kernel();
+    let cfg = SystemConfig::default();
+    let program = compiler::compile(&kernel, &cfg).expect("compiles");
+    let machine = FabricMachine::new(cfg);
+    c.bench_function("fabric/neighbour_sum_256", |b| {
+        b.iter(|| machine.run(&program, sample_input()).expect("runs"));
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let kernel = sample_kernel();
+    c.bench_function("interp/neighbour_sum_256", |b| {
+        b.iter(|| dfg::interp::run(&kernel, sample_input()).expect("runs"));
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("mem/streaming_loads_4k", |b| {
+        b.iter(|| {
+            let mut m =
+                MemSystem::new(&SystemConfig::default().mem, WritePolicy::WriteBackAllocate);
+            let mut last = 0;
+            for i in 0..4096u64 {
+                if let AccessOutcome::Done(t) = m.load(Addr(i * 4), i) {
+                    last = t;
+                }
+            }
+            last
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_compiler, bench_fabric, bench_interp, bench_memory
+}
+criterion_main!(benches);

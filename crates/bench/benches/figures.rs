@@ -1,0 +1,58 @@
+//! Criterion benches regenerating each evaluation artifact.
+//!
+//! * `fig11/<kernel>/<arch>` — the per-benchmark kernel runs behind the
+//!   paper's Fig 11 (speedup) and Fig 12 (energy; same runs, the energy
+//!   model is evaluated on the counters).
+//! * `fig05/delta_cdf` — the ΔTID statistics sweep behind Fig 5.
+//! * `table2/render`, `table3/render` — the table generators.
+//!
+//! The measured quantity is simulator wall-time; the architectural numbers
+//! (cycles, joules) are printed by the corresponding `--bin` harnesses and
+//! recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use dmt_bench::{run_one, suite_comm_sites, SEED};
+use dmt_core::dfg::delta_stats::{cdf, DistanceMetric};
+use dmt_core::{Arch, SystemConfig};
+use dmt_kernels::suite;
+
+fn fig11_fig12_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for b in suite::all() {
+        let name = b.info().name;
+        for arch in [Arch::FermiSm, Arch::MtCgra, Arch::DmtCgra] {
+            g.bench_function(format!("{name}/{arch}"), |bench| {
+                bench.iter(|| run_one(b.as_ref(), arch, SystemConfig::default(), SEED));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig05_delta_stats(c: &mut Criterion) {
+    c.bench_function("fig05/delta_cdf", |bench| {
+        bench.iter(|| {
+            let sites = suite_comm_sites();
+            (
+                cdf(&sites, DistanceMetric::Euclidean),
+                cdf(&sites, DistanceMetric::Linear),
+            )
+        });
+    });
+}
+
+fn tables(c: &mut Criterion) {
+    c.bench_function("table2/render", |bench| {
+        bench.iter(|| SystemConfig::default().to_table());
+    });
+    c.bench_function("table3/render", |bench| {
+        bench.iter(suite::table3);
+    });
+}
+
+criterion_group!(benches, fig11_fig12_runs, fig05_delta_stats, tables);
+criterion_main!(benches);

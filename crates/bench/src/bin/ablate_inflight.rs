@@ -1,0 +1,28 @@
+//! Ablation (§3): in-flight thread window.
+//!
+//! The matching stores admit `inflight_threads` concurrent threads; the
+//! window must cover memory latency × issue rate or the fabric stalls on
+//! retirement. This sweep shows throughput saturating as the window grows
+//! — massive multithreading is what hides the memory system on a CGRA.
+
+use dmt_bench::{geomean_of, run_suite, SuiteRow, SEED};
+use dmt_core::SystemConfig;
+
+fn main() {
+    println!("Ablation: in-flight thread window\n");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "window", "dMT geomean", "MT geomean"
+    );
+    for w in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.inflight_threads = w;
+        let rows = run_suite(cfg, SEED);
+        println!(
+            "{:>8} {:>11.2}x {:>11.2}x",
+            w,
+            geomean_of(&rows, |r: &SuiteRow| r.dmt_speedup()),
+            geomean_of(&rows, |r: &SuiteRow| r.mt_speedup()),
+        );
+    }
+}

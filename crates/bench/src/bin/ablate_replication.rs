@@ -1,0 +1,40 @@
+//! Ablation (§3): dataflow-graph replication.
+//!
+//! "Replicating the kernel's dataflow graph enables the architecture to
+//! better utilize the MT-CGRF grid" — this sweep runs the dMT suite with
+//! the computed replication factor versus replication forced to 1.
+
+use dmt_core::fabric::FabricMachine;
+use dmt_core::{compiler, SystemConfig};
+use dmt_kernels::suite;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    println!("Ablation: graph replication (computed R vs forced R = 1)\n");
+    println!(
+        "{:<12} {:>4} {:>12} {:>12} {:>8}",
+        "benchmark", "R", "cycles (R)", "cycles (1)", "gain"
+    );
+    for b in suite::all() {
+        let kernel = b.dmt_kernel();
+        let program = compiler::compile(&kernel, &cfg).expect("suite kernels compile");
+        let mut serial = program.clone();
+        serial.replication = 1;
+        let machine = FabricMachine::new(cfg);
+        let w = b.workload(dmt_bench::SEED);
+        let with_r = machine.run(&program, w.launch()).expect("runs");
+        let without = machine.run(&serial, w.launch()).expect("runs");
+        b.check(dmt_bench::SEED, &with_r.memory).expect("correct");
+        b.check(dmt_bench::SEED, &without.memory).expect("correct");
+        println!(
+            "{:<12} {:>4} {:>12} {:>12} {:>7.2}x",
+            b.info().name,
+            program.replication,
+            with_r.stats.cycles,
+            without.stats.cycles,
+            without.stats.cycles as f64 / with_r.stats.cycles as f64
+        );
+    }
+    println!("\nReplication matters exactly where the kernel graph is small relative");
+    println!("to the 140-unit grid; large graphs (matmul, lud, srad) run at R = 1.");
+}

@@ -1,0 +1,48 @@
+//! Ablation (§4.3 / Fig 10): elevator token-buffer size.
+//!
+//! Sweeps the per-node token buffer and reports, for the two kernels with
+//! the longest ΔTIDs (reduce's log-tree and matmul's column forwarding),
+//! how many elevator nodes the compiler materializes, how many
+//! communications spill to the Live Value Cache, and the resulting
+//! performance.
+
+use dmt_core::{compiler, Arch, SystemConfig};
+use dmt_kernels::{matmul::MatMul, reduce::Reduce, Benchmark};
+
+fn main() {
+    println!("Ablation: elevator token-buffer size (Fig 10 machinery)\n");
+    println!(
+        "{:>7} | {:<10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "buffer", "kernel", "cycles", "comm", "spilled", "lvc writes", "cascades"
+    );
+    for tb in [2u32, 4, 8, 16, 32, 64, 128] {
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.token_buffer_entries = tb;
+        for bench in [&Reduce::default() as &dyn Benchmark, &MatMul] {
+            let kernel = bench.dmt_kernel();
+            let program = compiler::compile(&kernel, &cfg).expect("compiles at every size");
+            let comm_nodes = program.phases[0]
+                .graph
+                .node_ids()
+                .filter(|&id| program.phases[0].graph.kind(id).comm().is_some())
+                .count();
+            let original = dmt_core::dfg::delta_stats::comm_sites(&kernel).len();
+            let report = dmt_bench::run_one(bench, Arch::DmtCgra, cfg, dmt_bench::SEED);
+            println!(
+                "{:>7} | {:<10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+                tb,
+                bench.info().name,
+                report.cycles(),
+                comm_nodes,
+                program.phases[0].lvc_spilled.len(),
+                report.stats.lvc_writes,
+                comm_nodes.saturating_sub(original),
+            );
+        }
+    }
+    println!(
+        "\nSmall buffers force cascades (extra elevator nodes) and, once the \
+         control-unit pool\nis exhausted, Live-Value-Cache spills — at a \
+         latency and energy cost. 16 entries\ncovers the common case (Fig 5)."
+    );
+}

@@ -1,0 +1,32 @@
+//! Fig 11 — speedup of the MT-CGRA and dMT-CGRA architectures over the
+//! Fermi baseline, per benchmark plus geomean.
+
+use dmt_bench::{bar, geomean_of, run_suite, SuiteRow, SEED};
+use dmt_core::SystemConfig;
+
+fn main() {
+    let rows = run_suite(SystemConfig::default(), SEED);
+    println!("Figure 11: speedup over the Fermi SM (one '#' = 0.25x)\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "benchmark", "fermi cyc", "mt cyc", "dmt cyc", "MT [x]", "dMT [x]"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>8.2} {:>8.2}",
+            r.name,
+            r.fermi.cycles(),
+            r.mt.cycles(),
+            r.dmt.cycles(),
+            r.mt_speedup(),
+            r.dmt_speedup(),
+        );
+        println!("{:>14} MT  |{}", "", bar(r.mt_speedup()));
+        println!("{:>14} dMT |{}", "", bar(r.dmt_speedup()));
+    }
+    let gm_mt = geomean_of(&rows, |r: &SuiteRow| r.mt_speedup());
+    let gm_dmt = geomean_of(&rows, |r: &SuiteRow| r.dmt_speedup());
+    println!("\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
+    println!("paper:   MT-CGRA 2.3x,  dMT-CGRA 4.5x (max 13.5x)");
+    println!("\nSee EXPERIMENTS.md for the paper-vs-measured discussion.");
+}

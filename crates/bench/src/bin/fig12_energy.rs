@@ -1,0 +1,38 @@
+//! Fig 12 — energy efficiency of a dMT-CGRA core over the MT-CGRA and
+//! Fermi SM (total task energy ratio, §5.2).
+
+use dmt_bench::{bar, geomean_of, run_suite, SuiteRow, SEED};
+use dmt_core::SystemConfig;
+
+fn main() {
+    let rows = run_suite(SystemConfig::default(), SEED);
+    println!("Figure 12: energy efficiency over the Fermi SM (one '#' = 0.25x)\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "benchmark", "fermi [uJ]", "mt [uJ]", "dmt [uJ]", "MT [x]", "dMT [x]"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>8.2} {:>8.2}  dMT |{}",
+            r.name,
+            r.fermi.total_joules() * 1e6,
+            r.mt.total_joules() * 1e6,
+            r.dmt.total_joules() * 1e6,
+            r.mt_efficiency(),
+            r.dmt_efficiency(),
+            bar(r.dmt_efficiency()),
+        );
+    }
+    let gm_mt = geomean_of(&rows, |r: &SuiteRow| r.mt_efficiency());
+    let gm_dmt = geomean_of(&rows, |r: &SuiteRow| r.dmt_efficiency());
+    println!("\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
+    println!("paper:   MT-CGRA 3.5x,  dMT-CGRA 7.4x (max 33x)");
+
+    // Per-category breakdown for the most energy-interesting kernel (the
+    // paper highlights scan: large energy win without a speedup win).
+    if let Some(scan) = rows.iter().find(|r| r.name == "scan") {
+        println!("\nscan energy breakdown:");
+        println!("-- Fermi SM --\n{}", scan.fermi.energy);
+        println!("-- dMT-CGRA --\n{}", scan.dmt.energy);
+    }
+}

@@ -1,0 +1,43 @@
+//! §5.2's ILP argument in numbers: "a fully utilized spatial architecture
+//! composed of 140 units delivers a 140/32 = 4.375× speedup over a fully
+//! utilized 32-wide GPU core".
+//!
+//! This report shows, per benchmark, how many operations each machine
+//! actually retires per cycle and what fraction of its peak that is — the
+//! dMT-CGRA's edge is precisely the utilization the elimination of
+//! barriers and redundant loads buys back.
+
+use dmt_bench::{run_suite, SEED};
+use dmt_core::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let rows = run_suite(cfg, SEED);
+    let grid_units = f64::from(cfg.grid.total_units());
+    let lanes = f64::from(cfg.gpu.warp_width);
+    println!("Functional-unit utilization (peak: SM = 32 lanes, CGRA = 140 units)\n");
+    println!(
+        "{:<12} {:>12} {:>8} {:>12} {:>8} {:>12} {:>8}",
+        "benchmark", "SM ops/cyc", "util", "MT ops/cyc", "util", "dMT ops/cyc", "util"
+    );
+    for r in &rows {
+        let sm = r.fermi.stats.gpu_thread_instructions as f64 / r.fermi.cycles() as f64;
+        let mt = r.mt.stats.ops_per_cycle();
+        let dmt = r.dmt.stats.ops_per_cycle();
+        println!(
+            "{:<12} {:>12.1} {:>7.1}% {:>12.1} {:>7.1}% {:>12.1} {:>7.1}%",
+            r.name,
+            sm,
+            100.0 * sm / lanes,
+            mt,
+            100.0 * mt / grid_units,
+            dmt,
+            100.0 * dmt / grid_units,
+        );
+    }
+    println!(
+        "\nThe spatial fabric needs far lower *relative* utilization to win: its peak\n\
+         is 4.375× the SM's, so matching the SM's absolute ops/cycle at 23% grid\n\
+         utilization already breaks even (§5.2)."
+    );
+}

@@ -1,0 +1,38 @@
+//! Emits the full suite as CSV series over a chosen configuration sweep —
+//! the raw data behind the ablation figures, ready for plotting.
+//!
+//! ```sh
+//! cargo run -p dmt-bench --bin sweep_csv -- token_buffer > tb.csv
+//! cargo run -p dmt-bench --bin sweep_csv -- inflight     > window.csv
+//! cargo run -p dmt-bench --bin sweep_csv -- baseline     > baseline.csv
+//! ```
+
+use dmt_bench::sweep::{sweep, to_csv};
+use dmt_bench::SEED;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "baseline".into());
+    let csv = match which.as_str() {
+        "token_buffer" => {
+            let pts = sweep([4u32, 8, 16, 32, 64], SEED, |&tb, cfg| {
+                cfg.fabric.token_buffer_entries = tb;
+            });
+            to_csv(&pts, "token_buffer")
+        }
+        "inflight" => {
+            let pts = sweep([128u32, 512, 2048], SEED, |&w, cfg| {
+                cfg.fabric.inflight_threads = w;
+            });
+            to_csv(&pts, "inflight_threads")
+        }
+        "baseline" => {
+            let pts = sweep(["table2"], SEED, |_, _| {});
+            to_csv(&pts, "config")
+        }
+        other => {
+            eprintln!("unknown sweep {other}; use token_buffer | inflight | baseline");
+            std::process::exit(1);
+        }
+    };
+    print!("{csv}");
+}

@@ -1,0 +1,6 @@
+//! Table 3 — the benchmark suite.
+
+fn main() {
+    println!("Table 3: benchmarks used to evaluate the system\n");
+    print!("{}", dmt_kernels::suite::table3());
+}

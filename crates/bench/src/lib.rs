@@ -1,0 +1,141 @@
+//! The experiment harness: runs the Table 3 suite on all three machines
+//! and regenerates every table and figure of the paper's evaluation
+//! (§5.2). One binary per artifact:
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig05_delta_cdf` | Fig 5 — CDF of ΔTID transmission distances |
+//! | `fig11_speedup` | Fig 11 — speedup over the Fermi SM |
+//! | `fig12_energy` | Fig 12 — energy efficiency over the Fermi SM |
+//! | `table2_config` | Table 2 — system configuration |
+//! | `table3_benchmarks` | Table 3 — benchmark inventory |
+//! | `ablate_token_buffer` | §4.3 — token-buffer size vs cascades/spills |
+//! | `ablate_inflight` | §3 — in-flight thread window sweep |
+//! | `ablate_replication` | §3 — graph replication on/off |
+//! | `ablate_window` | §3.2 — transmission-window sweep |
+//!
+//! Criterion benches under `benches/` wrap the same harness entry points.
+
+pub mod sweep;
+
+use dmt_core::{experiment, Arch, Machine, RunReport, SystemConfig};
+use dmt_kernels::{suite, Benchmark};
+
+/// Seed used by every headline experiment (results are deterministic).
+pub const SEED: u64 = 42;
+
+/// One suite row: a benchmark measured on all three machines.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Benchmark name (Table 3).
+    pub name: &'static str,
+    /// Fermi SM run.
+    pub fermi: RunReport,
+    /// MT-CGRA run (shared-memory variant).
+    pub mt: RunReport,
+    /// dMT-CGRA run (inter-thread-communication variant).
+    pub dmt: RunReport,
+}
+
+impl SuiteRow {
+    /// MT-CGRA speedup over the SM (Fig 11, left bars).
+    #[must_use]
+    pub fn mt_speedup(&self) -> f64 {
+        experiment::speedup(&self.fermi, &self.mt)
+    }
+
+    /// dMT-CGRA speedup over the SM (Fig 11, right bars).
+    #[must_use]
+    pub fn dmt_speedup(&self) -> f64 {
+        experiment::speedup(&self.fermi, &self.dmt)
+    }
+
+    /// MT-CGRA energy efficiency over the SM (Fig 12).
+    #[must_use]
+    pub fn mt_efficiency(&self) -> f64 {
+        experiment::energy_efficiency(&self.fermi, &self.mt)
+    }
+
+    /// dMT-CGRA energy efficiency over the SM (Fig 12).
+    #[must_use]
+    pub fn dmt_efficiency(&self) -> f64 {
+        experiment::energy_efficiency(&self.fermi, &self.dmt)
+    }
+}
+
+/// Runs one benchmark on one architecture, validating the output against
+/// the CPU reference.
+///
+/// # Panics
+///
+/// Panics when simulation or validation fails — experiments must not
+/// silently report numbers from wrong results.
+#[must_use]
+pub fn run_one(bench: &dyn Benchmark, arch: Arch, cfg: SystemConfig, seed: u64) -> RunReport {
+    let kernel = match arch {
+        Arch::DmtCgra => bench.dmt_kernel(),
+        Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),
+    };
+    let report = Machine::new(arch, cfg)
+        .run(&kernel, bench.workload(seed).launch())
+        .unwrap_or_else(|e| panic!("{} on {arch}: {e}", bench.info().name));
+    bench
+        .check(seed, &report.memory)
+        .unwrap_or_else(|e| panic!("{} on {arch}: wrong result: {e}", bench.info().name));
+    report
+}
+
+/// Runs the full Table 3 suite on all three machines.
+#[must_use]
+pub fn run_suite(cfg: SystemConfig, seed: u64) -> Vec<SuiteRow> {
+    suite::all()
+        .into_iter()
+        .map(|b| SuiteRow {
+            name: b.info().name,
+            fermi: run_one(b.as_ref(), Arch::FermiSm, cfg, seed),
+            mt: run_one(b.as_ref(), Arch::MtCgra, cfg, seed),
+            dmt: run_one(b.as_ref(), Arch::DmtCgra, cfg, seed),
+        })
+        .collect()
+}
+
+/// Geomean across rows of a per-row ratio.
+#[must_use]
+pub fn geomean_of(rows: &[SuiteRow], f: impl Fn(&SuiteRow) -> f64) -> f64 {
+    let v: Vec<f64> = rows.iter().map(f).collect();
+    experiment::geomean(&v).unwrap_or(f64::NAN)
+}
+
+/// A text bar for figure-style output (one `#` per 0.25×).
+#[must_use]
+pub fn bar(value: f64) -> String {
+    "#".repeat((value * 4.0).round().max(0.0) as usize)
+}
+
+/// Collects Fig 5 communication sites across every dMT kernel in the
+/// suite.
+#[must_use]
+pub fn suite_comm_sites() -> Vec<dmt_core::dfg::delta_stats::CommSite> {
+    suite::all()
+        .iter()
+        .flat_map(|b| dmt_core::dfg::delta_stats::comm_sites(&b.dmt_kernel()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_validates() {
+        let b = dmt_kernels::convolution::Convolution::default();
+        let r = run_one(&b, Arch::DmtCgra, SystemConfig::default(), 1);
+        assert!(r.cycles() > 0);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0).len(), 4);
+        assert_eq!(bar(4.5).len(), 18);
+    }
+}

@@ -1,0 +1,85 @@
+//! Parameter-sweep infrastructure: run the suite across configuration
+//! variants and emit machine-readable series (CSV) for plotting.
+
+use crate::{run_suite, SuiteRow};
+use dmt_core::SystemConfig;
+use std::fmt::Write as _;
+
+/// One point of a sweep: a label (the x value) and the suite measured
+/// under that configuration.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable x value (e.g. "16" for a buffer size).
+    pub label: String,
+    /// Per-benchmark measurements at this point.
+    pub rows: Vec<SuiteRow>,
+}
+
+/// Runs the full suite once per configuration variant.
+pub fn sweep<I, F>(values: I, seed: u64, mut configure: F) -> Vec<SweepPoint>
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+    F: FnMut(&I::Item, &mut SystemConfig),
+{
+    values
+        .into_iter()
+        .map(|v| {
+            let mut cfg = SystemConfig::default();
+            configure(&v, &mut cfg);
+            SweepPoint {
+                label: v.to_string(),
+                rows: run_suite(cfg, seed),
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as CSV: one line per (x, benchmark) with cycles and
+/// energy for all three machines plus the derived ratios.
+#[must_use]
+pub fn to_csv(points: &[SweepPoint], x_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{x_name},benchmark,fermi_cycles,mt_cycles,dmt_cycles,\
+         fermi_uj,mt_uj,dmt_uj,mt_speedup,dmt_speedup,mt_eff,dmt_eff"
+    );
+    for p in points {
+        for r in &p.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                p.label,
+                r.name,
+                r.fermi.cycles(),
+                r.mt.cycles(),
+                r.dmt.cycles(),
+                r.fermi.total_joules() * 1e6,
+                r.mt.total_joules() * 1e6,
+                r.dmt.total_joules() * 1e6,
+                r.mt_speedup(),
+                r.dmt_speedup(),
+                r.mt_efficiency(),
+                r.dmt_efficiency(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_a_row_per_point_and_benchmark() {
+        let points = sweep([16u32], 1, |&tb, cfg| {
+            cfg.fabric.token_buffer_entries = tb;
+        });
+        let csv = to_csv(&points, "token_buffer");
+        assert_eq!(csv.lines().count(), 1 + 9, "header + nine benchmarks");
+        assert!(csv.starts_with("token_buffer,benchmark,"));
+        assert!(csv.contains("16,scan,"));
+    }
+}

@@ -1,0 +1,527 @@
+//! System configuration, defaulting to the paper's Table 2.
+//!
+//! A [`SystemConfig`] fully describes one simulated machine: the CGRA grid
+//! composition, fabric micro-architecture parameters, memory hierarchy and
+//! the Fermi-SM baseline. Ablation studies build variants via struct update
+//! syntax; `SystemConfig::default()` is the Table 2 machine.
+
+use std::fmt;
+
+/// Functional-unit classes populating the CGRA grid (§4, Fig 7).
+///
+/// `Control` units double as elevator nodes and `LoadStore` units as eLDST
+/// units — the paper converts existing units by adding combinational logic,
+/// so both consume capacity from the same pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitClass {
+    /// Integer arithmetic/logic units.
+    Alu,
+    /// Floating-point units.
+    Fpu,
+    /// Special compute units (division, square root, exponential).
+    Special,
+    /// Load/store units; may be configured as eLDST.
+    LoadStore,
+    /// Split/join units preserving intra-thread memory order.
+    SplitJoin,
+    /// Control units (select, compare, bitwise); may be configured as
+    /// elevator nodes.
+    Control,
+}
+
+impl UnitClass {
+    /// All unit classes, in display order.
+    pub const ALL: [UnitClass; 6] = [
+        UnitClass::Alu,
+        UnitClass::Fpu,
+        UnitClass::Special,
+        UnitClass::LoadStore,
+        UnitClass::SplitJoin,
+        UnitClass::Control,
+    ];
+}
+
+impl fmt::Display for UnitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitClass::Alu => "ALU",
+            UnitClass::Fpu => "FPU",
+            UnitClass::Special => "SCU",
+            UnitClass::LoadStore => "LDST",
+            UnitClass::SplitJoin => "SJU",
+            UnitClass::Control => "CU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// CGRA grid composition (Table 2: 140 interconnected units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Number of integer ALUs.
+    pub alus: u32,
+    /// Number of floating-point units.
+    pub fpus: u32,
+    /// Number of special compute units.
+    pub specials: u32,
+    /// Number of load/store units (each convertible to eLDST).
+    pub ldsts: u32,
+    /// Number of split/join units.
+    pub sjus: u32,
+    /// Number of control units (each convertible to an elevator node).
+    pub controls: u32,
+}
+
+impl GridConfig {
+    /// Units available in a class pool.
+    #[must_use]
+    pub fn capacity(&self, class: UnitClass) -> u32 {
+        match class {
+            UnitClass::Alu => self.alus,
+            UnitClass::Fpu => self.fpus,
+            UnitClass::Special => self.specials,
+            UnitClass::LoadStore => self.ldsts,
+            UnitClass::SplitJoin => self.sjus,
+            UnitClass::Control => self.controls,
+        }
+    }
+
+    /// Total number of functional units in the grid.
+    #[must_use]
+    pub fn total_units(&self) -> u32 {
+        UnitClass::ALL.iter().map(|&c| self.capacity(c)).sum()
+    }
+}
+
+impl Default for GridConfig {
+    /// Table 2: 32 ALUs, 32 FPUs, 12 SCUs, 32 LDSTs, 16 SJUs, 16 CUs.
+    fn default() -> GridConfig {
+        GridConfig {
+            alus: 32,
+            fpus: 32,
+            specials: 12,
+            ldsts: 32,
+            sjus: 16,
+            controls: 16,
+        }
+    }
+}
+
+/// Fabric micro-architecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Entries in each elevator/eLDST token buffer; bounds the ΔTID a single
+    /// node can shift (§4.3; default 16 per Fig 5 discussion).
+    pub token_buffer_entries: u32,
+    /// In-flight memory requests a load/store unit can track (its internal
+    /// request queue; SGMF LDST units pipeline many outstanding accesses —
+    /// this is distinct from the 16-entry elevator token buffer).
+    pub ldst_queue_entries: u32,
+    /// Maximum threads concurrently in flight in the fabric. Matching
+    /// stores are indexed `tid mod inflight_threads`, and the injector only
+    /// admits thread `t` once thread `t − inflight_threads` retired.
+    pub inflight_threads: u32,
+    /// NoC latency per routing hop, in core cycles.
+    pub noc_hop_latency: u64,
+    /// Threads injected per cycle ("a new thread can thus be injected into
+    /// the computational fabric on every cycle", §3).
+    pub threads_injected_per_cycle: u32,
+    /// Side length of the square placement grid (`grid_width²` slots must
+    /// hold every configured unit).
+    pub grid_width: u32,
+    /// Cycles to reconfigure the fabric between barrier-delimited phases
+    /// ("the configuration process itself is lightweight", §3).
+    pub reconfiguration_cycles: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            token_buffer_entries: 16,
+            ldst_queue_entries: 256,
+            inflight_threads: 2048,
+            noc_hop_latency: 1,
+            threads_injected_per_cycle: 1,
+            grid_width: 12,
+            reconfiguration_cycles: 16,
+        }
+    }
+}
+
+/// Pipeline latencies per unit class, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitLatencies {
+    /// Integer ALU operation latency.
+    pub alu: u64,
+    /// Floating-point operation latency.
+    pub fpu: u64,
+    /// Special-function (div/sqrt/exp) latency.
+    pub special: u64,
+    /// Control (select/compare/bitwise) latency.
+    pub control: u64,
+    /// Split/join pass-through latency.
+    pub sju: u64,
+    /// Elevator re-tagging latency.
+    pub elevator: u64,
+    /// Load/store issue latency (memory latency comes from the hierarchy).
+    pub ldst_issue: u64,
+}
+
+impl Default for UnitLatencies {
+    fn default() -> UnitLatencies {
+        UnitLatencies {
+            alu: 1,
+            fpu: 4,
+            special: 8,
+            control: 1,
+            sju: 1,
+            elevator: 1,
+            ldst_issue: 1,
+        }
+    }
+}
+
+/// Write policy of a cache level (§5.1: dMT-CGRA uses write-back +
+/// write-allocate L1; Fermi uses write-through + write-no-allocate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate.
+    #[default]
+    WriteBackAllocate,
+    /// Write-through, write-no-allocate.
+    WriteThroughNoAllocate,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Number of independent banks (one access per bank per cycle).
+    pub banks: u32,
+    /// Hit latency in core cycles.
+    pub hit_latency: u64,
+    /// Miss-status holding registers: maximum outstanding misses.
+    pub mshrs: u32,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Number of sets; capacity / (line × ways).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.ways))
+    }
+}
+
+/// GDDR5-like DRAM model (Table 2: 16 banks, 6 channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels; requests are interleaved by line address.
+    pub channels: u32,
+    /// Banks per channel; a bank is busy for `bank_busy_cycles` per access.
+    pub banks_per_channel: u32,
+    /// Access latency in core cycles (row activate + CAS at 0.924 GHz,
+    /// expressed in the 1.4 GHz core domain).
+    pub latency: u64,
+    /// Cycles a bank stays busy per line transfer (bandwidth model).
+    pub bank_busy_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig {
+            channels: 6,
+            banks_per_channel: 16,
+            latency: 220,
+            bank_busy_cycles: 16,
+        }
+    }
+}
+
+/// Shared-memory scratchpad (used only by the GPGPU and MT-CGRA baselines;
+/// the dMT-CGRA programming model eliminates it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchpadConfig {
+    /// Capacity in bytes (Fermi: 48 KiB).
+    pub size_bytes: u64,
+    /// Banks; conflicting accesses within a warp serialize.
+    pub banks: u32,
+    /// Access latency in core cycles.
+    pub latency: u64,
+}
+
+impl Default for ScratchpadConfig {
+    fn default() -> ScratchpadConfig {
+        ScratchpadConfig {
+            size_bytes: 48 * 1024,
+            banks: 32,
+            latency: 24,
+        }
+    }
+}
+
+/// Live Value Cache: the compiler-managed spill buffer used when a ΔTID is
+/// too large even for cascaded elevator nodes (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LvcConfig {
+    /// Capacity in 32-bit entries.
+    pub entries: u32,
+    /// Access latency in core cycles.
+    pub latency: u64,
+}
+
+impl Default for LvcConfig {
+    fn default() -> LvcConfig {
+        LvcConfig {
+            entries: 2048,
+            latency: 4,
+        }
+    }
+}
+
+/// The complete memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache (64 KB, 32 banks, 128 B lines, 4-way).
+    pub l1: CacheConfig,
+    /// L2 cache (768 KB, 6 banks, 128 B lines, 16-way).
+    pub l2: CacheConfig,
+    /// DRAM.
+    pub dram: DramConfig,
+    /// Shared-memory scratchpad.
+    pub scratchpad: ScratchpadConfig,
+    /// Live Value Cache.
+    pub lvc: LvcConfig,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                banks: 32,
+                hit_latency: 24,
+                mshrs: 64,
+                write_policy: WritePolicy::WriteBackAllocate,
+            },
+            l2: CacheConfig {
+                size_bytes: 768 * 1024,
+                line_bytes: 128,
+                ways: 16,
+                banks: 6,
+                hit_latency: 60,
+                mshrs: 64,
+                write_policy: WritePolicy::WriteBackAllocate,
+            },
+            dram: DramConfig::default(),
+            scratchpad: ScratchpadConfig::default(),
+            lvc: LvcConfig::default(),
+        }
+    }
+}
+
+/// Fermi-SM baseline parameters (§5.1: "the amount of logic found in a
+/// dMT-CGRA core is approximately the same as in an Nvidia SM").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// SIMT width: lanes issued per cycle.
+    pub warp_width: u32,
+    /// Maximum resident warps per SM (Fermi: 48).
+    pub max_warps: u32,
+    /// Instruction issue latency floor (cycles between dependent issues).
+    pub issue_latency: u64,
+    /// ALU instruction latency.
+    pub alu_latency: u64,
+    /// FPU instruction latency.
+    pub fpu_latency: u64,
+    /// Special-function instruction latency.
+    pub sfu_latency: u64,
+    /// Number of special-function lanes (Fermi: 4 SFUs per SM); a warp's
+    /// SFU instruction occupies `warp_width / sfu_lanes` issue slots.
+    pub sfu_lanes: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig {
+            warp_width: 32,
+            max_warps: 48,
+            issue_latency: 1,
+            alu_latency: 4,
+            fpu_latency: 4,
+            sfu_latency: 16,
+            sfu_lanes: 4,
+        }
+    }
+}
+
+/// Clock frequencies (Table 2), used for cross-domain latency scaling and
+/// leakage-energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockConfig {
+    /// Core and fabric clock, GHz.
+    pub core_ghz: f64,
+    /// Interconnect clock, GHz.
+    pub interconnect_ghz: f64,
+    /// L2 clock, GHz.
+    pub l2_ghz: f64,
+    /// DRAM clock, GHz.
+    pub dram_ghz: f64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> ClockConfig {
+        ClockConfig {
+            core_ghz: 1.4,
+            interconnect_ghz: 1.4,
+            l2_ghz: 0.7,
+            dram_ghz: 0.924,
+        }
+    }
+}
+
+/// The complete configuration of one simulated machine. `default()` is the
+/// paper's Table 2 system.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::config::SystemConfig;
+///
+/// let cfg = SystemConfig::default();
+/// assert_eq!(cfg.grid.total_units(), 140);
+/// assert_eq!(cfg.fabric.token_buffer_entries, 16);
+/// assert_eq!(cfg.mem.l1.sets(), 128);
+///
+/// // Ablation variant: smaller elevator token buffers.
+/// let small = SystemConfig {
+///     fabric: dmt_common::config::FabricConfig {
+///         token_buffer_entries: 4,
+///         ..cfg.fabric
+///     },
+///     ..cfg
+/// };
+/// assert_eq!(small.fabric.token_buffer_entries, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemConfig {
+    /// CGRA grid composition.
+    pub grid: GridConfig,
+    /// Fabric micro-architecture.
+    pub fabric: FabricConfig,
+    /// Unit latencies.
+    pub latencies: UnitLatencies,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Fermi-SM baseline.
+    pub gpu: GpuConfig,
+    /// Clock domains.
+    pub clocks: ClockConfig,
+}
+
+impl SystemConfig {
+    /// Renders the configuration as the paper's Table 2.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let g = &self.grid;
+        let mut s = String::new();
+        s.push_str("Parameter            | Value\n");
+        s.push_str("---------------------+-------------------------------------------\n");
+        s.push_str(&format!(
+            "dMT-CGRA Core        | {} interconnected compute/LDST/control units\n",
+            g.total_units()
+        ));
+        s.push_str(&format!("Arithmetic units     | {} ALUs\n", g.alus));
+        s.push_str(&format!(
+            "Floating point units | {} FPUs, {} Special Compute units\n",
+            g.fpus, g.specials
+        ));
+        s.push_str(&format!("Load/Store units     | {} LDST Units\n", g.ldsts));
+        s.push_str(&format!(
+            "Control units        | {} Split/Join units, {} Control/Elevator units\n",
+            g.sjus, g.controls
+        ));
+        s.push_str(&format!(
+            "Frequency [GHz]      | core {}, Interconnect {}, L2 {}, DRAM {}\n",
+            self.clocks.core_ghz,
+            self.clocks.interconnect_ghz,
+            self.clocks.l2_ghz,
+            self.clocks.dram_ghz
+        ));
+        s.push_str(&format!(
+            "L1                   | {}KB, {} banks, {}B/line, {}-way\n",
+            self.mem.l1.size_bytes / 1024,
+            self.mem.l1.banks,
+            self.mem.l1.line_bytes,
+            self.mem.l1.ways
+        ));
+        s.push_str(&format!(
+            "L2                   | {}KB, {} banks, {}B/line, {}-way\n",
+            self.mem.l2.size_bytes / 1024,
+            self.mem.l2.banks,
+            self.mem.l2.line_bytes,
+            self.mem.l2.ways
+        ));
+        s.push_str(&format!(
+            "GDDR5 DRAM           | {} banks, {} channels\n",
+            self.mem.dram.banks_per_channel, self.mem.dram.channels
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_grid_composition() {
+        let g = GridConfig::default();
+        assert_eq!(g.total_units(), 140);
+        assert_eq!(g.capacity(UnitClass::Alu), 32);
+        assert_eq!(g.capacity(UnitClass::Fpu), 32);
+        assert_eq!(g.capacity(UnitClass::Special), 12);
+        assert_eq!(g.capacity(UnitClass::LoadStore), 32);
+        assert_eq!(g.capacity(UnitClass::SplitJoin), 16);
+        assert_eq!(g.capacity(UnitClass::Control), 16);
+    }
+
+    #[test]
+    fn grid_fits_placement() {
+        let cfg = SystemConfig::default();
+        assert!(cfg.grid.total_units() <= cfg.fabric.grid_width * cfg.fabric.grid_width);
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let cfg = SystemConfig::default();
+        // 64 KiB / (128 B * 4 ways) = 128 sets.
+        assert_eq!(cfg.mem.l1.sets(), 128);
+        assert_eq!(cfg.mem.l2.sets(), 384);
+    }
+
+    #[test]
+    fn table_rendering_mentions_all_sections() {
+        let t = SystemConfig::default().to_table();
+        for needle in ["140", "32 ALUs", "GDDR5", "1.4", "0.924", "786", "768"] {
+            if needle == "786" {
+                continue; // paper's 786KB is a typo for 768KB; we use 768.
+            }
+            assert!(t.contains(needle), "table missing {needle}: {t}");
+        }
+    }
+
+    #[test]
+    fn unit_class_display() {
+        let names: Vec<String> = UnitClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, ["ALU", "FPU", "SCU", "LDST", "SJU", "CU"]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The shared error type for the dMT-CGRA workspace.
+
+use crate::config::UnitClass;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, compiling or simulating kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid machine or kernel configuration.
+    Config(String),
+    /// Dataflow-graph construction misuse (e.g. operand from another kernel).
+    GraphBuild(String),
+    /// Dataflow-graph validation failure (cycles, arity, dangling edges).
+    Validate(String),
+    /// The kernel needs more units of a class than the grid provides, even
+    /// at replication factor 1.
+    CapacityExceeded {
+        /// Unit class whose pool is exhausted.
+        class: UnitClass,
+        /// Units the kernel graph requires.
+        required: u32,
+        /// Units the grid provides.
+        available: u32,
+    },
+    /// Compilation failure other than capacity (placement, routing, spill).
+    Compile(String),
+    /// Simulation-time failure (bad address, unmapped parameter…).
+    Runtime(String),
+    /// The fabric made no forward progress: tokens are in flight but nothing
+    /// can fire (usually an ill-formed communication pattern).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Description of the stuck state.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::GraphBuild(m) => write!(f, "graph construction error: {m}"),
+            Error::Validate(m) => write!(f, "graph validation failed: {m}"),
+            Error::CapacityExceeded {
+                class,
+                required,
+                available,
+            } => write!(
+                f,
+                "kernel requires {required} {class} units but the grid provides {available}"
+            ),
+            Error::Compile(m) => write!(f, "compilation failed: {m}"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+            Error::Deadlock { cycle, detail } => {
+                write!(f, "fabric deadlock at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::CapacityExceeded {
+            class: UnitClass::Control,
+            required: 20,
+            available: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("20"));
+        assert!(s.contains("16"));
+        assert!(s.contains("CU"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<Error>();
+    }
+
+    #[test]
+    fn deadlock_message_mentions_cycle() {
+        let e = Error::Deadlock {
+            cycle: 42,
+            detail: "token stuck".into(),
+        };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,238 @@
+//! CUDA-style thread geometry: block dimensions and inter-thread deltas.
+//!
+//! The programming model maps threads to 1D/2D/3D coordinates (CUDA
+//! `threadIdx`). Inter-thread communication primitives take a *ΔTID*
+//! expressed in the same coordinate space; internally both are flattened to
+//! linear [`ThreadId`]s (row-major), exactly as the paper's compiler encodes
+//! "constant deltas between the source thread ID and the executing thread's
+//! ID" (§2.1).
+
+use crate::ids::ThreadId;
+use std::fmt;
+
+/// Dimensions of a thread block (CUDA `blockDim`), or any 3D extent.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::geom::Dim3;
+/// let b = Dim3::new(16, 16, 1);
+/// assert_eq!(b.len(), 256);
+/// assert_eq!(b.flatten(3, 2, 0), 35);
+/// assert_eq!(b.unflatten(35), (3, 2, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying).
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a 3D extent. Any component may be 1 for lower-dimensional
+    /// spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is zero.
+    #[must_use]
+    pub fn new(x: u32, y: u32, z: u32) -> Dim3 {
+        assert!(x > 0 && y > 0 && z > 0, "Dim3 components must be non-zero");
+        Dim3 { x, y, z }
+    }
+
+    /// A 1D extent `(n, 1, 1)`.
+    #[must_use]
+    pub fn linear(n: u32) -> Dim3 {
+        Dim3::new(n, 1, 1)
+    }
+
+    /// A 2D extent `(x, y, 1)`.
+    #[must_use]
+    pub fn plane(x: u32, y: u32) -> Dim3 {
+        Dim3::new(x, y, 1)
+    }
+
+    /// Total number of threads in the extent.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        self.x * self.y * self.z
+    }
+
+    /// Whether the extent contains exactly one thread.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false // extents are never empty; components are non-zero
+    }
+
+    /// Row-major flattening of a coordinate: `x + y·dimx + z·dimx·dimy`.
+    #[must_use]
+    pub fn flatten(self, x: u32, y: u32, z: u32) -> u32 {
+        debug_assert!(x < self.x && y < self.y && z < self.z);
+        x + y * self.x + z * self.x * self.y
+    }
+
+    /// Inverse of [`Dim3::flatten`].
+    #[must_use]
+    pub fn unflatten(self, tid: u32) -> (u32, u32, u32) {
+        let x = tid % self.x;
+        let y = (tid / self.x) % self.y;
+        let z = tid / (self.x * self.y);
+        (x, y, z)
+    }
+
+    /// The x/y/z coordinate of a linear thread ID along dimension `dim`
+    /// (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 2`.
+    #[must_use]
+    pub fn coord(self, tid: ThreadId, dim: u8) -> u32 {
+        let (x, y, z) = self.unflatten(tid.0);
+        match dim {
+            0 => x,
+            1 => y,
+            2 => z,
+            _ => panic!("dimension index {dim} out of range (0..=2)"),
+        }
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Dim3 {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+/// A constant inter-thread distance (ΔTID) in up to three dimensions.
+///
+/// The communication functions of Table 1 have 1D, 2D and 3D variants; this
+/// type covers all three (unused components are zero). Flattening against a
+/// block's [`Dim3`] yields the signed linear TID delta used by elevator
+/// nodes; [`Delta::euclidean`] gives the transmission-distance metric used
+/// by the paper's Fig 5 CDF ("a Euclidean distance was used for 2D and 3D
+/// TID spaces").
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::geom::{Delta, Dim3};
+/// let d = Delta::new_2d(1, 0); // from thread (tx-1, ty)
+/// assert_eq!(d.flatten(Dim3::plane(16, 16)), 1);
+/// let down = Delta::new_2d(0, 1); // from thread (tx, ty-1)
+/// assert_eq!(down.flatten(Dim3::plane(16, 16)), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Delta {
+    /// Δ along x.
+    pub dx: i32,
+    /// Δ along y.
+    pub dy: i32,
+    /// Δ along z.
+    pub dz: i32,
+}
+
+impl Delta {
+    /// A 1D delta.
+    #[must_use]
+    pub fn new(dx: i32) -> Delta {
+        Delta { dx, dy: 0, dz: 0 }
+    }
+
+    /// A 2D delta.
+    #[must_use]
+    pub fn new_2d(dx: i32, dy: i32) -> Delta {
+        Delta { dx, dy, dz: 0 }
+    }
+
+    /// A 3D delta.
+    #[must_use]
+    pub fn new_3d(dx: i32, dy: i32, dz: i32) -> Delta {
+        Delta { dx, dy, dz }
+    }
+
+    /// The signed linear TID distance for a block of shape `dims`
+    /// (receiver TID − sender TID).
+    #[must_use]
+    pub fn flatten(self, dims: Dim3) -> i64 {
+        i64::from(self.dx)
+            + i64::from(self.dy) * i64::from(dims.x)
+            + i64::from(self.dz) * i64::from(dims.x) * i64::from(dims.y)
+    }
+
+    /// Euclidean transmission distance in coordinate space, the Fig 5 metric.
+    #[must_use]
+    pub fn euclidean(self) -> f64 {
+        let (x, y, z) = (f64::from(self.dx), f64::from(self.dy), f64::from(self.dz));
+        (x * x + y * y + z * z).sqrt()
+    }
+
+    /// Whether this is the zero delta (no communication).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.dx == 0 && self.dy == 0 && self.dz == 0
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ({}, {}, {})", self.dx, self.dy, self.dz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let d = Dim3::new(7, 5, 3);
+        for t in 0..d.len() {
+            let (x, y, z) = d.unflatten(t);
+            assert_eq!(d.flatten(x, y, z), t);
+        }
+    }
+
+    #[test]
+    fn coord_extracts_each_dimension() {
+        let d = Dim3::new(4, 4, 2);
+        let tid = ThreadId(d.flatten(3, 2, 1));
+        assert_eq!(d.coord(tid, 0), 3);
+        assert_eq!(d.coord(tid, 1), 2);
+        assert_eq!(d.coord(tid, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_panics() {
+        let _ = Dim3::new(0, 1, 1);
+    }
+
+    #[test]
+    fn delta_flatten_negative() {
+        let d = Delta::new_2d(-1, -1);
+        assert_eq!(d.flatten(Dim3::plane(8, 8)), -9);
+    }
+
+    #[test]
+    fn delta_euclidean() {
+        assert_eq!(Delta::new(3).euclidean(), 3.0);
+        assert!((Delta::new_2d(3, 4).euclidean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_zero() {
+        assert!(Delta::default().is_zero());
+        assert!(!Delta::new(1).is_zero());
+    }
+}

@@ -1,0 +1,190 @@
+//! Identifier newtypes shared across the simulator.
+//!
+//! Each identifier wraps a plain integer but participates in the type system
+//! so that, e.g., a [`ThreadId`] can never be passed where a [`NodeId`] is
+//! expected (C-NEWTYPE).
+
+use std::fmt;
+
+/// A linearized thread identifier within a thread block.
+///
+/// Multi-dimensional CUDA-style coordinates are flattened row-major
+/// (`x + y*dim_x + z*dim_x*dim_y`, see [`crate::geom::Dim3::flatten`]).
+/// Thread IDs double as dynamic-dataflow token *tags* in the fabric.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::ids::ThreadId;
+/// let t = ThreadId(5);
+/// assert_eq!(t.offset(-2), Some(ThreadId(3)));
+/// assert_eq!(t.offset(-6), None); // would be negative: invalid source thread
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Returns the thread whose ID differs from `self` by `delta`, or `None`
+    /// if the result would be negative (an invalid source thread, which the
+    /// paper's primitives replace with a fallback constant).
+    #[must_use]
+    pub fn offset(self, delta: i64) -> Option<ThreadId> {
+        let v = i64::from(self.0) + delta;
+        u32::try_from(v).ok().map(ThreadId)
+    }
+
+    /// The raw index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A node in a kernel dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index as a `usize`, for dense side tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A functional unit instance in the CGRA grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitId(pub u32);
+
+impl UnitId {
+    /// The raw index as a `usize`, for dense side tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// An operand input port on a dataflow node or functional unit.
+///
+/// Port 0 is the left operand, port 1 the right operand, port 2 a predicate
+/// or third operand (e.g. for `select`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortIx(pub u8);
+
+impl fmt::Display for PortIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A simulation timestamp, measured in core clock cycles (1.4 GHz domain).
+///
+/// All other clock domains (interconnect, L2, DRAM; see Table 2) are
+/// expressed as core-cycle latencies scaled by the clock ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Zero cycles; the start of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// This timestamp plus `n` cycles.
+    #[must_use]
+    pub fn plus(self, n: u64) -> Cycle {
+        Cycle(self.0 + n)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A byte address in the simulated global memory space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// This address plus a byte offset.
+    #[must_use]
+    pub fn plus(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// The containing aligned block index for a power-of-two `block` size
+    /// (e.g. a cache line).
+    #[must_use]
+    pub fn block_index(self, block: u64) -> u64 {
+        debug_assert!(block.is_power_of_two());
+        self.0 / block
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_offset_in_range() {
+        assert_eq!(ThreadId(10).offset(5), Some(ThreadId(15)));
+        assert_eq!(ThreadId(10).offset(-10), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn thread_id_offset_negative_is_none() {
+        assert_eq!(ThreadId(0).offset(-1), None);
+        assert_eq!(ThreadId(3).offset(-4), None);
+    }
+
+    #[test]
+    fn addr_block_index() {
+        assert_eq!(Addr(0).block_index(128), 0);
+        assert_eq!(Addr(127).block_index(128), 0);
+        assert_eq!(Addr(128).block_index(128), 1);
+    }
+
+    #[test]
+    fn cycle_plus() {
+        assert_eq!(Cycle(3).plus(4), Cycle(7));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert_eq!(ThreadId(2).to_string(), "t2");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(UnitId(1).to_string(), "u1");
+        assert_eq!(PortIx(0).to_string(), "p0");
+        assert_eq!(Addr(255).to_string(), "0xff");
+    }
+}

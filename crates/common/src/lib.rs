@@ -1,0 +1,40 @@
+//! Shared foundations for the dMT-CGRA reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace: identifier newtypes ([`ids`]), the 32-bit machine word model
+//! ([`value`]), CUDA-style thread geometry ([`geom`]), the Table 2 system
+//! configuration ([`config`]), run-statistics counters ([`stats`]) and the
+//! shared error type ([`error`]).
+//!
+//! The paper reproduced here is Voitsechov & Etsion, *"Inter-Thread
+//! Communication in Multithreaded, Reconfigurable Coarse-Grain Arrays"*
+//! (MICRO 2018). See `DESIGN.md` at the workspace root for the full system
+//! inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmt_common::config::SystemConfig;
+//! use dmt_common::geom::Dim3;
+//!
+//! let cfg = SystemConfig::default(); // Table 2 defaults
+//! assert_eq!(cfg.grid.total_units(), 140);
+//! let block = Dim3::new(16, 16, 1);
+//! assert_eq!(block.len(), 256);
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod geom;
+pub mod ids;
+pub mod memimg;
+pub mod stats;
+pub mod value;
+
+pub use config::SystemConfig;
+pub use error::{Error, Result};
+pub use memimg::MemImage;
+pub use geom::{Delta, Dim3};
+pub use ids::{Addr, Cycle, NodeId, PortIx, ThreadId, UnitId};
+pub use stats::RunStats;
+pub use value::Word;

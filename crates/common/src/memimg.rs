@@ -1,0 +1,219 @@
+//! Functional memory images.
+//!
+//! A [`MemImage`] is the *architectural* state of a memory space: a flat,
+//! word-granular array addressed by byte address. Every backend (reference
+//! interpreter, CGRA fabric, GPU) reads and writes the same image type, so
+//! results can be compared bit-for-bit. Timing is modelled separately by
+//! `dmt-mem`; this type only answers "what value lives at this address".
+
+use crate::ids::Addr;
+use crate::value::Word;
+use std::fmt;
+
+/// A flat 32-bit-word memory space addressed by byte address.
+///
+/// Addresses must be 4-byte aligned — the simulated machines are 32-bit
+/// word-oriented (see `dmt_common::value`).
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::memimg::MemImage;
+/// use dmt_common::ids::Addr;
+/// use dmt_common::value::Word;
+///
+/// let mut m = MemImage::with_words(4);
+/// m.store(Addr(8), Word::from_f32(2.5));
+/// assert_eq!(m.load(Addr(8)).as_f32(), 2.5);
+/// assert_eq!(m.load(Addr(0)), Word::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemImage {
+    words: Vec<u32>,
+}
+
+impl MemImage {
+    /// An empty image (size 0).
+    #[must_use]
+    pub fn new() -> MemImage {
+        MemImage::default()
+    }
+
+    /// A zero-filled image holding `n` 32-bit words (`4·n` bytes).
+    #[must_use]
+    pub fn with_words(n: usize) -> MemImage {
+        MemImage {
+            words: vec![0; n],
+        }
+    }
+
+    /// Number of words in the image.
+    #[must_use]
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the image holds no words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    fn word_index(&self, addr: Addr) -> usize {
+        assert!(
+            addr.0 % 4 == 0,
+            "unaligned word access at {addr} (addresses must be 4-byte aligned)"
+        );
+        let ix = (addr.0 / 4) as usize;
+        assert!(
+            ix < self.words.len(),
+            "address {addr} out of bounds (image has {} bytes)",
+            self.len_bytes()
+        );
+        ix
+    }
+
+    /// Loads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unaligned or out of bounds.
+    #[must_use]
+    pub fn load(&self, addr: Addr) -> Word {
+        Word(self.words[self.word_index(addr)])
+    }
+
+    /// Stores `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unaligned or out of bounds.
+    pub fn store(&mut self, addr: Addr, value: Word) {
+        let ix = self.word_index(addr);
+        self.words[ix] = value.0;
+    }
+
+    /// Fallible load, for simulators that must surface bad addresses as
+    /// [`crate::error::Error::Runtime`] instead of panicking.
+    pub fn try_load(&self, addr: Addr) -> crate::error::Result<Word> {
+        if addr.0 % 4 != 0 || (addr.0 / 4) as usize >= self.words.len() {
+            return Err(crate::error::Error::Runtime(format!(
+                "bad load address {addr} (image has {} bytes)",
+                self.len_bytes()
+            )));
+        }
+        Ok(Word(self.words[(addr.0 / 4) as usize]))
+    }
+
+    /// Fallible store; see [`MemImage::try_load`].
+    pub fn try_store(&mut self, addr: Addr, value: Word) -> crate::error::Result<()> {
+        if addr.0 % 4 != 0 || (addr.0 / 4) as usize >= self.words.len() {
+            return Err(crate::error::Error::Runtime(format!(
+                "bad store address {addr} (image has {} bytes)",
+                self.len_bytes()
+            )));
+        }
+        self.words[(addr.0 / 4) as usize] = value.0;
+        Ok(())
+    }
+
+    /// Copies a slice of `f32` values into the image starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: Addr, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.store(addr.plus(i as u64 * 4), Word::from_f32(v));
+        }
+    }
+
+    /// Copies a slice of `i32` values into the image starting at `addr`.
+    pub fn write_i32_slice(&mut self, addr: Addr, data: &[i32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.store(addr.plus(i as u64 * 4), Word::from_i32(v));
+        }
+    }
+
+    /// Reads `n` consecutive `f32` values starting at `addr`.
+    #[must_use]
+    pub fn read_f32_slice(&self, addr: Addr, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| self.load(addr.plus(i as u64 * 4)).as_f32())
+            .collect()
+    }
+
+    /// Reads `n` consecutive `i32` values starting at `addr`.
+    #[must_use]
+    pub fn read_i32_slice(&self, addr: Addr, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| self.load(addr.plus(i as u64 * 4)).as_i32())
+            .collect()
+    }
+
+    /// Resets every word to zero, keeping the size (used for per-block
+    /// scratchpad reuse).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl fmt::Display for MemImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemImage[{} words]", self.words.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = MemImage::with_words(8);
+        m.store(Addr(4), Word::from_i32(-7));
+        assert_eq!(m.load(Addr(4)).as_i32(), -7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let m = MemImage::with_words(8);
+        let _ = m.load(Addr(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = MemImage::with_words(2);
+        let _ = m.load(Addr(8));
+    }
+
+    #[test]
+    fn try_load_reports_errors() {
+        let m = MemImage::with_words(2);
+        assert!(m.try_load(Addr(0)).is_ok());
+        assert!(m.try_load(Addr(8)).is_err());
+        assert!(m.try_load(Addr(1)).is_err());
+    }
+
+    #[test]
+    fn slice_roundtrips() {
+        let mut m = MemImage::with_words(16);
+        m.write_f32_slice(Addr(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f32_slice(Addr(0), 3), vec![1.0, 2.0, 3.0]);
+        m.write_i32_slice(Addr(32), &[-1, 5]);
+        assert_eq!(m.read_i32_slice(Addr(32), 2), vec![-1, 5]);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_size() {
+        let mut m = MemImage::with_words(4);
+        m.store(Addr(0), Word(9));
+        m.clear();
+        assert_eq!(m.len_words(), 4);
+        assert_eq!(m.load(Addr(0)), Word::ZERO);
+    }
+}

@@ -1,0 +1,319 @@
+//! Run statistics: the event counters every backend produces.
+//!
+//! A [`RunStats`] is filled by the fabric, GPU and memory simulators during a
+//! kernel run, then consumed by the energy model (which multiplies event
+//! counts by per-event energies, mirroring GPUWattch's methodology) and by
+//! the figure harnesses.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Event counters accumulated over one kernel execution.
+///
+/// All counters are monotonically increasing event counts; `cycles` is the
+/// total execution time in core cycles. Counters irrelevant to a backend
+/// stay zero (e.g. `gpu_instructions` on a CGRA run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Total execution time in core cycles.
+    pub cycles: u64,
+    /// Threads that completed execution.
+    pub threads_retired: u64,
+    /// Barrier-delimited phases executed (1 when the kernel has no barrier).
+    pub phases: u64,
+
+    // ---- Fabric operation counts ----
+    /// Integer ALU operations fired.
+    pub alu_ops: u64,
+    /// Floating-point operations fired.
+    pub fpu_ops: u64,
+    /// Special-function operations fired (div/sqrt/exp).
+    pub special_ops: u64,
+    /// Control operations fired (select/compare/bitwise).
+    pub control_ops: u64,
+    /// Split/join pass-throughs fired.
+    pub sju_ops: u64,
+    /// Elevator re-tagging operations fired.
+    pub elevator_ops: u64,
+    /// Tokens an elevator filled with the fallback constant (sender outside
+    /// the transmission window or the thread block).
+    pub elevator_const_tokens: u64,
+    /// Values an eLDST forwarded from the token buffer instead of loading
+    /// from memory (each is one memory access saved).
+    pub eldst_forwards: u64,
+
+    // ---- Fabric transport ----
+    /// Tokens placed on the NoC.
+    pub tokens_routed: u64,
+    /// Total NoC router hops traversed by all tokens.
+    pub noc_hops: u64,
+    /// Tokens written to matching-store/token buffers.
+    pub token_buffer_writes: u64,
+    /// Cycles in which at least one unit could not fire due to downstream
+    /// backpressure.
+    pub backpressure_cycles: u64,
+
+    // ---- Memory system ----
+    /// Global-memory load requests issued (after eLDST forwarding).
+    pub global_loads: u64,
+    /// Global-memory store requests issued.
+    pub global_stores: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM line transactions (reads).
+    pub dram_reads: u64,
+    /// DRAM line transactions (writes, including write-back evictions).
+    pub dram_writes: u64,
+    /// Scratchpad (shared-memory) loads.
+    pub shared_loads: u64,
+    /// Scratchpad (shared-memory) stores.
+    pub shared_stores: u64,
+    /// Extra serialization events caused by scratchpad bank conflicts.
+    pub shared_bank_conflicts: u64,
+    /// Live-Value-Cache reads (elevator spill path).
+    pub lvc_reads: u64,
+    /// Live-Value-Cache writes (elevator spill path).
+    pub lvc_writes: u64,
+
+    // ---- GPU (von Neumann) backend ----
+    /// Warp-instructions issued (each fetch/decode event).
+    pub gpu_instructions: u64,
+    /// Thread-instructions executed (warp-instructions × active lanes).
+    pub gpu_thread_instructions: u64,
+    /// Register-file operand reads.
+    pub register_reads: u64,
+    /// Register-file writes.
+    pub register_writes: u64,
+    /// Warp-cycles spent waiting at barriers.
+    pub barrier_wait_cycles: u64,
+    /// Barrier instructions executed (per warp).
+    pub barriers: u64,
+    /// Cycles in which no warp could issue (stall cycles).
+    pub gpu_stall_cycles: u64,
+}
+
+impl RunStats {
+    /// Creates an all-zero statistics record.
+    #[must_use]
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Total functional-unit operations fired in the fabric.
+    #[must_use]
+    pub fn fabric_ops(&self) -> u64 {
+        self.alu_ops
+            + self.fpu_ops
+            + self.special_ops
+            + self.control_ops
+            + self.sju_ops
+            + self.elevator_ops
+    }
+
+    /// Total memory-hierarchy accesses (global loads + stores).
+    #[must_use]
+    pub fn global_accesses(&self) -> u64 {
+        self.global_loads + self.global_stores
+    }
+
+    /// Total scratchpad accesses.
+    #[must_use]
+    pub fn shared_accesses(&self) -> u64 {
+        self.shared_loads + self.shared_stores
+    }
+
+    /// L1 hit rate in [0, 1]; `None` when there were no L1 accesses.
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> Option<f64> {
+        let total = self.l1_hits + self.l1_misses;
+        (total > 0).then(|| self.l1_hits as f64 / total as f64)
+    }
+
+    /// Average fabric operations fired per cycle (the ILP utilization the
+    /// paper's 140-unit argument is about).
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fabric_ops() as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl AddAssign for RunStats {
+    /// Accumulates another record into `self`. `cycles` and `phases` add
+    /// (sequential composition of runs).
+    fn add_assign(&mut self, rhs: RunStats) {
+        let RunStats {
+            cycles,
+            threads_retired,
+            phases,
+            alu_ops,
+            fpu_ops,
+            special_ops,
+            control_ops,
+            sju_ops,
+            elevator_ops,
+            elevator_const_tokens,
+            eldst_forwards,
+            tokens_routed,
+            noc_hops,
+            token_buffer_writes,
+            backpressure_cycles,
+            global_loads,
+            global_stores,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            dram_reads,
+            dram_writes,
+            shared_loads,
+            shared_stores,
+            shared_bank_conflicts,
+            lvc_reads,
+            lvc_writes,
+            gpu_instructions,
+            gpu_thread_instructions,
+            register_reads,
+            register_writes,
+            barrier_wait_cycles,
+            barriers,
+            gpu_stall_cycles,
+        } = rhs;
+        self.cycles += cycles;
+        self.threads_retired += threads_retired;
+        self.phases += phases;
+        self.alu_ops += alu_ops;
+        self.fpu_ops += fpu_ops;
+        self.special_ops += special_ops;
+        self.control_ops += control_ops;
+        self.sju_ops += sju_ops;
+        self.elevator_ops += elevator_ops;
+        self.elevator_const_tokens += elevator_const_tokens;
+        self.eldst_forwards += eldst_forwards;
+        self.tokens_routed += tokens_routed;
+        self.noc_hops += noc_hops;
+        self.token_buffer_writes += token_buffer_writes;
+        self.backpressure_cycles += backpressure_cycles;
+        self.global_loads += global_loads;
+        self.global_stores += global_stores;
+        self.l1_hits += l1_hits;
+        self.l1_misses += l1_misses;
+        self.l2_hits += l2_hits;
+        self.l2_misses += l2_misses;
+        self.dram_reads += dram_reads;
+        self.dram_writes += dram_writes;
+        self.shared_loads += shared_loads;
+        self.shared_stores += shared_stores;
+        self.shared_bank_conflicts += shared_bank_conflicts;
+        self.lvc_reads += lvc_reads;
+        self.lvc_writes += lvc_writes;
+        self.gpu_instructions += gpu_instructions;
+        self.gpu_thread_instructions += gpu_thread_instructions;
+        self.register_reads += register_reads;
+        self.register_writes += register_writes;
+        self.barrier_wait_cycles += barrier_wait_cycles;
+        self.barriers += barriers;
+        self.gpu_stall_cycles += gpu_stall_cycles;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:            {}", self.cycles)?;
+        writeln!(f, "threads retired:   {}", self.threads_retired)?;
+        writeln!(
+            f,
+            "fabric ops:        {} ({:.2} ops/cycle)",
+            self.fabric_ops(),
+            self.ops_per_cycle()
+        )?;
+        writeln!(
+            f,
+            "global memory:     {} loads ({} forwarded), {} stores",
+            self.global_loads, self.eldst_forwards, self.global_stores
+        )?;
+        writeln!(
+            f,
+            "L1: {} hits / {} misses; L2: {} hits / {} misses; DRAM: {} rd / {} wr",
+            self.l1_hits, self.l1_misses, self.l2_hits, self.l2_misses, self.dram_reads,
+            self.dram_writes
+        )?;
+        writeln!(
+            f,
+            "scratchpad:        {} loads, {} stores, {} bank conflicts",
+            self.shared_loads, self.shared_stores, self.shared_bank_conflicts
+        )?;
+        write!(
+            f,
+            "gpu:               {} warp-instructions, {} barrier-wait cycles",
+            self.gpu_instructions, self.barrier_wait_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_ops_sums_all_unit_classes() {
+        let s = RunStats {
+            alu_ops: 1,
+            fpu_ops: 2,
+            special_ops: 3,
+            control_ops: 4,
+            sju_ops: 5,
+            elevator_ops: 6,
+            ..RunStats::default()
+        };
+        assert_eq!(s.fabric_ops(), 21);
+    }
+
+    #[test]
+    fn hit_rate_none_when_no_accesses() {
+        assert_eq!(RunStats::default().l1_hit_rate(), None);
+        let s = RunStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            ..RunStats::default()
+        };
+        assert_eq!(s.l1_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut a = RunStats::default();
+        let b = RunStats {
+            cycles: 10,
+            alu_ops: 5,
+            dram_writes: 2,
+            gpu_instructions: 7,
+            ..RunStats::default()
+        };
+        a += b;
+        a += b;
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.alu_ops, 10);
+        assert_eq!(a.dram_writes, 4);
+        assert_eq!(a.gpu_instructions, 14);
+    }
+
+    #[test]
+    fn ops_per_cycle_handles_zero_cycles() {
+        assert_eq!(RunStats::default().ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!RunStats::default().to_string().is_empty());
+    }
+}

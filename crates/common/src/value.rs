@@ -1,0 +1,187 @@
+//! The 32-bit machine word model.
+//!
+//! The simulated architectures are 32-bit centric (Fermi-era GPUs and the
+//! SGMF/dMT-CGRA grids operate on 32-bit tokens). A [`Word`] stores raw bits;
+//! operations reinterpret them as `i32`, `u32` or `f32` as required by the
+//! executing opcode, exactly as hardware functional units do.
+
+use std::fmt;
+
+/// A 32-bit value travelling through the simulated machine as raw bits.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::value::Word;
+///
+/// let w = Word::from_f32(1.5);
+/// assert_eq!(w.as_f32(), 1.5);
+/// let v = Word::from_i32(-3);
+/// assert_eq!(v.as_i32(), -3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u32);
+
+impl Word {
+    /// The all-zero word (also integer `0`, float `+0.0` and boolean `false`).
+    pub const ZERO: Word = Word(0);
+
+    /// The canonical boolean `true` (integer `1`).
+    pub const TRUE: Word = Word(1);
+
+    /// Builds a word from a signed 32-bit integer.
+    #[must_use]
+    pub fn from_i32(v: i32) -> Word {
+        Word(v as u32)
+    }
+
+    /// Builds a word from an unsigned 32-bit integer.
+    #[must_use]
+    pub fn from_u32(v: u32) -> Word {
+        Word(v)
+    }
+
+    /// Builds a word from an IEEE-754 single-precision float.
+    #[must_use]
+    pub fn from_f32(v: f32) -> Word {
+        Word(v.to_bits())
+    }
+
+    /// Builds the canonical boolean encoding (`1` for true, `0` for false).
+    #[must_use]
+    pub fn from_bool(v: bool) -> Word {
+        Word(u32::from(v))
+    }
+
+    /// Reinterprets the bits as a signed integer.
+    #[must_use]
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Reinterprets the bits as an unsigned integer.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reinterprets the bits as an IEEE-754 single-precision float.
+    #[must_use]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// Boolean interpretation: any non-zero bit pattern is `true`
+    /// (matching predicate semantics of the modelled ISA).
+    #[must_use]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+impl From<i32> for Word {
+    fn from(v: i32) -> Word {
+        Word::from_i32(v)
+    }
+}
+
+impl From<u32> for Word {
+    fn from(v: u32) -> Word {
+        Word::from_u32(v)
+    }
+}
+
+impl From<f32> for Word {
+    fn from(v: f32) -> Word {
+        Word::from_f32(v)
+    }
+}
+
+impl From<bool> for Word {
+    fn from(v: bool) -> Word {
+        Word::from_bool(v)
+    }
+}
+
+/// Compares two `f32` buffers with a relative tolerance, the acceptance
+/// criterion used when validating floating-point kernels whose summation
+/// order differs between architectures.
+///
+/// Returns the index of the first mismatching element, or `None` when all
+/// elements match within `rel_tol` (with an absolute floor of `rel_tol` for
+/// values near zero).
+///
+/// # Examples
+///
+/// ```
+/// use dmt_common::value::first_f32_mismatch;
+/// assert_eq!(first_f32_mismatch(&[1.0, 2.0], &[1.0, 2.0 + 1e-7], 1e-5), None);
+/// assert_eq!(first_f32_mismatch(&[1.0, 2.0], &[1.0, 3.0], 1e-5), Some(1));
+/// ```
+#[must_use]
+pub fn first_f32_mismatch(got: &[f32], want: &[f32], rel_tol: f32) -> Option<usize> {
+    if got.len() != want.len() {
+        return Some(got.len().min(want.len()));
+    }
+    got.iter().zip(want.iter()).position(|(&g, &w)| {
+        let scale = g.abs().max(w.abs()).max(1.0);
+        (g - w).abs() > rel_tol * scale || g.is_nan() != w.is_nan()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_i32() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 42] {
+            assert_eq!(Word::from_i32(v).as_i32(), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(Word::from_f32(v).as_f32(), v);
+        }
+    }
+
+    #[test]
+    fn bool_encoding() {
+        assert!(Word::from_bool(true).as_bool());
+        assert!(!Word::from_bool(false).as_bool());
+        assert!(Word(0xdead_beef).as_bool());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Word::from(5i32).as_i32(), 5);
+        assert_eq!(Word::from(5u32).as_u32(), 5);
+        assert_eq!(Word::from(2.0f32).as_f32(), 2.0);
+        assert_eq!(Word::from(true), Word::TRUE);
+    }
+
+    #[test]
+    fn mismatch_detects_length_difference() {
+        assert_eq!(first_f32_mismatch(&[1.0], &[1.0, 2.0], 1e-6), Some(1));
+    }
+
+    #[test]
+    fn mismatch_tolerates_relative_error() {
+        let a = [1000.0f32];
+        let b = [1000.0f32 * (1.0 + 5e-7)];
+        assert_eq!(first_f32_mismatch(&a, &b, 1e-5), None);
+    }
+
+    #[test]
+    fn mismatch_detects_nan_divergence() {
+        assert_eq!(first_f32_mismatch(&[f32::NAN], &[1.0], 1e-5), Some(0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Unit-capacity accounting and graph-replication planning.
+//!
+//! The grid provides fixed pools per unit class (Table 2). The compiler
+//! (a) verifies a kernel phase fits at replication 1, (b) charges elevator
+//! cascades and eLDST loops against the Control-unit pool, and (c) computes
+//! the replication factor — how many copies of the kernel graph fill the
+//! grid (§3), which sets the fabric's thread-injection rate.
+
+use dmt_common::config::{GridConfig, UnitClass};
+use dmt_common::{Error, Result};
+use dmt_dfg::node::NodeKind;
+use dmt_dfg::Dfg;
+use std::collections::BTreeMap;
+
+/// Upper bound on replication (beyond this, thread-injection bandwidth —
+/// not the grid — is the limit).
+pub const MAX_REPLICATION: u32 = 16;
+
+/// Counts the functional units a graph occupies, per class. Sources are
+/// free (they are injected); every other node occupies one unit.
+#[must_use]
+pub fn unit_usage(graph: &Dfg) -> BTreeMap<UnitClass, u32> {
+    let mut usage = BTreeMap::new();
+    for id in graph.node_ids() {
+        if let Some(class) = graph.kind(id).unit_class() {
+            *usage.entry(class).or_insert(0) += 1;
+        }
+    }
+    usage
+}
+
+/// Control units consumed by the long-distance transform of one
+/// communication node: a |shift| ≤ B elevator/eLDST costs nothing extra; a
+/// longer elevator cascades into ⌈|shift|/B⌉ nodes (the original plus
+/// extras); a longer eLDST is backed by a closed elevator loop plus two
+/// MUX control nodes (Fig 10b).
+#[must_use]
+pub fn long_distance_cu_cost(kind: &NodeKind, token_buffer: u32) -> u32 {
+    let Some(comm) = kind.comm() else { return 0 };
+    let dist = comm.shift.unsigned_abs();
+    let b = u64::from(token_buffer);
+    if dist <= b {
+        return 0;
+    }
+    let segments = dist.div_ceil(b) as u32;
+    match kind {
+        NodeKind::Elevator { .. } => segments - 1, // the node itself is one
+        NodeKind::ELoad { .. } => segments + 2,    // loop elevators + 2 MUXes
+        _ => 0,
+    }
+}
+
+/// Verifies `usage` fits the grid and computes the replication factor:
+/// `min_c ⌊capacity(c) / usage(c)⌋` over occupied classes, clamped to
+/// [1, [`MAX_REPLICATION`]].
+///
+/// # Errors
+///
+/// Returns [`Error::CapacityExceeded`] naming the first over-subscribed
+/// class when the graph does not fit even once.
+pub fn replication_factor(usage: &BTreeMap<UnitClass, u32>, grid: &GridConfig) -> Result<u32> {
+    let mut r = MAX_REPLICATION;
+    for (&class, &used) in usage {
+        if used == 0 {
+            continue;
+        }
+        let cap = grid.capacity(class);
+        if used > cap {
+            return Err(Error::CapacityExceeded {
+                class,
+                required: used,
+                available: cap,
+            });
+        }
+        r = r.min(cap / used);
+    }
+    Ok(r.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::Delta;
+    use dmt_common::value::Word;
+    use dmt_dfg::node::{CommConfig, MemSpace};
+
+    fn comm(shift: i64) -> CommConfig {
+        CommConfig {
+            shift,
+            delta: Delta::new(-(shift as i32)),
+            window: 256,
+        }
+    }
+
+    #[test]
+    fn short_distance_costs_nothing() {
+        let e = NodeKind::Elevator {
+            comm: comm(16),
+            fallback: Word::ZERO,
+        };
+        assert_eq!(long_distance_cu_cost(&e, 16), 0);
+    }
+
+    #[test]
+    fn elevator_cascade_cost() {
+        let e = NodeKind::Elevator {
+            comm: comm(18),
+            fallback: Word::ZERO,
+        };
+        assert_eq!(long_distance_cu_cost(&e, 16), 1, "16+2 needs one extra node");
+        let e40 = NodeKind::Elevator {
+            comm: comm(40),
+            fallback: Word::ZERO,
+        };
+        assert_eq!(long_distance_cu_cost(&e40, 16), 2, "16+16+8");
+    }
+
+    #[test]
+    fn eldst_loop_cost() {
+        let e = NodeKind::ELoad {
+            comm: comm(40),
+            space: MemSpace::Global,
+        };
+        assert_eq!(long_distance_cu_cost(&e, 16), 5, "3 loop elevators + 2 MUXes");
+    }
+
+    #[test]
+    fn replication_is_grid_over_usage() {
+        let grid = GridConfig::default();
+        let mut usage = BTreeMap::new();
+        usage.insert(UnitClass::Fpu, 8);
+        usage.insert(UnitClass::LoadStore, 2);
+        usage.insert(UnitClass::Alu, 4);
+        // 32/8 = 4 is the binding constraint.
+        assert_eq!(replication_factor(&usage, &grid).unwrap(), 4);
+    }
+
+    #[test]
+    fn replication_clamps_to_max() {
+        let grid = GridConfig::default();
+        let mut usage = BTreeMap::new();
+        usage.insert(UnitClass::Alu, 1);
+        assert_eq!(replication_factor(&usage, &grid).unwrap(), MAX_REPLICATION);
+    }
+
+    #[test]
+    fn over_capacity_is_an_error() {
+        let grid = GridConfig::default();
+        let mut usage = BTreeMap::new();
+        usage.insert(UnitClass::Special, 13);
+        let err = replication_factor(&usage, &grid).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::CapacityExceeded {
+                class: UnitClass::Special,
+                required: 13,
+                available: 12
+            }
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! Physical layout and greedy placement.
+//!
+//! The grid is a fixed, heterogeneous arrangement of functional units
+//! (Fig 7a); the compiler binds each graph node to a free unit of its
+//! class, trying to keep producers close to consumers so that token routes
+//! stay short. Placement quality feeds directly into NoC hop counts and
+//! therefore both performance and interconnect energy.
+
+use dmt_common::config::{GridConfig, UnitClass};
+use dmt_common::{Error, Result};
+use dmt_dfg::Dfg;
+use dmt_fabric::program::Coord;
+
+/// The fixed physical layout: each slot is a grid coordinate hosting one
+/// unit of a fixed class. Classes are interleaved evenly (Bresenham-style
+/// weighted round-robin) so every neighbourhood has a mix of unit types,
+/// as in the paper's Fig 7a floorplan.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    slots: Vec<(Coord, UnitClass)>,
+    width: u32,
+}
+
+impl Layout {
+    /// Builds the layout for a grid composition on a `width × width` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the grid does not fit the array.
+    pub fn new(grid: &GridConfig, width: u32) -> Result<Layout> {
+        let total = grid.total_units();
+        if total > width * width {
+            return Err(Error::Config(format!(
+                "{total} units do not fit a {width}×{width} placement array"
+            )));
+        }
+        // Weighted round-robin: each class accumulates its share every
+        // step; the class with the largest accumulator gets the slot.
+        let classes = UnitClass::ALL;
+        let counts: Vec<u32> = classes.iter().map(|&c| grid.capacity(c)).collect();
+        let mut acc = vec![0i64; classes.len()];
+        let mut remaining = counts.clone();
+        let mut slots = Vec::with_capacity(total as usize);
+        for i in 0..total {
+            for (j, &count) in counts.iter().enumerate() {
+                if remaining[j] > 0 {
+                    acc[j] += i64::from(count);
+                }
+            }
+            let j = (0..classes.len())
+                .filter(|&j| remaining[j] > 0)
+                .max_by_key(|&j| acc[j])
+                .expect("remaining units exist while i < total");
+            acc[j] -= i64::from(total);
+            remaining[j] -= 1;
+            slots.push((
+                Coord {
+                    x: i % width,
+                    y: i / width,
+                },
+                classes[j],
+            ));
+        }
+        Ok(Layout { slots, width })
+    }
+
+    /// The placement-array side length.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// All slots with their classes.
+    #[must_use]
+    pub fn slots(&self) -> &[(Coord, UnitClass)] {
+        &self.slots
+    }
+}
+
+/// Greedily places `graph` onto `layout`: nodes are visited in topological
+/// order and bound to the free slot of their class closest to the centroid
+/// of their already-placed producers. Sources (injected, occupying no
+/// unit) are co-located with their first consumer.
+///
+/// # Errors
+///
+/// Returns [`Error::Compile`] if a class pool runs out of slots — the
+/// capacity planner should have rejected the graph earlier.
+pub fn place(graph: &Dfg, layout: &Layout) -> Result<Vec<Coord>> {
+    let order = graph.topo_order()?;
+    let mut taken = vec![false; layout.slots.len()];
+    let mut coords: Vec<Option<Coord>> = vec![None; graph.len()];
+
+    for &id in &order {
+        let Some(class) = graph.kind(id).unit_class() else {
+            continue; // sources placed in the second pass
+        };
+        // Centroid of placed producers (sources may be unplaced yet).
+        let placed: Vec<Coord> = graph
+            .inputs(id)
+            .iter()
+            .flatten()
+            .filter_map(|src| coords[src.index()])
+            .collect();
+        let target = centroid(&placed).unwrap_or(Coord {
+            x: layout.width / 2,
+            y: layout.width / 2,
+        });
+        let slot = layout
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(_, c))| !taken[i] && c == class)
+            .min_by_key(|&(_, &(coord, _))| coord.manhattan(target))
+            .map(|(i, _)| i)
+            .ok_or_else(|| {
+                Error::Compile(format!(
+                    "no free {class} slot while placing {id} (capacity check missed this)"
+                ))
+            })?;
+        taken[slot] = true;
+        coords[id.index()] = Some(layout.slots[slot].0);
+    }
+    // Second pass: sources sit with their first consumer (their tokens are
+    // injected straight into the consumer's input latch).
+    for id in graph.node_ids() {
+        if coords[id.index()].is_some() {
+            continue;
+        }
+        let c = graph
+            .consumers(id)
+            .first()
+            .and_then(|&(c, _)| coords[c.index()])
+            .unwrap_or(Coord { x: 0, y: 0 });
+        coords[id.index()] = Some(c);
+    }
+    Ok(coords.into_iter().map(|c| c.expect("all placed")).collect())
+}
+
+fn centroid(coords: &[Coord]) -> Option<Coord> {
+    if coords.is_empty() {
+        return None;
+    }
+    let n = coords.len() as u64;
+    let sx: u64 = coords.iter().map(|c| u64::from(c.x)).sum();
+    let sy: u64 = coords.iter().map(|c| u64::from(c.y)).sum();
+    Some(Coord {
+        x: (sx / n) as u32,
+        y: (sy / n) as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::Dim3;
+    use dmt_dfg::KernelBuilder;
+
+    #[test]
+    fn layout_hosts_exact_table2_mix() {
+        let grid = GridConfig::default();
+        let layout = Layout::new(&grid, 12).unwrap();
+        assert_eq!(layout.slots().len(), 140);
+        for class in UnitClass::ALL {
+            let n = layout.slots().iter().filter(|(_, c)| *c == class).count() as u32;
+            assert_eq!(n, grid.capacity(class), "{class}");
+        }
+    }
+
+    #[test]
+    fn layout_rejects_undersized_array() {
+        let grid = GridConfig::default();
+        assert!(Layout::new(&grid, 10).is_err(), "100 < 140 slots");
+    }
+
+    #[test]
+    fn layout_interleaves_classes() {
+        // No class should occupy a long contiguous run; check the first row
+        // mixes at least three classes.
+        let layout = Layout::new(&GridConfig::default(), 12).unwrap();
+        let first_row: std::collections::BTreeSet<_> = layout
+            .slots()
+            .iter()
+            .filter(|(c, _)| c.y == 0)
+            .map(|(_, class)| *class)
+            .collect();
+        assert!(first_row.len() >= 3, "row 0 classes: {first_row:?}");
+    }
+
+    #[test]
+    fn placement_assigns_distinct_slots_per_class() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let p = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(p, tid, 4);
+        let b = kb.add_i(tid, tid);
+        let c = kb.mul_i(b, tid);
+        kb.store_global(a, c);
+        let k = kb.finish().unwrap();
+        let g = &k.phases()[0];
+        let layout = Layout::new(&GridConfig::default(), 12).unwrap();
+        let coords = place(g, &layout).unwrap();
+        assert_eq!(coords.len(), g.len());
+        // Occupied (non-source) nodes have pairwise distinct coordinates.
+        let mut seen = std::collections::HashSet::new();
+        for id in g.node_ids() {
+            if g.kind(id).unit_class().is_some() {
+                assert!(seen.insert(coords[id.index()]), "slot reused");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_keeps_producers_near_consumers() {
+        // A simple chain should be placed far better than worst-case.
+        let mut kb = KernelBuilder::new("chain", Dim3::linear(8));
+        let p = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let mut v = tid;
+        for _ in 0..6 {
+            v = kb.add_i(v, tid);
+        }
+        let a = kb.index_addr(p, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let g = &k.phases()[0];
+        let layout = Layout::new(&GridConfig::default(), 12).unwrap();
+        let coords = place(g, &layout).unwrap();
+        // Average edge length must be far below the grid diameter (22).
+        let mut total = 0u64;
+        let mut edges = 0u64;
+        for id in g.node_ids() {
+            for &(c, _) in g.consumers(id) {
+                total += coords[id.index()].manhattan(coords[c.index()]);
+                edges += 1;
+            }
+        }
+        let avg = total as f64 / edges as f64;
+        assert!(avg < 6.0, "average hop distance {avg} too large");
+    }
+}

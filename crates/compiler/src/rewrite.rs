@@ -1,0 +1,349 @@
+//! Graph transformation passes.
+//!
+//! * [`dead_node_elimination`] — drops value-producing nodes nobody
+//!   consumes (unused sources, dead arithmetic), so every remaining sink is
+//!   an effectful operation and thread retirement is well-defined.
+//! * [`cascade_elevators`] — splits elevator nodes whose |ΔTID| exceeds the
+//!   token buffer into a chain of in-budget elevator nodes (§4.3, Fig 10a).
+//! * [`split_fanout`] — materializes split (SJU) nodes when a producer
+//!   feeds more consumers than its crossbar switch supports.
+
+use dmt_common::ids::{NodeId, PortIx};
+use dmt_common::{Error, Result};
+use dmt_dfg::node::NodeKind;
+use dmt_dfg::Dfg;
+
+/// Maximum consumers a unit's crossbar switch can feed directly; beyond
+/// this the compiler inserts split nodes.
+pub const MAX_FANOUT: usize = 8;
+
+/// Rebuilds `graph` keeping only nodes satisfying `keep` (plus everything
+/// they transitively need). Panics if a kept node consumes a dropped one —
+/// callers must pass a consumer-closed predicate.
+fn rebuild_keeping(graph: &Dfg, keep: &[bool]) -> Dfg {
+    let mut out = Dfg::new();
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    for id in graph.node_ids() {
+        if keep[id.index()] {
+            remap[id.index()] = Some(out.add_node(graph.kind(id).clone()));
+        }
+    }
+    for id in graph.node_ids() {
+        if !keep[id.index()] {
+            continue;
+        }
+        let new_to = remap[id.index()].expect("kept");
+        for (port, src) in graph.inputs(id).iter().enumerate() {
+            let src = src.expect("validated graph has no unwired ports");
+            let new_from = remap[src.index()]
+                .expect("kept node consumes a dropped producer: predicate not closed");
+            out.connect(new_from, new_to, PortIx(port as u8))
+                .expect("rebuild preserves well-formedness");
+        }
+    }
+    out
+}
+
+/// Iteratively removes non-store nodes with no consumers. Returns the
+/// cleaned graph and the number of nodes removed.
+#[must_use]
+pub fn dead_node_elimination(graph: &Dfg) -> (Dfg, usize) {
+    let mut keep = vec![true; graph.len()];
+    loop {
+        let mut changed = false;
+        for id in graph.node_ids() {
+            if !keep[id.index()] {
+                continue;
+            }
+            if matches!(graph.kind(id), NodeKind::Store(_)) {
+                continue;
+            }
+            let live_consumers = graph
+                .consumers(id)
+                .iter()
+                .any(|(c, _)| keep[c.index()]);
+            if !live_consumers {
+                keep[id.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed == 0 {
+        return (graph.clone(), 0);
+    }
+    (rebuild_keeping(graph, &keep), removed)
+}
+
+/// Splits every elevator whose |shift| exceeds `token_buffer` into a chain
+/// of ⌈|shift|/B⌉ elevators, each shifting at most B (Fig 10a: a distance
+/// of 18 with 16-entry buffers becomes a 16-shift node feeding a 2-shift
+/// node). Elevators listed in `spill` are left intact (they will ride the
+/// Live Value Cache instead). Returns the rewritten graph and, for each
+/// new node, the id of the original elevator it was expanded from.
+pub fn cascade_elevators(
+    graph: &Dfg,
+    token_buffer: u32,
+    spill: &[NodeId],
+) -> Result<(Dfg, Vec<Option<NodeId>>)> {
+    let mut out = Dfg::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(graph.len());
+    let mut origin: Vec<Option<NodeId>> = Vec::new();
+    // First create all nodes (chains included) so edges can be wired after.
+    for id in graph.node_ids() {
+        match graph.kind(id) {
+            NodeKind::Elevator { comm, fallback }
+                if comm.shift.unsigned_abs() > u64::from(token_buffer)
+                    && !spill.contains(&id) =>
+            {
+                let total = comm.shift;
+                let b = i64::from(token_buffer);
+                let sign = if total >= 0 { 1 } else { -1 };
+                let mut remaining = total.abs();
+                let mut head: Option<NodeId> = None;
+                let mut last: Option<NodeId> = None;
+                while remaining > 0 {
+                    let seg = remaining.min(b);
+                    remaining -= seg;
+                    let mut c = *comm;
+                    c.shift = sign * seg;
+                    let n = out.add_node(NodeKind::Elevator {
+                        comm: c,
+                        fallback: *fallback,
+                    });
+                    origin.push(Some(id));
+                    if let Some(prev) = last {
+                        out.connect(prev, n, PortIx(0))
+                            .expect("chain ports are fresh");
+                    } else {
+                        head = Some(n);
+                    }
+                    last = Some(n);
+                }
+                // `remap[id]` records the chain *tail* (what consumers see);
+                // the head is wired to the original input below via the
+                // parallel `chain_heads` table.
+                let head = head.ok_or_else(|| {
+                    Error::Compile(format!("elevator {id} has zero shift after cascading"))
+                })?;
+                chain_bounds_push(&mut remap, head, last.expect("nonempty chain"));
+            }
+            kind => {
+                let n = out.add_node(kind.clone());
+                origin.push(None);
+                chain_bounds_push(&mut remap, n, n);
+            }
+        }
+    }
+    // remap holds pairs (head, tail) flattened; unpack.
+    let heads: Vec<NodeId> = remap.iter().step_by(2).copied().collect();
+    let tails: Vec<NodeId> = remap.iter().skip(1).step_by(2).copied().collect();
+    for id in graph.node_ids() {
+        for (port, src) in graph.inputs(id).iter().enumerate() {
+            let src = src.expect("validated graph");
+            out.connect(tails[src.index()], heads[id.index()], PortIx(port as u8))
+                .map_err(|e| Error::Compile(format!("cascade rewiring failed: {e}")))?;
+        }
+    }
+    Ok((out, origin))
+}
+
+fn chain_bounds_push(remap: &mut Vec<NodeId>, head: NodeId, tail: NodeId) {
+    remap.push(head);
+    remap.push(tail);
+}
+
+/// Inserts split (SJU) nodes so that no producer feeds more than
+/// [`MAX_FANOUT`] consumer ports directly. Multi-level trees are built when
+/// fan-out is very large. Returns the rewritten graph and the number of
+/// split nodes added.
+pub fn split_fanout(graph: &Dfg) -> Result<(Dfg, usize)> {
+    // Work on a copy: repeatedly find an overloaded producer and interpose
+    // a split over its excess consumers. Rebuilding edges requires a fresh
+    // graph each round; fan-outs in real kernels are small, so the loop
+    // converges quickly.
+    let mut g = graph.clone();
+    let mut added = 0usize;
+    loop {
+        let Some(over) = g
+            .node_ids()
+            .find(|&id| g.fanout(id) > MAX_FANOUT)
+        else {
+            return Ok((g, added));
+        };
+        // Move all but (MAX_FANOUT - 1) consumers behind a split node.
+        let consumers: Vec<(NodeId, PortIx)> = g.consumers(over).to_vec();
+        let keep_direct = MAX_FANOUT - 1;
+        let moved: Vec<(NodeId, PortIx)> = consumers[keep_direct..].to_vec();
+        let mut out = Dfg::new();
+        let mut remap: Vec<NodeId> = Vec::with_capacity(g.len() + 1);
+        for id in g.node_ids() {
+            remap.push(out.add_node(g.kind(id).clone()));
+        }
+        let split = out.add_node(NodeKind::Split);
+        added += 1;
+        out.connect(remap[over.index()], split, PortIx(0))
+            .expect("fresh split input");
+        for id in g.node_ids() {
+            for (port, src) in g.inputs(id).iter().enumerate() {
+                let src = src.expect("validated graph");
+                let from = if src == over && moved.contains(&(id, PortIx(port as u8))) {
+                    split
+                } else {
+                    remap[src.index()]
+                };
+                out.connect(from, remap[id.index()], PortIx(port as u8))
+                    .map_err(|e| Error::Compile(format!("fanout rewiring failed: {e}")))?;
+            }
+        }
+        g = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::{Delta, Dim3};
+    use dmt_common::value::Word;
+    use dmt_dfg::node::{AluOp, CommConfig};
+    use dmt_dfg::KernelBuilder;
+
+    #[test]
+    fn dce_removes_unused_param() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let _unused = kb.param("unused");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, tid);
+        let k = kb.finish().unwrap();
+        let (g, removed) = dead_node_elimination(&k.phases()[0]);
+        assert_eq!(removed, 1);
+        assert!(g
+            .node_ids()
+            .all(|id| !matches!(g.kind(id), NodeKind::Param(0))
+                || !k.param_names()[0].contains("unused")
+                || g.fanout(id) > 0));
+    }
+
+    #[test]
+    fn dce_removes_dead_arithmetic_chains() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let dead1 = kb.add_i(tid, tid);
+        let _dead2 = kb.mul_i(dead1, tid);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, tid);
+        let k = kb.finish().unwrap();
+        let before = k.phases()[0].len();
+        let (g, removed) = dead_node_elimination(&k.phases()[0]);
+        assert_eq!(removed, 2, "both dead nodes drop");
+        assert_eq!(g.len(), before - 2);
+    }
+
+    #[test]
+    fn cascade_splits_long_shift() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(tid, Delta::new(-18), Word::ZERO, None);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let (g, origin) = cascade_elevators(&k.phases()[0], 16, &[]).unwrap();
+        let shifts: Vec<i64> = g
+            .node_ids()
+            .filter_map(|id| g.kind(id).comm().map(|c| c.shift))
+            .collect();
+        assert_eq!(shifts, vec![16, 2], "18 = 16 + 2 (Fig 10a)");
+        assert_eq!(origin.iter().filter(|o| o.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn cascade_preserves_short_shifts() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(tid, Delta::new(-8), Word::ZERO, None);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let before = k.phases()[0].len();
+        let (g, _) = cascade_elevators(&k.phases()[0], 16, &[]).unwrap();
+        assert_eq!(g.len(), before);
+    }
+
+    #[test]
+    fn cascade_negative_shift() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        // delta +20: receive from tid+20 → shift −20.
+        let v = kb.from_thread_or_const(tid, Delta::new(20), Word::ZERO, None);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let (g, _) = cascade_elevators(&k.phases()[0], 16, &[]).unwrap();
+        let shifts: Vec<i64> = g
+            .node_ids()
+            .filter_map(|id| g.kind(id).comm().map(|c| c.shift))
+            .collect();
+        assert_eq!(shifts, vec![-16, -4]);
+    }
+
+    #[test]
+    fn split_fanout_inserts_sju() {
+        let mut g = Dfg::new();
+        let src = g.add_node(NodeKind::Const(Word::ZERO));
+        let one = g.add_node(NodeKind::Const(Word::TRUE));
+        for _ in 0..12 {
+            let n = g.add_node(NodeKind::Alu(AluOp::Add));
+            g.connect(src, n, PortIx(0)).unwrap();
+            g.connect(one, n, PortIx(1)).unwrap();
+        }
+        let (out, added) = split_fanout(&g).unwrap();
+        assert!(added >= 1);
+        for id in out.node_ids() {
+            assert!(
+                out.fanout(id) <= MAX_FANOUT,
+                "fanout {} of {id} exceeds the crossbar",
+                out.fanout(id)
+            );
+        }
+        // Functional shape preserved: 12 adders remain.
+        let adders = out
+            .node_ids()
+            .filter(|&id| matches!(out.kind(id), NodeKind::Alu(AluOp::Add)))
+            .count();
+        assert_eq!(adders, 12);
+    }
+
+    #[test]
+    fn cascade_composition_is_semantically_identity() {
+        // Composite behaviour of the cascade equals a single long elevator:
+        // verified against CommConfig directly.
+        let win = 32u32;
+        let threads = 64u32;
+        let long = CommConfig {
+            shift: 18,
+            delta: Delta::new(-18),
+            window: win,
+        };
+        let seg1 = CommConfig {
+            shift: 16,
+            ..long
+        };
+        let seg2 = CommConfig { shift: 2, ..long };
+        for t in 0..threads {
+            let direct = long.source_of(t, threads);
+            let composed = seg2
+                .source_of(t, threads)
+                .and_then(|m| seg1.source_of(m, threads));
+            assert_eq!(direct, composed, "thread {t}");
+        }
+    }
+}

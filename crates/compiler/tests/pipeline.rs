@@ -1,0 +1,137 @@
+//! Compiler-pipeline integration tests over the real benchmark suite.
+
+use dmt_common::config::{SystemConfig, UnitClass};
+use dmt_compiler::{compile, place::Layout, rewrite};
+use dmt_kernels::{suite, Benchmark};
+
+#[test]
+fn every_suite_kernel_compiles_within_the_table2_grid() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        for kernel in [bench.dmt_kernel(), bench.shared_kernel()] {
+            let program = compile(&kernel, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+            assert!(program.replication >= 1);
+            for (pi, phase) in program.phases.iter().enumerate() {
+                for (&class, &used) in &phase.unit_usage {
+                    assert!(
+                        used <= cfg.grid.capacity(class),
+                        "{} phase {pi}: {used} {class} > {}",
+                        kernel.name(),
+                        cfg.grid.capacity(class)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_is_deterministic_and_slots_unique() {
+    let cfg = SystemConfig::default();
+    let kernel = dmt_kernels::srad::Srad.dmt_kernel();
+    let a = compile(&kernel, &cfg).unwrap();
+    let b = compile(&kernel, &cfg).unwrap();
+    assert_eq!(a.phases[0].placement, b.phases[0].placement);
+    // No two occupied nodes share a slot.
+    let phase = &a.phases[0];
+    let mut seen = std::collections::HashSet::new();
+    for id in phase.graph.node_ids() {
+        if phase.graph.kind(id).unit_class().is_some() {
+            assert!(
+                seen.insert(phase.placement[id.index()]),
+                "slot reuse at {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fanout_limit_holds_after_compilation() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        let program = compile(&bench.dmt_kernel(), &cfg).unwrap();
+        for phase in &program.phases {
+            for id in phase.graph.node_ids() {
+                assert!(
+                    phase.graph.fanout(id) <= rewrite::MAX_FANOUT,
+                    "{}: {id} fanout {}",
+                    bench.info().name,
+                    phase.graph.fanout(id)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn layout_adapts_to_custom_grid_mixes() {
+    let mut grid = dmt_common::config::GridConfig::default();
+    grid.alus = 48;
+    grid.fpus = 16;
+    let layout = Layout::new(&grid, 12).unwrap();
+    let count = |c: UnitClass| layout.slots().iter().filter(|(_, k)| *k == c).count() as u32;
+    assert_eq!(count(UnitClass::Alu), 48);
+    assert_eq!(count(UnitClass::Fpu), 16);
+    assert_eq!(layout.slots().len(), grid.total_units() as usize);
+}
+
+#[test]
+fn shrinking_the_grid_reduces_replication_then_rejects() {
+    let kernel = dmt_kernels::convolution::Convolution::default().dmt_kernel();
+    let base = SystemConfig::default();
+    let r_full = compile(&kernel, &base).unwrap().replication;
+    assert!(r_full > 1);
+
+    let mut small = base;
+    small.grid.alus = 8;
+    let r_small = compile(&kernel, &small).unwrap().replication;
+    assert!(r_small < r_full, "{r_small} !< {r_full}");
+
+    let mut tiny = base;
+    tiny.grid.fpus = 2;
+    let err = compile(&kernel, &tiny).unwrap_err();
+    assert!(matches!(
+        err,
+        dmt_common::Error::CapacityExceeded {
+            class: UnitClass::Fpu,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn dce_runs_inside_the_pipeline() {
+    use dmt_common::geom::Dim3;
+    use dmt_dfg::KernelBuilder;
+    let mut kb = KernelBuilder::new("dead", Dim3::linear(8));
+    let _unused = kb.param("unused");
+    let dead = kb.thread_idx(1); // y index never consumed
+    let _ = dead;
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(out, tid, 4);
+    kb.store_global(a, tid);
+    let kernel = kb.finish().unwrap();
+    let nodes_before = kernel.node_count();
+    let program = compile(&kernel, &SystemConfig::default()).unwrap();
+    assert!(
+        program.phases[0].graph.len() < nodes_before,
+        "dead sources must be eliminated"
+    );
+}
+
+#[test]
+fn edge_hops_match_placement_distances() {
+    let cfg = SystemConfig::default();
+    let program = compile(&dmt_kernels::hotspot::Hotspot.dmt_kernel(), &cfg).unwrap();
+    let phase = &program.phases[0];
+    for id in phase.graph.node_ids() {
+        for (i, &(consumer, _)) in phase.graph.consumers(id).iter().enumerate() {
+            let expect = phase.placement[id.index()]
+                .manhattan(phase.placement[consumer.index()])
+                .max(1);
+            assert_eq!(phase.edge_hops[id.index()][i], expect);
+        }
+    }
+}

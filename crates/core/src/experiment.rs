@@ -1,0 +1,44 @@
+//! Cross-architecture comparison helpers: the arithmetic behind Figs 11
+//! and 12.
+
+use crate::machine::RunReport;
+
+/// Speedup of `test` over `base` (>1 means `test` is faster).
+#[must_use]
+pub fn speedup(base: &RunReport, test: &RunReport) -> f64 {
+    base.cycles() as f64 / test.cycles() as f64
+}
+
+/// Energy efficiency of `test` relative to `base` (>1 means `test` uses
+/// less energy for the whole task — the paper's Fig 12 metric).
+#[must_use]
+pub fn energy_efficiency(base: &RunReport, test: &RunReport) -> f64 {
+    base.total_joules() / test.total_joules()
+}
+
+/// Geometric mean of a set of ratios (the paper reports geomeans).
+///
+/// Returns `None` for an empty set or non-positive entries.
+#[must_use]
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[2.0, 0.0]), None);
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g3 = geomean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g3 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! # dMT-CGRA: direct inter-thread communication on a multithreaded CGRA
+//!
+//! A full-system reproduction of Voitsechov & Etsion, *"Inter-Thread
+//! Communication in Multithreaded, Reconfigurable Coarse-Grain Arrays"*
+//! (MICRO 2018). This crate is the public entry point; the heavy lifting
+//! lives in the workspace crates it re-exports:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | `dmt-dfg` | Kernel IR + the Table 1 programming model (`fromThreadOrConst`, `tagValue`, `fromThreadOrMem`) + reference interpreter |
+//! | `dmt-compiler` | DFG → placed/routed fabric programs (cascading, spills, replication) |
+//! | `dmt-fabric` | Cycle-level MT-CGRA/dMT-CGRA core (elevator + eLDST units) |
+//! | `dmt-gpu` | Fermi-class SIMT SM baseline |
+//! | `dmt-mem` | Shared L1/L2/DRAM + scratchpad + Live Value Cache timing |
+//! | `dmt-energy` | GPUWattch-style event-count energy model |
+//!
+//! ## Quickstart
+//!
+//! Build a kernel with the paper's primitives and compare all three
+//! machines:
+//!
+//! ```
+//! use dmt_core::{Arch, Machine, experiment};
+//! use dmt_common::{SystemConfig, MemImage, Word};
+//! use dmt_common::geom::{Delta, Dim3};
+//! use dmt_common::ids::Addr;
+//! use dmt_dfg::{KernelBuilder, LaunchInput};
+//!
+//! // dMT-CGRA version of a neighbour sum: no shared memory, no barrier —
+//! // thread t reads thread t-1's loaded value straight from the fabric.
+//! let n = 64u32;
+//! let mut kb = KernelBuilder::new("neighbour_sum", Dim3::linear(n));
+//! let inp = kb.param("in");
+//! let out = kb.param("out");
+//! let tid = kb.thread_idx(0);
+//! let addr = kb.index_addr(inp, tid, 4);
+//! let x = kb.load_global(addr);
+//! kb.tag_value(x);
+//! let prev = kb.from_thread_or_const(x, Delta::new(-1), Word::from_i32(0), None);
+//! let sum = kb.add_i(prev, x);
+//! let oaddr = kb.index_addr(out, tid, 4);
+//! kb.store_global(oaddr, sum);
+//! let kernel = kb.finish()?;
+//!
+//! let mut mem = MemImage::with_words(2 * n as usize);
+//! mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+//! let input = LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
+//!
+//! let dmt = Machine::new(Arch::DmtCgra, SystemConfig::default());
+//! let report = dmt.run(&kernel, input)?;
+//! assert_eq!(report.memory.read_i32_slice(Addr(4 * n as u64), 3), vec![0, 1, 3]);
+//! println!("{report}");
+//! # Ok::<(), dmt_common::Error>(())
+//! ```
+//!
+//! The nine paper benchmarks (Table 3) live in the `dmt-kernels` crate;
+//! the figure/table harnesses in `dmt-bench`.
+
+pub mod experiment;
+pub mod machine;
+
+pub use dmt_common::{self as common, Error, MemImage, Result, SystemConfig, Word};
+pub use dmt_compiler as compiler;
+pub use dmt_dfg::{self as dfg, Kernel, KernelBuilder, LaunchInput};
+pub use dmt_energy::{self as energy, EnergyModel, EnergyParams, EnergyReport};
+pub use dmt_fabric as fabric;
+pub use dmt_gpu as gpu;
+pub use dmt_mem as mem;
+pub use machine::{Arch, Machine, RunReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::{Delta, Dim3};
+    use dmt_common::ids::Addr;
+
+    fn comm_kernel(n: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("comm", Dim3::linear(n));
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(inp, tid, 4);
+        let x = kb.load_global(a);
+        let prev = kb.from_thread_or_const(x, Delta::new(-1), Word::from_i32(0), None);
+        let sum = kb.add_i(prev, x);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, sum);
+        kb.finish().unwrap()
+    }
+
+    #[test]
+    fn mt_cgra_rejects_comm_kernels() {
+        let k = comm_kernel(32);
+        let m = Machine::new(Arch::MtCgra, SystemConfig::default());
+        let err = m
+            .run(
+                &k,
+                LaunchInput::new(
+                    vec![Word::ZERO, Word::from_u32(128)],
+                    MemImage::with_words(64),
+                ),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("MT-CGRA"), "{err}");
+    }
+
+    #[test]
+    fn dmt_runs_comm_kernels_and_reports_energy() {
+        let n = 32;
+        let k = comm_kernel(n);
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+        let m = Machine::new(Arch::DmtCgra, SystemConfig::default());
+        let r = m
+            .run(
+                &k,
+                LaunchInput::new(vec![Word::ZERO, Word::from_u32(4 * n)], mem),
+            )
+            .unwrap();
+        assert!(r.total_joules() > 0.0);
+        assert!(r.cycles() > 0);
+        assert_eq!(r.arch, Arch::DmtCgra);
+        assert!(r.to_string().contains("dMT-CGRA"));
+    }
+
+    #[test]
+    fn all_archs_agree_on_a_plain_kernel() {
+        let n = 64u32;
+        let mut kb = KernelBuilder::new("map", Dim3::linear(n));
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(inp, tid, 4);
+        let x = kb.load_global(a);
+        let y = kb.mul_i(x, x);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, y);
+        let k = kb.finish().unwrap();
+
+        let mk_input = || {
+            let mut mem = MemImage::with_words(2 * n as usize);
+            mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+            LaunchInput::new(vec![Word::ZERO, Word::from_u32(4 * n)], mem)
+        };
+        let runs: Vec<RunReport> = Arch::ALL
+            .iter()
+            .map(|&a| {
+                Machine::new(a, SystemConfig::default())
+                    .run(&k, mk_input())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].memory, runs[1].memory);
+        assert_eq!(runs[1].memory, runs[2].memory);
+    }
+}

@@ -1,0 +1,198 @@
+//! The user-facing machine: pick an architecture, run kernels.
+
+use dmt_common::config::SystemConfig;
+use dmt_common::memimg::MemImage;
+use dmt_common::stats::RunStats;
+use dmt_common::{Error, Result};
+use dmt_dfg::{Kernel, LaunchInput};
+use dmt_energy::{ArchKind, EnergyModel, EnergyReport};
+use dmt_fabric::FabricMachine;
+use dmt_gpu::GpuMachine;
+use std::fmt;
+
+/// The three machines the paper evaluates (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Von Neumann GPGPU baseline (one Fermi-class SM).
+    FermiSm,
+    /// Multithreaded CGRA without inter-thread communication (SGMF): runs
+    /// shared-memory kernels on the fabric.
+    MtCgra,
+    /// The paper's contribution: MT-CGRA with elevator nodes and eLDST
+    /// units.
+    DmtCgra,
+}
+
+impl Arch {
+    /// All architectures, in the paper's presentation order.
+    pub const ALL: [Arch; 3] = [Arch::FermiSm, Arch::MtCgra, Arch::DmtCgra];
+
+    /// The energy-model family for this architecture.
+    #[must_use]
+    pub fn kind(self) -> ArchKind {
+        match self {
+            Arch::FermiSm => ArchKind::FermiSm,
+            Arch::MtCgra => ArchKind::MtCgra,
+            Arch::DmtCgra => ArchKind::DmtCgra,
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.kind(), f)
+    }
+}
+
+/// Everything a kernel run produces: the final memory, raw event counters,
+/// and modelled energy.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which machine ran.
+    pub arch: Arch,
+    /// Kernel name.
+    pub kernel: String,
+    /// Final global memory image.
+    pub memory: MemImage,
+    /// Cycle and event counters.
+    pub stats: RunStats,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+}
+
+impl RunReport {
+    /// Execution time in core cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} cycles, {:.3} µJ",
+            self.kernel,
+            self.arch,
+            self.cycles(),
+            self.total_joules() * 1e6
+        )
+    }
+}
+
+/// A configured machine instance.
+///
+/// # Examples
+///
+/// ```
+/// use dmt_core::{Arch, Machine};
+/// use dmt_common::{SystemConfig, MemImage, Word};
+/// use dmt_common::geom::Dim3;
+/// use dmt_dfg::{KernelBuilder, LaunchInput};
+///
+/// let mut kb = KernelBuilder::new("ids", Dim3::linear(32));
+/// let out = kb.param("out");
+/// let tid = kb.thread_idx(0);
+/// let a = kb.index_addr(out, tid, 4);
+/// kb.store_global(a, tid);
+/// let kernel = kb.finish()?;
+///
+/// let m = Machine::new(Arch::DmtCgra, SystemConfig::default());
+/// let report = m.run(&kernel, LaunchInput::new(
+///     vec![Word::from_u32(0)],
+///     MemImage::with_words(32),
+/// ))?;
+/// assert!(report.cycles() > 0);
+/// # Ok::<(), dmt_common::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    arch: Arch,
+    cfg: SystemConfig,
+    energy: EnergyModel,
+}
+
+impl Machine {
+    /// A machine of the given architecture with this configuration and the
+    /// default energy constants.
+    #[must_use]
+    pub fn new(arch: Arch, cfg: SystemConfig) -> Machine {
+        Machine {
+            arch,
+            cfg,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Replaces the energy model.
+    #[must_use]
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Machine {
+        self.energy = model;
+        self
+    }
+
+    /// The architecture this machine models.
+    #[must_use]
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs `kernel` to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Compile`] when the kernel needs capabilities the
+    ///   architecture lacks (inter-thread communication on `FermiSm` or
+    ///   `MtCgra`), or cannot be placed/routed;
+    /// * [`Error::CapacityExceeded`] when the kernel graph outgrows the
+    ///   grid;
+    /// * [`Error::Runtime`] / [`Error::Deadlock`] for execution failures.
+    pub fn run(&self, kernel: &Kernel, input: LaunchInput) -> Result<RunReport> {
+        let (memory, stats) = match self.arch {
+            Arch::FermiSm => {
+                let run = GpuMachine::new(self.cfg).run(kernel, input)?;
+                (run.memory, run.stats)
+            }
+            Arch::MtCgra => {
+                if kernel.uses_inter_thread_comm() {
+                    return Err(Error::Compile(format!(
+                        "kernel {} uses direct inter-thread communication; the baseline \
+                         MT-CGRA has no elevator/eLDST units — target Arch::DmtCgra",
+                        kernel.name()
+                    )));
+                }
+                self.run_fabric(kernel, input)?
+            }
+            Arch::DmtCgra => self.run_fabric(kernel, input)?,
+        };
+        let energy = self
+            .energy
+            .evaluate(self.arch.kind(), &stats, self.cfg.clocks.core_ghz);
+        Ok(RunReport {
+            arch: self.arch,
+            kernel: kernel.name().to_owned(),
+            memory,
+            stats,
+            energy,
+        })
+    }
+
+    fn run_fabric(&self, kernel: &Kernel, input: LaunchInput) -> Result<(MemImage, RunStats)> {
+        let program = dmt_compiler::compile(kernel, &self.cfg)?;
+        let run = FabricMachine::new(self.cfg).run(&program, input)?;
+        Ok((run.memory, run.stats))
+    }
+}

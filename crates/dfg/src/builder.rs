@@ -1,0 +1,769 @@
+//! The kernel builder: the programming model of Table 1 as a Rust DSL.
+//!
+//! The paper extends CUDA with `fromThreadOrConst`, `tagValue` and
+//! `fromThreadOrMem`; this builder exposes the same primitives (plus the
+//! ordinary arithmetic/memory vocabulary of a SIMT kernel) and produces a
+//! validated [`Kernel`]. Builder misuse (wrong phase, foreign value refs)
+//! panics with a diagnostic, mirroring a compiler's front-end errors;
+//! semantic validation happens in [`KernelBuilder::finish`].
+//!
+//! # Examples
+//!
+//! The paper's Fig 1c separable convolution, kernel width 3:
+//!
+//! ```
+//! use dmt_dfg::builder::KernelBuilder;
+//! use dmt_common::geom::{Delta, Dim3};
+//!
+//! let mut kb = KernelBuilder::new("convolution", Dim3::linear(256));
+//! let image = kb.param("image");
+//! let result = kb.param("result");
+//! let tid = kb.thread_idx(0);
+//!
+//! // load one element from global memory
+//! let addr = kb.index_addr(image, tid, 4);
+//! let mem_elem = kb.load_global(addr);
+//! kb.tag_value(mem_elem);
+//!
+//! // wait for tokens from threads tid-1 and tid+1
+//! let lt = kb.from_thread_or_const(mem_elem, Delta::new(-1), 0.0f32.into(), None);
+//! let rt = kb.from_thread_or_const(mem_elem, Delta::new(1), 0.0f32.into(), None);
+//!
+//! let k0 = kb.const_f(0.25);
+//! let k1 = kb.const_f(0.5);
+//! let a = kb.mul_f(lt, k0);
+//! let b = kb.mul_f(mem_elem, k1);
+//! let c = kb.mul_f(rt, k0);
+//! let ab = kb.add_f(a, b);
+//! let sum = kb.add_f(ab, c);
+//! let out = kb.index_addr(result, tid, 4);
+//! kb.store_global(out, sum);
+//!
+//! let kernel = kb.finish().unwrap();
+//! assert!(kernel.uses_inter_thread_comm());
+//! ```
+
+use crate::graph::Dfg;
+use crate::kernel::Kernel;
+use crate::node::{
+    AluOp, CommConfig, CtrlOp, FpuOp, MemSpace, NodeKind, SpecialOp, UnaryOp,
+};
+use crate::validate;
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::{NodeId, PortIx};
+use dmt_common::value::Word;
+use dmt_common::Result;
+use std::collections::HashMap;
+
+/// A handle to a value produced in some phase of the kernel under
+/// construction.
+///
+/// Value refs are phase-scoped: using a ref created before a
+/// [`KernelBuilder::barrier`] call panics, because on the simulated
+/// machines values do not survive a fabric drain — they must round-trip
+/// through memory, exactly like the shared-memory kernels the paper
+/// baselines against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueRef {
+    phase: u32,
+    node: NodeId,
+}
+
+impl ValueRef {
+    /// The underlying graph node (for inspection/tests).
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// The phase index this value lives in.
+    #[must_use]
+    pub fn phase(self) -> u32 {
+        self.phase
+    }
+}
+
+/// Handle to a not-yet-closed recurrent communication (see
+/// [`KernelBuilder::recurrent_from_thread_or_const`]). Must be closed with
+/// [`KernelBuilder::close_recurrence`] before `finish`, or validation
+/// fails with an unwired-port error.
+#[derive(Debug)]
+#[must_use = "close the recurrence with close_recurrence, or finish() will fail"]
+pub struct Recurrence {
+    phase: u32,
+    node: NodeId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum InternKey {
+    Const(u32),
+    ThreadIdx(u8),
+    BlockIdx,
+    Param(u8),
+}
+
+/// Builds a [`Kernel`] phase by phase. See the [module docs](self) for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    block: Dim3,
+    grid_blocks: u32,
+    shared_words: u32,
+    param_names: Vec<String>,
+    phases: Vec<Dfg>,
+    interned: HashMap<(u32, InternKey), NodeId>,
+    tagged: Vec<NodeId>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel named `name` with thread-block shape `block` and a
+    /// 1-block grid.
+    #[must_use]
+    pub fn new(name: impl Into<String>, block: Dim3) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            block,
+            grid_blocks: 1,
+            shared_words: 0,
+            param_names: Vec::new(),
+            phases: vec![Dfg::new()],
+            interned: HashMap::new(),
+            tagged: Vec::new(),
+        }
+    }
+
+    /// Sets the number of thread blocks in the launch grid.
+    pub fn set_grid_blocks(&mut self, n: u32) -> &mut Self {
+        assert!(n > 0, "grid must have at least one block");
+        self.grid_blocks = n;
+        self
+    }
+
+    /// Allocates `n` 32-bit words of per-block shared memory (baseline
+    /// kernels only).
+    pub fn set_shared_words(&mut self, n: u32) -> &mut Self {
+        self.shared_words = n;
+        self
+    }
+
+    /// The block shape this kernel was declared with.
+    #[must_use]
+    pub fn block(&self) -> Dim3 {
+        self.block
+    }
+
+    fn cur(&self) -> u32 {
+        (self.phases.len() - 1) as u32
+    }
+
+    fn graph(&mut self) -> &mut Dfg {
+        self.phases.last_mut().expect("builder always has a phase")
+    }
+
+    fn check(&self, v: ValueRef, what: &str) {
+        assert!(
+            v.phase == self.cur(),
+            "{what}: value {:?} was produced in phase {} but the builder is in phase {} \
+             (values do not cross barriers; reload them from memory)",
+            v.node,
+            v.phase,
+            self.cur()
+        );
+    }
+
+    fn node(&mut self, kind: NodeKind, inputs: &[ValueRef]) -> ValueRef {
+        for (i, v) in inputs.iter().enumerate() {
+            self.check(*v, &format!("operand {i} of {kind}"));
+        }
+        let phase = self.cur();
+        let id = self.graph().add_node(kind);
+        for (i, v) in inputs.iter().enumerate() {
+            self.graph()
+                .connect(v.node, id, PortIx(i as u8))
+                .expect("fresh node ports are unwired");
+        }
+        ValueRef { phase, node: id }
+    }
+
+    fn interned_node(&mut self, key: InternKey, kind: NodeKind) -> ValueRef {
+        let phase = self.cur();
+        if let Some(&id) = self.interned.get(&(phase, key)) {
+            return ValueRef { phase, node: id };
+        }
+        let id = self.graph().add_node(kind);
+        self.interned.insert((phase, key), id);
+        ValueRef { phase, node: id }
+    }
+
+    // ---- Sources -------------------------------------------------------
+
+    /// An `i32` constant.
+    pub fn const_i(&mut self, v: i32) -> ValueRef {
+        self.const_w(Word::from_i32(v))
+    }
+
+    /// An `f32` constant.
+    pub fn const_f(&mut self, v: f32) -> ValueRef {
+        self.const_w(Word::from_f32(v))
+    }
+
+    /// A raw-bits constant.
+    pub fn const_w(&mut self, w: Word) -> ValueRef {
+        self.interned_node(InternKey::Const(w.0), NodeKind::Const(w))
+    }
+
+    /// CUDA `threadIdx` component (`dim`: 0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 2`.
+    pub fn thread_idx(&mut self, dim: u8) -> ValueRef {
+        assert!(dim <= 2, "threadIdx dimension must be 0..=2");
+        self.interned_node(InternKey::ThreadIdx(dim), NodeKind::ThreadIdx(dim))
+    }
+
+    /// CUDA `blockIdx.x` (launch grids are 1-D).
+    pub fn block_idx(&mut self) -> ValueRef {
+        self.interned_node(InternKey::BlockIdx, NodeKind::BlockIdx)
+    }
+
+    /// Declares (on first use) and reads a scalar kernel parameter. Calling
+    /// `param` with the same name after a barrier re-materializes the value
+    /// in the new phase; the slot is shared.
+    pub fn param(&mut self, name: &str) -> ValueRef {
+        let slot = match self.param_names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.param_names.push(name.to_owned());
+                self.param_names.len() - 1
+            }
+        };
+        let slot = u8::try_from(slot).expect("at most 256 kernel parameters");
+        self.interned_node(InternKey::Param(slot), NodeKind::Param(slot))
+    }
+
+    // ---- Integer arithmetic ---------------------------------------------
+
+    /// `a + b` (i32, wrapping).
+    pub fn add_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Alu(AluOp::Add), &[a, b])
+    }
+
+    /// `a - b` (i32, wrapping).
+    pub fn sub_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Alu(AluOp::Sub), &[a, b])
+    }
+
+    /// `a * b` (i32, wrapping).
+    pub fn mul_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Alu(AluOp::Mul), &[a, b])
+    }
+
+    /// Signed minimum.
+    pub fn min_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Alu(AluOp::Min), &[a, b])
+    }
+
+    /// Signed maximum.
+    pub fn max_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Alu(AluOp::Max), &[a, b])
+    }
+
+    /// `a / b` (i32; SCU).
+    pub fn div_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Special(SpecialOp::DivS), &[a, b])
+    }
+
+    /// `a mod b` (i32; SCU).
+    pub fn rem_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Special(SpecialOp::RemS), &[a, b])
+    }
+
+    // ---- Float arithmetic -----------------------------------------------
+
+    /// `a + b` (f32).
+    pub fn add_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Fpu(FpuOp::Add), &[a, b])
+    }
+
+    /// `a - b` (f32).
+    pub fn sub_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Fpu(FpuOp::Sub), &[a, b])
+    }
+
+    /// `a * b` (f32).
+    pub fn mul_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Fpu(FpuOp::Mul), &[a, b])
+    }
+
+    /// IEEE minimum (f32).
+    pub fn min_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Fpu(FpuOp::Min), &[a, b])
+    }
+
+    /// IEEE maximum (f32).
+    pub fn max_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Fpu(FpuOp::Max), &[a, b])
+    }
+
+    /// `a / b` (f32; SCU).
+    pub fn div_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Special(SpecialOp::DivF), &[a, b])
+    }
+
+    /// `√a` (f32; SCU).
+    pub fn sqrt_f(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Special(SpecialOp::SqrtF), &[a])
+    }
+
+    /// `eᵃ` (f32; SCU).
+    pub fn exp_f(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Special(SpecialOp::ExpF), &[a])
+    }
+
+    // ---- Bitwise / comparisons / select ----------------------------------
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::And), &[a, b])
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::Or), &[a, b])
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::Xor), &[a, b])
+    }
+
+    /// Logical shift left.
+    pub fn shl(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::Shl), &[a, b])
+    }
+
+    /// Logical shift right.
+    pub fn shr(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::Shr), &[a, b])
+    }
+
+    /// Arithmetic shift right.
+    pub fn sra(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::Sra), &[a, b])
+    }
+
+    /// Integer equality.
+    pub fn eq_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::EqI), &[a, b])
+    }
+
+    /// Integer inequality.
+    pub fn ne_i(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::NeI), &[a, b])
+    }
+
+    /// Signed `a < b`.
+    pub fn lt_s(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::LtS), &[a, b])
+    }
+
+    /// Signed `a <= b`.
+    pub fn le_s(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::LeS), &[a, b])
+    }
+
+    /// Unsigned `a < b`.
+    pub fn lt_u(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::LtU), &[a, b])
+    }
+
+    /// Float `a < b`.
+    pub fn lt_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::LtF), &[a, b])
+    }
+
+    /// Float `a <= b`.
+    pub fn le_f(&mut self, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Ctrl(CtrlOp::LeF), &[a, b])
+    }
+
+    /// `pred ? a : b`.
+    pub fn select(&mut self, pred: ValueRef, a: ValueRef, b: ValueRef) -> ValueRef {
+        self.node(NodeKind::Select, &[pred, a, b])
+    }
+
+    // ---- Unary ------------------------------------------------------------
+
+    /// Integer negation.
+    pub fn neg_i(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::NegI), &[a])
+    }
+
+    /// Float negation.
+    pub fn neg_f(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::NegF), &[a])
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::Not), &[a])
+    }
+
+    /// `i32 → f32`.
+    pub fn i2f(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::I2F), &[a])
+    }
+
+    /// `f32 → i32` (truncating).
+    pub fn f2i(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::F2I), &[a])
+    }
+
+    /// Integer absolute value.
+    pub fn abs_i(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::AbsI), &[a])
+    }
+
+    /// Float absolute value.
+    pub fn abs_f(&mut self, a: ValueRef) -> ValueRef {
+        self.node(NodeKind::Unary(UnaryOp::AbsF), &[a])
+    }
+
+    // ---- Memory -------------------------------------------------------------
+
+    /// `base + index·scale` — the ubiquitous array-address computation.
+    /// Emits real ALU nodes (address arithmetic costs operations, as on the
+    /// modelled machines).
+    pub fn index_addr(&mut self, base: ValueRef, index: ValueRef, scale: i32) -> ValueRef {
+        let s = self.const_i(scale);
+        let off = self.mul_i(index, s);
+        self.add_i(base, off)
+    }
+
+    /// Load from an address space.
+    pub fn load(&mut self, space: MemSpace, addr: ValueRef) -> ValueRef {
+        self.node(NodeKind::Load(space), &[addr])
+    }
+
+    /// Store to an address space; returns the ordering token.
+    pub fn store(&mut self, space: MemSpace, addr: ValueRef, value: ValueRef) -> ValueRef {
+        self.node(NodeKind::Store(space), &[addr, value])
+    }
+
+    /// Load from global memory.
+    pub fn load_global(&mut self, addr: ValueRef) -> ValueRef {
+        self.load(MemSpace::Global, addr)
+    }
+
+    /// Store to global memory; returns the ordering token.
+    pub fn store_global(&mut self, addr: ValueRef, value: ValueRef) -> ValueRef {
+        self.store(MemSpace::Global, addr, value)
+    }
+
+    /// Load from the shared-memory scratchpad.
+    pub fn load_shared(&mut self, addr: ValueRef) -> ValueRef {
+        self.load(MemSpace::Shared, addr)
+    }
+
+    /// Store to the shared-memory scratchpad; returns the ordering token.
+    pub fn store_shared(&mut self, addr: ValueRef, value: ValueRef) -> ValueRef {
+        self.store(MemSpace::Shared, addr, value)
+    }
+
+    /// Forwards `value` only after `order` (typically a store token) has
+    /// arrived — an intra-thread memory-ordering join (SJU).
+    pub fn after(&mut self, value: ValueRef, order: ValueRef) -> ValueRef {
+        self.node(NodeKind::Join, &[value, order])
+    }
+
+    // ---- Inter-thread communication (Table 1) --------------------------------
+
+    /// `fromThreadOrConst<var, ΔTID, constant[, win]>()` — reads `var` from
+    /// the thread at offset `delta`, or `fallback` when that thread is
+    /// outside the block / transmission window (§3.2).
+    ///
+    /// `delta` is the *source* offset: `delta = -1` means "receive from
+    /// thread `tid − 1`", exactly as in the paper's Fig 1c.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` flattens to zero or `window` is 0 or exceeds the
+    /// block size.
+    pub fn from_thread_or_const(
+        &mut self,
+        var: ValueRef,
+        delta: Delta,
+        fallback: Word,
+        window: Option<u32>,
+    ) -> ValueRef {
+        let comm = self.comm_config(delta, window);
+        self.tag_value(var);
+        self.node(NodeKind::Elevator { comm, fallback }, &[var])
+    }
+
+    /// `tagValue<var>()` — tags the version of a variable to be sent to
+    /// other threads (§3.2). Recorded for diagnostics; the dataflow edge
+    /// into the elevator already pins the version, so tagging is idempotent
+    /// and `from_thread_or_const` auto-tags its input.
+    pub fn tag_value(&mut self, var: ValueRef) {
+        self.check(var, "tag_value");
+        if !self.tagged.contains(&var.node) {
+            self.tagged.push(var.node);
+        }
+    }
+
+    /// The recurrent form of `fromThreadOrConst`: receive a value *that
+    /// this kernel has not computed yet*. Returns the received value and a
+    /// [`Recurrence`] handle; once the communicated value exists, close the
+    /// loop with [`KernelBuilder::close_recurrence`] — the paper's Fig 6
+    /// prefix sum is exactly this shape (`tagValue<sum>` placed *after*
+    /// the `fromThreadOrConst<sum, -1, 0>` call):
+    ///
+    /// ```
+    /// # use dmt_dfg::KernelBuilder;
+    /// # use dmt_common::geom::{Delta, Dim3};
+    /// # use dmt_common::value::Word;
+    /// let mut kb = KernelBuilder::new("scan", Dim3::linear(8));
+    /// let inp = kb.param("in");
+    /// let out = kb.param("out");
+    /// let tid = kb.thread_idx(0);
+    /// let a = kb.index_addr(inp, tid, 4);
+    /// let mem_val = kb.load_global(a);
+    /// // sum = fromThreadOrConst<sum, -1, 0>() + mem_val;
+    /// let (prev_sum, rec) = kb.recurrent_from_thread_or_const(
+    ///     Delta::new(-1), Word::from_i32(0), None);
+    /// let sum = kb.add_i(prev_sum, mem_val);
+    /// kb.close_recurrence(rec, sum); // tagValue<sum>()
+    /// let oa = kb.index_addr(out, tid, 4);
+    /// kb.store_global(oa, sum);
+    /// assert!(kb.finish().is_ok());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `delta`/`window`, like
+    /// [`KernelBuilder::from_thread_or_const`].
+    pub fn recurrent_from_thread_or_const(
+        &mut self,
+        delta: Delta,
+        fallback: Word,
+        window: Option<u32>,
+    ) -> (ValueRef, Recurrence) {
+        let comm = self.comm_config(delta, window);
+        let phase = self.cur();
+        let node = self.graph().add_node(NodeKind::Elevator { comm, fallback });
+        (
+            ValueRef { phase, node },
+            Recurrence { phase, node },
+        )
+    }
+
+    /// Closes a recurrence: wires `var` into the deferred elevator's input
+    /// (the `tagValue` of the communicated variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` belongs to another phase or the recurrence was
+    /// already closed.
+    pub fn close_recurrence(&mut self, rec: Recurrence, var: ValueRef) {
+        self.check(var, "close_recurrence");
+        assert!(
+            rec.phase == self.cur(),
+            "recurrence belongs to phase {} but the builder is in phase {}",
+            rec.phase,
+            self.cur()
+        );
+        self.tag_value(var);
+        self.graph()
+            .connect(var.node, rec.node, PortIx(0))
+            .expect("recurrence closed twice");
+    }
+
+    /// `fromThreadOrMem<ΔTID[, win]>(address, predicate)` — loads `addr`
+    /// when `enable` is true, otherwise receives the value loaded by the
+    /// thread at offset `delta` (§3.3). `delta` is the source offset, as in
+    /// [`KernelBuilder::from_thread_or_const`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` flattens to zero or `window` is invalid.
+    pub fn from_thread_or_mem(
+        &mut self,
+        addr: ValueRef,
+        enable: ValueRef,
+        delta: Delta,
+        window: Option<u32>,
+    ) -> ValueRef {
+        let comm = self.comm_config(delta, window);
+        self.node(
+            NodeKind::ELoad {
+                comm,
+                space: MemSpace::Global,
+            },
+            &[addr, enable],
+        )
+    }
+
+    fn comm_config(&self, delta: Delta, window: Option<u32>) -> CommConfig {
+        let flat = delta.flatten(self.block);
+        assert!(flat != 0, "inter-thread delta must be non-zero: {delta}");
+        let window = window.unwrap_or_else(|| self.block.len());
+        assert!(
+            window > 0 && window <= self.block.len(),
+            "transmission window {window} must be in 1..={}",
+            self.block.len()
+        );
+        CommConfig {
+            shift: -flat,
+            delta,
+            window,
+        }
+    }
+
+    // ---- Phases ---------------------------------------------------------------
+
+    /// A barrier (CUDA `__syncthreads()`): ends the current phase. Values
+    /// created before the barrier may not be used after it — round-trip
+    /// them through memory, as real shared-memory kernels do.
+    pub fn barrier(&mut self) -> &mut Self {
+        assert!(
+            !self.phases.last().expect("phase").is_empty(),
+            "barrier() on an empty phase"
+        );
+        self.phases.push(Dfg::new());
+        self
+    }
+
+    /// Nodes explicitly or implicitly tagged with `tagValue`.
+    #[must_use]
+    pub fn tagged_nodes(&self) -> &[NodeId] {
+        &self.tagged
+    }
+
+    /// Validates and returns the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dmt_common::Error::Validate`] when a phase has unwired
+    /// ports, a combinational cycle, an invalid window, or when a kernel
+    /// both uses inter-thread communication and barriers in a way that
+    /// violates the model (see `validate`).
+    pub fn finish(self) -> Result<Kernel> {
+        let kernel = Kernel::from_parts(
+            self.name,
+            self.block,
+            self.grid_blocks,
+            self.param_names,
+            self.shared_words,
+            self.phases,
+        );
+        validate::validate(&kernel)?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> KernelBuilder {
+        KernelBuilder::new("t", Dim3::linear(32))
+    }
+
+    #[test]
+    fn constants_are_interned_per_phase() {
+        let mut kb = builder();
+        let a = kb.const_i(7);
+        let b = kb.const_i(7);
+        assert_eq!(a, b);
+        let t = kb.thread_idx(0);
+        kb.store_global(a, t);
+        kb.barrier();
+        let c = kb.const_i(7);
+        assert_ne!(a, c, "constants re-materialize per phase");
+        assert_eq!(c.phase(), 1);
+    }
+
+    #[test]
+    fn params_share_slots_across_phases() {
+        let mut kb = builder();
+        let p0 = kb.param("x");
+        let t = kb.thread_idx(0);
+        kb.store_global(p0, t);
+        kb.barrier();
+        let p1 = kb.param("x");
+        let t1 = kb.thread_idx(0);
+        kb.store_global(p1, t1);
+        let k = kb.finish().unwrap();
+        assert_eq!(k.param_names(), ["x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "values do not cross barriers")]
+    fn cross_phase_use_panics() {
+        let mut kb = builder();
+        let t = kb.thread_idx(0);
+        let p = kb.param("x");
+        kb.store_global(p, t);
+        kb.barrier();
+        let one = kb.const_i(1);
+        let _ = kb.add_i(t, one); // t is from phase 0
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_delta_panics() {
+        let mut kb = builder();
+        let t = kb.thread_idx(0);
+        let _ = kb.from_thread_or_const(t, Delta::new(0), Word::ZERO, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission window")]
+    fn oversized_window_panics() {
+        let mut kb = builder();
+        let t = kb.thread_idx(0);
+        let _ = kb.from_thread_or_const(t, Delta::new(-1), Word::ZERO, Some(64));
+    }
+
+    #[test]
+    fn delta_sign_convention_matches_paper() {
+        // fromThreadOrConst<v, -1, c>: receive from tid-1 => elevator
+        // shifts tokens upward (+1).
+        let mut kb = builder();
+        let t = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(t, Delta::new(-1), Word::ZERO, None);
+        let p = kb.param("out");
+        kb.store_global(p, v);
+        let k = kb.finish().unwrap();
+        let phase = &k.phases()[0];
+        let comm = phase
+            .node_ids()
+            .find_map(|id| phase.kind(id).comm().copied())
+            .unwrap();
+        assert_eq!(comm.shift, 1);
+    }
+
+    #[test]
+    fn index_addr_emits_real_ops() {
+        let mut kb = builder();
+        let p = kb.param("base");
+        let t = kb.thread_idx(0);
+        let a = kb.index_addr(p, t, 4);
+        kb.store_global(a, t);
+        let k = kb.finish().unwrap();
+        // param, tid, const4, mul, add, store = 6 nodes
+        assert_eq!(k.node_count(), 6);
+    }
+
+    #[test]
+    fn tag_value_is_idempotent() {
+        let mut kb = builder();
+        let t = kb.thread_idx(0);
+        kb.tag_value(t);
+        kb.tag_value(t);
+        assert_eq!(kb.tagged_nodes().len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Transmission-distance statistics — the machinery behind the paper's
+//! Fig 5 (CDF of ΔTID lengths across benchmarks).
+//!
+//! For every inter-thread communication site (elevator or eLDST node) we
+//! record the multi-dimensional ΔTID, its Euclidean length (the paper's
+//! metric for 2D/3D TID spaces) and the number of tokens dynamically
+//! transmitted (computable in closed form from the window configuration and
+//! launch geometry — every in-window thread pair transfers exactly one
+//! token per launch).
+
+use crate::kernel::Kernel;
+use crate::node::NodeKind;
+use dmt_common::geom::Delta;
+
+/// One inter-thread communication site in a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSite {
+    /// Kernel name the site belongs to.
+    pub kernel: String,
+    /// `"elevator"` (fromThreadOrConst) or `"eldst"` (fromThreadOrMem).
+    pub primitive: &'static str,
+    /// Programmer-visible ΔTID.
+    pub delta: Delta,
+    /// Euclidean transmission distance (Fig 5 x-axis).
+    pub euclidean: f64,
+    /// |linear shift| in flattened TID space — what the token buffer must
+    /// cover (§4.3 cascading criterion).
+    pub linear_distance: u64,
+    /// Transmission window.
+    pub window: u32,
+    /// Tokens transmitted per launch (threads with an in-window source).
+    pub dynamic_tokens: u64,
+}
+
+/// Extracts every communication site of a kernel.
+#[must_use]
+pub fn comm_sites(kernel: &Kernel) -> Vec<CommSite> {
+    let mut sites = Vec::new();
+    let threads = kernel.threads_per_block();
+    for phase in kernel.phases() {
+        for id in phase.node_ids() {
+            let (primitive, comm) = match phase.kind(id) {
+                NodeKind::Elevator { comm, .. } => ("elevator", comm),
+                NodeKind::ELoad { comm, .. } => ("eldst", comm),
+                _ => continue,
+            };
+            let per_block = (0..threads)
+                .filter(|&t| comm.source_of(t, threads).is_some())
+                .count() as u64;
+            sites.push(CommSite {
+                kernel: kernel.name().to_owned(),
+                primitive,
+                delta: comm.delta,
+                euclidean: comm.delta.euclidean(),
+                linear_distance: comm.shift.unsigned_abs(),
+                window: comm.window,
+                dynamic_tokens: per_block * u64::from(kernel.grid_blocks()),
+            });
+        }
+    }
+    sites
+}
+
+/// A point of the transmission-distance CDF: fraction of dynamic tokens
+/// (y) transmitted across at most the given distance (x).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Transmission distance.
+    pub distance: f64,
+    /// Cumulative fraction of tokens at or below `distance`, in [0, 1].
+    pub cumulative: f64,
+}
+
+/// Builds the dynamic-token-weighted CDF of transmission distances over a
+/// set of communication sites, using the metric chosen by `metric`.
+#[must_use]
+pub fn cdf(sites: &[CommSite], metric: DistanceMetric) -> Vec<CdfPoint> {
+    let total: u64 = sites.iter().map(|s| s.dynamic_tokens).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut weighted: Vec<(f64, u64)> = sites
+        .iter()
+        .map(|s| (metric.of(s), s.dynamic_tokens))
+        .collect();
+    weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut points: Vec<CdfPoint> = Vec::new();
+    let mut acc = 0u64;
+    for (d, w) in weighted {
+        acc += w;
+        let frac = acc as f64 / total as f64;
+        match points.last_mut() {
+            Some(p) if p.distance == d => p.cumulative = frac,
+            _ => points.push(CdfPoint {
+                distance: d,
+                cumulative: frac,
+            }),
+        }
+    }
+    points
+}
+
+/// Which distance metric a CDF is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMetric {
+    /// Euclidean distance in TID coordinate space (the paper's Fig 5).
+    Euclidean,
+    /// |linear TID shift| — what determines token-buffer/cascading needs.
+    Linear,
+}
+
+impl DistanceMetric {
+    fn of(self, site: &CommSite) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => site.euclidean,
+            DistanceMetric::Linear => site.linear_distance as f64,
+        }
+    }
+}
+
+/// Fraction of dynamic tokens transmitted across at most `distance`
+/// (the paper reports 0.87 at distance 16).
+#[must_use]
+pub fn fraction_within(sites: &[CommSite], metric: DistanceMetric, distance: f64) -> f64 {
+    let total: u64 = sites.iter().map(|s| s.dynamic_tokens).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let within: u64 = sites
+        .iter()
+        .filter(|s| metric.of(s) <= distance)
+        .map(|s| s.dynamic_tokens)
+        .sum();
+    within as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use dmt_common::geom::Dim3;
+    use dmt_common::value::Word;
+
+    fn kernel_with_deltas(deltas: &[i32]) -> Kernel {
+        let mut kb = KernelBuilder::new("k", Dim3::linear(64));
+        let t = kb.thread_idx(0);
+        let out = kb.param("out");
+        let mut acc = t;
+        for &d in deltas {
+            acc = kb.from_thread_or_const(acc, Delta::new(d), Word::ZERO, None);
+        }
+        let a = kb.index_addr(out, t, 4);
+        kb.store_global(a, acc);
+        kb.finish().unwrap()
+    }
+
+    #[test]
+    fn sites_extracted_with_dynamic_counts() {
+        let k = kernel_with_deltas(&[-1]);
+        let sites = comm_sites(&k);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].linear_distance, 1);
+        // 63 of 64 threads have an in-window source.
+        assert_eq!(sites[0].dynamic_tokens, 63);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let k = kernel_with_deltas(&[-1, -4, 8]);
+        let sites = comm_sites(&k);
+        let points = cdf(&sites, DistanceMetric::Euclidean);
+        assert!(!points.is_empty());
+        for w in points.windows(2) {
+            assert!(w[0].distance < w[1].distance);
+            assert!(w[0].cumulative <= w[1].cumulative);
+        }
+        let last = points.last().unwrap();
+        assert!((last.cumulative - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_within_matches_cdf() {
+        let k = kernel_with_deltas(&[-1, -20]);
+        let sites = comm_sites(&k);
+        let f = fraction_within(&sites, DistanceMetric::Linear, 16.0);
+        // Δ=1 transmits 63 tokens, Δ=20 transmits 44; 63/107 within 16.
+        assert!((f - 63.0 / 107.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! The dataflow-graph container.
+//!
+//! A [`Dfg`] is one barrier-delimited phase of a kernel: a set of nodes with
+//! ordered input ports and a consumer adjacency. Temporal (inter-thread)
+//! semantics live in the node kinds; structurally an elevator's input edge
+//! is the only edge allowed to close a cycle (the cycle is broken in time,
+//! thread *t* feeding thread *t+Δ*).
+
+use crate::node::NodeKind;
+use dmt_common::ids::{NodeId, PortIx};
+use dmt_common::{Error, Result};
+
+/// A single-phase dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    kinds: Vec<NodeKind>,
+    /// `inputs[n][p]` = producer of port `p` of node `n` (None = unwired).
+    inputs: Vec<Vec<Option<NodeId>>>,
+    /// `consumers[n]` = every (consumer, port) fed by node `n`'s output.
+    consumers: Vec<Vec<(NodeId, PortIx)>>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Dfg {
+        Dfg::default()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        let arity = kind.arity();
+        self.kinds.push(kind);
+        self.inputs.push(vec![None; arity]);
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Wires `from`'s output into port `port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::GraphBuild`] when an id is out of range, the port
+    /// exceeds the consumer's arity, or the port is already wired.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: PortIx) -> Result<()> {
+        let n = self.kinds.len();
+        if from.index() >= n || to.index() >= n {
+            return Err(Error::GraphBuild(format!(
+                "connect({from}, {to}): node id out of range (graph has {n} nodes)"
+            )));
+        }
+        let slots = &mut self.inputs[to.index()];
+        let p = port.0 as usize;
+        if p >= slots.len() {
+            return Err(Error::GraphBuild(format!(
+                "connect({from}, {to}): port {port} exceeds arity {} of {}",
+                slots.len(),
+                self.kinds[to.index()]
+            )));
+        }
+        if slots[p].is_some() {
+            return Err(Error::GraphBuild(format!(
+                "connect({from}, {to}): port {port} already wired"
+            )));
+        }
+        slots[p] = Some(from);
+        self.consumers[from.index()].push((to, port));
+        Ok(())
+    }
+
+    /// The kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.kinds[id.index()]
+    }
+
+    /// The producers wired into `id`'s ports, in port order.
+    #[must_use]
+    pub fn inputs(&self, id: NodeId) -> &[Option<NodeId>] {
+        &self.inputs[id.index()]
+    }
+
+    /// Every (consumer, port) fed by `id`'s output.
+    #[must_use]
+    pub fn consumers(&self, id: NodeId) -> &[(NodeId, PortIx)] {
+        &self.consumers[id.index()]
+    }
+
+    /// Fan-out of `id` (number of consumer ports fed).
+    #[must_use]
+    pub fn fanout(&self, id: NodeId) -> usize {
+        self.consumers[id.index()].len()
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Structural edges of `id` for ordering purposes: the node's input
+    /// producers, *excluding* elevator inputs (those are temporal, carrying
+    /// values between threads, and may legally close a cycle).
+    fn ordering_inputs(&self, id: NodeId) -> &[Option<NodeId>] {
+        if matches!(self.kinds[id.index()], NodeKind::Elevator { .. }) {
+            &[]
+        } else {
+            &self.inputs[id.index()]
+        }
+    }
+
+    /// A topological order of the graph treating elevator inputs as
+    /// temporal (non-ordering) edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validate`] if a combinational cycle exists (a cycle
+    /// not passing through any elevator node).
+    pub fn topo_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.kinds.len();
+        let mut indegree = vec![0usize; n];
+        for id in self.node_ids() {
+            for src in self.ordering_inputs(id).iter().flatten() {
+                let _ = src;
+                indegree[id.index()] += 1;
+            }
+        }
+        let mut queue: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &(consumer, _) in self.consumers(id) {
+                // The edge only orders if the consumer counts it.
+                if self
+                    .ordering_inputs(consumer)
+                    .iter()
+                    .any(|&src| src == Some(id))
+                {
+                    indegree[consumer.index()] -= 1;
+                    if indegree[consumer.index()] == 0
+                        && !order.contains(&consumer)
+                        && !queue[head..].contains(&consumer)
+                    {
+                        queue.push(consumer);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<String> = self
+                .node_ids()
+                .filter(|id| !order.contains(id))
+                .map(|id| format!("{id}:{}", self.kind(id)))
+                .collect();
+            return Err(Error::Validate(format!(
+                "combinational cycle through nodes [{}]",
+                stuck.join(", ")
+            )));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{AluOp, CommConfig, NodeKind};
+    use dmt_common::geom::Delta;
+    use dmt_common::value::Word;
+
+    fn add_const(g: &mut Dfg, v: i32) -> NodeId {
+        g.add_node(NodeKind::Const(Word::from_i32(v)))
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let mut g = Dfg::new();
+        let a = add_const(&mut g, 1);
+        let b = add_const(&mut g, 2);
+        let s = g.add_node(NodeKind::Alu(AluOp::Add));
+        g.connect(a, s, PortIx(0)).unwrap();
+        g.connect(b, s, PortIx(1)).unwrap();
+        assert_eq!(g.inputs(s), &[Some(a), Some(b)]);
+        assert_eq!(g.consumers(a), &[(s, PortIx(0))]);
+        assert_eq!(g.fanout(a), 1);
+    }
+
+    #[test]
+    fn double_wire_rejected() {
+        let mut g = Dfg::new();
+        let a = add_const(&mut g, 1);
+        let s = g.add_node(NodeKind::Alu(AluOp::Add));
+        g.connect(a, s, PortIx(0)).unwrap();
+        let err = g.connect(a, s, PortIx(0)).unwrap_err();
+        assert!(err.to_string().contains("already wired"));
+    }
+
+    #[test]
+    fn port_out_of_range_rejected() {
+        let mut g = Dfg::new();
+        let a = add_const(&mut g, 1);
+        let s = g.add_node(NodeKind::Alu(AluOp::Add));
+        assert!(g.connect(a, s, PortIx(2)).is_err());
+    }
+
+    #[test]
+    fn topo_order_linear_chain() {
+        let mut g = Dfg::new();
+        let a = add_const(&mut g, 1);
+        let b = add_const(&mut g, 2);
+        let s = g.add_node(NodeKind::Alu(AluOp::Add));
+        g.connect(a, s, PortIx(0)).unwrap();
+        g.connect(b, s, PortIx(1)).unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(s));
+        assert!(pos(b) < pos(s));
+    }
+
+    #[test]
+    fn elevator_back_edge_is_not_a_cycle() {
+        // Prefix-sum shape: add -> elevator -> add (temporal cycle).
+        let mut g = Dfg::new();
+        let x = add_const(&mut g, 1);
+        let add = g.add_node(NodeKind::Alu(AluOp::Add));
+        let elev = g.add_node(NodeKind::Elevator {
+            comm: CommConfig {
+                shift: 1,
+                delta: Delta::new(-1),
+                window: 16,
+            },
+            fallback: Word::ZERO,
+        });
+        g.connect(x, add, PortIx(0)).unwrap();
+        g.connect(add, elev, PortIx(0)).unwrap();
+        g.connect(elev, add, PortIx(1)).unwrap();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn true_combinational_cycle_detected() {
+        let mut g = Dfg::new();
+        let a = g.add_node(NodeKind::Alu(AluOp::Add));
+        let b = g.add_node(NodeKind::Alu(AluOp::Add));
+        let c = add_const(&mut g, 0);
+        g.connect(a, b, PortIx(0)).unwrap();
+        g.connect(b, a, PortIx(0)).unwrap();
+        g.connect(c, a, PortIx(1)).unwrap();
+        g.connect(c, b, PortIx(1)).unwrap();
+        let err = g.topo_order().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+}

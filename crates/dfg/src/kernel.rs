@@ -1,0 +1,197 @@
+//! Kernels: named, multi-phase dataflow programs plus their launch inputs.
+
+use crate::graph::Dfg;
+use dmt_common::geom::Dim3;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use std::fmt;
+
+/// A compiled-from-source kernel: one or more barrier-delimited phases of
+/// dataflow graph, plus launch geometry.
+///
+/// Kernels using the dMT-CGRA programming model (elevator / eLDST nodes)
+/// have exactly one phase — the whole point of direct inter-thread
+/// communication is that no barrier is ever needed. Shared-memory kernels
+/// (the GPGPU / MT-CGRA baselines) typically have a load phase and a
+/// compute phase separated by a barrier.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    name: String,
+    block: Dim3,
+    grid_blocks: u32,
+    param_names: Vec<String>,
+    shared_words: u32,
+    phases: Vec<Dfg>,
+}
+
+impl Kernel {
+    /// Assembles a kernel from parts. Used by `KernelBuilder::finish`;
+    /// prefer the builder.
+    #[must_use]
+    pub(crate) fn from_parts(
+        name: String,
+        block: Dim3,
+        grid_blocks: u32,
+        param_names: Vec<String>,
+        shared_words: u32,
+        phases: Vec<Dfg>,
+    ) -> Kernel {
+        Kernel {
+            name,
+            block,
+            grid_blocks,
+            param_names,
+            shared_words,
+            phases,
+        }
+    }
+
+    /// Kernel name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thread-block shape.
+    #[must_use]
+    pub fn block(&self) -> Dim3 {
+        self.block
+    }
+
+    /// Number of thread blocks in the (1-D) launch grid.
+    #[must_use]
+    pub fn grid_blocks(&self) -> u32 {
+        self.grid_blocks
+    }
+
+    /// Threads per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.len()
+    }
+
+    /// Total threads across the launch.
+    #[must_use]
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.threads_per_block()) * u64::from(self.grid_blocks)
+    }
+
+    /// Declared parameter names, in slot order.
+    #[must_use]
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Scratchpad words allocated per block (zero for dMT kernels).
+    #[must_use]
+    pub fn shared_words(&self) -> u32 {
+        self.shared_words
+    }
+
+    /// The barrier-delimited phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Dfg] {
+        &self.phases
+    }
+
+    /// Whether any phase contains inter-thread communication nodes
+    /// (elevator / eLDST) — i.e. whether this kernel needs the *dMT*-CGRA
+    /// extensions rather than the baseline MT-CGRA.
+    #[must_use]
+    pub fn uses_inter_thread_comm(&self) -> bool {
+        self.phases.iter().any(|p| {
+            p.node_ids()
+                .any(|id| p.kind(id).comm().is_some())
+        })
+    }
+
+    /// Whether any phase touches the shared-memory scratchpad.
+    #[must_use]
+    pub fn uses_shared_memory(&self) -> bool {
+        use crate::node::{MemSpace, NodeKind};
+        self.phases.iter().any(|p| {
+            p.node_ids().any(|id| {
+                matches!(
+                    p.kind(id),
+                    NodeKind::Load(MemSpace::Shared) | NodeKind::Store(MemSpace::Shared)
+                )
+            })
+        })
+    }
+
+    /// Total node count across phases.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.phases.iter().map(Dfg::len).sum()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {} <<<{}, {}>>> ({} phases, {} nodes)",
+            self.name,
+            self.grid_blocks,
+            self.block,
+            self.phases.len(),
+            self.node_count()
+        )
+    }
+}
+
+/// Architectural inputs to one kernel launch: scalar parameters and the
+/// initial global-memory image. The backends consume this and return the
+/// final memory image.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchInput {
+    /// Scalar parameters in declaration order (pointers are byte
+    /// addresses).
+    pub params: Vec<Word>,
+    /// Initial global memory.
+    pub memory: MemImage,
+}
+
+impl LaunchInput {
+    /// Creates a launch input.
+    #[must_use]
+    pub fn new(params: Vec<Word>, memory: MemImage) -> LaunchInput {
+        LaunchInput { params, memory }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use dmt_common::geom::Delta;
+
+    #[test]
+    fn kernel_accessors() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        kb.set_grid_blocks(2);
+        let p = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(p, tid, 4);
+        kb.store_global(a, tid);
+        let k = kb.finish().unwrap();
+        assert_eq!(k.name(), "t");
+        assert_eq!(k.threads_per_block(), 64);
+        assert_eq!(k.total_threads(), 128);
+        assert_eq!(k.param_names(), ["out"]);
+        assert!(!k.uses_inter_thread_comm());
+        assert!(!k.uses_shared_memory());
+    }
+
+    #[test]
+    fn comm_detection() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let p = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(tid, Delta::new(-1), 0i32.into(), None);
+        let a = kb.index_addr(p, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        assert!(k.uses_inter_thread_comm());
+    }
+}

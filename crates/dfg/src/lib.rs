@@ -1,0 +1,64 @@
+//! Kernel dataflow-graph IR and the dMT-CGRA programming model.
+//!
+//! This crate is the front half of the reproduction of Voitsechov & Etsion's
+//! dMT-CGRA (MICRO 2018): the dataflow-graph intermediate representation
+//! that SIMT kernels compile to, together with the paper's Table 1
+//! programming-model extensions —
+//! [`from_thread_or_const`](builder::KernelBuilder::from_thread_or_const),
+//! [`tag_value`](builder::KernelBuilder::tag_value) and
+//! [`from_thread_or_mem`](builder::KernelBuilder::from_thread_or_mem).
+//!
+//! The crate also hosts the [functional reference interpreter](interp) used
+//! as the correctness oracle by every timing backend, and the
+//! [ΔTID statistics](delta_stats) behind the paper's Fig 5.
+//!
+//! # Examples
+//!
+//! Build and functionally execute a neighbour-sum kernel:
+//!
+//! ```
+//! use dmt_dfg::builder::KernelBuilder;
+//! use dmt_dfg::kernel::LaunchInput;
+//! use dmt_common::geom::{Delta, Dim3};
+//! use dmt_common::memimg::MemImage;
+//! use dmt_common::ids::Addr;
+//! use dmt_common::value::Word;
+//!
+//! let mut kb = KernelBuilder::new("neighbour_sum", Dim3::linear(4));
+//! let inp = kb.param("in");
+//! let out = kb.param("out");
+//! let tid = kb.thread_idx(0);
+//! let addr = kb.index_addr(inp, tid, 4);
+//! let mem_val = kb.load_global(addr);
+//! kb.tag_value(mem_val);
+//! // Receive the neighbour's loaded value instead of re-loading it:
+//! let prev = kb.from_thread_or_const(mem_val, Delta::new(-1), Word::from_i32(0), None);
+//! let sum = kb.add_i(prev, mem_val);
+//! let oaddr = kb.index_addr(out, tid, 4);
+//! kb.store_global(oaddr, sum);
+//! let kernel = kb.finish()?;
+//!
+//! let mut mem = MemImage::with_words(8);
+//! mem.write_i32_slice(Addr(0), &[1, 2, 3, 4]);
+//! let run = dmt_dfg::interp::run(
+//!     &kernel,
+//!     LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(16)], mem),
+//! )?;
+//! // Thread t computes in[t-1] + in[t] (thread 0 uses the constant 0).
+//! assert_eq!(run.memory.read_i32_slice(Addr(16), 4), vec![1, 3, 5, 7]);
+//! # Ok::<(), dmt_common::Error>(())
+//! ```
+
+pub mod builder;
+pub mod delta_stats;
+pub mod graph;
+pub mod interp;
+pub mod kernel;
+pub mod node;
+pub mod pretty;
+pub mod validate;
+
+pub use builder::{KernelBuilder, Recurrence, ValueRef};
+pub use graph::Dfg;
+pub use kernel::{Kernel, LaunchInput};
+pub use node::{AluOp, CommConfig, CtrlOp, FpuOp, MemSpace, NodeKind, SpecialOp, UnaryOp};

@@ -1,0 +1,597 @@
+//! Dataflow-graph node kinds and their evaluation semantics.
+//!
+//! Every node kind maps to a functional-unit class of the CGRA grid (§4,
+//! Fig 7): arithmetic to ALUs/FPUs, special functions to SCUs, select /
+//! compare / bitwise to control units, memory to LDST units, re-tagging to
+//! elevator nodes (converted control units) and eLDST (converted LDST
+//! units), and ordering to split/join units. Pure operations share one
+//! evaluation function ([`eval_pure`]) used by the reference interpreter,
+//! the fabric simulator and the GPU backend, so all backends agree
+//! bit-for-bit.
+
+use dmt_common::config::UnitClass;
+use dmt_common::geom::Delta;
+use dmt_common::value::Word;
+use std::fmt;
+
+/// Integer ALU operations (wrapping 32-bit two's-complement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `a + b` (wrapping).
+    Add,
+    /// `a - b` (wrapping).
+    Sub,
+    /// `a * b` (wrapping, low 32 bits).
+    Mul,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+/// Floating-point operations (IEEE-754 single precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// `a + b`.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// IEEE minimum (NaN-propagating via `f32::min`).
+    Min,
+    /// IEEE maximum.
+    Max,
+}
+
+/// Special-function operations, mapped to the grid's SCUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialOp {
+    /// `a / b` (f32).
+    DivF,
+    /// `√a` (unary).
+    SqrtF,
+    /// `eᵃ` (unary).
+    ExpF,
+    /// `a / b` (signed integer; division by zero yields 0 like saturating
+    /// GPU semantics).
+    DivS,
+    /// `a mod b` (signed integer remainder; zero divisor yields 0).
+    RemS,
+}
+
+/// Control-unit operations: comparisons and bitwise logic (§4: "control
+/// operations such as select, bitwise operations and comparisons are mapped
+/// to control units").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `b & 31`.
+    Shl,
+    /// Logical shift right by `b & 31`.
+    Shr,
+    /// Arithmetic shift right by `b & 31`.
+    Sra,
+    /// Integer equality (produces 0/1).
+    EqI,
+    /// Integer inequality.
+    NeI,
+    /// Signed less-than.
+    LtS,
+    /// Signed less-or-equal.
+    LeS,
+    /// Unsigned less-than.
+    LtU,
+    /// Float less-than.
+    LtF,
+    /// Float less-or-equal.
+    LeF,
+}
+
+/// One-input operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Integer negation.
+    NegI,
+    /// Float negation.
+    NegF,
+    /// Bitwise NOT.
+    Not,
+    /// Signed integer → float conversion.
+    I2F,
+    /// Float → signed integer conversion (truncating).
+    F2I,
+    /// Integer absolute value.
+    AbsI,
+    /// Float absolute value.
+    AbsF,
+}
+
+impl UnaryOp {
+    /// The unit class executing this unary operation.
+    #[must_use]
+    pub fn unit_class(self) -> UnitClass {
+        match self {
+            UnaryOp::NegI | UnaryOp::Not | UnaryOp::AbsI => UnitClass::Alu,
+            UnaryOp::NegF | UnaryOp::I2F | UnaryOp::F2I | UnaryOp::AbsF => UnitClass::Fpu,
+        }
+    }
+}
+
+/// Address spaces visible to memory nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Global device memory, backed by the L1/L2/DRAM hierarchy.
+    Global,
+    /// Per-block shared-memory scratchpad (baselines only; the dMT
+    /// programming model replaces it with direct communication).
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("global"),
+            MemSpace::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// Static configuration of an inter-thread communication node: the linear
+/// TID shift, the original multi-dimensional delta (kept for Fig 5
+/// statistics) and the transmission window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommConfig {
+    /// Receiver TID − sender TID, flattened against the block shape. A
+    /// `fromThreadOrConst<v, -1, c>` call (receive from `tid-1`) has
+    /// `shift = +1`: the elevator re-tags thread `t`'s token to `t+1`.
+    pub shift: i64,
+    /// The programmer-visible multi-dimensional ΔTID (Fig 5 metric).
+    pub delta: Delta,
+    /// Transmission window: the block is partitioned into consecutive
+    /// groups of this many threads, and communication never crosses a group
+    /// boundary (§3.2). Equal to the block size when the call did not bound
+    /// the window.
+    pub window: u32,
+}
+
+impl CommConfig {
+    /// The sender TID for receiver `tid`, or `None` when the sender falls
+    /// outside the transmission window or the thread block (the receiver
+    /// then gets the fallback constant / must load from memory).
+    #[must_use]
+    pub fn source_of(&self, tid: u32, block_threads: u32) -> Option<u32> {
+        let src = i64::from(tid) - self.shift;
+        if src < 0 || src >= i64::from(block_threads) {
+            return None;
+        }
+        let src = src as u32;
+        if src / self.window == tid / self.window {
+            Some(src)
+        } else {
+            None
+        }
+    }
+
+    /// The receiver TID for sender `tid`, or `None` when the receiver falls
+    /// outside the window or block (the sender's token is then dropped).
+    #[must_use]
+    pub fn target_of(&self, tid: u32, block_threads: u32) -> Option<u32> {
+        let dst = i64::from(tid) + self.shift;
+        if dst < 0 || dst >= i64::from(block_threads) {
+            return None;
+        }
+        let dst = dst as u32;
+        if dst / self.window == tid / self.window {
+            Some(dst)
+        } else {
+            None
+        }
+    }
+}
+
+/// A dataflow-graph node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// A compile-time constant, configured into the consumer's input latch.
+    Const(Word),
+    /// CUDA `threadIdx` component (0 = x, 1 = y, 2 = z), injected with the
+    /// thread.
+    ThreadIdx(u8),
+    /// CUDA `blockIdx.x` (the harness launches 1-D grids).
+    BlockIdx,
+    /// A scalar kernel parameter (base pointer, problem size…).
+    Param(u8),
+    /// Two-input integer arithmetic.
+    Alu(AluOp),
+    /// Two-input float arithmetic.
+    Fpu(FpuOp),
+    /// Special function (one- or two-input, see [`SpecialOp`]).
+    Special(SpecialOp),
+    /// Two-input compare/bitwise control operation.
+    Ctrl(CtrlOp),
+    /// One-input operation.
+    Unary(UnaryOp),
+    /// Three-input select: `inputs[0] ? inputs[1] : inputs[2]` (control
+    /// unit).
+    Select,
+    /// Memory load: `inputs[0]` = byte address.
+    Load(MemSpace),
+    /// Memory store: `inputs[0]` = byte address, `inputs[1]` = value.
+    /// Produces an ordering token consumed by [`NodeKind::Join`] nodes (or
+    /// nothing).
+    Store(MemSpace),
+    /// **Elevator node** (§4.1): re-tags its input token from thread `t` to
+    /// `t + shift`; threads whose sender is outside the window receive the
+    /// fallback constant. Implements `fromThreadOrConst`.
+    Elevator {
+        /// Communication pattern.
+        comm: CommConfig,
+        /// Constant delivered when the sender TID is invalid.
+        fallback: Word,
+    },
+    /// **Enhanced load/store** (§4.2): when `inputs[1]` (the predicate) is
+    /// true, loads `inputs[0]` from memory; otherwise receives the value
+    /// forwarded from thread `t − shift`'s output. Every produced output is
+    /// re-offered at `t + shift` within the window. Implements
+    /// `fromThreadOrMem`.
+    ELoad {
+        /// Communication pattern.
+        comm: CommConfig,
+        /// Address space of the underlying load.
+        space: MemSpace,
+    },
+    /// Ordering join: forwards `inputs[0]` once `inputs[1]` (an ordering
+    /// token) has also arrived. Mapped to split/join units.
+    Join,
+    /// Fan-out split: replicates its single input to many consumers when a
+    /// producer's fan-out exceeds the crossbar limit. Mapped to split/join
+    /// units.
+    Split,
+}
+
+impl NodeKind {
+    /// Number of input ports this node consumes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            NodeKind::Const(_)
+            | NodeKind::ThreadIdx(_)
+            | NodeKind::BlockIdx
+            | NodeKind::Param(_) => 0,
+            NodeKind::Unary(_)
+            | NodeKind::Split
+            | NodeKind::Load(_)
+            | NodeKind::Elevator { .. } => 1,
+            NodeKind::Alu(_) | NodeKind::Fpu(_) | NodeKind::Ctrl(_) => 2,
+            NodeKind::Special(op) => match op {
+                SpecialOp::SqrtF | SpecialOp::ExpF => 1,
+                _ => 2,
+            },
+            NodeKind::Store(_) | NodeKind::ELoad { .. } | NodeKind::Join => 2,
+            NodeKind::Select => 3,
+        }
+    }
+
+    /// Whether the node is a source (injected, not executed by a unit).
+    #[must_use]
+    pub fn is_source(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// Whether the node produces an output token (stores produce only an
+    /// ordering token, which we model as an output consumed by joins).
+    #[must_use]
+    pub fn has_output(&self) -> bool {
+        true
+    }
+
+    /// The inter-thread communication configuration, when the node is an
+    /// elevator or eLDST.
+    #[must_use]
+    pub fn comm(&self) -> Option<&CommConfig> {
+        match self {
+            NodeKind::Elevator { comm, .. } | NodeKind::ELoad { comm, .. } => Some(comm),
+            _ => None,
+        }
+    }
+
+    /// The functional-unit class executing this node, or `None` for sources
+    /// (which are injected rather than executed).
+    #[must_use]
+    pub fn unit_class(&self) -> Option<UnitClass> {
+        match self {
+            NodeKind::Const(_)
+            | NodeKind::ThreadIdx(_)
+            | NodeKind::BlockIdx
+            | NodeKind::Param(_) => None,
+            NodeKind::Alu(_) => Some(UnitClass::Alu),
+            NodeKind::Fpu(_) => Some(UnitClass::Fpu),
+            NodeKind::Special(_) => Some(UnitClass::Special),
+            NodeKind::Ctrl(_) | NodeKind::Select => Some(UnitClass::Control),
+            NodeKind::Unary(op) => Some(op.unit_class()),
+            NodeKind::Load(_) | NodeKind::Store(_) | NodeKind::ELoad { .. } => {
+                Some(UnitClass::LoadStore)
+            }
+            NodeKind::Elevator { .. } => Some(UnitClass::Control),
+            NodeKind::Join | NodeKind::Split => Some(UnitClass::SplitJoin),
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Const(w) => write!(f, "const {w}"),
+            NodeKind::ThreadIdx(d) => write!(f, "threadIdx.{}", ["x", "y", "z"][*d as usize]),
+            NodeKind::BlockIdx => f.write_str("blockIdx.x"),
+            NodeKind::Param(i) => write!(f, "param[{i}]"),
+            NodeKind::Alu(op) => write!(f, "alu.{op:?}"),
+            NodeKind::Fpu(op) => write!(f, "fpu.{op:?}"),
+            NodeKind::Special(op) => write!(f, "scu.{op:?}"),
+            NodeKind::Ctrl(op) => write!(f, "cu.{op:?}"),
+            NodeKind::Unary(op) => write!(f, "unary.{op:?}"),
+            NodeKind::Select => f.write_str("select"),
+            NodeKind::Load(s) => write!(f, "load.{s}"),
+            NodeKind::Store(s) => write!(f, "store.{s}"),
+            NodeKind::Elevator { comm, fallback } => write!(
+                f,
+                "elevator shift={} win={} fallback={fallback}",
+                comm.shift, comm.window
+            ),
+            NodeKind::ELoad { comm, space } => {
+                write!(f, "eldst.{space} shift={} win={}", comm.shift, comm.window)
+            }
+            NodeKind::Join => f.write_str("join"),
+            NodeKind::Split => f.write_str("split"),
+        }
+    }
+}
+
+/// Evaluates a pure (side-effect-free, single-thread) operation.
+///
+/// Memory, elevator and eLDST nodes are *not* pure and are handled by each
+/// engine; passing them here panics.
+///
+/// # Panics
+///
+/// Panics if `kind` is a source, memory or communication node, or when
+/// `inputs` does not match the node's arity.
+#[must_use]
+pub fn eval_pure(kind: &NodeKind, inputs: &[Word]) -> Word {
+    assert_eq!(
+        inputs.len(),
+        kind.arity(),
+        "operand count mismatch for {kind}"
+    );
+    match kind {
+        NodeKind::Alu(op) => {
+            let (a, b) = (inputs[0].as_i32(), inputs[1].as_i32());
+            Word::from_i32(match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::Mul => a.wrapping_mul(b),
+                AluOp::Min => a.min(b),
+                AluOp::Max => a.max(b),
+            })
+        }
+        NodeKind::Fpu(op) => {
+            let (a, b) = (inputs[0].as_f32(), inputs[1].as_f32());
+            Word::from_f32(match op {
+                FpuOp::Add => a + b,
+                FpuOp::Sub => a - b,
+                FpuOp::Mul => a * b,
+                FpuOp::Min => a.min(b),
+                FpuOp::Max => a.max(b),
+            })
+        }
+        NodeKind::Special(op) => match op {
+            SpecialOp::DivF => Word::from_f32(inputs[0].as_f32() / inputs[1].as_f32()),
+            SpecialOp::SqrtF => Word::from_f32(inputs[0].as_f32().sqrt()),
+            SpecialOp::ExpF => Word::from_f32(inputs[0].as_f32().exp()),
+            SpecialOp::DivS => {
+                let (a, b) = (inputs[0].as_i32(), inputs[1].as_i32());
+                Word::from_i32(if b == 0 { 0 } else { a.wrapping_div(b) })
+            }
+            SpecialOp::RemS => {
+                let (a, b) = (inputs[0].as_i32(), inputs[1].as_i32());
+                Word::from_i32(if b == 0 { 0 } else { a.wrapping_rem(b) })
+            }
+        },
+        NodeKind::Ctrl(op) => {
+            let (a, b) = (inputs[0], inputs[1]);
+            match op {
+                CtrlOp::And => Word(a.0 & b.0),
+                CtrlOp::Or => Word(a.0 | b.0),
+                CtrlOp::Xor => Word(a.0 ^ b.0),
+                CtrlOp::Shl => Word(a.0 << (b.0 & 31)),
+                CtrlOp::Shr => Word(a.0 >> (b.0 & 31)),
+                CtrlOp::Sra => Word::from_i32(a.as_i32() >> (b.0 & 31)),
+                CtrlOp::EqI => Word::from_bool(a.0 == b.0),
+                CtrlOp::NeI => Word::from_bool(a.0 != b.0),
+                CtrlOp::LtS => Word::from_bool(a.as_i32() < b.as_i32()),
+                CtrlOp::LeS => Word::from_bool(a.as_i32() <= b.as_i32()),
+                CtrlOp::LtU => Word::from_bool(a.0 < b.0),
+                CtrlOp::LtF => Word::from_bool(a.as_f32() < b.as_f32()),
+                CtrlOp::LeF => Word::from_bool(a.as_f32() <= b.as_f32()),
+            }
+        }
+        NodeKind::Unary(op) => match op {
+            UnaryOp::NegI => Word::from_i32(inputs[0].as_i32().wrapping_neg()),
+            UnaryOp::NegF => Word::from_f32(-inputs[0].as_f32()),
+            UnaryOp::Not => Word(!inputs[0].0),
+            UnaryOp::I2F => Word::from_f32(inputs[0].as_i32() as f32),
+            UnaryOp::F2I => Word::from_i32(inputs[0].as_f32() as i32),
+            UnaryOp::AbsI => Word::from_i32(inputs[0].as_i32().wrapping_abs()),
+            UnaryOp::AbsF => Word::from_f32(inputs[0].as_f32().abs()),
+        },
+        NodeKind::Select => {
+            if inputs[0].as_bool() {
+                inputs[1]
+            } else {
+                inputs[2]
+            }
+        }
+        NodeKind::Join => inputs[0],
+        NodeKind::Split => inputs[0],
+        other => panic!("eval_pure called on non-pure node {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: i32) -> Word {
+        Word::from_i32(v)
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Add), &[w(2), w(3)]).as_i32(), 5);
+        assert_eq!(
+            eval_pure(&NodeKind::Alu(AluOp::Add), &[w(i32::MAX), w(1)]).as_i32(),
+            i32::MIN,
+            "wrapping add"
+        );
+        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Min), &[w(-2), w(3)]).as_i32(), -2);
+        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Max), &[w(-2), w(3)]).as_i32(), 3);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let f = |v: f32| Word::from_f32(v);
+        assert_eq!(
+            eval_pure(&NodeKind::Fpu(FpuOp::Mul), &[f(1.5), f(2.0)]).as_f32(),
+            3.0
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Fpu(FpuOp::Min), &[f(1.5), f(-2.0)]).as_f32(),
+            -2.0
+        );
+    }
+
+    #[test]
+    fn special_guards_division_by_zero() {
+        assert_eq!(
+            eval_pure(&NodeKind::Special(SpecialOp::DivS), &[w(5), w(0)]).as_i32(),
+            0
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Special(SpecialOp::RemS), &[w(5), w(0)]).as_i32(),
+            0
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Special(SpecialOp::SqrtF), &[Word::from_f32(9.0)]).as_f32(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn ctrl_comparisons_produce_canonical_bool() {
+        assert_eq!(eval_pure(&NodeKind::Ctrl(CtrlOp::LtS), &[w(-1), w(0)]), Word::TRUE);
+        assert_eq!(eval_pure(&NodeKind::Ctrl(CtrlOp::LtU), &[w(-1), w(0)]), Word::ZERO);
+        assert_eq!(
+            eval_pure(&NodeKind::Ctrl(CtrlOp::Sra), &[w(-8), w(1)]).as_i32(),
+            -4
+        );
+    }
+
+    #[test]
+    fn select_picks_by_predicate() {
+        assert_eq!(
+            eval_pure(&NodeKind::Select, &[Word::TRUE, w(1), w(2)]).as_i32(),
+            1
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Select, &[Word::ZERO, w(1), w(2)]).as_i32(),
+            2
+        );
+    }
+
+    #[test]
+    fn unit_class_mapping_matches_paper() {
+        assert_eq!(NodeKind::Alu(AluOp::Add).unit_class(), Some(UnitClass::Alu));
+        assert_eq!(NodeKind::Select.unit_class(), Some(UnitClass::Control));
+        assert_eq!(
+            NodeKind::Ctrl(CtrlOp::And).unit_class(),
+            Some(UnitClass::Control)
+        );
+        let comm = CommConfig {
+            shift: 1,
+            delta: Delta::new(-1),
+            window: 64,
+        };
+        assert_eq!(
+            NodeKind::Elevator {
+                comm,
+                fallback: Word::ZERO
+            }
+            .unit_class(),
+            Some(UnitClass::Control),
+            "elevator nodes are converted control units"
+        );
+        assert_eq!(
+            NodeKind::ELoad {
+                comm,
+                space: MemSpace::Global
+            }
+            .unit_class(),
+            Some(UnitClass::LoadStore),
+            "eLDST are converted LDST units"
+        );
+        assert_eq!(NodeKind::Const(Word::ZERO).unit_class(), None);
+    }
+
+    #[test]
+    fn comm_source_and_target_respect_window() {
+        // Window of 4, shift +1: thread 4k receives const; thread 4k+3 sends
+        // nothing.
+        let c = CommConfig {
+            shift: 1,
+            delta: Delta::new(-1),
+            window: 4,
+        };
+        assert_eq!(c.source_of(0, 16), None);
+        assert_eq!(c.source_of(1, 16), Some(0));
+        assert_eq!(c.source_of(4, 16), None, "window boundary");
+        assert_eq!(c.target_of(3, 16), None, "last thread in window");
+        assert_eq!(c.target_of(2, 16), Some(3));
+        assert_eq!(c.target_of(15, 16), None, "block boundary");
+    }
+
+    #[test]
+    fn comm_negative_shift() {
+        // shift -2: thread t receives from t+2 (downward communication).
+        let c = CommConfig {
+            shift: -2,
+            delta: Delta::new(2),
+            window: 8,
+        };
+        assert_eq!(c.source_of(0, 8), Some(2));
+        assert_eq!(c.source_of(6, 8), None, "sender 8 outside block");
+        assert_eq!(c.target_of(2, 8), Some(0));
+        assert_eq!(c.target_of(1, 8), None, "receiver -1 invalid");
+    }
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(NodeKind::Const(Word::ZERO).arity(), 0);
+        assert_eq!(NodeKind::Load(MemSpace::Global).arity(), 1);
+        assert_eq!(NodeKind::Store(MemSpace::Shared).arity(), 2);
+        assert_eq!(NodeKind::Select.arity(), 3);
+        assert_eq!(NodeKind::Special(SpecialOp::SqrtF).arity(), 1);
+        assert_eq!(NodeKind::Special(SpecialOp::DivF).arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-pure")]
+    fn eval_pure_rejects_memory_nodes() {
+        let _ = eval_pure(&NodeKind::Load(MemSpace::Global), &[Word::ZERO]);
+    }
+}

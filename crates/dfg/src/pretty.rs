@@ -1,0 +1,104 @@
+//! Human-readable dumps of kernels: indented text and Graphviz DOT.
+
+use crate::kernel::Kernel;
+use std::fmt::Write as _;
+
+/// Renders the kernel as an indented node listing, one line per node.
+#[must_use]
+pub fn dump(kernel: &Kernel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{kernel}");
+    for (pi, phase) in kernel.phases().iter().enumerate() {
+        let _ = writeln!(s, "phase {pi}:");
+        for id in phase.node_ids() {
+            let inputs: Vec<String> = phase
+                .inputs(id)
+                .iter()
+                .map(|i| match i {
+                    Some(n) => n.to_string(),
+                    None => "?".to_owned(),
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  {id} = {} [{}]",
+                phase.kind(id),
+                inputs.join(", ")
+            );
+        }
+    }
+    s
+}
+
+/// Renders the kernel as a Graphviz `digraph`, one cluster per phase.
+/// Elevator/eLDST nodes are highlighted (they are the paper's new units).
+#[must_use]
+pub fn to_dot(kernel: &Kernel) -> String {
+    use crate::node::NodeKind;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", kernel.name());
+    let _ = writeln!(s, "  rankdir=TB; node [shape=box, fontsize=10];");
+    for (pi, phase) in kernel.phases().iter().enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{pi} {{ label=\"phase {pi}\";");
+        for id in phase.node_ids() {
+            let kind = phase.kind(id);
+            let style = match kind {
+                NodeKind::Elevator { .. } => ", style=filled, fillcolor=lightblue",
+                NodeKind::ELoad { .. } => ", style=filled, fillcolor=lightgreen",
+                NodeKind::Load(_) | NodeKind::Store(_) => ", style=filled, fillcolor=wheat",
+                _ => "",
+            };
+            let _ = writeln!(s, "    p{pi}_{} [label=\"{kind}\"{style}];", id.0);
+        }
+        for id in phase.node_ids() {
+            for (port, src) in phase.inputs(id).iter().enumerate() {
+                if let Some(src) = src {
+                    let _ = writeln!(
+                        s,
+                        "    p{pi}_{} -> p{pi}_{} [label=\"p{port}\"];",
+                        src.0, id.0
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use dmt_common::geom::{Delta, Dim3};
+    use dmt_common::value::Word;
+
+    fn sample() -> Kernel {
+        let mut kb = KernelBuilder::new("sample", Dim3::linear(8));
+        let t = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(t, Delta::new(-1), Word::ZERO, None);
+        let p = kb.param("out");
+        let a = kb.index_addr(p, t, 4);
+        kb.store_global(a, v);
+        kb.finish().unwrap()
+    }
+
+    #[test]
+    fn dump_lists_every_node() {
+        let k = sample();
+        let d = dump(&k);
+        assert!(d.contains("elevator"));
+        assert!(d.contains("store.global"));
+        assert_eq!(d.lines().filter(|l| l.contains(" = ")).count(), k.node_count());
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let k = sample();
+        let d = to_dot(&k);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        assert!(d.contains("lightblue"), "elevator highlighted");
+    }
+}

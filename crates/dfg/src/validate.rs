@@ -1,0 +1,134 @@
+//! Kernel validation: the semantic checks run by `KernelBuilder::finish`.
+
+use crate::kernel::Kernel;
+use crate::node::{MemSpace, NodeKind};
+use dmt_common::{Error, Result};
+
+/// Validates a kernel:
+///
+/// * at least one phase, and no phase is empty;
+/// * every input port of every node is wired;
+/// * no combinational cycles (cycles must pass through an elevator);
+/// * parameter slots are within the declared parameter list;
+/// * communication windows fit the block and exceed the |shift| (otherwise
+///   no thread ever communicates — certainly a bug);
+/// * shared-memory accesses require a scratchpad allocation.
+///
+/// # Errors
+///
+/// Returns [`Error::Validate`] describing the first violation found.
+pub fn validate(kernel: &Kernel) -> Result<()> {
+    if kernel.phases().is_empty() {
+        return Err(Error::Validate("kernel has no phases".into()));
+    }
+    let block_threads = kernel.threads_per_block();
+    for (pi, phase) in kernel.phases().iter().enumerate() {
+        if phase.is_empty() {
+            return Err(Error::Validate(format!("phase {pi} is empty")));
+        }
+        for id in phase.node_ids() {
+            let kind = phase.kind(id);
+            for (port, src) in phase.inputs(id).iter().enumerate() {
+                if src.is_none() {
+                    return Err(Error::Validate(format!(
+                        "phase {pi}: port {port} of {id} ({kind}) is unwired"
+                    )));
+                }
+            }
+            if let NodeKind::Param(slot) = kind {
+                if usize::from(*slot) >= kernel.param_names().len() {
+                    return Err(Error::Validate(format!(
+                        "phase {pi}: {id} references parameter slot {slot} but only {} are declared",
+                        kernel.param_names().len()
+                    )));
+                }
+            }
+            if let Some(comm) = kind.comm() {
+                if comm.window == 0 || comm.window > block_threads {
+                    return Err(Error::Validate(format!(
+                        "phase {pi}: {id} window {} out of range 1..={block_threads}",
+                        comm.window
+                    )));
+                }
+                if comm.shift == 0 {
+                    return Err(Error::Validate(format!(
+                        "phase {pi}: {id} has zero inter-thread shift"
+                    )));
+                }
+                if comm.shift.unsigned_abs() >= u64::from(comm.window) {
+                    return Err(Error::Validate(format!(
+                        "phase {pi}: {id} shift {} is >= window {}; no thread would ever \
+                         communicate",
+                        comm.shift, comm.window
+                    )));
+                }
+            }
+            if matches!(
+                kind,
+                NodeKind::Load(MemSpace::Shared) | NodeKind::Store(MemSpace::Shared)
+            ) && kernel.shared_words() == 0
+            {
+                return Err(Error::Validate(format!(
+                    "phase {pi}: {id} accesses shared memory but the kernel allocates none \
+                     (call set_shared_words)"
+                )));
+            }
+        }
+        phase.topo_order()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::graph::Dfg;
+    use crate::node::{AluOp, NodeKind};
+    use dmt_common::geom::{Delta, Dim3};
+    use dmt_common::ids::PortIx;
+    use dmt_common::value::Word;
+
+    #[test]
+    fn unwired_port_rejected() {
+        let mut g = Dfg::new();
+        let c = g.add_node(NodeKind::Const(Word::ZERO));
+        let add = g.add_node(NodeKind::Alu(AluOp::Add));
+        g.connect(c, add, PortIx(0)).unwrap();
+        let k = Kernel::from_parts("t".into(), Dim3::linear(4), 1, vec![], 0, vec![g]);
+        let err = validate(&k).unwrap_err();
+        assert!(err.to_string().contains("unwired"), "{err}");
+    }
+
+    #[test]
+    fn shared_access_without_allocation_rejected() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let t = kb.thread_idx(0);
+        let four = kb.const_i(4);
+        let a = kb.mul_i(t, four);
+        kb.store_shared(a, t);
+        let err = kb.finish().unwrap_err();
+        assert!(err.to_string().contains("shared memory"), "{err}");
+    }
+
+    #[test]
+    fn shift_ge_window_rejected() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let t = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(t, Delta::new(-16), Word::ZERO, Some(16));
+        let p = kb.param("out");
+        kb.store_global(p, v);
+        let err = kb.finish().unwrap_err();
+        assert!(err.to_string().contains("window"), "{err}");
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(64));
+        let t = kb.thread_idx(0);
+        let p = kb.param("out");
+        let a = kb.index_addr(p, t, 4);
+        kb.store_global(a, t);
+        assert!(kb.finish().is_ok());
+    }
+}

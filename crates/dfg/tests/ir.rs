@@ -1,0 +1,211 @@
+//! IR-level integration tests: builder → validation → interpretation for
+//! every operation class and the failure modes users will actually hit.
+
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{interp, pretty, Kernel, KernelBuilder, LaunchInput};
+
+fn run1(kernel: &Kernel, words: usize) -> MemImage {
+    interp::run(
+        kernel,
+        LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(words)),
+    )
+    .expect("interp runs")
+    .memory
+}
+
+/// Every arithmetic/compare/select op in one kernel, cross-checked against
+/// native Rust semantics for a handful of thread-dependent operands.
+#[test]
+fn alu_torture_matches_rust_semantics() {
+    let n = 16u32;
+    let mut kb = KernelBuilder::new("torture", Dim3::linear(n));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let c3 = kb.const_i(3);
+    let c100 = kb.const_i(100);
+
+    let a = kb.sub_i(tid, c3); // tid - 3 (negative for small tids)
+    let b = kb.mul_i(a, c100); // scale
+    let mn = kb.min_i(a, tid);
+    let mx = kb.max_i(a, tid);
+    let d = kb.div_i(b, c3);
+    let r = kb.rem_i(tid, c3);
+    let sh = kb.shl(tid, c3);
+    let sr = kb.sra(b, c3);
+    let x1 = kb.xor(sh, sr);
+    let lt = kb.lt_s(a, tid);
+    let sel = kb.select(lt, mn, mx);
+    let abs = kb.abs_i(b);
+    let s1 = kb.add_i(sel, d);
+    let s2 = kb.add_i(s1, r);
+    let s3 = kb.add_i(s2, x1);
+    let val = kb.add_i(s3, abs);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, val);
+    let kernel = kb.finish().unwrap();
+
+    let got = run1(&kernel, n as usize).read_i32_slice(Addr(0), n as usize);
+    for t in 0..n as i32 {
+        let a = t.wrapping_sub(3);
+        let b = a.wrapping_mul(100);
+        let mn = a.min(t);
+        let mx = a.max(t);
+        let d = if 3 == 0 { 0 } else { b.wrapping_div(3) };
+        let r = t.wrapping_rem(3);
+        let sh = ((t as u32) << 3) as i32;
+        let sr = b >> 3;
+        let x1 = sh ^ sr;
+        let sel = if a < t { mn } else { mx };
+        let abs = b.wrapping_abs();
+        let want = sel
+            .wrapping_add(d)
+            .wrapping_add(r)
+            .wrapping_add(x1)
+            .wrapping_add(abs);
+        assert_eq!(got[t as usize], want, "thread {t}");
+    }
+}
+
+#[test]
+fn float_ops_and_conversions() {
+    let n = 8u32;
+    let mut kb = KernelBuilder::new("fp", Dim3::linear(n));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let f = kb.i2f(tid);
+    let half = kb.const_f(0.5);
+    let scaled = kb.mul_f(f, half);
+    let neg = kb.neg_f(scaled);
+    let abs = kb.abs_f(neg);
+    let one = kb.const_f(1.0);
+    let sum = kb.add_f(abs, one);
+    let root = kb.sqrt_f(sum);
+    let back = kb.f2i(root);
+    // back = trunc(sqrt(tid*0.5 + 1))
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, back);
+    let kernel = kb.finish().unwrap();
+    let got = run1(&kernel, n as usize).read_i32_slice(Addr(0), n as usize);
+    for t in 0..n {
+        let want = ((t as f32 * 0.5) + 1.0).sqrt() as i32;
+        assert_eq!(got[t as usize], want, "thread {t}");
+    }
+}
+
+#[test]
+fn eldst_without_source_is_a_runtime_error() {
+    // Predicate false for everyone, nobody loads → unresolvable.
+    let n = 8u32;
+    let mut kb = KernelBuilder::new("bad_eld", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let zero = kb.const_i(0);
+    let never = kb.lt_s(tid, zero); // always false
+    let v = kb.from_thread_or_mem(inp, never, Delta::new(-1), None);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    let kernel = kb.finish().unwrap();
+    let err = interp::run(
+        &kernel,
+        LaunchInput::new(
+            vec![Word::ZERO, Word::from_u32(0)],
+            MemImage::with_words(n as usize),
+        ),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("predicate"), "{err}");
+}
+
+#[test]
+fn out_of_bounds_address_is_a_runtime_error() {
+    let mut kb = KernelBuilder::new("oob", Dim3::linear(4));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let big = kb.const_i(1 << 20);
+    let a = kb.index_addr(out, big, 4);
+    kb.store_global(a, tid);
+    let kernel = kb.finish().unwrap();
+    let err = interp::run(
+        &kernel,
+        LaunchInput::new(vec![Word::ZERO], MemImage::with_words(4)),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("address"), "{err}");
+}
+
+#[test]
+fn multi_phase_dot_and_dump_render_all_phases() {
+    let mut kb = KernelBuilder::new("two_phase", Dim3::linear(8));
+    kb.set_shared_words(8);
+    let tid = kb.thread_idx(0);
+    let z = kb.const_i(0);
+    let sa = kb.index_addr(z, tid, 4);
+    kb.store_shared(sa, tid);
+    kb.barrier();
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let z = kb.const_i(0);
+    let sa = kb.index_addr(z, tid, 4);
+    let v = kb.load_shared(sa);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    let kernel = kb.finish().unwrap();
+
+    let text = pretty::dump(&kernel);
+    assert!(text.contains("phase 0:") && text.contains("phase 1:"));
+    let dot = pretty::to_dot(&kernel);
+    assert!(dot.contains("cluster_0") && dot.contains("cluster_1"));
+    assert!(dot.contains("wheat"), "memory nodes highlighted");
+}
+
+#[test]
+fn windowed_elevator_restarts_each_group() {
+    // window 4, delta -1: thread 4k gets the constant.
+    let n = 16u32;
+    let mut kb = KernelBuilder::new("win", Dim3::linear(n));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let v = kb.from_thread_or_const(tid, Delta::new(-1), Word::from_i32(-9), Some(4));
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    let kernel = kb.finish().unwrap();
+    let got = run1(&kernel, n as usize).read_i32_slice(Addr(0), n as usize);
+    for t in 0..n as i32 {
+        let want = if t % 4 == 0 { -9 } else { t - 1 };
+        assert_eq!(got[t as usize], want, "thread {t}");
+    }
+}
+
+#[test]
+fn delta_stats_weighting_reflects_windows() {
+    use dmt_dfg::delta_stats::{comm_sites, fraction_within, DistanceMetric};
+    let mut kb = KernelBuilder::new("w", Dim3::linear(64));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    // Window 8, Δ1: 7 transfers per group × 8 groups = 56 tokens.
+    let a = kb.from_thread_or_const(tid, Delta::new(-1), Word::ZERO, Some(8));
+    // Full window, Δ20: 44 tokens.
+    let b = kb.from_thread_or_const(tid, Delta::new(-20), Word::ZERO, None);
+    let s = kb.add_i(a, b);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, s);
+    let kernel = kb.finish().unwrap();
+    let sites = comm_sites(&kernel);
+    let tokens: Vec<u64> = sites.iter().map(|s| s.dynamic_tokens).collect();
+    assert!(tokens.contains(&56) && tokens.contains(&44), "{tokens:?}");
+    let f = fraction_within(&sites, DistanceMetric::Linear, 16.0);
+    assert!((f - 56.0 / 100.0).abs() < 1e-12);
+}
+
+#[test]
+fn barrier_on_empty_phase_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut kb = KernelBuilder::new("e", Dim3::linear(4));
+        kb.barrier();
+    });
+    assert!(result.is_err());
+}

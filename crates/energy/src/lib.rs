@@ -1,0 +1,26 @@
+//! The energy model: GPUWattch-style event-count accounting (§5.1).
+//!
+//! "We simply multiply the execution time by the average power consumption
+//! for each architecture" — equivalently, per-event dynamic energies times
+//! event counts, plus leakage × runtime, which is what GPUWattch computes
+//! from its performance monitors. [`EnergyModel`] implements exactly that
+//! over the [`dmt_common::stats::RunStats`] counters that the fabric and
+//! GPU backends produce.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmt_energy::{ArchKind, EnergyModel};
+//! use dmt_common::stats::RunStats;
+//!
+//! let model = EnergyModel::default();
+//! let stats = RunStats { cycles: 1000, alu_ops: 5000, ..RunStats::default() };
+//! let report = model.evaluate(ArchKind::DmtCgra, &stats, 1.4);
+//! assert!(report.total_j() > 0.0);
+//! ```
+
+pub mod model;
+pub mod params;
+
+pub use model::{ArchKind, EnergyModel, EnergyReport};
+pub use params::EnergyParams;

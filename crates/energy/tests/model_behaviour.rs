@@ -1,0 +1,77 @@
+//! Energy-model behaviour: monotonicity, category attribution and the
+//! paper's qualitative energy relations.
+
+use dmt_common::stats::RunStats;
+use dmt_energy::{ArchKind, EnergyModel, EnergyParams};
+
+fn base_stats() -> RunStats {
+    RunStats {
+        cycles: 10_000,
+        alu_ops: 10_000,
+        fpu_ops: 5_000,
+        elevator_ops: 2_000,
+        token_buffer_writes: 20_000,
+        noc_hops: 50_000,
+        l1_hits: 4_000,
+        l1_misses: 200,
+        l2_hits: 150,
+        l2_misses: 50,
+        dram_reads: 50,
+        ..RunStats::default()
+    }
+}
+
+#[test]
+fn energy_is_monotone_in_every_event_class() {
+    let m = EnergyModel::default();
+    let base = m.evaluate(ArchKind::DmtCgra, &base_stats(), 1.4).total_j();
+    let bump = |f: &dyn Fn(&mut RunStats)| {
+        let mut s = base_stats();
+        f(&mut s);
+        m.evaluate(ArchKind::DmtCgra, &s, 1.4).total_j()
+    };
+    assert!(bump(&|s| s.alu_ops += 1_000_000) > base);
+    assert!(bump(&|s| s.noc_hops += 1_000_000) > base);
+    assert!(bump(&|s| s.dram_reads += 10_000) > base);
+    assert!(bump(&|s| s.cycles += 1_000_000) > base, "leakage grows with time");
+    assert!(bump(&|s| s.lvc_writes += 1_000_000) > base);
+}
+
+#[test]
+fn dram_dominates_equal_counts() {
+    let m = EnergyModel::default();
+    let mut cache_heavy = RunStats::default();
+    cache_heavy.l1_hits = 1_000;
+    let mut dram_heavy = RunStats::default();
+    dram_heavy.dram_reads = 1_000;
+    let c = m.evaluate(ArchKind::DmtCgra, &cache_heavy, 1.4).total_j();
+    let d = m.evaluate(ArchKind::DmtCgra, &dram_heavy, 1.4).total_j();
+    assert!(d > 50.0 * c, "a DRAM transaction dwarfs an L1 access");
+}
+
+#[test]
+fn custom_params_flow_through() {
+    let mut p = EnergyParams::default();
+    p.noc_hop_pj *= 100.0;
+    let custom = EnergyModel::new(p);
+    let default = EnergyModel::default();
+    let s = base_stats();
+    assert!(
+        custom.evaluate(ArchKind::DmtCgra, &s, 1.4).token_transport_j
+            > 10.0 * default.evaluate(ArchKind::DmtCgra, &s, 1.4).token_transport_j
+    );
+}
+
+#[test]
+fn static_power_differs_by_machine_family() {
+    let m = EnergyModel::default();
+    let s = RunStats {
+        cycles: 1_000_000,
+        ..RunStats::default()
+    };
+    let gpu = m.evaluate(ArchKind::FermiSm, &s, 1.4).static_j;
+    let cgra = m.evaluate(ArchKind::DmtCgra, &s, 1.4).static_j;
+    assert!(gpu > cgra, "the SM leaks more (fetch/RF structures)");
+    let mt = m.evaluate(ArchKind::MtCgra, &s, 1.4).static_j;
+    assert_eq!(mt, cgra, "both CGRAs share the grid");
+}

@@ -1,0 +1,834 @@
+//! The cycle-level MT-CGRA / dMT-CGRA execution engine.
+//!
+//! The machine executes a [`FabricProgram`] with dynamic tagged-token
+//! dataflow (§3): every token carries its thread id as a tag; per-node
+//! matching stores collect operand sets; a node fires at most one operation
+//! per cycle; fired tokens traverse the statically-routed NoC with
+//! per-edge hop latency. Threads are injected one per cycle (configurable)
+//! subject to the in-flight window, and a barrier-delimited phase ends when
+//! the fabric drains.
+//!
+//! Elevator nodes re-tag tokens between threads, and eLDST units forward
+//! loaded values to later threads, exactly as in the paper's Fig 8/9
+//! pseudo-code. Both are functionally identical to — and tested against —
+//! the reference interpreter in `dmt-dfg`.
+
+use crate::program::{FabricProgram, PhaseProgram};
+use dmt_common::config::{SystemConfig, UnitClass, WritePolicy};
+use dmt_common::ids::{Addr, NodeId};
+use dmt_common::memimg::MemImage;
+use dmt_common::stats::RunStats;
+use dmt_common::value::Word;
+use dmt_common::{Error, Result};
+use dmt_dfg::kernel::LaunchInput;
+use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
+use dmt_mem::{AccessOutcome, Lvc, MemSystem, Scratchpad};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Result of a fabric run: final memory image plus statistics.
+#[derive(Debug, Clone)]
+pub struct FabricRunResult {
+    /// Final global-memory image.
+    pub memory: MemImage,
+    /// Event counters and total cycles.
+    pub stats: RunStats,
+}
+
+/// The CGRA core simulator. Construct once per configuration and run
+/// compiled programs on it.
+///
+/// # Examples
+///
+/// See the crate-level docs; programs are normally produced by
+/// `dmt-compiler`.
+#[derive(Debug, Clone)]
+pub struct FabricMachine {
+    cfg: SystemConfig,
+}
+
+impl FabricMachine {
+    /// Creates a machine with the given configuration (Table 2 defaults via
+    /// `SystemConfig::default()`).
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> FabricMachine {
+        FabricMachine { cfg }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Executes `program` on `input`, running grid blocks and phases
+    /// sequentially on one core (the paper's per-core comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] for parameter mismatches or bad
+    /// addresses, and [`Error::Deadlock`] when the fabric cannot make
+    /// progress.
+    pub fn run(&self, program: &FabricProgram, input: LaunchInput) -> Result<FabricRunResult> {
+        if input.params.len() != program.param_count {
+            return Err(Error::Runtime(format!(
+                "program {} expects {} parameters, got {}",
+                program.name,
+                program.param_count,
+                input.params.len()
+            )));
+        }
+        let mut global = input.memory;
+        let mut stats = RunStats::default();
+        // The CGRA cores use write-back / write-allocate L1 (§5.1).
+        let mut mem = MemSystem::new(&self.cfg.mem, WritePolicy::WriteBackAllocate);
+        let mut lvc = Lvc::new(self.cfg.mem.lvc);
+        let mut scratch = Scratchpad::new(self.cfg.mem.scratchpad);
+        let mut now = 0u64;
+
+        // Phase-major execution: the fabric is configured for phase p and
+        // *every* block's threads stream through it back to back (blocks
+        // are independent; a barrier only orders phases within one block,
+        // and executing phase p of all blocks before phase p+1 of any
+        // trivially satisfies it). Single-phase dMT kernels therefore
+        // stream the entire launch with no drain at all — the paper's core
+        // claim — while shared-memory kernels drain once per barrier.
+        let mut shared_imgs: Vec<MemImage> = (0..program.grid_blocks)
+            .map(|_| MemImage::with_words(program.shared_words as usize))
+            .collect();
+        for (pi, phase) in program.phases.iter().enumerate() {
+            if pi > 0 {
+                now += self.cfg.fabric.reconfiguration_cycles;
+            }
+            let mut exec = PhaseExec::new(
+                &self.cfg,
+                program,
+                phase,
+                0,
+                &input.params,
+                now,
+                program.grid_blocks,
+            );
+            now = exec.run(
+                &mut global,
+                &mut shared_imgs,
+                &mut mem,
+                &mut scratch,
+                &mut lvc,
+                &mut stats,
+            )?;
+            stats.phases += 1;
+        }
+        stats.shared_bank_conflicts = scratch.bank_conflicts;
+        stats.cycles = now;
+        mem.export_stats(&mut stats);
+        stats.lvc_reads = lvc.reads;
+        stats.lvc_writes = lvc.writes;
+        Ok(FabricRunResult {
+            memory: global,
+            stats,
+        })
+    }
+}
+
+/// A token-delivery or bookkeeping event on the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A token arrives at `node`'s matching store.
+    Deliver {
+        node: NodeId,
+        port: u8,
+        tid: u32,
+        value: Word,
+    },
+    /// An eLDST output becomes architecturally visible: fan it out and
+    /// offer the duplicate to the next thread in the window.
+    EloadProduce { node: NodeId, tid: u32, value: Word },
+    /// An eLDST duplicate token reaches the token buffer (after any
+    /// Fig 10b loop latency): hand it to a parked consumer or buffer it.
+    EloadOffer { node: NodeId, tid: u32, value: Word },
+    /// A memory operation completed; release the unit's outstanding slot.
+    Release { node: NodeId },
+    /// A sink operation of `tid` completed.
+    SinkDone { tid: u32 },
+}
+
+// Word lacks Ord; wrap ordering manually.
+impl Ev {
+    fn key(&self) -> (u8, u32) {
+        match self {
+            Ev::Deliver { node, .. } => (0, node.0),
+            Ev::EloadProduce { node, .. } => (1, node.0),
+            Ev::EloadOffer { node, .. } => (2, node.0),
+            Ev::Release { node } => (3, node.0),
+            Ev::SinkDone { tid } => (4, *tid),
+        }
+    }
+}
+
+/// Per-node runtime state.
+#[derive(Debug, Default)]
+struct UnitState {
+    /// Matching store: tid → partially assembled operand set.
+    pending: HashMap<u32, ([Option<Word>; 3], u8)>,
+    /// Complete operand sets awaiting their firing slot.
+    ready: VecDeque<(u32, [Word; 3])>,
+    /// eLDST token buffer: values forwarded to a target tid.
+    fwd: HashMap<u32, Word>,
+    /// eLDST threads whose predicate was false and whose source value has
+    /// not arrived yet.
+    parked: Vec<u32>,
+    /// Outstanding memory operations (LDST occupancy).
+    outstanding: u32,
+}
+
+struct PhaseExec<'a> {
+    cfg: &'a SystemConfig,
+    program: &'a FabricProgram,
+    phase: &'a PhaseProgram,
+    /// First block of this execution (streaming runs cover all blocks).
+    block: u32,
+    params: &'a [Word],
+    /// Total threads executed by this PhaseExec (one block, or the whole
+    /// launch when streaming).
+    threads: u32,
+    /// Threads per block — communication and thread coordinates are always
+    /// block-local (§3.1: threads communicate within a thread block).
+    block_threads: u32,
+    units: Vec<UnitState>,
+    events: BinaryHeap<Reverse<(u64, u64, EvOrd)>>,
+    seq: u64,
+    now: u64,
+    next_inject: u32,
+    retire_floor: u32,
+    retired: Vec<bool>,
+    sinks_done: Vec<u32>,
+    sink_count: u32,
+    retired_count: u32,
+    source_nodes: Vec<NodeId>,
+    /// Elevator nodes with their configuration: fallback constants are
+    /// generated at thread injection (the controller tracks the TID stream,
+    /// so window-start threads get their constant without waiting for any
+    /// data token — essential for recurrent chains like Fig 6).
+    elevator_nodes: Vec<(NodeId, dmt_dfg::node::CommConfig, Word)>,
+}
+
+/// `Ev` with a total order (Word is Eq but its payload must not influence
+/// heap order beyond determinism; the (cycle, seq) prefix already makes
+/// ordering unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EvOrd(Ev);
+
+impl PartialOrd for EvOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+
+impl<'a> PhaseExec<'a> {
+    fn new(
+        cfg: &'a SystemConfig,
+        program: &'a FabricProgram,
+        phase: &'a PhaseProgram,
+        block: u32,
+        params: &'a [Word],
+        start: u64,
+        blocks_covered: u32,
+    ) -> PhaseExec<'a> {
+        let n = phase.graph.len();
+        let threads = program.threads_per_block() * blocks_covered;
+        let sink_count = phase
+            .graph
+            .node_ids()
+            .filter(|&id| phase.graph.consumers(id).is_empty())
+            .count() as u32;
+        let source_nodes: Vec<NodeId> = phase
+            .graph
+            .node_ids()
+            .filter(|&id| phase.graph.kind(id).is_source())
+            .collect();
+        let elevator_nodes: Vec<(NodeId, dmt_dfg::node::CommConfig, Word)> = phase
+            .graph
+            .node_ids()
+            .filter_map(|id| match *phase.graph.kind(id) {
+                NodeKind::Elevator { comm, fallback } => Some((id, comm, fallback)),
+                _ => None,
+            })
+            .collect();
+        let mut units = Vec::with_capacity(n);
+        units.resize_with(n, UnitState::default);
+        PhaseExec {
+            cfg,
+            program,
+            phase,
+            block,
+            params,
+            threads,
+            block_threads: program.threads_per_block(),
+            units,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: start,
+            next_inject: 0,
+            retire_floor: 0,
+            retired: vec![false; threads as usize],
+            sinks_done: vec![0; threads as usize],
+            sink_count,
+            retired_count: 0,
+            source_nodes,
+            elevator_nodes,
+        }
+    }
+
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        // Nothing lands in the cycle that scheduled it: tokens cross at
+        // least one pipeline boundary.
+        self.events.push(Reverse((at.max(self.now + 1), self.seq, EvOrd(ev))));
+    }
+
+    /// Fans `value` out from `node` to all consumers, booking NoC hops.
+    /// `base` is the cycle the producing unit's result is available.
+    fn send(&mut self, node: NodeId, tid: u32, value: Word, base: u64, stats: &mut RunStats) {
+        let consumers = self.phase.graph.consumers(node);
+        if consumers.is_empty() {
+            self.schedule(base, Ev::SinkDone { tid });
+            return;
+        }
+        for (i, &(consumer, port)) in consumers.iter().enumerate() {
+            let hops = self.phase.edge_hops[node.index()][i];
+            stats.tokens_routed += 1;
+            stats.noc_hops += hops;
+            let arrival = base + self.cfg.fabric.noc_hop_latency * hops;
+            self.schedule(
+                arrival,
+                Ev::Deliver {
+                    node: consumer,
+                    port: port.0,
+                    tid,
+                    value,
+                },
+            );
+        }
+    }
+
+    fn source_value(&self, kind: &NodeKind, tid: u32) -> Word {
+        match *kind {
+            NodeKind::Const(w) => w,
+            NodeKind::ThreadIdx(dim) => Word::from_u32(self.program.block.coord(
+                dmt_common::ids::ThreadId(tid % self.block_threads),
+                dim,
+            )),
+            NodeKind::BlockIdx => Word::from_u32(self.block + tid / self.block_threads),
+            NodeKind::Param(slot) => self.params[usize::from(slot)],
+            ref other => unreachable!("not a source: {other}"),
+        }
+    }
+
+    /// Block-local communication: the sender of `tid`'s token, or `None`
+    /// at window/block boundaries. Streaming runs carry several blocks in
+    /// one tid space; communication never crosses a block.
+    fn comm_source(&self, comm: &dmt_dfg::node::CommConfig, tid: u32) -> Option<u32> {
+        let local = tid % self.block_threads;
+        comm.source_of(local, self.block_threads)
+            .map(|src_local| tid - local + src_local)
+    }
+
+    /// Block-local communication: the receiver of `tid`'s token.
+    fn comm_target(&self, comm: &dmt_dfg::node::CommConfig, tid: u32) -> Option<u32> {
+        let local = tid % self.block_threads;
+        comm.target_of(local, self.block_threads)
+            .map(|dst_local| tid - local + dst_local)
+    }
+
+    /// In-flight memory operations a (replicated) LDST node may hold: one
+    /// request queue per physical replica.
+    fn outstanding_cap(&self) -> u32 {
+        self.cfg.fabric.ldst_queue_entries * self.program.replication.max(1)
+    }
+
+    fn can_inject(&self) -> bool {
+        self.next_inject < self.threads
+            && self.next_inject < self.retire_floor + self.cfg.fabric.inflight_threads
+    }
+
+    fn inject(&mut self, stats: &mut RunStats) {
+        // One injector per graph replica (§3): R threads enter per cycle.
+        let per_cycle = self.cfg.fabric.threads_injected_per_cycle * self.program.replication;
+        for _ in 0..per_cycle {
+            if !self.can_inject() {
+                return;
+            }
+            let tid = self.next_inject;
+            self.next_inject += 1;
+            for i in 0..self.source_nodes.len() {
+                let node = self.source_nodes[i];
+                let v = self.source_value(self.phase.graph.kind(node), tid);
+                self.send(node, tid, v, self.now, stats);
+            }
+            // Elevator fallback constants for threads with no in-window
+            // producer: generated from the TID stream at injection.
+            for i in 0..self.elevator_nodes.len() {
+                let (node, comm, fallback) = self.elevator_nodes[i];
+                if self.comm_source(&comm, tid).is_none() {
+                    stats.elevator_const_tokens += 1;
+                    self.send(
+                        node,
+                        tid,
+                        fallback,
+                        self.now + self.cfg.latencies.elevator,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, port: u8, tid: u32, value: Word, stats: &mut RunStats) {
+        stats.token_buffer_writes += 1;
+        let arity = self.phase.graph.kind(node).arity() as u8;
+        let unit = &mut self.units[node.index()];
+        let entry = unit.pending.entry(tid).or_insert(([None; 3], 0));
+        debug_assert!(entry.0[port as usize].is_none(), "duplicate operand");
+        entry.0[port as usize] = Some(value);
+        entry.1 += 1;
+        if entry.1 == arity {
+            let (ops, _) = unit.pending.remove(&tid).expect("entry exists");
+            let ops = [
+                ops[0].unwrap_or(Word::ZERO),
+                ops[1].unwrap_or(Word::ZERO),
+                ops[2].unwrap_or(Word::ZERO),
+            ];
+            unit.ready.push_back((tid, ops));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fire_all(
+        &mut self,
+        global: &mut MemImage,
+        shared_imgs: &mut [MemImage],
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        lvc: &mut Lvc,
+        stats: &mut RunStats,
+    ) -> Result<()> {
+        let mut any_blocked = false;
+        // Each node exists once per graph replica, so it fires up to R
+        // operations per cycle.
+        let fires_per_cycle = self.program.replication.max(1);
+        for ix in 0..self.phase.graph.len() {
+            let node = NodeId(ix as u32);
+            for _ in 0..fires_per_cycle {
+                let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
+                    break;
+                };
+                match self.fire_one(node, tid, ops, global, shared_imgs, mem, scratch, lvc, stats)?
+                {
+                    Fired::Done => {}
+                    Fired::Blocked => {
+                        // Structural stall: retry the same token next cycle.
+                        self.units[ix].ready.push_front((tid, ops));
+                        any_blocked = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if any_blocked {
+            stats.backpressure_cycles += 1;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fire_one(
+        &mut self,
+        node: NodeId,
+        tid: u32,
+        ops: [Word; 3],
+        global: &mut MemImage,
+        shared_imgs: &mut [MemImage],
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        lvc: &mut Lvc,
+        stats: &mut RunStats,
+    ) -> Result<Fired> {
+        let lat = &self.cfg.latencies;
+        let kind = self.phase.graph.kind(node).clone();
+        match kind {
+            NodeKind::Alu(_) | NodeKind::Fpu(_) | NodeKind::Special(_) | NodeKind::Ctrl(_)
+            | NodeKind::Unary(_) | NodeKind::Select | NodeKind::Join | NodeKind::Split => {
+                let arity = kind.arity();
+                let value = eval_pure(&kind, &ops[..arity]);
+                let (latency, class) = match kind.unit_class().expect("compute node") {
+                    UnitClass::Alu => (lat.alu, &mut stats.alu_ops),
+                    UnitClass::Fpu => (lat.fpu, &mut stats.fpu_ops),
+                    UnitClass::Special => (lat.special, &mut stats.special_ops),
+                    UnitClass::Control => (lat.control, &mut stats.control_ops),
+                    UnitClass::SplitJoin => (lat.sju, &mut stats.sju_ops),
+                    UnitClass::LoadStore => unreachable!("handled below"),
+                };
+                *class += 1;
+                self.send(node, tid, value, self.now + latency, stats);
+                Ok(Fired::Done)
+            }
+            NodeKind::Load(space) => {
+                self.memory_load(
+                    node, tid, ops[0], space, global, shared_imgs, mem, scratch, stats,
+                )
+            }
+            NodeKind::Store(space) => {
+                if self.units[node.index()].outstanding >= self.outstanding_cap() {
+                    return Ok(Fired::Blocked);
+                }
+                let addr = Addr(u64::from(ops[0].as_u32()));
+                // Stores are fire-and-forget: the unit hands the request to
+                // the memory system (which books bandwidth and may fill a
+                // line in the background) and acknowledges as soon as it is
+                // accepted — the same treatment the SIMT baseline gets.
+                let ack = match space {
+                    MemSpace::Global => {
+                        match mem.store(addr, self.now + lat.ldst_issue) {
+                            AccessOutcome::Done(_fill) => {
+                                stats.global_stores += 1;
+                                global.try_store(addr, ops[1])?;
+                                self.now + lat.ldst_issue + 1
+                            }
+                            AccessOutcome::StallMshrFull => return Ok(Fired::Blocked),
+                        }
+                    }
+                    MemSpace::Shared => {
+                        stats.shared_stores += 1;
+                        let b = (tid / self.block_threads) as usize;
+                        shared_imgs[b].try_store(addr, ops[1])?;
+                        scratch.access(addr, self.now + lat.ldst_issue)
+                    }
+                };
+                self.units[node.index()].outstanding += 1;
+                self.schedule(ack, Ev::Release { node });
+                // The ordering token (or sink completion) appears at the
+                // acknowledgement.
+                self.send(node, tid, Word::ZERO, ack, stats);
+                Ok(Fired::Done)
+            }
+            NodeKind::Elevator { comm, .. } => {
+                stats.elevator_ops += 1;
+                let spilled = self.phase.lvc_spilled.contains(&node);
+                if let Some(dst) = self.comm_target(&comm, tid) {
+                    let base = if spilled {
+                        // Producer writes the LVC; consumer reads it back.
+                        let slot = Addr(u64::from(dst % self.cfg.mem.lvc.entries) * 4);
+                        let written = lvc.write(slot, self.now + lat.elevator);
+                        lvc.read(slot, written)
+                    } else {
+                        self.now + lat.elevator
+                    };
+                    self.send(node, dst, ops[0], base, stats);
+                }
+                // Fallback constants are generated at injection (see
+                // `inject`), not here — a recurrent chain's first thread
+                // must receive its constant before any input token exists.
+                Ok(Fired::Done)
+            }
+            NodeKind::ELoad { comm, space } => {
+                let enable = ops[1].as_bool();
+                if enable {
+                    let fired = self.memory_load_eld(
+                        node, tid, ops[0], space, global, shared_imgs, mem, scratch, stats,
+                    )?;
+                    return Ok(fired);
+                }
+                let Some(_) = self.comm_source(&comm, tid) else {
+                    return Err(Error::Runtime(format!(
+                        "eLDST {node}: thread {tid} has a false predicate but no in-window \
+                         source thread"
+                    )));
+                };
+                if let Some(v) = self.units[node.index()].fwd.remove(&tid) {
+                    stats.eldst_forwards += 1;
+                    self.schedule(
+                        self.now + lat.ldst_issue,
+                        Ev::EloadProduce { node, tid, value: v },
+                    );
+                } else {
+                    self.units[node.index()].parked.push(tid);
+                }
+                Ok(Fired::Done)
+            }
+            NodeKind::Const(_) | NodeKind::ThreadIdx(_) | NodeKind::BlockIdx
+            | NodeKind::Param(_) => unreachable!("sources are injected, never fired"),
+        }
+    }
+
+    /// Books and issues a plain load.
+    #[allow(clippy::too_many_arguments)]
+    fn memory_load(
+        &mut self,
+        node: NodeId,
+        tid: u32,
+        addr_w: Word,
+        space: MemSpace,
+        global: &mut MemImage,
+        shared_imgs: &mut [MemImage],
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        stats: &mut RunStats,
+    ) -> Result<Fired> {
+        if self.units[node.index()].outstanding >= self.outstanding_cap() {
+            return Ok(Fired::Blocked);
+        }
+        let addr = Addr(u64::from(addr_w.as_u32()));
+        let issue = self.now + self.cfg.latencies.ldst_issue;
+        let (value, done) = match space {
+            MemSpace::Global => match mem.load(addr, issue) {
+                AccessOutcome::Done(t) => {
+                    stats.global_loads += 1;
+                    (global.try_load(addr)?, t)
+                }
+                AccessOutcome::StallMshrFull => return Ok(Fired::Blocked),
+            },
+            MemSpace::Shared => {
+                stats.shared_loads += 1;
+                let b = (tid / self.block_threads) as usize;
+                (shared_imgs[b].try_load(addr)?, scratch.access(addr, issue))
+            }
+        };
+        self.units[node.index()].outstanding += 1;
+        self.schedule(done, Ev::Release { node });
+        self.send(node, tid, value, done, stats);
+        Ok(Fired::Done)
+    }
+
+    /// Books and issues the loading half of an eLDST; the produced value is
+    /// routed through [`Ev::EloadProduce`] so the duplicate token is offered
+    /// to the next thread in the window.
+    #[allow(clippy::too_many_arguments)]
+    fn memory_load_eld(
+        &mut self,
+        node: NodeId,
+        tid: u32,
+        addr_w: Word,
+        space: MemSpace,
+        global: &mut MemImage,
+        shared_imgs: &mut [MemImage],
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        stats: &mut RunStats,
+    ) -> Result<Fired> {
+        if self.units[node.index()].outstanding >= self.outstanding_cap() {
+            return Ok(Fired::Blocked);
+        }
+        let addr = Addr(u64::from(addr_w.as_u32()));
+        let issue = self.now + self.cfg.latencies.ldst_issue;
+        let (value, done) = match space {
+            MemSpace::Global => match mem.load(addr, issue) {
+                AccessOutcome::Done(t) => {
+                    stats.global_loads += 1;
+                    (global.try_load(addr)?, t)
+                }
+                AccessOutcome::StallMshrFull => return Ok(Fired::Blocked),
+            },
+            MemSpace::Shared => {
+                stats.shared_loads += 1;
+                let b = (tid / self.block_threads) as usize;
+                (shared_imgs[b].try_load(addr)?, scratch.access(addr, issue))
+            }
+        };
+        self.units[node.index()].outstanding += 1;
+        self.schedule(done, Ev::Release { node });
+        self.schedule(done, Ev::EloadProduce { node, tid, value });
+        Ok(Fired::Done)
+    }
+
+    /// Handles an eLDST output becoming visible: fan out downstream, then
+    /// duplicate the token to `tid + shift` (§4.2), waking a parked thread
+    /// if it is already waiting. Long-distance eLDSTs pay the Fig 10b
+    /// elevator-loop latency (and LVC-spilled ones the spill round-trip) on
+    /// the duplicate path.
+    fn eload_produce(
+        &mut self,
+        node: NodeId,
+        tid: u32,
+        value: Word,
+        lvc: &mut Lvc,
+        stats: &mut RunStats,
+    ) {
+        self.send(node, tid, value, self.now, stats);
+        let NodeKind::ELoad { comm, .. } = self.phase.graph.kind(node).clone() else {
+            unreachable!("eload_produce on non-eLDST node");
+        };
+        if let Some(dst) = self.comm_target(&comm, tid) {
+            let loop_latency = self
+                .phase
+                .eldst_loop_latency
+                .get(&node)
+                .copied()
+                .unwrap_or(0);
+            let offer_at = if self.phase.lvc_spilled.contains(&node) {
+                let slot = Addr(u64::from(dst % self.cfg.mem.lvc.entries) * 4);
+                let written = lvc.write(slot, self.now);
+                lvc.read(slot, written)
+            } else {
+                self.now + self.cfg.latencies.ldst_issue + loop_latency
+            };
+            self.schedule(
+                offer_at,
+                Ev::EloadOffer {
+                    node,
+                    tid: dst,
+                    value,
+                },
+            );
+        }
+    }
+
+    /// The duplicate token lands in the eLDST token buffer.
+    fn eload_offer(&mut self, node: NodeId, dst: u32, value: Word, stats: &mut RunStats) {
+        stats.token_buffer_writes += 1;
+        let unit = &mut self.units[node.index()];
+        if let Some(pos) = unit.parked.iter().position(|&p| p == dst) {
+            unit.parked.swap_remove(pos);
+            stats.eldst_forwards += 1;
+            self.schedule(
+                self.now + self.cfg.latencies.ldst_issue,
+                Ev::EloadProduce {
+                    node,
+                    tid: dst,
+                    value,
+                },
+            );
+        } else {
+            unit.fwd.insert(dst, value);
+        }
+    }
+
+    fn sink_done(&mut self, tid: u32, stats: &mut RunStats) {
+        let t = tid as usize;
+        self.sinks_done[t] += 1;
+        if self.sinks_done[t] == self.sink_count && !self.retired[t] {
+            self.retired[t] = true;
+            self.retired_count += 1;
+            stats.threads_retired += 1;
+            while (self.retire_floor as usize) < self.retired.len()
+                && self.retired[self.retire_floor as usize]
+            {
+                self.retire_floor += 1;
+            }
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.retired_count == self.threads
+            && self.events.is_empty()
+            && self
+                .units
+                .iter()
+                .all(|u| u.ready.is_empty() && u.parked.is_empty())
+    }
+
+    fn has_local_work(&self) -> bool {
+        self.can_inject() || self.units.iter().any(|u| !u.ready.is_empty())
+    }
+
+    fn run(
+        &mut self,
+        global: &mut MemImage,
+        shared_imgs: &mut [MemImage],
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        lvc: &mut Lvc,
+        stats: &mut RunStats,
+    ) -> Result<u64> {
+        if self.sink_count == 0 {
+            return Err(Error::Runtime(format!(
+                "program {} phase has no sink nodes; threads can never retire",
+                self.program.name
+            )));
+        }
+        loop {
+            // 1. Deliver everything due this cycle.
+            while let Some(&Reverse((t, _, _))) = self.events.peek() {
+                if t > self.now {
+                    break;
+                }
+                let Reverse((_, _, EvOrd(ev))) = self.events.pop().expect("peeked");
+                match ev {
+                    Ev::Deliver {
+                        node,
+                        port,
+                        tid,
+                        value,
+                    } => self.deliver(node, port, tid, value, stats),
+                    Ev::EloadProduce { node, tid, value } => {
+                        self.eload_produce(node, tid, value, lvc, stats);
+                    }
+                    Ev::EloadOffer { node, tid, value } => {
+                        self.eload_offer(node, tid, value, stats);
+                    }
+                    Ev::Release { node } => {
+                        let u = &mut self.units[node.index()];
+                        u.outstanding = u.outstanding.saturating_sub(1);
+                    }
+                    Ev::SinkDone { tid } => self.sink_done(tid, stats),
+                }
+            }
+            // 2. Inject new threads.
+            self.inject(stats);
+            // 3. Fire ready units (one op per unit per cycle).
+            self.fire_all(global, shared_imgs, mem, scratch, lvc, stats)?;
+            // 4. Done?
+            if self.complete() {
+                return Ok(self.now);
+            }
+            // 5. Advance time.
+            if std::env::var_os("DMT_TRACE").is_some() && self.now % 200 == 0 {
+                eprintln!(
+                    "[trace] cycle={} injected={}/{} retired={} events={} ready={} outstanding={}",
+                    self.now,
+                    self.next_inject,
+                    self.threads,
+                    self.retired_count,
+                    self.events.len(),
+                    self.units.iter().map(|u| u.ready.len()).sum::<usize>(),
+                    self.units.iter().map(|u| u.outstanding).sum::<u32>(),
+                );
+            }
+            if self.has_local_work() {
+                self.now += 1;
+            } else if let Some(&Reverse((t, _, _))) = self.events.peek() {
+                self.now = t;
+            } else {
+                let parked: Vec<String> = self
+                    .units
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, u)| !u.parked.is_empty())
+                    .map(|(i, u)| format!("n{i} waiting for {:?}", u.parked))
+                    .collect();
+                return Err(Error::Deadlock {
+                    cycle: self.now,
+                    detail: if parked.is_empty() {
+                        format!(
+                            "{} of {} threads retired, no events pending",
+                            self.retired_count, self.threads
+                        )
+                    } else {
+                        format!("eLDST threads parked without producers: {}", parked.join("; "))
+                    },
+                });
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fired {
+    Done,
+    Blocked,
+}

@@ -1,0 +1,174 @@
+//! The fabric-program representation: a compiled kernel ready to execute on
+//! the CGRA grid.
+//!
+//! A [`FabricProgram`] is produced by `dmt-compiler` and consumed by
+//! [`crate::machine::FabricMachine`]. It carries the (possibly transformed —
+//! elevator cascades inserted, spills marked) dataflow graphs, a physical
+//! placement of each node onto grid coordinates, and the per-edge NoC hop
+//! counts derived from that placement.
+
+use dmt_common::config::UnitClass;
+use dmt_common::geom::Dim3;
+use dmt_common::ids::NodeId;
+use dmt_dfg::Dfg;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A position in the placement grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Coord {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Manhattan distance to another coordinate — the NoC hop count between
+    /// two units under dimension-ordered routing.
+    #[must_use]
+    pub fn manhattan(self, other: Coord) -> u64 {
+        u64::from(self.x.abs_diff(other.x)) + u64::from(self.y.abs_diff(other.y))
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// One compiled, placed phase.
+#[derive(Debug, Clone)]
+pub struct PhaseProgram {
+    /// The transformed dataflow graph (cascades inserted, fan-out splits
+    /// added).
+    pub graph: Dfg,
+    /// Grid coordinate of every node (sources are placed with their first
+    /// consumer; they are injected, not executed).
+    pub placement: Vec<Coord>,
+    /// `edge_hops[n][i]` = NoC hops for the i-th consumer edge of node `n`
+    /// (aligned with `graph.consumers(n)`).
+    pub edge_hops: Vec<Vec<u64>>,
+    /// Units consumed per class (for reporting; the compiler has already
+    /// verified capacity).
+    pub unit_usage: BTreeMap<UnitClass, u32>,
+    /// Elevator nodes the compiler demoted to Live-Value-Cache spills
+    /// (ΔTID too large even for a full cascade, §4.3).
+    pub lvc_spilled: HashSet<NodeId>,
+    /// Extra forwarding latency for eLDST nodes whose ΔTID exceeds the
+    /// token buffer: the compiler maps them onto a closed loop of cascaded
+    /// elevator nodes enclosed by MUXes (Fig 10b), which the machine models
+    /// as added latency on the duplicate-token path.
+    pub eldst_loop_latency: HashMap<NodeId, u64>,
+}
+
+impl PhaseProgram {
+    /// Computes `edge_hops` from a placement (minimum 1 hop per edge — even
+    /// co-located units traverse their crossbar switch).
+    #[must_use]
+    pub fn hops_from_placement(graph: &Dfg, placement: &[Coord]) -> Vec<Vec<u64>> {
+        graph
+            .node_ids()
+            .map(|n| {
+                graph
+                    .consumers(n)
+                    .iter()
+                    .map(|&(c, _)| placement[n.index()].manhattan(placement[c.index()]).max(1))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total NoC hops if every edge carried one token (static route length).
+    #[must_use]
+    pub fn static_route_hops(&self) -> u64 {
+        self.edge_hops.iter().flatten().sum()
+    }
+}
+
+/// A fully compiled kernel: metadata plus one [`PhaseProgram`] per
+/// barrier-delimited phase.
+#[derive(Debug, Clone)]
+pub struct FabricProgram {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Thread-block shape.
+    pub block: Dim3,
+    /// Thread blocks in the launch grid.
+    pub grid_blocks: u32,
+    /// Declared parameter count.
+    pub param_count: usize,
+    /// Scratchpad words per block (baseline kernels).
+    pub shared_words: u32,
+    /// Dataflow-graph replication factor (§3: "the configuration consists
+    /// of one or more replicas of the kernel's dataflow graph"): the grid
+    /// holds this many copies, so this many threads inject — and each node
+    /// fires this many operations — per cycle.
+    pub replication: u32,
+    /// Compiled phases.
+    pub phases: Vec<PhaseProgram>,
+}
+
+impl FabricProgram {
+    /// Threads per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.len()
+    }
+
+    /// Peak units consumed in any phase, per class.
+    #[must_use]
+    pub fn peak_unit_usage(&self) -> BTreeMap<UnitClass, u32> {
+        let mut peak = BTreeMap::new();
+        for phase in &self.phases {
+            for (&class, &n) in &phase.unit_usage {
+                let e = peak.entry(class).or_insert(0);
+                *e = (*e).max(n);
+            }
+        }
+        peak
+    }
+}
+
+impl fmt::Display for FabricProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fabric program {} <<<{}, {}>>> ({} phases)",
+            self.name,
+            self.grid_blocks,
+            self.block,
+            self.phases.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_dfg::node::{AluOp, NodeKind};
+    use dmt_common::value::Word;
+    use dmt_common::ids::PortIx;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { x: 0, y: 0 };
+        let b = Coord { x: 3, y: 4 };
+        assert_eq!(a.manhattan(b), 7);
+        assert_eq!(b.manhattan(a), 7);
+    }
+
+    #[test]
+    fn hops_floor_at_one() {
+        let mut g = Dfg::new();
+        let c = g.add_node(NodeKind::Const(Word::ZERO));
+        let d = g.add_node(NodeKind::Const(Word::ZERO));
+        let a = g.add_node(NodeKind::Alu(AluOp::Add));
+        g.connect(c, a, PortIx(0)).unwrap();
+        g.connect(d, a, PortIx(1)).unwrap();
+        let placement = vec![Coord { x: 1, y: 1 }; 3];
+        let hops = PhaseProgram::hops_from_placement(&g, &placement);
+        assert_eq!(hops[c.index()], vec![1], "co-located still crosses the switch");
+    }
+}

@@ -1,0 +1,175 @@
+//! Fabric-engine behaviour tests: injection windows, backpressure,
+//! deadlock diagnostics and long-distance forwarding timing.
+
+use dmt_common::config::SystemConfig;
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder, LaunchInput};
+use dmt_fabric::testutil::naive_program;
+use dmt_fabric::FabricMachine;
+
+fn chain_kernel(n: u32, depth: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("chain", Dim3::linear(n));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let one = kb.const_i(1);
+    let mut v = tid;
+    for _ in 0..depth {
+        v = kb.add_i(v, one);
+    }
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    kb.finish().unwrap()
+}
+
+fn run_with(cfg: SystemConfig, kernel: &Kernel) -> dmt_common::stats::RunStats {
+    let n = kernel.threads_per_block() * kernel.grid_blocks();
+    FabricMachine::new(cfg)
+        .run(
+            &naive_program(kernel, 12),
+            LaunchInput::new(
+                vec![Word::from_u32(0)],
+                MemImage::with_words(n as usize),
+            ),
+        )
+        .unwrap()
+        .stats
+}
+
+#[test]
+fn smaller_inflight_window_throttles_throughput() {
+    let kernel = chain_kernel(512, 4);
+    let mut small = SystemConfig::default();
+    small.fabric.inflight_threads = 8;
+    let mut large = SystemConfig::default();
+    large.fabric.inflight_threads = 2048;
+    let t_small = run_with(small, &kernel).cycles;
+    let t_large = run_with(large, &kernel).cycles;
+    assert!(
+        t_small as f64 > 1.5 * t_large as f64,
+        "window 8 ({t_small}) should be much slower than 2048 ({t_large})"
+    );
+}
+
+#[test]
+fn tiny_ldst_queues_register_backpressure() {
+    let kernel = chain_kernel(512, 1);
+    let mut cfg = SystemConfig::default();
+    cfg.fabric.ldst_queue_entries = 1;
+    let stats = run_with(cfg, &kernel);
+    assert!(
+        stats.backpressure_cycles > 0,
+        "a 1-entry store queue must stall"
+    );
+    let relaxed = run_with(SystemConfig::default(), &kernel);
+    assert!(relaxed.cycles < stats.cycles);
+}
+
+#[test]
+fn deadlock_reports_the_stuck_state() {
+    // An eLDST whose predicate is false for every thread: the fabric
+    // parks all of them and must report the deadlock, not hang.
+    let n = 8u32;
+    let mut kb = KernelBuilder::new("stuck", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let zero = kb.const_i(0);
+    let never = kb.lt_s(tid, zero);
+    let v = kb.from_thread_or_mem(inp, never, Delta::new(-1), None);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    let kernel = kb.finish().unwrap();
+    let err = FabricMachine::new(SystemConfig::default())
+        .run(
+            &naive_program(&kernel, 12),
+            LaunchInput::new(
+                vec![Word::ZERO, Word::from_u32(0)],
+                MemImage::with_words(n as usize),
+            ),
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("deadlock") || msg.contains("no in-window source"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn noc_hop_latency_stretches_the_pipeline() {
+    let kernel = chain_kernel(256, 8);
+    let mut slow = SystemConfig::default();
+    slow.fabric.noc_hop_latency = 8;
+    let t_fast = run_with(SystemConfig::default(), &kernel).cycles;
+    let t_slow = run_with(slow, &kernel).cycles;
+    assert!(t_slow > t_fast, "{t_slow} !> {t_fast}");
+}
+
+#[test]
+fn elevator_counters_balance_across_windows() {
+    // Δ = -1, window 16, 256 threads: 16 fallback constants, 240 transfers.
+    let n = 256u32;
+    let mut kb = KernelBuilder::new("bal", Dim3::linear(n));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let v = kb.from_thread_or_const(tid, Delta::new(-1), Word::ZERO, Some(16));
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    let kernel = kb.finish().unwrap();
+    let stats = run_with(SystemConfig::default(), &kernel);
+    assert_eq!(stats.elevator_const_tokens, 16);
+    assert_eq!(stats.elevator_ops, u64::from(n), "every input token consumed");
+    assert_eq!(stats.threads_retired, u64::from(n));
+}
+
+#[test]
+fn reconfiguration_cost_scales_with_phase_count() {
+    let build = |phases: u32| {
+        let n = 32u32;
+        let mut kb = KernelBuilder::new("phases", Dim3::linear(n));
+        kb.set_shared_words(n);
+        let tid = kb.thread_idx(0);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        kb.store_shared(sa, tid);
+        for _ in 1..phases {
+            kb.barrier();
+            let tid = kb.thread_idx(0);
+            let z = kb.const_i(0);
+            let sa = kb.index_addr(z, tid, 4);
+            let v = kb.load_shared(sa);
+            let one = kb.const_i(1);
+            let v2 = kb.add_i(v, one);
+            kb.store_shared(sa, v2);
+        }
+        kb.barrier();
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        let v = kb.load_shared(sa);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, v);
+        kb.finish().unwrap()
+    };
+    let short = build(2);
+    let long = build(6);
+    let t_short = run_with(SystemConfig::default(), &short).cycles;
+    let t_long = run_with(SystemConfig::default(), &long).cycles;
+    assert!(t_long > t_short + 4 * SystemConfig::default().fabric.reconfiguration_cycles);
+    // And the functional result survives all those drains.
+    let n = 32;
+    let run = FabricMachine::new(SystemConfig::default())
+        .run(
+            &naive_program(&long, 12),
+            LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(n)),
+        )
+        .unwrap();
+    let got = run.memory.read_i32_slice(Addr(0), n);
+    for (t, &v) in got.iter().enumerate() {
+        assert_eq!(v, t as i32 + 5, "5 increments applied");
+    }
+}

@@ -1,0 +1,48 @@
+//! The von Neumann GPGPU baseline (Fermi-class SM).
+//!
+//! The paper's headline numbers are relative to an NVIDIA Fermi SM
+//! simulated with GPGPU-Sim (§5.1). This crate is the corresponding
+//! substitute: an in-order, scoreboarded, 32-wide SIMT core running the
+//! *same kernels* (their shared-memory variants) against the *same memory
+//! hierarchy* (`dmt-mem`), so cross-architecture comparisons hold
+//! everything except the execution model constant.
+//!
+//! See [`mod@lower`] for the DFG → SIMT instruction lowering and [`machine`]
+//! for the timing model. Like the fabric, the GPU is functionally
+//! bit-identical to the `dmt-dfg` reference interpreter.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmt_gpu::GpuMachine;
+//! use dmt_dfg::{KernelBuilder, LaunchInput};
+//! use dmt_common::{SystemConfig, MemImage, Word};
+//! use dmt_common::geom::Dim3;
+//! use dmt_common::ids::Addr;
+//!
+//! let mut kb = KernelBuilder::new("double", Dim3::linear(64));
+//! let inp = kb.param("in");
+//! let out = kb.param("out");
+//! let tid = kb.thread_idx(0);
+//! let a = kb.index_addr(inp, tid, 4);
+//! let x = kb.load_global(a);
+//! let y = kb.add_i(x, x);
+//! let oa = kb.index_addr(out, tid, 4);
+//! kb.store_global(oa, y);
+//! let kernel = kb.finish()?;
+//!
+//! let mut mem = MemImage::with_words(128);
+//! mem.write_i32_slice(Addr(0), &(0..64).collect::<Vec<_>>());
+//! let run = GpuMachine::new(SystemConfig::default()).run(
+//!     &kernel,
+//!     LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(256)], mem),
+//! )?;
+//! assert_eq!(run.memory.read_i32_slice(Addr(256), 3), vec![0, 2, 4]);
+//! # Ok::<(), dmt_common::Error>(())
+//! ```
+
+pub mod lower;
+pub mod machine;
+
+pub use lower::{lower, GpuInstr, GpuProgram, IssueClass};
+pub use machine::{GpuMachine, GpuRunResult};

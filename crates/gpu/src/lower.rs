@@ -1,0 +1,200 @@
+//! Kernel dataflow graphs → linear SIMT instruction streams.
+//!
+//! The von Neumann baseline executes the *same* kernels as the CGRA
+//! backends (their shared-memory variants), lowered to an in-order
+//! instruction sequence: one instruction per non-source dataflow node, in
+//! topological order, with virtual registers identified with node ids.
+//! Barrier-delimited phases are concatenated with an explicit `Barrier`
+//! instruction — CUDA `__syncthreads()`.
+//!
+//! Kernels that use the dMT-CGRA communication primitives cannot be
+//! lowered: a von Neumann GPU has no elevator nodes — that is the paper's
+//! point — so lowering them is a compile error.
+
+use dmt_common::ids::NodeId;
+use dmt_common::{Error, Result};
+use dmt_dfg::node::{MemSpace, NodeKind};
+use dmt_dfg::Kernel;
+
+/// Functional-unit class an instruction issues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueClass {
+    /// Integer pipeline.
+    Alu,
+    /// Floating-point pipeline.
+    Fpu,
+    /// Special-function unit (div/sqrt/exp) — low throughput.
+    Sfu,
+    /// Global-memory load.
+    LoadGlobal,
+    /// Shared-memory load.
+    LoadShared,
+    /// Global-memory store.
+    StoreGlobal,
+    /// Shared-memory store.
+    StoreShared,
+}
+
+/// One lowered warp instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuInstr {
+    /// Execute dataflow node `node` (its operands are the node's inputs,
+    /// already materialized in registers).
+    Op {
+        /// The dataflow node this instruction computes.
+        node: NodeId,
+        /// Pipeline it issues to.
+        class: IssueClass,
+    },
+    /// Block-wide barrier (`__syncthreads()`).
+    Barrier,
+}
+
+/// A lowered kernel: one instruction stream per phase, executed back to
+/// back with barriers in between (and an implicit barrier at each phase
+/// boundary, which is exactly what the source kernels encode).
+#[derive(Debug, Clone)]
+pub struct GpuProgram {
+    /// Instruction streams, one per phase.
+    pub phases: Vec<Vec<GpuInstr>>,
+}
+
+impl GpuProgram {
+    /// Total dynamic warp-instructions per warp for one full kernel
+    /// execution (including inter-phase barriers).
+    #[must_use]
+    pub fn instructions_per_warp(&self) -> u64 {
+        let ops: usize = self.phases.iter().map(Vec::len).sum();
+        let barriers = self.phases.len().saturating_sub(1);
+        (ops + barriers) as u64
+    }
+}
+
+/// Lowers a kernel to SIMT instructions.
+///
+/// # Errors
+///
+/// Returns [`Error::Compile`] when the kernel uses inter-thread
+/// communication primitives (elevator / eLDST) — those require the
+/// dMT-CGRA fabric.
+pub fn lower(kernel: &Kernel) -> Result<GpuProgram> {
+    let mut phases = Vec::with_capacity(kernel.phases().len());
+    for graph in kernel.phases() {
+        let mut instrs = Vec::new();
+        for id in graph.topo_order()? {
+            let class = match graph.kind(id) {
+                NodeKind::Elevator { .. } | NodeKind::ELoad { .. } => {
+                    return Err(Error::Compile(format!(
+                        "kernel {}: node {id} uses direct inter-thread communication, which \
+                         the von Neumann GPU baseline does not support",
+                        kernel.name()
+                    )));
+                }
+                k if k.is_source() => continue, // registers/immediates; no instruction
+                // Ordering joins and fan-out splits are CGRA structural
+                // artifacts; on a register machine they are register
+                // aliases and cost nothing.
+                NodeKind::Join | NodeKind::Split => continue,
+                NodeKind::Alu(_) => IssueClass::Alu,
+                NodeKind::Unary(op) => match op.unit_class() {
+                    dmt_common::config::UnitClass::Fpu => IssueClass::Fpu,
+                    _ => IssueClass::Alu,
+                },
+                NodeKind::Fpu(_) => IssueClass::Fpu,
+                NodeKind::Special(_) => IssueClass::Sfu,
+                NodeKind::Ctrl(_) | NodeKind::Select => IssueClass::Alu,
+                NodeKind::Load(MemSpace::Global) => IssueClass::LoadGlobal,
+                NodeKind::Load(MemSpace::Shared) => IssueClass::LoadShared,
+                NodeKind::Store(MemSpace::Global) => IssueClass::StoreGlobal,
+                NodeKind::Store(MemSpace::Shared) => IssueClass::StoreShared,
+                NodeKind::Const(_)
+                | NodeKind::ThreadIdx(_)
+                | NodeKind::BlockIdx
+                | NodeKind::Param(_) => unreachable!("sources skipped above"),
+            };
+            instrs.push(GpuInstr::Op { node: id, class });
+        }
+        phases.push(instrs);
+    }
+    Ok(GpuProgram { phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::{Delta, Dim3};
+    use dmt_common::value::Word;
+    use dmt_dfg::KernelBuilder;
+
+    #[test]
+    fn lowering_counts_real_instructions_only() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(32));
+        let p = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(p, tid, 4); // const + mul + add → 2 instrs
+        kb.store_global(a, tid); // 1 instr
+        let k = kb.finish().unwrap();
+        let prog = lower(&k).unwrap();
+        assert_eq!(prog.phases.len(), 1);
+        assert_eq!(prog.phases[0].len(), 3, "mul, add, store");
+        assert_eq!(prog.instructions_per_warp(), 3);
+    }
+
+    #[test]
+    fn barrier_appears_between_phases() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        kb.set_shared_words(8);
+        let tid = kb.thread_idx(0);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        kb.store_shared(sa, tid);
+        kb.barrier();
+        let tid2 = kb.thread_idx(0);
+        let out = kb.param("out");
+        let z2 = kb.const_i(0);
+        let sa2 = kb.index_addr(z2, tid2, 4);
+        let v = kb.load_shared(sa2);
+        let oa = kb.index_addr(out, tid2, 4);
+        kb.store_global(oa, v);
+        let k = kb.finish().unwrap();
+        let prog = lower(&k).unwrap();
+        assert_eq!(prog.phases.len(), 2);
+        // barriers are implicit between phases in instructions_per_warp
+        assert_eq!(
+            prog.instructions_per_warp(),
+            (prog.phases[0].len() + prog.phases[1].len() + 1) as u64
+        );
+    }
+
+    #[test]
+    fn inter_thread_comm_rejected() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(tid, Delta::new(-1), Word::ZERO, None);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let err = lower(&k).unwrap_err();
+        assert!(err.to_string().contains("inter-thread"), "{err}");
+    }
+
+    #[test]
+    fn special_ops_issue_to_sfu() {
+        let mut kb = KernelBuilder::new("t", Dim3::linear(8));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let f = kb.i2f(tid);
+        let s = kb.sqrt_f(f);
+        let v = kb.f2i(s);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        let prog = lower(&k).unwrap();
+        let sfu = prog.phases[0]
+            .iter()
+            .filter(|i| matches!(i, GpuInstr::Op { class: IssueClass::Sfu, .. }))
+            .count();
+        assert_eq!(sfu, 1);
+    }
+}

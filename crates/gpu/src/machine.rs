@@ -1,0 +1,698 @@
+//! The Fermi-class SM timing model: in-order warps over a scoreboard.
+//!
+//! §5.1 equates one dMT-CGRA core with one NVIDIA SM: "in an Nvidia SM,
+//! that logic assembles 32 CUDA cores". This model captures the mechanisms
+//! the paper's comparison turns on:
+//!
+//! * **32-wide SIMT issue** — at most one warp-instruction issues per
+//!   cycle, so peak throughput is 32 lanes vs the fabric's 140 units;
+//! * **register-file traffic** — every operand is a register read, every
+//!   result a write (charged by the energy model);
+//! * **scoreboarded memory latency** — loads complete through the same
+//!   L1/L2/DRAM hierarchy, with per-warp address coalescing;
+//! * **shared-memory banking** — per-lane scratchpad accesses serialize on
+//!   bank conflicts;
+//! * **barrier synchronization** — `__syncthreads()` blocks every warp in
+//!   the block until the slowest arrives (and its memory settles).
+//!
+//! The L1 uses Fermi's write-through / write-no-allocate policy (§5.1).
+
+use crate::lower::{lower, GpuInstr, GpuProgram, IssueClass};
+use dmt_common::config::{SystemConfig, WritePolicy};
+use dmt_common::ids::{Addr, NodeId, ThreadId};
+use dmt_common::memimg::MemImage;
+use dmt_common::stats::RunStats;
+use dmt_common::value::Word;
+use dmt_common::{Error, Result};
+use dmt_dfg::kernel::LaunchInput;
+use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
+use dmt_dfg::{Dfg, Kernel};
+use dmt_mem::{AccessOutcome, MemSystem, Scratchpad};
+
+/// Result of a GPU run: final memory image plus statistics.
+#[derive(Debug, Clone)]
+pub struct GpuRunResult {
+    /// Final global-memory image.
+    pub memory: MemImage,
+    /// Event counters and total cycles.
+    pub stats: RunStats,
+}
+
+/// The SIMT baseline machine.
+#[derive(Debug, Clone)]
+pub struct GpuMachine {
+    cfg: SystemConfig,
+}
+
+impl GpuMachine {
+    /// Creates a machine with the given configuration.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> GpuMachine {
+        GpuMachine { cfg }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Lowers and executes `kernel`, running grid blocks sequentially on
+    /// one SM (matching the fabric backends' per-core methodology).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Compile`] for kernels using inter-thread
+    /// communication and [`Error::Runtime`] for parameter/address errors.
+    pub fn run(&self, kernel: &Kernel, input: LaunchInput) -> Result<GpuRunResult> {
+        let program = lower(kernel)?;
+        if input.params.len() != kernel.param_names().len() {
+            return Err(Error::Runtime(format!(
+                "kernel {} expects {} parameters, got {}",
+                kernel.name(),
+                kernel.param_names().len(),
+                input.params.len()
+            )));
+        }
+        let mut global = input.memory;
+        let mut stats = RunStats::default();
+        // Fermi L1: write-through, write-no-allocate (§5.1).
+        let mut mem = MemSystem::new(&self.cfg.mem, WritePolicy::WriteThroughNoAllocate);
+        let mut scratch = Scratchpad::new(self.cfg.mem.scratchpad);
+        let mut now = 0u64;
+        // Concurrent resident blocks, limited by warp slots and scratchpad
+        // capacity (Fermi runs several blocks per SM; their warps hide each
+        // other's barrier and memory stalls).
+        let warps_per_block = kernel
+            .threads_per_block()
+            .div_ceil(self.cfg.gpu.warp_width)
+            .max(1);
+        let by_warps = (self.cfg.gpu.max_warps / warps_per_block).max(1);
+        let by_shared = if kernel.shared_words() == 0 {
+            u32::MAX
+        } else {
+            ((self.cfg.mem.scratchpad.size_bytes / 4) as u32 / kernel.shared_words()).max(1)
+        };
+        let wave = by_warps.min(by_shared).min(kernel.grid_blocks());
+        let mut first = 0u32;
+        while first < kernel.grid_blocks() {
+            let last = (first + wave).min(kernel.grid_blocks());
+            let mut exec =
+                WaveExec::new(&self.cfg, kernel, &program, first..last, &input.params, now);
+            now = exec.run(&mut global, &mut mem, &mut scratch, &mut stats)?;
+            first = last;
+        }
+        stats.shared_bank_conflicts = scratch.bank_conflicts;
+        stats.cycles = now;
+        stats.phases += kernel.phases().len() as u64;
+        mem.export_stats(&mut stats);
+        Ok(GpuRunResult {
+            memory: global,
+            stats,
+        })
+    }
+}
+
+/// Per-warp execution state.
+#[derive(Debug, Clone)]
+struct Warp {
+    /// Resident-block slot this warp belongs to.
+    slot: usize,
+    /// First linear thread id in the warp (within its block).
+    base_tid: u32,
+    /// Active lanes (the last warp of an odd-sized block is partial).
+    lanes: u32,
+    /// Next instruction index in the flattened stream.
+    pc: usize,
+    /// Earliest cycle the warp may issue again.
+    ready_at: u64,
+    /// Per-register (= per dataflow node) operand-ready cycles for the
+    /// current phase.
+    reg_ready: Vec<u64>,
+    /// Latest memory completion issued by this warp (barriers wait on it).
+    mem_settle: u64,
+    /// Waiting at a barrier.
+    at_barrier: bool,
+}
+
+/// One resident thread block (an SM keeps several in flight, §5.1:
+/// "the amount of logic in an SM" includes the multi-block scheduler).
+#[derive(Debug)]
+struct BlockSlot {
+    /// Grid-wide block index.
+    block: u32,
+    /// Register values for the current phase: `values[node][thread]`.
+    values: Vec<Vec<Word>>,
+    /// The block's shared-memory image.
+    shared: MemImage,
+    /// Current phase index.
+    phase: usize,
+}
+
+/// Executes one *wave* of concurrently resident blocks; waves run
+/// back-to-back until the grid is exhausted. Within a wave the scheduler
+/// round-robins over every resident warp, so one block's barrier stall is
+/// hidden by other blocks — just like a real SM.
+struct WaveExec<'a> {
+    cfg: &'a SystemConfig,
+    kernel: &'a Kernel,
+    params: &'a [Word],
+    /// Flattened instruction stream: (phase index, instruction).
+    stream: Vec<(usize, GpuInstr)>,
+    warps: Vec<Warp>,
+    slots: Vec<BlockSlot>,
+    now: u64,
+    rr: usize,
+}
+
+impl<'a> WaveExec<'a> {
+    fn new(
+        cfg: &'a SystemConfig,
+        kernel: &'a Kernel,
+        program: &'a GpuProgram,
+        blocks: std::ops::Range<u32>,
+        params: &'a [Word],
+        start: u64,
+    ) -> WaveExec<'a> {
+        let mut stream = Vec::new();
+        for (pi, phase) in program.phases.iter().enumerate() {
+            if pi > 0 {
+                stream.push((pi - 1, GpuInstr::Barrier));
+            }
+            stream.extend(phase.iter().map(|&i| (pi, i)));
+        }
+        let threads = kernel.threads_per_block();
+        let width = cfg.gpu.warp_width;
+        let n_warps = threads.div_ceil(width);
+        let mut warps = Vec::new();
+        let mut slots = Vec::new();
+        for (si, block) in blocks.enumerate() {
+            slots.push(BlockSlot {
+                block,
+                values: Vec::new(),
+                shared: MemImage::with_words(kernel.shared_words() as usize),
+                phase: 0,
+            });
+            for w in 0..n_warps {
+                warps.push(Warp {
+                    slot: si,
+                    base_tid: w * width,
+                    lanes: width.min(threads - w * width),
+                    pc: 0,
+                    ready_at: start,
+                    reg_ready: Vec::new(),
+                    mem_settle: start,
+                    at_barrier: false,
+                });
+            }
+        }
+        WaveExec {
+            cfg,
+            kernel,
+            params,
+            stream,
+            warps,
+            slots,
+            now: start,
+            rr: 0,
+        }
+    }
+
+    /// Materializes source registers for `slot`'s current phase
+    /// (threadIdx, constants, parameters — special registers and
+    /// immediates on a real SM, so no instructions).
+    fn enter_phase(&mut self, si: usize) {
+        let graph = &self.kernel.phases()[self.slots[si].phase];
+        let threads = self.kernel.threads_per_block() as usize;
+        let block = self.slots[si].block;
+        let mut values = vec![vec![Word::ZERO; threads]; graph.len()];
+        for id in graph.node_ids() {
+            let kind = graph.kind(id);
+            if !kind.is_source() {
+                continue;
+            }
+            for (t, v) in values[id.index()].iter_mut().enumerate() {
+                *v = match *kind {
+                    NodeKind::Const(w) => w,
+                    NodeKind::ThreadIdx(d) => {
+                        Word::from_u32(self.kernel.block().coord(ThreadId(t as u32), d))
+                    }
+                    NodeKind::BlockIdx => Word::from_u32(block),
+                    NodeKind::Param(slot) => self.params[usize::from(slot)],
+                    _ => unreachable!(),
+                };
+            }
+        }
+        self.slots[si].values = values;
+        let at = self.now;
+        for w in &mut self.warps {
+            if w.slot == si {
+                w.reg_ready = vec![at; graph.len()];
+            }
+        }
+    }
+
+    fn operands_ready(&self, warp: &Warp, graph: &Dfg, node: NodeId) -> u64 {
+        graph
+            .inputs(node)
+            .iter()
+            .flatten()
+            .map(|src| warp.reg_ready[src.index()])
+            .max()
+            .unwrap_or(self.now)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        wi: usize,
+        phase_ix: usize,
+        instr: GpuInstr,
+        global: &mut MemImage,
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        stats: &mut RunStats,
+    ) -> Result<bool> {
+        let graph = &self.kernel.phases()[phase_ix];
+        let GpuInstr::Op { node, class } = instr else {
+            unreachable!("barriers handled by the scheduler");
+        };
+        let si = self.warps[wi].slot;
+        let lanes = u64::from(self.warps[wi].lanes);
+        let g = self.cfg.gpu;
+        let n_srcs = graph.inputs(node).iter().flatten().count() as u64;
+
+        let (done_at, issue_busy) = match class {
+            IssueClass::Alu => (self.now + g.alu_latency, g.issue_latency),
+            IssueClass::Fpu => (self.now + g.fpu_latency, g.issue_latency),
+            IssueClass::Sfu => (
+                self.now + g.sfu_latency,
+                u64::from(g.warp_width / g.sfu_lanes),
+            ),
+            IssueClass::LoadGlobal | IssueClass::StoreGlobal => {
+                let is_store = matches!(class, IssueClass::StoreGlobal);
+                // Coalesce per-lane addresses into unique line transactions.
+                let warp = &self.warps[wi];
+                let line = self.cfg.mem.l1.line_bytes;
+                let addr_node = graph.inputs(node)[0].expect("wired");
+                let mut lines: Vec<u64> = (0..warp.lanes)
+                    .map(|l| {
+                        let t = (warp.base_tid + l) as usize;
+                        u64::from(self.slots[si].values[addr_node.index()][t].as_u32()) / line
+                    })
+                    .collect();
+                lines.sort_unstable();
+                lines.dedup();
+                let mut worst = self.now;
+                for &ln in &lines {
+                    let addr = Addr(ln * line);
+                    let outcome = if is_store {
+                        mem.store(addr, self.now + g.issue_latency)
+                    } else {
+                        mem.load(addr, self.now + g.issue_latency)
+                    };
+                    match outcome {
+                        AccessOutcome::Done(t) => worst = worst.max(t),
+                        // Replay the whole instruction next cycle; partial
+                        // bookings model the bandwidth cost of replays.
+                        AccessOutcome::StallMshrFull => return Ok(false),
+                    }
+                }
+                if is_store {
+                    stats.global_stores += lines.len() as u64;
+                    // Stores are fire-and-forget on the SM too.
+                    worst = self.now + g.issue_latency;
+                } else {
+                    stats.global_loads += lines.len() as u64;
+                }
+                self.do_memory(phase_ix, node, wi, is_store, MemSpace::Global, global)?;
+                (worst, g.issue_latency)
+            }
+            IssueClass::LoadShared | IssueClass::StoreShared => {
+                let is_store = matches!(class, IssueClass::StoreShared);
+                let warp = &self.warps[wi];
+                let addr_node = graph.inputs(node)[0].expect("wired");
+                let addrs: Vec<u64> = (0..warp.lanes)
+                    .map(|l| {
+                        let t = (warp.base_tid + l) as usize;
+                        u64::from(self.slots[si].values[addr_node.index()][t].as_u32())
+                    })
+                    .collect();
+                let mut worst = self.now;
+                for a in addrs {
+                    let done = scratch.access(Addr(a), self.now + g.issue_latency);
+                    worst = worst.max(done);
+                }
+                if is_store {
+                    stats.shared_stores += lanes;
+                } else {
+                    stats.shared_loads += lanes;
+                }
+                self.do_memory(phase_ix, node, wi, is_store, MemSpace::Shared, global)?;
+                (worst, g.issue_latency)
+            }
+        };
+
+        // Functional result for compute classes.
+        if matches!(class, IssueClass::Alu | IssueClass::Fpu | IssueClass::Sfu) {
+            let warp = &self.warps[wi];
+            let vals: Vec<Word> = (0..warp.lanes)
+                .map(|l| {
+                    let t = (warp.base_tid + l) as usize;
+                    let ops: Vec<Word> = graph
+                        .inputs(node)
+                        .iter()
+                        .flatten()
+                        .map(|src| self.slots[si].values[src.index()][t])
+                        .collect();
+                    eval_pure(graph.kind(node), &ops)
+                })
+                .collect();
+            let base = self.warps[wi].base_tid as usize;
+            for (l, v) in vals.into_iter().enumerate() {
+                self.slots[si].values[node.index()][base + l] = v;
+            }
+        }
+
+        stats.gpu_instructions += 1;
+        stats.gpu_thread_instructions += lanes;
+        stats.register_reads += n_srcs * lanes;
+        stats.register_writes += lanes;
+
+        let warp = &mut self.warps[wi];
+        warp.reg_ready[node.index()] = done_at;
+        if matches!(
+            class,
+            IssueClass::LoadGlobal
+                | IssueClass::StoreGlobal
+                | IssueClass::LoadShared
+                | IssueClass::StoreShared
+        ) {
+            warp.mem_settle = warp.mem_settle.max(done_at);
+        }
+        warp.pc += 1;
+        warp.ready_at = self.now + issue_busy.max(1);
+        Ok(true)
+    }
+
+    /// Functional memory effect for every lane (timing handled by caller).
+    fn do_memory(
+        &mut self,
+        phase_ix: usize,
+        node: NodeId,
+        wi: usize,
+        is_store: bool,
+        space: MemSpace,
+        global: &mut MemImage,
+    ) -> Result<()> {
+        let graph = &self.kernel.phases()[phase_ix];
+        let si = self.warps[wi].slot;
+        let (base, lanes) = (self.warps[wi].base_tid, self.warps[wi].lanes);
+        let addr_node = graph.inputs(node)[0].expect("wired");
+        for l in 0..lanes {
+            let t = (base + l) as usize;
+            let addr = Addr(u64::from(self.slots[si].values[addr_node.index()][t].as_u32()));
+            if is_store {
+                let val_node = graph.inputs(node)[1].expect("wired");
+                let v = self.slots[si].values[val_node.index()][t];
+                match space {
+                    MemSpace::Global => global.try_store(addr, v)?,
+                    MemSpace::Shared => self.slots[si].shared.try_store(addr, v)?,
+                }
+                self.slots[si].values[node.index()][t] = Word::ZERO; // ordering token
+            } else {
+                let v = match space {
+                    MemSpace::Global => global.try_load(addr)?,
+                    MemSpace::Shared => self.slots[si].shared.try_load(addr)?,
+                };
+                self.slots[si].values[node.index()][t] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases any block whose unfinished warps are all parked at the
+    /// barrier with their memory settled; moves the block to its next
+    /// phase.
+    fn release_barriers(&mut self, end: usize, stats: &mut RunStats) {
+        for si in 0..self.slots.len() {
+            let members = || {
+                self.warps
+                    .iter()
+                    .filter(move |w| w.slot == si && w.pc < usize::MAX)
+            };
+            let _ = &members;
+            let unfinished: Vec<usize> = self
+                .warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.slot == si && w.pc < end)
+                .map(|(i, _)| i)
+                .collect();
+            if unfinished.is_empty() || !unfinished.iter().all(|&i| self.warps[i].at_barrier) {
+                continue;
+            }
+            let release = unfinished
+                .iter()
+                .map(|&i| self.warps[i].mem_settle)
+                .max()
+                .unwrap_or(self.now)
+                .max(self.now);
+            for &i in &unfinished {
+                let w = &mut self.warps[i];
+                w.at_barrier = false;
+                stats.barrier_wait_cycles += release.saturating_sub(w.ready_at);
+                w.pc += 1;
+                w.ready_at = release + 1;
+                stats.barriers += 1;
+            }
+            // Phase boundary: materialize the next phase's registers.
+            let next_pc = self.warps[unfinished[0]].pc.min(end - 1);
+            let (pi, _) = self.stream[next_pc];
+            if pi != self.slots[si].phase && pi < self.kernel.phases().len() {
+                self.slots[si].phase = pi;
+                self.enter_phase(si);
+            }
+        }
+    }
+
+    fn run(
+        &mut self,
+        global: &mut MemImage,
+        mem: &mut MemSystem,
+        scratch: &mut Scratchpad,
+        stats: &mut RunStats,
+    ) -> Result<u64> {
+        if self.stream.is_empty() {
+            return Ok(self.now);
+        }
+        for si in 0..self.slots.len() {
+            self.enter_phase(si);
+        }
+        let end = self.stream.len();
+        loop {
+            if self.warps.iter().all(|w| w.pc >= end) {
+                let settle = self
+                    .warps
+                    .iter()
+                    .map(|w| w.mem_settle)
+                    .max()
+                    .unwrap_or(self.now);
+                return Ok(self.now.max(settle));
+            }
+
+            self.release_barriers(end, stats);
+
+            // Round-robin issue over every resident warp.
+            let n = self.warps.len();
+            let mut issued = false;
+            for k in 0..n {
+                let wi = (self.rr + k) % n;
+                let w = &self.warps[wi];
+                if w.pc >= end || w.at_barrier || w.ready_at > self.now {
+                    continue;
+                }
+                let (pi, instr) = self.stream[w.pc];
+                match instr {
+                    GpuInstr::Barrier => {
+                        self.warps[wi].at_barrier = true;
+                        // Parking is free; try the next warp this cycle.
+                        continue;
+                    }
+                    GpuInstr::Op { node, .. } => {
+                        let graph = &self.kernel.phases()[pi];
+                        if self.operands_ready(w, graph, node) > self.now {
+                            continue;
+                        }
+                        if self.issue(wi, pi, instr, global, mem, scratch, stats)? {
+                            self.rr = (wi + 1) % n;
+                            issued = true;
+                            break;
+                        }
+                        // Memory-structural stall (MSHRs full): let another
+                        // warp try — hiding latency is the SM's job.
+                    }
+                }
+            }
+            if !issued && self.warps.iter().any(|w| w.pc < end) {
+                stats.gpu_stall_cycles += 1;
+            }
+            self.now += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_common::geom::Dim3;
+    use dmt_dfg::{interp, KernelBuilder};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    fn differential(kernel: &Kernel, params: Vec<Word>, mem: MemImage) -> RunStats {
+        let oracle =
+            interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        let run = GpuMachine::new(cfg())
+            .run(kernel, LaunchInput::new(params, mem))
+            .unwrap();
+        assert_eq!(run.memory, oracle.memory, "GPU memory diverges from oracle");
+        run.stats
+    }
+
+    #[test]
+    fn simple_map_kernel() {
+        let n = 128u32;
+        let mut kb = KernelBuilder::new("map", Dim3::linear(n));
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(inp, tid, 4);
+        let x = kb.load_global(a);
+        let y = kb.add_i(x, x);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, y);
+        let k = kb.finish().unwrap();
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+        let stats = differential(&k, vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
+        // Per warp: 2×(mul+add) addressing, load, add, store = 7.
+        assert_eq!(stats.gpu_instructions, u64::from(n / 32) * 7);
+        assert!(stats.global_loads >= 4, "4 coalesced lines");
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn two_phase_shared_kernel_with_barrier() {
+        let n = 64u32;
+        let mut kb = KernelBuilder::new("stage", Dim3::linear(n));
+        kb.set_shared_words(n);
+        let tid = kb.thread_idx(0);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        kb.store_shared(sa, tid);
+        kb.barrier();
+        let tid2 = kb.thread_idx(0);
+        let out = kb.param("out");
+        let z2 = kb.const_i(0);
+        // Read the neighbour's slot (wrapping): classic post-barrier read.
+        let one = kb.const_i(1);
+        let tplus = kb.add_i(tid2, one);
+        let nn = kb.const_i(n as i32);
+        let wrapped = kb.rem_i(tplus, nn);
+        let sa2 = kb.index_addr(z2, wrapped, 4);
+        let v = kb.load_shared(sa2);
+        let oa = kb.index_addr(out, tid2, 4);
+        kb.store_global(oa, v);
+        let k = kb.finish().unwrap();
+        let stats = differential(&k, vec![Word::from_u32(0)], MemImage::with_words(n as usize));
+        assert_eq!(stats.barriers, u64::from(n / 32), "each warp synchronizes");
+        assert_eq!(stats.shared_stores, u64::from(n));
+        assert_eq!(stats.shared_loads, u64::from(n));
+    }
+
+    #[test]
+    fn coalescing_reduces_transactions() {
+        // Unit-stride access by 32 lanes over 4-byte words = 1 line (128B).
+        let n = 32u32;
+        let mut kb = KernelBuilder::new("coal", Dim3::linear(n));
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(inp, tid, 4);
+        let x = kb.load_global(a);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, x);
+        let k = kb.finish().unwrap();
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+        let stats = differential(&k, vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
+        assert_eq!(stats.global_loads, 1, "fully coalesced warp load");
+        assert_eq!(stats.global_stores, 1);
+    }
+
+    #[test]
+    fn strided_access_is_not_coalesced() {
+        // Stride of one line per lane: 8 lanes → 8 transactions.
+        let n = 8u32;
+        let mut kb = KernelBuilder::new("stride", Dim3::linear(n));
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let a = kb.index_addr(inp, tid, 128);
+        let x = kb.load_global(a);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, x);
+        let k = kb.finish().unwrap();
+        let mut mem = MemImage::with_words(512);
+        for i in 0..n {
+            mem.store(Addr(u64::from(i) * 128), Word::from_i32(i as i32));
+        }
+        let stats = differential(
+            &k,
+            vec![Word::from_u32(0), Word::from_u32(1024)],
+            mem,
+        );
+        assert_eq!(stats.global_loads, 8, "one transaction per lane");
+    }
+
+    #[test]
+    fn gpu_rejects_dmt_kernels() {
+        use dmt_common::geom::Delta;
+        let mut kb = KernelBuilder::new("comm", Dim3::linear(8));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let v = kb.from_thread_or_const(tid, Delta::new(-1), Word::ZERO, None);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, v);
+        let k = kb.finish().unwrap();
+        assert!(GpuMachine::new(cfg())
+            .run(&k, LaunchInput::new(vec![Word::ZERO], MemImage::with_words(8)))
+            .is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let n = 64u32;
+        let mut kb = KernelBuilder::new("det", Dim3::linear(n));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let x = kb.mul_i(tid, tid);
+        let a = kb.index_addr(out, tid, 4);
+        kb.store_global(a, x);
+        let k = kb.finish().unwrap();
+        let run = || {
+            GpuMachine::new(cfg())
+                .run(
+                    &k,
+                    LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(n as usize)),
+                )
+                .unwrap()
+                .stats
+                .cycles
+        };
+        assert_eq!(run(), run());
+    }
+}

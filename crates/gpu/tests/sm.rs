@@ -1,0 +1,184 @@
+//! SM-model behaviour tests: the timing mechanisms behind the baseline.
+
+use dmt_common::geom::Dim3;
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_common::SystemConfig;
+use dmt_dfg::{Kernel, KernelBuilder, LaunchInput};
+use dmt_gpu::GpuMachine;
+
+fn machine() -> GpuMachine {
+    GpuMachine::new(SystemConfig::default())
+}
+
+fn id_kernel(n: u32, blocks: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("ids", Dim3::linear(n));
+    kb.set_grid_blocks(blocks);
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let bid = kb.block_idx();
+    let seg = kb.const_i(n as i32);
+    let base = kb.mul_i(bid, seg);
+    let g = kb.add_i(base, tid);
+    let oa = kb.index_addr(out, g, 4);
+    kb.store_global(oa, g);
+    kb.finish().unwrap()
+}
+
+#[test]
+fn partial_warps_execute_correctly() {
+    // 40 threads = one full warp + one 8-lane warp.
+    let k = id_kernel(40, 1);
+    let run = machine()
+        .run(
+            &k,
+            LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(40)),
+        )
+        .unwrap();
+    assert_eq!(
+        run.memory.read_i32_slice(Addr(0), 40),
+        (0..40).collect::<Vec<_>>()
+    );
+    assert_eq!(run.stats.gpu_thread_instructions % 40, 0, "40 lanes per instr");
+}
+
+#[test]
+fn concurrent_blocks_hide_memory_latency() {
+    // A latency-bound kernel (cold load feeding the store): co-resident
+    // blocks overlap each other's DRAM round trips; a one-block-at-a-time
+    // SM serializes them.
+    let n = 64u32;
+    let blocks = 12u32;
+    let mut kb = KernelBuilder::new("latency", Dim3::linear(n));
+    kb.set_grid_blocks(blocks);
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let bid = kb.block_idx();
+    let seg = kb.const_i(n as i32);
+    let base = kb.mul_i(bid, seg);
+    let g = kb.add_i(base, tid);
+    let a = kb.index_addr(inp, g, 4);
+    let x = kb.load_global(a);
+    let oa = kb.index_addr(out, g, 4);
+    kb.store_global(oa, x);
+    let k = kb.finish().unwrap();
+
+    let total = (n * blocks) as usize;
+    let mk = || {
+        let mut mem = MemImage::with_words(2 * total);
+        mem.write_i32_slice(Addr(0), &(0..total as i32).collect::<Vec<_>>());
+        LaunchInput::new(
+            vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)],
+            mem,
+        )
+    };
+    let resident = machine().run(&k, mk()).unwrap();
+    let mut serial_cfg = SystemConfig::default();
+    serial_cfg.gpu.max_warps = 2; // room for exactly one 2-warp block
+    let serial = GpuMachine::new(serial_cfg).run(&k, mk()).unwrap();
+    assert_eq!(resident.memory, serial.memory);
+    assert!(
+        resident.stats.cycles * 2 < serial.stats.cycles,
+        "co-resident {} vs serial {} — residency is broken",
+        resident.stats.cycles,
+        serial.stats.cycles
+    );
+}
+
+#[test]
+fn sfu_instructions_throttle_issue() {
+    let build = |use_sfu: bool| {
+        let mut kb = KernelBuilder::new("sfu", Dim3::linear(256));
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let f = kb.i2f(tid);
+        let mut v = f;
+        for _ in 0..8 {
+            v = if use_sfu {
+                kb.sqrt_f(v)
+            } else {
+                kb.add_f(v, f)
+            };
+        }
+        let i = kb.f2i(v);
+        let oa = kb.index_addr(out, tid, 4);
+        kb.store_global(oa, i);
+        kb.finish().unwrap()
+    };
+    let run = |k: &Kernel| {
+        machine()
+            .run(
+                k,
+                LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(256)),
+            )
+            .unwrap()
+            .stats
+            .cycles
+    };
+    let with_sfu = run(&build(true));
+    let without = run(&build(false));
+    assert!(
+        with_sfu > without,
+        "sqrt chain ({with_sfu}) must be slower than add chain ({without})"
+    );
+}
+
+#[test]
+fn barrier_waits_for_global_loads_to_settle() {
+    // Phase 0 loads from DRAM-cold memory and stages to shared; the
+    // barrier must not release before the data arrived (checked
+    // functionally: phase 1 reads the staged values).
+    let n = 64u32;
+    let mut kb = KernelBuilder::new("settle", Dim3::linear(n));
+    kb.set_shared_words(n);
+    let inp = kb.param("in");
+    let tid = kb.thread_idx(0);
+    let ga = kb.index_addr(inp, tid, 4);
+    let v = kb.load_global(ga);
+    let z = kb.const_i(0);
+    let sa = kb.index_addr(z, tid, 4);
+    kb.store_shared(sa, v);
+    kb.barrier();
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let z = kb.const_i(0);
+    // Read the *other end* of shared memory so warp-local forwarding
+    // can't mask a broken barrier.
+    let last = kb.const_i(n as i32 - 1);
+    let flipped = kb.sub_i(last, tid);
+    let sa = kb.index_addr(z, flipped, 4);
+    let x = kb.load_shared(sa);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, x);
+    let kernel = kb.finish().unwrap();
+
+    let mut mem = MemImage::with_words(2 * n as usize);
+    mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 11).collect::<Vec<_>>());
+    let run = machine()
+        .run(
+            &kernel,
+            LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem),
+        )
+        .unwrap();
+    let got = run.memory.read_i32_slice(Addr(4 * n as u64), n as usize);
+    for t in 0..n as usize {
+        assert_eq!(got[t], ((n as usize - 1 - t) as i32) * 11);
+    }
+    assert!(run.stats.barriers > 0);
+}
+
+#[test]
+fn register_traffic_scales_with_operands() {
+    let k = id_kernel(256, 1);
+    let run = machine()
+        .run(
+            &k,
+            LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(256)),
+        )
+        .unwrap();
+    // Every executed thread-instruction writes one register.
+    assert_eq!(run.stats.register_writes, run.stats.gpu_thread_instructions);
+    assert!(run.stats.register_reads > run.stats.register_writes);
+}

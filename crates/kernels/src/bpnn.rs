@@ -1,0 +1,295 @@
+//! `BPNN` — back-propagation neural network, `layerforward` (Rodinia).
+//!
+//! Problem: one dense layer forward pass —
+//! `hidden[j] = σ(Σ_i input[i] · w[i][j])` with `σ(x) = 1/(1+e^{-x})`,
+//! 16 inputs × 16 hidden units, thread `(tx, ty)` handling weight
+//! `w[ty][tx]`.
+//!
+//! * **dMT variant**: `input[ty]` is loaded once per row and forwarded
+//!   along it by an eLDST; the per-column dot product accumulates through a
+//!   recurrent elevator chain down the column (ΔTID = 16). §5.2 singles
+//!   this kernel out: "the communication between adjacent threads limited
+//!   the TLP and caused the slowdown" — the column chain is exactly that
+//!   serialization, preserved here on purpose.
+//! * **Shared variant**: partial products staged in shared memory, then a
+//!   barrier-separated tree reduction along each column.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// Inputs and hidden units per layer (threads: SIDE × SIDE).
+const SIDE: u32 = 16;
+
+/// Independent layers (= thread blocks) per launch. Rodinia's
+/// `layerforward` runs one layer per launch; the column chains then bound
+/// TLP — the serialization §5.2 blames for BPNN's slowdown.
+const TILES: u32 = 1;
+
+/// The layer-forward benchmark: `TILES` independent layers (a batched
+/// forward pass).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bpnn;
+
+impl Bpnn {
+    fn input_base(self) -> u64 {
+        0
+    }
+    fn w_base(self) -> u64 {
+        u64::from(TILES) * u64::from(SIDE) * 4
+    }
+    fn hidden_base(self) -> u64 {
+        self.w_base() + u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+    fn dump_base(self) -> u64 {
+        self.hidden_base() + u64::from(TILES) * u64::from(SIDE) * 4
+    }
+
+    fn inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let input =
+            crate::util::gen_f32(seed, TILES as usize * SIDE as usize, -1.0, 1.0);
+        let w = crate::util::gen_f32(
+            seed ^ 0xbeef,
+            TILES as usize * (SIDE * SIDE) as usize,
+            -0.5,
+            0.5,
+        );
+        (input, w)
+    }
+
+    fn reference(self, input: &[f32], w: &[f32]) -> Vec<f32> {
+        let s = SIDE as usize;
+        (0..s)
+            .map(|j| {
+                let mut acc = 0.0f32;
+                for i in 0..s {
+                    acc += input[i] * w[i * s + j];
+                }
+                1.0 / (1.0 + (-acc).exp())
+            })
+            .collect()
+    }
+}
+
+impl Benchmark for Bpnn {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "BPNN",
+            domain: "Pattern Recognition",
+            kernel: "layerforward",
+            description: "Training of a neural network",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("bpnn_dmt", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        let in_ptr = kb.param("input");
+        let w_ptr = kb.param("w");
+        let hidden = kb.param("hidden");
+        let dump = kb.param("dump");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let zero = kb.const_i(0);
+        let vec_bytes = kb.const_i(SIDE as i32 * 4);
+        let mat_bytes = kb.const_i((SIDE * SIDE * 4) as i32);
+        let voff = kb.mul_i(bid, vec_bytes);
+        let moff = kb.mul_i(bid, mat_bytes);
+
+        // input[ty]: one load per row, forwarded across it (eLDST).
+        let in0 = kb.add_i(in_ptr, voff);
+        let ia = kb.index_addr(in0, ty, 4);
+        let lead = kb.eq_i(tx, zero);
+        let xin = kb.from_thread_or_mem(ia, lead, Delta::new_2d(-1, 0), Some(SIDE));
+
+        // w[ty][tx]: one weight per thread.
+        let side = kb.const_i(SIDE as i32);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let w0 = kb.add_i(w_ptr, moff);
+        let wa = kb.index_addr(w0, lin, 4);
+        let wv = kb.load_global(wa);
+        let partial = kb.mul_f(xin, wv);
+
+        // Column accumulation chain: sum[ty] = sum[ty-1] + partial.
+        let (prev, rec) =
+            kb.recurrent_from_thread_or_const(Delta::new_2d(0, -1), Word::from_f32(0.0), None);
+        let sum = kb.add_f(prev, partial);
+        kb.close_recurrence(rec, sum);
+
+        // Sigmoid (everyone computes; only the last row's value matters).
+        let ns = kb.neg_f(sum);
+        let es = kb.exp_f(ns);
+        let one = kb.const_f(1.0);
+        let den = kb.add_f(one, es);
+        let sig = kb.div_f(one, den);
+
+        let last = kb.const_i(SIDE as i32 - 1);
+        let is_last = kb.eq_i(ty, last);
+        let h0 = kb.add_i(hidden, voff);
+        let ha = kb.index_addr(h0, tx, 4);
+        let d0 = kb.add_i(dump, moff);
+        let da = kb.index_addr(d0, lin, 4);
+        let addr = kb.select(is_last, ha, da);
+        kb.store_global(addr, sig);
+        kb.finish().expect("bpnn dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let s = SIDE as i32;
+        let levels = SIDE.trailing_zeros();
+        let mut kb = KernelBuilder::new("bpnn_shared", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        kb.set_shared_words(SIDE * SIDE);
+
+        // Phase 0: partial products into shared memory.
+        let in_ptr = kb.param("input");
+        let w_ptr = kb.param("w");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let vec_bytes = kb.const_i(s * 4);
+        let mat_bytes = kb.const_i(s * s * 4);
+        let voff = kb.mul_i(bid, vec_bytes);
+        let moff = kb.mul_i(bid, mat_bytes);
+        let in0 = kb.add_i(in_ptr, voff);
+        let ia = kb.index_addr(in0, ty, 4);
+        let xin = kb.load_global(ia);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let w0 = kb.add_i(w_ptr, moff);
+        let wa = kb.index_addr(w0, lin, 4);
+        let wv = kb.load_global(wa);
+        let partial = kb.mul_f(xin, wv);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, lin, 4);
+        kb.store_shared(sa, partial);
+
+        // Column-wise tree reduction: sh[ty][tx] += sh[ty+d][tx].
+        for l in (0..levels).rev() {
+            kb.barrier();
+            let d = 1i32 << l;
+            let tx = kb.thread_idx(0);
+            let ty = kb.thread_idx(1);
+            let side = kb.const_i(s);
+            let row = kb.mul_i(ty, side);
+            let lin = kb.add_i(row, tx);
+            let zero = kb.const_i(0);
+            let sa = kb.index_addr(zero, lin, 4);
+            let x = kb.load_shared(sa);
+            let dc = kb.const_i(d);
+            let py = kb.add_i(ty, dc);
+            let maxy = kb.const_i(s - 1);
+            let cy = kb.min_i(py, maxy);
+            let crow = kb.mul_i(cy, side);
+            let clin = kb.add_i(crow, tx);
+            let pa = kb.index_addr(zero, clin, 4);
+            let y = kb.load_shared(pa);
+            let sum = kb.add_f(x, y);
+            let active = kb.lt_s(ty, dc);
+            let val = kb.select(active, sum, x);
+            kb.store_shared(sa, val);
+        }
+
+        // Final phase: row 0 applies the sigmoid and publishes.
+        kb.barrier();
+        let hidden = kb.param("hidden");
+        let dump = kb.param("dump");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let vec_bytes = kb.const_i(s * 4);
+        let mat_bytes = kb.const_i(s * s * 4);
+        let voff = kb.mul_i(bid, vec_bytes);
+        let moff = kb.mul_i(bid, mat_bytes);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, tx, 4); // sh[0][tx]
+        let acc = kb.load_shared(sa);
+        let ns = kb.neg_f(acc);
+        let es = kb.exp_f(ns);
+        let one = kb.const_f(1.0);
+        let den = kb.add_f(one, es);
+        let sig = kb.div_f(one, den);
+        let is_row0 = kb.eq_i(ty, zero);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let h0 = kb.add_i(hidden, voff);
+        let ha = kb.index_addr(h0, tx, 4);
+        let d0 = kb.add_i(dump, moff);
+        let da = kb.index_addr(d0, lin, 4);
+        let addr = kb.select(is_row0, ha, da);
+        kb.store_global(addr, sig);
+        kb.finish().expect("bpnn shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let (input, w) = self.inputs(seed);
+        let words = TILES as usize * (SIDE + SIDE * SIDE + SIDE + SIDE * SIDE) as usize;
+        let mut memory = MemImage::with_words(words);
+        memory.write_f32_slice(Addr(self.input_base()), &input);
+        memory.write_f32_slice(Addr(self.w_base()), &w);
+        Workload {
+            params: vec![
+                Word::from_u32(self.input_base() as u32),
+                Word::from_u32(self.w_base() as u32),
+                Word::from_u32(self.hidden_base() as u32),
+                Word::from_u32(self.dump_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let (input, w) = self.inputs(seed);
+        let want: Vec<f32> = input
+            .chunks(SIDE as usize)
+            .zip(w.chunks((SIDE * SIDE) as usize))
+            .flat_map(|(i, wt)| self.reference(i, wt))
+            .collect();
+        crate::util::check_f32(memory, self.hidden_base(), &want, 1e-3, "hidden")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::interp;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Bpnn, 8);
+        interp_check(&Bpnn, 4242);
+    }
+
+    #[test]
+    fn input_vector_loaded_once_per_row() {
+        let dmt = interp::run(&Bpnn.dmt_kernel(), Bpnn.workload(2).launch()).unwrap();
+        // SIDE input loads (one per row leader) + SIDE² weight loads.
+        assert_eq!(
+            dmt.stats.global_loads,
+            u64::from(TILES) * u64::from(SIDE + SIDE * SIDE)
+        );
+        assert_eq!(
+            dmt.stats.eldst_forwards,
+            u64::from(TILES) * u64::from(SIDE * (SIDE - 1))
+        );
+    }
+
+    #[test]
+    fn chain_serialization_is_visible_in_deltas() {
+        let sites = dmt_dfg::delta_stats::comm_sites(&Bpnn.dmt_kernel());
+        // One eLDST (row broadcast) + one elevator (column chain).
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().any(|s| s.primitive == "eldst"));
+        assert!(sites
+            .iter()
+            .any(|s| s.primitive == "elevator" && s.linear_distance == u64::from(SIDE)));
+    }
+}

@@ -1,0 +1,286 @@
+//! `convolution` — separable 1-D convolution (NVIDIA SDK
+//! `convolutionRowGPU`), the paper's Fig 1 running example.
+//!
+//! Problem: `out[t] = k0·in[t-1] + k1·in[t] + k2·in[t+1]` with zero
+//! padding at the margins.
+//!
+//! * **dMT variant** (Fig 1c): each thread loads *one* element; the left
+//!   and right neighbours arrive as tokens from threads `t-1` / `t+1` via
+//!   `fromThreadOrConst`, and the margin handling collapses into the
+//!   fallback constant — "no special treatment is needed for the margins"
+//!   (§5.2).
+//! * **Shared variant** (Fig 1b): stage the image into a padded shared
+//!   array, barrier, then read three scratchpad values per thread.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// The separable-convolution benchmark, parameterized by kernel radius
+/// like the SDK original (`KERNEL_RADIUS`); the paper's running example is
+/// the radius-1 instance.
+#[derive(Debug, Clone)]
+pub struct Convolution {
+    n: u32,
+    blocks: u32,
+    radius: u32,
+    weights: Vec<f32>,
+}
+
+impl Convolution {
+    /// `blocks` independent 1-D convolutions over `n` elements each (one
+    /// image row per block, as the SDK kernel tiles rows), radius 1.
+    #[must_use]
+    pub fn new(n: u32, blocks: u32) -> Convolution {
+        Convolution::with_radius(n, blocks, 1)
+    }
+
+    /// A convolution with a `2·radius + 1`-tap binomial kernel. Radius > 1
+    /// fans each loaded element out to `2·radius` neighbour threads over
+    /// that many elevator nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` or `radius` are out of range (`radius < 8`,
+    /// `2·radius < n`).
+    #[must_use]
+    pub fn with_radius(n: u32, blocks: u32, radius: u32) -> Convolution {
+        assert!((4..=1024).contains(&n));
+        assert!(blocks >= 1);
+        assert!(radius >= 1 && radius < 8 && 2 * radius < n);
+        // Binomial weights (normalized Pascal row 2r): smooth and exactly
+        // representable sums.
+        let taps = (2 * radius + 1) as usize;
+        let mut row = vec![1.0f64];
+        for _ in 1..taps {
+            let mut next = vec![1.0f64; row.len() + 1];
+            for i in 1..row.len() {
+                next[i] = row[i - 1] + row[i];
+            }
+            row = next;
+        }
+        let total: f64 = row.iter().sum();
+        let weights = row.iter().map(|&w| (w / total) as f32).collect();
+        Convolution {
+            n,
+            blocks,
+            radius,
+            weights,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.n * self.blocks
+    }
+
+    fn out_base(&self) -> u64 {
+        u64::from(self.total()) * 4
+    }
+
+    fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let n = input.len() as i64;
+        let r = self.radius as i64;
+        (0..n)
+            .map(|t| {
+                // Same association order as the kernels: ascending tap.
+                let mut acc = 0.0f32;
+                for (k, &w) in self.weights.iter().enumerate() {
+                    let src = t + k as i64 - r;
+                    let v = if (0..n).contains(&src) {
+                        input[src as usize]
+                    } else {
+                        0.0
+                    };
+                    acc += v * w;
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Default for Convolution {
+    fn default() -> Convolution {
+        Convolution::new(256, 8)
+    }
+}
+
+impl Benchmark for Convolution {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "convolution",
+            domain: "Linear Algebra",
+            kernel: "convolutionRowGPU",
+            description: "Convolution filter",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("convolution_dmt", Dim3::linear(self.n));
+        kb.set_grid_blocks(self.blocks);
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(self.n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let a = kb.index_addr(inp, gtid, 4);
+        let mem_elem = kb.load_global(a);
+        kb.tag_value(mem_elem);
+        // Wait for tokens from threads tid±1 … tid±radius (Fig 1c,
+        // generalized to the SDK's KERNEL_RADIUS).
+        let r = self.radius as i32;
+        let mut acc = None;
+        for (k, &w) in self.weights.iter().enumerate() {
+            let delta = k as i32 - r;
+            let v = if delta == 0 {
+                mem_elem
+            } else {
+                kb.from_thread_or_const(mem_elem, Delta::new(delta), Word::from_f32(0.0), None)
+            };
+            let wc = kb.const_f(w);
+            let p = kb.mul_f(v, wc);
+            acc = Some(match acc {
+                None => p,
+                Some(a) => kb.add_f(a, p),
+            });
+        }
+        let sum = acc.expect("at least one tap");
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, sum);
+        kb.finish().expect("convolution dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("convolution_shared", Dim3::linear(self.n));
+        kb.set_grid_blocks(self.blocks);
+        let r = self.radius;
+        // Padded image: `radius` zero words on each side (the margins).
+        kb.set_shared_words(self.n + 2 * r);
+
+        // Phase 0: sharedImage[tid + radius] = globalImage[tid].
+        let inp = kb.param("in");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(self.n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let ga = kb.index_addr(inp, gtid, 4);
+        let v = kb.load_global(ga);
+        let pad = kb.const_i(r as i32 * 4);
+        let sa = kb.index_addr(pad, tid, 4);
+        kb.store_shared(sa, v);
+
+        kb.barrier();
+
+        // Phase 1: 2r+1 scratchpad reads per thread.
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(self.n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let mut acc = None;
+        for (k, &w) in self.weights.iter().enumerate() {
+            let off = kb.const_i(k as i32 * 4);
+            let a = kb.index_addr(off, tid, 4);
+            let v = kb.load_shared(a);
+            let wc = kb.const_f(w);
+            let p = kb.mul_f(v, wc);
+            acc = Some(match acc {
+                None => p,
+                Some(x) => kb.add_f(x, p),
+            });
+        }
+        let sum = acc.expect("at least one tap");
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, sum);
+        kb.finish().expect("convolution shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let data = crate::util::gen_f32(seed, self.total() as usize, -2.0, 2.0);
+        let mut memory = MemImage::with_words(2 * self.total() as usize);
+        memory.write_f32_slice(Addr(0), &data);
+        Workload {
+            params: vec![Word::from_u32(0), Word::from_u32(self.out_base() as u32)],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let data = crate::util::gen_f32(seed, self.total() as usize, -2.0, 2.0);
+        let want: Vec<f32> = data
+            .chunks(self.n as usize)
+            .flat_map(|c| self.reference(c))
+            .collect();
+        crate::util::check_f32(memory, self.out_base(), &want, 1e-5, "conv")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::interp;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Convolution::default(), 11);
+        interp_check(&Convolution::new(64, 2), 5);
+    }
+
+    #[test]
+    fn wider_kernels_match_reference_too() {
+        interp_check(&Convolution::with_radius(64, 2, 2), 9);
+        interp_check(&Convolution::with_radius(128, 1, 4), 10);
+    }
+
+    #[test]
+    fn radius_scales_the_elevator_fan() {
+        for r in 1..=4u32 {
+            let c = Convolution::with_radius(64, 1, r);
+            let sites = dmt_dfg::delta_stats::comm_sites(&c.dmt_kernel());
+            assert_eq!(sites.len(), 2 * r as usize, "radius {r}");
+            let max = sites.iter().map(|s| s.linear_distance).max().unwrap();
+            assert_eq!(max, u64::from(r));
+        }
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        // Convolving a constant image preserves interior points exactly
+        // when the taps sum to 1; margins attenuate under zero padding.
+        let c = Convolution::with_radius(64, 1, 3);
+        let img = vec![2.0f32; 64];
+        let out = c.reference(&img);
+        assert!((out[32] - 2.0).abs() < 1e-5, "interior point preserved");
+        assert!(out[0] < 2.0, "margins attenuate (zero padding)");
+    }
+
+    #[test]
+    fn dmt_loads_each_element_once() {
+        let c = Convolution::new(256, 1);
+        let dmt = interp::run(&c.dmt_kernel(), c.workload(1).launch()).unwrap();
+        assert_eq!(dmt.stats.global_loads, 256, "one load per element");
+        // Shared variant reads the scratchpad 3× per thread instead.
+        let sh = interp::run(&c.shared_kernel(), c.workload(1).launch()).unwrap();
+        assert_eq!(sh.stats.shared_loads, 3 * 256);
+        assert_eq!(sh.stats.shared_stores, 256);
+        assert_eq!(dmt.stats.shared_loads + dmt.stats.shared_stores, 0);
+    }
+
+    #[test]
+    fn margins_use_fallback_constants() {
+        let c = Convolution::new(16, 1);
+        let dmt = interp::run(&c.dmt_kernel(), c.workload(2).launch()).unwrap();
+        assert_eq!(
+            dmt.stats.elevator_consts, 2,
+            "left margin of the +1 elevator and right margin of the -1"
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! `hotspot` — thermal simulation (Rodinia `hotspot_kernel`).
+//!
+//! Problem: one time step of the chip-temperature update on a 2-D grid:
+//!
+//! ```text
+//! T'[c] = T[c] + step · ( P[c]
+//!                       + (T[n] + T[s] − 2T[c]) · Ry
+//!                       + (T[e] + T[w] − 2T[c]) · Rx
+//!                       + (Tamb − T[c]) · Rz )
+//! ```
+//!
+//! with a zero-valued halo outside the tile (both variants and the
+//! reference use identical halo semantics and expression order).
+//!
+//! * **dMT variant**: each thread loads its own `T` and `P`; the four
+//!   neighbour temperatures arrive over elevator nodes.
+//! * **Shared variant**: the `T` tile is staged in shared memory behind a
+//!   barrier; `P` is read directly from global memory.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder, ValueRef};
+
+/// Tile side.
+const SIDE: u32 = 16;
+const STEP: f32 = 0.1;
+const RX: f32 = 0.4;
+const RY: f32 = 0.35;
+const RZ: f32 = 0.05;
+const TAMB: f32 = 80.0;
+
+/// Tiles (= thread blocks) per launch.
+const TILES: u32 = 8;
+/// Bytes per SIDE×SIDE tile.
+const TILE_BYTES: i32 = (SIDE * SIDE * 4) as i32;
+
+/// The hotspot benchmark over `TILES` chip tiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hotspot;
+
+impl Hotspot {
+    fn tile_words(self) -> usize {
+        (SIDE * SIDE) as usize
+    }
+    fn t_base(self) -> u64 {
+        0
+    }
+    fn p_base(self) -> u64 {
+        u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+    fn out_base(self) -> u64 {
+        2 * u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+
+    fn inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let n = TILES as usize * self.tile_words();
+        let t = crate::util::gen_f32(seed, n, 40.0, 90.0);
+        let p = crate::util::gen_f32(seed ^ 0x1234, n, 0.0, 2.0);
+        (t, p)
+    }
+
+    fn update(self, tc: f32, tn: f32, ts: f32, tw: f32, te: f32, p: f32) -> f32 {
+        let vertical = (tn + ts - 2.0 * tc) * RY;
+        let horizontal = (te + tw - 2.0 * tc) * RX;
+        let ambient = (TAMB - tc) * RZ;
+        tc + STEP * (((p + vertical) + horizontal) + ambient)
+    }
+
+    fn reference(self, t: &[f32], p: &[f32]) -> Vec<f32> {
+        let s = SIDE as usize;
+        let mut out = vec![0.0f32; s * s];
+        for y in 0..s {
+            for x in 0..s {
+                let tc = t[y * s + x];
+                let tn = if y > 0 { t[(y - 1) * s + x] } else { 0.0 };
+                let ts = if y + 1 < s { t[(y + 1) * s + x] } else { 0.0 };
+                let tw = if x > 0 { t[y * s + x - 1] } else { 0.0 };
+                let te = if x + 1 < s { t[y * s + x + 1] } else { 0.0 };
+                out[y * s + x] = self.update(tc, tn, ts, tw, te, p[y * s + x]);
+            }
+        }
+        out
+    }
+
+    /// Emits the update formula (shared by both kernel variants).
+    fn emit_update(
+        self,
+        kb: &mut KernelBuilder,
+        tc: ValueRef,
+        tn: ValueRef,
+        ts: ValueRef,
+        tw: ValueRef,
+        te: ValueRef,
+        p: ValueRef,
+    ) -> ValueRef {
+        let two = kb.const_f(2.0);
+        let tc2 = kb.mul_f(two, tc);
+        let vsum = kb.add_f(tn, ts);
+        let vd = kb.sub_f(vsum, tc2);
+        let ry = kb.const_f(RY);
+        let vertical = kb.mul_f(vd, ry);
+        let hsum = kb.add_f(te, tw);
+        let hd = kb.sub_f(hsum, tc2);
+        let rx = kb.const_f(RX);
+        let horizontal = kb.mul_f(hd, rx);
+        let tamb = kb.const_f(TAMB);
+        let ad = kb.sub_f(tamb, tc);
+        let rz = kb.const_f(RZ);
+        let ambient = kb.mul_f(ad, rz);
+        let s1 = kb.add_f(p, vertical);
+        let s2 = kb.add_f(s1, horizontal);
+        let s3 = kb.add_f(s2, ambient);
+        let step = kb.const_f(STEP);
+        let delta = kb.mul_f(step, s3);
+        kb.add_f(tc, delta)
+    }
+}
+
+impl Benchmark for Hotspot {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "hotspot",
+            domain: "Physics Simulation",
+            kernel: "hotspot_kernel",
+            description: "Thermal simulation tool",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("hotspot_dmt", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        let t_ptr = kb.param("t");
+        let p_ptr = kb.param("p");
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(SIDE as i32);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let t0 = kb.add_i(t_ptr, boff);
+        let ta = kb.index_addr(t0, lin, 4);
+        let tc = kb.load_global(ta);
+        kb.tag_value(tc);
+        let p0 = kb.add_i(p_ptr, boff);
+        let pa = kb.index_addr(p0, lin, 4);
+        let p = kb.load_global(pa);
+        let z = Word::from_f32(0.0);
+        let tn = kb.from_thread_or_const(tc, Delta::new_2d(0, -1), z, None);
+        let ts = kb.from_thread_or_const(tc, Delta::new_2d(0, 1), z, None);
+        let tw = kb.from_thread_or_const(tc, Delta::new_2d(-1, 0), z, Some(SIDE));
+        let te = kb.from_thread_or_const(tc, Delta::new_2d(1, 0), z, Some(SIDE));
+        let t_new = self.emit_update(&mut kb, tc, tn, ts, tw, te, p);
+        let o0 = kb.add_i(out_ptr, boff);
+        let oa = kb.index_addr(o0, lin, 4);
+        kb.store_global(oa, t_new);
+        kb.finish().expect("hotspot dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let s = SIDE as i32;
+        let mut kb = KernelBuilder::new("hotspot_shared", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        kb.set_shared_words(SIDE * SIDE);
+
+        // Phase 0: stage T.
+        let t_ptr = kb.param("t");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let t0 = kb.add_i(t_ptr, boff);
+        let ga = kb.index_addr(t0, lin, 4);
+        let v = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, lin, 4);
+        kb.store_shared(sa, v);
+
+        kb.barrier();
+
+        // Phase 1: neighbours from the scratchpad (linear-index clamping,
+        // see srad), P from global.
+        let p_ptr = kb.param("p");
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let zero = kb.const_i(0);
+        let one = kb.const_i(1);
+        let maxc = kb.const_i(s - 1);
+        let maxlin = kb.const_i(s * s - 1);
+        let fz = kb.const_f(0.0);
+        let sa = kb.index_addr(zero, lin, 4);
+        let tc = kb.load_shared(sa);
+        let neighbour = |kb: &mut KernelBuilder, dx: i32, dy: i32| {
+            let (axis, toward_zero) = if dx != 0 { (tx, dx < 0) } else { (ty, dy < 0) };
+            let off = kb.const_i(if dx != 0 { dx } else { dy * s });
+            let nlin = kb.add_i(lin, off);
+            let idx = if toward_zero {
+                kb.max_i(nlin, zero)
+            } else {
+                kb.min_i(nlin, maxlin)
+            };
+            let valid = if toward_zero {
+                kb.le_s(one, axis)
+            } else {
+                kb.lt_s(axis, maxc)
+            };
+            let na = kb.index_addr(zero, idx, 4);
+            let nv = kb.load_shared(na);
+            kb.select(valid, nv, fz)
+        };
+        let tw = neighbour(&mut kb, -1, 0);
+        let te = neighbour(&mut kb, 1, 0);
+        let tn = neighbour(&mut kb, 0, -1);
+        let ts = neighbour(&mut kb, 0, 1);
+        let p1 = kb.add_i(p_ptr, boff);
+        let pa = kb.index_addr(p1, lin, 4);
+        let p = kb.load_global(pa);
+        let t_new = self.emit_update(&mut kb, tc, tn, ts, tw, te, p);
+        let o0 = kb.add_i(out_ptr, boff);
+        let oa = kb.index_addr(o0, lin, 4);
+        kb.store_global(oa, t_new);
+        kb.finish().expect("hotspot shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let (t, p) = self.inputs(seed);
+        let mut memory = MemImage::with_words(3 * TILES as usize * self.tile_words());
+        memory.write_f32_slice(Addr(self.t_base()), &t);
+        memory.write_f32_slice(Addr(self.p_base()), &p);
+        Workload {
+            params: vec![
+                Word::from_u32(self.t_base() as u32),
+                Word::from_u32(self.p_base() as u32),
+                Word::from_u32(self.out_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let (t, p) = self.inputs(seed);
+        let want: Vec<f32> = t
+            .chunks(self.tile_words())
+            .zip(p.chunks(self.tile_words()))
+            .flat_map(|(tt, tp)| self.reference(tt, tp))
+            .collect();
+        crate::util::check_f32(memory, self.out_base(), &want, 1e-3, "hotspot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::interp;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Hotspot, 9);
+        interp_check(&Hotspot, 1000);
+    }
+
+    #[test]
+    fn dmt_variant_halves_loads() {
+        let dmt = interp::run(&Hotspot.dmt_kernel(), Hotspot.workload(1).launch()).unwrap();
+        let sh = interp::run(&Hotspot.shared_kernel(), Hotspot.workload(1).launch()).unwrap();
+        // dMT: T + P once each.
+        assert_eq!(
+            dmt.stats.global_loads,
+            2 * u64::from(TILES) * u64::from(SIDE * SIDE)
+        );
+        assert_eq!(
+            sh.stats.global_loads,
+            2 * u64::from(TILES) * u64::from(SIDE * SIDE)
+        );
+        // But the shared variant adds 5 scratchpad reads + 1 write each.
+        assert_eq!(
+            sh.stats.shared_loads,
+            5 * u64::from(TILES) * u64::from(SIDE * SIDE)
+        );
+        assert_eq!(dmt.stats.shared_loads + dmt.stats.shared_stores, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's benchmark suite (Table 3), implemented against the dMT-CGRA
+//! programming model.
+//!
+//! Each of the nine benchmarks provides **two kernel variants over one
+//! problem definition**:
+//!
+//! * a **shared-memory variant** (CUDA-style staging + barriers) — what the
+//!   Fermi-SM and baseline MT-CGRA machines run, mirroring the NVIDIA
+//!   SDK / Rodinia originals;
+//! * a **dMT variant** using `fromThreadOrConst` / `fromThreadOrMem` — no
+//!   scratchpad, no barriers, exactly the rewrites §5.1 describes.
+//!
+//! Both variants are validated against a host (CPU) reference with
+//! identical arithmetic, so every backend's output is checked
+//! end-to-end.
+//!
+//! | Benchmark | Domain | Communication pattern |
+//! |---|---|---|
+//! | [`scan`] | Data-Parallel Algorithms | recurrent Δ=−1 chain (Fig 6) |
+//! | [`matmul`] | Linear Algebra | row/column `fromThreadOrMem` (Fig 2b/3) |
+//! | [`convolution`] | Linear Algebra | Δ=±1 halo exchange (Fig 1c) |
+//! | [`reduce`] | Data-Parallel Algorithms | windowed log-tree, Δ up to 128 |
+//! | [`lud`] | Linear Algebra | matmul-style forwarding (§5.2) |
+//! | [`srad`] | Ultrasonic/Radar Imaging | 4-neighbour stencil elevators |
+//! | [`bpnn`] | Pattern Recognition | column reduction chain + eLDST |
+//! | [`hotspot`] | Physics Simulation | 4-neighbour stencil elevators |
+//! | [`pathfinder`] | Dynamic Programming | Δ=±1 min-propagation |
+
+pub mod bpnn;
+pub mod convolution;
+pub mod hotspot;
+pub mod lud;
+pub mod matmul;
+pub mod pathfinder;
+pub mod reduce;
+pub mod scan;
+pub mod srad;
+pub mod suite;
+pub mod util;
+
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::Kernel;
+
+/// Table 3 metadata for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchInfo {
+    /// Application name (Table 3 column 1).
+    pub name: &'static str,
+    /// Application domain (Table 3 column 2).
+    pub domain: &'static str,
+    /// Kernel name (Table 3 column 3).
+    pub kernel: &'static str,
+    /// Kernel description (Table 3 column 4).
+    pub description: &'static str,
+}
+
+/// A generated problem instance: launch parameters plus the initial memory
+/// image (shared by both kernel variants).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Scalar launch parameters in declaration order.
+    pub params: Vec<Word>,
+    /// Initial global memory.
+    pub memory: MemImage,
+}
+
+impl Workload {
+    /// Converts into a `LaunchInput` (cloning for repeated runs).
+    #[must_use]
+    pub fn launch(&self) -> dmt_dfg::LaunchInput {
+        dmt_dfg::LaunchInput::new(self.params.clone(), self.memory.clone())
+    }
+}
+
+/// One benchmark: problem definition, two kernel variants, input
+/// generation and output validation.
+pub trait Benchmark {
+    /// Table 3 metadata.
+    fn info(&self) -> BenchInfo;
+
+    /// The shared-memory variant (Fermi SM / MT-CGRA).
+    fn shared_kernel(&self) -> Kernel;
+
+    /// The inter-thread-communication variant (dMT-CGRA).
+    fn dmt_kernel(&self) -> Kernel;
+
+    /// Generates a seeded problem instance.
+    fn workload(&self, seed: u64) -> Workload;
+
+    /// Validates a final memory image against the CPU reference for the
+    /// same seed. Returns a description of the first mismatch.
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String>;
+}
+
+/// Convenience: run both variants through the functional interpreter and
+/// validate them — the cheapest full correctness check, used by unit tests
+/// in every benchmark module.
+///
+/// # Panics
+///
+/// Panics (with context) when interpretation or validation fails.
+pub fn interp_check(bench: &dyn Benchmark, seed: u64) {
+    let info = bench.info();
+    for (variant, kernel) in [
+        ("dmt", bench.dmt_kernel()),
+        ("shared", bench.shared_kernel()),
+    ] {
+        let w = bench.workload(seed);
+        let out = dmt_dfg::interp::run(&kernel, w.launch())
+            .unwrap_or_else(|e| panic!("{}/{variant}: interp failed: {e}", info.name));
+        bench
+            .check(seed, &out.memory)
+            .unwrap_or_else(|e| panic!("{}/{variant}: validation failed: {e}", info.name));
+    }
+}

@@ -1,0 +1,290 @@
+//! `lud` — LU decomposition, internal-block update (`lud_internal` from
+//! Rodinia).
+//!
+//! The internal kernel updates each element of the trailing submatrix:
+//! `C[ty][tx] = D[ty][tx] − Σ_k L[ty][k] · U[k][tx]`.
+//!
+//! §5.2 notes "the LUD kernel in which we used our implementation of
+//! matrix multiplication" — accordingly, both variants are the matmul
+//! structure plus the diagonal-block load and subtraction: the dMT version
+//! forwards `L` rows and `U` columns through eLDST units; the shared
+//! version stages the `L` and `U` tiles behind a barrier.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// Tile side (threads per dimension).
+const SIDE: u32 = 16;
+/// Perimeter depth (inner dimension of the update; padded to SIDE-stride
+/// storage).
+const K: u32 = 8;
+
+/// Tiles (= thread blocks) per launch.
+const TILES: u32 = 8;
+/// Bytes per SIDE×SIDE tile.
+const TILE_BYTES: i32 = (SIDE * SIDE * 4) as i32;
+
+/// The LU-decomposition internal-block benchmark: `TILES` independent
+/// trailing-submatrix tiles updated against their perimeter blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lud;
+
+impl Lud {
+    fn tile_words(self) -> usize {
+        (SIDE * SIDE) as usize
+    }
+    fn l_base(self) -> u64 {
+        0
+    }
+    fn u_base(self) -> u64 {
+        u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+    fn d_base(self) -> u64 {
+        2 * u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+    fn out_base(self) -> u64 {
+        3 * u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+
+    fn tile_inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let s = SIDE as usize;
+        let mut l = vec![0.0f32; s * s];
+        let mut u = vec![0.0f32; s * s];
+        let rl = crate::util::gen_f32(seed, s * K as usize, -1.0, 1.0);
+        let ru = crate::util::gen_f32(seed ^ 0xabcd, K as usize * s, -1.0, 1.0);
+        for ty in 0..s {
+            for i in 0..K as usize {
+                l[ty * s + i] = rl[ty * K as usize + i];
+            }
+        }
+        for i in 0..K as usize {
+            for tx in 0..s {
+                u[i * s + tx] = ru[i * s + tx];
+            }
+        }
+        let d = crate::util::gen_f32(seed ^ 0x5555, s * s, -4.0, 4.0);
+        (l, u, d)
+    }
+
+    fn inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (mut l, mut u, mut d) = (Vec::new(), Vec::new(), Vec::new());
+        for t in 0..TILES {
+            let (tl, tu, td) = self.tile_inputs(seed.wrapping_add(u64::from(t)));
+            l.extend(tl);
+            u.extend(tu);
+            d.extend(td);
+        }
+        (l, u, d)
+    }
+
+    fn reference(self, l: &[f32], u: &[f32], d: &[f32]) -> Vec<f32> {
+        let s = SIDE as usize;
+        let mut out = vec![0.0f32; s * s];
+        for ty in 0..s {
+            for tx in 0..s {
+                let mut acc = l[ty * s] * u[tx];
+                for i in 1..K as usize {
+                    acc += l[ty * s + i] * u[i * s + tx];
+                }
+                out[ty * s + tx] = d[ty * s + tx] - acc;
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Lud {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "lud",
+            domain: "Linear Algebra",
+            kernel: "lud_internal",
+            description: "Matrix decomposition",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("lud_dmt", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        let l_ptr = kb.param("l");
+        let u_ptr = kb.param("u");
+        let d_ptr = kb.param("d");
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let zero = kb.const_i(0);
+        let en_l = kb.eq_i(tx, zero);
+        let en_u = kb.eq_i(ty, zero);
+
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let row_stride = kb.const_i(SIDE as i32 * 4);
+        let four = kb.const_i(4);
+        let ty_off = kb.mul_i(ty, row_stride);
+        let l0 = kb.add_i(l_ptr, boff);
+        let mut l_addr = kb.add_i(l0, ty_off);
+        let tx_off = kb.mul_i(tx, four);
+        let u0 = kb.add_i(u_ptr, boff);
+        let mut u_addr = kb.add_i(u0, tx_off);
+        let mut acc = None;
+        for i in 0..K {
+            if i > 0 {
+                l_addr = kb.add_i(l_addr, four);
+                u_addr = kb.add_i(u_addr, row_stride);
+            }
+            let lv = kb.from_thread_or_mem(l_addr, en_l, Delta::new_2d(-1, 0), Some(SIDE));
+            let uv = kb.from_thread_or_mem(u_addr, en_u, Delta::new_2d(0, -1), None);
+            let prod = kb.mul_f(lv, uv);
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => kb.add_f(a, prod),
+            });
+        }
+        let acc = acc.expect("K > 0");
+        let d0 = kb.add_i(d_ptr, boff);
+        let d1 = kb.add_i(d0, ty_off);
+        let da = kb.add_i(d1, tx_off);
+        let dv = kb.load_global(da);
+        let val = kb.sub_f(dv, acc);
+        let o0 = kb.add_i(out_ptr, boff);
+        let o1 = kb.add_i(o0, ty_off);
+        let oa = kb.add_i(o1, tx_off);
+        kb.store_global(oa, val);
+        kb.finish().expect("lud dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let s = SIDE as i32;
+        let mut kb = KernelBuilder::new("lud_shared", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        kb.set_shared_words(2 * SIDE * SIDE);
+
+        // Phase 0: stage L and U tiles.
+        let l_ptr = kb.param("l");
+        let u_ptr = kb.param("u");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let l0 = kb.add_i(l_ptr, boff);
+        let gl = kb.index_addr(l0, lin, 4);
+        let vl = kb.load_global(gl);
+        let zero = kb.const_i(0);
+        let sl = kb.index_addr(zero, lin, 4);
+        kb.store_shared(sl, vl);
+        let u0 = kb.add_i(u_ptr, boff);
+        let gu = kb.index_addr(u0, lin, 4);
+        let vu = kb.load_global(gu);
+        let u_sh = kb.const_i(s * s * 4);
+        let su = kb.index_addr(u_sh, lin, 4);
+        kb.store_shared(su, vu);
+
+        kb.barrier();
+
+        // Phase 1: dot product from the scratchpad, then D − acc.
+        let d_ptr = kb.param("d");
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let four = kb.const_i(4);
+        let row_stride = kb.const_i(s * 4);
+        let ty_off = kb.mul_i(ty, row_stride);
+        let mut l_addr = ty_off;
+        let u_base = kb.const_i(s * s * 4);
+        let tx_off = kb.mul_i(tx, four);
+        let mut u_addr = kb.add_i(u_base, tx_off);
+        let mut acc = None;
+        for i in 0..K {
+            if i > 0 {
+                l_addr = kb.add_i(l_addr, four);
+                u_addr = kb.add_i(u_addr, row_stride);
+            }
+            let lv = kb.load_shared(l_addr);
+            let uv = kb.load_shared(u_addr);
+            let prod = kb.mul_f(lv, uv);
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => kb.add_f(a, prod),
+            });
+        }
+        let acc = acc.expect("K > 0");
+        let d0 = kb.add_i(d_ptr, boff);
+        let d1 = kb.add_i(d0, ty_off);
+        let da = kb.add_i(d1, tx_off);
+        let dv = kb.load_global(da);
+        let val = kb.sub_f(dv, acc);
+        let o0 = kb.add_i(out_ptr, boff);
+        let o1 = kb.add_i(o0, ty_off);
+        let oa = kb.add_i(o1, tx_off);
+        kb.store_global(oa, val);
+        kb.finish().expect("lud shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let (l, u, d) = self.inputs(seed);
+        let mut memory = MemImage::with_words(4 * TILES as usize * self.tile_words());
+        memory.write_f32_slice(Addr(self.l_base()), &l);
+        memory.write_f32_slice(Addr(self.u_base()), &u);
+        memory.write_f32_slice(Addr(self.d_base()), &d);
+        Workload {
+            params: vec![
+                Word::from_u32(self.l_base() as u32),
+                Word::from_u32(self.u_base() as u32),
+                Word::from_u32(self.d_base() as u32),
+                Word::from_u32(self.out_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let (l, u, d) = self.inputs(seed);
+        let want: Vec<f32> = l
+            .chunks(self.tile_words())
+            .zip(u.chunks(self.tile_words()))
+            .zip(d.chunks(self.tile_words()))
+            .flat_map(|((tl, tu), td)| self.reference(tl, tu, td))
+            .collect();
+        crate::util::check_f32(memory, self.out_base(), &want, 1e-4, "lud")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::interp;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Lud, 17);
+        interp_check(&Lud, 1234);
+    }
+
+    #[test]
+    fn forwarding_saves_loads() {
+        let w = Lud.workload(5);
+        let dmt = interp::run(&Lud.dmt_kernel(), w.launch()).unwrap();
+        let w = Lud.workload(5);
+        let sh = interp::run(&Lud.shared_kernel(), w.launch()).unwrap();
+        // dMT: K per L-row + K per U-column + one D load per thread.
+        assert_eq!(
+            dmt.stats.global_loads,
+            u64::from(TILES) * u64::from(SIDE * K + K * SIDE + SIDE * SIDE)
+        );
+        assert!(sh.stats.global_loads > dmt.stats.global_loads);
+        assert!(dmt.stats.eldst_forwards > 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! `matrixMul` — dense matrix multiplication, the paper's Fig 2/3.
+//!
+//! Problem: `C = A × B` with `A: N×K`, `B: K×M`, one thread per element of
+//! `C` (thread `(tx, ty)` computes `C[ty][tx]`), `N = M = 16`, `K = 12`
+//! (stored padded to stride 16).
+//!
+//! * **dMT variant** (Fig 2b): `fromThreadOrMem` forwards each element of
+//!   `A` along a row of threads (only `tx == 0` loads) and each element of
+//!   `B` down a column (only `ty == 0` loads), cutting loads from
+//!   `N·K·M` to `N·K + K·M` — the Fig 3 data flow.
+//! * **Shared variant**: the classic tiled kernel — stage `A` and `B` into
+//!   shared memory, barrier, then dot-product from the scratchpad.
+//!
+//! The inner loop is statically unrolled in both variants ("the loop is
+//! statically unrolled to compute the indices at compile time", Fig 2b).
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// Matrix dimensions: `C(N×M) = A(N×K) × B(K×M)` with `N = M = SIDE`.
+const SIDE: u32 = 16;
+/// Inner dimension (≤ SIDE; storage is padded to SIDE-stride).
+const K: u32 = 12;
+
+/// Tiles (= thread blocks) per launch.
+const TILES: u32 = 8;
+/// Bytes per SIDE×SIDE tile.
+const TILE_BYTES: i32 = (SIDE * SIDE * 4) as i32;
+
+/// The matrix-multiplication benchmark: `TILES` independent SIDE×SIDE
+/// products (a blocked multiply's independent output tiles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatMul;
+
+impl MatMul {
+    fn tile_words(self) -> usize {
+        (SIDE * SIDE) as usize
+    }
+    fn a_base(self) -> u64 {
+        0
+    }
+    fn b_base(self) -> u64 {
+        u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+    fn c_base(self) -> u64 {
+        2 * u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+
+    /// Reference multiply with the kernels' summation order (ascending i).
+    fn reference(self, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let s = SIDE as usize;
+        let mut c = vec![0.0f32; s * s];
+        for ty in 0..s {
+            for tx in 0..s {
+                let mut acc = a[ty * s] * b[tx];
+                for i in 1..K as usize {
+                    acc += a[ty * s + i] * b[i * s + tx];
+                }
+                c[ty * s + tx] = acc;
+            }
+        }
+        c
+    }
+
+    /// One tile pair; padded storage (columns K.. of A, rows K.. of B are
+    /// zero).
+    fn tile_inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let s = SIDE as usize;
+        let mut a = vec![0.0f32; s * s];
+        let mut b = vec![0.0f32; s * s];
+        let ra = crate::util::gen_f32(seed, s * K as usize, -1.0, 1.0);
+        let rb = crate::util::gen_f32(seed ^ 0x9e37_79b9, K as usize * s, -1.0, 1.0);
+        for ty in 0..s {
+            for i in 0..K as usize {
+                a[ty * s + i] = ra[ty * K as usize + i];
+            }
+        }
+        for i in 0..K as usize {
+            for tx in 0..s {
+                b[i * s + tx] = rb[i * s + tx];
+            }
+        }
+        (a, b)
+    }
+
+    fn inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for t in 0..TILES {
+            let (ta, tb) = self.tile_inputs(seed.wrapping_add(u64::from(t)));
+            a.extend(ta);
+            b.extend(tb);
+        }
+        (a, b)
+    }
+}
+
+impl Benchmark for MatMul {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "matrixMul",
+            domain: "Linear Algebra",
+            kernel: "matrixMul",
+            description: "Matrix multiplication",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("matmul_dmt", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        let a_ptr = kb.param("a");
+        let b_ptr = kb.param("b");
+        let c_ptr = kb.param("c");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let zero = kb.const_i(0);
+        // Memory-access predicates (Fig 2b).
+        let en_a = kb.eq_i(tx, zero); // column 0 loads A rows
+        let en_b = kb.eq_i(ty, zero); // row 0 loads B columns
+
+        // Strength-reduced unrolled addressing within the block's tile:
+        //   a_addr_i = a + tile + (ty*SIDE + i)*4   (+4 per step)
+        //   b_addr_i = b + tile + (i*SIDE + tx)*4   (+SIDE*4 per step)
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let row_stride = kb.const_i(SIDE as i32 * 4);
+        let ty_off = kb.mul_i(ty, row_stride);
+        let four = kb.const_i(4);
+        let tx_off = kb.mul_i(tx, four);
+        let a0 = kb.add_i(a_ptr, boff);
+        let mut a_addr = kb.add_i(a0, ty_off);
+        let b0 = kb.add_i(b_ptr, boff);
+        let mut b_addr = kb.add_i(b0, tx_off);
+
+        let mut acc = None;
+        for i in 0..K {
+            if i > 0 {
+                a_addr = kb.add_i(a_addr, four);
+                b_addr = kb.add_i(b_addr, row_stride);
+            }
+            // a forwarded along the row (from thread (tx-1, ty)), b down
+            // the column (from thread (tx, ty-1)).
+            let a = kb.from_thread_or_mem(a_addr, en_a, Delta::new_2d(-1, 0), Some(SIDE));
+            let b = kb.from_thread_or_mem(b_addr, en_b, Delta::new_2d(0, -1), None);
+            let prod = kb.mul_f(a, b);
+            acc = Some(match acc {
+                None => prod,
+                Some(acc) => kb.add_f(acc, prod),
+            });
+        }
+        let acc = acc.expect("K > 0");
+        let c0 = kb.add_i(c_ptr, boff);
+        let c1 = kb.add_i(c0, ty_off);
+        let ca = kb.add_i(c1, tx_off);
+        kb.store_global(ca, acc);
+        kb.finish().expect("matmul dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let s = SIDE as i32;
+        let mut kb = KernelBuilder::new("matmul_shared", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        // Shared: A tile at word 0, B tile at word SIDE².
+        kb.set_shared_words(2 * SIDE * SIDE);
+
+        // Phase 0: each thread stages one element of A and one of B.
+        let a_ptr = kb.param("a");
+        let b_ptr = kb.param("b");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let a0 = kb.add_i(a_ptr, boff);
+        let ga = kb.index_addr(a0, lin, 4);
+        let va = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, lin, 4);
+        kb.store_shared(sa, va);
+        let b0 = kb.add_i(b_ptr, boff);
+        let gb = kb.index_addr(b0, lin, 4);
+        let vb = kb.load_global(gb);
+        let b_sh = kb.const_i(s * s * 4);
+        let sb = kb.index_addr(b_sh, lin, 4);
+        kb.store_shared(sb, vb);
+
+        kb.barrier();
+
+        // Phase 1: unrolled dot product from the scratchpad.
+        let c_ptr = kb.param("c");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let four = kb.const_i(4);
+        let row_stride = kb.const_i(s * 4);
+        let ty_off = kb.mul_i(ty, row_stride);
+        let mut a_addr = ty_off; // shared A base is word 0
+        let b_base = kb.const_i(s * s * 4);
+        let tx_off = kb.mul_i(tx, four);
+        let mut b_addr = kb.add_i(b_base, tx_off);
+        let mut acc = None;
+        for i in 0..K {
+            if i > 0 {
+                a_addr = kb.add_i(a_addr, four);
+                b_addr = kb.add_i(b_addr, row_stride);
+            }
+            let a = kb.load_shared(a_addr);
+            let b = kb.load_shared(b_addr);
+            let prod = kb.mul_f(a, b);
+            acc = Some(match acc {
+                None => prod,
+                Some(acc) => kb.add_f(acc, prod),
+            });
+        }
+        let acc = acc.expect("K > 0");
+        let c0 = kb.add_i(c_ptr, boff);
+        let c1 = kb.add_i(c0, ty_off);
+        let ca = kb.add_i(c1, tx_off);
+        kb.store_global(ca, acc);
+        kb.finish().expect("matmul shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let (a, b) = self.inputs(seed);
+        let mut memory = MemImage::with_words(3 * TILES as usize * self.tile_words());
+        memory.write_f32_slice(Addr(self.a_base()), &a);
+        memory.write_f32_slice(Addr(self.b_base()), &b);
+        Workload {
+            params: vec![
+                Word::from_u32(self.a_base() as u32),
+                Word::from_u32(self.b_base() as u32),
+                Word::from_u32(self.c_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let (a, b) = self.inputs(seed);
+        let want: Vec<f32> = a
+            .chunks(self.tile_words())
+            .zip(b.chunks(self.tile_words()))
+            .flat_map(|(ta, tb)| self.reference(ta, tb))
+            .collect();
+        crate::util::check_f32(memory, self.c_base(), &want, 1e-4, "C")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::interp;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&MatMul, 3);
+        interp_check(&MatMul, 99);
+    }
+
+    #[test]
+    fn dmt_variant_eliminates_redundant_loads() {
+        let m = MatMul;
+        let w = m.workload(1);
+        let dmt = interp::run(&m.dmt_kernel(), w.launch()).unwrap();
+        let w = m.workload(1);
+        let sh = interp::run(&m.shared_kernel(), w.launch()).unwrap();
+        // dMT: loaders only — SIDE rows × K of A + K×SIDE of B, per tile.
+        assert_eq!(
+            dmt.stats.global_loads,
+            u64::from(TILES) * u64::from(SIDE * K + K * SIDE),
+            "one load per matrix element actually needed"
+        );
+        // Shared variant: every thread stages 2 elements from global.
+        assert_eq!(
+            sh.stats.global_loads,
+            u64::from(TILES) * u64::from(2 * SIDE * SIDE)
+        );
+        // And the forwarding replaced (SIDE-1)/SIDE of the dMT loads.
+        assert_eq!(
+            dmt.stats.eldst_forwards,
+            u64::from(TILES) * u64::from(2 * K * SIDE * (SIDE - 1))
+        );
+    }
+
+    #[test]
+    fn variant_properties() {
+        let dmt = MatMul.dmt_kernel();
+        assert_eq!(dmt.phases().len(), 1);
+        assert!(dmt.uses_inter_thread_comm());
+        let sh = MatMul.shared_kernel();
+        assert_eq!(sh.phases().len(), 2);
+        assert!(sh.uses_shared_memory());
+    }
+
+    #[test]
+    fn column_forwarding_distance_is_one_row() {
+        let sites = dmt_dfg::delta_stats::comm_sites(&MatMul.dmt_kernel());
+        assert_eq!(sites.len(), 2 * K as usize);
+        assert!(sites.iter().any(|s| s.linear_distance == 1));
+        assert!(sites.iter().any(|s| s.linear_distance == u64::from(SIDE)));
+        // Euclidean distance is 1 in both directions (Fig 5 metric).
+        assert!(sites.iter().all(|s| (s.euclidean - 1.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,221 @@
+//! `pathfinder` — dynamic programming on a 2-D grid (Rodinia
+//! `dynproc_kernel`).
+//!
+//! Problem: one DP step of the shortest-path recurrence —
+//! `out[t] = min(prev[t-1], prev[t], prev[t+1]) + cost[t]`, with
+//! out-of-range neighbours treated as `i32::MAX` (saturating min
+//! identity).
+//!
+//! * **dMT variant**: each thread loads `prev[t]` once; the left and right
+//!   neighbour values arrive over elevator nodes with an `i32::MAX`
+//!   fallback at the margins.
+//! * **Shared variant**: `prev` staged in shared memory behind a barrier,
+//!   margins handled with selects — the Rodinia ghost-zone pattern.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// The pathfinder benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Pathfinder {
+    n: u32,
+    blocks: u32,
+}
+
+impl Pathfinder {
+    /// `blocks` independent DP rows of `n` columns each.
+    #[must_use]
+    pub fn new(n: u32, blocks: u32) -> Pathfinder {
+        assert!((4..=1024).contains(&n));
+        assert!(blocks >= 1);
+        Pathfinder { n, blocks }
+    }
+
+    fn total(self) -> u32 {
+        self.n * self.blocks
+    }
+
+    fn prev_base(self) -> u64 {
+        0
+    }
+    fn cost_base(self) -> u64 {
+        u64::from(self.total()) * 4
+    }
+    fn out_base(self) -> u64 {
+        2 * u64::from(self.total()) * 4
+    }
+
+    fn inputs(self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let prev = crate::util::gen_i32(seed, self.total() as usize, 0, 1000);
+        let cost = crate::util::gen_i32(seed ^ 0x7777, self.total() as usize, 0, 20);
+        (prev, cost)
+    }
+
+    fn reference(self, prev: &[i32], cost: &[i32]) -> Vec<i32> {
+        let n = prev.len();
+        (0..n)
+            .map(|t| {
+                let lt = if t > 0 { prev[t - 1] } else { i32::MAX };
+                let rt = if t + 1 < n { prev[t + 1] } else { i32::MAX };
+                lt.min(prev[t]).min(rt).wrapping_add(cost[t])
+            })
+            .collect()
+    }
+}
+
+impl Default for Pathfinder {
+    fn default() -> Pathfinder {
+        Pathfinder::new(256, 8)
+    }
+}
+
+impl Benchmark for Pathfinder {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "pathfinder",
+            domain: "Dynamic Programming",
+            kernel: "dynproc_kernel",
+            description: "Find the shortest path on a 2-D grid",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("pathfinder_dmt", Dim3::linear(self.n));
+        kb.set_grid_blocks(self.blocks);
+        let prev = kb.param("prev");
+        let cost = kb.param("cost");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(self.n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let pa = kb.index_addr(prev, gtid, 4);
+        let p = kb.load_global(pa);
+        kb.tag_value(p);
+        let mx = Word::from_i32(i32::MAX);
+        let lt = kb.from_thread_or_const(p, Delta::new(-1), mx, None);
+        let rt = kb.from_thread_or_const(p, Delta::new(1), mx, None);
+        let m1 = kb.min_i(lt, p);
+        let m = kb.min_i(m1, rt);
+        let ca = kb.index_addr(cost, gtid, 4);
+        let c = kb.load_global(ca);
+        let v = kb.add_i(m, c);
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, v);
+        kb.finish().expect("pathfinder dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let n = self.n;
+        let mut kb = KernelBuilder::new("pathfinder_shared", Dim3::linear(n));
+        kb.set_grid_blocks(self.blocks);
+        kb.set_shared_words(n);
+
+        // Phase 0: stage prev.
+        let prev = kb.param("prev");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let ga = kb.index_addr(prev, gtid, 4);
+        let v = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, tid, 4);
+        kb.store_shared(sa, v);
+
+        kb.barrier();
+
+        // Phase 1: min of three with margin selects.
+        let cost = kb.param("cost");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let zero = kb.const_i(0);
+        let one = kb.const_i(1);
+        let maxi = kb.const_i(n as i32 - 1);
+        let mx = kb.const_i(i32::MAX);
+
+        let sa = kb.index_addr(zero, tid, 4);
+        let p = kb.load_shared(sa);
+
+        let lm = kb.sub_i(tid, one);
+        let lc = kb.max_i(lm, zero);
+        let la = kb.index_addr(zero, lc, 4);
+        let lv = kb.load_shared(la);
+        let l_ok = kb.le_s(one, tid);
+        let lt = kb.select(l_ok, lv, mx);
+
+        let rm = kb.add_i(tid, one);
+        let rc = kb.min_i(rm, maxi);
+        let ra = kb.index_addr(zero, rc, 4);
+        let rv = kb.load_shared(ra);
+        let r_ok = kb.lt_s(tid, maxi);
+        let rt = kb.select(r_ok, rv, mx);
+
+        let m1 = kb.min_i(lt, p);
+        let m = kb.min_i(m1, rt);
+        let ca = kb.index_addr(cost, gtid, 4);
+        let c = kb.load_global(ca);
+        let v = kb.add_i(m, c);
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, v);
+        kb.finish().expect("pathfinder shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let (prev, cost) = self.inputs(seed);
+        let mut memory = MemImage::with_words(3 * self.total() as usize);
+        memory.write_i32_slice(Addr(self.prev_base()), &prev);
+        memory.write_i32_slice(Addr(self.cost_base()), &cost);
+        Workload {
+            params: vec![
+                Word::from_u32(self.prev_base() as u32),
+                Word::from_u32(self.cost_base() as u32),
+                Word::from_u32(self.out_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let (prev, cost) = self.inputs(seed);
+        let want: Vec<i32> = prev
+            .chunks(self.n as usize)
+            .zip(cost.chunks(self.n as usize))
+            .flat_map(|(p, c)| self.reference(p, c))
+            .collect();
+        crate::util::check_i32(memory, self.out_base(), &want, "pathfinder")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Pathfinder::default(), 6);
+        interp_check(&Pathfinder::new(32, 3), 66);
+    }
+
+    #[test]
+    fn margin_fallbacks_are_max() {
+        // With MAX fallback the margins never win the min unless the real
+        // neighbours are MAX themselves — checked implicitly by reference
+        // equality on random inputs, and explicitly here on a tiny case.
+        let p = Pathfinder::new(4, 1);
+        let (prev, cost) = p.inputs(123);
+        let r = p.reference(&prev, &cost);
+        assert_eq!(r[0], prev[0].min(prev[1]).wrapping_add(cost[0]));
+    }
+}

@@ -1,0 +1,246 @@
+//! `reduce` — parallel sum reduction (NVIDIA SDK `reduce`).
+//!
+//! Problem: `result = Σ in[0..n]` for one block of `n` threads.
+//!
+//! * **dMT variant**: a log₂(n) tree of *window-bounded* elevator levels —
+//!   exactly the pattern §3.2 motivates ("a bounded transmission window
+//!   enables mapping distinct groups of communicating threads to separate
+//!   segments at each level of the tree"). Level `l` communicates across
+//!   ΔTID `2^l` with window `2^(l+1)`; the upper levels exceed the 16-entry
+//!   token buffer and exercise the §4.3 long-distance machinery (cascades
+//!   or Live-Value-Cache spills). Thread 0 accumulates the total.
+//! * **Shared variant**: the classic shared-memory tree — `sh[t] +=
+//!   sh[t+d]` for `d = n/2 … 1` with a barrier per level.
+//!
+//! Data is `i32` (wrapping), so all variants agree bit-exactly.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// The parallel-reduction benchmark; `n` must be a power of two. The
+/// launch reduces `blocks` independent segments (the SDK kernel's
+/// per-block partial sums).
+#[derive(Debug, Clone, Copy)]
+pub struct Reduce {
+    n: u32,
+    blocks: u32,
+}
+
+impl Reduce {
+    /// Per-block sums of `blocks` segments of `n` elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two in `4..=1024` or `blocks` is 0.
+    #[must_use]
+    pub fn new(n: u32, blocks: u32) -> Reduce {
+        assert!(n.is_power_of_two() && (4..=1024).contains(&n));
+        assert!(blocks >= 1);
+        Reduce { n, blocks }
+    }
+
+    fn total(self) -> u32 {
+        self.n * self.blocks
+    }
+
+    fn result_base(self) -> u64 {
+        u64::from(self.total()) * 4
+    }
+
+    fn dump_base(self) -> u64 {
+        self.result_base() + 4 * u64::from(self.blocks)
+    }
+
+    fn reference(self, input: &[i32]) -> i32 {
+        input.iter().fold(0i32, |a, &v| a.wrapping_add(v))
+    }
+}
+
+impl Default for Reduce {
+    fn default() -> Reduce {
+        Reduce::new(256, 8)
+    }
+}
+
+impl Benchmark for Reduce {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "reduce",
+            domain: "Data-Parallel Algorithms",
+            kernel: "reduce",
+            description: "Parallel Reduction",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let n = self.n;
+        let levels = n.trailing_zeros();
+        let mut kb = KernelBuilder::new("reduce_dmt", Dim3::linear(n));
+        kb.set_grid_blocks(self.blocks);
+        let inp = kb.param("in");
+        let result = kb.param("result");
+        let dump = kb.param("dump");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let a = kb.index_addr(inp, gtid, 4);
+        let mut s = kb.load_global(a);
+        // Tree: at level l, threads receive the partial of tid + 2^l from
+        // within their 2^(l+1)-thread window (threads whose partner falls
+        // outside the window receive 0 and just carry their value).
+        for l in 0..levels {
+            let delta = 1i32 << l;
+            let window = 1u32 << (l + 1);
+            let partner =
+                kb.from_thread_or_const(s, Delta::new(delta), Word::from_i32(0), Some(window));
+            s = kb.add_i(s, partner);
+        }
+        // Thread 0 holds the block total: store it to `result[bid]`,
+        // everyone else to the dump area (dataflow stores are
+        // unconditional).
+        let zero = kb.const_i(0);
+        let is_root = kb.eq_i(tid, zero);
+        let ra = kb.index_addr(result, bid, 4);
+        let da = kb.index_addr(dump, gtid, 4);
+        let addr = kb.select(is_root, ra, da);
+        kb.store_global(addr, s);
+        kb.finish().expect("reduce dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let n = self.n;
+        let levels = n.trailing_zeros();
+        let mut kb = KernelBuilder::new("reduce_shared", Dim3::linear(n));
+        kb.set_grid_blocks(self.blocks);
+        kb.set_shared_words(n);
+
+        // Phase 0: stage.
+        let inp = kb.param("in");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let ga = kb.index_addr(inp, gtid, 4);
+        let v = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, tid, 4);
+        kb.store_shared(sa, v);
+
+        // Tree levels, top down: sh[t] += sh[t+d] for t < d.
+        for l in (0..levels).rev() {
+            kb.barrier();
+            let d = 1i32 << l;
+            let tid = kb.thread_idx(0);
+            let zero = kb.const_i(0);
+            let sa = kb.index_addr(zero, tid, 4);
+            let x = kb.load_shared(sa);
+            let dc = kb.const_i(d);
+            let partner = kb.add_i(tid, dc);
+            let maxi = kb.const_i(n as i32 - 1);
+            let clamped = kb.min_i(partner, maxi);
+            let pa = kb.index_addr(zero, clamped, 4);
+            let y = kb.load_shared(pa);
+            let sum = kb.add_i(x, y);
+            let active = kb.lt_s(tid, dc);
+            let val = kb.select(active, sum, x);
+            kb.store_shared(sa, val);
+        }
+
+        // Final phase: thread 0 publishes sh[0]; the rest write the dump.
+        kb.barrier();
+        let result = kb.param("result");
+        let dump = kb.param("dump");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, zero, 4);
+        let total = kb.load_shared(sa);
+        let is_root = kb.eq_i(tid, zero);
+        let ra = kb.index_addr(result, bid, 4);
+        let da = kb.index_addr(dump, gtid, 4);
+        let addr = kb.select(is_root, ra, da);
+        kb.store_global(addr, total);
+        kb.finish().expect("reduce shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let data = crate::util::gen_i32(seed, self.total() as usize, -1000, 1000);
+        // in + per-block results + dump
+        let mut memory =
+            MemImage::with_words(2 * self.total() as usize + self.blocks as usize);
+        memory.write_i32_slice(Addr(0), &data);
+        Workload {
+            params: vec![
+                Word::from_u32(0),
+                Word::from_u32(self.result_base() as u32),
+                Word::from_u32(self.dump_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let data = crate::util::gen_i32(seed, self.total() as usize, -1000, 1000);
+        let want: Vec<i32> = data
+            .chunks(self.n as usize)
+            .map(|c| self.reference(c))
+            .collect();
+        crate::util::check_i32(memory, self.result_base(), &want, "reduce")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+    use dmt_dfg::delta_stats;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Reduce::default(), 13);
+        interp_check(&Reduce::new(64, 4), 21);
+    }
+
+    #[test]
+    fn small_instances_work() {
+        interp_check(&Reduce::new(4, 1), 0);
+        interp_check(&Reduce::new(16, 2), 1);
+    }
+
+    #[test]
+    fn delta_profile_has_a_long_tail() {
+        let sites = delta_stats::comm_sites(&Reduce::default().dmt_kernel());
+        assert_eq!(sites.len(), 8, "log2(256) levels");
+        let max = sites.iter().map(|s| s.linear_distance).max().unwrap();
+        assert_eq!(max, 128, "top level spans half the block");
+        // Fig 5 structure: a fraction of traffic crosses ΔTID > 16.
+        let frac16 =
+            delta_stats::fraction_within(&sites, delta_stats::DistanceMetric::Linear, 16.0);
+        assert!(frac16 > 0.5 && frac16 < 1.0, "got {frac16}");
+    }
+
+    #[test]
+    fn window_semantics_confine_each_level() {
+        let k = Reduce::new(64, 1).dmt_kernel();
+        let phase = &k.phases()[0];
+        for id in phase.node_ids() {
+            if let Some(comm) = phase.kind(id).comm() {
+                assert_eq!(
+                    u64::from(comm.window),
+                    2 * comm.shift.unsigned_abs(),
+                    "window is twice the level's Δ"
+                );
+            }
+        }
+    }
+}

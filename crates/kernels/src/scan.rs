@@ -1,0 +1,226 @@
+//! `scan` — prefix sum (NVIDIA SDK `scan_naive`), the paper's Fig 6.
+//!
+//! Problem: `out[t] = Σ in[0..=t]` (inclusive scan over one block).
+//!
+//! * **dMT variant** (Fig 6b): a recurrent elevator chain —
+//!   `sum = fromThreadOrConst<sum, -1, 0>() + mem_val; tagValue<sum>()`.
+//!   No shared memory, no barriers; the dataflow firing rule serializes
+//!   exactly the data-dependent chain and nothing else.
+//! * **Shared variant**: the Hillis–Steele `scan_naive` from the SDK —
+//!   log₂(n) ping-pong passes over shared memory with a barrier between
+//!   each (the paper calls scan "a very sequential algorithm" whose win is
+//!   mostly energy).
+//!
+//! Data is `i32`, so both variants and the reference agree bit-exactly
+//! despite different addition orders.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder};
+
+/// The scan benchmark; `n` must be a power of two (block size). The launch
+/// runs `blocks` independent per-block scans (the SDK `scan_naive`
+/// semantics), which keeps the machines in steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct Scan {
+    n: u32,
+    blocks: u32,
+}
+
+impl Scan {
+    /// Creates a scan over `blocks` segments of `n` elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or exceeds 1024, or `blocks`
+    /// is 0.
+    #[must_use]
+    pub fn new(n: u32, blocks: u32) -> Scan {
+        assert!(n.is_power_of_two() && (2..=1024).contains(&n));
+        assert!(blocks >= 1);
+        Scan { n, blocks }
+    }
+
+    fn total(self) -> u32 {
+        self.n * self.blocks
+    }
+
+    fn in_base(self) -> u64 {
+        0
+    }
+
+    fn out_base(self) -> u64 {
+        u64::from(self.total()) * 4
+    }
+
+    fn reference(self, input: &[i32]) -> Vec<i32> {
+        let mut acc = 0i32;
+        input
+            .iter()
+            .map(|&v| {
+                acc = acc.wrapping_add(v);
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Default for Scan {
+    fn default() -> Scan {
+        Scan::new(1024, 2)
+    }
+}
+
+impl Benchmark for Scan {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "scan",
+            domain: "Data-Parallel Algorithms",
+            kernel: "scan_naive",
+            description: "Prefix sum",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("scan_dmt", Dim3::linear(self.n));
+        kb.set_grid_blocks(self.blocks);
+        let inp = kb.param("in");
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(self.n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let a = kb.index_addr(inp, gtid, 4);
+        let mem_val = kb.load_global(a);
+        // sum = fromThreadOrConst<sum, -1, 0>() + mem_val
+        let (prev, rec) =
+            kb.recurrent_from_thread_or_const(Delta::new(-1), Word::from_i32(0), None);
+        let sum = kb.add_i(prev, mem_val);
+        kb.close_recurrence(rec, sum); // tagValue<sum>()
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, sum);
+        kb.finish().expect("scan dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let n = self.n;
+        let steps = n.trailing_zeros();
+        let mut kb = KernelBuilder::new("scan_shared", Dim3::linear(n));
+        kb.set_grid_blocks(self.blocks);
+        // Ping-pong buffers A at word 0, B at word n.
+        kb.set_shared_words(2 * n);
+
+        // Phase 0: stage input into buffer A.
+        let inp = kb.param("in");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let ga = kb.index_addr(inp, gtid, 4);
+        let v = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, tid, 4);
+        kb.store_shared(sa, v);
+
+        // log2(n) Hillis–Steele passes, barrier-separated.
+        let mut cur_base = 0i32;
+        let mut nxt_base = n as i32 * 4;
+        for d in 0..steps {
+            kb.barrier();
+            let off = 1i32 << d;
+            let tid = kb.thread_idx(0);
+            let cur = kb.const_i(cur_base);
+            let sa = kb.index_addr(cur, tid, 4);
+            let x = kb.load_shared(sa);
+            // Clamped neighbour index: max(tid - off, 0).
+            let offc = kb.const_i(off);
+            let shifted = kb.sub_i(tid, offc);
+            let z = kb.const_i(0);
+            let clamped = kb.max_i(shifted, z);
+            let na = kb.index_addr(cur, clamped, 4);
+            let y = kb.load_shared(na);
+            let sum = kb.add_i(x, y);
+            let active = kb.le_s(offc, tid); // off <= tid
+            let val = kb.select(active, sum, x);
+            let nxt = kb.const_i(nxt_base);
+            let da = kb.index_addr(nxt, tid, 4);
+            kb.store_shared(da, val);
+            std::mem::swap(&mut cur_base, &mut nxt_base);
+        }
+
+        // Final phase: write the result buffer out.
+        kb.barrier();
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let gtid = kb.add_i(base, tid);
+        let cur = kb.const_i(cur_base);
+        let sa = kb.index_addr(cur, tid, 4);
+        let v = kb.load_shared(sa);
+        let oa = kb.index_addr(out, gtid, 4);
+        kb.store_global(oa, v);
+        kb.finish().expect("scan shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let data = crate::util::gen_i32(seed, self.total() as usize, -100, 100);
+        let mut memory = MemImage::with_words(2 * self.total() as usize);
+        memory.write_i32_slice(Addr(self.in_base()), &data);
+        Workload {
+            params: vec![
+                Word::from_u32(self.in_base() as u32),
+                Word::from_u32(self.out_base() as u32),
+            ],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let data = crate::util::gen_i32(seed, self.total() as usize, -100, 100);
+        // Independent scan per block segment.
+        let want: Vec<i32> = data
+            .chunks(self.n as usize)
+            .flat_map(|c| self.reference(c))
+            .collect();
+        crate::util::check_i32(memory, self.out_base(), &want, "scan")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Scan::default(), 42);
+        interp_check(&Scan::new(64, 2), 7);
+    }
+
+    #[test]
+    fn variant_properties() {
+        let s = Scan::default();
+        let dmt = s.dmt_kernel();
+        assert!(dmt.uses_inter_thread_comm());
+        assert!(!dmt.uses_shared_memory());
+        assert_eq!(dmt.phases().len(), 1, "no barriers in the dMT variant");
+        let sh = s.shared_kernel();
+        assert!(!sh.uses_inter_thread_comm());
+        assert!(sh.uses_shared_memory());
+        assert_eq!(sh.phases().len(), 12, "load + 10 passes + writeback");
+    }
+
+    #[test]
+    fn delta_profile_is_unit_distance() {
+        let sites = dmt_dfg::delta_stats::comm_sites(&Scan::default().dmt_kernel());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].linear_distance, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! `srad` — Speckle-Reducing Anisotropic Diffusion (Rodinia), the
+//! diffusion-coefficient kernel.
+//!
+//! Problem: for each pixel of a 2-D image `J`, compute the diffusion
+//! coefficient from the four-neighbour derivatives:
+//!
+//! ```text
+//! dN..dE = J[neigh] − Jc            (zero-valued halo outside the tile)
+//! G2 = (dN²+dS²+dW²+dE²) / (Jc²+ε)
+//! L  = (dN+dS+dW+dE) / (Jc+ε)
+//! num = ½·G2 − (1/16)·L²,   den = 1 + ¼·L
+//! q  = num / (den²+ε)
+//! c  = clamp(1 / (1 + (q − q0)/(q0·(1+q0)+ε)), 0, 1)
+//! ```
+//!
+//! This is the division-heavy core of Rodinia's `srad` kernel and drives
+//! the grid's special compute units.
+//!
+//! * **dMT variant**: the four neighbour values of `J` arrive over
+//!   elevator nodes (ΔTID (±1,0) and (0,±1)); each element is loaded once.
+//! * **Shared variant**: the tile is staged in shared memory; each thread
+//!   then reads five scratchpad values with explicit margin selects.
+
+use crate::{BenchInfo, Benchmark, Workload};
+use dmt_common::geom::{Delta, Dim3};
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use dmt_common::value::Word;
+use dmt_dfg::{Kernel, KernelBuilder, ValueRef};
+
+/// Tile side.
+const SIDE: u32 = 16;
+const EPS: f32 = 1e-6;
+const Q0: f32 = 0.5;
+
+/// Tiles (= thread blocks) per launch.
+const TILES: u32 = 8;
+/// Bytes per SIDE×SIDE tile.
+const TILE_BYTES: i32 = (SIDE * SIDE * 4) as i32;
+
+/// The SRAD diffusion-coefficient benchmark over `TILES` image tiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Srad;
+
+impl Srad {
+    fn tile_words(self) -> usize {
+        (SIDE * SIDE) as usize
+    }
+
+    fn out_base(self) -> u64 {
+        u64::from(TILES) * u64::from(SIDE * SIDE) * 4
+    }
+
+    fn inputs(self, seed: u64) -> Vec<f32> {
+        crate::util::gen_f32(seed, TILES as usize * self.tile_words(), 0.1, 1.1)
+    }
+
+    #[allow(clippy::many_single_char_names)]
+    fn coefficient(self, jc: f32, jn: f32, js: f32, jw: f32, je: f32) -> f32 {
+        let dn = jn - jc;
+        let ds = js - jc;
+        let dw = jw - jc;
+        let de = je - jc;
+        let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc + EPS);
+        let l = (dn + ds + dw + de) / (jc + EPS);
+        let num = 0.5 * g2 - 0.0625 * (l * l);
+        let den = 1.0 + 0.25 * l;
+        let q = num / (den * den + EPS);
+        let c = 1.0 / (1.0 + (q - Q0) / (Q0 * (1.0 + Q0) + EPS));
+        c.max(0.0).min(1.0)
+    }
+
+    fn reference(self, j: &[f32]) -> Vec<f32> {
+        let s = SIDE as usize;
+        let mut out = vec![0.0f32; s * s];
+        for y in 0..s {
+            for x in 0..s {
+                let jc = j[y * s + x];
+                let jn = if y > 0 { j[(y - 1) * s + x] } else { 0.0 };
+                let js = if y + 1 < s { j[(y + 1) * s + x] } else { 0.0 };
+                let jw = if x > 0 { j[y * s + x - 1] } else { 0.0 };
+                let je = if x + 1 < s { j[y * s + x + 1] } else { 0.0 };
+                out[y * s + x] = self.coefficient(jc, jn, js, jw, je);
+            }
+        }
+        out
+    }
+
+    /// Emits the coefficient computation (shared by both kernel variants,
+    /// so all backends compute the exact same expression tree).
+    #[allow(clippy::many_single_char_names)]
+    fn emit_coefficient(
+        self,
+        kb: &mut KernelBuilder,
+        jc: ValueRef,
+        jn: ValueRef,
+        js: ValueRef,
+        jw: ValueRef,
+        je: ValueRef,
+    ) -> ValueRef {
+        let dn = kb.sub_f(jn, jc);
+        let ds = kb.sub_f(js, jc);
+        let dw = kb.sub_f(jw, jc);
+        let de = kb.sub_f(je, jc);
+        let dn2 = kb.mul_f(dn, dn);
+        let ds2 = kb.mul_f(ds, ds);
+        let dw2 = kb.mul_f(dw, dw);
+        let de2 = kb.mul_f(de, de);
+        let s1 = kb.add_f(dn2, ds2);
+        let s2 = kb.add_f(dw2, de2);
+        let sum2 = kb.add_f(s1, s2);
+        let jc2 = kb.mul_f(jc, jc);
+        let eps = kb.const_f(EPS);
+        let jc2e = kb.add_f(jc2, eps);
+        let g2 = kb.div_f(sum2, jc2e);
+        let t1 = kb.add_f(dn, ds);
+        let t2 = kb.add_f(dw, de);
+        let lsum = kb.add_f(t1, t2);
+        let jce = kb.add_f(jc, eps);
+        let l = kb.div_f(lsum, jce);
+        let half = kb.const_f(0.5);
+        let g2h = kb.mul_f(half, g2);
+        let l2 = kb.mul_f(l, l);
+        let sixteenth = kb.const_f(0.0625);
+        let l2s = kb.mul_f(sixteenth, l2);
+        let num = kb.sub_f(g2h, l2s);
+        let quarter = kb.const_f(0.25);
+        let lq = kb.mul_f(quarter, l);
+        let one = kb.const_f(1.0);
+        let den = kb.add_f(one, lq);
+        let den2 = kb.mul_f(den, den);
+        let den2e = kb.add_f(den2, eps);
+        let q = kb.div_f(num, den2e);
+        let q0 = kb.const_f(Q0);
+        let qd = kb.sub_f(q, q0);
+        let q0s = kb.const_f(Q0 * (1.0 + Q0) + EPS);
+        let frac = kb.div_f(qd, q0s);
+        let cden = kb.add_f(one, frac);
+        let c = kb.div_f(one, cden);
+        let zero = kb.const_f(0.0);
+        let cmax = kb.max_f(c, zero);
+        kb.min_f(cmax, one)
+    }
+}
+
+impl Benchmark for Srad {
+    fn info(&self) -> BenchInfo {
+        BenchInfo {
+            name: "srad",
+            domain: "Ultrasonic/Radar Imaging",
+            kernel: "srad",
+            description: "Speckle Reducing Anisotropic Diffusion",
+        }
+    }
+
+    fn dmt_kernel(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("srad_dmt", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        let j_ptr = kb.param("j");
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(SIDE as i32);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let j0 = kb.add_i(j_ptr, boff);
+        let ja = kb.index_addr(j0, lin, 4);
+        let jc = kb.load_global(ja);
+        kb.tag_value(jc);
+        let z = Word::from_f32(0.0);
+        // Four-neighbour halo exchange over the fabric.
+        let jn = kb.from_thread_or_const(jc, Delta::new_2d(0, -1), z, None);
+        let js = kb.from_thread_or_const(jc, Delta::new_2d(0, 1), z, None);
+        let jw = kb.from_thread_or_const(jc, Delta::new_2d(-1, 0), z, Some(SIDE));
+        let je = kb.from_thread_or_const(jc, Delta::new_2d(1, 0), z, Some(SIDE));
+        let c = self.emit_coefficient(&mut kb, jc, jn, js, jw, je);
+        let o0 = kb.add_i(out_ptr, boff);
+        let oa = kb.index_addr(o0, lin, 4);
+        kb.store_global(oa, c);
+        kb.finish().expect("srad dMT kernel is well-formed")
+    }
+
+    fn shared_kernel(&self) -> Kernel {
+        let s = SIDE as i32;
+        let mut kb = KernelBuilder::new("srad_shared", Dim3::plane(SIDE, SIDE));
+        kb.set_grid_blocks(TILES);
+        kb.set_shared_words(SIDE * SIDE);
+
+        // Phase 0: stage the tile.
+        let j_ptr = kb.param("j");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let j0 = kb.add_i(j_ptr, boff);
+        let ga = kb.index_addr(j0, lin, 4);
+        let v = kb.load_global(ga);
+        let zero = kb.const_i(0);
+        let sa = kb.index_addr(zero, lin, 4);
+        kb.store_shared(sa, v);
+
+        kb.barrier();
+
+        // Phase 1: five scratchpad reads with margin selects. Neighbour
+        // addresses clamp the *linear* index (always in-bounds; the margin
+        // select discards wrapped values), which keeps the phase within
+        // the 32-ALU pool.
+        let out_ptr = kb.param("out");
+        let tx = kb.thread_idx(0);
+        let ty = kb.thread_idx(1);
+        let bid = kb.block_idx();
+        let tile = kb.const_i(TILE_BYTES);
+        let boff = kb.mul_i(bid, tile);
+        let side = kb.const_i(s);
+        let row = kb.mul_i(ty, side);
+        let lin = kb.add_i(row, tx);
+        let zero = kb.const_i(0);
+        let one = kb.const_i(1);
+        let maxc = kb.const_i(s - 1);
+        let maxlin = kb.const_i(s * s - 1);
+        let fz = kb.const_f(0.0);
+
+        let sa = kb.index_addr(zero, lin, 4);
+        let jc = kb.load_shared(sa);
+
+        let neighbour = |kb: &mut KernelBuilder, dx: i32, dy: i32| {
+            let (axis, toward_zero) = if dx != 0 { (tx, dx < 0) } else { (ty, dy < 0) };
+            let off = kb.const_i(if dx != 0 { dx } else { dy * s });
+            let nlin = kb.add_i(lin, off);
+            let idx = if toward_zero {
+                kb.max_i(nlin, zero)
+            } else {
+                kb.min_i(nlin, maxlin)
+            };
+            let valid = if toward_zero {
+                kb.le_s(one, axis) // axis >= 1
+            } else {
+                kb.lt_s(axis, maxc) // axis < SIDE-1
+            };
+            let na = kb.index_addr(zero, idx, 4);
+            let nv = kb.load_shared(na);
+            kb.select(valid, nv, fz)
+        };
+        let jw = neighbour(&mut kb, -1, 0);
+        let je = neighbour(&mut kb, 1, 0);
+        let jn = neighbour(&mut kb, 0, -1);
+        let js = neighbour(&mut kb, 0, 1);
+
+        let c = self.emit_coefficient(&mut kb, jc, jn, js, jw, je);
+        let o0 = kb.add_i(out_ptr, boff);
+        let oa = kb.index_addr(o0, lin, 4);
+        kb.store_global(oa, c);
+        kb.finish().expect("srad shared kernel is well-formed")
+    }
+
+    fn workload(&self, seed: u64) -> Workload {
+        let j = self.inputs(seed);
+        let mut memory = MemImage::with_words(2 * TILES as usize * self.tile_words());
+        memory.write_f32_slice(Addr(0), &j);
+        Workload {
+            params: vec![Word::from_u32(0), Word::from_u32(self.out_base() as u32)],
+            memory,
+        }
+    }
+
+    fn check(&self, seed: u64, memory: &MemImage) -> Result<(), String> {
+        let j = self.inputs(seed);
+        let want: Vec<f32> = j
+            .chunks(self.tile_words())
+            .flat_map(|t| self.reference(t))
+            .collect();
+        crate::util::check_f32(memory, self.out_base(), &want, 1e-3, "srad")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_check;
+
+    #[test]
+    fn both_variants_match_reference() {
+        interp_check(&Srad, 3);
+        interp_check(&Srad, 77);
+    }
+
+    #[test]
+    fn stencil_uses_four_elevators() {
+        let k = Srad.dmt_kernel();
+        let sites = dmt_dfg::delta_stats::comm_sites(&k);
+        assert_eq!(sites.len(), 4);
+        // Vertical neighbours flatten to ΔTID = 16, horizontal to 1; the
+        // Fig 5 Euclidean metric sees all four as distance 1.
+        assert!(sites.iter().all(|s| (s.euclidean - 1.0).abs() < 1e-9));
+        let linear: Vec<u64> = sites.iter().map(|s| s.linear_distance).collect();
+        assert!(linear.contains(&1));
+        assert!(linear.contains(&(u64::from(SIDE))));
+    }
+}

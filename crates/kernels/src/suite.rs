@@ -1,0 +1,136 @@
+//! The assembled benchmark suite (Table 3).
+
+use crate::{
+    bpnn::Bpnn, convolution::Convolution, hotspot::Hotspot, lud::Lud, matmul::MatMul,
+    pathfinder::Pathfinder, reduce::Reduce, scan::Scan, srad::Srad,
+};
+use crate::Benchmark;
+
+/// Every benchmark, in the paper's Table 3 order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Scan::default()),
+        Box::new(MatMul),
+        Box::new(Convolution::default()),
+        Box::new(Reduce::default()),
+        Box::new(Lud),
+        Box::new(Srad),
+        Box::new(Bpnn),
+        Box::new(Hotspot),
+        Box::new(Pathfinder::default()),
+    ]
+}
+
+/// Renders Table 3.
+#[must_use]
+pub fn table3() -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<12} {:<28} {:<20} {}\n",
+        "Application", "Application Domain", "Kernel", "Description"
+    ));
+    s.push_str(&"-".repeat(100));
+    s.push('\n');
+    for b in all() {
+        let i = b.info();
+        s.push_str(&format!(
+            "{:<12} {:<28} {:<20} {}\n",
+            i.name, i.domain, i.kernel, i.description
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_nine_benchmarks() {
+        let names: Vec<&str> = all().iter().map(|b| b.info().name).collect();
+        assert_eq!(
+            names,
+            [
+                "scan",
+                "matrixMul",
+                "convolution",
+                "reduce",
+                "lud",
+                "srad",
+                "BPNN",
+                "hotspot",
+                "pathfinder"
+            ]
+        );
+    }
+
+    #[test]
+    fn table3_mentions_every_kernel() {
+        let t = table3();
+        for k in [
+            "scan_naive",
+            "matrixMul",
+            "convolutionRowGPU",
+            "reduce",
+            "lud_internal",
+            "srad",
+            "layerforward",
+            "hotspot_kernel",
+            "dynproc_kernel",
+        ] {
+            assert!(t.contains(k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn every_dmt_variant_uses_comm_and_no_scratchpad() {
+        for b in all() {
+            let k = b.dmt_kernel();
+            assert!(
+                k.uses_inter_thread_comm(),
+                "{} dMT variant has no communication",
+                b.info().name
+            );
+            assert!(
+                !k.uses_shared_memory(),
+                "{} dMT variant still touches the scratchpad",
+                b.info().name
+            );
+            assert_eq!(
+                k.phases().len(),
+                1,
+                "{} dMT variant should have no barriers",
+                b.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn every_shared_variant_uses_scratchpad_and_no_comm() {
+        for b in all() {
+            let k = b.shared_kernel();
+            assert!(
+                !k.uses_inter_thread_comm(),
+                "{} shared variant uses dMT primitives",
+                b.info().name
+            );
+            assert!(
+                k.uses_shared_memory(),
+                "{} shared variant does not use the scratchpad",
+                b.info().name
+            );
+            assert!(k.phases().len() >= 2, "{}", b.info().name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        for b in all() {
+            let w1 = b.workload(5);
+            let w2 = b.workload(5);
+            assert_eq!(w1.memory, w2.memory, "{}", b.info().name);
+            assert_eq!(w1.params, w2.params, "{}", b.info().name);
+        }
+    }
+}

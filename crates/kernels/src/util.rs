@@ -1,0 +1,71 @@
+//! Shared helpers for benchmark construction: seeded input generation and
+//! validation utilities.
+
+use dmt_common::ids::Addr;
+use dmt_common::memimg::MemImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `f32` values in `[lo, hi)`.
+#[must_use]
+pub fn gen_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `i32` values in `[lo, hi)`.
+#[must_use]
+pub fn gen_i32(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Compares `f32` output at `base` against `want`, with relative tolerance.
+pub fn check_f32(
+    memory: &MemImage,
+    base: u64,
+    want: &[f32],
+    rel_tol: f32,
+    what: &str,
+) -> Result<(), String> {
+    let got = memory.read_f32_slice(Addr(base), want.len());
+    match dmt_common::value::first_f32_mismatch(&got, want, rel_tol) {
+        None => Ok(()),
+        Some(i) => Err(format!(
+            "{what}[{i}]: got {}, want {} (tol {rel_tol})",
+            got[i], want[i]
+        )),
+    }
+}
+
+/// Compares exact `i32` output at `base` against `want`.
+pub fn check_i32(memory: &MemImage, base: u64, want: &[i32], what: &str) -> Result<(), String> {
+    let got = memory.read_i32_slice(Addr(base), want.len());
+    for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+        if g != w {
+            return Err(format!("{what}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seeded() {
+        assert_eq!(gen_f32(7, 16, 0.0, 1.0), gen_f32(7, 16, 0.0, 1.0));
+        assert_ne!(gen_f32(7, 16, 0.0, 1.0), gen_f32(8, 16, 0.0, 1.0));
+        assert_eq!(gen_i32(7, 16, -5, 5), gen_i32(7, 16, -5, 5));
+    }
+
+    #[test]
+    fn check_reports_position() {
+        let mut m = MemImage::with_words(4);
+        m.write_i32_slice(Addr(0), &[1, 2, 3, 4]);
+        assert!(check_i32(&m, 0, &[1, 2, 3, 4], "x").is_ok());
+        let err = check_i32(&m, 0, &[1, 2, 9, 4], "x").unwrap_err();
+        assert!(err.contains("x[2]"), "{err}");
+    }
+}

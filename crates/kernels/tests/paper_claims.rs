@@ -1,0 +1,93 @@
+//! Suite-level checks that each benchmark's dMT variant uses exactly the
+//! communication structure the paper describes for it.
+
+use dmt_dfg::delta_stats::comm_sites;
+use dmt_kernels::{suite, Benchmark};
+
+fn sites_of(b: &dyn Benchmark) -> Vec<dmt_dfg::delta_stats::CommSite> {
+    comm_sites(&b.dmt_kernel())
+}
+
+#[test]
+fn scan_is_one_recurrent_unit_chain() {
+    let s = sites_of(&dmt_kernels::scan::Scan::default());
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].primitive, "elevator");
+    assert_eq!(s[0].linear_distance, 1);
+}
+
+#[test]
+fn matmul_forwards_rows_and_columns_via_eldst() {
+    let s = sites_of(&dmt_kernels::matmul::MatMul);
+    assert!(s.iter().all(|x| x.primitive == "eldst"));
+    let row = s.iter().filter(|x| x.linear_distance == 1).count();
+    let col = s.iter().filter(|x| x.linear_distance == 16).count();
+    assert_eq!(row, col, "A-row and B-column forwarding per unrolled step");
+    assert_eq!(row + col, s.len());
+}
+
+#[test]
+fn convolution_exchanges_both_neighbours() {
+    let s = sites_of(&dmt_kernels::convolution::Convolution::default());
+    assert_eq!(s.len(), 2);
+    assert!(s.iter().all(|x| x.primitive == "elevator" && x.linear_distance == 1));
+}
+
+#[test]
+fn reduce_builds_a_windowed_log_tree() {
+    let s = sites_of(&dmt_kernels::reduce::Reduce::default());
+    assert_eq!(s.len(), 8, "log2(256) levels");
+    for (l, site) in s.iter().enumerate() {
+        assert_eq!(site.linear_distance, 1 << l);
+        assert_eq!(u64::from(site.window), 2 << l);
+    }
+}
+
+#[test]
+fn stencils_exchange_four_neighbours() {
+    for b in [
+        &dmt_kernels::srad::Srad as &dyn Benchmark,
+        &dmt_kernels::hotspot::Hotspot,
+    ] {
+        let s = sites_of(b);
+        assert_eq!(s.len(), 4, "{}", b.info().name);
+        let horizontal = s.iter().filter(|x| x.linear_distance == 1).count();
+        let vertical = s.iter().filter(|x| x.linear_distance == 16).count();
+        assert_eq!((horizontal, vertical), (2, 2), "{}", b.info().name);
+    }
+}
+
+#[test]
+fn bpnn_combines_broadcast_and_chain() {
+    let s = sites_of(&dmt_kernels::bpnn::Bpnn);
+    assert_eq!(s.len(), 2);
+    assert!(s.iter().any(|x| x.primitive == "eldst" && x.linear_distance == 1));
+    assert!(s
+        .iter()
+        .any(|x| x.primitive == "elevator" && x.linear_distance == 16));
+}
+
+#[test]
+fn pathfinder_reads_both_dp_neighbours() {
+    let s = sites_of(&dmt_kernels::pathfinder::Pathfinder::default());
+    assert_eq!(s.len(), 2);
+    assert!(s.iter().all(|x| x.primitive == "elevator" && x.euclidean == 1.0));
+}
+
+#[test]
+fn every_dmt_kernel_fits_the_16_entry_buffer_except_reduce() {
+    // The Fig 5 claim, per benchmark: only the reduction tree's upper
+    // levels exceed one token buffer.
+    for b in suite::all() {
+        let over: Vec<u64> = sites_of(b.as_ref())
+            .iter()
+            .map(|s| s.linear_distance)
+            .filter(|&d| d > 16)
+            .collect();
+        if b.info().name == "reduce" {
+            assert_eq!(over, vec![32, 64, 128], "reduce's upper levels");
+        } else {
+            assert!(over.is_empty(), "{}: {over:?}", b.info().name);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Memory-system timing models for the dMT-CGRA reproduction.
+//!
+//! The paper evaluates three machines sharing one off-core memory system
+//! (Table 2): a banked L1, a banked L2 and multi-channel GDDR5-class DRAM.
+//! This crate provides deterministic *booking-machine* timing models for
+//! all of them, plus the shared-memory [`scratchpad`] used by the GPGPU and
+//! MT-CGRA baselines and the [`lvc`] (Live Value Cache) spill buffer used
+//! when elevator cascades overflow (§4.3).
+//!
+//! Functional data is **not** stored here — values live in
+//! [`dmt_common::memimg::MemImage`]; these models answer only *when* an
+//! access completes and what traffic it generates.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmt_mem::{MemSystem, AccessOutcome};
+//! use dmt_common::config::{MemConfig, WritePolicy};
+//! use dmt_common::ids::Addr;
+//!
+//! let mut m = MemSystem::new(&MemConfig::default(), WritePolicy::WriteBackAllocate);
+//! let AccessOutcome::Done(cold) = m.load(Addr(0), 0) else { panic!() };
+//! let AccessOutcome::Done(warm) = m.load(Addr(4), cold) else { panic!() };
+//! assert!(warm - cold < cold, "second access hits in L1");
+//! ```
+
+pub mod cache;
+pub mod dram;
+pub mod lvc;
+pub mod scratchpad;
+pub mod system;
+
+pub use cache::{AccessOutcome, Backing, CacheLevel};
+pub use dram::Dram;
+pub use lvc::Lvc;
+pub use scratchpad::Scratchpad;
+pub use system::MemSystem;

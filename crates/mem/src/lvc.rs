@@ -1,0 +1,88 @@
+//! The Live Value Cache (LVC): the compiler-managed spill buffer.
+//!
+//! When a ΔTID is so large that even cascaded elevator nodes cannot buffer
+//! it, the compiler spills the communicated values here (§4.3: "similar to
+//! the spill-fill technique used in GPGPUs"). The LVC is small and fast;
+//! spills are counted so the energy model can charge them.
+
+use dmt_common::config::LvcConfig;
+use dmt_common::ids::Addr;
+
+/// Live-Value-Cache timing model (a small multi-ported SRAM).
+#[derive(Debug, Clone)]
+pub struct Lvc {
+    cfg: LvcConfig,
+    busy_until: Vec<u64>,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+}
+
+/// Ports on the LVC (fixed; it is a small structure).
+const LVC_PORTS: usize = 4;
+
+impl Lvc {
+    /// Creates an LVC model.
+    #[must_use]
+    pub fn new(cfg: LvcConfig) -> Lvc {
+        Lvc {
+            cfg,
+            busy_until: vec![0; LVC_PORTS],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Capacity in 32-bit entries.
+    #[must_use]
+    pub fn entries(&self) -> u32 {
+        self.cfg.entries
+    }
+
+    fn book(&mut self, addr: Addr, now: u64) -> u64 {
+        let p = ((addr.0 / 4) as usize) % LVC_PORTS;
+        let start = now.max(self.busy_until[p]);
+        self.busy_until[p] = start + 1;
+        start + self.cfg.latency
+    }
+
+    /// Books a spill read; returns the completion cycle.
+    pub fn read(&mut self, addr: Addr, now: u64) -> u64 {
+        self.reads += 1;
+        self.book(addr, now)
+    }
+
+    /// Books a spill write; returns the completion cycle.
+    pub fn write(&mut self, addr: Addr, now: u64) -> u64 {
+        self.writes += 1;
+        self.book(addr, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_latency_and_counters() {
+        let mut l = Lvc::new(LvcConfig {
+            entries: 64,
+            latency: 4,
+        });
+        assert_eq!(l.write(Addr(0), 0), 4);
+        assert_eq!(l.read(Addr(0), 10), 14);
+        assert_eq!((l.reads, l.writes), (1, 1));
+        assert_eq!(l.entries(), 64);
+    }
+
+    #[test]
+    fn same_port_serializes() {
+        let mut l = Lvc::new(LvcConfig {
+            entries: 64,
+            latency: 4,
+        });
+        assert_eq!(l.read(Addr(0), 0), 4);
+        assert_eq!(l.read(Addr(0), 0), 5);
+    }
+}

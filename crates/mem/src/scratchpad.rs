@@ -1,0 +1,94 @@
+//! The shared-memory scratchpad (baselines only).
+//!
+//! Table 2-era GPUs provide a 48 KiB, 32-bank scratchpad; accesses from one
+//! warp to distinct banks proceed in parallel, while accesses mapping to
+//! the same bank serialize. The dMT-CGRA programming model exists precisely
+//! to eliminate this structure — dMT kernels never touch it.
+
+use dmt_common::config::ScratchpadConfig;
+use dmt_common::ids::Addr;
+
+/// Scratchpad timing model.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    cfg: ScratchpadConfig,
+    busy_until: Vec<u64>,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses delayed by a busy bank.
+    pub bank_conflicts: u64,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad model.
+    #[must_use]
+    pub fn new(cfg: ScratchpadConfig) -> Scratchpad {
+        Scratchpad {
+            busy_until: vec![0; cfg.banks as usize],
+            accesses: 0,
+            bank_conflicts: 0,
+            cfg,
+        }
+    }
+
+    /// Banks are word-interleaved: bank = word index mod banks.
+    fn bank_of(&self, addr: Addr) -> usize {
+        ((addr.0 / 4) % u64::from(self.cfg.banks)) as usize
+    }
+
+    /// Books one access (load or store — symmetric timing); returns the
+    /// completion cycle.
+    pub fn access(&mut self, addr: Addr, now: u64) -> u64 {
+        self.accesses += 1;
+        let b = self.bank_of(addr);
+        let start = now.max(self.busy_until[b]);
+        if start > now {
+            self.bank_conflicts += 1;
+        }
+        self.busy_until[b] = start + 1;
+        start + self.cfg.latency
+    }
+
+    /// The earliest cycle at which every bank is free.
+    #[must_use]
+    pub fn idle_at(&self) -> u64 {
+        self.busy_until.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pad() -> Scratchpad {
+        Scratchpad::new(ScratchpadConfig {
+            size_bytes: 1024,
+            banks: 4,
+            latency: 10,
+        })
+    }
+
+    #[test]
+    fn distinct_banks_parallel() {
+        let mut p = pad();
+        assert_eq!(p.access(Addr(0), 0), 10);
+        assert_eq!(p.access(Addr(4), 0), 10);
+        assert_eq!(p.bank_conflicts, 0);
+    }
+
+    #[test]
+    fn same_bank_conflicts() {
+        let mut p = pad();
+        assert_eq!(p.access(Addr(0), 0), 10);
+        assert_eq!(p.access(Addr(16), 0), 11, "word 4 maps to bank 0 too");
+        assert_eq!(p.bank_conflicts, 1);
+    }
+
+    #[test]
+    fn counts_accesses() {
+        let mut p = pad();
+        p.access(Addr(0), 0);
+        p.access(Addr(8), 3);
+        assert_eq!(p.accesses, 2);
+    }
+}

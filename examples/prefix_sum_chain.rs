@@ -1,0 +1,55 @@
+//! Fig 6: the prefix-sum recurrence — `tagValue` placed *after*
+//! `fromThreadOrConst`, closing a feedback loop through an elevator node.
+//!
+//! ```sh
+//! cargo run -p dmt-examples --bin prefix_sum_chain
+//! ```
+
+use dmt_core::common::geom::{Delta, Dim3};
+use dmt_core::common::ids::Addr;
+use dmt_core::dfg::pretty;
+use dmt_core::{Arch, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
+
+fn main() -> dmt_core::Result<()> {
+    let n = 256u32;
+    // Fig 6b, literally:
+    //   mem_val = inArray[tid];
+    //   sum = fromThreadOrConst<sum, -1, 0>() + mem_val;
+    //   tagValue<sum>();
+    //   prefixSum[tid] = sum;
+    let mut kb = KernelBuilder::new("prefix_sum", Dim3::linear(n));
+    let in_arr = kb.param("inArray");
+    let out_arr = kb.param("prefixSum");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(in_arr, tid, 4);
+    let mem_val = kb.load_global(a);
+    let (prev_sum, rec) =
+        kb.recurrent_from_thread_or_const(Delta::new(-1), Word::from_i32(0), None);
+    let sum = kb.add_i(prev_sum, mem_val);
+    kb.close_recurrence(rec, sum); // tagValue<sum>()
+    let oa = kb.index_addr(out_arr, tid, 4);
+    kb.store_global(oa, sum);
+    let kernel = kb.finish()?;
+
+    println!("the per-thread dataflow graph (Fig 6a):\n");
+    print!("{}", pretty::dump(&kernel));
+
+    let mut mem = MemImage::with_words(2 * n as usize);
+    mem.write_i32_slice(Addr(0), &vec![1i32; n as usize]);
+    let report = Machine::new(Arch::DmtCgra, SystemConfig::default()).run(
+        &kernel,
+        LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem),
+    )?;
+    let out = report.memory.read_i32_slice(Addr(4 * n as u64), n as usize);
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as i32 + 1));
+    println!("\nprefixSum of 256 ones = 1..=256 ✓");
+    println!(
+        "{} cycles for {} threads — the elevator chain serializes exactly \
+         the data dependence\n({} tokens re-tagged, 1 fallback constant), \
+         nothing else.",
+        report.cycles(),
+        n,
+        report.stats.elevator_ops
+    );
+    Ok(())
+}

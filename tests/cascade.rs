@@ -1,0 +1,97 @@
+//! §4.3 long-distance machinery: correctness is invariant to the token
+//! buffer size — cascades and Live-Value-Cache spills must only change
+//! timing, never results.
+
+use dmt_core::common::geom::{Delta, Dim3};
+use dmt_core::common::ids::Addr;
+use dmt_core::{
+    compiler, dfg::interp, fabric::FabricMachine, Kernel, KernelBuilder, LaunchInput, MemImage,
+    SystemConfig, Word,
+};
+
+fn long_shift_kernel(delta: i32, n: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("long_shift", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(inp, tid, 4);
+    let x = kb.load_global(a);
+    let v = kb.from_thread_or_const(x, Delta::new(delta), Word::from_i32(-7), None);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    kb.finish().expect("well-formed")
+}
+
+fn run_with_buffer(kernel: &Kernel, tb: u32) -> (MemImage, u64, usize, u64) {
+    let mut cfg = SystemConfig::default();
+    cfg.fabric.token_buffer_entries = tb;
+    let program = compiler::compile(kernel, &cfg).expect("compiles");
+    let comm_nodes = program.phases[0]
+        .graph
+        .node_ids()
+        .filter(|&id| program.phases[0].graph.kind(id).comm().is_some())
+        .count();
+    let n = kernel.threads_per_block();
+    let mut mem = MemImage::with_words(2 * n as usize);
+    mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    let run = FabricMachine::new(cfg)
+        .run(
+            &program,
+            LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem),
+        )
+        .expect("runs");
+    (run.memory, run.stats.cycles, comm_nodes, run.stats.lvc_writes)
+}
+
+#[test]
+fn results_invariant_across_buffer_sizes() {
+    for delta in [-3i32, -18, -40, 25, 100] {
+        let kernel = long_shift_kernel(delta, 256);
+        let oracle = {
+            let n = 256;
+            let mut mem = MemImage::with_words(2 * n);
+            mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>());
+            interp::run(
+                &kernel,
+                LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(1024)], mem),
+            )
+            .expect("interp")
+            .memory
+        };
+        for tb in [2u32, 4, 8, 16, 64] {
+            let (memory, _, _, _) = run_with_buffer(&kernel, tb);
+            assert_eq!(memory, oracle, "delta {delta} buffer {tb}");
+        }
+    }
+}
+
+#[test]
+fn small_buffers_cascade_large_deltas() {
+    let kernel = long_shift_kernel(-18, 256);
+    let (_, _, nodes_small, _) = run_with_buffer(&kernel, 4);
+    let (_, _, nodes_large, _) = run_with_buffer(&kernel, 64);
+    assert!(nodes_small > nodes_large, "{nodes_small} vs {nodes_large}");
+    assert_eq!(nodes_large, 1, "one elevator suffices at 64 entries");
+    assert_eq!(nodes_small, 5, "⌈18/4⌉ elevators at 4 entries");
+}
+
+#[test]
+fn exhausted_cu_pool_falls_back_to_lvc() {
+    // Huge delta + tiny buffers + tiny CU pool → the compiler must spill.
+    let mut cfg = SystemConfig::default();
+    cfg.fabric.token_buffer_entries = 2;
+    cfg.grid.controls = 4;
+    let kernel = long_shift_kernel(-100, 256);
+    let program = compiler::compile(&kernel, &cfg).expect("compiles with a spill");
+    assert_eq!(program.phases[0].lvc_spilled.len(), 1);
+    let n = 256;
+    let mut mem = MemImage::with_words(2 * n);
+    mem.write_i32_slice(Addr(0), &(0..n as i32).collect::<Vec<_>>());
+    let run = FabricMachine::new(cfg)
+        .run(
+            &program,
+            LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(1024)], mem),
+        )
+        .expect("runs via the LVC");
+    assert!(run.stats.lvc_writes > 0, "spill traffic recorded");
+}

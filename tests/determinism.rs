@@ -1,0 +1,35 @@
+//! The simulators are deterministic: identical inputs produce identical
+//! cycle counts, statistics and energy on every run — a prerequisite for
+//! reproducible experiments.
+
+use dmt_core::{Arch, SystemConfig};
+use dmt_kernels::suite;
+use dmt_tests::run_checked;
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all().into_iter().take(4) {
+        for arch in Arch::ALL {
+            let a = run_checked(bench.as_ref(), arch, cfg, 5);
+            let b = run_checked(bench.as_ref(), arch, cfg, 5);
+            assert_eq!(a.cycles(), b.cycles(), "{} {arch}", bench.info().name);
+            assert_eq!(a.stats, b.stats, "{} {arch}", bench.info().name);
+            assert_eq!(a.memory, b.memory, "{} {arch}", bench.info().name);
+            assert!(
+                (a.total_joules() - b.total_joules()).abs() < 1e-15,
+                "{} {arch}",
+                bench.info().name
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_data_not_validity() {
+    let cfg = SystemConfig::default();
+    let bench = dmt_kernels::srad::Srad;
+    for seed in [0u64, 1, 99, 12345] {
+        let _ = run_checked(&bench, Arch::DmtCgra, cfg, seed);
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end validation: every Table 3 benchmark, on every machine, is
+//! checked against its CPU reference, and the two dMT executions (cycle
+//! simulator vs functional interpreter) agree word-for-word on memory.
+
+use dmt_core::{dfg::interp, Arch, SystemConfig};
+use dmt_kernels::suite;
+use dmt_tests::run_checked;
+
+#[test]
+fn every_benchmark_is_correct_on_every_architecture() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        for arch in Arch::ALL {
+            let _ = run_checked(bench.as_ref(), arch, cfg, 42);
+        }
+    }
+}
+
+#[test]
+fn fabric_memory_matches_the_interpreter_exactly() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        let kernel = bench.dmt_kernel();
+        let oracle = interp::run(&kernel, bench.workload(7).launch())
+            .unwrap_or_else(|e| panic!("{}: interp: {e}", bench.info().name));
+        let report = run_checked(bench.as_ref(), Arch::DmtCgra, cfg, 7);
+        assert_eq!(
+            report.memory,
+            oracle.memory,
+            "{}: cycle-level fabric diverges from the functional oracle",
+            bench.info().name
+        );
+    }
+}
+
+#[test]
+fn gpu_and_mt_agree_on_shared_kernels() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        let fermi = run_checked(bench.as_ref(), Arch::FermiSm, cfg, 11);
+        let mt = run_checked(bench.as_ref(), Arch::MtCgra, cfg, 11);
+        assert_eq!(
+            fermi.memory,
+            mt.memory,
+            "{}: SM and MT-CGRA disagree on the same kernel",
+            bench.info().name
+        );
+    }
+}
+
+#[test]
+fn dmt_wins_the_headline_comparison() {
+    // The reproduction's Fig 11/12 shape: dMT-CGRA beats the SM on geomean
+    // speedup and energy, and improves on the baseline MT-CGRA.
+    let cfg = SystemConfig::default();
+    let mut dmt_speedups = Vec::new();
+    let mut mt_speedups = Vec::new();
+    let mut dmt_eff = Vec::new();
+    for bench in suite::all() {
+        let fermi = run_checked(bench.as_ref(), Arch::FermiSm, cfg, 42);
+        let mt = run_checked(bench.as_ref(), Arch::MtCgra, cfg, 42);
+        let dmt = run_checked(bench.as_ref(), Arch::DmtCgra, cfg, 42);
+        dmt_speedups.push(fermi.cycles() as f64 / dmt.cycles() as f64);
+        mt_speedups.push(fermi.cycles() as f64 / mt.cycles() as f64);
+        dmt_eff.push(fermi.total_joules() / dmt.total_joules());
+        assert!(
+            dmt.cycles() < mt.cycles(),
+            "{}: direct communication should beat the shared-memory fabric",
+            bench.info().name
+        );
+    }
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let g_dmt = geomean(&dmt_speedups);
+    let g_mt = geomean(&mt_speedups);
+    let g_eff = geomean(&dmt_eff);
+    assert!(g_dmt > 1.5, "dMT geomean speedup {g_dmt:.2} too low");
+    assert!(g_dmt > g_mt, "dMT ({g_dmt:.2}) must beat MT ({g_mt:.2})");
+    assert!(g_eff > g_dmt * 0.8, "energy efficiency {g_eff:.2} out of shape");
+}
+
+#[test]
+fn memory_traffic_reduction_shows_up_in_counters() {
+    // §3.3: matmul loads drop from per-thread staging to per-element.
+    let cfg = SystemConfig::default();
+    let bench = dmt_kernels::matmul::MatMul;
+    let fermi = run_checked(&bench, Arch::FermiSm, cfg, 3);
+    let dmt = run_checked(&bench, Arch::DmtCgra, cfg, 3);
+    assert!(
+        dmt.stats.eldst_forwards > 10 * dmt.stats.global_loads,
+        "most operand deliveries should be forwards, got {} forwards / {} loads",
+        dmt.stats.eldst_forwards,
+        dmt.stats.global_loads
+    );
+    assert_eq!(fermi.stats.barriers > 0, true, "the baseline pays barriers");
+    assert_eq!(dmt.stats.barriers, 0, "the dMT variant has none");
+    assert_eq!(dmt.stats.shared_loads + dmt.stats.shared_stores, 0);
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dmt_core::{Arch, Machine, RunReport, SystemConfig};
+use dmt_kernels::Benchmark;
+
+/// Runs `bench` on `arch` with the variant that architecture supports and
+/// validates the output against the CPU reference.
+///
+/// # Panics
+///
+/// Panics with context when simulation or validation fails.
+#[must_use]
+pub fn run_checked(
+    bench: &dyn Benchmark,
+    arch: Arch,
+    cfg: SystemConfig,
+    seed: u64,
+) -> RunReport {
+    let kernel = match arch {
+        Arch::DmtCgra => bench.dmt_kernel(),
+        Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),
+    };
+    let report = Machine::new(arch, cfg)
+        .run(&kernel, bench.workload(seed).launch())
+        .unwrap_or_else(|e| panic!("{} on {arch}: {e}", bench.info().name));
+    bench
+        .check(seed, &report.memory)
+        .unwrap_or_else(|e| panic!("{} on {arch}: wrong result: {e}", bench.info().name));
+    report
+}

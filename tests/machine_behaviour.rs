@@ -1,0 +1,222 @@
+//! Behavioural invariants of the timing machines that the paper's
+//! argument depends on (beyond functional correctness).
+
+use dmt_core::common::geom::{Delta, Dim3};
+use dmt_core::common::ids::Addr;
+use dmt_core::{
+    compiler, fabric::FabricMachine, Arch, Kernel, KernelBuilder, LaunchInput, Machine,
+    MemImage, SystemConfig, Word,
+};
+use dmt_kernels::{suite, Benchmark};
+use dmt_tests::run_checked;
+
+fn copy_kernel(n: u32, blocks: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("copy", Dim3::linear(n));
+    kb.set_grid_blocks(blocks);
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let bid = kb.block_idx();
+    let seg = kb.const_i(n as i32);
+    let base = kb.mul_i(bid, seg);
+    let g = kb.add_i(base, tid);
+    let a = kb.index_addr(inp, g, 4);
+    let x = kb.load_global(a);
+    let oa = kb.index_addr(out, g, 4);
+    kb.store_global(oa, x);
+    kb.finish().expect("well-formed")
+}
+
+fn run_copy(cfg: SystemConfig, n: u32, blocks: u32) -> u64 {
+    let k = copy_kernel(n, blocks);
+    let total = (n * blocks) as usize;
+    let mut mem = MemImage::with_words(2 * total);
+    mem.write_i32_slice(Addr(0), &(0..total as i32).collect::<Vec<_>>());
+    Machine::new(Arch::DmtCgra, cfg)
+        .run(
+            &k,
+            LaunchInput::new(
+                vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)],
+                mem,
+            ),
+        )
+        .expect("runs")
+        .cycles()
+}
+
+#[test]
+fn single_phase_kernels_stream_blocks_without_drains() {
+    // 8 blocks of 128 must cost far less than 8× one block of 128 — the
+    // blocks overlap in the fabric.
+    let cfg = SystemConfig::default();
+    let one = run_copy(cfg, 128, 1);
+    let eight = run_copy(cfg, 128, 8);
+    assert!(
+        eight < 4 * one,
+        "streaming broke: 8 blocks = {eight} vs 1 block = {one}"
+    );
+}
+
+#[test]
+fn barriers_cost_the_baseline_real_cycles() {
+    // The same data movement with and without a barrier: the staged
+    // variant must be slower on the fabric (drain + scratchpad round
+    // trip).
+    let n = 256u32;
+    let direct = copy_kernel(n, 4);
+    let staged = {
+        let mut kb = KernelBuilder::new("copy_staged", Dim3::linear(n));
+        kb.set_grid_blocks(4);
+        kb.set_shared_words(n);
+        let inp = kb.param("in");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let g = kb.add_i(base, tid);
+        let a = kb.index_addr(inp, g, 4);
+        let x = kb.load_global(a);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        kb.store_shared(sa, x);
+        kb.barrier();
+        let out = kb.param("out");
+        let tid = kb.thread_idx(0);
+        let bid = kb.block_idx();
+        let seg = kb.const_i(n as i32);
+        let base = kb.mul_i(bid, seg);
+        let g = kb.add_i(base, tid);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        let x = kb.load_shared(sa);
+        let oa = kb.index_addr(out, g, 4);
+        kb.store_global(oa, x);
+        kb.finish().expect("well-formed")
+    };
+    let total = 1024usize;
+    let mk = || {
+        let mut mem = MemImage::with_words(2 * total);
+        mem.write_i32_slice(Addr(0), &(0..total as i32).collect::<Vec<_>>());
+        LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4096)], mem)
+    };
+    let cfg = SystemConfig::default();
+    let run = |k: &Kernel| {
+        Machine::new(Arch::MtCgra, cfg)
+            .run(k, mk())
+            .expect("runs")
+            .cycles()
+    };
+    let t_direct = run(&direct);
+    let t_staged = run(&staged);
+    assert!(
+        t_staged > t_direct,
+        "a barrier must cost cycles: staged {t_staged} vs direct {t_direct}"
+    );
+}
+
+#[test]
+fn negative_shift_compiles_and_streams() {
+    // Receive from a *higher* TID (downward communication) across blocks.
+    let n = 64u32;
+    let mut kb = KernelBuilder::new("down", Dim3::linear(n));
+    kb.set_grid_blocks(4);
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let bid = kb.block_idx();
+    let seg = kb.const_i(n as i32);
+    let base = kb.mul_i(bid, seg);
+    let g = kb.add_i(base, tid);
+    let a = kb.index_addr(inp, g, 4);
+    let x = kb.load_global(a);
+    let next = kb.from_thread_or_const(x, Delta::new(5), Word::from_i32(0), None);
+    let oa = kb.index_addr(out, g, 4);
+    kb.store_global(oa, next);
+    let kernel = kb.finish().expect("well-formed");
+
+    let total = 256usize;
+    let mut mem = MemImage::with_words(2 * total);
+    let data: Vec<i32> = (0..total as i32).map(|i| i * 2).collect();
+    mem.write_i32_slice(Addr(0), &data);
+    let report = Machine::new(Arch::DmtCgra, SystemConfig::default())
+        .run(
+            &kernel,
+            LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(1024)], mem),
+        )
+        .expect("runs");
+    let got = report.memory.read_i32_slice(Addr(1024), total);
+    for b in 0..4usize {
+        for t in 0..64usize {
+            let idx = b * 64 + t;
+            let want = if t + 5 < 64 { data[b * 64 + t + 5] } else { 0 };
+            assert_eq!(got[idx], want, "block {b} thread {t}");
+        }
+    }
+}
+
+#[test]
+fn replication_never_changes_results() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all() {
+        let kernel = bench.dmt_kernel();
+        let program = compiler::compile(&kernel, &cfg).expect("compiles");
+        if program.replication == 1 {
+            continue;
+        }
+        let mut serial = program.clone();
+        serial.replication = 1;
+        let m = FabricMachine::new(cfg);
+        let a = m.run(&program, bench.workload(9).launch()).expect("runs");
+        let b = m.run(&serial, bench.workload(9).launch()).expect("runs");
+        assert_eq!(a.memory, b.memory, "{}", bench.info().name);
+    }
+}
+
+#[test]
+fn three_d_thread_spaces_work_end_to_end() {
+    // A 4×4×4 block with a z-direction neighbour exchange.
+    let dims = Dim3::new(4, 4, 4);
+    let mut kb = KernelBuilder::new("cube", dims);
+    let out = kb.param("out");
+    let tx = kb.thread_idx(0);
+    let ty = kb.thread_idx(1);
+    let tz = kb.thread_idx(2);
+    let four = kb.const_i(4);
+    let sixteen = kb.const_i(16);
+    let zr = kb.mul_i(tz, sixteen);
+    let yr = kb.mul_i(ty, four);
+    let p = kb.add_i(zr, yr);
+    let lin = kb.add_i(p, tx);
+    // Receive the linear id of the thread one z-layer below.
+    let below = kb.from_thread_or_const(lin, Delta::new_3d(0, 0, -1), Word::from_i32(-1), None);
+    let oa = kb.index_addr(out, lin, 4);
+    kb.store_global(oa, below);
+    let kernel = kb.finish().expect("well-formed");
+
+    let report = Machine::new(Arch::DmtCgra, SystemConfig::default())
+        .run(
+            &kernel,
+            LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(64)),
+        )
+        .expect("runs");
+    let got = report.memory.read_i32_slice(Addr(0), 64);
+    for (i, &v) in got.iter().enumerate() {
+        let want = if i >= 16 { i as i32 - 16 } else { -1 };
+        assert_eq!(v, want, "linear id {i}");
+    }
+}
+
+#[test]
+fn energy_accounts_are_consistent_with_counters() {
+    let cfg = SystemConfig::default();
+    for bench in suite::all().into_iter().take(3) {
+        let dmt = run_checked(bench.as_ref(), Arch::DmtCgra, cfg, 1);
+        let fermi = run_checked(bench.as_ref(), Arch::FermiSm, cfg, 1);
+        assert_eq!(dmt.energy.fetch_decode_j, 0.0);
+        assert_eq!(dmt.energy.register_file_j, 0.0);
+        assert!(dmt.energy.token_transport_j > 0.0);
+        assert_eq!(fermi.energy.token_transport_j, 0.0);
+        assert!(fermi.energy.fetch_decode_j > 0.0);
+        assert!(dmt.total_joules() > 0.0 && fermi.total_joules() > 0.0);
+    }
+}
