@@ -1,0 +1,31 @@
+# Local verification targets, kept in lock-step with .github/workflows/ci.yml
+# so "make <target>" locally reproduces exactly what CI gates on.
+
+.PHONY: all build test lint fmt bench-smoke clean
+
+all: build test lint bench-smoke
+
+# CI job: build (release)
+build:
+	cargo build --release --locked
+
+# CI job: test — exactly the tier-1 verify command
+test:
+	cargo test -q --locked
+
+# CI job: fmt + clippy
+lint:
+	cargo fmt --check
+	cargo clippy --all-targets --locked -- -D warnings
+
+# Applies formatting (lint only checks it).
+fmt:
+	cargo fmt
+
+# CI job: example + bench smoke
+bench-smoke:
+	cargo run --release --locked --example quickstart
+	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- --smoke
+
+clean:
+	cargo clean

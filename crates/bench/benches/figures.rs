@@ -11,11 +11,11 @@
 //! recorded in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dmt_bench::{run_one, suite_comm_sites, SEED};
 use dmt_core::dfg::delta_stats::{cdf, DistanceMetric};
 use dmt_core::{Arch, SystemConfig};
 use dmt_kernels::suite;
+use std::time::Duration;
 
 fn fig11_fig12_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");

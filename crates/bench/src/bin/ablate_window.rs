@@ -5,9 +5,9 @@
 //! loads into fabric forwards — the paper's memory-traffic argument in
 //! miniature — until forwarding latency starts to bind.
 
-use dmt_core::{Arch, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
 use dmt_core::common::geom::{Delta, Dim3};
 use dmt_core::common::ids::Addr;
+use dmt_core::{Arch, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
 
 fn broadcast_kernel(n: u32, win: u32) -> dmt_core::Kernel {
     let mut kb = KernelBuilder::new("win_broadcast", Dim3::linear(n));
@@ -37,7 +37,10 @@ fn main() {
         let kernel = broadcast_kernel(n, win);
         let mut mem = MemImage::with_words(2 * n as usize);
         let groups = n / win;
-        mem.write_i32_slice(Addr(0), &(0..groups as i32).map(|g| g * 7).collect::<Vec<_>>());
+        mem.write_i32_slice(
+            Addr(0),
+            &(0..groups as i32).map(|g| g * 7).collect::<Vec<_>>(),
+        );
         let report = Machine::new(Arch::DmtCgra, SystemConfig::default())
             .run(
                 &kernel,

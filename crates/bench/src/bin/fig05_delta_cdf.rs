@@ -13,7 +13,10 @@ fn main() {
         sites.len()
     );
     for (metric, name) in [
-        (DistanceMetric::Euclidean, "Euclidean (paper's Fig 5 metric)"),
+        (
+            DistanceMetric::Euclidean,
+            "Euclidean (paper's Fig 5 metric)",
+        ),
         (DistanceMetric::Linear, "linear TID shift (buffer sizing)"),
     ] {
         println!("-- {name} --");

@@ -1,11 +1,16 @@
 //! Fig 11 — speedup of the MT-CGRA and dMT-CGRA architectures over the
 //! Fermi baseline, per benchmark plus geomean.
+//!
+//! Pass `--smoke` to run only the first three benchmarks — the CI smoke
+//! job uses this to catch runtime regressions cheaply.
 
-use dmt_bench::{bar, geomean_of, run_suite, SuiteRow, SEED};
+use dmt_bench::{bar, geomean_of, run_suite_take, SuiteRow, SEED};
 use dmt_core::SystemConfig;
 
 fn main() {
-    let rows = run_suite(SystemConfig::default(), SEED);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let take = if smoke { 3 } else { usize::MAX };
+    let rows = run_suite_take(SystemConfig::default(), SEED, take);
     println!("Figure 11: speedup over the Fermi SM (one '#' = 0.25x)\n");
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>8} {:>8}",

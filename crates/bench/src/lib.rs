@@ -72,29 +72,103 @@ impl SuiteRow {
 /// silently report numbers from wrong results.
 #[must_use]
 pub fn run_one(bench: &dyn Benchmark, arch: Arch, cfg: SystemConfig, seed: u64) -> RunReport {
+    try_run_one(bench, arch, cfg, seed)
+        .unwrap_or_else(|e| panic!("{} on {arch}: {e}", bench.info().name))
+}
+
+/// Like [`run_one`], but surfaces simulation errors — e.g. a swept config
+/// on which a kernel legitimately cannot compile — instead of panicking.
+/// A *wrong result* still panics: experiments must never silently report
+/// numbers from incorrect runs.
+///
+/// # Errors
+///
+/// Returns the compiler or machine error for infeasible configurations.
+///
+/// # Panics
+///
+/// Panics when the run completes but output validation fails.
+pub fn try_run_one(
+    bench: &dyn Benchmark,
+    arch: Arch,
+    cfg: SystemConfig,
+    seed: u64,
+) -> dmt_core::Result<RunReport> {
     let kernel = match arch {
         Arch::DmtCgra => bench.dmt_kernel(),
         Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),
     };
-    let report = Machine::new(arch, cfg)
-        .run(&kernel, bench.workload(seed).launch())
-        .unwrap_or_else(|e| panic!("{} on {arch}: {e}", bench.info().name));
+    let report = Machine::new(arch, cfg).run(&kernel, bench.workload(seed).launch())?;
     bench
         .check(seed, &report.memory)
         .unwrap_or_else(|e| panic!("{} on {arch}: wrong result: {e}", bench.info().name));
-    report
+    Ok(report)
+}
+
+/// A [`try_suite_row`] failure: the underlying error plus which
+/// architecture produced it.
+#[derive(Debug, Clone)]
+pub struct SuiteRowError {
+    /// Architecture on which the run failed.
+    pub arch: Arch,
+    /// The underlying compiler or machine error.
+    pub error: dmt_core::Error,
+}
+
+impl std::fmt::Display for SuiteRowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "on {}: {}", self.arch, self.error)
+    }
+}
+
+impl std::error::Error for SuiteRowError {}
+
+/// Builds one suite row, surfacing simulation errors instead of panicking
+/// (see [`try_run_one`]). Ablation sweeps use this to skip benchmarks
+/// that are infeasible at a given configuration point.
+///
+/// # Errors
+///
+/// Returns the first per-architecture error, tagged with its [`Arch`].
+pub fn try_suite_row(
+    bench: &dyn Benchmark,
+    cfg: SystemConfig,
+    seed: u64,
+) -> Result<SuiteRow, SuiteRowError> {
+    let one = |arch: Arch| {
+        try_run_one(bench, arch, cfg, seed).map_err(|error| SuiteRowError { arch, error })
+    };
+    Ok(SuiteRow {
+        name: bench.info().name,
+        fermi: one(Arch::FermiSm)?,
+        mt: one(Arch::MtCgra)?,
+        dmt: one(Arch::DmtCgra)?,
+    })
 }
 
 /// Runs the full Table 3 suite on all three machines.
 #[must_use]
 pub fn run_suite(cfg: SystemConfig, seed: u64) -> Vec<SuiteRow> {
+    run_suite_take(cfg, seed, usize::MAX)
+}
+
+/// Runs the first `take` Table 3 benchmarks on all three machines.
+///
+/// CI smoke jobs use a small `take` to catch runtime regressions without
+/// paying for the whole suite; `run_suite` is the `take = all` case.
+///
+/// # Panics
+///
+/// Panics when any benchmark fails to run on the default-style config —
+/// headline experiments must not silently drop rows (ablation sweeps
+/// that expect infeasible points use [`try_suite_row`] directly).
+#[must_use]
+pub fn run_suite_take(cfg: SystemConfig, seed: u64, take: usize) -> Vec<SuiteRow> {
     suite::all()
         .into_iter()
-        .map(|b| SuiteRow {
-            name: b.info().name,
-            fermi: run_one(b.as_ref(), Arch::FermiSm, cfg, seed),
-            mt: run_one(b.as_ref(), Arch::MtCgra, cfg, seed),
-            dmt: run_one(b.as_ref(), Arch::DmtCgra, cfg, seed),
+        .take(take)
+        .map(|b| {
+            try_suite_row(b.as_ref(), cfg, seed).unwrap_or_else(|e| panic!("{} {e}", b.info().name))
         })
         .collect()
 }

@@ -33,8 +33,8 @@ pub mod value;
 
 pub use config::SystemConfig;
 pub use error::{Error, Result};
-pub use memimg::MemImage;
 pub use geom::{Delta, Dim3};
 pub use ids::{Addr, Cycle, NodeId, PortIx, ThreadId, UnitId};
+pub use memimg::MemImage;
 pub use stats::RunStats;
 pub use value::Word;

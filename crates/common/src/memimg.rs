@@ -42,9 +42,7 @@ impl MemImage {
     /// A zero-filled image holding `n` 32-bit words (`4·n` bytes).
     #[must_use]
     pub fn with_words(n: usize) -> MemImage {
-        MemImage {
-            words: vec![0; n],
-        }
+        MemImage { words: vec![0; n] }
     }
 
     /// Number of words in the image.

@@ -244,7 +244,11 @@ impl fmt::Display for RunStats {
         writeln!(
             f,
             "L1: {} hits / {} misses; L2: {} hits / {} misses; DRAM: {} rd / {} wr",
-            self.l1_hits, self.l1_misses, self.l2_hits, self.l2_misses, self.dram_reads,
+            self.l1_hits,
+            self.l1_misses,
+            self.l2_hits,
+            self.l2_misses,
+            self.dram_reads,
             self.dram_writes
         )?;
         writeln!(

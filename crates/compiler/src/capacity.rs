@@ -107,7 +107,11 @@ mod tests {
             comm: comm(18),
             fallback: Word::ZERO,
         };
-        assert_eq!(long_distance_cu_cost(&e, 16), 1, "16+2 needs one extra node");
+        assert_eq!(
+            long_distance_cu_cost(&e, 16),
+            1,
+            "16+2 needs one extra node"
+        );
         let e40 = NodeKind::Elevator {
             comm: comm(40),
             fallback: Word::ZERO,
@@ -121,7 +125,11 @@ mod tests {
             comm: comm(40),
             space: MemSpace::Global,
         };
-        assert_eq!(long_distance_cu_cost(&e, 16), 5, "3 loop elevators + 2 MUXes");
+        assert_eq!(
+            long_distance_cu_cost(&e, 16),
+            5,
+            "3 loop elevators + 2 MUXes"
+        );
     }
 
     #[test]

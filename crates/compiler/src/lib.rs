@@ -87,11 +87,7 @@ pub fn compile(kernel: &Kernel, cfg: &SystemConfig) -> Result<FabricProgram> {
     })
 }
 
-fn compile_phase(
-    graph: &Dfg,
-    cfg: &SystemConfig,
-    layout: &place::Layout,
-) -> Result<CompiledPhase> {
+fn compile_phase(graph: &Dfg, cfg: &SystemConfig, layout: &place::Layout) -> Result<CompiledPhase> {
     let tb = cfg.fabric.token_buffer_entries;
     let window = cfg.fabric.inflight_threads;
 
@@ -176,8 +172,7 @@ fn compile_phase(
                 } else {
                     let segments = dist.div_ceil(u64::from(tb));
                     loop_cu += capacity::long_distance_cu_cost(kind, tb);
-                    let latency = segments
-                        * (cfg.latencies.elevator + cfg.fabric.noc_hop_latency)
+                    let latency = segments * (cfg.latencies.elevator + cfg.fabric.noc_hop_latency)
                         + 2 * cfg.latencies.control;
                     eldst_loop_latency.insert(id, latency);
                 }
@@ -246,8 +241,7 @@ mod tests {
         let mut mem = MemImage::with_words(2 * n as usize);
         mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3).collect::<Vec<_>>());
         let params = vec![Word::from_u32(0), Word::from_u32(4 * n)];
-        let oracle =
-            interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        let oracle = interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
         let run = FabricMachine::new(cfg())
             .run(&program, LaunchInput::new(params, mem))
             .unwrap();

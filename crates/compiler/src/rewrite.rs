@@ -25,7 +25,7 @@ fn rebuild_keeping(graph: &Dfg, keep: &[bool]) -> Dfg {
     let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
     for id in graph.node_ids() {
         if keep[id.index()] {
-            remap[id.index()] = Some(out.add_node(graph.kind(id).clone()));
+            remap[id.index()] = Some(out.add_node(*graph.kind(id)));
         }
     }
     for id in graph.node_ids() {
@@ -58,10 +58,7 @@ pub fn dead_node_elimination(graph: &Dfg) -> (Dfg, usize) {
             if matches!(graph.kind(id), NodeKind::Store(_)) {
                 continue;
             }
-            let live_consumers = graph
-                .consumers(id)
-                .iter()
-                .any(|(c, _)| keep[c.index()]);
+            let live_consumers = graph.consumers(id).iter().any(|(c, _)| keep[c.index()]);
             if !live_consumers {
                 keep[id.index()] = false;
                 changed = true;
@@ -96,8 +93,7 @@ pub fn cascade_elevators(
     for id in graph.node_ids() {
         match graph.kind(id) {
             NodeKind::Elevator { comm, fallback }
-                if comm.shift.unsigned_abs() > u64::from(token_buffer)
-                    && !spill.contains(&id) =>
+                if comm.shift.unsigned_abs() > u64::from(token_buffer) && !spill.contains(&id) =>
             {
                 let total = comm.shift;
                 let b = i64::from(token_buffer);
@@ -132,7 +128,7 @@ pub fn cascade_elevators(
                 chain_bounds_push(&mut remap, head, last.expect("nonempty chain"));
             }
             kind => {
-                let n = out.add_node(kind.clone());
+                let n = out.add_node(*kind);
                 origin.push(None);
                 chain_bounds_push(&mut remap, n, n);
             }
@@ -168,10 +164,7 @@ pub fn split_fanout(graph: &Dfg) -> Result<(Dfg, usize)> {
     let mut g = graph.clone();
     let mut added = 0usize;
     loop {
-        let Some(over) = g
-            .node_ids()
-            .find(|&id| g.fanout(id) > MAX_FANOUT)
-        else {
+        let Some(over) = g.node_ids().find(|&id| g.fanout(id) > MAX_FANOUT) else {
             return Ok((g, added));
         };
         // Move all but (MAX_FANOUT - 1) consumers behind a split node.
@@ -181,7 +174,7 @@ pub fn split_fanout(graph: &Dfg) -> Result<(Dfg, usize)> {
         let mut out = Dfg::new();
         let mut remap: Vec<NodeId> = Vec::with_capacity(g.len() + 1);
         for id in g.node_ids() {
-            remap.push(out.add_node(g.kind(id).clone()));
+            remap.push(out.add_node(*g.kind(id)));
         }
         let split = out.add_node(NodeKind::Split);
         added += 1;
@@ -333,10 +326,7 @@ mod tests {
             delta: Delta::new(-18),
             window: win,
         };
-        let seg1 = CommConfig {
-            shift: 16,
-            ..long
-        };
+        let seg1 = CommConfig { shift: 16, ..long };
         let seg2 = CommConfig { shift: 2, ..long };
         for t in 0..threads {
             let direct = long.source_of(t, threads);

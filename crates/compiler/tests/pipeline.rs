@@ -9,8 +9,8 @@ fn every_suite_kernel_compiles_within_the_table2_grid() {
     let cfg = SystemConfig::default();
     for bench in suite::all() {
         for kernel in [bench.dmt_kernel(), bench.shared_kernel()] {
-            let program = compile(&kernel, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+            let program =
+                compile(&kernel, &cfg).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
             assert!(program.replication >= 1);
             for (pi, phase) in program.phases.iter().enumerate() {
                 for (&class, &used) in &phase.unit_usage {
@@ -66,9 +66,11 @@ fn fanout_limit_holds_after_compilation() {
 
 #[test]
 fn layout_adapts_to_custom_grid_mixes() {
-    let mut grid = dmt_common::config::GridConfig::default();
-    grid.alus = 48;
-    grid.fpus = 16;
+    let grid = dmt_common::config::GridConfig {
+        alus: 48,
+        fpus: 16,
+        ..Default::default()
+    };
     let layout = Layout::new(&grid, 12).unwrap();
     let count = |c: UnitClass| layout.slots().iter().filter(|(_, k)| *k == c).count() as u32;
     assert_eq!(count(UnitClass::Alu), 48);

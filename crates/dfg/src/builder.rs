@@ -45,9 +45,7 @@
 
 use crate::graph::Dfg;
 use crate::kernel::Kernel;
-use crate::node::{
-    AluOp, CommConfig, CtrlOp, FpuOp, MemSpace, NodeKind, SpecialOp, UnaryOp,
-};
+use crate::node::{AluOp, CommConfig, CtrlOp, FpuOp, MemSpace, NodeKind, SpecialOp, UnaryOp};
 use crate::validate;
 use dmt_common::geom::{Delta, Dim3};
 use dmt_common::ids::{NodeId, PortIx};
@@ -554,10 +552,7 @@ impl KernelBuilder {
         let comm = self.comm_config(delta, window);
         let phase = self.cur();
         let node = self.graph().add_node(NodeKind::Elevator { comm, fallback });
-        (
-            ValueRef { phase, node },
-            Recurrence { phase, node },
-        )
+        (ValueRef { phase, node }, Recurrence { phase, node })
     }
 
     /// Closes a recurrence: wires `var` into the deferred elevator's input

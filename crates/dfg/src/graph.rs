@@ -153,11 +153,7 @@ impl Dfg {
             order.push(id);
             for &(consumer, _) in self.consumers(id) {
                 // The edge only orders if the consumer counts it.
-                if self
-                    .ordering_inputs(consumer)
-                    .iter()
-                    .any(|&src| src == Some(id))
-                {
+                if self.ordering_inputs(consumer).contains(&Some(id)) {
                     indegree[consumer.index()] -= 1;
                     if indegree[consumer.index()] == 0
                         && !order.contains(&consumer)

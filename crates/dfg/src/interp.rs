@@ -202,7 +202,9 @@ impl<'k> PhaseExec<'k> {
                 let d = dst as usize;
                 if self.out[node.index()][d].is_none()
                     && self.got[node.index()][d] == 2
-                    && !self.inp[node.index()][d][1].expect("inputs complete").as_bool()
+                    && !self.inp[node.index()][d][1]
+                        .expect("inputs complete")
+                        .as_bool()
                 {
                     stats.eldst_forwards += 1;
                     self.queue.push_back((node, dst, value));

@@ -99,10 +99,9 @@ impl Kernel {
     /// extensions rather than the baseline MT-CGRA.
     #[must_use]
     pub fn uses_inter_thread_comm(&self) -> bool {
-        self.phases.iter().any(|p| {
-            p.node_ids()
-                .any(|id| p.kind(id).comm().is_some())
-        })
+        self.phases
+            .iter()
+            .any(|p| p.node_ids().any(|id| p.kind(id).comm().is_some()))
     }
 
     /// Whether any phase touches the shared-memory scratchpad.

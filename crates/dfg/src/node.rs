@@ -453,14 +453,23 @@ mod tests {
 
     #[test]
     fn alu_semantics() {
-        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Add), &[w(2), w(3)]).as_i32(), 5);
+        assert_eq!(
+            eval_pure(&NodeKind::Alu(AluOp::Add), &[w(2), w(3)]).as_i32(),
+            5
+        );
         assert_eq!(
             eval_pure(&NodeKind::Alu(AluOp::Add), &[w(i32::MAX), w(1)]).as_i32(),
             i32::MIN,
             "wrapping add"
         );
-        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Min), &[w(-2), w(3)]).as_i32(), -2);
-        assert_eq!(eval_pure(&NodeKind::Alu(AluOp::Max), &[w(-2), w(3)]).as_i32(), 3);
+        assert_eq!(
+            eval_pure(&NodeKind::Alu(AluOp::Min), &[w(-2), w(3)]).as_i32(),
+            -2
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Alu(AluOp::Max), &[w(-2), w(3)]).as_i32(),
+            3
+        );
     }
 
     #[test]
@@ -494,8 +503,14 @@ mod tests {
 
     #[test]
     fn ctrl_comparisons_produce_canonical_bool() {
-        assert_eq!(eval_pure(&NodeKind::Ctrl(CtrlOp::LtS), &[w(-1), w(0)]), Word::TRUE);
-        assert_eq!(eval_pure(&NodeKind::Ctrl(CtrlOp::LtU), &[w(-1), w(0)]), Word::ZERO);
+        assert_eq!(
+            eval_pure(&NodeKind::Ctrl(CtrlOp::LtS), &[w(-1), w(0)]),
+            Word::TRUE
+        );
+        assert_eq!(
+            eval_pure(&NodeKind::Ctrl(CtrlOp::LtU), &[w(-1), w(0)]),
+            Word::ZERO
+        );
         assert_eq!(
             eval_pure(&NodeKind::Ctrl(CtrlOp::Sra), &[w(-8), w(1)]).as_i32(),
             -4

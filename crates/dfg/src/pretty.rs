@@ -19,12 +19,7 @@ pub fn dump(kernel: &Kernel) -> String {
                     None => "?".to_owned(),
                 })
                 .collect();
-            let _ = writeln!(
-                s,
-                "  {id} = {} [{}]",
-                phase.kind(id),
-                inputs.join(", ")
-            );
+            let _ = writeln!(s, "  {id} = {} [{}]", phase.kind(id), inputs.join(", "));
         }
     }
     s
@@ -90,7 +85,10 @@ mod tests {
         let d = dump(&k);
         assert!(d.contains("elevator"));
         assert!(d.contains("store.global"));
-        assert_eq!(d.lines().filter(|l| l.contains(" = ")).count(), k.node_count());
+        assert_eq!(
+            d.lines().filter(|l| l.contains(" = ")).count(),
+            k.node_count()
+        );
     }
 
     #[test]

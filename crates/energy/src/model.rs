@@ -70,7 +70,11 @@ impl fmt::Display for EnergyReport {
         writeln!(f, "  compute:      {:>10.3} µJ", self.compute_j * 1e6)?;
         writeln!(f, "  fetch/decode: {:>10.3} µJ", self.fetch_decode_j * 1e6)?;
         writeln!(f, "  register file:{:>10.3} µJ", self.register_file_j * 1e6)?;
-        writeln!(f, "  token transp.:{:>10.3} µJ", self.token_transport_j * 1e6)?;
+        writeln!(
+            f,
+            "  token transp.:{:>10.3} µJ",
+            self.token_transport_j * 1e6
+        )?;
         writeln!(f, "  scratchpad:   {:>10.3} µJ", self.scratchpad_j * 1e6)?;
         writeln!(f, "  caches:       {:>10.3} µJ", self.cache_j * 1e6)?;
         writeln!(f, "  dram:         {:>10.3} µJ", self.dram_j * 1e6)?;
@@ -115,18 +119,18 @@ impl EnergyModel {
             ),
         ) + lane_compute(s, p);
         let fetch_decode = s.gpu_instructions as f64 * p.fetch_decode_pj;
-        let register_file = (s.register_reads as f64)
-            .mul_add(p.register_read_pj, s.register_writes as f64 * p.register_write_pj);
+        let register_file = (s.register_reads as f64).mul_add(
+            p.register_read_pj,
+            s.register_writes as f64 * p.register_write_pj,
+        );
         let token_transport = (s.token_buffer_writes as f64).mul_add(
             p.token_buffer_pj,
             (s.noc_hops as f64).mul_add(
                 p.noc_hop_pj,
                 (s.elevator_ops as f64).mul_add(
                     p.elevator_op_pj,
-                    (s.sju_ops as f64).mul_add(
-                        p.sju_op_pj,
-                        (s.lvc_reads + s.lvc_writes) as f64 * p.lvc_pj,
-                    ),
+                    (s.sju_ops as f64)
+                        .mul_add(p.sju_op_pj, (s.lvc_reads + s.lvc_writes) as f64 * p.lvc_pj),
                 ),
             ),
         );

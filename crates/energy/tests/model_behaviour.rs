@@ -33,17 +33,24 @@ fn energy_is_monotone_in_every_event_class() {
     assert!(bump(&|s| s.alu_ops += 1_000_000) > base);
     assert!(bump(&|s| s.noc_hops += 1_000_000) > base);
     assert!(bump(&|s| s.dram_reads += 10_000) > base);
-    assert!(bump(&|s| s.cycles += 1_000_000) > base, "leakage grows with time");
+    assert!(
+        bump(&|s| s.cycles += 1_000_000) > base,
+        "leakage grows with time"
+    );
     assert!(bump(&|s| s.lvc_writes += 1_000_000) > base);
 }
 
 #[test]
 fn dram_dominates_equal_counts() {
     let m = EnergyModel::default();
-    let mut cache_heavy = RunStats::default();
-    cache_heavy.l1_hits = 1_000;
-    let mut dram_heavy = RunStats::default();
-    dram_heavy.dram_reads = 1_000;
+    let cache_heavy = RunStats {
+        l1_hits: 1_000,
+        ..Default::default()
+    };
+    let dram_heavy = RunStats {
+        dram_reads: 1_000,
+        ..Default::default()
+    };
     let c = m.evaluate(ArchKind::DmtCgra, &cache_heavy, 1.4).total_j();
     let d = m.evaluate(ArchKind::DmtCgra, &dram_heavy, 1.4).total_j();
     assert!(d > 50.0 * c, "a DRAM transaction dwarfs an L1 access");
@@ -57,8 +64,13 @@ fn custom_params_flow_through() {
     let default = EnergyModel::default();
     let s = base_stats();
     assert!(
-        custom.evaluate(ArchKind::DmtCgra, &s, 1.4).token_transport_j
-            > 10.0 * default.evaluate(ArchKind::DmtCgra, &s, 1.4).token_transport_j
+        custom
+            .evaluate(ArchKind::DmtCgra, &s, 1.4)
+            .token_transport_j
+            > 10.0
+                * default
+                    .evaluate(ArchKind::DmtCgra, &s, 1.4)
+                    .token_transport_j
     );
 }
 

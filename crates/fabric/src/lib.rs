@@ -79,8 +79,8 @@ mod tests {
         params: Vec<Word>,
         mem: MemImage,
     ) -> dmt_common::stats::RunStats {
-        let oracle = interp::run(kernel, LaunchInput::new(params.clone(), mem.clone()))
-            .expect("interp ok");
+        let oracle =
+            interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).expect("interp ok");
         let run = machine()
             .run(&naive_program(kernel, 12), LaunchInput::new(params, mem))
             .expect("fabric ok");
@@ -109,11 +109,7 @@ mod tests {
         let mut mem = MemImage::with_words(2 * n as usize);
         let data: Vec<i32> = (0..n as i32).collect();
         mem.write_i32_slice(Addr(0), &data);
-        let stats = differential(
-            &kernel,
-            vec![Word::from_u32(0), Word::from_u32(4 * n)],
-            mem,
-        );
+        let stats = differential(&kernel, vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
         assert_eq!(stats.threads_retired, u64::from(n));
         assert_eq!(stats.elevator_const_tokens, 1);
         assert!(stats.cycles > 0);
@@ -139,11 +135,7 @@ mod tests {
         let mut mem = MemImage::with_words(2 * n as usize);
         let data: Vec<i32> = (1..=n as i32).collect();
         mem.write_i32_slice(Addr(0), &data);
-        let stats = differential(
-            &kernel,
-            vec![Word::from_u32(0), Word::from_u32(4 * n)],
-            mem,
-        );
+        let stats = differential(&kernel, vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
         assert_eq!(stats.elevator_const_tokens, 2, "one per boundary");
     }
 
@@ -191,11 +183,7 @@ mod tests {
 
         let mut mem = MemImage::with_words(4 + n as usize);
         mem.write_i32_slice(Addr(0), &[10, 20, 30, 40]);
-        let stats = differential(
-            &kernel,
-            vec![Word::from_u32(0), Word::from_u32(16)],
-            mem,
-        );
+        let stats = differential(&kernel, vec![Word::from_u32(0), Word::from_u32(16)], mem);
         assert_eq!(stats.global_loads, 4, "one load per window group");
         assert_eq!(stats.eldst_forwards, u64::from(n - 4));
     }

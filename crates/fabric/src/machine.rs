@@ -289,7 +289,8 @@ impl<'a> PhaseExec<'a> {
         self.seq += 1;
         // Nothing lands in the cycle that scheduled it: tokens cross at
         // least one pipeline boundary.
-        self.events.push(Reverse((at.max(self.now + 1), self.seq, EvOrd(ev))));
+        self.events
+            .push(Reverse((at.max(self.now + 1), self.seq, EvOrd(ev))));
     }
 
     /// Fans `value` out from `node` to all consumers, booking NoC hops.
@@ -320,10 +321,11 @@ impl<'a> PhaseExec<'a> {
     fn source_value(&self, kind: &NodeKind, tid: u32) -> Word {
         match *kind {
             NodeKind::Const(w) => w,
-            NodeKind::ThreadIdx(dim) => Word::from_u32(self.program.block.coord(
-                dmt_common::ids::ThreadId(tid % self.block_threads),
-                dim,
-            )),
+            NodeKind::ThreadIdx(dim) => Word::from_u32(
+                self.program
+                    .block
+                    .coord(dmt_common::ids::ThreadId(tid % self.block_threads), dim),
+            ),
             NodeKind::BlockIdx => Word::from_u32(self.block + tid / self.block_threads),
             NodeKind::Param(slot) => self.params[usize::from(slot)],
             ref other => unreachable!("not a source: {other}"),
@@ -428,8 +430,17 @@ impl<'a> PhaseExec<'a> {
                 let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
                     break;
                 };
-                match self.fire_one(node, tid, ops, global, shared_imgs, mem, scratch, lvc, stats)?
-                {
+                match self.fire_one(
+                    node,
+                    tid,
+                    ops,
+                    global,
+                    shared_imgs,
+                    mem,
+                    scratch,
+                    lvc,
+                    stats,
+                )? {
                     Fired::Done => {}
                     Fired::Blocked => {
                         // Structural stall: retry the same token next cycle.
@@ -460,10 +471,16 @@ impl<'a> PhaseExec<'a> {
         stats: &mut RunStats,
     ) -> Result<Fired> {
         let lat = &self.cfg.latencies;
-        let kind = self.phase.graph.kind(node).clone();
+        let kind = *self.phase.graph.kind(node);
         match kind {
-            NodeKind::Alu(_) | NodeKind::Fpu(_) | NodeKind::Special(_) | NodeKind::Ctrl(_)
-            | NodeKind::Unary(_) | NodeKind::Select | NodeKind::Join | NodeKind::Split => {
+            NodeKind::Alu(_)
+            | NodeKind::Fpu(_)
+            | NodeKind::Special(_)
+            | NodeKind::Ctrl(_)
+            | NodeKind::Unary(_)
+            | NodeKind::Select
+            | NodeKind::Join
+            | NodeKind::Split => {
                 let arity = kind.arity();
                 let value = eval_pure(&kind, &ops[..arity]);
                 let (latency, class) = match kind.unit_class().expect("compute node") {
@@ -478,11 +495,17 @@ impl<'a> PhaseExec<'a> {
                 self.send(node, tid, value, self.now + latency, stats);
                 Ok(Fired::Done)
             }
-            NodeKind::Load(space) => {
-                self.memory_load(
-                    node, tid, ops[0], space, global, shared_imgs, mem, scratch, stats,
-                )
-            }
+            NodeKind::Load(space) => self.memory_load(
+                node,
+                tid,
+                ops[0],
+                space,
+                global,
+                shared_imgs,
+                mem,
+                scratch,
+                stats,
+            ),
             NodeKind::Store(space) => {
                 if self.units[node.index()].outstanding >= self.outstanding_cap() {
                     return Ok(Fired::Blocked);
@@ -493,16 +516,14 @@ impl<'a> PhaseExec<'a> {
                 // line in the background) and acknowledges as soon as it is
                 // accepted — the same treatment the SIMT baseline gets.
                 let ack = match space {
-                    MemSpace::Global => {
-                        match mem.store(addr, self.now + lat.ldst_issue) {
-                            AccessOutcome::Done(_fill) => {
-                                stats.global_stores += 1;
-                                global.try_store(addr, ops[1])?;
-                                self.now + lat.ldst_issue + 1
-                            }
-                            AccessOutcome::StallMshrFull => return Ok(Fired::Blocked),
+                    MemSpace::Global => match mem.store(addr, self.now + lat.ldst_issue) {
+                        AccessOutcome::Done(_fill) => {
+                            stats.global_stores += 1;
+                            global.try_store(addr, ops[1])?;
+                            self.now + lat.ldst_issue + 1
                         }
-                    }
+                        AccessOutcome::StallMshrFull => return Ok(Fired::Blocked),
+                    },
                     MemSpace::Shared => {
                         stats.shared_stores += 1;
                         let b = (tid / self.block_threads) as usize;
@@ -540,7 +561,15 @@ impl<'a> PhaseExec<'a> {
                 let enable = ops[1].as_bool();
                 if enable {
                     let fired = self.memory_load_eld(
-                        node, tid, ops[0], space, global, shared_imgs, mem, scratch, stats,
+                        node,
+                        tid,
+                        ops[0],
+                        space,
+                        global,
+                        shared_imgs,
+                        mem,
+                        scratch,
+                        stats,
                     )?;
                     return Ok(fired);
                 }
@@ -554,14 +583,20 @@ impl<'a> PhaseExec<'a> {
                     stats.eldst_forwards += 1;
                     self.schedule(
                         self.now + lat.ldst_issue,
-                        Ev::EloadProduce { node, tid, value: v },
+                        Ev::EloadProduce {
+                            node,
+                            tid,
+                            value: v,
+                        },
                     );
                 } else {
                     self.units[node.index()].parked.push(tid);
                 }
                 Ok(Fired::Done)
             }
-            NodeKind::Const(_) | NodeKind::ThreadIdx(_) | NodeKind::BlockIdx
+            NodeKind::Const(_)
+            | NodeKind::ThreadIdx(_)
+            | NodeKind::BlockIdx
             | NodeKind::Param(_) => unreachable!("sources are injected, never fired"),
         }
     }
@@ -660,7 +695,7 @@ impl<'a> PhaseExec<'a> {
         stats: &mut RunStats,
     ) {
         self.send(node, tid, value, self.now, stats);
-        let NodeKind::ELoad { comm, .. } = self.phase.graph.kind(node).clone() else {
+        let NodeKind::ELoad { comm, .. } = *self.phase.graph.kind(node) else {
             unreachable!("eload_produce on non-eLDST node");
         };
         if let Some(dst) = self.comm_target(&comm, tid) {
@@ -819,7 +854,10 @@ impl<'a> PhaseExec<'a> {
                             self.retired_count, self.threads
                         )
                     } else {
-                        format!("eLDST threads parked without producers: {}", parked.join("; "))
+                        format!(
+                            "eLDST threads parked without producers: {}",
+                            parked.join("; ")
+                        )
                     },
                 });
             }

@@ -147,9 +147,9 @@ impl fmt::Display for FabricProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmt_dfg::node::{AluOp, NodeKind};
-    use dmt_common::value::Word;
     use dmt_common::ids::PortIx;
+    use dmt_common::value::Word;
+    use dmt_dfg::node::{AluOp, NodeKind};
 
     #[test]
     fn manhattan_distance() {
@@ -169,6 +169,10 @@ mod tests {
         g.connect(d, a, PortIx(1)).unwrap();
         let placement = vec![Coord { x: 1, y: 1 }; 3];
         let hops = PhaseProgram::hops_from_placement(&g, &placement);
-        assert_eq!(hops[c.index()], vec![1], "co-located still crosses the switch");
+        assert_eq!(
+            hops[c.index()],
+            vec![1],
+            "co-located still crosses the switch"
+        );
     }
 }

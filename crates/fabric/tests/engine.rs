@@ -29,10 +29,7 @@ fn run_with(cfg: SystemConfig, kernel: &Kernel) -> dmt_common::stats::RunStats {
     FabricMachine::new(cfg)
         .run(
             &naive_program(kernel, 12),
-            LaunchInput::new(
-                vec![Word::from_u32(0)],
-                MemImage::with_words(n as usize),
-            ),
+            LaunchInput::new(vec![Word::from_u32(0)], MemImage::with_words(n as usize)),
         )
         .unwrap()
         .stats
@@ -121,7 +118,11 @@ fn elevator_counters_balance_across_windows() {
     let kernel = kb.finish().unwrap();
     let stats = run_with(SystemConfig::default(), &kernel);
     assert_eq!(stats.elevator_const_tokens, 16);
-    assert_eq!(stats.elevator_ops, u64::from(n), "every input token consumed");
+    assert_eq!(
+        stats.elevator_ops,
+        u64::from(n),
+        "every input token consumed"
+    );
     assert_eq!(stats.threads_retired, u64::from(n));
 }
 

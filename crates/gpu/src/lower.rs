@@ -193,7 +193,15 @@ mod tests {
         let prog = lower(&k).unwrap();
         let sfu = prog.phases[0]
             .iter()
-            .filter(|i| matches!(i, GpuInstr::Op { class: IssueClass::Sfu, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    GpuInstr::Op {
+                        class: IssueClass::Sfu,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(sfu, 1);
     }

@@ -411,7 +411,9 @@ impl<'a> WaveExec<'a> {
         let addr_node = graph.inputs(node)[0].expect("wired");
         for l in 0..lanes {
             let t = (base + l) as usize;
-            let addr = Addr(u64::from(self.slots[si].values[addr_node.index()][t].as_u32()));
+            let addr = Addr(u64::from(
+                self.slots[si].values[addr_node.index()][t].as_u32(),
+            ));
             if is_store {
                 let val_node = graph.inputs(node)[1].expect("wired");
                 let v = self.slots[si].values[val_node.index()][t];
@@ -553,8 +555,7 @@ mod tests {
     }
 
     fn differential(kernel: &Kernel, params: Vec<Word>, mem: MemImage) -> RunStats {
-        let oracle =
-            interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        let oracle = interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
         let run = GpuMachine::new(cfg())
             .run(kernel, LaunchInput::new(params, mem))
             .unwrap();
@@ -607,7 +608,11 @@ mod tests {
         let oa = kb.index_addr(out, tid2, 4);
         kb.store_global(oa, v);
         let k = kb.finish().unwrap();
-        let stats = differential(&k, vec![Word::from_u32(0)], MemImage::with_words(n as usize));
+        let stats = differential(
+            &k,
+            vec![Word::from_u32(0)],
+            MemImage::with_words(n as usize),
+        );
         assert_eq!(stats.barriers, u64::from(n / 32), "each warp synchronizes");
         assert_eq!(stats.shared_stores, u64::from(n));
         assert_eq!(stats.shared_loads, u64::from(n));
@@ -650,11 +655,7 @@ mod tests {
         for i in 0..n {
             mem.store(Addr(u64::from(i) * 128), Word::from_i32(i as i32));
         }
-        let stats = differential(
-            &k,
-            vec![Word::from_u32(0), Word::from_u32(1024)],
-            mem,
-        );
+        let stats = differential(&k, vec![Word::from_u32(0), Word::from_u32(1024)], mem);
         assert_eq!(stats.global_loads, 8, "one transaction per lane");
     }
 
@@ -669,7 +670,10 @@ mod tests {
         kb.store_global(a, v);
         let k = kb.finish().unwrap();
         assert!(GpuMachine::new(cfg())
-            .run(&k, LaunchInput::new(vec![Word::ZERO], MemImage::with_words(8)))
+            .run(
+                &k,
+                LaunchInput::new(vec![Word::ZERO], MemImage::with_words(8))
+            )
             .is_err());
     }
 

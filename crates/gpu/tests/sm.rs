@@ -40,7 +40,11 @@ fn partial_warps_execute_correctly() {
         run.memory.read_i32_slice(Addr(0), 40),
         (0..40).collect::<Vec<_>>()
     );
-    assert_eq!(run.stats.gpu_thread_instructions % 40, 0, "40 lanes per instr");
+    assert_eq!(
+        run.stats.gpu_thread_instructions % 40,
+        0,
+        "40 lanes per instr"
+    );
 }
 
 #[test]
@@ -69,10 +73,7 @@ fn concurrent_blocks_hide_memory_latency() {
     let mk = || {
         let mut mem = MemImage::with_words(2 * total);
         mem.write_i32_slice(Addr(0), &(0..total as i32).collect::<Vec<_>>());
-        LaunchInput::new(
-            vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)],
-            mem,
-        )
+        LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)], mem)
     };
     let resident = machine().run(&k, mk()).unwrap();
     let mut serial_cfg = SystemConfig::default();
@@ -163,8 +164,8 @@ fn barrier_waits_for_global_loads_to_settle() {
         )
         .unwrap();
     let got = run.memory.read_i32_slice(Addr(4 * n as u64), n as usize);
-    for t in 0..n as usize {
-        assert_eq!(got[t], ((n as usize - 1 - t) as i32) * 11);
+    for (t, &v) in got.iter().enumerate() {
+        assert_eq!(v, ((n as usize - 1 - t) as i32) * 11);
     }
     assert!(run.stats.barriers > 0);
 }

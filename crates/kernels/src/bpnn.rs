@@ -49,8 +49,7 @@ impl Bpnn {
     }
 
     fn inputs(self, seed: u64) -> (Vec<f32>, Vec<f32>) {
-        let input =
-            crate::util::gen_f32(seed, TILES as usize * SIDE as usize, -1.0, 1.0);
+        let input = crate::util::gen_f32(seed, TILES as usize * SIDE as usize, -1.0, 1.0);
         let w = crate::util::gen_f32(
             seed ^ 0xbeef,
             TILES as usize * (SIDE * SIDE) as usize,

@@ -50,7 +50,7 @@ impl Convolution {
     pub fn with_radius(n: u32, blocks: u32, radius: u32) -> Convolution {
         assert!((4..=1024).contains(&n));
         assert!(blocks >= 1);
-        assert!(radius >= 1 && radius < 8 && 2 * radius < n);
+        assert!((1..8).contains(&radius) && 2 * radius < n);
         // Binomial weights (normalized Pascal row 2r): smooth and exactly
         // representable sums.
         let taps = (2 * radius + 1) as usize;
@@ -199,7 +199,8 @@ impl Benchmark for Convolution {
         let sum = acc.expect("at least one tap");
         let oa = kb.index_addr(out, gtid, 4);
         kb.store_global(oa, sum);
-        kb.finish().expect("convolution shared kernel is well-formed")
+        kb.finish()
+            .expect("convolution shared kernel is well-formed")
     }
 
     fn workload(&self, seed: u64) -> Workload {

@@ -86,6 +86,7 @@ impl Hotspot {
     }
 
     /// Emits the update formula (shared by both kernel variants).
+    #[allow(clippy::too_many_arguments)] // mirrors the 5-point stencil + params
     fn emit_update(
         self,
         kb: &mut KernelBuilder,

@@ -168,7 +168,8 @@ impl Benchmark for Pathfinder {
         let v = kb.add_i(m, c);
         let oa = kb.index_addr(out, gtid, 4);
         kb.store_global(oa, v);
-        kb.finish().expect("pathfinder shared kernel is well-formed")
+        kb.finish()
+            .expect("pathfinder shared kernel is well-formed")
     }
 
     fn workload(&self, seed: u64) -> Workload {

@@ -176,8 +176,7 @@ impl Benchmark for Reduce {
     fn workload(&self, seed: u64) -> Workload {
         let data = crate::util::gen_i32(seed, self.total() as usize, -1000, 1000);
         // in + per-block results + dump
-        let mut memory =
-            MemImage::with_words(2 * self.total() as usize + self.blocks as usize);
+        let mut memory = MemImage::with_words(2 * self.total() as usize + self.blocks as usize);
         memory.write_i32_slice(Addr(0), &data);
         Workload {
             params: vec![

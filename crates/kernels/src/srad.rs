@@ -67,7 +67,7 @@ impl Srad {
         let den = 1.0 + 0.25 * l;
         let q = num / (den * den + EPS);
         let c = 1.0 / (1.0 + (q - Q0) / (Q0 * (1.0 + Q0) + EPS));
-        c.max(0.0).min(1.0)
+        c.clamp(0.0, 1.0)
     }
 
     fn reference(self, j: &[f32]) -> Vec<f32> {

@@ -1,10 +1,10 @@
 //! The assembled benchmark suite (Table 3).
 
+use crate::Benchmark;
 use crate::{
     bpnn::Bpnn, convolution::Convolution, hotspot::Hotspot, lud::Lud, matmul::MatMul,
     pathfinder::Pathfinder, reduce::Reduce, scan::Scan, srad::Srad,
 };
-use crate::Benchmark;
 
 /// Every benchmark, in the paper's Table 3 order.
 #[must_use]

@@ -30,7 +30,9 @@ fn matmul_forwards_rows_and_columns_via_eldst() {
 fn convolution_exchanges_both_neighbours() {
     let s = sites_of(&dmt_kernels::convolution::Convolution::default());
     assert_eq!(s.len(), 2);
-    assert!(s.iter().all(|x| x.primitive == "elevator" && x.linear_distance == 1));
+    assert!(s
+        .iter()
+        .all(|x| x.primitive == "elevator" && x.linear_distance == 1));
 }
 
 #[test]
@@ -61,7 +63,9 @@ fn stencils_exchange_four_neighbours() {
 fn bpnn_combines_broadcast_and_chain() {
     let s = sites_of(&dmt_kernels::bpnn::Bpnn);
     assert_eq!(s.len(), 2);
-    assert!(s.iter().any(|x| x.primitive == "eldst" && x.linear_distance == 1));
+    assert!(s
+        .iter()
+        .any(|x| x.primitive == "eldst" && x.linear_distance == 1));
     assert!(s
         .iter()
         .any(|x| x.primitive == "elevator" && x.linear_distance == 16));
@@ -71,7 +75,9 @@ fn bpnn_combines_broadcast_and_chain() {
 fn pathfinder_reads_both_dp_neighbours() {
     let s = sites_of(&dmt_kernels::pathfinder::Pathfinder::default());
     assert_eq!(s.len(), 2);
-    assert!(s.iter().all(|x| x.primitive == "elevator" && x.euclidean == 1.0));
+    assert!(s
+        .iter()
+        .all(|x| x.primitive == "elevator" && x.euclidean == 1.0));
 }
 
 #[test]

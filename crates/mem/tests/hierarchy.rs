@@ -49,7 +49,10 @@ fn streaming_misses_every_line() {
     let mut s = RunStats::default();
     m.export_stats(&mut s);
     assert_eq!(s.l1_misses, 1024);
-    assert!(s.l2_misses >= 1024 - 6144 / 128, "L2 cannot hold the stream either");
+    assert!(
+        s.l2_misses >= 1024 - 6144 / 128,
+        "L2 cannot hold the stream either"
+    );
     assert_eq!(s.dram_reads, s.l2_misses);
 }
 
@@ -163,8 +166,5 @@ fn mshr_stall_clears_after_fills_land() {
         AccessOutcome::StallMshrFull
     ));
     // Far in the future the fills have landed.
-    assert!(matches!(
-        m.load(Addr(8192), 10_000),
-        AccessOutcome::Done(_)
-    ));
+    assert!(matches!(m.load(Addr(8192), 10_000), AccessOutcome::Done(_)));
 }

@@ -36,9 +36,7 @@ fn main() -> dmt_core::Result<()> {
     );
     println!(
         "  Fermi SM : {:>6} load transactions + {:>6} scratchpad reads + {} barriers",
-        fermi.stats.global_loads,
-        fermi.stats.shared_loads,
-        fermi.stats.barriers
+        fermi.stats.global_loads, fermi.stats.shared_loads, fermi.stats.barriers
     );
     println!("\nperformance:");
     println!(

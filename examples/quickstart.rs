@@ -2,7 +2,7 @@
 //! compare all three machines on it.
 //!
 //! ```sh
-//! cargo run -p dmt-examples --bin quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! The kernel is the paper's Fig 1c separable convolution: each thread
@@ -53,9 +53,7 @@ fn main() -> dmt_core::Result<()> {
     println!("{report}");
     println!(
         "  {} loads issued, {} inter-thread tokens, {} fallback constants",
-        report.stats.global_loads,
-        report.stats.elevator_ops,
-        report.stats.elevator_const_tokens
+        report.stats.global_loads, report.stats.elevator_ops, report.stats.elevator_const_tokens
     );
     let got = report.memory.read_f32_slice(Addr(4 * n as u64), 4);
     println!("  result[0..4] = {got:?}");
@@ -68,8 +66,7 @@ fn main() -> dmt_core::Result<()> {
             Arch::DmtCgra => bench.dmt_kernel(),
             _ => bench.shared_kernel(),
         };
-        let r = Machine::new(arch, SystemConfig::default())
-            .run(&k, bench.workload(42).launch())?;
+        let r = Machine::new(arch, SystemConfig::default()).run(&k, bench.workload(42).launch())?;
         println!(
             "{arch:>10}: {:>8} cycles  {:>9.2} uJ",
             r.cycles(),

@@ -33,14 +33,22 @@ fn run_with_buffer(kernel: &Kernel, tb: u32) -> (MemImage, u64, usize, u64) {
         .count();
     let n = kernel.threads_per_block();
     let mut mem = MemImage::with_words(2 * n as usize);
-    mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    mem.write_i32_slice(
+        Addr(0),
+        &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>(),
+    );
     let run = FabricMachine::new(cfg)
         .run(
             &program,
             LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem),
         )
         .expect("runs");
-    (run.memory, run.stats.cycles, comm_nodes, run.stats.lvc_writes)
+    (
+        run.memory,
+        run.stats.cycles,
+        comm_nodes,
+        run.stats.lvc_writes,
+    )
 }
 
 #[test]
@@ -50,7 +58,10 @@ fn results_invariant_across_buffer_sizes() {
         let oracle = {
             let n = 256;
             let mut mem = MemImage::with_words(2 * n);
-            mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>());
+            mem.write_i32_slice(
+                Addr(0),
+                &(0..n as i32).map(|i| i * 3 + 1).collect::<Vec<_>>(),
+            );
             interp::run(
                 &kernel,
                 LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(1024)], mem),

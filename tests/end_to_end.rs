@@ -75,7 +75,10 @@ fn dmt_wins_the_headline_comparison() {
     let g_eff = geomean(&dmt_eff);
     assert!(g_dmt > 1.5, "dMT geomean speedup {g_dmt:.2} too low");
     assert!(g_dmt > g_mt, "dMT ({g_dmt:.2}) must beat MT ({g_mt:.2})");
-    assert!(g_eff > g_dmt * 0.8, "energy efficiency {g_eff:.2} out of shape");
+    assert!(
+        g_eff > g_dmt * 0.8,
+        "energy efficiency {g_eff:.2} out of shape"
+    );
 }
 
 #[test]
@@ -91,7 +94,7 @@ fn memory_traffic_reduction_shows_up_in_counters() {
         dmt.stats.eldst_forwards,
         dmt.stats.global_loads
     );
-    assert_eq!(fermi.stats.barriers > 0, true, "the baseline pays barriers");
+    assert!(fermi.stats.barriers > 0, "the baseline pays barriers");
     assert_eq!(dmt.stats.barriers, 0, "the dMT variant has none");
     assert_eq!(dmt.stats.shared_loads + dmt.stats.shared_stores, 0);
 }

@@ -10,12 +10,7 @@ use dmt_kernels::Benchmark;
 ///
 /// Panics with context when simulation or validation fails.
 #[must_use]
-pub fn run_checked(
-    bench: &dyn Benchmark,
-    arch: Arch,
-    cfg: SystemConfig,
-    seed: u64,
-) -> RunReport {
+pub fn run_checked(bench: &dyn Benchmark, arch: Arch, cfg: SystemConfig, seed: u64) -> RunReport {
     let kernel = match arch {
         Arch::DmtCgra => bench.dmt_kernel(),
         Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),

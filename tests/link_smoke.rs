@@ -1,0 +1,47 @@
+//! Workspace-wiring smoke test: if any intra-workspace dependency edge
+//! breaks (a crate renamed, a re-export dropped, a feature gate added),
+//! this fails fast with a link/compile error before the heavier suites run.
+//!
+//! The test itself is deliberately trivial — a 16-thread copy kernel — but
+//! it exercises the full cross-crate chain on all three architectures:
+//! `dmt-dfg` (builder) → `dmt-compiler` / `dmt-gpu` (lowering) →
+//! `dmt-fabric` / `dmt-mem` (execution) → `dmt-energy` (reporting), all
+//! through the `dmt-core` facade.
+
+use dmt_core::common::geom::Dim3;
+use dmt_core::common::ids::Addr;
+use dmt_core::{Arch, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
+
+#[test]
+fn machine_new_runs_a_trivial_kernel_on_every_arch() {
+    let n = 16u32;
+    let mut kb = KernelBuilder::new("link_smoke_copy", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(inp, tid, 4);
+    let x = kb.load_global(a);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, x);
+    let kernel = kb.finish().expect("trivial kernel is well-formed");
+
+    let data: Vec<i32> = (0..n as i32).map(|i| 3 * i + 1).collect();
+    for arch in Arch::ALL {
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &data);
+        let input = LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem);
+        let report = Machine::new(arch, SystemConfig::default())
+            .run(&kernel, input)
+            .unwrap_or_else(|e| panic!("{arch}: trivial kernel failed: {e}"));
+        assert_eq!(report.arch, arch);
+        assert_eq!(
+            report
+                .memory
+                .read_i32_slice(Addr(u64::from(4 * n)), n as usize),
+            data,
+            "{arch}: copy output mismatch"
+        );
+        assert!(report.cycles() > 0, "{arch}: no cycles accounted");
+        assert!(report.energy.total_j() > 0.0, "{arch}: no energy accounted");
+    }
+}

@@ -4,10 +4,10 @@
 use dmt_core::common::geom::{Delta, Dim3};
 use dmt_core::common::ids::Addr;
 use dmt_core::{
-    compiler, fabric::FabricMachine, Arch, Kernel, KernelBuilder, LaunchInput, Machine,
-    MemImage, SystemConfig, Word,
+    compiler, fabric::FabricMachine, Arch, Kernel, KernelBuilder, LaunchInput, Machine, MemImage,
+    SystemConfig, Word,
 };
-use dmt_kernels::{suite, Benchmark};
+use dmt_kernels::suite;
 use dmt_tests::run_checked;
 
 fn copy_kernel(n: u32, blocks: u32) -> Kernel {
@@ -35,10 +35,7 @@ fn run_copy(cfg: SystemConfig, n: u32, blocks: u32) -> u64 {
     Machine::new(Arch::DmtCgra, cfg)
         .run(
             &k,
-            LaunchInput::new(
-                vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)],
-                mem,
-            ),
+            LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n * blocks)], mem),
         )
         .expect("runs")
         .cycles()
