@@ -22,10 +22,13 @@ lint:
 fmt:
 	cargo fmt
 
-# CI job: example + bench smoke
+# CI job: example + bench smoke (parallel runner + JSON artifact, mirroring
+# the bench-artifact CI job)
 bench-smoke:
 	cargo run --release --locked --example quickstart
 	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- --smoke
+	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- \
+		--smoke --threads 2 --json artifacts/smoke.json
 
 clean:
 	cargo clean

@@ -8,36 +8,54 @@
 //! A kernel whose |ΔTID| reaches the window cannot compile at that point
 //! (the fabric would deadlock), so such benchmarks are skipped and the
 //! geomean is taken over the compilable subset, with a note.
+//!
+//! The whole sweep (7 windows × 9 benchmarks × 3 machines = 189 jobs) is
+//! one flat `dmt-runner` grid: `--threads N` parallelizes it while the
+//! printed table stays byte-identical. `--json PATH` records every job.
 
-use dmt_bench::{geomean_of, try_suite_row, SuiteRow, SEED};
+use dmt_bench::{geomean_rows, RowOutcome, SEED};
 use dmt_core::SystemConfig;
-use dmt_kernels::suite;
+use dmt_runner::RunnerArgs;
+
+const WINDOWS: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
 fn main() {
+    let args = RunnerArgs::from_env();
+    args.forbid_smoke("ablate_inflight");
+    let progress = args.progress_reporter();
+    let jobs: Vec<_> = WINDOWS
+        .iter()
+        .flat_map(|&w| {
+            let mut cfg = SystemConfig::default();
+            cfg.fabric.inflight_threads = w;
+            dmt_bench::suite_jobs(cfg, SEED, usize::MAX)
+        })
+        .collect();
+    let per_window = jobs.len() / WINDOWS.len();
+    let run = dmt_bench::run_jobs_pooled(jobs, SEED, args.effective_threads(), Some(&progress));
+
     println!("Ablation: in-flight thread window\n");
     println!("{:>8} {:>12} {:>12}", "window", "dMT geomean", "MT geomean");
-    for w in [64u32, 128, 256, 512, 1024, 2048, 4096] {
-        let mut cfg = SystemConfig::default();
-        cfg.fabric.inflight_threads = w;
-        let mut rows = Vec::new();
-        let mut skipped = Vec::new();
-        for b in suite::all() {
-            match try_suite_row(b.as_ref(), cfg, SEED) {
-                Ok(row) => rows.push(row),
-                Err(_) => skipped.push(b.info().name),
-            }
-        }
+    for (i, w) in WINDOWS.iter().enumerate() {
+        let lo = i * per_window;
+        let rows = RowOutcome::from_jobs(
+            &run.jobs[lo..lo + per_window],
+            &run.outcomes[lo..lo + per_window],
+        );
+        let (ok, skipped): (Vec<_>, Vec<_>) = rows.into_iter().partition(RowOutcome::complete);
         let note = if skipped.is_empty() {
             String::new()
         } else {
-            format!("  (skipped: {})", skipped.join(", "))
+            let names: Vec<&str> = skipped.iter().map(|r| r.name.as_str()).collect();
+            format!("  (skipped: {})", names.join(", "))
         };
         println!(
             "{:>8} {:>11.2}x {:>11.2}x{}",
             w,
-            geomean_of(&rows, |r: &SuiteRow| r.dmt_speedup()),
-            geomean_of(&rows, |r: &SuiteRow| r.mt_speedup()),
+            geomean_rows(&ok, RowOutcome::dmt_speedup),
+            geomean_rows(&ok, RowOutcome::mt_speedup),
             note,
         );
     }
+    run.write_artifact(&args, "ablate_inflight");
 }

@@ -4,10 +4,16 @@
 //! and forwards it to the rest of the group. Larger windows convert more
 //! loads into fabric forwards — the paper's memory-traffic argument in
 //! miniature — until forwarding latency starts to bind.
+//!
+//! One job per window size, run on the `dmt-runner` pool (`--threads N`);
+//! the table prints in window order for any worker count.
 
 use dmt_core::common::geom::{Delta, Dim3};
 use dmt_core::common::ids::Addr;
 use dmt_core::{Arch, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
+use dmt_runner::RunnerArgs;
+
+const WINDOWS: [u32; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
 
 fn broadcast_kernel(n: u32, win: u32) -> dmt_core::Kernel {
     let mut kb = KernelBuilder::new("win_broadcast", Dim3::linear(n));
@@ -26,14 +32,21 @@ fn broadcast_kernel(n: u32, win: u32) -> dmt_core::Kernel {
     kb.finish().expect("well-formed")
 }
 
+struct Row {
+    window: u32,
+    cycles: u64,
+    loads: u64,
+    forwards: u64,
+}
+
 fn main() {
+    let args = RunnerArgs::from_env();
+    args.forbid_smoke("ablate_window");
+    args.forbid_json("ablate_window");
+    args.forbid_progress("ablate_window");
     let n = 1024u32;
-    println!("Ablation: transmission window for a fromThreadOrMem broadcast\n");
-    println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>14}",
-        "window", "cycles", "loads", "forwards", "loads avoided"
-    );
-    for win in [2u32, 4, 8, 16, 32, 64, 128, 256] {
+    let rows = dmt_runner::run_indexed(WINDOWS.len(), args.effective_threads(), |i| {
+        let win = WINDOWS[i];
         let kernel = broadcast_kernel(n, win);
         let mut mem = MemImage::with_words(2 * n as usize);
         let groups = n / win;
@@ -47,14 +60,27 @@ fn main() {
                 LaunchInput::new(vec![Word::from_u32(0), Word::from_u32(4 * n)], mem),
             )
             .expect("runs");
+        Row {
+            window: win,
+            cycles: report.cycles(),
+            loads: report.stats.global_loads,
+            forwards: report.stats.eldst_forwards,
+        }
+    });
+
+    println!("Ablation: transmission window for a fromThreadOrMem broadcast\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>14}",
+        "window", "cycles", "loads", "forwards", "loads avoided"
+    );
+    for r in &rows {
         println!(
             "{:>8} {:>10} {:>10} {:>10} {:>13.1}%",
-            win,
-            report.cycles(),
-            report.stats.global_loads,
-            report.stats.eldst_forwards,
-            100.0 * report.stats.eldst_forwards as f64
-                / (report.stats.global_loads + report.stats.eldst_forwards) as f64
+            r.window,
+            r.cycles,
+            r.loads,
+            r.forwards,
+            100.0 * r.forwards as f64 / (r.loads + r.forwards) as f64
         );
     }
     println!("\nEach value is loaded once and reused window/Δ times (§4.2).");

@@ -1,37 +1,32 @@
 //! Fig 11 — speedup of the MT-CGRA and dMT-CGRA architectures over the
 //! Fermi baseline, per benchmark plus geomean.
 //!
-//! Pass `--smoke` to run only the first three benchmarks — the CI smoke
-//! job uses this to catch runtime regressions cheaply.
+//! Runs on the `dmt-runner` worker pool: `--threads N` (or
+//! `DMT_THREADS`) picks the worker count, and stdout is byte-identical
+//! for any choice. Infeasible points are annotated inline instead of
+//! aborting the suite. Pass `--smoke` to run only the first three
+//! benchmarks (the CI smoke job uses this), `--json PATH` for the
+//! versioned artifact, `--progress` for a live stderr ticker.
 
-use dmt_bench::{bar, geomean_of, run_suite_take, SuiteRow, SEED};
+use dmt_bench::{fig11_report, run_suite_pooled, SEED};
 use dmt_core::SystemConfig;
+use dmt_runner::RunnerArgs;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let take = if smoke { 3 } else { usize::MAX };
-    let rows = run_suite_take(SystemConfig::default(), SEED, take);
-    println!("Figure 11: speedup over the Fermi SM (one '#' = 0.25x)\n");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "benchmark", "fermi cyc", "mt cyc", "dmt cyc", "MT [x]", "dMT [x]"
+    let args = RunnerArgs::from_env();
+    let take = if args.smoke { 3 } else { usize::MAX };
+    let threads = args.effective_threads();
+    let progress = args.progress_reporter();
+    let run = run_suite_pooled(
+        SystemConfig::default(),
+        SEED,
+        take,
+        threads,
+        Some(&progress),
     );
-    for r in &rows {
-        println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>8.2} {:>8.2}",
-            r.name,
-            r.fermi.cycles(),
-            r.mt.cycles(),
-            r.dmt.cycles(),
-            r.mt_speedup(),
-            r.dmt_speedup(),
-        );
-        println!("{:>14} MT  |{}", "", bar(r.mt_speedup()));
-        println!("{:>14} dMT |{}", "", bar(r.dmt_speedup()));
-    }
-    let gm_mt = geomean_of(&rows, |r: &SuiteRow| r.mt_speedup());
-    let gm_dmt = geomean_of(&rows, |r: &SuiteRow| r.dmt_speedup());
-    println!("\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
-    println!("paper:   MT-CGRA 2.3x,  dMT-CGRA 4.5x (max 13.5x)");
+    let rows = run.rows();
+    print!("{}", fig11_report(&rows));
     println!("\nSee EXPERIMENTS.md for the paper-vs-measured discussion.");
+    run.write_artifact(&args, "fig11_speedup");
+    dmt_bench::exit_on_incomplete(&rows);
 }

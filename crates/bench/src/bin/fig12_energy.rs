@@ -1,38 +1,28 @@
 //! Fig 12 — energy efficiency of a dMT-CGRA core over the MT-CGRA and
 //! Fermi SM (total task energy ratio, §5.2).
+//!
+//! Pool-parallel (`--threads` / `DMT_THREADS`), deterministic stdout,
+//! infeasible points annotated; `--json PATH` writes the versioned
+//! artifact, `--smoke` runs the first three benchmarks.
 
-use dmt_bench::{bar, geomean_of, run_suite, SuiteRow, SEED};
+use dmt_bench::{fig12_report, run_suite_pooled, SEED};
 use dmt_core::SystemConfig;
+use dmt_runner::RunnerArgs;
 
 fn main() {
-    let rows = run_suite(SystemConfig::default(), SEED);
-    println!("Figure 12: energy efficiency over the Fermi SM (one '#' = 0.25x)\n");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "benchmark", "fermi [uJ]", "mt [uJ]", "dmt [uJ]", "MT [x]", "dMT [x]"
+    let args = RunnerArgs::from_env();
+    let take = if args.smoke { 3 } else { usize::MAX };
+    let threads = args.effective_threads();
+    let progress = args.progress_reporter();
+    let run = run_suite_pooled(
+        SystemConfig::default(),
+        SEED,
+        take,
+        threads,
+        Some(&progress),
     );
-    for r in &rows {
-        println!(
-            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>8.2} {:>8.2}  dMT |{}",
-            r.name,
-            r.fermi.total_joules() * 1e6,
-            r.mt.total_joules() * 1e6,
-            r.dmt.total_joules() * 1e6,
-            r.mt_efficiency(),
-            r.dmt_efficiency(),
-            bar(r.dmt_efficiency()),
-        );
-    }
-    let gm_mt = geomean_of(&rows, |r: &SuiteRow| r.mt_efficiency());
-    let gm_dmt = geomean_of(&rows, |r: &SuiteRow| r.dmt_efficiency());
-    println!("\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
-    println!("paper:   MT-CGRA 3.5x,  dMT-CGRA 7.4x (max 33x)");
-
-    // Per-category breakdown for the most energy-interesting kernel (the
-    // paper highlights scan: large energy win without a speedup win).
-    if let Some(scan) = rows.iter().find(|r| r.name == "scan") {
-        println!("\nscan energy breakdown:");
-        println!("-- Fermi SM --\n{}", scan.fermi.energy);
-        println!("-- dMT-CGRA --\n{}", scan.dmt.energy);
-    }
+    let rows = run.rows();
+    print!("{}", fig12_report(&rows));
+    run.write_artifact(&args, "fig12_energy");
+    dmt_bench::exit_on_incomplete(&rows);
 }

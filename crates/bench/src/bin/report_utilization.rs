@@ -6,13 +6,26 @@
 //! actually retires per cycle and what fraction of its peak that is — the
 //! dMT-CGRA's edge is precisely the utilization the elimination of
 //! barriers and redundant loads buys back.
+//!
+//! Pool-parallel over the suite grid (`--threads N`), deterministic
+//! output; `--json PATH` records every job.
 
-use dmt_bench::{run_suite, SEED};
+use dmt_bench::{run_suite_pooled, SEED};
 use dmt_core::SystemConfig;
+use dmt_runner::RunnerArgs;
 
 fn main() {
+    let args = RunnerArgs::from_env();
+    args.forbid_smoke("report_utilization");
+    let progress = args.progress_reporter();
     let cfg = SystemConfig::default();
-    let rows = run_suite(cfg, SEED);
+    let run = run_suite_pooled(
+        cfg,
+        SEED,
+        usize::MAX,
+        args.effective_threads(),
+        Some(&progress),
+    );
     let grid_units = f64::from(cfg.grid.total_units());
     let lanes = f64::from(cfg.gpu.warp_width);
     println!("Functional-unit utilization (peak: SM = 32 lanes, CGRA = 140 units)\n");
@@ -20,19 +33,26 @@ fn main() {
         "{:<12} {:>12} {:>8} {:>12} {:>8} {:>12} {:>8}",
         "benchmark", "SM ops/cyc", "util", "MT ops/cyc", "util", "dMT ops/cyc", "util"
     );
+    let rows = run.rows();
     for r in &rows {
-        let sm = r.fermi.stats.gpu_thread_instructions as f64 / r.fermi.cycles() as f64;
-        let mt = r.mt.stats.ops_per_cycle();
-        let dmt = r.dmt.stats.ops_per_cycle();
+        let (Some(fermi), Some(mt), Some(dmt)) =
+            (r.fermi.metrics(), r.mt.metrics(), r.dmt.metrics())
+        else {
+            println!("{:<12} (infeasible at the default configuration)", r.name);
+            continue;
+        };
+        let sm = fermi.stats.gpu_thread_instructions as f64 / fermi.cycles() as f64;
+        let mt_ops = mt.stats.ops_per_cycle();
+        let dmt_ops = dmt.stats.ops_per_cycle();
         println!(
             "{:<12} {:>12.1} {:>7.1}% {:>12.1} {:>7.1}% {:>12.1} {:>7.1}%",
             r.name,
             sm,
             100.0 * sm / lanes,
-            mt,
-            100.0 * mt / grid_units,
-            dmt,
-            100.0 * dmt / grid_units,
+            mt_ops,
+            100.0 * mt_ops / grid_units,
+            dmt_ops,
+            100.0 * dmt_ops / grid_units,
         );
     }
     println!(
@@ -40,4 +60,6 @@ fn main() {
          is 4.375× the SM's, so matching the SM's absolute ops/cycle at 23% grid\n\
          utilization already breaks even (§5.2)."
     );
+    run.write_artifact(&args, "report_utilization");
+    dmt_bench::exit_on_incomplete(&rows);
 }

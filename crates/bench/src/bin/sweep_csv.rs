@@ -6,33 +6,54 @@
 //! cargo run -p dmt-bench --bin sweep_csv -- inflight     > window.csv
 //! cargo run -p dmt-bench --bin sweep_csv -- baseline     > baseline.csv
 //! ```
+//!
+//! The whole sweep is one flat job grid on the `dmt-runner` pool
+//! (`--threads N` / `DMT_THREADS`); CSV rows are emitted in grid order,
+//! so output is byte-identical for any worker count. Points that are
+//! infeasible at a swept configuration are omitted from the CSV and
+//! reported on stderr. `--json PATH` records the full per-job artifact.
 
-use dmt_bench::sweep::{sweep, to_csv};
+use dmt_bench::sweep::{skipped, sweep_run, to_csv, SweepPoint};
+use dmt_bench::SuiteRun;
 use dmt_bench::SEED;
+use dmt_runner::RunnerArgs;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "baseline".into());
-    let csv = match which.as_str() {
-        "token_buffer" => {
-            let pts = sweep([4u32, 8, 16, 32, 64], SEED, |&tb, cfg| {
+    let args = RunnerArgs::from_env();
+    args.forbid_smoke("sweep_csv");
+    let threads = args.effective_threads();
+    let progress = args.progress_reporter();
+    let which = args.rest.first().map_or("baseline", String::as_str);
+    let run = |values: Vec<u32>,
+               f: &mut dyn FnMut(&u32, &mut dmt_core::SystemConfig)|
+     -> (SuiteRun, Vec<SweepPoint>) {
+        sweep_run(values, SEED, f, threads, Some(&progress))
+    };
+    let ((run, points), x_name) = match which {
+        "token_buffer" => (
+            run(vec![4, 8, 16, 32, 64], &mut |&tb, cfg| {
                 cfg.fabric.token_buffer_entries = tb;
-            });
-            to_csv(&pts, "token_buffer")
-        }
-        "inflight" => {
-            let pts = sweep([128u32, 512, 2048], SEED, |&w, cfg| {
+            }),
+            "token_buffer",
+        ),
+        "inflight" => (
+            run(vec![128, 512, 2048], &mut |&w, cfg| {
                 cfg.fabric.inflight_threads = w;
-            });
-            to_csv(&pts, "inflight_threads")
-        }
-        "baseline" => {
-            let pts = sweep(["table2"], SEED, |_, _| {});
-            to_csv(&pts, "config")
-        }
+            }),
+            "inflight_threads",
+        ),
+        "baseline" => (
+            sweep_run(["table2"], SEED, &mut |_, _| {}, threads, Some(&progress)),
+            "config",
+        ),
         other => {
             eprintln!("unknown sweep {other}; use token_buffer | inflight | baseline");
             std::process::exit(1);
         }
     };
-    print!("{csv}");
+    print!("{}", to_csv(&points, x_name));
+    for (x, bench, arch, err) in skipped(&points) {
+        eprintln!("[sweep] skipped {bench} at {x_name}={x} on {arch}: {err}");
+    }
+    run.write_artifact(&args, &format!("sweep_csv:{which}"));
 }

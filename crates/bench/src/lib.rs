@@ -15,53 +15,24 @@
 //! | `ablate_window` | §3.2 — transmission-window sweep |
 //!
 //! Criterion benches under `benches/` wrap the same harness entry points.
+//!
+//! Every experiment binary accepts the shared runner flags (`--threads N`
+//! / `DMT_THREADS`, `--json PATH`, `--progress`, `--smoke` where
+//! supported): the grid of `(benchmark, arch, config, seed)` points is
+//! expressed as `dmt-runner` jobs and executed on its shared-nothing
+//! worker pool, with [`execute_job`] as the one bridge back into the
+//! leaf [`run_one`]/[`try_run_one`] API. Aggregation is by job index, so
+//! stdout and artifact contents are identical for any thread count.
 
 pub mod sweep;
 
 use dmt_core::{experiment, Arch, Machine, RunReport, SystemConfig};
 use dmt_kernels::{suite, Benchmark};
+use dmt_runner::{Artifact, JobMetrics, JobOutcome, JobSpec, Progress, RunnerArgs};
+use std::time::Instant;
 
 /// Seed used by every headline experiment (results are deterministic).
 pub const SEED: u64 = 42;
-
-/// One suite row: a benchmark measured on all three machines.
-#[derive(Debug, Clone)]
-pub struct SuiteRow {
-    /// Benchmark name (Table 3).
-    pub name: &'static str,
-    /// Fermi SM run.
-    pub fermi: RunReport,
-    /// MT-CGRA run (shared-memory variant).
-    pub mt: RunReport,
-    /// dMT-CGRA run (inter-thread-communication variant).
-    pub dmt: RunReport,
-}
-
-impl SuiteRow {
-    /// MT-CGRA speedup over the SM (Fig 11, left bars).
-    #[must_use]
-    pub fn mt_speedup(&self) -> f64 {
-        experiment::speedup(&self.fermi, &self.mt)
-    }
-
-    /// dMT-CGRA speedup over the SM (Fig 11, right bars).
-    #[must_use]
-    pub fn dmt_speedup(&self) -> f64 {
-        experiment::speedup(&self.fermi, &self.dmt)
-    }
-
-    /// MT-CGRA energy efficiency over the SM (Fig 12).
-    #[must_use]
-    pub fn mt_efficiency(&self) -> f64 {
-        experiment::energy_efficiency(&self.fermi, &self.mt)
-    }
-
-    /// dMT-CGRA energy efficiency over the SM (Fig 12).
-    #[must_use]
-    pub fn dmt_efficiency(&self) -> f64 {
-        experiment::energy_efficiency(&self.fermi, &self.dmt)
-    }
-}
 
 /// Runs one benchmark on one architecture, validating the output against
 /// the CPU reference.
@@ -105,85 +76,385 @@ pub fn try_run_one(
     Ok(report)
 }
 
-/// A [`try_suite_row`] failure: the underlying error plus which
-/// architecture produced it.
-#[derive(Debug, Clone)]
-pub struct SuiteRowError {
-    /// Architecture on which the run failed.
-    pub arch: Arch,
-    /// The underlying compiler or machine error.
-    pub error: dmt_core::Error,
-}
-
-impl std::fmt::Display for SuiteRowError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "on {}: {}", self.arch, self.error)
-    }
-}
-
-impl std::error::Error for SuiteRowError {}
-
-/// Builds one suite row, surfacing simulation errors instead of panicking
-/// (see [`try_run_one`]). Ablation sweeps use this to skip benchmarks
-/// that are infeasible at a given configuration point.
-///
-/// # Errors
-///
-/// Returns the first per-architecture error, tagged with its [`Arch`].
-pub fn try_suite_row(
-    bench: &dyn Benchmark,
-    cfg: SystemConfig,
-    seed: u64,
-) -> Result<SuiteRow, SuiteRowError> {
-    let one = |arch: Arch| {
-        try_run_one(bench, arch, cfg, seed).map_err(|error| SuiteRowError { arch, error })
-    };
-    Ok(SuiteRow {
-        name: bench.info().name,
-        fermi: one(Arch::FermiSm)?,
-        mt: one(Arch::MtCgra)?,
-        dmt: one(Arch::DmtCgra)?,
-    })
-}
-
-/// Runs the full Table 3 suite on all three machines.
-#[must_use]
-pub fn run_suite(cfg: SystemConfig, seed: u64) -> Vec<SuiteRow> {
-    run_suite_take(cfg, seed, usize::MAX)
-}
-
-/// Runs the first `take` Table 3 benchmarks on all three machines.
-///
-/// CI smoke jobs use a small `take` to catch runtime regressions without
-/// paying for the whole suite; `run_suite` is the `take = all` case.
-///
-/// # Panics
-///
-/// Panics when any benchmark fails to run on the default-style config —
-/// headline experiments must not silently drop rows (ablation sweeps
-/// that expect infeasible points use [`try_suite_row`] directly).
-#[must_use]
-pub fn run_suite_take(cfg: SystemConfig, seed: u64, take: usize) -> Vec<SuiteRow> {
-    suite::all()
-        .into_iter()
-        .take(take)
-        .map(|b| {
-            try_suite_row(b.as_ref(), cfg, seed).unwrap_or_else(|e| panic!("{} {e}", b.info().name))
-        })
-        .collect()
-}
-
-/// Geomean across rows of a per-row ratio.
-#[must_use]
-pub fn geomean_of(rows: &[SuiteRow], f: impl Fn(&SuiteRow) -> f64) -> f64 {
-    let v: Vec<f64> = rows.iter().map(f).collect();
-    experiment::geomean(&v).unwrap_or(f64::NAN)
-}
-
 /// A text bar for figure-style output (one `#` per 0.25×).
 #[must_use]
 pub fn bar(value: f64) -> String {
     "#".repeat((value * 4.0).round().max(0.0) as usize)
+}
+
+/// The leaf job executor: resolves the named benchmark from the Table 3
+/// suite and runs the point through [`try_run_one`].
+///
+/// This is the only bridge between the `dmt-runner` orchestration layer
+/// and the simulators; every worker calls it with nothing shared but the
+/// spec, and it builds its own kernels, workload and `Machine` from
+/// scratch (shared-nothing parallelism).
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name (a harness bug, not data) and on
+/// validation failures (wrong results must never become numbers).
+#[must_use]
+pub fn execute_job(spec: &JobSpec) -> JobOutcome {
+    let bench = suite::all()
+        .into_iter()
+        .find(|b| b.info().name == spec.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.bench));
+    match try_run_one(bench.as_ref(), spec.arch, spec.cfg, spec.seed) {
+        Ok(report) => JobOutcome::completed(JobMetrics::from_report(&report)),
+        Err(e) => JobOutcome::Infeasible(e.to_string()),
+    }
+}
+
+/// The job grid for the first `take` Table 3 benchmarks on all three
+/// machines: benchmark-major, architecture-minor (`Arch::ALL` order), so
+/// consecutive triples form one suite row.
+#[must_use]
+pub fn suite_jobs(cfg: SystemConfig, seed: u64, take: usize) -> Vec<JobSpec> {
+    suite::all()
+        .into_iter()
+        .take(take)
+        .flat_map(|b| {
+            let name = b.info().name;
+            Arch::ALL.map(|arch| JobSpec::new(name, arch, cfg, seed))
+        })
+        .collect()
+}
+
+/// One suite row measured through the runner: per-architecture outcomes,
+/// any of which may be infeasible at a swept configuration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowOutcome {
+    /// Benchmark name (Table 3).
+    pub name: String,
+    /// Fermi SM outcome.
+    pub fermi: JobOutcome,
+    /// MT-CGRA outcome.
+    pub mt: JobOutcome,
+    /// dMT-CGRA outcome.
+    pub dmt: JobOutcome,
+}
+
+impl RowOutcome {
+    /// Regroups a [`suite_jobs`]-ordered outcome list into rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lists disagree or are not whole rows in
+    /// [`suite_jobs`] order.
+    #[must_use]
+    pub fn from_jobs(jobs: &[JobSpec], outcomes: &[JobOutcome]) -> Vec<RowOutcome> {
+        assert_eq!(jobs.len(), outcomes.len());
+        assert_eq!(jobs.len() % Arch::ALL.len(), 0, "partial suite row");
+        jobs.chunks_exact(Arch::ALL.len())
+            .zip(outcomes.chunks_exact(Arch::ALL.len()))
+            .map(|(specs, outs)| {
+                assert_eq!(
+                    [specs[0].arch, specs[1].arch, specs[2].arch],
+                    Arch::ALL,
+                    "jobs not in suite order"
+                );
+                RowOutcome {
+                    name: specs[0].bench.clone(),
+                    fermi: outs[0].clone(),
+                    mt: outs[1].clone(),
+                    dmt: outs[2].clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The outcome for one architecture.
+    #[must_use]
+    pub fn outcome(&self, arch: Arch) -> &JobOutcome {
+        match arch {
+            Arch::FermiSm => &self.fermi,
+            Arch::MtCgra => &self.mt,
+            Arch::DmtCgra => &self.dmt,
+        }
+    }
+
+    /// True when all three architectures completed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        Arch::ALL
+            .iter()
+            .all(|&a| self.outcome(a).metrics().is_some())
+    }
+
+    /// The infeasible architectures with their leaf errors.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(Arch, String)> {
+        Arch::ALL
+            .iter()
+            .filter_map(|&a| self.outcome(a).error().map(|e| (a, e.to_owned())))
+            .collect()
+    }
+
+    fn ratio(&self, base: Arch, test: Arch, f: impl Fn(&JobMetrics) -> f64) -> Option<f64> {
+        Some(f(self.outcome(base).metrics()?) / f(self.outcome(test).metrics()?))
+    }
+
+    /// MT-CGRA speedup over the SM (Fig 11), when both ran.
+    #[must_use]
+    pub fn mt_speedup(&self) -> Option<f64> {
+        self.ratio(Arch::FermiSm, Arch::MtCgra, |m| m.cycles() as f64)
+    }
+
+    /// dMT-CGRA speedup over the SM (Fig 11), when both ran.
+    #[must_use]
+    pub fn dmt_speedup(&self) -> Option<f64> {
+        self.ratio(Arch::FermiSm, Arch::DmtCgra, |m| m.cycles() as f64)
+    }
+
+    /// MT-CGRA energy efficiency over the SM (Fig 12), when both ran.
+    #[must_use]
+    pub fn mt_efficiency(&self) -> Option<f64> {
+        self.ratio(Arch::FermiSm, Arch::MtCgra, JobMetrics::total_joules)
+    }
+
+    /// dMT-CGRA energy efficiency over the SM (Fig 12), when both ran.
+    #[must_use]
+    pub fn dmt_efficiency(&self) -> Option<f64> {
+        self.ratio(Arch::FermiSm, Arch::DmtCgra, JobMetrics::total_joules)
+    }
+}
+
+/// A completed pool run: the grid, its outcomes and the run metadata an
+/// artifact records.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The job grid, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// Per-job outcomes, index-aligned with `jobs`.
+    pub outcomes: Vec<JobOutcome>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of the pool run, in milliseconds.
+    pub wall_ms: u64,
+    /// Headline seed.
+    pub seed: u64,
+}
+
+impl SuiteRun {
+    /// Regroups the outcomes into suite rows (only valid for
+    /// [`suite_jobs`]-shaped grids).
+    #[must_use]
+    pub fn rows(&self) -> Vec<RowOutcome> {
+        RowOutcome::from_jobs(&self.jobs, &self.outcomes)
+    }
+
+    /// Packages the run as a versioned JSON artifact.
+    #[must_use]
+    pub fn artifact(&self, suite: &str) -> Artifact {
+        Artifact::new(
+            suite,
+            self.threads,
+            self.wall_ms,
+            self.seed,
+            self.jobs.clone(),
+            self.outcomes.clone(),
+        )
+    }
+
+    /// The shared `--json` epilogue of every grid-shaped binary: when the
+    /// flag was given, writes the artifact and logs one uniform stderr
+    /// line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the artifact cannot be written — a requested recording
+    /// that fails must not exit 0.
+    pub fn write_artifact(&self, args: &RunnerArgs, suite: &str) {
+        if let Some(path) = &args.json {
+            self.artifact(suite)
+                .write(path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!(
+                "[dmt-runner] wrote {} ({} jobs, {} threads, {} ms)",
+                path.display(),
+                self.jobs.len(),
+                self.threads,
+                self.wall_ms
+            );
+        }
+    }
+}
+
+/// Executes an arbitrary job grid on the worker pool (wall-clock
+/// measured, progress optional). The building block behind every
+/// experiment binary; [`run_suite_pooled`] is the common suite-shaped
+/// case.
+#[must_use]
+pub fn run_jobs_pooled(
+    jobs: Vec<JobSpec>,
+    seed: u64,
+    threads: usize,
+    progress: Option<&Progress>,
+) -> SuiteRun {
+    let start = Instant::now();
+    let outcomes = dmt_runner::run_jobs(&jobs, threads, progress, execute_job);
+    SuiteRun {
+        jobs,
+        outcomes,
+        threads,
+        wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        seed,
+    }
+}
+
+/// Runs the first `take` Table 3 benchmarks on all three machines via
+/// the worker pool. Infeasible points are annotated in the outcomes, not
+/// panicked on — headline binaries render them as such.
+#[must_use]
+pub fn run_suite_pooled(
+    cfg: SystemConfig,
+    seed: u64,
+    take: usize,
+    threads: usize,
+    progress: Option<&Progress>,
+) -> SuiteRun {
+    run_jobs_pooled(suite_jobs(cfg, seed, take), seed, threads, progress)
+}
+
+/// The headline binaries' shared failure policy: they run the *default*
+/// configuration, where an infeasible point is a simulator regression,
+/// not a swept-out design point. The caller's report has already
+/// annotated the failures; this exits 1 so scripts and CI cannot read
+/// success off wrong or missing data.
+pub fn exit_on_incomplete(rows: &[RowOutcome]) {
+    let incomplete = rows.iter().filter(|r| !r.complete()).count();
+    if incomplete > 0 {
+        eprintln!("error: {incomplete} suite row(s) failed at the default configuration");
+        std::process::exit(1);
+    }
+}
+
+/// Geomean across rows of a per-row ratio, skipping rows where the ratio
+/// is undefined (an architecture was infeasible).
+#[must_use]
+pub fn geomean_rows(rows: &[RowOutcome], f: impl Fn(&RowOutcome) -> Option<f64>) -> f64 {
+    let v: Vec<f64> = rows.iter().filter_map(f).collect();
+    experiment::geomean(&v).unwrap_or(f64::NAN)
+}
+
+fn fmt_opt(v: Option<f64>, width: usize, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.prec$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+fn fmt_cycles(o: &JobOutcome, width: usize) -> String {
+    match o.metrics() {
+        Some(m) => format!("{:>width$}", m.cycles()),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+/// Renders Fig 11 (speedup over the Fermi SM) from runner rows —
+/// deterministic for any thread count, with infeasible points annotated
+/// inline instead of aborting the suite.
+#[must_use]
+pub fn fig11_report(rows: &[RowOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 11: speedup over the Fermi SM (one '#' = 0.25x)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "benchmark", "fermi cyc", "mt cyc", "dmt cyc", "MT [x]", "dMT [x]"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {} {} {} {} {}",
+            r.name,
+            fmt_cycles(&r.fermi, 10),
+            fmt_cycles(&r.mt, 10),
+            fmt_cycles(&r.dmt, 10),
+            fmt_opt(r.mt_speedup(), 8, 2),
+            fmt_opt(r.dmt_speedup(), 8, 2),
+        );
+        if let Some(s) = r.mt_speedup() {
+            let _ = writeln!(out, "{:>14} MT  |{}", "", bar(s));
+        }
+        if let Some(s) = r.dmt_speedup() {
+            let _ = writeln!(out, "{:>14} dMT |{}", "", bar(s));
+        }
+        for (arch, err) in r.failures() {
+            let _ = writeln!(out, "{:>14} infeasible on {arch}: {err}", "");
+        }
+    }
+    let gm_mt = geomean_rows(rows, RowOutcome::mt_speedup);
+    let gm_dmt = geomean_rows(rows, RowOutcome::dmt_speedup);
+    let _ = writeln!(out, "\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
+    let skipped = rows.iter().filter(|r| !r.complete()).count();
+    if skipped > 0 {
+        let _ = writeln!(
+            out,
+            "         (each geomean covers the rows where its ratio is defined; \
+             {skipped} of {} rows annotated above)",
+            rows.len()
+        );
+    }
+    let _ = writeln!(out, "paper:   MT-CGRA 2.3x,  dMT-CGRA 4.5x (max 13.5x)");
+    out
+}
+
+/// Renders Fig 12 (energy efficiency over the Fermi SM) from runner rows.
+#[must_use]
+pub fn fig12_report(rows: &[RowOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 12: energy efficiency over the Fermi SM (one '#' = 0.25x)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "benchmark", "fermi [uJ]", "mt [uJ]", "dmt [uJ]", "MT [x]", "dMT [x]"
+    );
+    for r in rows {
+        let uj = |o: &JobOutcome| o.metrics().map(|m| m.total_joules() * 1e6);
+        let eff_bar = r
+            .dmt_efficiency()
+            .map(|e| format!("  dMT |{}", bar(e)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<12} {} {} {} {} {}{}",
+            r.name,
+            fmt_opt(uj(&r.fermi), 12, 2),
+            fmt_opt(uj(&r.mt), 12, 2),
+            fmt_opt(uj(&r.dmt), 12, 2),
+            fmt_opt(r.mt_efficiency(), 8, 2),
+            fmt_opt(r.dmt_efficiency(), 8, 2),
+            eff_bar,
+        );
+        for (arch, err) in r.failures() {
+            let _ = writeln!(out, "{:>14} infeasible on {arch}: {err}", "");
+        }
+    }
+    let gm_mt = geomean_rows(rows, RowOutcome::mt_efficiency);
+    let gm_dmt = geomean_rows(rows, RowOutcome::dmt_efficiency);
+    let _ = writeln!(out, "\ngeomean: MT-CGRA {gm_mt:.2}x, dMT-CGRA {gm_dmt:.2}x");
+    let _ = writeln!(out, "paper:   MT-CGRA 3.5x,  dMT-CGRA 7.4x (max 33x)");
+
+    // Per-category breakdown for the most energy-interesting kernel (the
+    // paper highlights scan: large energy win without a speedup win).
+    if let Some(scan) = rows.iter().find(|r| r.name == "scan") {
+        if let (Some(fermi), Some(dmt)) = (scan.fermi.metrics(), scan.dmt.metrics()) {
+            let _ = writeln!(out, "\nscan energy breakdown:");
+            let _ = writeln!(out, "-- Fermi SM --\n{}", fermi.energy);
+            let _ = writeln!(out, "-- dMT-CGRA --\n{}", dmt.energy);
+        }
+    }
+    out
 }
 
 /// Collects Fig 5 communication sites across every dMT kernel in the
@@ -211,5 +482,66 @@ mod tests {
     fn bar_scales() {
         assert_eq!(bar(1.0).len(), 4);
         assert_eq!(bar(4.5).len(), 18);
+    }
+
+    #[test]
+    fn suite_jobs_shape_matches_rows() {
+        let jobs = suite_jobs(SystemConfig::default(), SEED, 2);
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs[0].bench, "scan");
+        assert_eq!(jobs[0].arch, Arch::FermiSm);
+        assert_eq!(jobs[2].arch, Arch::DmtCgra);
+        assert_eq!(jobs[3].bench, "matrixMul");
+    }
+
+    #[test]
+    fn execute_job_matches_leaf_runner() {
+        let spec =
+            dmt_runner::JobSpec::new("convolution", Arch::DmtCgra, SystemConfig::default(), 1);
+        let outcome = execute_job(&spec);
+        let m = outcome.metrics().expect("feasible");
+        let b = dmt_kernels::convolution::Convolution::default();
+        let r = run_one(&b, Arch::DmtCgra, SystemConfig::default(), 1);
+        assert_eq!(m.stats, r.stats);
+        assert_eq!(m.kernel, r.kernel);
+    }
+
+    #[test]
+    fn execute_job_reports_infeasible_points() {
+        // reduce's log-tree needs |ΔTID| up to 128: a 64-thread window is
+        // infeasible, which the outcome must carry instead of panicking.
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.inflight_threads = 64;
+        let spec = dmt_runner::JobSpec::new("reduce", Arch::DmtCgra, cfg, SEED);
+        match execute_job(&spec) {
+            JobOutcome::Infeasible(e) => assert!(!e.is_empty()),
+            JobOutcome::Completed(_) => panic!("expected an infeasible point"),
+        }
+    }
+
+    #[test]
+    fn row_ratios_are_none_on_infeasible_arches() {
+        let cycles = |c: u64| {
+            JobOutcome::completed(JobMetrics {
+                kernel: "k".into(),
+                stats: dmt_core::common::stats::RunStats {
+                    cycles: c,
+                    ..Default::default()
+                },
+                energy: dmt_core::EnergyReport::default(),
+            })
+        };
+        let row = RowOutcome {
+            name: "x".into(),
+            fermi: cycles(100),
+            mt: JobOutcome::Infeasible("no".into()),
+            dmt: cycles(25),
+        };
+        assert_eq!(row.mt_speedup(), None);
+        assert_eq!(row.dmt_speedup(), Some(4.0));
+        assert!(!row.complete());
+        assert_eq!(row.failures().len(), 1);
+        let report = fig11_report(&[row]);
+        assert!(report.contains("infeasible on MT-CGRA: no"), "{report}");
     }
 }

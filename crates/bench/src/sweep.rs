@@ -1,42 +1,107 @@
 //! Parameter-sweep infrastructure: run the suite across configuration
 //! variants and emit machine-readable series (CSV) for plotting.
+//!
+//! A sweep is flattened into one `dmt-runner` job grid — every
+//! `(point, benchmark, arch)` triple is an independent job — so the
+//! whole sweep parallelizes across the worker pool at once instead of
+//! point by point. Aggregation is by job index: CSV output is identical
+//! for any thread count.
 
-use crate::{run_suite, SuiteRow};
+use crate::{suite_jobs, RowOutcome, SuiteRun};
 use dmt_core::SystemConfig;
+use dmt_runner::Progress;
 use std::fmt::Write as _;
 
 /// One point of a sweep: a label (the x value) and the suite measured
-/// under that configuration.
+/// under that configuration. Rows may contain infeasible points (e.g. a
+/// kernel whose |ΔTID| exceeds a swept window) — CSV emission skips
+/// them, [`skipped`] reports them.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Human-readable x value (e.g. "16" for a buffer size).
     pub label: String,
-    /// Per-benchmark measurements at this point.
-    pub rows: Vec<SuiteRow>,
+    /// Per-benchmark outcomes at this point.
+    pub rows: Vec<RowOutcome>,
 }
 
-/// Runs the full suite once per configuration variant.
-pub fn sweep<I, F>(values: I, seed: u64, mut configure: F) -> Vec<SweepPoint>
+/// Runs the full suite once per configuration variant, flattened across
+/// the worker pool.
+pub fn sweep<I, F>(values: I, seed: u64, mut configure: F, threads: usize) -> Vec<SweepPoint>
 where
     I: IntoIterator,
     I::Item: std::fmt::Display,
     F: FnMut(&I::Item, &mut SystemConfig),
 {
-    values
-        .into_iter()
-        .map(|v| {
-            let mut cfg = SystemConfig::default();
-            configure(&v, &mut cfg);
+    sweep_with_progress(values, seed, &mut configure, threads, None)
+}
+
+/// [`sweep`] with an optional live progress ticker.
+pub fn sweep_with_progress<I, F>(
+    values: I,
+    seed: u64,
+    configure: &mut F,
+    threads: usize,
+    progress: Option<&Progress>,
+) -> Vec<SweepPoint>
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+    F: ?Sized + FnMut(&I::Item, &mut SystemConfig),
+{
+    sweep_run(values, seed, configure, threads, progress).1
+}
+
+/// Like [`sweep_with_progress`], but also returns the underlying pool
+/// run, so callers can record the per-job JSON artifact.
+pub fn sweep_run<I, F>(
+    values: I,
+    seed: u64,
+    configure: &mut F,
+    threads: usize,
+    progress: Option<&Progress>,
+) -> (SuiteRun, Vec<SweepPoint>)
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+    F: ?Sized + FnMut(&I::Item, &mut SystemConfig),
+{
+    let mut labels = Vec::new();
+    let mut jobs = Vec::new();
+    for v in values {
+        let mut cfg = SystemConfig::default();
+        configure(&v, &mut cfg);
+        labels.push(v.to_string());
+        jobs.extend(suite_jobs(cfg, seed, usize::MAX));
+    }
+    let per_point = if labels.is_empty() {
+        0
+    } else {
+        jobs.len() / labels.len()
+    };
+    let run = crate::run_jobs_pooled(jobs, seed, threads, progress);
+    let points = regroup(&run, &labels, per_point);
+    (run, points)
+}
+
+fn regroup(run: &SuiteRun, labels: &[String], per_point: usize) -> Vec<SweepPoint> {
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let lo = i * per_point;
+            let hi = lo + per_point;
             SweepPoint {
-                label: v.to_string(),
-                rows: run_suite(cfg, seed),
+                label: label.clone(),
+                rows: RowOutcome::from_jobs(&run.jobs[lo..hi], &run.outcomes[lo..hi]),
             }
         })
         .collect()
 }
 
-/// Renders a sweep as CSV: one line per (x, benchmark) with cycles and
-/// energy for all three machines plus the derived ratios.
+/// Renders a sweep as CSV: one line per fully-feasible (x, benchmark)
+/// pair with cycles and energy for all three machines plus the derived
+/// ratios. Rows with an infeasible architecture are omitted (see
+/// [`skipped`]).
 #[must_use]
 pub fn to_csv(points: &[SweepPoint], x_name: &str) -> String {
     let mut out = String::new();
@@ -47,25 +112,47 @@ pub fn to_csv(points: &[SweepPoint], x_name: &str) -> String {
     );
     for p in points {
         for r in &p.rows {
+            let (Some(fermi), Some(mt), Some(dmt)) =
+                (r.fermi.metrics(), r.mt.metrics(), r.dmt.metrics())
+            else {
+                continue;
+            };
             let _ = writeln!(
                 out,
                 "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
                 p.label,
                 r.name,
-                r.fermi.cycles(),
-                r.mt.cycles(),
-                r.dmt.cycles(),
-                r.fermi.total_joules() * 1e6,
-                r.mt.total_joules() * 1e6,
-                r.dmt.total_joules() * 1e6,
-                r.mt_speedup(),
-                r.dmt_speedup(),
-                r.mt_efficiency(),
-                r.dmt_efficiency(),
+                fermi.cycles(),
+                mt.cycles(),
+                dmt.cycles(),
+                fermi.total_joules() * 1e6,
+                mt.total_joules() * 1e6,
+                dmt.total_joules() * 1e6,
+                // All three metrics are bound above, so every ratio is
+                // defined — compute them directly from the operands.
+                fermi.cycles() as f64 / mt.cycles() as f64,
+                fermi.cycles() as f64 / dmt.cycles() as f64,
+                fermi.total_joules() / mt.total_joules(),
+                fermi.total_joules() / dmt.total_joules(),
             );
         }
     }
     out
+}
+
+/// The points [`to_csv`] omitted: `(x label, benchmark, arch, error)`.
+#[must_use]
+pub fn skipped(points: &[SweepPoint]) -> Vec<(String, String, String, String)> {
+    points
+        .iter()
+        .flat_map(|p| {
+            p.rows.iter().flat_map(|r| {
+                r.failures()
+                    .into_iter()
+                    .map(|(arch, err)| (p.label.clone(), r.name.clone(), arch.to_string(), err))
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -74,12 +161,38 @@ mod tests {
 
     #[test]
     fn csv_has_a_row_per_point_and_benchmark() {
-        let points = sweep([16u32], 1, |&tb, cfg| {
-            cfg.fabric.token_buffer_entries = tb;
-        });
+        let points = sweep(
+            [16u32],
+            1,
+            |&tb, cfg| {
+                cfg.fabric.token_buffer_entries = tb;
+            },
+            1,
+        );
         let csv = to_csv(&points, "token_buffer");
         assert_eq!(csv.lines().count(), 1 + 9, "header + nine benchmarks");
         assert!(csv.starts_with("token_buffer,benchmark,"));
         assert!(csv.contains("16,scan,"));
+        assert!(skipped(&points).is_empty());
+    }
+
+    #[test]
+    fn infeasible_rows_are_skipped_and_reported() {
+        // A 64-thread window breaks reduce's 128-wide log-tree.
+        let points = sweep(
+            [64u32],
+            crate::SEED,
+            |&w, cfg| {
+                cfg.fabric.inflight_threads = w;
+            },
+            2,
+        );
+        let csv = to_csv(&points, "inflight_threads");
+        assert!(!csv.contains(",reduce,"), "{csv}");
+        let sk = skipped(&points);
+        assert!(
+            sk.iter().any(|(x, b, _, _)| x == "64" && b == "reduce"),
+            "{sk:?}"
+        );
     }
 }

@@ -427,7 +427,221 @@ pub struct SystemConfig {
     pub clocks: ClockConfig,
 }
 
+/// One scalar leaf of a [`SystemConfig`], in canonical form.
+///
+/// Produced by [`SystemConfig::visit_fields`]; consumers that need a
+/// stable identity for a configuration (job hashing, artifact metadata)
+/// fold these instead of relying on struct layout or `Debug` output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CfgValue {
+    /// An unsigned integer field (`u32`/`u64` widened to `u64`).
+    U64(u64),
+    /// A floating-point field (clock frequencies).
+    F64(f64),
+    /// An enumerated field, identified by its variant name.
+    Tag(&'static str),
+}
+
+impl WritePolicy {
+    /// The canonical variant name (used by [`SystemConfig::visit_fields`]).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            WritePolicy::WriteBackAllocate => "write_back_allocate",
+            WritePolicy::WriteThroughNoAllocate => "write_through_no_allocate",
+        }
+    }
+}
+
 impl SystemConfig {
+    /// Visits every scalar field as a `(dotted.path, value)` pair.
+    ///
+    /// The visit **exhaustively destructures** every sub-struct, so adding
+    /// a configuration field without extending this function is a compile
+    /// error — a config hash built on top of it can never silently ignore
+    /// a new knob. Visit order is unspecified; consumers that need
+    /// order-independence must sort by name (see `dmt-runner`'s stable
+    /// hasher).
+    pub fn visit_fields(&self, visit: &mut impl FnMut(&'static str, CfgValue)) {
+        let SystemConfig {
+            grid,
+            fabric,
+            latencies,
+            mem,
+            gpu,
+            clocks,
+        } = self;
+        let GridConfig {
+            alus,
+            fpus,
+            specials,
+            ldsts,
+            sjus,
+            controls,
+        } = *grid;
+        visit("grid.alus", CfgValue::U64(alus.into()));
+        visit("grid.fpus", CfgValue::U64(fpus.into()));
+        visit("grid.specials", CfgValue::U64(specials.into()));
+        visit("grid.ldsts", CfgValue::U64(ldsts.into()));
+        visit("grid.sjus", CfgValue::U64(sjus.into()));
+        visit("grid.controls", CfgValue::U64(controls.into()));
+
+        let FabricConfig {
+            token_buffer_entries,
+            ldst_queue_entries,
+            inflight_threads,
+            noc_hop_latency,
+            threads_injected_per_cycle,
+            grid_width,
+            reconfiguration_cycles,
+        } = *fabric;
+        visit(
+            "fabric.token_buffer_entries",
+            CfgValue::U64(token_buffer_entries.into()),
+        );
+        visit(
+            "fabric.ldst_queue_entries",
+            CfgValue::U64(ldst_queue_entries.into()),
+        );
+        visit(
+            "fabric.inflight_threads",
+            CfgValue::U64(inflight_threads.into()),
+        );
+        visit("fabric.noc_hop_latency", CfgValue::U64(noc_hop_latency));
+        visit(
+            "fabric.threads_injected_per_cycle",
+            CfgValue::U64(threads_injected_per_cycle.into()),
+        );
+        visit("fabric.grid_width", CfgValue::U64(grid_width.into()));
+        visit(
+            "fabric.reconfiguration_cycles",
+            CfgValue::U64(reconfiguration_cycles),
+        );
+
+        let UnitLatencies {
+            alu,
+            fpu,
+            special,
+            control,
+            sju,
+            elevator,
+            ldst_issue,
+        } = *latencies;
+        visit("latencies.alu", CfgValue::U64(alu));
+        visit("latencies.fpu", CfgValue::U64(fpu));
+        visit("latencies.special", CfgValue::U64(special));
+        visit("latencies.control", CfgValue::U64(control));
+        visit("latencies.sju", CfgValue::U64(sju));
+        visit("latencies.elevator", CfgValue::U64(elevator));
+        visit("latencies.ldst_issue", CfgValue::U64(ldst_issue));
+
+        let MemConfig {
+            l1,
+            l2,
+            dram,
+            scratchpad,
+            lvc,
+        } = *mem;
+        // Each cache level carries its own full name table (field names
+        // must be 'static, so no runtime concatenation); a new level
+        // cannot reuse another's names by accident.
+        const L1_NAMES: [&str; 7] = [
+            "mem.l1.size_bytes",
+            "mem.l1.line_bytes",
+            "mem.l1.ways",
+            "mem.l1.banks",
+            "mem.l1.hit_latency",
+            "mem.l1.mshrs",
+            "mem.l1.write_policy",
+        ];
+        const L2_NAMES: [&str; 7] = [
+            "mem.l2.size_bytes",
+            "mem.l2.line_bytes",
+            "mem.l2.ways",
+            "mem.l2.banks",
+            "mem.l2.hit_latency",
+            "mem.l2.mshrs",
+            "mem.l2.write_policy",
+        ];
+        let cache = |names: [&'static str; 7],
+                     c: CacheConfig,
+                     v: &mut dyn FnMut(&'static str, CfgValue)| {
+            let CacheConfig {
+                size_bytes,
+                line_bytes,
+                ways,
+                banks,
+                hit_latency,
+                mshrs,
+                write_policy,
+            } = c;
+            v(names[0], CfgValue::U64(size_bytes));
+            v(names[1], CfgValue::U64(line_bytes));
+            v(names[2], CfgValue::U64(ways.into()));
+            v(names[3], CfgValue::U64(banks.into()));
+            v(names[4], CfgValue::U64(hit_latency));
+            v(names[5], CfgValue::U64(mshrs.into()));
+            v(names[6], CfgValue::Tag(write_policy.tag()));
+        };
+        cache(L1_NAMES, l1, &mut *visit);
+        cache(L2_NAMES, l2, &mut *visit);
+
+        let DramConfig {
+            channels,
+            banks_per_channel,
+            latency,
+            bank_busy_cycles,
+        } = dram;
+        visit("mem.dram.channels", CfgValue::U64(channels.into()));
+        visit(
+            "mem.dram.banks_per_channel",
+            CfgValue::U64(banks_per_channel.into()),
+        );
+        visit("mem.dram.latency", CfgValue::U64(latency));
+        visit("mem.dram.bank_busy_cycles", CfgValue::U64(bank_busy_cycles));
+
+        let ScratchpadConfig {
+            size_bytes,
+            banks,
+            latency,
+        } = scratchpad;
+        visit("mem.scratchpad.size_bytes", CfgValue::U64(size_bytes));
+        visit("mem.scratchpad.banks", CfgValue::U64(banks.into()));
+        visit("mem.scratchpad.latency", CfgValue::U64(latency));
+
+        let LvcConfig { entries, latency } = lvc;
+        visit("mem.lvc.entries", CfgValue::U64(entries.into()));
+        visit("mem.lvc.latency", CfgValue::U64(latency));
+
+        let GpuConfig {
+            warp_width,
+            max_warps,
+            issue_latency,
+            alu_latency,
+            fpu_latency,
+            sfu_latency,
+            sfu_lanes,
+        } = *gpu;
+        visit("gpu.warp_width", CfgValue::U64(warp_width.into()));
+        visit("gpu.max_warps", CfgValue::U64(max_warps.into()));
+        visit("gpu.issue_latency", CfgValue::U64(issue_latency));
+        visit("gpu.alu_latency", CfgValue::U64(alu_latency));
+        visit("gpu.fpu_latency", CfgValue::U64(fpu_latency));
+        visit("gpu.sfu_latency", CfgValue::U64(sfu_latency));
+        visit("gpu.sfu_lanes", CfgValue::U64(sfu_lanes.into()));
+
+        let ClockConfig {
+            core_ghz,
+            interconnect_ghz,
+            l2_ghz,
+            dram_ghz,
+        } = *clocks;
+        visit("clocks.core_ghz", CfgValue::F64(core_ghz));
+        visit("clocks.interconnect_ghz", CfgValue::F64(interconnect_ghz));
+        visit("clocks.l2_ghz", CfgValue::F64(l2_ghz));
+        visit("clocks.dram_ghz", CfgValue::F64(dram_ghz));
+    }
+
     /// Renders the configuration as the paper's Table 2.
     #[must_use]
     pub fn to_table(&self) -> String {
@@ -517,6 +731,31 @@ mod tests {
             }
             assert!(t.contains(needle), "table missing {needle}: {t}");
         }
+    }
+
+    #[test]
+    fn visit_fields_covers_every_leaf_with_unique_names() {
+        let mut fields = Vec::new();
+        SystemConfig::default().visit_fields(&mut |name, v| fields.push((name, v)));
+        // 6 grid + 7 fabric + 7 latencies + 14 cache + 4 dram + 3 scratchpad
+        // + 2 lvc + 7 gpu + 4 clocks = 54 leaves.
+        assert_eq!(fields.len(), 54);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate field names");
+        assert!(fields
+            .iter()
+            .any(|&(n, v)| n == "fabric.token_buffer_entries" && v == CfgValue::U64(16)));
+        assert!(fields
+            .iter()
+            .any(|&(n, v)| n == "clocks.core_ghz" && v == CfgValue::F64(1.4)));
+        assert!(
+            fields
+                .iter()
+                .any(|&(n, v)| n == "mem.l1.write_policy"
+                    && v == CfgValue::Tag("write_back_allocate"))
+        );
     }
 
     #[test]

@@ -89,6 +89,15 @@ mod tests {
     }
 
     #[test]
+    fn arch_keys_round_trip() {
+        for a in Arch::ALL {
+            assert_eq!(a.key().parse::<Arch>().unwrap(), a);
+            assert_eq!(a.to_string().parse::<Arch>().unwrap(), a);
+        }
+        assert!("voodoo".parse::<Arch>().is_err());
+    }
+
+    #[test]
     fn mt_cgra_rejects_comm_kernels() {
         let k = comm_kernel(32);
         let m = Machine::new(Arch::MtCgra, SystemConfig::default());

@@ -36,6 +36,33 @@ impl Arch {
             Arch::DmtCgra => ArchKind::DmtCgra,
         }
     }
+
+    /// A stable machine-readable identifier, used by job descriptors and
+    /// JSON artifacts (`Display` is the human-facing paper name).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Arch::FermiSm => "fermi_sm",
+            Arch::MtCgra => "mt_cgra",
+            Arch::DmtCgra => "dmt_cgra",
+        }
+    }
+}
+
+impl std::str::FromStr for Arch {
+    type Err = String;
+
+    /// Parses either the stable [`Arch::key`] form or the paper name.
+    fn from_str(s: &str) -> std::result::Result<Arch, String> {
+        match s {
+            "fermi_sm" | "Fermi SM" => Ok(Arch::FermiSm),
+            "mt_cgra" | "MT-CGRA" => Ok(Arch::MtCgra),
+            "dmt_cgra" | "dMT-CGRA" => Ok(Arch::DmtCgra),
+            other => Err(format!(
+                "unknown architecture {other:?}; expected fermi_sm, mt_cgra or dmt_cgra"
+            )),
+        }
+    }
 }
 
 impl fmt::Display for Arch {

@@ -1,0 +1,524 @@
+//! Versioned JSON artifacts: the machine-readable record of a run.
+//!
+//! The build environment is hermetic (no serde), so this module carries a
+//! deliberately tiny JSON document model ([`Json`]) and serializer —
+//! objects preserve insertion order, strings are escaped per RFC 8259,
+//! floats print in Rust's shortest round-trip form.
+//!
+//! # Artifact schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "generator": "dmt-runner",
+//!   "suite": "fig11_speedup",                 // producing harness
+//!   "meta": {
+//!     "threads": 2,                           // worker count used
+//!     "wall_ms": 1234,                        // wall-clock of the pool run
+//!     "seed": 42
+//!   },
+//!   "jobs": [                                 // one entry per job, in job order
+//!     {
+//!       "index": 0,
+//!       "bench": "scan",
+//!       "arch": "fermi_sm",                   // Arch::key()
+//!       "seed": 42,
+//!       "config_hash": "0x9c1d...",           // stable SystemConfig hash
+//!       "job_hash": "0x03fa...",              // stable (bench, arch, seed, config) hash
+//!       "status": "ok",                       // "ok" | "infeasible"
+//!       "error": "...",                       // present iff status == "infeasible"
+//!       "kernel": "scan_naive",               // present iff status == "ok", as are:
+//!       "cycles": 123456,
+//!       "total_j": 1.25e-6,
+//!       "energy": { "compute_j": ..., "fetch_decode_j": ..., "register_file_j": ...,
+//!                   "token_transport_j": ..., "scratchpad_j": ..., "cache_j": ...,
+//!                   "dram_j": ..., "static_j": ... },
+//!       "stats": { "<every RunStats counter>": <u64>, ... }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Everything under `"jobs"` is deterministic — independent of thread
+//! count, wall clock and host — which is what makes artifacts diffable
+//! across runs; the volatile parts are quarantined under `"meta"`.
+
+use crate::job::{JobOutcome, JobSpec};
+use dmt_common::stats::RunStats;
+use dmt_core::energy::EnergyReport;
+use std::fmt::Write as _;
+
+/// The schema version emitted by this writer.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A JSON document: the minimal value model the artifact writer needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (all counters are u64).
+    U64(u64),
+    /// A float, serialized in shortest round-trip form.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a key to an object (panics on non-objects — construction
+    /// bugs, not data).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(entries) => entries.push((key.to_owned(), value.into())),
+            _ => panic!("Json::with on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is shortest-round-trip but renders
+                    // integral values without a decimal point; keep them
+                    // unambiguously floats.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional spelling.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Serializes every [`RunStats`] counter (exhaustive destructuring: a new
+/// counter cannot be added without entering the artifact).
+#[must_use]
+pub fn stats_json(s: &RunStats) -> Json {
+    let RunStats {
+        cycles,
+        threads_retired,
+        phases,
+        alu_ops,
+        fpu_ops,
+        special_ops,
+        control_ops,
+        sju_ops,
+        elevator_ops,
+        elevator_const_tokens,
+        eldst_forwards,
+        tokens_routed,
+        noc_hops,
+        token_buffer_writes,
+        backpressure_cycles,
+        global_loads,
+        global_stores,
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        dram_reads,
+        dram_writes,
+        shared_loads,
+        shared_stores,
+        shared_bank_conflicts,
+        lvc_reads,
+        lvc_writes,
+        gpu_instructions,
+        gpu_thread_instructions,
+        register_reads,
+        register_writes,
+        barrier_wait_cycles,
+        barriers,
+        gpu_stall_cycles,
+    } = *s;
+    Json::obj()
+        .with("cycles", cycles)
+        .with("threads_retired", threads_retired)
+        .with("phases", phases)
+        .with("alu_ops", alu_ops)
+        .with("fpu_ops", fpu_ops)
+        .with("special_ops", special_ops)
+        .with("control_ops", control_ops)
+        .with("sju_ops", sju_ops)
+        .with("elevator_ops", elevator_ops)
+        .with("elevator_const_tokens", elevator_const_tokens)
+        .with("eldst_forwards", eldst_forwards)
+        .with("tokens_routed", tokens_routed)
+        .with("noc_hops", noc_hops)
+        .with("token_buffer_writes", token_buffer_writes)
+        .with("backpressure_cycles", backpressure_cycles)
+        .with("global_loads", global_loads)
+        .with("global_stores", global_stores)
+        .with("l1_hits", l1_hits)
+        .with("l1_misses", l1_misses)
+        .with("l2_hits", l2_hits)
+        .with("l2_misses", l2_misses)
+        .with("dram_reads", dram_reads)
+        .with("dram_writes", dram_writes)
+        .with("shared_loads", shared_loads)
+        .with("shared_stores", shared_stores)
+        .with("shared_bank_conflicts", shared_bank_conflicts)
+        .with("lvc_reads", lvc_reads)
+        .with("lvc_writes", lvc_writes)
+        .with("gpu_instructions", gpu_instructions)
+        .with("gpu_thread_instructions", gpu_thread_instructions)
+        .with("register_reads", register_reads)
+        .with("register_writes", register_writes)
+        .with("barrier_wait_cycles", barrier_wait_cycles)
+        .with("barriers", barriers)
+        .with("gpu_stall_cycles", gpu_stall_cycles)
+}
+
+/// Serializes an energy breakdown (exhaustive, like [`stats_json`]).
+#[must_use]
+pub fn energy_json(e: &EnergyReport) -> Json {
+    let EnergyReport {
+        compute_j,
+        fetch_decode_j,
+        register_file_j,
+        token_transport_j,
+        scratchpad_j,
+        cache_j,
+        dram_j,
+        static_j,
+    } = *e;
+    Json::obj()
+        .with("compute_j", compute_j)
+        .with("fetch_decode_j", fetch_decode_j)
+        .with("register_file_j", register_file_j)
+        .with("token_transport_j", token_transport_j)
+        .with("scratchpad_j", scratchpad_j)
+        .with("cache_j", cache_j)
+        .with("dram_j", dram_j)
+        .with("static_j", static_j)
+}
+
+/// One run's worth of jobs plus the volatile metadata, ready to write.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The producing harness (e.g. `"fig11_speedup"`).
+    pub suite: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of the pool run, in milliseconds.
+    pub wall_ms: u64,
+    /// Headline seed.
+    pub seed: u64,
+    /// Specs and their outcomes, in job order.
+    pub jobs: Vec<(JobSpec, JobOutcome)>,
+}
+
+impl Artifact {
+    /// Assembles an artifact from parallel spec/outcome vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors disagree in length (a harness bug).
+    #[must_use]
+    pub fn new(
+        suite: impl Into<String>,
+        threads: usize,
+        wall_ms: u64,
+        seed: u64,
+        specs: Vec<JobSpec>,
+        outcomes: Vec<JobOutcome>,
+    ) -> Artifact {
+        assert_eq!(specs.len(), outcomes.len(), "spec/outcome length mismatch");
+        Artifact {
+            suite: suite.into(),
+            threads,
+            wall_ms,
+            seed,
+            jobs: specs.into_iter().zip(outcomes).collect(),
+        }
+    }
+
+    /// The deterministic `"jobs"` array: thread-count- and host-invariant.
+    #[must_use]
+    pub fn jobs_json(&self) -> Json {
+        Json::Arr(
+            self.jobs
+                .iter()
+                .enumerate()
+                .map(|(index, (spec, outcome))| {
+                    let mut j = Json::obj()
+                        .with("index", index)
+                        .with("bench", spec.bench.as_str())
+                        .with("arch", spec.arch.key())
+                        .with("seed", spec.seed)
+                        .with("config_hash", format!("{:#018x}", spec.config_hash()))
+                        .with("job_hash", format!("{:#018x}", spec.job_hash()))
+                        .with("status", outcome.status());
+                    match outcome {
+                        JobOutcome::Infeasible(e) => j = j.with("error", e.as_str()),
+                        JobOutcome::Completed(m) => {
+                            j = j
+                                .with("kernel", m.kernel.as_str())
+                                .with("cycles", m.cycles())
+                                .with("total_j", m.total_joules())
+                                .with("energy", energy_json(&m.energy))
+                                .with("stats", stats_json(&m.stats));
+                        }
+                    }
+                    j
+                })
+                .collect(),
+        )
+    }
+
+    /// The complete document, schema version 1 (see the module docs).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("generator", "dmt-runner")
+            .with("suite", self.suite.as_str())
+            .with(
+                "meta",
+                Json::obj()
+                    .with("threads", self.threads)
+                    .with("wall_ms", self.wall_ms)
+                    .with("seed", self.seed),
+            )
+            .with("jobs", self.jobs_json())
+    }
+
+    /// Writes the rendered document to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_json(path, &self.to_json())
+    }
+}
+
+/// Writes any [`Json`] document to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.render())
+}
+
+/// [`write_json`] with the experiment binaries' shared `--json` policy:
+/// panic on failure (a requested recording must never be dropped with
+/// exit 0), one uniform stderr line on success.
+///
+/// # Panics
+///
+/// Panics when the document cannot be written.
+pub fn write_json_logged(path: &std::path::Path, doc: &Json) {
+    write_json(path, doc).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("[dmt-runner] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::{Arch, SystemConfig};
+
+    #[test]
+    fn renders_escapes_and_numbers() {
+        let doc = Json::obj()
+            .with("s", "a\"b\\c\nd")
+            .with("i", 42u64)
+            .with("f", 1.5)
+            .with("whole", 2.0)
+            .with("nan", f64::NAN)
+            .with("arr", vec![Json::U64(1), Json::Null])
+            .with("empty", Json::obj());
+        let text = doc.render();
+        assert!(text.contains(r#""s": "a\"b\\c\nd""#), "{text}");
+        assert!(text.contains("\"i\": 42"), "{text}");
+        assert!(text.contains("\"f\": 1.5"), "{text}");
+        assert!(text.contains("\"whole\": 2.0"), "{text}");
+        assert!(text.contains("\"nan\": null"), "{text}");
+        assert!(text.contains("\"empty\": {}"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn artifact_document_shape() {
+        use crate::job::JobMetrics;
+        let spec = JobSpec::new("scan", Arch::DmtCgra, SystemConfig::default(), 42);
+        let ok = JobOutcome::completed(JobMetrics {
+            kernel: "scan_naive".into(),
+            stats: dmt_common::stats::RunStats {
+                cycles: 10,
+                ..Default::default()
+            },
+            energy: dmt_core::energy::EnergyReport::default(),
+        });
+        let bad = JobOutcome::Infeasible("window too small".into());
+        let art = Artifact::new("unit", 2, 5, 42, vec![spec.clone(), spec], vec![ok, bad]);
+        let text = art.to_json().render();
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        assert!(text.contains("\"suite\": \"unit\""), "{text}");
+        assert!(text.contains("\"status\": \"ok\""), "{text}");
+        assert!(text.contains("\"status\": \"infeasible\""), "{text}");
+        assert!(text.contains("\"error\": \"window too small\""), "{text}");
+        assert!(text.contains("\"cycles\": 10"), "{text}");
+        assert!(text.contains("\"config_hash\": \"0x"), "{text}");
+    }
+
+    #[test]
+    fn jobs_json_has_no_volatile_fields() {
+        let spec = JobSpec::new("scan", Arch::FermiSm, SystemConfig::default(), 1);
+        let art = Artifact::new(
+            "unit",
+            8,
+            999,
+            1,
+            vec![spec],
+            vec![JobOutcome::Infeasible("x".into())],
+        );
+        let jobs = art.jobs_json().render();
+        assert!(!jobs.contains("wall_ms"));
+        assert!(!jobs.contains("threads"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The shared command-line surface of every experiment binary.
+//!
+//! All `dmt-bench` binaries accept the same runner flags:
+//!
+//! * `--threads N` — worker count (default: `DMT_THREADS`, else all cores);
+//! * `--json PATH` — also write the versioned JSON artifact to `PATH`;
+//! * `--progress` — live per-job progress on stderr (or `DMT_PROGRESS=1`);
+//! * `--smoke` — reduced suite, where the binary supports it.
+//!
+//! Unrecognized arguments are passed through in order (`rest`) for
+//! binary-specific positionals (e.g. `sweep_csv token_buffer`).
+
+use std::path::PathBuf;
+
+/// Parsed runner arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunnerArgs {
+    /// `--threads N`: requested worker count.
+    pub threads: Option<usize>,
+    /// `--json PATH`: artifact destination.
+    pub json: Option<PathBuf>,
+    /// `--smoke`: reduced suite.
+    pub smoke: bool,
+    /// `--progress`: live stderr progress.
+    pub progress: bool,
+    /// Positional / binary-specific arguments, in order.
+    pub rest: Vec<String>,
+}
+
+impl RunnerArgs {
+    /// Parses the process arguments (`std::env::args`, program name
+    /// skipped), exiting with status 2 on malformed flags.
+    #[must_use]
+    pub fn from_env() -> RunnerArgs {
+        match RunnerArgs::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--threads N] [--json PATH] [--progress] [--smoke] [args...]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a missing or malformed flag value.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<RunnerArgs, String> {
+        let mut out = RunnerArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => out.smoke = true,
+                "--progress" => out.progress = true,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = Some(parse_threads(&v)?);
+                }
+                s if s.starts_with("--threads=") => {
+                    out.threads = Some(parse_threads(&s["--threads=".len()..])?);
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a value")?;
+                    out.json = Some(PathBuf::from(v));
+                }
+                s if s.starts_with("--json=") => {
+                    out.json = Some(PathBuf::from(&s["--json=".len()..]));
+                }
+                // A misspelled flag must not silently degrade the run
+                // (e.g. `--thread 8` quietly using all cores); only bare
+                // positionals pass through to the binary.
+                s if s.starts_with("--") => return Err(format!("unknown flag {s}")),
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The effective worker count: `--threads`, else `DMT_THREADS`, else
+    /// the machine's available parallelism (min 1).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// The progress reporter these arguments ask for: `--progress` forces
+    /// it on, otherwise the `DMT_PROGRESS` environment variable decides.
+    #[must_use]
+    pub fn progress_reporter(&self) -> crate::Progress {
+        if self.progress {
+            crate::Progress::new(true)
+        } else {
+            crate::Progress::from_env()
+        }
+    }
+
+    /// Exits with status 2 when `--json` was passed to a binary that has
+    /// no machine-readable output — a requested recording must never be
+    /// silently dropped.
+    pub fn forbid_json(&self, binary: &str) {
+        if self.json.is_some() {
+            eprintln!("error: {binary} does not support --json (no job-grid artifact)");
+            std::process::exit(2);
+        }
+    }
+
+    /// Exits with status 2 when `--progress` was passed to a binary whose
+    /// runs bypass the job pool's progress hook.
+    pub fn forbid_progress(&self, binary: &str) {
+        if self.progress {
+            eprintln!("error: {binary} does not support --progress");
+            std::process::exit(2);
+        }
+    }
+
+    /// Exits with status 2 when `--smoke` was passed to a binary that has
+    /// no reduced suite.
+    pub fn forbid_smoke(&self, binary: &str) {
+        if self.smoke {
+            eprintln!("error: {binary} does not support --smoke");
+            std::process::exit(2);
+        }
+    }
+
+    /// Exits with status 2 when `--threads` was passed to a binary that
+    /// does not simulate anything (nothing to parallelize).
+    pub fn forbid_threads(&self, binary: &str) {
+        if self.threads.is_some() {
+            eprintln!("error: {binary} does not support --threads (no simulation grid)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("invalid thread count {v:?} (need an integer >= 1)")),
+    }
+}
+
+/// Resolves a worker count: explicit request > `DMT_THREADS` > available
+/// cores. Malformed environment values are ignored rather than fatal —
+/// an experiment must not die over a stale shell export.
+#[must_use]
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("DMT_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunnerArgs {
+        RunnerArgs::parse(args.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_all_flags_and_passthrough() {
+        let a = parse(&[
+            "--threads",
+            "4",
+            "--json",
+            "out/x.json",
+            "--smoke",
+            "--progress",
+            "token_buffer",
+        ]);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.json, Some(PathBuf::from("out/x.json")));
+        assert!(a.smoke && a.progress);
+        assert_eq!(a.rest, vec!["token_buffer"]);
+    }
+
+    #[test]
+    fn parses_inline_forms() {
+        let a = parse(&["--threads=2", "--json=artifacts/a.json"]);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.json, Some(PathBuf::from("artifacts/a.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_but_keeps_positionals() {
+        assert!(RunnerArgs::parse(["--thread".to_owned(), "8".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--Smoke".to_owned()]).is_err());
+        let a = parse(&["token_buffer"]);
+        assert_eq!(a.rest, vec!["token_buffer"]);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(RunnerArgs::parse(["--threads".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--threads".to_owned(), "0".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--threads=x".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--json".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn explicit_threads_win() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Job descriptors and results: one job is one `(benchmark, arch,
+//! config, seed)` point of an experiment grid.
+//!
+//! A [`JobSpec`] carries everything a shared-nothing worker needs to run
+//! the point from scratch — the benchmark is named, not referenced, so a
+//! spec is `Send` and hashable regardless of how the suite constructs its
+//! kernels. A [`JobOutcome`] deliberately does **not** carry the final
+//! memory image (it has already been validated by the leaf runner and
+//! would dominate the artifact size); it keeps the full event counters
+//! and energy breakdown, which is what every figure consumes.
+
+use crate::hash::{config_hash, StableHasher};
+use dmt_common::stats::RunStats;
+use dmt_core::energy::EnergyReport;
+use dmt_core::{Arch, RunReport, SystemConfig};
+
+/// One experiment point, self-describing and executable by any worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name as listed in Table 3 (`suite::all()` order).
+    pub bench: String,
+    /// Architecture to run on.
+    pub arch: Arch,
+    /// Full system configuration for this point.
+    pub cfg: SystemConfig,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A new job descriptor.
+    #[must_use]
+    pub fn new(bench: impl Into<String>, arch: Arch, cfg: SystemConfig, seed: u64) -> JobSpec {
+        JobSpec {
+            bench: bench.into(),
+            arch,
+            cfg,
+            seed,
+        }
+    }
+
+    /// Stable hash of the configuration alone (shared by every job of a
+    /// sweep point).
+    #[must_use]
+    pub fn config_hash(&self) -> u64 {
+        config_hash(&self.cfg)
+    }
+
+    /// Stable identity of the whole job: benchmark, architecture, seed
+    /// and every configuration field. Equal specs hash equal across
+    /// processes and platforms, so the hash can key caches and resumable
+    /// artifact trajectories.
+    #[must_use]
+    pub fn job_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.field_str("job.bench", &self.bench);
+        h.field_str("job.arch", self.arch.key());
+        h.field_u64("job.seed", self.seed);
+        h.field_u64("job.config", self.config_hash());
+        h.finish()
+    }
+}
+
+impl std::fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{} (seed {})", self.bench, self.arch, self.seed)
+    }
+}
+
+/// The measured side of a completed run: everything a figure needs,
+/// nothing a figure doesn't (the validated memory image is dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// Kernel name the machine actually executed.
+    pub kernel: String,
+    /// Event counters.
+    pub stats: RunStats,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+}
+
+impl JobMetrics {
+    /// Extracts the metrics from a full run report.
+    #[must_use]
+    pub fn from_report(report: &RunReport) -> JobMetrics {
+        JobMetrics {
+            kernel: report.kernel.clone(),
+            stats: report.stats,
+            energy: report.energy,
+        }
+    }
+
+    /// Execution time in core cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// What became of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The run completed and its output validated against the CPU
+    /// reference (boxed: metrics carry the full counter set, and
+    /// outcomes travel through result slots by value).
+    Completed(Box<JobMetrics>),
+    /// The point is infeasible (e.g. a kernel whose |ΔTID| exceeds the
+    /// swept window cannot compile); the message is the leaf error.
+    Infeasible(String),
+}
+
+impl JobOutcome {
+    /// Wraps completed-run metrics.
+    #[must_use]
+    pub fn completed(metrics: JobMetrics) -> JobOutcome {
+        JobOutcome::Completed(Box::new(metrics))
+    }
+
+    /// The metrics, when the job completed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match self {
+            JobOutcome::Completed(m) => Some(m.as_ref()),
+            JobOutcome::Infeasible(_) => None,
+        }
+    }
+
+    /// The error message, when the point was infeasible.
+    #[must_use]
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Infeasible(e) => Some(e),
+        }
+    }
+
+    /// `"ok"` or `"infeasible"` — the artifact status string.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed(_) => "ok",
+            JobOutcome::Infeasible(_) => "infeasible",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::new("scan", Arch::DmtCgra, SystemConfig::default(), 42)
+    }
+
+    #[test]
+    fn job_hash_distinguishes_every_component() {
+        let base = spec().job_hash();
+        let mut s = spec();
+        s.bench = "reduce".into();
+        assert_ne!(base, s.job_hash());
+        let mut s = spec();
+        s.arch = Arch::FermiSm;
+        assert_ne!(base, s.job_hash());
+        let mut s = spec();
+        s.seed = 43;
+        assert_ne!(base, s.job_hash());
+        let mut s = spec();
+        s.cfg.fabric.inflight_threads = 64;
+        assert_ne!(base, s.job_hash());
+        assert_eq!(base, spec().job_hash(), "equal specs hash equal");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let inf = JobOutcome::Infeasible("no".into());
+        assert_eq!(inf.status(), "infeasible");
+        assert_eq!(inf.error(), Some("no"));
+        assert!(inf.metrics().is_none());
+    }
+
+    #[test]
+    fn display_names_the_point() {
+        assert_eq!(spec().to_string(), "scan@dMT-CGRA (seed 42)");
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared-nothing worker pool with deterministic aggregation.
+//!
+//! Workers pull item indices from one atomic counter and run a
+//! caller-supplied executor; each result is stored into a slot addressed
+//! by the item's **original index**, never by completion order. The
+//! aggregated vector is therefore identical for any thread count — a
+//! parallel run is byte-for-byte the serial run, just faster.
+//!
+//! Workers share nothing but the counter and the result slots: the
+//! executor receives only the item, and is expected to build whatever
+//! heavyweight state it needs (machines, suites, kernels) from scratch
+//! per item. Simulations are seconds-long, so per-item setup is noise.
+
+use crate::job::{JobOutcome, JobSpec};
+use crate::progress::Progress;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over `0..n` on `threads` workers and returns the results in
+/// index order.
+///
+/// `threads == 1` runs inline on the calling thread (no pool, no locks):
+/// the serial baseline parallel runs are measured against.
+///
+/// # Panics
+///
+/// A panicking executor poisons the pool and propagates: the scope joins
+/// every worker before unwinding, so no result is silently dropped.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "worker pool needs at least one thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                slots.lock().expect("pool poisoned")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("pool poisoned")
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Executes a job list on the pool and aggregates outcomes by job index.
+///
+/// `exec` is the leaf runner (for the benchmark suite:
+/// `dmt_bench::execute_job`, which resolves the named benchmark, builds a
+/// fresh `Machine` and calls `try_run_one`). Progress, when provided, is
+/// reported in completion order on stderr; stdout-facing results are
+/// index-ordered and thread-count-invariant.
+pub fn run_jobs<F>(
+    jobs: &[JobSpec],
+    threads: usize,
+    progress: Option<&Progress>,
+    exec: F,
+) -> Vec<JobOutcome>
+where
+    F: Fn(&JobSpec) -> JobOutcome + Sync,
+{
+    if let Some(p) = progress {
+        p.begin(jobs.len());
+    }
+    run_indexed(jobs.len(), threads, |i| {
+        let outcome = exec(&jobs[i]);
+        if let Some(p) = progress {
+            p.completed(&jobs[i], &outcome);
+        }
+        outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn results_are_index_ordered_for_any_thread_count() {
+        let f = |i: usize| i * i;
+        let serial = run_indexed(33, 1, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_indexed(33, threads, f), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = Mutex::new(Vec::new());
+        let _ = run_indexed(100, 4, |i| {
+            hits.lock().unwrap().push(i);
+            i
+        });
+        let hits = hits.into_inner().unwrap();
+        assert_eq!(hits.len(), 100);
+        assert_eq!(hits.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn serial_runs_inline_and_parallel_runs_on_workers() {
+        let me = std::thread::current().id();
+        let ids = run_indexed(4, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == me), "threads=1 must run inline");
+        let ids = run_indexed(4, 2, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id != me),
+            "threads>1 must run on spawned workers"
+        );
+    }
+
+    #[test]
+    fn zero_and_one_item_edge_cases() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Live progress reporting on stderr.
+//!
+//! Progress is inherently completion-ordered, so it goes to **stderr**
+//! only: stdout (tables, figures, CSV) and JSON artifacts stay
+//! thread-count-invariant. Reporting is off by default to keep CI logs
+//! clean; binaries enable it with `--progress` or `DMT_PROGRESS=1`.
+
+use crate::job::{JobOutcome, JobSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Completion-ordered job ticker.
+#[derive(Debug, Default)]
+pub struct Progress {
+    enabled: bool,
+    total: AtomicUsize,
+    done: AtomicUsize,
+}
+
+impl Progress {
+    /// A reporter that prints when `enabled` (chain with
+    /// [`Progress::from_env`] for the `DMT_PROGRESS` override).
+    #[must_use]
+    pub fn new(enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enabled when the `DMT_PROGRESS` environment variable is set to
+    /// anything but `0` or empty.
+    #[must_use]
+    pub fn from_env() -> Progress {
+        let on = std::env::var("DMT_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0");
+        Progress::new(on)
+    }
+
+    /// Whether this reporter prints at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Resets the ticker for a run of `total` jobs.
+    pub fn begin(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        if self.enabled && total > 0 {
+            eprintln!("[dmt-runner] {total} jobs queued");
+        }
+    }
+
+    /// Records (and, when enabled, prints) one completed job.
+    pub fn completed(&self, spec: &JobSpec, outcome: &JobOutcome) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let total = self.total.load(Ordering::Relaxed);
+        match outcome {
+            JobOutcome::Completed(m) => {
+                eprintln!(
+                    "[dmt-runner] [{done}/{total}] {spec}: {} cycles",
+                    m.cycles()
+                );
+            }
+            JobOutcome::Infeasible(e) => {
+                eprintln!("[dmt-runner] [{done}/{total}] {spec}: infeasible ({e})");
+            }
+        }
+    }
+
+    /// Jobs completed so far.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::{Arch, SystemConfig};
+
+    #[test]
+    fn counts_without_printing_when_disabled() {
+        let p = Progress::new(false);
+        p.begin(2);
+        let spec = JobSpec::new("scan", Arch::DmtCgra, SystemConfig::default(), 1);
+        p.completed(&spec, &JobOutcome::Infeasible("x".into()));
+        p.completed(&spec, &JobOutcome::Infeasible("x".into()));
+        assert_eq!(p.done(), 2);
+        assert!(!p.is_enabled());
+    }
+}

@@ -1,0 +1,102 @@
+//! The parallel runner's central contract: aggregated results are
+//! **byte-identical** for any worker count — a parallel suite run is the
+//! serial run, only faster. Exercised over the CI smoke grid (first
+//! three Table 3 benchmarks × all three machines).
+
+use dmt_bench::{fig11_report, fig12_report, run_suite_pooled, suite_jobs, SEED};
+use dmt_core::SystemConfig;
+use dmt_runner::Artifact;
+
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let cfg = SystemConfig::default();
+    let serial = run_suite_pooled(cfg, SEED, 3, 1, None);
+    let parallel = run_suite_pooled(cfg, SEED, 3, 4, None);
+
+    // Same grid, same outcomes, in the same order.
+    assert_eq!(serial.jobs, parallel.jobs);
+    assert_eq!(serial.outcomes, parallel.outcomes);
+
+    // Every point of the default configuration is feasible — a run that
+    // errors here is a regression, not an annotatable design point (the
+    // headline binaries exit nonzero on it; this pins the same contract).
+    assert!(
+        serial.outcomes.iter().all(|o| o.metrics().is_some()),
+        "default-config suite must complete on every machine"
+    );
+
+    // Rendered figures agree byte-for-byte.
+    assert_eq!(fig11_report(&serial.rows()), fig11_report(&parallel.rows()));
+    assert_eq!(fig12_report(&serial.rows()), fig12_report(&parallel.rows()));
+
+    // The deterministic part of the artifact agrees byte-for-byte (the
+    // volatile wall-clock/thread metadata lives outside "jobs").
+    let serial_jobs = serial.artifact("smoke").jobs_json().render();
+    let parallel_jobs = parallel.artifact("smoke").jobs_json().render();
+    assert_eq!(serial_jobs, parallel_jobs);
+}
+
+#[test]
+fn artifact_records_every_job_with_stable_hashes() {
+    let cfg = SystemConfig::default();
+    let run = run_suite_pooled(cfg, SEED, 2, 2, None);
+    let art = run.artifact("smoke");
+    let text = art.to_json().render();
+
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"suite\": \"smoke\""), "{text}");
+    for needle in [
+        "\"bench\": \"scan\"",
+        "\"bench\": \"matrixMul\"",
+        "\"arch\": \"fermi_sm\"",
+        "\"arch\": \"mt_cgra\"",
+        "\"arch\": \"dmt_cgra\"",
+        "\"status\": \"ok\"",
+        "\"cycles\":",
+        "\"total_j\":",
+        "\"config_hash\": \"0x",
+        "\"job_hash\": \"0x",
+    ] {
+        assert!(text.contains(needle), "artifact missing {needle}: {text}");
+    }
+
+    // All six jobs share one config, hence one config hash; job hashes
+    // are pairwise distinct.
+    let hashes: Vec<u64> = run.jobs.iter().map(|j| j.job_hash()).collect();
+    let mut unique = hashes.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), hashes.len());
+    let cfg_hashes: Vec<u64> = run.jobs.iter().map(|j| j.config_hash()).collect();
+    assert!(cfg_hashes.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn artifact_round_trips_through_a_rebuild() {
+    // The artifact constructor is pure over (specs, outcomes): rebuilding
+    // from the same run yields the same document, including hashes.
+    let run = run_suite_pooled(SystemConfig::default(), SEED, 1, 2, None);
+    let a = Artifact::new(
+        "x",
+        run.threads,
+        run.wall_ms,
+        run.seed,
+        run.jobs.clone(),
+        run.outcomes.clone(),
+    );
+    let b = run.artifact("x");
+    assert_eq!(a.to_json().render(), b.to_json().render());
+}
+
+#[test]
+fn suite_jobs_grid_is_stable() {
+    // The job grid itself (order and hashes) must not depend on ambient
+    // state — two constructions are identical.
+    let a = suite_jobs(SystemConfig::default(), SEED, 9);
+    let b = suite_jobs(SystemConfig::default(), SEED, 9);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 27);
+    let ha: Vec<u64> = a.iter().map(dmt_runner::JobSpec::job_hash).collect();
+    let hb: Vec<u64> = b.iter().map(dmt_runner::JobSpec::job_hash).collect();
+    assert_eq!(ha, hb);
+}
