@@ -22,13 +22,23 @@ lint:
 fmt:
 	cargo fmt
 
-# CI job: example + bench smoke (parallel runner + JSON artifact, mirroring
-# the bench-artifact CI job)
+# CI job: example + bench smoke (parallel runner + JSON artifact + result
+# cache, mirroring the bench-artifact CI job: cold run fills the cache, the
+# warm rerun must hit for every job and reproduce the jobs array exactly).
+# The smoke cache is wiped first so the cold run is genuinely cold — the
+# job_hash key does not cover simulator sources, and a stale cache would
+# report pre-edit numbers (CI gets the same guarantee by keying its
+# persisted cache on the hash of every .rs file).
 bench-smoke:
 	cargo run --release --locked --example quickstart
 	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- --smoke
+	rm -rf artifacts/smoke-cache
 	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- \
-		--smoke --threads 2 --json artifacts/smoke.json
+		--smoke --threads 2 --json artifacts/smoke.json --cache artifacts/smoke-cache
+	cargo run --release --locked -p dmt-bench --bin fig11_speedup -- \
+		--smoke --threads 2 --json artifacts/smoke-warm.json --cache artifacts/smoke-cache
+	python3 ci/bench_regress.py artifacts/smoke.json artifacts/smoke-warm.json \
+		--require-identical
 
 clean:
 	cargo clean

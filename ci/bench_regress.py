@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Performance gate over two dmt-runner artifacts.
+
+Usage:
+    bench_regress.py BASELINE.json NEW.json [--threshold 1.05]
+    bench_regress.py A.json B.json --require-identical
+
+Compares per-job cycle counts between a baseline artifact and a new one,
+matching jobs on their stable ``job_hash`` and only at identical
+``config_hash`` (a config change is a different experiment, not a
+regression). Fails (exit 1) when any matched job's cycles grew by more
+than the threshold. Skips cleanly (exit 0, message) when the baseline is
+missing or unreadable — the first run of a fresh repository has nothing
+to compare against.
+
+``--require-identical`` is the warm-cache gate: it asserts the two
+artifacts' deterministic ``jobs`` arrays are exactly equal (the rest of
+the document — ``meta.wall_ms`` — is volatile by design).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def jobs_by_hash(doc):
+    out = {}
+    for job in doc.get("jobs", []):
+        out[job["job_hash"]] = job
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=1.05,
+                    help="max allowed cycles ratio new/baseline (default 1.05)")
+    ap.add_argument("--require-identical", action="store_true",
+                    help="fail unless the two jobs arrays are exactly equal")
+    args = ap.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+    except (OSError, json.JSONDecodeError) as e:
+        if args.require_identical:
+            print(f"bench-regress: cannot read {args.baseline}: {e}", file=sys.stderr)
+            return 1
+        print(f"bench-regress: no baseline ({e}); skipping cleanly")
+        return 0
+    new = load(args.new)
+
+    if args.require_identical:
+        if baseline.get("jobs") == new.get("jobs"):
+            print(f"bench-regress: jobs arrays identical "
+                  f"({len(new.get('jobs', []))} jobs)")
+            return 0
+        print("bench-regress: jobs arrays DIFFER between "
+              f"{args.baseline} and {args.new}", file=sys.stderr)
+        return 1
+
+    base_jobs = jobs_by_hash(baseline)
+    compared = 0
+    regressions = []
+    for job in new.get("jobs", []):
+        old = base_jobs.get(job["job_hash"])
+        if old is None:
+            continue  # new experiment point: nothing to gate against
+        if old.get("config_hash") != job.get("config_hash"):
+            continue  # different configuration: not comparable
+        if old.get("status") != "ok" or job.get("status") != "ok":
+            continue
+        compared += 1
+        ratio = job["cycles"] / old["cycles"] if old["cycles"] else float("inf")
+        marker = " <-- REGRESSION" if ratio > args.threshold else ""
+        print(f"  {job['bench']}@{job['arch']}: {old['cycles']} -> "
+              f"{job['cycles']} cycles ({ratio:.4f}x){marker}")
+        if ratio > args.threshold:
+            regressions.append((job, ratio))
+
+    if compared == 0:
+        print("bench-regress: no comparable jobs (all points changed config); skipping")
+        return 0
+    if regressions:
+        print(f"bench-regress: {len(regressions)} of {compared} jobs regressed "
+              f"beyond {args.threshold:.2f}x:", file=sys.stderr)
+        for job, ratio in regressions:
+            print(f"  {job['bench']}@{job['arch']} ({job['job_hash']}): "
+                  f"{ratio:.4f}x", file=sys.stderr)
+        return 1
+    print(f"bench-regress: {compared} jobs within {args.threshold:.2f}x; OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

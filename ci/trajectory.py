@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Appends one run's smoke artifact to the BENCH_trajectory.json series.
+
+Usage:
+    trajectory.py TRAJECTORY.json ARTIFACT.json --sha SHA --run-id ID
+
+The trajectory is the perf-over-time record the CI ``bench-artifact``
+job carries forward from push to push (restored from the previous run,
+appended to, re-uploaded): one entry per push, each holding the
+deterministic per-job cycles/energy of the smoke suite keyed by stable
+``job_hash``/``config_hash``, so any two points in history are
+comparable job-by-job. Creates the trajectory on first use.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trajectory")
+    ap.add_argument("artifact")
+    ap.add_argument("--sha", required=True)
+    ap.add_argument("--run-id", required=True)
+    args = ap.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as f:
+        artifact = json.load(f)
+
+    try:
+        with open(args.trajectory, encoding="utf-8") as f:
+            trajectory = json.load(f)
+        if trajectory.get("schema_version") != TRAJECTORY_SCHEMA_VERSION:
+            print(f"trajectory: schema {trajectory.get('schema_version')} != "
+                  f"{TRAJECTORY_SCHEMA_VERSION}; starting fresh", file=sys.stderr)
+            raise OSError("schema mismatch")
+    except (OSError, json.JSONDecodeError):
+        trajectory = {
+            "schema_version": TRAJECTORY_SCHEMA_VERSION,
+            "generator": "dmt-runner-ci",
+            "kind": "bench_trajectory",
+            "entries": [],
+        }
+
+    entry = {
+        "sha": args.sha,
+        "run_id": args.run_id,
+        "suite": artifact.get("suite"),
+        "jobs": [
+            {
+                "bench": j["bench"],
+                "arch": j["arch"],
+                "config_hash": j["config_hash"],
+                "job_hash": j["job_hash"],
+                "status": j["status"],
+                **({"cycles": j["cycles"], "total_j": j["total_j"]}
+                   if j.get("status") == "ok" else {}),
+            }
+            for j in artifact.get("jobs", [])
+        ],
+    }
+    # Re-running the same commit (e.g. a workflow re-run) replaces its
+    # entry instead of duplicating the series.
+    trajectory["entries"] = [
+        e for e in trajectory["entries"] if e.get("sha") != args.sha
+    ]
+    trajectory["entries"].append(entry)
+
+    parent = os.path.dirname(args.trajectory)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.trajectory, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"trajectory: {len(trajectory['entries'])} entries "
+          f"(appended {args.sha[:12]}, {len(entry['jobs'])} jobs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

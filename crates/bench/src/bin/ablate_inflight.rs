@@ -11,7 +11,9 @@
 //!
 //! The whole sweep (7 windows × 9 benchmarks × 3 machines = 189 jobs) is
 //! one flat `dmt-runner` grid: `--threads N` parallelizes it while the
-//! printed table stays byte-identical. `--json PATH` records every job.
+//! printed table stays byte-identical. `--json PATH` records every job;
+//! `--cache DIR` (or `DMT_CACHE`) makes the sweep resumable and skips
+//! previously-completed points.
 
 use dmt_bench::{geomean_rows, RowOutcome, SEED};
 use dmt_core::SystemConfig;
@@ -23,6 +25,7 @@ fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_smoke("ablate_inflight");
     let progress = args.progress_reporter();
+    let cache = args.cache_store();
     let jobs: Vec<_> = WINDOWS
         .iter()
         .flat_map(|&w| {
@@ -32,7 +35,13 @@ fn main() {
         })
         .collect();
     let per_window = jobs.len() / WINDOWS.len();
-    let run = dmt_bench::run_jobs_pooled(jobs, SEED, args.effective_threads(), Some(&progress));
+    let run = dmt_bench::run_jobs_pooled(
+        jobs,
+        SEED,
+        args.effective_threads(),
+        Some(&progress),
+        cache.as_ref(),
+    );
 
     println!("Ablation: in-flight thread window\n");
     println!("{:>8} {:>12} {:>12}", "window", "dMT geomean", "MT geomean");
@@ -58,4 +67,7 @@ fn main() {
         );
     }
     run.write_artifact(&args, "ablate_inflight");
+    if let Some(c) = &cache {
+        c.report();
+    }
 }

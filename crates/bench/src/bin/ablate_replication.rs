@@ -26,6 +26,7 @@ fn main() {
     args.forbid_smoke("ablate_replication");
     args.forbid_json("ablate_replication");
     args.forbid_progress("ablate_replication");
+    args.forbid_cache("ablate_replication");
     let cfg = SystemConfig::default();
     let n = suite::all().len();
     let rows = dmt_runner::run_indexed(n, args.effective_threads(), |i| {

@@ -34,6 +34,7 @@ fn main() {
     args.forbid_smoke("ablate_token_buffer");
     args.forbid_json("ablate_token_buffer");
     args.forbid_progress("ablate_token_buffer");
+    args.forbid_cache("ablate_token_buffer");
     let per_buffer = benches().len();
     let n = BUFFERS.len() * per_buffer;
     let rows = dmt_runner::run_indexed(n, args.effective_threads(), |i| {

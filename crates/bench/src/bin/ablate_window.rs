@@ -44,6 +44,7 @@ fn main() {
     args.forbid_smoke("ablate_window");
     args.forbid_json("ablate_window");
     args.forbid_progress("ablate_window");
+    args.forbid_cache("ablate_window");
     let n = 1024u32;
     let rows = dmt_runner::run_indexed(WINDOWS.len(), args.effective_threads(), |i| {
         let win = WINDOWS[i];

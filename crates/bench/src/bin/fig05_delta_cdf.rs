@@ -27,6 +27,7 @@ fn main() {
     args.forbid_smoke("fig05_delta_cdf");
     args.forbid_threads("fig05_delta_cdf");
     args.forbid_progress("fig05_delta_cdf");
+    args.forbid_cache("fig05_delta_cdf");
     let sites = suite_comm_sites();
     println!(
         "Figure 5: CDF of transmission distances ({} communication sites, \

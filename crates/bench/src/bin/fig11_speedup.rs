@@ -6,7 +6,10 @@
 //! for any choice. Infeasible points are annotated inline instead of
 //! aborting the suite. Pass `--smoke` to run only the first three
 //! benchmarks (the CI smoke job uses this), `--json PATH` for the
-//! versioned artifact, `--progress` for a live stderr ticker.
+//! versioned artifact, `--progress` for a live stderr ticker, and
+//! `--cache DIR` (or `DMT_CACHE`) to serve completed jobs from the
+//! content-addressed result cache — a warm rerun simulates nothing and
+//! prints the same bytes.
 
 use dmt_bench::{fig11_report, run_suite_pooled, SEED};
 use dmt_core::SystemConfig;
@@ -17,16 +20,21 @@ fn main() {
     let take = if args.smoke { 3 } else { usize::MAX };
     let threads = args.effective_threads();
     let progress = args.progress_reporter();
+    let cache = args.cache_store();
     let run = run_suite_pooled(
         SystemConfig::default(),
         SEED,
         take,
         threads,
         Some(&progress),
+        cache.as_ref(),
     );
     let rows = run.rows();
     print!("{}", fig11_report(&rows));
     println!("\nSee EXPERIMENTS.md for the paper-vs-measured discussion.");
     run.write_artifact(&args, "fig11_speedup");
+    if let Some(c) = &cache {
+        c.report();
+    }
     dmt_bench::exit_on_incomplete(&rows);
 }

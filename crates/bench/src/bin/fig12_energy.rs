@@ -3,7 +3,8 @@
 //!
 //! Pool-parallel (`--threads` / `DMT_THREADS`), deterministic stdout,
 //! infeasible points annotated; `--json PATH` writes the versioned
-//! artifact, `--smoke` runs the first three benchmarks.
+//! artifact, `--smoke` runs the first three benchmarks, `--cache DIR`
+//! (or `DMT_CACHE`) serves completed jobs from the result cache.
 
 use dmt_bench::{fig12_report, run_suite_pooled, SEED};
 use dmt_core::SystemConfig;
@@ -14,15 +15,20 @@ fn main() {
     let take = if args.smoke { 3 } else { usize::MAX };
     let threads = args.effective_threads();
     let progress = args.progress_reporter();
+    let cache = args.cache_store();
     let run = run_suite_pooled(
         SystemConfig::default(),
         SEED,
         take,
         threads,
         Some(&progress),
+        cache.as_ref(),
     );
     let rows = run.rows();
     print!("{}", fig12_report(&rows));
     run.write_artifact(&args, "fig12_energy");
+    if let Some(c) = &cache {
+        c.report();
+    }
     dmt_bench::exit_on_incomplete(&rows);
 }

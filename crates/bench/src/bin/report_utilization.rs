@@ -18,6 +18,7 @@ fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_smoke("report_utilization");
     let progress = args.progress_reporter();
+    let cache = args.cache_store();
     let cfg = SystemConfig::default();
     let run = run_suite_pooled(
         cfg,
@@ -25,6 +26,7 @@ fn main() {
         usize::MAX,
         args.effective_threads(),
         Some(&progress),
+        cache.as_ref(),
     );
     let grid_units = f64::from(cfg.grid.total_units());
     let lanes = f64::from(cfg.gpu.warp_width);
@@ -61,5 +63,8 @@ fn main() {
          utilization already breaks even (§5.2)."
     );
     run.write_artifact(&args, "report_utilization");
+    if let Some(c) = &cache {
+        c.report();
+    }
     dmt_bench::exit_on_incomplete(&rows);
 }

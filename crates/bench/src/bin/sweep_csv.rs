@@ -12,6 +12,9 @@
 //! so output is byte-identical for any worker count. Points that are
 //! infeasible at a swept configuration are omitted from the CSV and
 //! reported on stderr. `--json PATH` records the full per-job artifact.
+//! `--cache DIR` (or `DMT_CACHE`) makes the sweep resumable: completed
+//! points are served from the result cache, so a killed sweep re-executes
+//! only its missing jobs.
 
 use dmt_bench::sweep::{skipped, sweep_run, to_csv, SweepPoint};
 use dmt_bench::SuiteRun;
@@ -23,11 +26,12 @@ fn main() {
     args.forbid_smoke("sweep_csv");
     let threads = args.effective_threads();
     let progress = args.progress_reporter();
+    let cache = args.cache_store();
     let which = args.rest.first().map_or("baseline", String::as_str);
     let run = |values: Vec<u32>,
                f: &mut dyn FnMut(&u32, &mut dmt_core::SystemConfig)|
      -> (SuiteRun, Vec<SweepPoint>) {
-        sweep_run(values, SEED, f, threads, Some(&progress))
+        sweep_run(values, SEED, f, threads, Some(&progress), cache.as_ref())
     };
     let ((run, points), x_name) = match which {
         "token_buffer" => (
@@ -43,7 +47,14 @@ fn main() {
             "inflight_threads",
         ),
         "baseline" => (
-            sweep_run(["table2"], SEED, &mut |_, _| {}, threads, Some(&progress)),
+            sweep_run(
+                ["table2"],
+                SEED,
+                &mut |_, _| {},
+                threads,
+                Some(&progress),
+                cache.as_ref(),
+            ),
             "config",
         ),
         other => {
@@ -56,4 +67,7 @@ fn main() {
         eprintln!("[sweep] skipped {bench} at {x_name}={x} on {arch}: {err}");
     }
     run.write_artifact(&args, &format!("sweep_csv:{which}"));
+    if let Some(c) = &cache {
+        c.report();
+    }
 }

@@ -9,6 +9,7 @@ fn main() {
     args.forbid_smoke("table3_benchmarks");
     args.forbid_threads("table3_benchmarks");
     args.forbid_progress("table3_benchmarks");
+    args.forbid_cache("table3_benchmarks");
     println!("Table 3: benchmarks used to evaluate the system\n");
     print!("{}", dmt_kernels::suite::table3());
     if let Some(path) = &args.json {

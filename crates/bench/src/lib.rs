@@ -28,7 +28,7 @@ pub mod sweep;
 
 use dmt_core::{experiment, Arch, Machine, RunReport, SystemConfig};
 use dmt_kernels::{suite, Benchmark};
-use dmt_runner::{Artifact, JobMetrics, JobOutcome, JobSpec, Progress, RunnerArgs};
+use dmt_runner::{Artifact, Cache, JobMetrics, JobOutcome, JobSpec, Progress, RunnerArgs};
 use std::time::Instant;
 
 /// Seed used by every headline experiment (results are deterministic).
@@ -282,7 +282,10 @@ impl SuiteRun {
 }
 
 /// Executes an arbitrary job grid on the worker pool (wall-clock
-/// measured, progress optional). The building block behind every
+/// measured, progress optional). With a [`Cache`], hits skip simulation,
+/// misses run longest-expected-first and are persisted as they complete
+/// (killed runs resume), and every aggregate — stdout, artifacts — is
+/// byte-identical to the uncached run. The building block behind every
 /// experiment binary; [`run_suite_pooled`] is the common suite-shaped
 /// case.
 #[must_use]
@@ -291,9 +294,10 @@ pub fn run_jobs_pooled(
     seed: u64,
     threads: usize,
     progress: Option<&Progress>,
+    cache: Option<&Cache>,
 ) -> SuiteRun {
     let start = Instant::now();
-    let outcomes = dmt_runner::run_jobs(&jobs, threads, progress, execute_job);
+    let outcomes = dmt_runner::run_jobs_cached(&jobs, threads, progress, cache, execute_job);
     SuiteRun {
         jobs,
         outcomes,
@@ -313,8 +317,9 @@ pub fn run_suite_pooled(
     take: usize,
     threads: usize,
     progress: Option<&Progress>,
+    cache: Option<&Cache>,
 ) -> SuiteRun {
-    run_jobs_pooled(suite_jobs(cfg, seed, take), seed, threads, progress)
+    run_jobs_pooled(suite_jobs(cfg, seed, take), seed, threads, progress, cache)
 }
 
 /// The headline binaries' shared failure policy: they run the *default*

@@ -9,7 +9,7 @@
 
 use crate::{suite_jobs, RowOutcome, SuiteRun};
 use dmt_core::SystemConfig;
-use dmt_runner::Progress;
+use dmt_runner::{Cache, Progress};
 use std::fmt::Write as _;
 
 /// One point of a sweep: a label (the x value) and the suite measured
@@ -48,17 +48,20 @@ where
     I::Item: std::fmt::Display,
     F: ?Sized + FnMut(&I::Item, &mut SystemConfig),
 {
-    sweep_run(values, seed, configure, threads, progress).1
+    sweep_run(values, seed, configure, threads, progress, None).1
 }
 
 /// Like [`sweep_with_progress`], but also returns the underlying pool
-/// run, so callers can record the per-job JSON artifact.
+/// run, so callers can record the per-job JSON artifact. With a
+/// [`Cache`], previously-completed points are served from disk and a
+/// killed sweep resumes from the jobs it had finished.
 pub fn sweep_run<I, F>(
     values: I,
     seed: u64,
     configure: &mut F,
     threads: usize,
     progress: Option<&Progress>,
+    cache: Option<&Cache>,
 ) -> (SuiteRun, Vec<SweepPoint>)
 where
     I: IntoIterator,
@@ -78,7 +81,7 @@ where
     } else {
         jobs.len() / labels.len()
     };
-    let run = crate::run_jobs_pooled(jobs, seed, threads, progress);
+    let run = crate::run_jobs_pooled(jobs, seed, threads, progress, cache);
     let points = regroup(&run, &labels, per_point);
     (run, points)
 }

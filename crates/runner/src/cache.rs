@@ -1,0 +1,562 @@
+//! Content-addressed result cache: one JSON record per completed job.
+//!
+//! A [`Cache`] stores every finished [`JobOutcome`] under
+//! `<dir>/<job_hash>.json`, keyed by the stable [`JobSpec::job_hash`]
+//! (reproducible across runs, platforms and field reordering — see
+//! [`crate::hash`]). Records are written with the same hand-rolled codec
+//! as the artifacts and carry the artifact [`SCHEMA_VERSION`]; a version
+//! bump invalidates every entry on read, so stale records can never leak
+//! metrics with a different meaning into a new artifact.
+//!
+//! # Entry schema
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "generator": "dmt-runner",
+//!   "kind": "job_cache_entry",
+//!   "job_hash": "0x....",                  // must match the looked-up spec
+//!   "bench": "scan", "arch": "dmt_cgra",   // identity echo, belt and braces
+//!   "seed": 42, "config_hash": "0x....",
+//!   "status": "ok" | "infeasible",
+//!   "error": "...",                        // iff infeasible
+//!   "kernel": "...", "cycles": N,          // iff ok, plus:
+//!   "total_j": X, "energy": {...}, "stats": {...}
+//! }
+//! ```
+//!
+//! The `status`/`kernel`/`cycles`/`energy`/`stats` block is exactly the
+//! per-job shape of the artifact `"jobs"` array, so a decoded outcome
+//! re-renders byte-identically into an artifact: a warm run's stdout and
+//! JSON artifact are indistinguishable from the cold run that filled the
+//! cache.
+//!
+//! # Robustness
+//!
+//! Every lookup failure mode — missing file, truncated or corrupt JSON,
+//! schema-version mismatch, identity mismatch, missing counters — is a
+//! *miss*, never an error: the job is simply re-simulated and the entry
+//! rewritten. Stores go through a temp-file + rename, so a run killed
+//! mid-write leaves at worst a stale `.tmp` file, not a corrupt entry.
+//!
+//! # What the key does NOT cover: the simulator itself
+//!
+//! `job_hash` addresses the *experiment point*, not the code that
+//! measures it. After editing simulator source, a previously-filled
+//! cache still answers with the old numbers — delete the directory (or
+//! use a per-version directory) when the simulators change. CI encodes
+//! this rule structurally by keying its persisted cache on the hash of
+//! every `.rs` source; locally it is a documented contract, chosen over
+//! a baked-in build fingerprint so that a rebuild with an unrelated
+//! change (a new binary, a doc edit) does not discard hours of sweep
+//! results.
+//!
+//! # Scheduling
+//!
+//! The cache doubles as the cost model for the pool's longest-job-first
+//! schedule: [`Cache::cost_index`] scans the completed entries into a
+//! `(bench, arch) → max cycles` table and [`cost_order`] sorts pending
+//! jobs by that estimate (grid order on a cold cache). See
+//! [`crate::pool::run_jobs_cached`].
+
+use crate::artifact::{Json, SCHEMA_VERSION};
+use crate::job::{JobMetrics, JobOutcome, JobSpec};
+use dmt_common::stats::RunStats;
+use dmt_core::energy::EnergyReport;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss/store counters of one cache handle (not persisted — each
+/// process run starts from zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that missed (absent, corrupt or invalidated entries).
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// An on-disk result store addressed by [`JobSpec::cache_key`].
+///
+/// Shared by reference across pool workers: the counters are atomic and
+/// every filesystem operation is independent, so `&Cache` is `Sync`.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl Cache {
+    /// Opens (and creates, if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Cache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Cache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for one job.
+    #[must_use]
+    pub fn entry_path(&self, spec: &JobSpec) -> PathBuf {
+        self.dir.join(format!("{}.json", spec.cache_key()))
+    }
+
+    /// This handle's hit/miss/store counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up a completed outcome. Any defect in the stored entry —
+    /// corrupt JSON, wrong schema version, identity mismatch, missing
+    /// fields — is a miss (the caller re-simulates and overwrites).
+    #[must_use]
+    pub fn lookup(&self, spec: &JobSpec) -> Option<JobOutcome> {
+        let found = std::fs::read_to_string(self.entry_path(spec))
+            .ok()
+            .and_then(|text| decode_entry(&text, spec));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Persists one outcome under the spec's content address.
+    ///
+    /// Written via a sibling temp file and an atomic rename: concurrent
+    /// writers of the same key race benignly (same content), and a kill
+    /// mid-write cannot leave a half-entry under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (callers log-and-continue: a failed
+    /// store costs a future re-simulation, not this run's results).
+    pub fn store(&self, spec: &JobSpec, outcome: &JobOutcome) -> std::io::Result<()> {
+        let path = self.entry_path(spec);
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", spec.cache_key(), std::process::id()));
+        std::fs::write(&tmp, encode_entry(spec, outcome).render())?;
+        std::fs::rename(&tmp, &path)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// One stderr summary line (the documented cache-stats line; stderr
+    /// so stdout stays byte-identical across cache states).
+    pub fn report(&self) {
+        let s = self.stats();
+        eprintln!(
+            "[dmt-runner] cache: {} hits, {} misses, {} stored ({})",
+            s.hits,
+            s.misses,
+            s.stores,
+            self.dir.display()
+        );
+    }
+
+    /// Scans every valid entry into a `(bench, arch) → max cycles` cost
+    /// table for longest-job-first scheduling. Unreadable or invalid
+    /// entries are skipped — the index is an optimization, never a
+    /// correctness input.
+    #[must_use]
+    pub fn cost_index(&self) -> CostIndex {
+        let mut index = CostIndex::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return index;
+        };
+        for entry in entries.flatten() {
+            if entry.path().extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(entry.path()) else {
+                continue;
+            };
+            let Ok(doc) = Json::parse(&text) else {
+                continue;
+            };
+            if doc.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION)
+                || doc.get("kind").and_then(Json::as_str) != Some("job_cache_entry")
+            {
+                continue;
+            }
+            let (Some(bench), Some(arch), Some(cycles)) = (
+                doc.get("bench").and_then(Json::as_str),
+                doc.get("arch").and_then(Json::as_str),
+                doc.get("cycles").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            index.record(bench, arch, cycles);
+        }
+        index
+    }
+}
+
+/// A `(bench, arch) → max observed cycles` table, the pool's job-cost
+/// estimator.
+#[derive(Debug, Clone, Default)]
+pub struct CostIndex {
+    by_point: HashMap<(String, String), u64>,
+}
+
+impl CostIndex {
+    /// Records one observation, keeping the maximum per `(bench, arch)`.
+    pub fn record(&mut self, bench: &str, arch: &str, cycles: u64) {
+        let slot = self
+            .by_point
+            .entry((bench.to_owned(), arch.to_owned()))
+            .or_insert(0);
+        *slot = (*slot).max(cycles);
+    }
+
+    /// The cycle estimate for a job, when this `(bench, arch)` point has
+    /// ever completed in the cache. Configuration changes scale a
+    /// benchmark's cost far less than the benchmark/machine choice does,
+    /// so the coarse key is a useful ranking even mid-sweep.
+    #[must_use]
+    pub fn estimate(&self, spec: &JobSpec) -> Option<u64> {
+        self.by_point
+            .get(&(spec.bench.clone(), spec.arch.key().to_owned()))
+            .copied()
+    }
+
+    /// True when the index has no observations (cold cache).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_point.is_empty()
+    }
+}
+
+/// Longest-expected-job-first execution order for `specs`: a permutation
+/// of `0..specs.len()`.
+///
+/// Jobs with a cost estimate run first, longest first (ties and equal
+/// estimates keep grid order — the sort is stable); jobs the index knows
+/// nothing about follow in grid order. On a cold cache (no estimates at
+/// all) this degenerates to exactly the grid order, so scheduling is
+/// deterministic in every state. Only the *execution* order changes —
+/// results are always aggregated by job index, so output bytes are
+/// unaffected.
+#[must_use]
+pub fn cost_order(specs: &[&JobSpec], index: &CostIndex) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    if index.is_empty() {
+        return order;
+    }
+    order.sort_by_key(|&i| match index.estimate(specs[i]) {
+        // Known costs first (longest first), then unknowns in grid order.
+        Some(cycles) => (0u8, u64::MAX - cycles),
+        None => (1u8, 0),
+    });
+    order
+}
+
+/// Encodes one completed job as a cache-entry document: the identity
+/// header plus the shared per-job measurement shape
+/// ([`crate::artifact::with_outcome`] — one definition for artifacts and
+/// cache entries, so the two cannot drift).
+#[must_use]
+pub fn encode_entry(spec: &JobSpec, outcome: &JobOutcome) -> Json {
+    let doc = Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("generator", "dmt-runner")
+        .with("kind", "job_cache_entry")
+        .with("job_hash", format!("{:#018x}", spec.job_hash()))
+        .with("bench", spec.bench.as_str())
+        .with("arch", spec.arch.key())
+        .with("seed", spec.seed)
+        .with("config_hash", format!("{:#018x}", spec.config_hash()));
+    crate::artifact::with_outcome(doc, outcome)
+}
+
+/// Decodes a cache entry, validating it against the spec it is answering
+/// for. `None` on any defect.
+#[must_use]
+pub fn decode_entry(text: &str, spec: &JobSpec) -> Option<JobOutcome> {
+    let doc = Json::parse(text).ok()?;
+    if doc.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION)
+        || doc.get("kind").and_then(Json::as_str) != Some("job_cache_entry")
+    {
+        return None;
+    }
+    // The filename already encodes the job hash; re-checking it (and the
+    // human-readable identity echo) guards against renamed files and the
+    // astronomically unlikely hash collision turning into wrong numbers.
+    if doc.get("job_hash").and_then(Json::as_str) != Some(&format!("{:#018x}", spec.job_hash()))
+        || doc.get("bench").and_then(Json::as_str) != Some(spec.bench.as_str())
+        || doc.get("arch").and_then(Json::as_str) != Some(spec.arch.key())
+        || doc.get("seed").and_then(Json::as_u64) != Some(spec.seed)
+    {
+        return None;
+    }
+    match doc.get("status").and_then(Json::as_str)? {
+        "infeasible" => Some(JobOutcome::Infeasible(
+            doc.get("error")?.as_str()?.to_owned(),
+        )),
+        "ok" => Some(JobOutcome::completed(JobMetrics {
+            kernel: doc.get("kernel")?.as_str()?.to_owned(),
+            stats: stats_from_json(doc.get("stats")?)?,
+            energy: energy_from_json(doc.get("energy")?)?,
+        })),
+        _ => None,
+    }
+}
+
+/// Decodes a full [`RunStats`] (exhaustive struct literal: adding a
+/// counter without decoding it is a compile error, mirroring
+/// [`stats_json`]). `None` when any counter is absent or mistyped.
+#[must_use]
+pub fn stats_from_json(j: &Json) -> Option<RunStats> {
+    let g = |name: &str| j.get(name).and_then(Json::as_u64);
+    Some(RunStats {
+        cycles: g("cycles")?,
+        threads_retired: g("threads_retired")?,
+        phases: g("phases")?,
+        alu_ops: g("alu_ops")?,
+        fpu_ops: g("fpu_ops")?,
+        special_ops: g("special_ops")?,
+        control_ops: g("control_ops")?,
+        sju_ops: g("sju_ops")?,
+        elevator_ops: g("elevator_ops")?,
+        elevator_const_tokens: g("elevator_const_tokens")?,
+        eldst_forwards: g("eldst_forwards")?,
+        tokens_routed: g("tokens_routed")?,
+        noc_hops: g("noc_hops")?,
+        token_buffer_writes: g("token_buffer_writes")?,
+        backpressure_cycles: g("backpressure_cycles")?,
+        global_loads: g("global_loads")?,
+        global_stores: g("global_stores")?,
+        l1_hits: g("l1_hits")?,
+        l1_misses: g("l1_misses")?,
+        l2_hits: g("l2_hits")?,
+        l2_misses: g("l2_misses")?,
+        dram_reads: g("dram_reads")?,
+        dram_writes: g("dram_writes")?,
+        shared_loads: g("shared_loads")?,
+        shared_stores: g("shared_stores")?,
+        shared_bank_conflicts: g("shared_bank_conflicts")?,
+        lvc_reads: g("lvc_reads")?,
+        lvc_writes: g("lvc_writes")?,
+        gpu_instructions: g("gpu_instructions")?,
+        gpu_thread_instructions: g("gpu_thread_instructions")?,
+        register_reads: g("register_reads")?,
+        register_writes: g("register_writes")?,
+        barrier_wait_cycles: g("barrier_wait_cycles")?,
+        barriers: g("barriers")?,
+        gpu_stall_cycles: g("gpu_stall_cycles")?,
+    })
+}
+
+/// Decodes an [`EnergyReport`] (exhaustive, like [`stats_from_json`]).
+#[must_use]
+pub fn energy_from_json(j: &Json) -> Option<EnergyReport> {
+    let g = |name: &str| j.get(name).and_then(Json::as_f64);
+    Some(EnergyReport {
+        compute_j: g("compute_j")?,
+        fetch_decode_j: g("fetch_decode_j")?,
+        register_file_j: g("register_file_j")?,
+        token_transport_j: g("token_transport_j")?,
+        scratchpad_j: g("scratchpad_j")?,
+        cache_j: g("cache_j")?,
+        dram_j: g("dram_j")?,
+        static_j: g("static_j")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::{Arch, SystemConfig};
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dmt_cache_unit_{}_{}_{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(bench: &str, arch: Arch, seed: u64) -> JobSpec {
+        JobSpec::new(bench, arch, SystemConfig::default(), seed)
+    }
+
+    fn ok_outcome(cycles: u64) -> JobOutcome {
+        JobOutcome::completed(JobMetrics {
+            kernel: "k".into(),
+            stats: RunStats {
+                cycles,
+                l2_misses: 3,
+                ..Default::default()
+            },
+            energy: EnergyReport {
+                compute_j: 1.25e-7,
+                static_j: 0.5,
+                ..Default::default()
+            },
+        })
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_both_outcome_kinds() {
+        let cache = Cache::open(tmp_dir("roundtrip")).unwrap();
+        let ok_spec = spec("scan", Arch::DmtCgra, 1);
+        let inf_spec = spec("reduce", Arch::DmtCgra, 1);
+        cache.store(&ok_spec, &ok_outcome(123)).unwrap();
+        cache
+            .store(&inf_spec, &JobOutcome::Infeasible("window".into()))
+            .unwrap();
+        assert_eq!(cache.lookup(&ok_spec), Some(ok_outcome(123)));
+        assert_eq!(
+            cache.lookup(&inf_spec),
+            Some(JobOutcome::Infeasible("window".into()))
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 0,
+                stores: 2
+            }
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn absent_corrupt_and_mismatched_entries_all_miss() {
+        let cache = Cache::open(tmp_dir("defects")).unwrap();
+        let s = spec("scan", Arch::DmtCgra, 1);
+
+        // Absent.
+        assert_eq!(cache.lookup(&s), None);
+
+        // Truncated JSON.
+        std::fs::write(cache.entry_path(&s), "{\"schema_version\": 1,").unwrap();
+        assert_eq!(cache.lookup(&s), None);
+
+        // Valid JSON, wrong schema version.
+        let mut doc = encode_entry(&s, &ok_outcome(9)).render();
+        doc = doc.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        std::fs::write(cache.entry_path(&s), &doc).unwrap();
+        assert_eq!(cache.lookup(&s), None);
+
+        // Valid entry filed under the wrong key (identity mismatch).
+        let other = spec("reduce", Arch::FermiSm, 7);
+        std::fs::write(
+            cache.entry_path(&s),
+            encode_entry(&other, &ok_outcome(9)).render(),
+        )
+        .unwrap();
+        assert_eq!(cache.lookup(&s), None);
+
+        // Entry missing a stats counter.
+        let mut doc = encode_entry(&s, &ok_outcome(9)).render();
+        doc = doc.replace("\"noc_hops\"", "\"not_a_counter\"");
+        std::fs::write(cache.entry_path(&s), &doc).unwrap();
+        assert_eq!(cache.lookup(&s), None);
+
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.stats().hits, 0);
+
+        // Re-storing repairs the defective entry.
+        cache.store(&s, &ok_outcome(9)).unwrap();
+        assert_eq!(cache.lookup(&s), Some(ok_outcome(9)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cost_index_keeps_max_cycles_per_point_and_skips_junk() {
+        let cache = Cache::open(tmp_dir("index")).unwrap();
+        cache
+            .store(&spec("scan", Arch::DmtCgra, 1), &ok_outcome(100))
+            .unwrap();
+        cache
+            .store(&spec("scan", Arch::DmtCgra, 2), &ok_outcome(400))
+            .unwrap();
+        cache
+            .store(&spec("scan", Arch::FermiSm, 1), &ok_outcome(900))
+            .unwrap();
+        cache
+            .store(
+                &spec("reduce", Arch::DmtCgra, 1),
+                &JobOutcome::Infeasible("no".into()),
+            )
+            .unwrap();
+        std::fs::write(cache.dir().join("junk.json"), "not json").unwrap();
+        std::fs::write(cache.dir().join("notes.txt"), "ignored").unwrap();
+
+        let idx = cache.cost_index();
+        assert_eq!(idx.estimate(&spec("scan", Arch::DmtCgra, 3)), Some(400));
+        assert_eq!(idx.estimate(&spec("scan", Arch::FermiSm, 3)), Some(900));
+        // Infeasible entries carry no cycles and never enter the index.
+        assert_eq!(idx.estimate(&spec("reduce", Arch::DmtCgra, 1)), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cost_order_is_longest_first_with_cold_fallback() {
+        let specs = [
+            spec("a", Arch::DmtCgra, 1),
+            spec("b", Arch::DmtCgra, 1),
+            spec("c", Arch::DmtCgra, 1),
+            spec("d", Arch::DmtCgra, 1),
+        ];
+        let refs: Vec<&JobSpec> = specs.iter().collect();
+
+        // Cold cache: grid order.
+        assert_eq!(cost_order(&refs, &CostIndex::default()), vec![0, 1, 2, 3]);
+
+        // b is known-long, a known-short, c/d unknown: b, a, then c, d in
+        // grid order.
+        let mut idx = CostIndex::default();
+        idx.record("a", Arch::DmtCgra.key(), 10);
+        idx.record("b", Arch::DmtCgra.key(), 1000);
+        assert_eq!(cost_order(&refs, &idx), vec![1, 0, 2, 3]);
+
+        // Equal estimates keep grid order (stable sort).
+        idx.record("a", Arch::DmtCgra.key(), 1000);
+        assert_eq!(cost_order(&refs, &idx), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn entries_decode_only_for_their_own_spec() {
+        let s = spec("scan", Arch::DmtCgra, 1);
+        let text = encode_entry(&s, &ok_outcome(5)).render();
+        assert!(decode_entry(&text, &s).is_some());
+        assert!(decode_entry(&text, &spec("scan", Arch::DmtCgra, 2)).is_none());
+        assert!(decode_entry(&text, &spec("scan", Arch::MtCgra, 1)).is_none());
+        let mut other_cfg = s.clone();
+        other_cfg.cfg.fabric.token_buffer_entries += 1;
+        assert!(decode_entry(&text, &other_cfg).is_none());
+    }
+}

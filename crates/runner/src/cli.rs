@@ -4,12 +4,15 @@
 //!
 //! * `--threads N` — worker count (default: `DMT_THREADS`, else all cores);
 //! * `--json PATH` — also write the versioned JSON artifact to `PATH`;
+//! * `--cache DIR` — content-addressed result cache (or `DMT_CACHE=DIR`);
+//! * `--no-cache` — disable caching even when `DMT_CACHE` is set;
 //! * `--progress` — live per-job progress on stderr (or `DMT_PROGRESS=1`);
 //! * `--smoke` — reduced suite, where the binary supports it.
 //!
 //! Unrecognized arguments are passed through in order (`rest`) for
 //! binary-specific positionals (e.g. `sweep_csv token_buffer`).
 
+use crate::cache::Cache;
 use std::path::PathBuf;
 
 /// Parsed runner arguments.
@@ -19,6 +22,10 @@ pub struct RunnerArgs {
     pub threads: Option<usize>,
     /// `--json PATH`: artifact destination.
     pub json: Option<PathBuf>,
+    /// `--cache DIR`: result-cache directory.
+    pub cache: Option<PathBuf>,
+    /// `--no-cache`: caching off, overriding `DMT_CACHE`.
+    pub no_cache: bool,
     /// `--smoke`: reduced suite.
     pub smoke: bool,
     /// `--progress`: live stderr progress.
@@ -36,7 +43,10 @@ impl RunnerArgs {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--threads N] [--json PATH] [--progress] [--smoke] [args...]");
+                eprintln!(
+                    "usage: [--threads N] [--json PATH] [--cache DIR | --no-cache] \
+                     [--progress] [--smoke] [args...]"
+                );
                 std::process::exit(2);
             }
         }
@@ -68,12 +78,23 @@ impl RunnerArgs {
                 s if s.starts_with("--json=") => {
                     out.json = Some(PathBuf::from(&s["--json=".len()..]));
                 }
+                "--cache" => {
+                    let v = it.next().ok_or("--cache needs a directory")?;
+                    out.cache = Some(parse_cache_dir(&v)?);
+                }
+                s if s.starts_with("--cache=") => {
+                    out.cache = Some(parse_cache_dir(&s["--cache=".len()..])?);
+                }
+                "--no-cache" => out.no_cache = true,
                 // A misspelled flag must not silently degrade the run
                 // (e.g. `--thread 8` quietly using all cores); only bare
                 // positionals pass through to the binary.
                 s if s.starts_with("--") => return Err(format!("unknown flag {s}")),
                 _ => out.rest.push(arg),
             }
+        }
+        if out.cache.is_some() && out.no_cache {
+            return Err("--cache and --no-cache are mutually exclusive".to_owned());
         }
         Ok(out)
     }
@@ -93,6 +114,49 @@ impl RunnerArgs {
             crate::Progress::new(true)
         } else {
             crate::Progress::from_env()
+        }
+    }
+
+    /// The effective cache directory: `--no-cache` wins, then `--cache
+    /// DIR`, then a non-empty `DMT_CACHE` environment variable, else no
+    /// caching.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        if let Some(dir) = &self.cache {
+            return Some(dir.clone());
+        }
+        match std::env::var("DMT_CACHE") {
+            Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+            _ => None,
+        }
+    }
+
+    /// Opens the result cache these arguments ask for, exiting with
+    /// status 2 when the requested directory cannot be created — a run
+    /// the user asked to cache must not silently run uncached.
+    #[must_use]
+    pub fn cache_store(&self) -> Option<Cache> {
+        let dir = self.cache_dir()?;
+        match Cache::open(&dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: cannot open cache directory {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Exits with status 2 when `--cache`/`--no-cache` was passed to a
+    /// binary that does not run a cacheable job grid (`DMT_CACHE` alone
+    /// is ignored there, like `DMT_THREADS` — an environment default must
+    /// not break binaries it cannot apply to).
+    pub fn forbid_cache(&self, binary: &str) {
+        if self.cache.is_some() || self.no_cache {
+            eprintln!("error: {binary} does not support --cache/--no-cache (no job grid)");
+            std::process::exit(2);
         }
     }
 
@@ -132,6 +196,16 @@ impl RunnerArgs {
             std::process::exit(2);
         }
     }
+}
+
+// An empty directory would resolve entries to bare `<hash>.json` in the
+// working directory — reject it like an absent value (an empty
+// `DMT_CACHE` already means "no caching").
+fn parse_cache_dir(v: &str) -> Result<PathBuf, String> {
+    if v.is_empty() {
+        return Err("--cache needs a directory".to_owned());
+    }
+    Ok(PathBuf::from(v))
 }
 
 fn parse_threads(v: &str) -> Result<usize, String> {
@@ -174,21 +248,51 @@ mod tests {
             "4",
             "--json",
             "out/x.json",
+            "--cache",
+            "artifacts/cache",
             "--smoke",
             "--progress",
             "token_buffer",
         ]);
         assert_eq!(a.threads, Some(4));
         assert_eq!(a.json, Some(PathBuf::from("out/x.json")));
+        assert_eq!(a.cache, Some(PathBuf::from("artifacts/cache")));
+        assert!(!a.no_cache);
         assert!(a.smoke && a.progress);
         assert_eq!(a.rest, vec!["token_buffer"]);
     }
 
     #[test]
     fn parses_inline_forms() {
-        let a = parse(&["--threads=2", "--json=artifacts/a.json"]);
+        let a = parse(&["--threads=2", "--json=artifacts/a.json", "--cache=c"]);
         assert_eq!(a.threads, Some(2));
         assert_eq!(a.json, Some(PathBuf::from("artifacts/a.json")));
+        assert_eq!(a.cache, Some(PathBuf::from("c")));
+    }
+
+    #[test]
+    fn cache_flags_resolve_and_conflict() {
+        let a = parse(&["--no-cache"]);
+        assert!(a.no_cache);
+        // --no-cache wins over any environment default.
+        assert_eq!(a.cache_dir(), None);
+        let a = parse(&["--cache", "dir"]);
+        assert_eq!(a.cache_dir(), Some(PathBuf::from("dir")));
+        // Asking for both at once is a contradiction, not a precedence
+        // puzzle.
+        assert!(RunnerArgs::parse(
+            [
+                "--cache".to_owned(),
+                "d".to_owned(),
+                "--no-cache".to_owned()
+            ]
+            .into_iter()
+        )
+        .is_err());
+        assert!(RunnerArgs::parse(["--cache".to_owned()].into_iter()).is_err());
+        // An empty directory must not scatter entries into the cwd.
+        assert!(RunnerArgs::parse(["--cache=".to_owned()].into_iter()).is_err());
+        assert!(RunnerArgs::parse(["--cache".to_owned(), String::new()].into_iter()).is_err());
     }
 
     #[test]
@@ -211,5 +315,21 @@ mod tests {
     fn explicit_threads_win() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn threads_zero_is_a_cli_error_not_a_pool_panic() {
+        // Regression guard: the pool asserts `threads >= 1`, so a zero
+        // worker count must die at the CLI with a message, in both
+        // spellings, long before a job grid is built.
+        for argv in [&["--threads", "0"][..], &["--threads=0"][..]] {
+            let err = RunnerArgs::parse(argv.iter().map(ToString::to_string))
+                .expect_err("--threads 0 must be rejected");
+            assert!(err.contains("invalid thread count"), "{err}");
+            assert!(err.contains(">= 1"), "{err}");
+        }
+        // And the resolver never hands the pool a zero even when a
+        // caller bypasses parsing.
+        assert_eq!(resolve_threads(Some(0)), 1);
     }
 }

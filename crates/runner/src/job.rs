@@ -59,6 +59,14 @@ impl JobSpec {
         h.field_u64("job.config", self.config_hash());
         h.finish()
     }
+
+    /// The content address of this job in a result cache: the
+    /// [`job_hash`](JobSpec::job_hash) as 16 lowercase hex digits (no
+    /// `0x` prefix — this is a filename stem, not a JSON field).
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        format!("{:016x}", self.job_hash())
+    }
 }
 
 impl std::fmt::Display for JobSpec {
@@ -174,6 +182,14 @@ mod tests {
         s.cfg.fabric.inflight_threads = 64;
         assert_ne!(base, s.job_hash());
         assert_eq!(base, spec().job_hash(), "equal specs hash equal");
+    }
+
+    #[test]
+    fn cache_key_is_the_hex_job_hash() {
+        let s = spec();
+        assert_eq!(s.cache_key(), format!("{:016x}", s.job_hash()));
+        assert_eq!(s.cache_key().len(), 16);
+        assert!(s.cache_key().bytes().all(|b| b.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! | [`job`] | `JobSpec` descriptors, outcomes, stable job hashes |
 //! | [`pool`] | `std::thread::scope` worker pool, index-ordered results |
 //! | [`hash`] | order-independent FNV/splitmix stable hashing |
-//! | [`artifact`] | versioned JSON artifacts (`schema_version: 1`) |
+//! | [`artifact`] | versioned JSON artifacts (`schema_version: 1`) + parser |
+//! | [`cache`] | content-addressed result cache, resume, cost-sorted scheduling |
 //! | [`progress`] | completion-ordered stderr ticker |
-//! | [`cli`] | the shared `--threads/--json/--progress/--smoke` surface |
+//! | [`cli`] | the shared `--threads/--json/--cache/--progress/--smoke` surface |
 //!
 //! # Example
 //!
@@ -61,6 +62,7 @@
 //! ```
 
 pub mod artifact;
+pub mod cache;
 pub mod cli;
 pub mod hash;
 pub mod job;
@@ -68,8 +70,9 @@ pub mod pool;
 pub mod progress;
 
 pub use artifact::{write_json, write_json_logged, Artifact, Json, SCHEMA_VERSION};
+pub use cache::{Cache, CacheStats, CostIndex};
 pub use cli::{resolve_threads, RunnerArgs};
 pub use hash::{config_hash, StableHasher};
 pub use job::{JobMetrics, JobOutcome, JobSpec};
-pub use pool::{run_indexed, run_jobs};
+pub use pool::{run_indexed, run_jobs, run_jobs_cached, run_scheduled};
 pub use progress::Progress;

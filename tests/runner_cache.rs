@@ -1,0 +1,176 @@
+//! The result cache's central contracts, exercised over the CI smoke
+//! grid (first three Table 3 benchmarks × all three machines — exactly
+//! what `fig11_speedup --smoke --json` runs):
+//!
+//! 1. a warm-cache rerun performs **zero simulations** yet produces
+//!    byte-identical stdout (the Fig 11 report) and artifact JSON;
+//! 2. corrupted or truncated cache entries are ignored and recomputed,
+//!    never trusted and never fatal;
+//! 3. an interrupted run resumes: only the jobs missing from the cache
+//!    are re-executed.
+//!
+//! Simulations are counted by instrumenting the executor around
+//! `dmt_bench::execute_job` — the same leaf the binaries use — so "zero
+//! simulations" is asserted directly, not inferred from timing.
+
+use dmt_bench::{execute_job, fig11_report, run_suite_pooled, suite_jobs, RowOutcome, SEED};
+use dmt_core::SystemConfig;
+use dmt_runner::{run_jobs_cached, Artifact, Cache, JobOutcome, JobSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique, empty scratch directory per test (tests share one process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmt_runner_cache_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the smoke grid through the cache with an instrumented executor,
+/// returning the outcomes and the number of real simulations performed.
+fn smoke_run(jobs: &[JobSpec], cache: &Cache) -> (Vec<JobOutcome>, usize) {
+    let sims = AtomicUsize::new(0);
+    let outcomes = run_jobs_cached(jobs, 2, None, Some(cache), |spec| {
+        sims.fetch_add(1, Ordering::Relaxed);
+        execute_job(spec)
+    });
+    (outcomes, sims.load(Ordering::Relaxed))
+}
+
+/// Renders exactly what `fig11_speedup --smoke` prints to stdout and
+/// what `--json` writes, with the volatile wall-clock pinned so the
+/// comparison covers every byte.
+fn fig11_outputs(jobs: &[JobSpec], outcomes: &[JobOutcome]) -> (String, String) {
+    let rows = RowOutcome::from_jobs(jobs, outcomes);
+    let stdout = fig11_report(&rows);
+    let artifact = Artifact::new(
+        "fig11_speedup",
+        2,
+        0,
+        SEED,
+        jobs.to_vec(),
+        outcomes.to_vec(),
+    );
+    (stdout, artifact.to_json().render())
+}
+
+#[test]
+fn warm_rerun_simulates_nothing_and_matches_the_cold_run_byte_for_byte() {
+    let dir = scratch("warm");
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+
+    let cold_cache = Cache::open(&dir).unwrap();
+    let (cold, cold_sims) = smoke_run(&jobs, &cold_cache);
+    assert_eq!(cold_sims, jobs.len(), "cold cache must simulate every job");
+    assert_eq!(cold_cache.stats().hits, 0);
+    assert_eq!(cold_cache.stats().stores, jobs.len() as u64);
+
+    let warm_cache = Cache::open(&dir).unwrap();
+    let (warm, warm_sims) = smoke_run(&jobs, &warm_cache);
+    assert_eq!(warm_sims, 0, "warm cache must perform zero simulations");
+    assert_eq!(warm_cache.stats().hits, jobs.len() as u64);
+    assert_eq!(warm_cache.stats().misses, 0);
+
+    let (cold_stdout, cold_artifact) = fig11_outputs(&jobs, &cold);
+    let (warm_stdout, warm_artifact) = fig11_outputs(&jobs, &warm);
+    assert_eq!(cold_stdout, warm_stdout, "stdout must be byte-identical");
+    assert_eq!(
+        cold_artifact, warm_artifact,
+        "artifact JSON must be byte-identical"
+    );
+
+    // The same contract through the binaries' actual entry point.
+    let pooled = run_suite_pooled(
+        SystemConfig::default(),
+        SEED,
+        3,
+        4,
+        None,
+        Some(&Cache::open(&dir).unwrap()),
+    );
+    assert_eq!(pooled.outcomes, cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_and_truncated_entries_are_ignored_and_recomputed() {
+    let dir = scratch("corrupt");
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+
+    let cache = Cache::open(&dir).unwrap();
+    let (cold, _) = smoke_run(&jobs, &cache);
+
+    // Truncate one entry mid-document, corrupt another into non-JSON,
+    // and retarget a third at the wrong schema version.
+    let e0 = cache.entry_path(&jobs[0]);
+    let text = std::fs::read_to_string(&e0).unwrap();
+    std::fs::write(&e0, &text[..text.len() / 2]).unwrap();
+    std::fs::write(cache.entry_path(&jobs[4]), "not json at all").unwrap();
+    let e8 = cache.entry_path(&jobs[8]);
+    let text = std::fs::read_to_string(&e8).unwrap();
+    std::fs::write(
+        &e8,
+        text.replace("\"schema_version\": 1", "\"schema_version\": 999"),
+    )
+    .unwrap();
+
+    let warm = Cache::open(&dir).unwrap();
+    let (repaired, sims) = smoke_run(&jobs, &warm);
+    assert_eq!(sims, 3, "exactly the three defective entries re-simulate");
+    assert_eq!(warm.stats().misses, 3);
+    assert_eq!(warm.stats().hits, jobs.len() as u64 - 3);
+    assert_eq!(repaired, cold, "recomputed outcomes match the originals");
+
+    // The defective entries were rewritten: a third pass is all hits.
+    let (again, sims) = smoke_run(&jobs, &Cache::open(&dir).unwrap());
+    assert_eq!(sims, 0);
+    assert_eq!(again, cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_run_resumes_only_the_missing_jobs() {
+    let dir = scratch("resume");
+
+    // "Interrupted" run: only the first two suite rows ever completed
+    // (entries are persisted per job as each finishes, so a kill leaves
+    // exactly the completed prefix-set behind).
+    let partial = suite_jobs(SystemConfig::default(), SEED, 2);
+    let (_, sims) = smoke_run(&partial, &Cache::open(&dir).unwrap());
+    assert_eq!(sims, partial.len());
+
+    // The restarted full smoke run re-executes only the third row.
+    let full = suite_jobs(SystemConfig::default(), SEED, 3);
+    let cache = Cache::open(&dir).unwrap();
+    let (outcomes, sims) = smoke_run(&full, &cache);
+    assert_eq!(sims, full.len() - partial.len());
+    assert_eq!(cache.stats().hits, partial.len() as u64);
+    assert!(outcomes.iter().all(|o| o.metrics().is_some()));
+
+    // And the cost index now ranks every completed point for
+    // longest-job-first scheduling of future sweeps.
+    let index = cache.cost_index();
+    for job in &full {
+        let est = index.estimate(job).expect("every point indexed");
+        assert_eq!(
+            est,
+            outcomes[full.iter().position(|j| j == job).unwrap()]
+                .metrics()
+                .unwrap()
+                .cycles()
+        );
+    }
+    let order = dmt_runner::cache::cost_order(&full.iter().collect::<Vec<_>>(), &index);
+    let costs: Vec<u64> = order
+        .iter()
+        .map(|&i| index.estimate(&full[i]).unwrap())
+        .collect();
+    assert!(
+        costs.windows(2).all(|w| w[0] >= w[1]),
+        "schedule must be longest-first: {costs:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,8 +10,8 @@ use dmt_runner::Artifact;
 #[test]
 fn parallel_suite_is_byte_identical_to_serial() {
     let cfg = SystemConfig::default();
-    let serial = run_suite_pooled(cfg, SEED, 3, 1, None);
-    let parallel = run_suite_pooled(cfg, SEED, 3, 4, None);
+    let serial = run_suite_pooled(cfg, SEED, 3, 1, None, None);
+    let parallel = run_suite_pooled(cfg, SEED, 3, 4, None, None);
 
     // Same grid, same outcomes, in the same order.
     assert_eq!(serial.jobs, parallel.jobs);
@@ -39,7 +39,7 @@ fn parallel_suite_is_byte_identical_to_serial() {
 #[test]
 fn artifact_records_every_job_with_stable_hashes() {
     let cfg = SystemConfig::default();
-    let run = run_suite_pooled(cfg, SEED, 2, 2, None);
+    let run = run_suite_pooled(cfg, SEED, 2, 2, None, None);
     let art = run.artifact("smoke");
     let text = art.to_json().render();
 
@@ -75,7 +75,7 @@ fn artifact_records_every_job_with_stable_hashes() {
 fn artifact_round_trips_through_a_rebuild() {
     // The artifact constructor is pure over (specs, outcomes): rebuilding
     // from the same run yields the same document, including hashes.
-    let run = run_suite_pooled(SystemConfig::default(), SEED, 1, 2, None);
+    let run = run_suite_pooled(SystemConfig::default(), SEED, 1, 2, None, None);
     let a = Artifact::new(
         "x",
         run.threads,
