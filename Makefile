@@ -1,9 +1,9 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke clean
 
-all: build test lint bench-smoke
+all: build test lint bench-smoke perf-smoke
 
 # CI job: build (release)
 build:
@@ -39,6 +39,12 @@ bench-smoke:
 		--smoke --threads 2 --json artifacts/smoke-warm.json --cache artifacts/smoke-cache
 	python3 ci/bench_regress.py artifacts/smoke.json artifacts/smoke-warm.json \
 		--require-identical
+
+# CI step: perf-smoke — simulator wall-clock throughput (informational,
+# host-dependent; the deterministic-cycles gate lives in bench-smoke).
+perf-smoke:
+	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
+		--json artifacts/BENCH_hotpath.json
 
 clean:
 	cargo clean

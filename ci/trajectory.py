@@ -2,7 +2,8 @@
 """Appends one run's smoke artifact to the BENCH_trajectory.json series.
 
 Usage:
-    trajectory.py TRAJECTORY.json ARTIFACT.json --sha SHA --run-id ID
+    trajectory.py TRAJECTORY.json ARTIFACT.json --sha SHA --run-id ID \
+        [--hotpath BENCH_hotpath.json]
 
 The trajectory is the perf-over-time record the CI ``bench-artifact``
 job carries forward from push to push (restored from the previous run,
@@ -10,6 +11,12 @@ appended to, re-uploaded): one entry per push, each holding the
 deterministic per-job cycles/energy of the smoke suite keyed by stable
 ``job_hash``/``config_hash``, so any two points in history are
 comparable job-by-job. Creates the trajectory on first use.
+
+With ``--hotpath``, the entry additionally records the simulator
+wall-clock measurement from ``bench_hotpath`` (sim-cycles/sec and the
+speedup over the vendored pre-overhaul baseline). This is informational
+— wall time depends on the runner host — and never gates the job;
+``bench_regress.py`` gates on deterministic cycles only.
 """
 
 import argparse
@@ -26,10 +33,27 @@ def main():
     ap.add_argument("artifact")
     ap.add_argument("--sha", required=True)
     ap.add_argument("--run-id", required=True)
+    ap.add_argument("--hotpath", help="BENCH_hotpath.json to record wall-clock perf from")
     args = ap.parse_args()
 
     with open(args.artifact, encoding="utf-8") as f:
         artifact = json.load(f)
+
+    hotpath = None
+    if args.hotpath:
+        try:
+            with open(args.hotpath, encoding="utf-8") as f:
+                doc = json.load(f)
+            total = doc.get("total", {})
+            hotpath = {
+                "wall_us": total.get("wall_us"),
+                "sim_cycles_per_sec": total.get("sim_cycles_per_sec"),
+                "speedup_vs_baseline": total.get("speedup_vs_baseline"),
+            }
+        except (OSError, json.JSONDecodeError) as e:
+            # Informational only: a missing/corrupt hotpath record must not
+            # fail the trajectory append.
+            print(f"trajectory: ignoring hotpath record: {e}", file=sys.stderr)
 
     try:
         with open(args.trajectory, encoding="utf-8") as f:
@@ -63,6 +87,8 @@ def main():
             for j in artifact.get("jobs", [])
         ],
     }
+    if hotpath is not None:
+        entry["hotpath"] = hotpath
     # Re-running the same commit (e.g. a workflow re-run) replaces its
     # entry instead of duplicating the series.
     trajectory["entries"] = [

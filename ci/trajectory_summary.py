@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Renders BENCH_trajectory.json as a cycles-over-pushes Markdown table.
+
+Usage:
+    trajectory_summary.py TRAJECTORY.json [--out FILE] [--last N]
+
+Produces one table with a row per push (newest last) and a column per
+``bench/arch`` job of the smoke suite, holding that push's deterministic
+cycle count — the at-a-glance view of how simulated performance moved
+across history. Cells are annotated with the delta against the previous
+push (``▲`` regression / ``▼`` improvement) when the job's
+``config_hash`` is unchanged, so only like-for-like changes are marked.
+A trailing column shows the informational ``hotpath`` simulator
+throughput (sim-cycles/sec) when the entry recorded one.
+
+``--out`` appends to the given file (pass ``$GITHUB_STEP_SUMMARY`` in CI
+to publish the table on the job page); the table is always printed to
+stdout. Exits 0 with a note when the trajectory is missing or empty —
+rendering history must never fail a build that has none yet.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trajectory summary: no usable trajectory ({e})")
+        return None
+
+
+def fmt_cell(job, prev_job):
+    if job.get("status") != "ok":
+        return job.get("status", "-")
+    cell = f"{job['cycles']}"
+    if (
+        prev_job is not None
+        and prev_job.get("status") == "ok"
+        and prev_job.get("config_hash") == job.get("config_hash")
+        and prev_job["cycles"] != job["cycles"]
+    ):
+        delta = job["cycles"] - prev_job["cycles"]
+        arrow = "▲" if delta > 0 else "▼"
+        cell += f" ({arrow}{abs(delta)})"
+    return cell
+
+
+def fmt_hotpath(entry):
+    h = entry.get("hotpath")
+    if not h or h.get("sim_cycles_per_sec") is None:
+        return "-"
+    cps = h["sim_cycles_per_sec"]
+    speedup = h.get("speedup_vs_baseline")
+    cell = f"{cps / 1e3:.0f}k"
+    if speedup is not None:
+        cell += f" ({speedup:.2f}x)"
+    return cell
+
+
+def render(trajectory, last):
+    entries = trajectory.get("entries", [])[-last:]
+    if not entries:
+        return None
+    # Column order: first appearance across entries (bench-major, stable).
+    columns = []
+    for e in entries:
+        for j in e.get("jobs", []):
+            key = (j["bench"], j["arch"])
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "### Bench trajectory (cycles over pushes)",
+        "",
+        "| push | "
+        + " | ".join(f"{b}/{a}" for b, a in columns)
+        + " | hotpath [cyc/s] |",
+        "|---" * (len(columns) + 2) + "|",
+    ]
+    prev_by_key = {}
+    for e in entries:
+        by_key = {(j["bench"], j["arch"]): j for j in e.get("jobs", [])}
+        cells = [
+            fmt_cell(by_key[k], prev_by_key.get(k)) if k in by_key else "-"
+            for k in columns
+        ]
+        sha = str(e.get("sha", "?"))[:10]
+        lines.append(
+            f"| `{sha}` | " + " | ".join(cells) + f" | {fmt_hotpath(e)} |"
+        )
+        prev_by_key = by_key
+    lines.append("")
+    lines.append(
+        "Cycle deltas are marked only at identical `config_hash`; "
+        "`hotpath` is host-dependent simulator throughput (informational)."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trajectory")
+    ap.add_argument("--out", help="file to append the table to (e.g. $GITHUB_STEP_SUMMARY)")
+    ap.add_argument("--last", type=int, default=20, help="render at most the last N pushes")
+    args = ap.parse_args()
+
+    trajectory = load(args.trajectory)
+    if trajectory is None:
+        return 0
+    table = render(trajectory, max(args.last, 1))
+    if table is None:
+        print("trajectory summary: trajectory has no entries yet")
+        return 0
+    print(table, end="")
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as f:
+            f.write(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@
 //! recorded in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmt_bench::{run_one, suite_comm_sites, SEED};
+use dmt_bench::{run_one, run_suite_pooled, suite_comm_sites, SEED};
 use dmt_core::dfg::delta_stats::{cdf, DistanceMetric};
 use dmt_core::{Arch, SystemConfig};
 use dmt_kernels::suite;
@@ -54,5 +54,25 @@ fn tables(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, fig11_fig12_runs, fig05_delta_stats, tables);
+/// The hot-path headline: the serial smoke suite end to end — the same
+/// quantity `bench_hotpath` records in `BENCH_hotpath.json` and the
+/// engine overhaul is gated on.
+fn hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2500));
+    g.bench_function("fig11_smoke_serial", |bench| {
+        bench.iter(|| run_suite_pooled(SystemConfig::default(), SEED, 3, 1, None, None));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig11_fig12_runs,
+    fig05_delta_stats,
+    tables,
+    hotpath
+);
 criterion_main!(benches);

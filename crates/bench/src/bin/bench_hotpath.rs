@@ -1,0 +1,163 @@
+//! `bench_hotpath` — simulator-throughput benchmark for the cycle engines.
+//!
+//! Measures *simulator wall-clock*, not architectural cycles: how many
+//! simulated cycles per second each engine sustains on the smoke suite
+//! (the first three Table 3 benchmarks × all three machines), plus the
+//! end-to-end serial wall time of `fig11_speedup --smoke --threads 1` —
+//! the quantity the hot-path overhaul (window-indexed matching stores,
+//! calendar-queue events, active-node firing) is gated on.
+//!
+//! Emits `BENCH_hotpath.json` (default `artifacts/BENCH_hotpath.json`;
+//! override with `--json PATH`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "kind": "bench_hotpath",
+//!   "iters": 3,
+//!   "baseline": { ... the vendored pre-overhaul measurement ... },
+//!   "total": {
+//!     "wall_us": ...,            // best-of-iters serial smoke wall time
+//!     "sim_cycles": ...,         // summed per-job cycles (deterministic)
+//!     "sim_cycles_per_sec": ...,
+//!     "speedup_vs_baseline": ...  // baseline.wall_us / total.wall_us
+//!   },
+//!   "jobs": [ {"bench", "arch", "cycles", "wall_us", "sim_cycles_per_sec"}, ... ]
+//! }
+//! ```
+//!
+//! The baseline block is the pre-rewrite engine measured on the same
+//! suite (`crates/bench/baselines/hotpath_serial.json`); the recorded
+//! speedup is meaningful on comparable hardware and indicative anywhere.
+//! `--iters N` (default 3) controls the best-of-N repetition.
+
+use dmt_bench::{run_suite_pooled, try_run_one, SEED};
+use dmt_core::{Arch, SystemConfig};
+use dmt_kernels::suite;
+use dmt_runner::artifact::{write_json_logged, Json};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The pre-overhaul serial measurement this binary reports speedup over.
+const BASELINE: &str = include_str!("../../baselines/hotpath_serial.json");
+
+struct Args {
+    json: PathBuf,
+    iters: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: PathBuf::from("artifacts/BENCH_hotpath.json"),
+        iters: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => args.json = PathBuf::from(p),
+                None => usage_exit("--json requires a path"),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => args.iters = n,
+                _ => usage_exit("--iters requires a positive integer"),
+            },
+            other => usage_exit(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: bench_hotpath [--json PATH] [--iters N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = Json::parse(BASELINE).expect("vendored baseline parses");
+    let base_wall = baseline
+        .get("wall_us")
+        .and_then(Json::as_u64)
+        .expect("baseline wall_us");
+    let cfg = SystemConfig::default();
+
+    // Per-job throughput: best-of-iters wall time for each (bench, arch).
+    let mut jobs = Vec::new();
+    for b in suite::all().into_iter().take(3) {
+        let name = b.info().name;
+        for arch in Arch::ALL {
+            let mut best_us = u64::MAX;
+            let mut cycles = 0u64;
+            for _ in 0..args.iters {
+                let t = Instant::now();
+                let report = try_run_one(b.as_ref(), arch, cfg, SEED)
+                    .unwrap_or_else(|e| panic!("{name} on {arch}: {e}"));
+                best_us = best_us.min(elapsed_us(t));
+                cycles = report.stats.cycles;
+            }
+            println!(
+                "{name:>12} {arch:<8} {cycles:>8} cycles in {best_us:>7} us ({:>10.0} cyc/s)",
+                cps(cycles, best_us)
+            );
+            jobs.push(
+                Json::obj()
+                    .with("bench", name)
+                    .with("arch", arch.key())
+                    .with("cycles", cycles)
+                    .with("wall_us", best_us)
+                    .with("sim_cycles_per_sec", cps(cycles, best_us)),
+            );
+        }
+    }
+
+    // The headline quantity: the whole smoke suite, serially, in-process —
+    // the same work `fig11_speedup --smoke --threads 1` performs.
+    let mut total_us = u64::MAX;
+    let mut total_cycles = 0u64;
+    for _ in 0..args.iters {
+        let t = Instant::now();
+        let run = run_suite_pooled(cfg, SEED, 3, 1, None, None);
+        total_us = total_us.min(elapsed_us(t));
+        total_cycles = run
+            .outcomes
+            .iter()
+            .filter_map(|o| o.metrics().map(|m| m.cycles()))
+            .sum();
+    }
+    let speedup = base_wall as f64 / total_us as f64;
+    println!(
+        "\nsmoke suite serial: {total_cycles} sim cycles in {total_us} us \
+         ({:.0} cyc/s) — {speedup:.2}x vs pre-overhaul baseline ({base_wall} us)",
+        cps(total_cycles, total_us)
+    );
+
+    let doc = Json::obj()
+        .with("schema_version", 1u64)
+        .with("generator", "bench_hotpath")
+        .with("kind", "bench_hotpath")
+        .with("iters", u64::from(args.iters))
+        .with("baseline", baseline)
+        .with(
+            "total",
+            Json::obj()
+                .with("wall_us", total_us)
+                .with("sim_cycles", total_cycles)
+                .with("sim_cycles_per_sec", cps(total_cycles, total_us))
+                .with("speedup_vs_baseline", speedup),
+        )
+        .with("jobs", Json::Arr(jobs));
+    write_json_logged(&args.json, &doc);
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn cps(cycles: u64, us: u64) -> f64 {
+    if us == 0 {
+        0.0
+    } else {
+        cycles as f64 * 1e6 / us as f64
+    }
+}

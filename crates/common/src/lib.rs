@@ -28,6 +28,7 @@ pub mod error;
 pub mod geom;
 pub mod ids;
 pub mod memimg;
+pub mod sched;
 pub mod stats;
 pub mod value;
 

@@ -241,7 +241,7 @@ mod tests {
         let mut mem = MemImage::with_words(2 * n as usize);
         mem.write_i32_slice(Addr(0), &(0..n as i32).map(|i| i * 3).collect::<Vec<_>>());
         let params = vec![Word::from_u32(0), Word::from_u32(4 * n)];
-        let oracle = interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        let oracle = interp::run_ref(kernel, &params, &mem).unwrap();
         let run = FabricMachine::new(cfg())
             .run(&program, LaunchInput::new(params, mem))
             .unwrap();
@@ -278,7 +278,7 @@ mod tests {
         let mut mem = MemImage::with_words(256);
         mem.write_i32_slice(Addr(0), &(0..128).collect::<Vec<_>>());
         let params = vec![Word::from_u32(0), Word::from_u32(512)];
-        let oracle = interp::run(&k, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        let oracle = interp::run_ref(&k, &params, &mem).unwrap();
         let run = FabricMachine::new(c)
             .run(&program, LaunchInput::new(params, mem))
             .unwrap();

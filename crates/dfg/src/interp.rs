@@ -60,20 +60,36 @@ pub struct InterpOutcome {
 /// in-window source; [`Error::Deadlock`] when the dataflow graph cannot
 /// make progress for some thread (an ill-formed communication pattern).
 pub fn run(kernel: &Kernel, input: LaunchInput) -> Result<InterpOutcome> {
-    let mut global = input.memory;
+    run_impl(kernel, &input.params, input.memory)
+}
+
+/// [`run`] over borrowed inputs: the oracle entry point for differential
+/// tests, which pit a timing backend against the interpreter on the *same*
+/// launch. The backend consumes the `LaunchInput`; the oracle only needs
+/// to read it, so borrowing here halves the per-check clones (the one
+/// internal memory copy below is inherent — the interpreter mutates it).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_ref(kernel: &Kernel, params: &[Word], memory: &MemImage) -> Result<InterpOutcome> {
+    run_impl(kernel, params, memory.clone())
+}
+
+fn run_impl(kernel: &Kernel, params: &[Word], mut global: MemImage) -> Result<InterpOutcome> {
     let mut stats = InterpStats::default();
     let nparams = kernel.param_names().len();
-    if input.params.len() != nparams {
+    if params.len() != nparams {
         return Err(Error::Runtime(format!(
             "kernel {} expects {nparams} parameters, got {}",
             kernel.name(),
-            input.params.len()
+            params.len()
         )));
     }
     for block in 0..kernel.grid_blocks() {
         let mut shared = MemImage::with_words(kernel.shared_words() as usize);
         for phase in kernel.phases() {
-            let mut exec = PhaseExec::new(kernel, phase, block, &input.params);
+            let mut exec = PhaseExec::new(kernel, phase, block, params);
             exec.run(&mut global, &mut shared, &mut stats)?;
         }
     }

@@ -79,8 +79,7 @@ mod tests {
         params: Vec<Word>,
         mem: MemImage,
     ) -> dmt_common::stats::RunStats {
-        let oracle =
-            interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).expect("interp ok");
+        let oracle = interp::run_ref(kernel, &params, &mem).expect("interp ok");
         let run = machine()
             .run(&naive_program(kernel, 12), LaunchInput::new(params, mem))
             .expect("fabric ok");

@@ -12,19 +12,51 @@
 //! loaded values to later threads, exactly as in the paper's Fig 8/9
 //! pseudo-code. Both are functionally identical to — and tested against —
 //! the reference interpreter in `dmt-dfg`.
+//!
+//! # Hot-path structure
+//!
+//! The engine's per-cycle work is dominated by three structures, all
+//! chosen so the common case is an array index, not a hash or a heap:
+//!
+//! * **Window-indexed matching stores.** Tokens are tagged with thread
+//!   ids, and the injector admits thread `t` only after thread
+//!   `t − inflight_threads` retired, so the set of tids that can hold
+//!   matching-store state at one instant is bounded by the in-flight
+//!   window (plus the total elevator/eLDST re-tag distance, which can
+//!   briefly keep a stale tid's partial set alive past its retirement).
+//!   Each node's store is therefore a power-of-two ring of slots indexed
+//!   `tid & mask`, each slot tagged with the owning tid; the ring is
+//!   sized to `min(window, threads) + 2·Σ|shift|` so distinct live tids
+//!   map to distinct slots. A tid whose slot is held by another live tid
+//!   — possible only if that bound is ever exceeded — falls back to a
+//!   per-node spill map, preserving exact tagged-token semantics in all
+//!   cases; the ring is an optimization, never a correctness assumption.
+//! * **Calendar event queue.** Almost every scheduled event (NoC
+//!   delivery, unit latency, cache hit) lands a small bounded number of
+//!   cycles ahead, so events live in a bucket-per-cycle wheel
+//!   ([`dmt_common::sched::CalendarQueue`]) with O(1) schedule/pop; rare
+//!   far-future completions (contended DRAM) overflow to a heap. The
+//!   queue pops in ascending `(cycle, insertion order)` — byte-identical
+//!   to the `BinaryHeap<(cycle, seq, ev)>` it replaced, since the
+//!   monotonic `seq` made per-cycle ordering FIFO already. That ordering
+//!   contract is what keeps per-job cycles/energy/stats reproducible.
+//! * **Active-node firing.** Instead of scanning every graph node every
+//!   cycle, a bitmask tracks nodes with complete operand sets; firing
+//!   iterates set bits in ascending node order (the same order the full
+//!   scan used), so drained nodes cost nothing.
 
 use crate::program::{FabricProgram, PhaseProgram};
 use dmt_common::config::{SystemConfig, UnitClass, WritePolicy};
 use dmt_common::ids::{Addr, NodeId};
 use dmt_common::memimg::MemImage;
+use dmt_common::sched::CalendarQueue;
 use dmt_common::stats::RunStats;
 use dmt_common::value::Word;
 use dmt_common::{Error, Result};
 use dmt_dfg::kernel::LaunchInput;
 use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
 use dmt_mem::{AccessOutcome, Lvc, MemSystem, Scratchpad};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Result of a fabric run: final memory image plus statistics.
 #[derive(Debug, Clone)]
@@ -131,7 +163,7 @@ impl FabricMachine {
     }
 }
 
-/// A token-delivery or bookkeeping event on the heap.
+/// A token-delivery or bookkeeping event on the calendar queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     /// A token arrives at `node`'s matching store.
@@ -153,31 +185,68 @@ enum Ev {
     SinkDone { tid: u32 },
 }
 
-// Word lacks Ord; wrap ordering manually.
-impl Ev {
-    fn key(&self) -> (u8, u32) {
-        match self {
-            Ev::Deliver { node, .. } => (0, node.0),
-            Ev::EloadProduce { node, .. } => (1, node.0),
-            Ev::EloadOffer { node, .. } => (2, node.0),
-            Ev::Release { node } => (3, node.0),
-            Ev::SinkDone { tid } => (4, *tid),
-        }
-    }
+/// Tag marking a matching-store or eLDST ring slot as free.
+const EMPTY_TAG: u32 = u32::MAX;
+
+/// One window-indexed matching-store slot: a partially assembled operand
+/// set for thread `tag`. Unfilled ports read as zero when the set
+/// completes (matching the old `Option`-based store's `unwrap_or(ZERO)`).
+#[derive(Debug, Clone, Copy)]
+struct MatchSlot {
+    tag: u32,
+    /// Bitmask of ports already received.
+    filled: u8,
+    ops: [Word; 3],
+}
+
+impl MatchSlot {
+    const EMPTY: MatchSlot = MatchSlot {
+        tag: EMPTY_TAG,
+        filled: 0,
+        ops: [Word::ZERO; 3],
+    };
+}
+
+/// What an eLDST token-buffer entry holds for its thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EldstState {
+    /// A duplicate value arrived before the thread fired.
+    Fwd(Word),
+    /// The thread fired with a false predicate and waits for its value.
+    Parked,
+}
+
+/// One eLDST token-buffer slot (see [`EldstState`]); free when
+/// `tag == EMPTY_TAG`.
+#[derive(Debug, Clone, Copy)]
+struct EldstSlot {
+    tag: u32,
+    state: EldstState,
+}
+
+impl EldstSlot {
+    const EMPTY: EldstSlot = EldstSlot {
+        tag: EMPTY_TAG,
+        state: EldstState::Parked,
+    };
 }
 
 /// Per-node runtime state.
 #[derive(Debug, Default)]
 struct UnitState {
-    /// Matching store: tid → partially assembled operand set.
-    pending: HashMap<u32, ([Option<Word>; 3], u8)>,
+    /// Matching store: `tid & ring_mask`-indexed slots (empty for source
+    /// nodes, which are injected, never delivered to).
+    pending: Box<[MatchSlot]>,
+    /// Matching-store spill for tids whose ring slot is held by another
+    /// live tid. Empty in steady state; see the module docs.
+    spill: HashMap<u32, MatchSlot>,
     /// Complete operand sets awaiting their firing slot.
     ready: VecDeque<(u32, [Word; 3])>,
-    /// eLDST token buffer: values forwarded to a target tid.
-    fwd: HashMap<u32, Word>,
-    /// eLDST threads whose predicate was false and whose source value has
-    /// not arrived yet.
-    parked: Vec<u32>,
+    /// eLDST token buffer: forwarded values / parked threads, ring-indexed
+    /// like `pending` (allocated only for eLDST nodes).
+    eldst: Box<[EldstSlot]>,
+    /// eLDST spill, mirroring `spill`.
+    eldst_spill: HashMap<u32, EldstSlot>,
     /// Outstanding memory operations (LDST occupancy).
     outstanding: u32,
 }
@@ -196,8 +265,14 @@ struct PhaseExec<'a> {
     /// block-local (§3.1: threads communicate within a thread block).
     block_threads: u32,
     units: Vec<UnitState>,
-    events: BinaryHeap<Reverse<(u64, u64, EvOrd)>>,
-    seq: u64,
+    /// Bitmask over nodes with at least one complete operand set; firing
+    /// walks set bits in ascending node order.
+    active: Vec<u64>,
+    /// Cached per-node operand arity (avoids a `NodeKind` match per token).
+    arity: Vec<u8>,
+    /// `ring_size − 1` for the power-of-two matching-store rings.
+    ring_mask: u32,
+    events: CalendarQueue<Ev>,
     now: u64,
     next_inject: u32,
     retire_floor: u32,
@@ -205,29 +280,18 @@ struct PhaseExec<'a> {
     sinks_done: Vec<u32>,
     sink_count: u32,
     retired_count: u32,
+    /// Operand sets currently in `ready` queues (completion check).
+    ready_total: u32,
+    /// Threads currently parked at eLDST buffers (completion check).
+    parked_total: u32,
+    /// `DMT_TRACE` presence, hoisted out of the cycle loop.
+    trace: bool,
     source_nodes: Vec<NodeId>,
     /// Elevator nodes with their configuration: fallback constants are
     /// generated at thread injection (the controller tracks the TID stream,
     /// so window-start threads get their constant without waiting for any
     /// data token — essential for recurrent chains like Fig 6).
     elevator_nodes: Vec<(NodeId, dmt_dfg::node::CommConfig, Word)>,
-}
-
-/// `Ev` with a total order (Word is Eq but its payload must not influence
-/// heap order beyond determinism; the (cycle, seq) prefix already makes
-/// ordering unique).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EvOrd(Ev);
-
-impl PartialOrd for EvOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvOrd {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.key().cmp(&other.0.key())
-    }
 }
 
 impl<'a> PhaseExec<'a> {
@@ -260,8 +324,47 @@ impl<'a> PhaseExec<'a> {
                 _ => None,
             })
             .collect();
+        // Ring sizing: live tids are bounded by the in-flight window (or
+        // the whole launch when smaller), stretched by re-tagging — an
+        // elevator/eLDST chain can hold a stale tid's state alive while
+        // threads up to Σ|shift| further on retire. 2Σ covers a chain's
+        // worth of slack on both sides; the spill map covers anything
+        // beyond (see the module docs).
+        let shift_sum: u64 = phase
+            .graph
+            .node_ids()
+            .map(|id| match *phase.graph.kind(id) {
+                NodeKind::Elevator { comm, .. } | NodeKind::ELoad { comm, .. } => {
+                    comm.shift.unsigned_abs()
+                }
+                _ => 0,
+            })
+            .sum();
+        let live_bound = u64::from(cfg.fabric.inflight_threads.min(threads).max(1)) + 2 * shift_sum;
+        let ring_size = live_bound.next_power_of_two().min(1 << 20) as usize;
+        let arity: Vec<u8> = phase
+            .graph
+            .node_ids()
+            .map(|id| phase.graph.kind(id).arity() as u8)
+            .collect();
         let mut units = Vec::with_capacity(n);
-        units.resize_with(n, UnitState::default);
+        for id in phase.graph.node_ids() {
+            let needs_store = arity[id.index()] > 0;
+            let is_eldst = matches!(phase.graph.kind(id), NodeKind::ELoad { .. });
+            units.push(UnitState {
+                pending: if needs_store {
+                    vec![MatchSlot::EMPTY; ring_size].into_boxed_slice()
+                } else {
+                    Box::default()
+                },
+                eldst: if is_eldst {
+                    vec![EldstSlot::EMPTY; ring_size].into_boxed_slice()
+                } else {
+                    Box::default()
+                },
+                ..UnitState::default()
+            });
+        }
         PhaseExec {
             cfg,
             program,
@@ -271,8 +374,10 @@ impl<'a> PhaseExec<'a> {
             threads,
             block_threads: program.threads_per_block(),
             units,
-            events: BinaryHeap::new(),
-            seq: 0,
+            active: vec![0u64; n.div_ceil(64)],
+            arity,
+            ring_mask: (ring_size - 1) as u32,
+            events: CalendarQueue::new(),
             now: start,
             next_inject: 0,
             retire_floor: 0,
@@ -280,17 +385,18 @@ impl<'a> PhaseExec<'a> {
             sinks_done: vec![0; threads as usize],
             sink_count,
             retired_count: 0,
+            ready_total: 0,
+            parked_total: 0,
+            trace: std::env::var_os("DMT_TRACE").is_some(),
             source_nodes,
             elevator_nodes,
         }
     }
 
     fn schedule(&mut self, at: u64, ev: Ev) {
-        self.seq += 1;
         // Nothing lands in the cycle that scheduled it: tokens cross at
         // least one pipeline boundary.
-        self.events
-            .push(Reverse((at.max(self.now + 1), self.seq, EvOrd(ev))));
+        self.events.schedule(at.max(self.now + 1), ev);
     }
 
     /// Fans `value` out from `node` to all consumers, booking NoC hops.
@@ -391,22 +497,52 @@ impl<'a> PhaseExec<'a> {
         }
     }
 
+    /// Marks `node` as having a complete operand set ready to fire.
+    #[inline]
+    fn mark_active(&mut self, ix: usize) {
+        self.active[ix / 64] |= 1 << (ix % 64);
+    }
+
     fn deliver(&mut self, node: NodeId, port: u8, tid: u32, value: Word, stats: &mut RunStats) {
         stats.token_buffer_writes += 1;
-        let arity = self.phase.graph.kind(node).arity() as u8;
-        let unit = &mut self.units[node.index()];
-        let entry = unit.pending.entry(tid).or_insert(([None; 3], 0));
-        debug_assert!(entry.0[port as usize].is_none(), "duplicate operand");
-        entry.0[port as usize] = Some(value);
-        entry.1 += 1;
-        if entry.1 == arity {
-            let (ops, _) = unit.pending.remove(&tid).expect("entry exists");
-            let ops = [
-                ops[0].unwrap_or(Word::ZERO),
-                ops[1].unwrap_or(Word::ZERO),
-                ops[2].unwrap_or(Word::ZERO),
-            ];
+        debug_assert_ne!(tid, EMPTY_TAG, "tid collides with the empty-slot tag");
+        let ix = node.index();
+        let arity = self.arity[ix];
+        let mask = self.ring_mask;
+        let unit = &mut self.units[ix];
+        let si = (tid & mask) as usize;
+        // Resolve the slot for `tid`: its ring slot, its spill entry, or a
+        // fresh claim (ring when free, spill when occupied by another tid).
+        // A tid must never hold both a ring slot and a spill entry, so a
+        // spilled tid is looked up before an empty ring slot is claimed.
+        let ring_hit = unit.pending[si].tag == tid;
+        let slot: &mut MatchSlot = if ring_hit {
+            &mut unit.pending[si]
+        } else if !unit.spill.is_empty() && unit.spill.contains_key(&tid) {
+            unit.spill.get_mut(&tid).expect("present")
+        } else if unit.pending[si].tag == EMPTY_TAG {
+            let s = &mut unit.pending[si];
+            s.tag = tid;
+            s
+        } else {
+            unit.spill.entry(tid).or_insert(MatchSlot {
+                tag: tid,
+                ..MatchSlot::EMPTY
+            })
+        };
+        debug_assert_eq!(slot.filled & (1 << port), 0, "duplicate operand");
+        slot.filled |= 1 << port;
+        slot.ops[port as usize] = value;
+        if slot.filled.count_ones() == u32::from(arity) {
+            let ops = slot.ops;
+            if ring_hit || unit.pending[si].tag == tid {
+                unit.pending[si] = MatchSlot::EMPTY;
+            } else {
+                unit.spill.remove(&tid);
+            }
             unit.ready.push_back((tid, ops));
+            self.ready_total += 1;
+            self.mark_active(ix);
         }
     }
 
@@ -424,30 +560,43 @@ impl<'a> PhaseExec<'a> {
         // Each node exists once per graph replica, so it fires up to R
         // operations per cycle.
         let fires_per_cycle = self.program.replication.max(1);
-        for ix in 0..self.phase.graph.len() {
-            let node = NodeId(ix as u32);
-            for _ in 0..fires_per_cycle {
-                let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
-                    break;
-                };
-                match self.fire_one(
-                    node,
-                    tid,
-                    ops,
-                    global,
-                    shared_imgs,
-                    mem,
-                    scratch,
-                    lvc,
-                    stats,
-                )? {
-                    Fired::Done => {}
-                    Fired::Blocked => {
-                        // Structural stall: retry the same token next cycle.
-                        self.units[ix].ready.push_front((tid, ops));
-                        any_blocked = true;
+        // Walk only nodes with ready operand sets, in ascending node order
+        // (identical to the full scan this replaces). Firing never makes
+        // another node ready in the same cycle — every send lands at
+        // `now + 1` or later — so iterating a per-word snapshot is exact.
+        for w in 0..self.active.len() {
+            let mut word = self.active[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let ix = w * 64 + bit;
+                let node = NodeId(ix as u32);
+                for _ in 0..fires_per_cycle {
+                    let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
                         break;
+                    };
+                    match self.fire_one(
+                        node,
+                        tid,
+                        ops,
+                        global,
+                        shared_imgs,
+                        mem,
+                        scratch,
+                        lvc,
+                        stats,
+                    )? {
+                        Fired::Done => self.ready_total -= 1,
+                        Fired::Blocked => {
+                            // Structural stall: retry the same token next cycle.
+                            self.units[ix].ready.push_front((tid, ops));
+                            any_blocked = true;
+                            break;
+                        }
                     }
+                }
+                if self.units[ix].ready.is_empty() {
+                    self.active[w] &= !(1u64 << bit);
                 }
             }
         }
@@ -455,6 +604,39 @@ impl<'a> PhaseExec<'a> {
             stats.backpressure_cycles += 1;
         }
         Ok(())
+    }
+
+    /// Removes and returns thread `tid`'s eLDST token-buffer entry at node
+    /// `ix`, following the same ring-then-spill discipline as the matching
+    /// store.
+    fn eldst_remove(&mut self, ix: usize, tid: u32) -> Option<EldstState> {
+        let si = (tid & self.ring_mask) as usize;
+        let unit = &mut self.units[ix];
+        if unit.eldst[si].tag == tid {
+            let state = unit.eldst[si].state;
+            unit.eldst[si] = EldstSlot::EMPTY;
+            return Some(state);
+        }
+        if unit.eldst_spill.is_empty() {
+            None
+        } else {
+            unit.eldst_spill.remove(&tid).map(|s| s.state)
+        }
+    }
+
+    /// Inserts an eLDST token-buffer entry for `tid` at node `ix` (ring
+    /// slot when free, spill otherwise). The caller guarantees no entry
+    /// for `tid` exists (remove-before-insert discipline), so a tid never
+    /// holds both a ring slot and a spill entry.
+    fn eldst_insert(&mut self, ix: usize, tid: u32, state: EldstState) {
+        let si = (tid & self.ring_mask) as usize;
+        let unit = &mut self.units[ix];
+        if unit.eldst[si].tag == EMPTY_TAG {
+            unit.eldst[si] = EldstSlot { tag: tid, state };
+        } else {
+            debug_assert_ne!(unit.eldst[si].tag, tid, "duplicate eLDST entry for {tid}");
+            unit.eldst_spill.insert(tid, EldstSlot { tag: tid, state });
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -579,18 +761,23 @@ impl<'a> PhaseExec<'a> {
                          source thread"
                     )));
                 };
-                if let Some(v) = self.units[node.index()].fwd.remove(&tid) {
-                    stats.eldst_forwards += 1;
-                    self.schedule(
-                        self.now + lat.ldst_issue,
-                        Ev::EloadProduce {
-                            node,
-                            tid,
-                            value: v,
-                        },
-                    );
-                } else {
-                    self.units[node.index()].parked.push(tid);
+                match self.eldst_remove(node.index(), tid) {
+                    Some(EldstState::Fwd(v)) => {
+                        stats.eldst_forwards += 1;
+                        self.schedule(
+                            self.now + lat.ldst_issue,
+                            Ev::EloadProduce {
+                                node,
+                                tid,
+                                value: v,
+                            },
+                        );
+                    }
+                    Some(EldstState::Parked) => unreachable!("thread {tid} fired twice"),
+                    None => {
+                        self.eldst_insert(node.index(), tid, EldstState::Parked);
+                        self.parked_total += 1;
+                    }
                 }
                 Ok(Fired::Done)
             }
@@ -726,20 +913,23 @@ impl<'a> PhaseExec<'a> {
     /// The duplicate token lands in the eLDST token buffer.
     fn eload_offer(&mut self, node: NodeId, dst: u32, value: Word, stats: &mut RunStats) {
         stats.token_buffer_writes += 1;
-        let unit = &mut self.units[node.index()];
-        if let Some(pos) = unit.parked.iter().position(|&p| p == dst) {
-            unit.parked.swap_remove(pos);
-            stats.eldst_forwards += 1;
-            self.schedule(
-                self.now + self.cfg.latencies.ldst_issue,
-                Ev::EloadProduce {
-                    node,
-                    tid: dst,
-                    value,
-                },
-            );
-        } else {
-            unit.fwd.insert(dst, value);
+        match self.eldst_remove(node.index(), dst) {
+            Some(EldstState::Parked) => {
+                self.parked_total -= 1;
+                stats.eldst_forwards += 1;
+                self.schedule(
+                    self.now + self.cfg.latencies.ldst_issue,
+                    Ev::EloadProduce {
+                        node,
+                        tid: dst,
+                        value,
+                    },
+                );
+            }
+            other => {
+                debug_assert!(other.is_none(), "duplicate eLDST offer for thread {dst}");
+                self.eldst_insert(node.index(), dst, EldstState::Fwd(value));
+            }
         }
     }
 
@@ -761,14 +951,34 @@ impl<'a> PhaseExec<'a> {
     fn complete(&self) -> bool {
         self.retired_count == self.threads
             && self.events.is_empty()
-            && self
-                .units
-                .iter()
-                .all(|u| u.ready.is_empty() && u.parked.is_empty())
+            && self.ready_total == 0
+            && self.parked_total == 0
     }
 
     fn has_local_work(&self) -> bool {
-        self.can_inject() || self.units.iter().any(|u| !u.ready.is_empty())
+        self.can_inject() || self.ready_total > 0
+    }
+
+    /// Parked tids at each node (deadlock diagnostics; cold path).
+    fn parked_report(&self) -> Vec<String> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| {
+                let mut tids: Vec<u32> = u
+                    .eldst
+                    .iter()
+                    .chain(u.eldst_spill.values())
+                    .filter(|s| s.tag != EMPTY_TAG && s.state == EldstState::Parked)
+                    .map(|s| s.tag)
+                    .collect();
+                if tids.is_empty() {
+                    return None;
+                }
+                tids.sort_unstable();
+                Some(format!("n{i} waiting for {tids:?}"))
+            })
+            .collect()
     }
 
     fn run(
@@ -788,11 +998,8 @@ impl<'a> PhaseExec<'a> {
         }
         loop {
             // 1. Deliver everything due this cycle.
-            while let Some(&Reverse((t, _, _))) = self.events.peek() {
-                if t > self.now {
-                    break;
-                }
-                let Reverse((_, _, EvOrd(ev))) = self.events.pop().expect("peeked");
+            self.events.advance(self.now);
+            while let Some(ev) = self.events.pop_due() {
                 match ev {
                     Ev::Deliver {
                         node,
@@ -822,30 +1029,26 @@ impl<'a> PhaseExec<'a> {
                 return Ok(self.now);
             }
             // 5. Advance time.
-            if std::env::var_os("DMT_TRACE").is_some() && self.now % 200 == 0 {
+            if self.trace && self.now % 200 == 0 {
                 eprintln!(
-                    "[trace] cycle={} injected={}/{} retired={} events={} ready={} outstanding={}",
+                    "[trace] cycle={} injected={}/{} retired={} events={} (scheduled {}) \
+                     ready={} outstanding={}",
                     self.now,
                     self.next_inject,
                     self.threads,
                     self.retired_count,
                     self.events.len(),
-                    self.units.iter().map(|u| u.ready.len()).sum::<usize>(),
+                    self.events.scheduled_total(),
+                    self.ready_total,
                     self.units.iter().map(|u| u.outstanding).sum::<u32>(),
                 );
             }
             if self.has_local_work() {
                 self.now += 1;
-            } else if let Some(&Reverse((t, _, _))) = self.events.peek() {
+            } else if let Some(t) = self.events.next_time() {
                 self.now = t;
             } else {
-                let parked: Vec<String> = self
-                    .units
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, u)| !u.parked.is_empty())
-                    .map(|(i, u)| format!("n{i} waiting for {:?}", u.parked))
-                    .collect();
+                let parked = self.parked_report();
                 return Err(Error::Deadlock {
                     cycle: self.now,
                     detail: if parked.is_empty() {

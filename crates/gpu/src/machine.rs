@@ -163,6 +163,11 @@ struct WaveExec<'a> {
     slots: Vec<BlockSlot>,
     now: u64,
     rr: usize,
+    /// Reused per-instruction coalescing buffer (line indices); a member
+    /// so the issue hot path never allocates.
+    scratch_lines: Vec<u64>,
+    /// Reused per-instruction lane-result buffer, ditto.
+    scratch_vals: Vec<Word>,
 }
 
 impl<'a> WaveExec<'a> {
@@ -215,6 +220,8 @@ impl<'a> WaveExec<'a> {
             slots,
             now: start,
             rr: 0,
+            scratch_lines: Vec::with_capacity(width as usize),
+            scratch_vals: Vec::with_capacity(width as usize),
         }
     }
 
@@ -291,19 +298,21 @@ impl<'a> WaveExec<'a> {
             ),
             IssueClass::LoadGlobal | IssueClass::StoreGlobal => {
                 let is_store = matches!(class, IssueClass::StoreGlobal);
-                // Coalesce per-lane addresses into unique line transactions.
+                // Coalesce per-lane addresses into unique line transactions
+                // (buffer reused across instructions — no allocation here).
                 let warp = &self.warps[wi];
                 let line = self.cfg.mem.l1.line_bytes;
                 let addr_node = graph.inputs(node)[0].expect("wired");
-                let mut lines: Vec<u64> = (0..warp.lanes)
-                    .map(|l| {
-                        let t = (warp.base_tid + l) as usize;
-                        u64::from(self.slots[si].values[addr_node.index()][t].as_u32()) / line
-                    })
-                    .collect();
+                let mut lines = std::mem::take(&mut self.scratch_lines);
+                lines.clear();
+                lines.extend((0..warp.lanes).map(|l| {
+                    let t = (warp.base_tid + l) as usize;
+                    u64::from(self.slots[si].values[addr_node.index()][t].as_u32()) / line
+                }));
                 lines.sort_unstable();
                 lines.dedup();
                 let mut worst = self.now;
+                let mut stalled = false;
                 for &ln in &lines {
                     let addr = Addr(ln * line);
                     let outcome = if is_store {
@@ -315,15 +324,23 @@ impl<'a> WaveExec<'a> {
                         AccessOutcome::Done(t) => worst = worst.max(t),
                         // Replay the whole instruction next cycle; partial
                         // bookings model the bandwidth cost of replays.
-                        AccessOutcome::StallMshrFull => return Ok(false),
+                        AccessOutcome::StallMshrFull => {
+                            stalled = true;
+                            break;
+                        }
                     }
                 }
+                let n_lines = lines.len() as u64;
+                self.scratch_lines = lines;
+                if stalled {
+                    return Ok(false);
+                }
                 if is_store {
-                    stats.global_stores += lines.len() as u64;
+                    stats.global_stores += n_lines;
                     // Stores are fire-and-forget on the SM too.
                     worst = self.now + g.issue_latency;
                 } else {
-                    stats.global_loads += lines.len() as u64;
+                    stats.global_loads += n_lines;
                 }
                 self.do_memory(phase_ix, node, wi, is_store, MemSpace::Global, global)?;
                 (worst, g.issue_latency)
@@ -332,14 +349,10 @@ impl<'a> WaveExec<'a> {
                 let is_store = matches!(class, IssueClass::StoreShared);
                 let warp = &self.warps[wi];
                 let addr_node = graph.inputs(node)[0].expect("wired");
-                let addrs: Vec<u64> = (0..warp.lanes)
-                    .map(|l| {
-                        let t = (warp.base_tid + l) as usize;
-                        u64::from(self.slots[si].values[addr_node.index()][t].as_u32())
-                    })
-                    .collect();
                 let mut worst = self.now;
-                for a in addrs {
+                for l in 0..warp.lanes {
+                    let t = (warp.base_tid + l) as usize;
+                    let a = u64::from(self.slots[si].values[addr_node.index()][t].as_u32());
                     let done = scratch.access(Addr(a), self.now + g.issue_latency);
                     worst = worst.max(done);
                 }
@@ -353,25 +366,28 @@ impl<'a> WaveExec<'a> {
             }
         };
 
-        // Functional result for compute classes.
+        // Functional result for compute classes. Operands fit a fixed
+        // array (arity ≤ 3) and lane results go through the reused member
+        // buffer, so the per-lane evaluation allocates nothing.
         if matches!(class, IssueClass::Alu | IssueClass::Fpu | IssueClass::Sfu) {
             let warp = &self.warps[wi];
-            let vals: Vec<Word> = (0..warp.lanes)
-                .map(|l| {
-                    let t = (warp.base_tid + l) as usize;
-                    let ops: Vec<Word> = graph
-                        .inputs(node)
-                        .iter()
-                        .flatten()
-                        .map(|src| self.slots[si].values[src.index()][t])
-                        .collect();
-                    eval_pure(graph.kind(node), &ops)
-                })
-                .collect();
+            let mut vals = std::mem::take(&mut self.scratch_vals);
+            vals.clear();
+            vals.extend((0..warp.lanes).map(|l| {
+                let t = (warp.base_tid + l) as usize;
+                let mut ops = [Word::ZERO; 3];
+                let mut n = 0;
+                for src in graph.inputs(node).iter().flatten() {
+                    ops[n] = self.slots[si].values[src.index()][t];
+                    n += 1;
+                }
+                eval_pure(graph.kind(node), &ops[..n])
+            }));
             let base = self.warps[wi].base_tid as usize;
-            for (l, v) in vals.into_iter().enumerate() {
+            for (l, &v) in vals.iter().enumerate() {
                 self.slots[si].values[node.index()][base + l] = v;
             }
+            self.scratch_vals = vals;
         }
 
         stats.gpu_instructions += 1;
@@ -438,38 +454,43 @@ impl<'a> WaveExec<'a> {
     /// phase.
     fn release_barriers(&mut self, end: usize, stats: &mut RunStats) {
         for si in 0..self.slots.len() {
-            let members = || {
-                self.warps
-                    .iter()
-                    .filter(move |w| w.slot == si && w.pc < usize::MAX)
-            };
-            let _ = &members;
-            let unfinished: Vec<usize> = self
-                .warps
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.slot == si && w.pc < end)
-                .map(|(i, _)| i)
-                .collect();
-            if unfinished.is_empty() || !unfinished.iter().all(|&i| self.warps[i].at_barrier) {
+            // Pass 1 (runs every cycle — no allocation): is every
+            // unfinished warp of this block parked at the barrier, and
+            // when does the slowest one's memory settle?
+            let mut any_unfinished = false;
+            let mut all_parked = true;
+            let mut release = self.now;
+            for w in &self.warps {
+                if w.slot != si || w.pc >= end {
+                    continue;
+                }
+                any_unfinished = true;
+                if !w.at_barrier {
+                    all_parked = false;
+                    break;
+                }
+                release = release.max(w.mem_settle);
+            }
+            if !any_unfinished || !all_parked {
                 continue;
             }
-            let release = unfinished
-                .iter()
-                .map(|&i| self.warps[i].mem_settle)
-                .max()
-                .unwrap_or(self.now)
-                .max(self.now);
-            for &i in &unfinished {
-                let w = &mut self.warps[i];
+            // Pass 2: release them (rare — once per barrier per block).
+            let mut first_released_pc = usize::MAX;
+            for w in &mut self.warps {
+                if w.slot != si || w.pc >= end {
+                    continue;
+                }
                 w.at_barrier = false;
                 stats.barrier_wait_cycles += release.saturating_sub(w.ready_at);
                 w.pc += 1;
                 w.ready_at = release + 1;
                 stats.barriers += 1;
+                if first_released_pc == usize::MAX {
+                    first_released_pc = w.pc;
+                }
             }
             // Phase boundary: materialize the next phase's registers.
-            let next_pc = self.warps[unfinished[0]].pc.min(end - 1);
+            let next_pc = first_released_pc.min(end - 1);
             let (pi, _) = self.stream[next_pc];
             if pi != self.slots[si].phase && pi < self.kernel.phases().len() {
                 self.slots[si].phase = pi;
@@ -555,7 +576,8 @@ mod tests {
     }
 
     fn differential(kernel: &Kernel, params: Vec<Word>, mem: MemImage) -> RunStats {
-        let oracle = interp::run(kernel, LaunchInput::new(params.clone(), mem.clone())).unwrap();
+        // The oracle borrows the launch; only the machine consumes it.
+        let oracle = interp::run_ref(kernel, &params, &mem).unwrap();
         let run = GpuMachine::new(cfg())
             .run(kernel, LaunchInput::new(params, mem))
             .unwrap();

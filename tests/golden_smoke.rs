@@ -1,0 +1,41 @@
+//! Golden-output tests locking the cycle engines to the pre-overhaul
+//! behavior.
+//!
+//! The fixtures under `tests/fixtures/` were captured from the engine
+//! *before* the hot-path rewrite (window-indexed matching stores,
+//! calendar-queue events, active-node firing): the smoke suite's rendered
+//! Fig 11 report and the deterministic artifact `jobs` array. The rewrite
+//! is purely structural, so both must reproduce byte-for-byte — any
+//! drift in cycles, stats or energy is a simulation-semantics regression,
+//! not a perf improvement.
+
+use dmt_bench::{fig11_report, run_suite_pooled, SEED};
+use dmt_core::SystemConfig;
+
+fn smoke_run() -> dmt_bench::SuiteRun {
+    run_suite_pooled(SystemConfig::default(), SEED, 3, 1, None, None)
+}
+
+#[test]
+fn smoke_artifact_jobs_array_is_byte_identical_to_pre_rewrite_fixture() {
+    let run = smoke_run();
+    let got = run.artifact("fig11_speedup").jobs_json().render();
+    let want = include_str!("fixtures/smoke_jobs.golden.json");
+    assert!(
+        got == want,
+        "smoke jobs array drifted from the pre-rewrite engine\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}
+
+#[test]
+fn smoke_report_is_byte_identical_to_pre_rewrite_fixture() {
+    let run = smoke_run();
+    let got = fig11_report(&run.rows());
+    let want = include_str!("fixtures/smoke_report.golden.txt");
+    assert!(
+        got == want,
+        "smoke Fig 11 report drifted from the pre-rewrite engine\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}

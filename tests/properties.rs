@@ -44,8 +44,7 @@ proptest! {
         mem.write_i32_slice(Addr(0), &data);
         let params = vec![Word::from_u32(0), Word::from_u32(4 * n)];
 
-        let oracle = interp::run(&kernel, LaunchInput::new(params.clone(), mem.clone()))
-            .expect("interp");
+        let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
         let cfg = SystemConfig::default();
         let program = compiler::compile(&kernel, &cfg).expect("compiles");
         let run = FabricMachine::new(cfg)
@@ -117,5 +116,112 @@ proptest! {
             acc = acc.wrapping_add(v);
             prop_assert_eq!(got[i], acc, "index {}", i);
         }
+    }
+}
+
+/// `result[tid] = in[tid/win]`, loaded once per window group by its
+/// leader and forwarded to the rest through a windowed eLDST.
+fn eldst_kernel(win: u32, n: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("prop_eldst", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let w = kb.const_i(win as i32);
+    let lane = kb.rem_i(tid, w);
+    let zero = kb.const_i(0);
+    let is_leader = kb.eq_i(lane, zero);
+    let group = kb.div_i(tid, w);
+    let ga = kb.index_addr(inp, group, 4);
+    let v = kb.from_thread_or_mem(ga, is_leader, Delta::new(-1), Some(win));
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, v);
+    kb.finish().expect("well-formed")
+}
+
+// Differential stress for the hot-path engine structures: small in-flight
+// windows exercise the ring-indexed matching stores right at (and past)
+// their sizing bound, and replication exercises multi-fire on the
+// active-node worklist. The optimized `FabricMachine` must agree with the
+// reference interpreter on the final memory image *and* be cycle-exactly
+// deterministic at every point.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Elevator kernels across (ΔTID, transmission window) × in-flight
+    /// window × replication: memory equals the interpreter, cycle counts
+    /// repeat exactly.
+    #[test]
+    fn fabric_matches_interp_under_window_and_replication(
+        delta in (-6i32..=6).prop_filter("non-zero", |d| *d != 0),
+        window_pow in 2u32..=6, // transmission windows 4..=64
+        inflight_sel in 0usize..5,
+        replication in 1u32..=4,
+        data in proptest::collection::vec(-1000i32..1000, 64),
+    ) {
+        let n = 64u32;
+        let window = 1u32 << window_pow;
+        let inflight = [8u32, 16, 64, 512, 2048][inflight_sel];
+        prop_assume!(delta.unsigned_abs() < window);
+        let kernel = comm_kernel(delta, window, n);
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &data);
+        let params = vec![Word::from_u32(0), Word::from_u32(4 * n)];
+
+        let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.inflight_threads = inflight;
+        let mut program = compiler::compile(&kernel, &cfg).expect("compiles");
+        program.replication = replication;
+        let machine = FabricMachine::new(cfg);
+        let run = || {
+            machine
+                .run(&program, LaunchInput::new(params.clone(), mem.clone()))
+                .expect("fabric")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.memory, &oracle.memory, "fabric diverges from interpreter");
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles, "nondeterministic cycles");
+        prop_assert_eq!(a.stats, b.stats, "nondeterministic stats");
+    }
+
+    /// Windowed eLDST forwarding under small in-flight windows and
+    /// replication: the token-buffer ring (forward values + parked
+    /// threads) must preserve exact semantics.
+    #[test]
+    fn fabric_matches_interp_for_windowed_eldst(
+        win_pow in 1u32..=4, // groups of 2..=16
+        inflight_sel in 0usize..3,
+        replication in 1u32..=3,
+        data in proptest::collection::vec(-1000i32..1000, 32),
+    ) {
+        let n = 64u32;
+        let win = 1u32 << win_pow;
+        let inflight = [8u32, 32, 2048][inflight_sel];
+        let groups = (n / win) as usize;
+        let kernel = eldst_kernel(win, n);
+        let mut mem = MemImage::with_words(groups + n as usize);
+        mem.write_i32_slice(Addr(0), &data[..groups]);
+        let params = vec![Word::from_u32(0), Word::from_u32(4 * groups as u32)];
+
+        let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.inflight_threads = inflight;
+        let mut program = compiler::compile(&kernel, &cfg).expect("compiles");
+        program.replication = replication;
+        let machine = FabricMachine::new(cfg);
+        let run = || {
+            machine
+                .run(&program, LaunchInput::new(params.clone(), mem.clone()))
+                .expect("fabric")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.memory, &oracle.memory, "fabric diverges from interpreter");
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles, "nondeterministic cycles");
+        prop_assert_eq!(
+            a.stats.global_loads, u64::from(n / win),
+            "one load per window group"
+        );
     }
 }
