@@ -1,7 +1,7 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke perf-smoke clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke perf-full clean
 
 all: build test lint bench-smoke perf-smoke
 
@@ -45,6 +45,14 @@ bench-smoke:
 perf-smoke:
 	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
 		--json artifacts/BENCH_hotpath.json
+
+# Full Table 3 throughput sweep (all nine benchmarks × three machines).
+# Deliberately NOT part of `all` or CI's push path — the headline `total`
+# block stays the smoke measurement either way, so trends remain
+# like-for-like; run this locally when profiling engine changes.
+perf-full:
+	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
+		--full --json artifacts/BENCH_hotpath_full.json
 
 clean:
 	cargo clean

@@ -26,6 +26,12 @@ import sys
 
 TRAJECTORY_SCHEMA_VERSION = 1
 
+# Artifact schema versions this reader understands. v2 added the per-job
+# "phases" array (every v1 field unchanged); the trajectory records the
+# totals either way, plus the phase count when present, so a series may
+# hold v1 and v2 rows side by side.
+SUPPORTED_ARTIFACT_SCHEMAS = (1, 2)
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
@@ -38,6 +44,11 @@ def main():
 
     with open(args.artifact, encoding="utf-8") as f:
         artifact = json.load(f)
+    schema = artifact.get("schema_version")
+    if schema not in SUPPORTED_ARTIFACT_SCHEMAS:
+        print(f"trajectory: unsupported artifact schema_version {schema!r} "
+              f"(supported: {SUPPORTED_ARTIFACT_SCHEMAS})", file=sys.stderr)
+        return 1
 
     hotpath = None
     if args.hotpath:
@@ -74,6 +85,7 @@ def main():
         "sha": args.sha,
         "run_id": args.run_id,
         "suite": artifact.get("suite"),
+        "artifact_schema": schema,
         "jobs": [
             {
                 "bench": j["bench"],
@@ -83,6 +95,10 @@ def main():
                 "status": j["status"],
                 **({"cycles": j["cycles"], "total_j": j["total_j"]}
                    if j.get("status") == "ok" else {}),
+                # v2 artifacts: record the phase count (informational; v1
+                # rows in the same series simply lack the key).
+                **({"phases": len(j["phases"])}
+                   if isinstance(j.get("phases"), list) else {}),
             }
             for j in artifact.get("jobs", [])
         ],

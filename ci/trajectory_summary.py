@@ -13,6 +13,11 @@ push (``▲`` regression / ``▼`` improvement) when the job's
 A trailing column shows the informational ``hotpath`` simulator
 throughput (sim-cycles/sec) when the entry recorded one.
 
+Entries recorded from schema-v2 artifacts carry a per-job ``phases``
+count; multi-phase cells are annotated ``·Np``. Entries recorded from v1
+artifacts (older rows of the same series) simply lack the key and render
+unannotated — both row shapes coexist in one table.
+
 ``--out`` appends to the given file (pass ``$GITHUB_STEP_SUMMARY`` in CI
 to publish the table on the job page); the table is always printed to
 stdout. Exits 0 with a note when the trajectory is missing or empty —
@@ -37,6 +42,11 @@ def fmt_cell(job, prev_job):
     if job.get("status") != "ok":
         return job.get("status", "-")
     cell = f"{job['cycles']}"
+    # v2 rows know their phase count; annotate multi-phase jobs (v1 rows
+    # lack the key and render unannotated).
+    phases = job.get("phases")
+    if isinstance(phases, int) and phases > 1:
+        cell += f" ·{phases}p"
     if (
         prev_job is not None
         and prev_job.get("status") == "ok"
@@ -95,6 +105,7 @@ def render(trajectory, last):
     lines.append("")
     lines.append(
         "Cycle deltas are marked only at identical `config_hash`; "
+        "`·Np` marks multi-phase jobs (schema-v2 entries); "
         "`hotpath` is host-dependent simulator throughput (informational)."
     )
     return "\n".join(lines) + "\n"

@@ -3,7 +3,7 @@
 //! travel a distance a 16-entry token buffer can cover without cascading.
 //!
 //! Pass `--json PATH` to also write the sites and CDFs as a versioned
-//! JSON document (schema_version 1, suite `fig05_delta_cdf`).
+//! JSON document (current schema_version, suite `fig05_delta_cdf`).
 
 use dmt_bench::suite_comm_sites;
 use dmt_core::dfg::delta_stats::{cdf, fraction_within, DistanceMetric};

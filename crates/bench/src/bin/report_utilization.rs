@@ -7,16 +7,24 @@
 //! dMT-CGRA's edge is precisely the utilization the elimination of
 //! barriers and redundant loads buys back.
 //!
+//! With `--per-phase`, additionally breaks the multi-phase (barrier-
+//! delimited) kernels down phase by phase: cycles, operations per cycle,
+//! utilization and energy for every phase on every machine — the view
+//! that shows *where* a shared-memory kernel loses its utilization (the
+//! drain/reconfigure phases) while the single-phase dMT version streams.
+//!
 //! Pool-parallel over the suite grid (`--threads N`), deterministic
-//! output; `--json PATH` records every job.
+//! output; `--json PATH` records every job (schema v2: per-job `"phases"`
+//! arrays ride along).
 
-use dmt_bench::{run_suite_pooled, SEED};
-use dmt_core::SystemConfig;
-use dmt_runner::RunnerArgs;
+use dmt_bench::{run_suite_pooled, RowOutcome, SEED};
+use dmt_core::{Arch, EnergyModel, SystemConfig};
+use dmt_runner::{JobMetrics, RunnerArgs};
 
 fn main() {
-    let args = RunnerArgs::from_env();
+    let args = RunnerArgs::from_env_with(&["--per-phase"]);
     args.forbid_smoke("report_utilization");
+    let per_phase = args.has_flag("--per-phase");
     let progress = args.progress_reporter();
     let cache = args.cache_store();
     let cfg = SystemConfig::default();
@@ -62,9 +70,84 @@ fn main() {
          is 4.375× the SM's, so matching the SM's absolute ops/cycle at 23% grid\n\
          utilization already breaks even (§5.2)."
     );
+    if per_phase {
+        print_per_phase(&rows, &cfg, lanes, grid_units);
+    }
     run.write_artifact(&args, "report_utilization");
     if let Some(c) = &cache {
         c.report();
     }
     dmt_bench::exit_on_incomplete(&rows);
+}
+
+/// The `--per-phase` section: phase-by-phase utilization and energy for
+/// every benchmark where any machine runs more than one phase (the
+/// multi-phase Table 3 kernels; the dMT single-phase row is printed
+/// alongside for contrast).
+fn print_per_phase(rows: &[RowOutcome], cfg: &SystemConfig, lanes: f64, grid_units: f64) {
+    let model = EnergyModel::default();
+    let ghz = cfg.clocks.core_ghz;
+    println!("\nPer-phase utilization and energy (kernels with barrier-delimited phases)\n");
+    for r in rows {
+        let multi_phase = Arch::ALL
+            .iter()
+            .filter_map(|&a| r.outcome(a).metrics())
+            .any(|m| m.stats.per_phase.len() > 1);
+        if !multi_phase {
+            continue;
+        }
+        for arch in Arch::ALL {
+            let Some(m) = r.outcome(arch).metrics() else {
+                continue;
+            };
+            print_machine_phases(&r.name, arch, m, &model, ghz, lanes, grid_units);
+        }
+    }
+    println!(
+        "single-phase dMT rows stream the whole launch through one configuration;\n\
+         multi-phase rows pay a drain + reconfiguration at every barrier."
+    );
+}
+
+fn print_machine_phases(
+    bench: &str,
+    arch: Arch,
+    m: &JobMetrics,
+    model: &EnergyModel,
+    ghz: f64,
+    lanes: f64,
+    grid_units: f64,
+) {
+    let phases = &m.stats.per_phase;
+    println!(
+        "{bench} @ {arch} ({} phase{}, {} cycles total)",
+        phases.len(),
+        if phases.len() == 1 { "" } else { "s" },
+        m.cycles()
+    );
+    println!(
+        "  {:>5} {:>10} {:>6} {:>9} {:>7} {:>12}",
+        "phase", "cycles", "cyc%", "ops/cyc", "util", "energy [uJ]"
+    );
+    let energies = model.evaluate_phases(arch.kind(), &m.stats, ghz);
+    for (i, (p, e)) in phases.iter().zip(&energies).enumerate() {
+        // The SM retires thread-instructions over 32 lanes; the fabrics
+        // fire functional-unit ops over the 140-unit grid.
+        let (ops, peak) = match arch {
+            Arch::FermiSm => (
+                p.gpu_thread_instructions as f64 / p.cycles.max(1) as f64,
+                lanes,
+            ),
+            Arch::MtCgra | Arch::DmtCgra => (p.ops_per_cycle(), grid_units),
+        };
+        println!(
+            "  {:>5} {:>10} {:>5.1}% {:>9.1} {:>6.1}% {:>12.3}",
+            i,
+            p.cycles,
+            100.0 * p.cycles as f64 / m.cycles().max(1) as f64,
+            ops,
+            100.0 * ops / peak,
+            e.total_j() * 1e6,
+        );
+    }
 }

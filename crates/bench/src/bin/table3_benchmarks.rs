@@ -1,5 +1,5 @@
 //! Table 3 — the benchmark suite. Pass `--json PATH` for the inventory
-//! as a versioned JSON document (schema_version 1, suite
+//! as a versioned JSON document (current schema_version, suite
 //! `table3_benchmarks`).
 
 use dmt_runner::{Json, RunnerArgs, SCHEMA_VERSION};

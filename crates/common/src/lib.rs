@@ -37,5 +37,5 @@ pub use error::{Error, Result};
 pub use geom::{Delta, Dim3};
 pub use ids::{Addr, Cycle, NodeId, PortIx, ThreadId, UnitId};
 pub use memimg::MemImage;
-pub use stats::RunStats;
+pub use stats::{PhaseStats, RunStats};
 pub use value::Word;

@@ -1,101 +1,241 @@
-//! Run statistics: the event counters every backend produces.
+//! Run statistics: the event counters every backend produces, resolved
+//! per barrier-delimited phase.
 //!
 //! A [`RunStats`] is filled by the fabric, GPU and memory simulators during a
 //! kernel run, then consumed by the energy model (which multiplies event
 //! counts by per-event energies, mirroring GPUWattch's methodology) and by
 //! the figure harnesses.
+//!
+//! # Phase resolution
+//!
+//! Multi-phase kernels (barrier-delimited phases, §4) execute as distinct
+//! fabric configurations with very different operational mixes, so the
+//! counters are kept **per phase**: one [`PhaseStats`] record per phase in
+//! [`RunStats::per_phase`], with the whole-run totals stored flat on
+//! [`RunStats`] itself. The engines build the totals as the field-wise sum
+//! of the phases ([`RunStats::from_phases`]), so
+//! `sum(per_phase) == totals` holds exactly, for every counter — and a
+//! single-phase kernel reports exactly one phase equal to its totals.
+//!
+//! # The counter list
+//!
+//! The set of counters is defined once, in [`for_each_run_counter!`], and
+//! every consumer — both structs here, the JSON artifact writer and the
+//! result-cache decoder in `dmt-runner` — is generated from it. Adding a
+//! counter means adding one line to that macro; it is then impossible for
+//! the structs, the arithmetic, the artifact and the cache to disagree
+//! about the counter set.
 
 use std::fmt;
 use std::ops::AddAssign;
 
-/// Event counters accumulated over one kernel execution.
+/// Invokes a callback macro with the full `(name, doc)` counter list —
+/// the single definition of every event counter a run produces.
 ///
-/// All counters are monotonically increasing event counts; `cycles` is the
-/// total execution time in core cycles. Counters irrelevant to a backend
-/// stay zero (e.g. `gpu_instructions` on a CGRA run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RunStats {
-    /// Total execution time in core cycles.
-    pub cycles: u64,
-    /// Threads that completed execution.
-    pub threads_retired: u64,
-    /// Barrier-delimited phases executed (1 when the kernel has no barrier).
-    pub phases: u64,
+/// The callback receives a comma-separated list of `(ident, literal)`
+/// pairs in artifact order. See this module's source for the callback
+/// shape; `dmt-runner` uses it to generate the artifact serializer and
+/// the cache decoder from the same list.
+#[macro_export]
+macro_rules! for_each_run_counter {
+    ($cb:ident) => {
+        $cb! {
+            (cycles, "Total execution time in core cycles."),
+            (threads_retired, "Threads that completed execution."),
+            (phases, "Barrier-delimited phases executed (1 when the kernel has no barrier)."),
+            (alu_ops, "Integer ALU operations fired."),
+            (fpu_ops, "Floating-point operations fired."),
+            (special_ops, "Special-function operations fired (div/sqrt/exp)."),
+            (control_ops, "Control operations fired (select/compare/bitwise)."),
+            (sju_ops, "Split/join pass-throughs fired."),
+            (elevator_ops, "Elevator re-tagging operations fired."),
+            (
+                elevator_const_tokens,
+                "Tokens an elevator filled with the fallback constant (sender outside the transmission window or the thread block)."
+            ),
+            (
+                eldst_forwards,
+                "Values an eLDST forwarded from the token buffer instead of loading from memory (each is one memory access saved)."
+            ),
+            (tokens_routed, "Tokens placed on the NoC."),
+            (noc_hops, "Total NoC router hops traversed by all tokens."),
+            (token_buffer_writes, "Tokens written to matching-store/token buffers."),
+            (
+                backpressure_cycles,
+                "Cycles in which at least one unit could not fire due to downstream backpressure."
+            ),
+            (global_loads, "Global-memory load requests issued (after eLDST forwarding)."),
+            (global_stores, "Global-memory store requests issued."),
+            (l1_hits, "L1 hits."),
+            (l1_misses, "L1 misses."),
+            (l2_hits, "L2 hits."),
+            (l2_misses, "L2 misses."),
+            (dram_reads, "DRAM line transactions (reads)."),
+            (dram_writes, "DRAM line transactions (writes, including write-back evictions)."),
+            (shared_loads, "Scratchpad (shared-memory) loads."),
+            (shared_stores, "Scratchpad (shared-memory) stores."),
+            (
+                shared_bank_conflicts,
+                "Extra serialization events caused by scratchpad bank conflicts."
+            ),
+            (lvc_reads, "Live-Value-Cache reads (elevator spill path)."),
+            (lvc_writes, "Live-Value-Cache writes (elevator spill path)."),
+            (gpu_instructions, "Warp-instructions issued (each fetch/decode event)."),
+            (
+                gpu_thread_instructions,
+                "Thread-instructions executed (warp-instructions × active lanes)."
+            ),
+            (register_reads, "Register-file operand reads."),
+            (register_writes, "Register-file writes."),
+            (barrier_wait_cycles, "Warp-cycles spent waiting at barriers."),
+            (barriers, "Barrier instructions executed (per warp)."),
+            (gpu_stall_cycles, "Cycles in which no warp could issue (stall cycles)."),
+        }
+    };
+}
 
-    // ---- Fabric operation counts ----
-    /// Integer ALU operations fired.
-    pub alu_ops: u64,
-    /// Floating-point operations fired.
-    pub fpu_ops: u64,
-    /// Special-function operations fired (div/sqrt/exp).
-    pub special_ops: u64,
-    /// Control operations fired (select/compare/bitwise).
-    pub control_ops: u64,
-    /// Split/join pass-throughs fired.
-    pub sju_ops: u64,
-    /// Elevator re-tagging operations fired.
-    pub elevator_ops: u64,
-    /// Tokens an elevator filled with the fallback constant (sender outside
-    /// the transmission window or the thread block).
-    pub elevator_const_tokens: u64,
-    /// Values an eLDST forwarded from the token buffer instead of loading
-    /// from memory (each is one memory access saved).
-    pub eldst_forwards: u64,
+macro_rules! define_stats_types {
+    ($(($field:ident, $doc:literal)),+ $(,)?) => {
+        /// Event counters accumulated over one barrier-delimited phase (or
+        /// any contiguous slice of a run).
+        ///
+        /// All counters are monotonically increasing event counts; `cycles`
+        /// is the phase's share of the run's core cycles (including the
+        /// reconfiguration overhead paid to enter it). Counters irrelevant
+        /// to a backend stay zero (e.g. `gpu_instructions` on a CGRA run).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct PhaseStats {
+            $(#[doc = $doc] pub $field: u64,)+
+        }
 
-    // ---- Fabric transport ----
-    /// Tokens placed on the NoC.
-    pub tokens_routed: u64,
-    /// Total NoC router hops traversed by all tokens.
-    pub noc_hops: u64,
-    /// Tokens written to matching-store/token buffers.
-    pub token_buffer_writes: u64,
-    /// Cycles in which at least one unit could not fire due to downstream
-    /// backpressure.
-    pub backpressure_cycles: u64,
+        impl PhaseStats {
+            /// Field-wise difference of two cumulative snapshots: the
+            /// counters accrued between `prev` and `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics (in debug builds, via arithmetic overflow) when any
+            /// counter of `prev` exceeds `self` — snapshots must be taken
+            /// from the same monotonically growing run.
+            #[must_use]
+            pub fn minus(&self, prev: &PhaseStats) -> PhaseStats {
+                PhaseStats {
+                    $($field: self.$field - prev.$field,)+
+                }
+            }
 
-    // ---- Memory system ----
-    /// Global-memory load requests issued (after eLDST forwarding).
-    pub global_loads: u64,
-    /// Global-memory store requests issued.
-    pub global_stores: u64,
-    /// L1 hits.
-    pub l1_hits: u64,
-    /// L1 misses.
-    pub l1_misses: u64,
-    /// L2 hits.
-    pub l2_hits: u64,
-    /// L2 misses.
-    pub l2_misses: u64,
-    /// DRAM line transactions (reads).
-    pub dram_reads: u64,
-    /// DRAM line transactions (writes, including write-back evictions).
-    pub dram_writes: u64,
-    /// Scratchpad (shared-memory) loads.
-    pub shared_loads: u64,
-    /// Scratchpad (shared-memory) stores.
-    pub shared_stores: u64,
-    /// Extra serialization events caused by scratchpad bank conflicts.
-    pub shared_bank_conflicts: u64,
-    /// Live-Value-Cache reads (elevator spill path).
-    pub lvc_reads: u64,
-    /// Live-Value-Cache writes (elevator spill path).
-    pub lvc_writes: u64,
+            /// Field-wise accumulation (used to derive run totals).
+            pub fn accumulate(&mut self, rhs: &PhaseStats) {
+                $(self.$field += rhs.$field;)+
+            }
+        }
 
-    // ---- GPU (von Neumann) backend ----
-    /// Warp-instructions issued (each fetch/decode event).
-    pub gpu_instructions: u64,
-    /// Thread-instructions executed (warp-instructions × active lanes).
-    pub gpu_thread_instructions: u64,
-    /// Register-file operand reads.
-    pub register_reads: u64,
-    /// Register-file writes.
-    pub register_writes: u64,
-    /// Warp-cycles spent waiting at barriers.
-    pub barrier_wait_cycles: u64,
-    /// Barrier instructions executed (per warp).
-    pub barriers: u64,
-    /// Cycles in which no warp could issue (stall cycles).
-    pub gpu_stall_cycles: u64,
+        /// Event counters accumulated over one kernel execution, with the
+        /// per-phase breakdown the totals are derived from.
+        ///
+        /// The flat fields are the whole-run totals; [`Self::per_phase`]
+        /// holds one [`PhaseStats`] per barrier-delimited phase, and the
+        /// engines construct the totals as their field-wise sum
+        /// ([`RunStats::from_phases`]), so the two views agree exactly.
+        #[derive(Debug, Clone, PartialEq, Eq, Default)]
+        pub struct RunStats {
+            $(#[doc = $doc] pub $field: u64,)+
+            /// Per-phase counter records, in execution order. Empty only
+            /// for hand-assembled records (tests, synthetic stats); both
+            /// execution engines always populate one entry per phase.
+            pub per_phase: Vec<PhaseStats>,
+        }
+
+        impl RunStats {
+            /// The whole-run totals as a plain counter record (the same
+            /// shape as one phase — useful for uniform arithmetic and for
+            /// evaluating the energy model on totals and phases alike).
+            #[must_use]
+            pub fn totals(&self) -> PhaseStats {
+                PhaseStats { $($field: self.$field,)+ }
+            }
+
+            /// Builds a record whose totals are the field-wise sum of
+            /// `phases` — the engines' way of guaranteeing
+            /// `sum(per_phase) == totals` by construction.
+            #[must_use]
+            pub fn from_phases(phases: Vec<PhaseStats>) -> RunStats {
+                let mut totals = PhaseStats::default();
+                for p in &phases {
+                    totals.accumulate(p);
+                }
+                RunStats {
+                    $($field: totals.$field,)+
+                    per_phase: phases,
+                }
+            }
+
+            /// True when the per-phase records sum exactly to the totals
+            /// for every counter (vacuously true when no phase breakdown
+            /// is attached). Consumers use this to validate externally
+            /// sourced records (e.g. decoded cache entries).
+            #[must_use]
+            pub fn phase_sums_match(&self) -> bool {
+                if self.per_phase.is_empty() {
+                    return true;
+                }
+                let mut sum = PhaseStats::default();
+                for p in &self.per_phase {
+                    sum.accumulate(p);
+                }
+                sum == self.totals()
+            }
+        }
+
+        impl AddAssign for RunStats {
+            /// Accumulates another record into `self` (sequential
+            /// composition of runs): totals add field-wise and the phase
+            /// sequences concatenate, preserving `sum(per_phase) ==
+            /// totals` when both sides satisfied it.
+            fn add_assign(&mut self, rhs: RunStats) {
+                $(self.$field += rhs.$field;)+
+                self.per_phase.extend(rhs.per_phase);
+            }
+        }
+    };
+}
+
+crate::for_each_run_counter!(define_stats_types);
+
+impl PhaseStats {
+    /// Total functional-unit operations fired in the fabric during this
+    /// phase.
+    #[must_use]
+    pub fn fabric_ops(&self) -> u64 {
+        self.alu_ops
+            + self.fpu_ops
+            + self.special_ops
+            + self.control_ops
+            + self.sju_ops
+            + self.elevator_ops
+    }
+
+    /// Average fabric operations fired per cycle of this phase.
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fabric_ops() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory-hierarchy accesses (global loads + stores).
+    #[must_use]
+    pub fn global_accesses(&self) -> u64 {
+        self.global_loads + self.global_stores
+    }
+
+    /// Total scratchpad accesses.
+    #[must_use]
+    pub fn shared_accesses(&self) -> u64 {
+        self.shared_loads + self.shared_stores
+    }
 }
 
 impl RunStats {
@@ -144,85 +284,6 @@ impl RunStats {
         } else {
             self.fabric_ops() as f64 / self.cycles as f64
         }
-    }
-}
-
-impl AddAssign for RunStats {
-    /// Accumulates another record into `self`. `cycles` and `phases` add
-    /// (sequential composition of runs).
-    fn add_assign(&mut self, rhs: RunStats) {
-        let RunStats {
-            cycles,
-            threads_retired,
-            phases,
-            alu_ops,
-            fpu_ops,
-            special_ops,
-            control_ops,
-            sju_ops,
-            elevator_ops,
-            elevator_const_tokens,
-            eldst_forwards,
-            tokens_routed,
-            noc_hops,
-            token_buffer_writes,
-            backpressure_cycles,
-            global_loads,
-            global_stores,
-            l1_hits,
-            l1_misses,
-            l2_hits,
-            l2_misses,
-            dram_reads,
-            dram_writes,
-            shared_loads,
-            shared_stores,
-            shared_bank_conflicts,
-            lvc_reads,
-            lvc_writes,
-            gpu_instructions,
-            gpu_thread_instructions,
-            register_reads,
-            register_writes,
-            barrier_wait_cycles,
-            barriers,
-            gpu_stall_cycles,
-        } = rhs;
-        self.cycles += cycles;
-        self.threads_retired += threads_retired;
-        self.phases += phases;
-        self.alu_ops += alu_ops;
-        self.fpu_ops += fpu_ops;
-        self.special_ops += special_ops;
-        self.control_ops += control_ops;
-        self.sju_ops += sju_ops;
-        self.elevator_ops += elevator_ops;
-        self.elevator_const_tokens += elevator_const_tokens;
-        self.eldst_forwards += eldst_forwards;
-        self.tokens_routed += tokens_routed;
-        self.noc_hops += noc_hops;
-        self.token_buffer_writes += token_buffer_writes;
-        self.backpressure_cycles += backpressure_cycles;
-        self.global_loads += global_loads;
-        self.global_stores += global_stores;
-        self.l1_hits += l1_hits;
-        self.l1_misses += l1_misses;
-        self.l2_hits += l2_hits;
-        self.l2_misses += l2_misses;
-        self.dram_reads += dram_reads;
-        self.dram_writes += dram_writes;
-        self.shared_loads += shared_loads;
-        self.shared_stores += shared_stores;
-        self.shared_bank_conflicts += shared_bank_conflicts;
-        self.lvc_reads += lvc_reads;
-        self.lvc_writes += lvc_writes;
-        self.gpu_instructions += gpu_instructions;
-        self.gpu_thread_instructions += gpu_thread_instructions;
-        self.register_reads += register_reads;
-        self.register_writes += register_writes;
-        self.barrier_wait_cycles += barrier_wait_cycles;
-        self.barriers += barriers;
-        self.gpu_stall_cycles += gpu_stall_cycles;
     }
 }
 
@@ -280,6 +341,7 @@ mod tests {
             ..RunStats::default()
         };
         assert_eq!(s.fabric_ops(), 21);
+        assert_eq!(s.totals().fabric_ops(), 21);
     }
 
     #[test]
@@ -294,26 +356,100 @@ mod tests {
     }
 
     #[test]
-    fn add_assign_accumulates_every_field() {
+    fn add_assign_accumulates_every_field_and_concatenates_phases() {
         let mut a = RunStats::default();
         let b = RunStats {
             cycles: 10,
             alu_ops: 5,
             dram_writes: 2,
             gpu_instructions: 7,
+            per_phase: vec![PhaseStats {
+                cycles: 10,
+                alu_ops: 5,
+                dram_writes: 2,
+                gpu_instructions: 7,
+                ..PhaseStats::default()
+            }],
             ..RunStats::default()
         };
-        a += b;
+        a += b.clone();
         a += b;
         assert_eq!(a.cycles, 20);
         assert_eq!(a.alu_ops, 10);
         assert_eq!(a.dram_writes, 4);
         assert_eq!(a.gpu_instructions, 14);
+        assert_eq!(a.per_phase.len(), 2);
+        assert!(a.phase_sums_match());
+    }
+
+    #[test]
+    fn from_phases_derives_totals_as_the_exact_sum() {
+        let p0 = PhaseStats {
+            cycles: 100,
+            alu_ops: 7,
+            l1_hits: 3,
+            ..PhaseStats::default()
+        };
+        let p1 = PhaseStats {
+            cycles: 50,
+            fpu_ops: 9,
+            l1_hits: 2,
+            ..PhaseStats::default()
+        };
+        let s = RunStats::from_phases(vec![p0, p1]);
+        assert_eq!(s.cycles, 150);
+        assert_eq!(s.alu_ops, 7);
+        assert_eq!(s.fpu_ops, 9);
+        assert_eq!(s.l1_hits, 5);
+        assert_eq!(s.per_phase, vec![p0, p1]);
+        assert!(s.phase_sums_match());
+        assert_eq!(s.totals(), {
+            let mut t = p0;
+            t.accumulate(&p1);
+            t
+        });
+    }
+
+    #[test]
+    fn minus_recovers_a_phase_from_cumulative_snapshots() {
+        let prev = PhaseStats {
+            cycles: 40,
+            noc_hops: 10,
+            ..PhaseStats::default()
+        };
+        let cum = PhaseStats {
+            cycles: 100,
+            noc_hops: 25,
+            dram_reads: 4,
+            ..PhaseStats::default()
+        };
+        let delta = cum.minus(&prev);
+        assert_eq!(delta.cycles, 60);
+        assert_eq!(delta.noc_hops, 15);
+        assert_eq!(delta.dram_reads, 4);
+    }
+
+    #[test]
+    fn phase_sums_match_detects_drift() {
+        let mut s = RunStats::from_phases(vec![PhaseStats {
+            cycles: 10,
+            ..PhaseStats::default()
+        }]);
+        assert!(s.phase_sums_match());
+        s.cycles += 1;
+        assert!(!s.phase_sums_match());
+        // No breakdown attached: vacuously consistent.
+        assert!(RunStats {
+            cycles: 5,
+            ..RunStats::default()
+        }
+        .phase_sums_match());
     }
 
     #[test]
     fn ops_per_cycle_handles_zero_cycles() {
         assert_eq!(RunStats::default().ops_per_cycle(), 0.0);
+        assert_eq!(PhaseStats::default().ops_per_cycle(), 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Turning event counts into joules.
 
 use crate::params::EnergyParams;
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 use std::fmt;
 
 /// The machine family a run executed on (selects static power; dynamic
@@ -106,8 +106,27 @@ impl EnergyModel {
 
     /// Evaluates the energy of a run. `core_ghz` converts cycles to
     /// seconds for the leakage term.
+    ///
+    /// Delegates to [`Self::evaluate_phase`] on the run's totals, so the
+    /// whole-run number and the per-phase breakdown go through the same
+    /// arithmetic: the totals evaluation is bit-identical to evaluating
+    /// the flat counters directly.
     #[must_use]
     pub fn evaluate(&self, arch: ArchKind, stats: &RunStats, core_ghz: f64) -> EnergyReport {
+        self.evaluate_phase(arch, &stats.totals(), core_ghz)
+    }
+
+    /// Evaluates one phase's (or any counter slice's) energy. Energy is
+    /// linear in the counters plus leakage linear in cycles, so the
+    /// phase reports sum to the whole-run report (up to floating-point
+    /// association).
+    #[must_use]
+    pub fn evaluate_phase(
+        &self,
+        arch: ArchKind,
+        stats: &PhaseStats,
+        core_ghz: f64,
+    ) -> EnergyReport {
         let p = &self.params;
         let s = stats;
         let compute = (s.alu_ops as f64).mul_add(
@@ -154,13 +173,30 @@ impl EnergyModel {
             static_j: static_w * seconds,
         }
     }
+
+    /// The per-phase energy breakdown of a run: one report per
+    /// [`RunStats::per_phase`] record. Empty when the record carries no
+    /// phase breakdown (hand-assembled stats).
+    #[must_use]
+    pub fn evaluate_phases(
+        &self,
+        arch: ArchKind,
+        stats: &RunStats,
+        core_ghz: f64,
+    ) -> Vec<EnergyReport> {
+        stats
+            .per_phase
+            .iter()
+            .map(|phase| self.evaluate_phase(arch, phase, core_ghz))
+            .collect()
+    }
 }
 
 /// Per-lane compute on the SM: thread-instructions carry the lane ALU/FPU
 /// energy. The lowering counts classes on the warp level; we approximate
 /// the lane mix with the average compute energy (the dominant SM costs —
 /// fetch/decode and the register file — are counted exactly).
-fn lane_compute(stats: &RunStats, p: &EnergyParams) -> f64 {
+fn lane_compute(stats: &PhaseStats, p: &EnergyParams) -> f64 {
     let avg = (p.alu_op_pj + p.fpu_op_pj) / 2.0;
     stats.gpu_thread_instructions as f64 * avg
 }
@@ -246,12 +282,49 @@ mod tests {
         let mut fast = cgra_stats();
         let slow = RunStats {
             cycles: fast.cycles * 4,
-            ..fast
+            ..fast.clone()
         };
         fast.cycles /= 2;
         let rf = m.evaluate(ArchKind::DmtCgra, &fast, 1.4);
         let rs = m.evaluate(ArchKind::DmtCgra, &slow, 1.4);
         assert!(rs.static_j > rf.static_j * 7.0);
+    }
+
+    #[test]
+    fn phase_energies_sum_to_the_whole_run() {
+        use dmt_common::stats::PhaseStats;
+        let m = EnergyModel::default();
+        // Split the CGRA counters into two uneven phases.
+        let totals = cgra_stats().totals();
+        let p0 = PhaseStats {
+            cycles: 1_000,
+            alu_ops: 10_000,
+            fpu_ops: 8_000,
+            tokens_routed: 15_000,
+            noc_hops: 40_000,
+            token_buffer_writes: 15_000,
+            l1_hits: 400,
+            l1_misses: 70,
+            l2_hits: 50,
+            l2_misses: 15,
+            dram_reads: 15,
+            ..PhaseStats::default()
+        };
+        let p1 = totals.minus(&p0);
+        let stats = RunStats::from_phases(vec![p0, p1]);
+        assert_eq!(stats.totals(), totals);
+
+        let whole = m.evaluate(ArchKind::DmtCgra, &stats, 1.4);
+        let phases = m.evaluate_phases(ArchKind::DmtCgra, &stats, 1.4);
+        assert_eq!(phases.len(), 2);
+        let sum_total: f64 = phases.iter().map(EnergyReport::total_j).sum();
+        assert!(
+            (whole.total_j() - sum_total).abs() <= 1e-12 * whole.total_j(),
+            "phases {sum_total} vs whole {}",
+            whole.total_j()
+        );
+        let sum_static: f64 = phases.iter().map(|r| r.static_j).sum();
+        assert!((whole.static_j - sum_static).abs() <= 1e-12 * whole.static_j);
     }
 
     #[test]

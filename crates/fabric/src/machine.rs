@@ -44,13 +44,20 @@
 //!   cycle, a bitmask tracks nodes with complete operand sets; firing
 //!   iterates set bits in ascending node order (the same order the full
 //!   scan used), so drained nodes cost nothing.
+//!
+//! Ring allocations are pooled per launch ([`StoreArena`]): a multi-phase
+//! kernel re-initializes the previous phase's buffers instead of paying an
+//! allocator round-trip per `PhaseExec`. Statistics are phase-resolved —
+//! the counters are snapshotted at every phase boundary and the run's
+//! totals are derived as the exact field-wise sum of the per-phase records
+//! (see [`dmt_common::stats`]).
 
 use crate::program::{FabricProgram, PhaseProgram};
 use dmt_common::config::{SystemConfig, UnitClass, WritePolicy};
 use dmt_common::ids::{Addr, NodeId};
 use dmt_common::memimg::MemImage;
 use dmt_common::sched::CalendarQueue;
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_common::value::Word;
 use dmt_common::{Error, Result};
 use dmt_dfg::kernel::LaunchInput;
@@ -128,6 +135,13 @@ impl FabricMachine {
         let mut shared_imgs: Vec<MemImage> = (0..program.grid_blocks)
             .map(|_| MemImage::with_words(program.shared_words as usize))
             .collect();
+        // Ring allocations are pooled across phases (one allocation set
+        // per launch, re-initialized per phase), and the counters are
+        // snapshotted at every phase boundary so the run reports a
+        // per-phase breakdown whose field-wise sum *is* the totals.
+        let mut arena = StoreArena::default();
+        let mut per_phase: Vec<PhaseStats> = Vec::with_capacity(program.phases.len());
+        let mut prev = PhaseStats::default();
         for (pi, phase) in program.phases.iter().enumerate() {
             if pi > 0 {
                 now += self.cfg.fabric.reconfiguration_cycles;
@@ -140,6 +154,7 @@ impl FabricMachine {
                 &input.params,
                 now,
                 program.grid_blocks,
+                &mut arena,
             );
             now = exec.run(
                 &mut global,
@@ -149,17 +164,68 @@ impl FabricMachine {
                 &mut lvc,
                 &mut stats,
             )?;
+            exec.recycle(&mut arena);
             stats.phases += 1;
+            let cum = cumulative_snapshot(&stats, now, &mem, &scratch, &lvc);
+            per_phase.push(cum.minus(&prev));
+            prev = cum;
         }
-        stats.shared_bank_conflicts = scratch.bank_conflicts;
-        stats.cycles = now;
-        mem.export_stats(&mut stats);
-        stats.lvc_reads = lvc.reads;
-        stats.lvc_writes = lvc.writes;
         Ok(FabricRunResult {
             memory: global,
-            stats,
+            stats: RunStats::from_phases(per_phase),
         })
+    }
+}
+
+/// The run's cumulative counters at one instant: everything accumulated in
+/// `stats` so far, plus the live cumulative state the flat accumulation
+/// only exports at run end (cycles, bank conflicts, hierarchy counters,
+/// LVC traffic). Differencing consecutive snapshots yields exact per-phase
+/// shares, and the final snapshot is bit-identical to the whole-run totals
+/// the pre-phase-resolved engine reported.
+fn cumulative_snapshot(
+    stats: &RunStats,
+    now: u64,
+    mem: &MemSystem,
+    scratch: &Scratchpad,
+    lvc: &Lvc,
+) -> PhaseStats {
+    let mut cum = stats.totals();
+    cum.cycles = now;
+    cum.shared_bank_conflicts = scratch.bank_conflicts;
+    cum.lvc_reads = lvc.reads;
+    cum.lvc_writes = lvc.writes;
+    mem.export_phase(&mut cum);
+    cum
+}
+
+/// Recycled matching-store / eLDST ring allocations, shared across the
+/// phases of one launch: a multi-phase kernel re-initializes one pooled
+/// allocation set per phase instead of allocating fresh rings in every
+/// `PhaseExec` (clearing retained capacity is a memset; the allocator
+/// round-trip is what the pool removes).
+#[derive(Debug, Default)]
+struct StoreArena {
+    match_rings: Vec<Vec<MatchSlot>>,
+    eldst_rings: Vec<Vec<EldstSlot>>,
+}
+
+impl StoreArena {
+    /// A matching-store ring of exactly `size` empty slots, reusing a
+    /// pooled allocation when one is available.
+    fn match_ring(&mut self, size: usize) -> Vec<MatchSlot> {
+        let mut ring = self.match_rings.pop().unwrap_or_default();
+        ring.clear();
+        ring.resize(size, MatchSlot::EMPTY);
+        ring
+    }
+
+    /// An eLDST token-buffer ring of exactly `size` empty slots, ditto.
+    fn eldst_ring(&mut self, size: usize) -> Vec<EldstSlot> {
+        let mut ring = self.eldst_rings.pop().unwrap_or_default();
+        ring.clear();
+        ring.resize(size, EldstSlot::EMPTY);
+        ring
     }
 }
 
@@ -235,16 +301,17 @@ impl EldstSlot {
 #[derive(Debug, Default)]
 struct UnitState {
     /// Matching store: `tid & ring_mask`-indexed slots (empty for source
-    /// nodes, which are injected, never delivered to).
-    pending: Box<[MatchSlot]>,
+    /// nodes, which are injected, never delivered to). The allocation is
+    /// pooled in a [`StoreArena`] across the launch's phases.
+    pending: Vec<MatchSlot>,
     /// Matching-store spill for tids whose ring slot is held by another
     /// live tid. Empty in steady state; see the module docs.
     spill: HashMap<u32, MatchSlot>,
     /// Complete operand sets awaiting their firing slot.
     ready: VecDeque<(u32, [Word; 3])>,
     /// eLDST token buffer: forwarded values / parked threads, ring-indexed
-    /// like `pending` (allocated only for eLDST nodes).
-    eldst: Box<[EldstSlot]>,
+    /// like `pending` (allocated only for eLDST nodes, pooled likewise).
+    eldst: Vec<EldstSlot>,
     /// eLDST spill, mirroring `spill`.
     eldst_spill: HashMap<u32, EldstSlot>,
     /// Outstanding memory operations (LDST occupancy).
@@ -295,6 +362,7 @@ struct PhaseExec<'a> {
 }
 
 impl<'a> PhaseExec<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cfg: &'a SystemConfig,
         program: &'a FabricProgram,
@@ -303,6 +371,7 @@ impl<'a> PhaseExec<'a> {
         params: &'a [Word],
         start: u64,
         blocks_covered: u32,
+        arena: &mut StoreArena,
     ) -> PhaseExec<'a> {
         let n = phase.graph.len();
         let threads = program.threads_per_block() * blocks_covered;
@@ -353,14 +422,14 @@ impl<'a> PhaseExec<'a> {
             let is_eldst = matches!(phase.graph.kind(id), NodeKind::ELoad { .. });
             units.push(UnitState {
                 pending: if needs_store {
-                    vec![MatchSlot::EMPTY; ring_size].into_boxed_slice()
+                    arena.match_ring(ring_size)
                 } else {
-                    Box::default()
+                    Vec::new()
                 },
                 eldst: if is_eldst {
-                    vec![EldstSlot::EMPTY; ring_size].into_boxed_slice()
+                    arena.eldst_ring(ring_size)
                 } else {
-                    Box::default()
+                    Vec::new()
                 },
                 ..UnitState::default()
             });
@@ -979,6 +1048,21 @@ impl<'a> PhaseExec<'a> {
                 Some(format!("n{i} waiting for {tids:?}"))
             })
             .collect()
+    }
+
+    /// Returns this phase's ring allocations to the arena so the next
+    /// phase reuses them (capacity is retained; contents are
+    /// re-initialized on reuse — a drained phase may leave unconsumed
+    /// eLDST forwards behind, so rings are not assumed clean).
+    fn recycle(&mut self, arena: &mut StoreArena) {
+        for unit in &mut self.units {
+            if unit.pending.capacity() > 0 {
+                arena.match_rings.push(std::mem::take(&mut unit.pending));
+            }
+            if unit.eldst.capacity() > 0 {
+                arena.eldst_rings.push(std::mem::take(&mut unit.eldst));
+            }
+        }
     }
 
     fn run(

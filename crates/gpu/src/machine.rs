@@ -21,7 +21,7 @@ use crate::lower::{lower, GpuInstr, GpuProgram, IssueClass};
 use dmt_common::config::{SystemConfig, WritePolicy};
 use dmt_common::ids::{Addr, NodeId, ThreadId};
 use dmt_common::memimg::MemImage;
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_common::value::Word;
 use dmt_common::{Error, Result};
 use dmt_dfg::kernel::LaunchInput;
@@ -94,23 +94,66 @@ impl GpuMachine {
             ((self.cfg.mem.scratchpad.size_bytes / 4) as u32 / kernel.shared_words()).max(1)
         };
         let wave = by_warps.min(by_shared).min(kernel.grid_blocks());
+        // Phase attribution: blocks of one wave pass their barriers
+        // independently, so the per-phase split follows the *frontier* —
+        // the lowest phase any unfinished warp is still in. Counters are
+        // snapshotted whenever the frontier advances (and at each wave
+        // end), and each delta is credited to the phase that just drained;
+        // work a leading block already did in the next phase rides along
+        // with the frontier phase. The split is therefore frontier-exact,
+        // while the per-counter sums equal the totals exactly by
+        // construction (single-phase kernels report one phase == totals).
+        let phase_count = kernel.phases().len().max(1);
+        let mut per_phase = vec![PhaseStats::default(); phase_count];
+        let mut prev = PhaseStats::default();
         let mut first = 0u32;
         while first < kernel.grid_blocks() {
             let last = (first + wave).min(kernel.grid_blocks());
             let mut exec =
                 WaveExec::new(&self.cfg, kernel, &program, first..last, &input.params, now);
-            now = exec.run(&mut global, &mut mem, &mut scratch, &mut stats)?;
+            now = exec.run(
+                &mut global,
+                &mut mem,
+                &mut scratch,
+                &mut stats,
+                &mut per_phase,
+                &mut prev,
+            )?;
+            // Wave tail (including the final memory settle): the last
+            // phase's share of this wave.
+            let cum = cumulative_snapshot(&stats, now, &mem, &scratch);
+            per_phase[phase_count - 1].accumulate(&cum.minus(&prev));
+            prev = cum;
             first = last;
         }
-        stats.shared_bank_conflicts = scratch.bank_conflicts;
-        stats.cycles = now;
-        stats.phases += kernel.phases().len() as u64;
-        mem.export_stats(&mut stats);
+        // Each phase executed once architecturally (waves re-run the same
+        // configuration); the totals' phase count is the kernel's.
+        for p in &mut per_phase {
+            p.phases = 1;
+        }
         Ok(GpuRunResult {
             memory: global,
-            stats,
+            stats: RunStats::from_phases(per_phase),
         })
     }
+}
+
+/// The run's cumulative counters at one instant: everything accumulated
+/// in `stats`, plus the live state exported only at boundaries (cycles,
+/// bank conflicts, hierarchy counters). Differencing consecutive
+/// snapshots yields the per-phase shares; the final snapshot is
+/// bit-identical to the totals the pre-phase-resolved engine reported.
+fn cumulative_snapshot(
+    stats: &RunStats,
+    now: u64,
+    mem: &MemSystem,
+    scratch: &Scratchpad,
+) -> PhaseStats {
+    let mut cum = stats.totals();
+    cum.cycles = now;
+    cum.shared_bank_conflicts = scratch.bank_conflicts;
+    mem.export_phase(&mut cum);
+    cum
 }
 
 /// Per-warp execution state.
@@ -163,6 +206,11 @@ struct WaveExec<'a> {
     slots: Vec<BlockSlot>,
     now: u64,
     rr: usize,
+    /// Lowest phase any unfinished warp is still in — the boundary the
+    /// per-phase statistics split on (see `GpuMachine::run`).
+    frontier: usize,
+    /// Phases in the kernel (frontier tracking is skipped when 1).
+    phase_count: usize,
     /// Reused per-instruction coalescing buffer (line indices); a member
     /// so the issue hot path never allocates.
     scratch_lines: Vec<u64>,
@@ -220,9 +268,22 @@ impl<'a> WaveExec<'a> {
             slots,
             now: start,
             rr: 0,
+            frontier: 0,
+            phase_count: program.phases.len().max(1),
             scratch_lines: Vec::with_capacity(width as usize),
             scratch_vals: Vec::with_capacity(width as usize),
         }
+    }
+
+    /// The lowest phase an unfinished warp is still executing (a warp
+    /// parked at the barrier closing phase `p` is still in `p`); `None`
+    /// when every warp has retired.
+    fn min_unfinished_phase(&self, end: usize) -> Option<usize> {
+        self.warps
+            .iter()
+            .filter(|w| w.pc < end)
+            .map(|w| self.stream[w.pc].0)
+            .min()
     }
 
     /// Materializes source registers for `slot`'s current phase
@@ -451,8 +512,10 @@ impl<'a> WaveExec<'a> {
 
     /// Releases any block whose unfinished warps are all parked at the
     /// barrier with their memory settled; moves the block to its next
-    /// phase.
-    fn release_barriers(&mut self, end: usize, stats: &mut RunStats) {
+    /// phase. Returns whether any warp was released (the only event that
+    /// can advance the phase frontier).
+    fn release_barriers(&mut self, end: usize, stats: &mut RunStats) -> bool {
+        let mut released = false;
         for si in 0..self.slots.len() {
             // Pass 1 (runs every cycle — no allocation): is every
             // unfinished warp of this block parked at the barrier, and
@@ -485,6 +548,7 @@ impl<'a> WaveExec<'a> {
                 w.pc += 1;
                 w.ready_at = release + 1;
                 stats.barriers += 1;
+                released = true;
                 if first_released_pc == usize::MAX {
                     first_released_pc = w.pc;
                 }
@@ -497,14 +561,18 @@ impl<'a> WaveExec<'a> {
                 self.enter_phase(si);
             }
         }
+        released
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         global: &mut MemImage,
         mem: &mut MemSystem,
         scratch: &mut Scratchpad,
         stats: &mut RunStats,
+        per_phase: &mut [PhaseStats],
+        prev: &mut PhaseStats,
     ) -> Result<u64> {
         if self.stream.is_empty() {
             return Ok(self.now);
@@ -524,7 +592,19 @@ impl<'a> WaveExec<'a> {
                 return Ok(self.now.max(settle));
             }
 
-            self.release_barriers(end, stats);
+            // Barrier releases are the only events that can advance the
+            // phase frontier; when it moves, credit everything since the
+            // previous snapshot to the phase that just drained.
+            if self.release_barriers(end, stats) && self.phase_count > 1 {
+                if let Some(f) = self.min_unfinished_phase(end) {
+                    if f > self.frontier {
+                        let cum = cumulative_snapshot(stats, self.now, mem, scratch);
+                        per_phase[self.frontier].accumulate(&cum.minus(prev));
+                        *prev = cum;
+                        self.frontier = f;
+                    }
+                }
+            }
 
             // Round-robin issue over every resident warp.
             let n = self.warps.len();

@@ -9,7 +9,7 @@ use crate::cache::{AccessOutcome, Backing, CacheLevel};
 use crate::dram::Dram;
 use dmt_common::config::{MemConfig, WritePolicy};
 use dmt_common::ids::Addr;
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 
 /// L1 → L2 → DRAM hierarchy timing model.
 #[derive(Debug, Clone)]
@@ -85,8 +85,24 @@ impl MemSystem {
         self.l1.store(addr, now, &mut next)
     }
 
-    /// Copies hierarchy counters into a [`RunStats`] record.
+    /// Copies hierarchy counters into a [`RunStats`] record (totals view;
+    /// delegates to [`MemSystem::export_phase`] so the two exports cannot
+    /// drift).
     pub fn export_stats(&self, stats: &mut RunStats) {
+        let mut counters = stats.totals();
+        self.export_phase(&mut counters);
+        stats.l1_hits = counters.l1_hits;
+        stats.l1_misses = counters.l1_misses;
+        stats.l2_hits = counters.l2_hits;
+        stats.l2_misses = counters.l2_misses;
+        stats.dram_reads = counters.dram_reads;
+        stats.dram_writes = counters.dram_writes;
+    }
+
+    /// Copies hierarchy counters into a cumulative [`PhaseStats`] snapshot
+    /// (the engines call this at every phase boundary; the counters are
+    /// cumulative, so phase shares are recovered by differencing).
+    pub fn export_phase(&self, stats: &mut PhaseStats) {
         stats.l1_hits = self.l1.hits;
         stats.l1_misses = self.l1.misses;
         stats.l2_hits = self.l2.hits;

@@ -5,11 +5,11 @@
 //! objects preserve insertion order, strings are escaped per RFC 8259,
 //! floats print in Rust's shortest round-trip form.
 //!
-//! # Artifact schema (version 1)
+//! # Artifact schema (version 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "generator": "dmt-runner",
 //!   "suite": "fig11_speedup",                 // producing harness
 //!   "meta": {
@@ -19,37 +19,61 @@
 //!   },
 //!   "jobs": [                                 // one entry per job, in job order
 //!     {
-//!       "index": 0,
-//!       "bench": "scan",
+//!       "index": 0,                           // position in the job grid
+//!       "bench": "scan",                      // Table 3 benchmark name
 //!       "arch": "fermi_sm",                   // Arch::key()
-//!       "seed": 42,
+//!       "seed": 42,                           // workload seed
 //!       "config_hash": "0x9c1d...",           // stable SystemConfig hash
 //!       "job_hash": "0x03fa...",              // stable (bench, arch, seed, config) hash
 //!       "status": "ok",                       // "ok" | "infeasible"
 //!       "error": "...",                       // present iff status == "infeasible"
 //!       "kernel": "scan_naive",               // present iff status == "ok", as are:
-//!       "cycles": 123456,
-//!       "total_j": 1.25e-6,
+//!       "cycles": 123456,                     // whole-run core cycles
+//!       "total_j": 1.25e-6,                   // whole-run energy (joules)
 //!       "energy": { "compute_j": ..., "fetch_decode_j": ..., "register_file_j": ...,
 //!                   "token_transport_j": ..., "scratchpad_j": ..., "cache_j": ...,
 //!                   "dram_j": ..., "static_j": ... },
-//!       "stats": { "<every RunStats counter>": <u64>, ... }
+//!       "stats": { "<every RunStats counter>": <u64>, ... },   // whole-run totals
+//!       "phases": [                           // one entry per barrier-delimited phase,
+//!         { "<every RunStats counter>": <u64>, ... },          // in execution order
+//!         ...
+//!       ]
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! The `"stats"` and each `"phases"` entry carry exactly the counter set
+//! of [`dmt_common::stats`] (generated from the same
+//! `for_each_run_counter!` list, in the same order), and the per-counter
+//! sums of `"phases"` equal `"stats"` exactly — the engines derive the
+//! totals *from* the phases. A single-phase kernel carries one phase
+//! entry equal to its totals.
+//!
+//! ## v1 → v2 migration
+//!
+//! Version 2 adds the per-job `"phases"` array; every v1 field is
+//! unchanged in name, type, position and — for all existing benchmarks —
+//! value (cycles, energy and every totals counter are byte-identical).
+//! Consumers that only read totals can treat a v2 document as v1 plus an
+//! extra key; consumers that validate `schema_version` must accept 2.
+//! The result cache treats v1 entries as misses (full recompute, never a
+//! parse error), so a warm v1 cache directory transparently rewrites
+//! itself as v2.
 //!
 //! Everything under `"jobs"` is deterministic — independent of thread
 //! count, wall clock and host — which is what makes artifacts diffable
 //! across runs; the volatile parts are quarantined under `"meta"`.
 
 use crate::job::{JobOutcome, JobSpec};
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_core::energy::EnergyReport;
 use std::fmt::Write as _;
 
-/// The schema version emitted by this writer.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The schema version emitted by this writer. Version 2 added the
+/// per-job `"phases"` array (see the module docs for the migration
+/// note); the result cache invalidates entries of any other version.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSON document: the minimal value model the artifact writer needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -514,83 +538,40 @@ impl From<Vec<Json>> for Json {
     }
 }
 
-/// Serializes every [`RunStats`] counter (exhaustive destructuring: a new
-/// counter cannot be added without entering the artifact).
+// Both counter serializers are generated from `for_each_run_counter!` —
+// the one counter list in `dmt_common::stats` — so the artifact cannot
+// drift from the structs: adding a counter there adds it here, in the
+// same position.
+macro_rules! gen_counter_serializers {
+    ($(($field:ident, $doc:literal)),+ $(,)?) => {
+        /// Serializes every [`RunStats`] totals counter, in the canonical
+        /// counter order (generated from the one counter list; the
+        /// per-phase breakdown is serialized separately as `"phases"`).
+        #[must_use]
+        pub fn stats_json(s: &RunStats) -> Json {
+            let mut j = Json::obj();
+            $(j = j.with(stringify!($field), s.$field);)+
+            j
+        }
+
+        /// Serializes one [`PhaseStats`] record — the same counter set
+        /// and order as [`stats_json`].
+        #[must_use]
+        pub fn phase_stats_json(p: &PhaseStats) -> Json {
+            let mut j = Json::obj();
+            $(j = j.with(stringify!($field), p.$field);)+
+            j
+        }
+    };
+}
+
+dmt_common::for_each_run_counter!(gen_counter_serializers);
+
+/// Serializes the per-phase breakdown as the `"phases"` array (one
+/// counter object per phase, execution order).
 #[must_use]
-pub fn stats_json(s: &RunStats) -> Json {
-    let RunStats {
-        cycles,
-        threads_retired,
-        phases,
-        alu_ops,
-        fpu_ops,
-        special_ops,
-        control_ops,
-        sju_ops,
-        elevator_ops,
-        elevator_const_tokens,
-        eldst_forwards,
-        tokens_routed,
-        noc_hops,
-        token_buffer_writes,
-        backpressure_cycles,
-        global_loads,
-        global_stores,
-        l1_hits,
-        l1_misses,
-        l2_hits,
-        l2_misses,
-        dram_reads,
-        dram_writes,
-        shared_loads,
-        shared_stores,
-        shared_bank_conflicts,
-        lvc_reads,
-        lvc_writes,
-        gpu_instructions,
-        gpu_thread_instructions,
-        register_reads,
-        register_writes,
-        barrier_wait_cycles,
-        barriers,
-        gpu_stall_cycles,
-    } = *s;
-    Json::obj()
-        .with("cycles", cycles)
-        .with("threads_retired", threads_retired)
-        .with("phases", phases)
-        .with("alu_ops", alu_ops)
-        .with("fpu_ops", fpu_ops)
-        .with("special_ops", special_ops)
-        .with("control_ops", control_ops)
-        .with("sju_ops", sju_ops)
-        .with("elevator_ops", elevator_ops)
-        .with("elevator_const_tokens", elevator_const_tokens)
-        .with("eldst_forwards", eldst_forwards)
-        .with("tokens_routed", tokens_routed)
-        .with("noc_hops", noc_hops)
-        .with("token_buffer_writes", token_buffer_writes)
-        .with("backpressure_cycles", backpressure_cycles)
-        .with("global_loads", global_loads)
-        .with("global_stores", global_stores)
-        .with("l1_hits", l1_hits)
-        .with("l1_misses", l1_misses)
-        .with("l2_hits", l2_hits)
-        .with("l2_misses", l2_misses)
-        .with("dram_reads", dram_reads)
-        .with("dram_writes", dram_writes)
-        .with("shared_loads", shared_loads)
-        .with("shared_stores", shared_stores)
-        .with("shared_bank_conflicts", shared_bank_conflicts)
-        .with("lvc_reads", lvc_reads)
-        .with("lvc_writes", lvc_writes)
-        .with("gpu_instructions", gpu_instructions)
-        .with("gpu_thread_instructions", gpu_thread_instructions)
-        .with("register_reads", register_reads)
-        .with("register_writes", register_writes)
-        .with("barrier_wait_cycles", barrier_wait_cycles)
-        .with("barriers", barriers)
-        .with("gpu_stall_cycles", gpu_stall_cycles)
+pub fn phases_json(s: &RunStats) -> Json {
+    Json::Arr(s.per_phase.iter().map(phase_stats_json).collect())
 }
 
 /// Serializes an energy breakdown (exhaustive, like [`stats_json`]).
@@ -618,11 +599,11 @@ pub fn energy_json(e: &EnergyReport) -> Json {
 }
 
 /// Appends one outcome's fields — `status`, then `error` or the full
-/// `kernel`/`cycles`/`total_j`/`energy`/`stats` block — to an object.
-/// The single definition of the per-job measurement shape, shared by the
-/// artifact `"jobs"` array and the result-cache entries so the two can
-/// never drift (a cache hit must re-render byte-identically into an
-/// artifact).
+/// `kernel`/`cycles`/`total_j`/`energy`/`stats`/`phases` block — to an
+/// object. The single definition of the per-job measurement shape,
+/// shared by the artifact `"jobs"` array and the result-cache entries so
+/// the two can never drift (a cache hit must re-render byte-identically
+/// into an artifact).
 #[must_use]
 pub fn with_outcome(doc: Json, outcome: &JobOutcome) -> Json {
     let doc = doc.with("status", outcome.status());
@@ -633,7 +614,8 @@ pub fn with_outcome(doc: Json, outcome: &JobOutcome) -> Json {
             .with("cycles", m.cycles())
             .with("total_j", m.total_joules())
             .with("energy", energy_json(&m.energy))
-            .with("stats", stats_json(&m.stats)),
+            .with("stats", stats_json(&m.stats))
+            .with("phases", phases_json(&m.stats)),
     }
 }
 
@@ -698,7 +680,7 @@ impl Artifact {
         )
     }
 
-    /// The complete document, schema version 1 (see the module docs).
+    /// The complete document, schema version 2 (see the module docs).
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -792,8 +774,9 @@ mod tests {
         let bad = JobOutcome::Infeasible("window too small".into());
         let art = Artifact::new("unit", 2, 5, 42, vec![spec.clone(), spec], vec![ok, bad]);
         let text = art.to_json().render();
-        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
         assert!(text.contains("\"suite\": \"unit\""), "{text}");
+        assert!(text.contains("\"phases\": ["), "{text}");
         assert!(text.contains("\"status\": \"ok\""), "{text}");
         assert!(text.contains("\"status\": \"infeasible\""), "{text}");
         assert!(text.contains("\"error\": \"window too small\""), "{text}");

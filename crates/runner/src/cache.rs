@@ -12,7 +12,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "generator": "dmt-runner",
 //!   "kind": "job_cache_entry",
 //!   "job_hash": "0x....",                  // must match the looked-up spec
@@ -21,23 +21,29 @@
 //!   "status": "ok" | "infeasible",
 //!   "error": "...",                        // iff infeasible
 //!   "kernel": "...", "cycles": N,          // iff ok, plus:
-//!   "total_j": X, "energy": {...}, "stats": {...}
+//!   "total_j": X, "energy": {...}, "stats": {...}, "phases": [{...}, ...]
 //! }
 //! ```
 //!
-//! The `status`/`kernel`/`cycles`/`energy`/`stats` block is exactly the
-//! per-job shape of the artifact `"jobs"` array, so a decoded outcome
-//! re-renders byte-identically into an artifact: a warm run's stdout and
-//! JSON artifact are indistinguishable from the cold run that filled the
-//! cache.
+//! The `status`/`kernel`/`cycles`/`energy`/`stats`/`phases` block is
+//! exactly the per-job shape of the artifact `"jobs"` array, so a decoded
+//! outcome re-renders byte-identically into an artifact: a warm run's
+//! stdout and JSON artifact are indistinguishable from the cold run that
+//! filled the cache.
 //!
 //! # Robustness
 //!
 //! Every lookup failure mode — missing file, truncated or corrupt JSON,
-//! schema-version mismatch, identity mismatch, missing counters — is a
-//! *miss*, never an error: the job is simply re-simulated and the entry
-//! rewritten. Stores go through a temp-file + rename, so a run killed
-//! mid-write leaves at worst a stale `.tmp` file, not a corrupt entry.
+//! schema-version mismatch, identity mismatch, missing counters, a phase
+//! breakdown that does not sum to the totals — is a *miss*, never an
+//! error: the job is simply re-simulated and the entry rewritten. Stores
+//! go through a temp-file + rename, so a run killed mid-write leaves at
+//! worst a stale `.tmp` file, not a corrupt entry.
+//!
+//! Schema-version mismatches are additionally *counted*
+//! ([`CacheStats::schema_invalidated`]) and reported in the stderr
+//! summary line, so a sweep log shows how much of a warm directory a
+//! version bump (e.g. v1 → v2) invalidated-as-miss.
 //!
 //! # What the key does NOT cover: the simulator itself
 //!
@@ -61,7 +67,7 @@
 
 use crate::artifact::{Json, SCHEMA_VERSION};
 use crate::job::{JobMetrics, JobOutcome, JobSpec};
-use dmt_common::stats::RunStats;
+use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_core::energy::EnergyReport;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -77,6 +83,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written.
     pub stores: u64,
+    /// The subset of `misses` that were well-formed entries of another
+    /// schema version, invalidated by the version bump (the observable
+    /// cost of a v1 → v2 migration in a warm directory).
+    pub schema_invalidated: u64,
 }
 
 /// An on-disk result store addressed by [`JobSpec::cache_key`].
@@ -89,6 +99,7 @@ pub struct Cache {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    schema_invalidated: AtomicU64,
 }
 
 impl Cache {
@@ -106,6 +117,7 @@ impl Cache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            schema_invalidated: AtomicU64::new(0),
         })
     }
 
@@ -128,22 +140,35 @@ impl Cache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            schema_invalidated: self.schema_invalidated.load(Ordering::Relaxed),
         }
     }
 
     /// Looks up a completed outcome. Any defect in the stored entry —
     /// corrupt JSON, wrong schema version, identity mismatch, missing
     /// fields — is a miss (the caller re-simulates and overwrites).
+    /// Schema-version mismatches are counted separately so version-bump
+    /// invalidations are observable in the stderr summary.
     #[must_use]
     pub fn lookup(&self, spec: &JobSpec) -> Option<JobOutcome> {
         let found = std::fs::read_to_string(self.entry_path(spec))
             .ok()
-            .and_then(|text| decode_entry(&text, spec));
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+            .map(|text| classify_entry(&text, spec));
+        match found {
+            Some(EntryClass::Valid(outcome)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(outcome)
+            }
+            Some(EntryClass::StaleSchema) => {
+                self.schema_invalidated.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(EntryClass::Defective) | None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Persists one outcome under the spec's content address.
@@ -168,13 +193,21 @@ impl Cache {
     }
 
     /// One stderr summary line (the documented cache-stats line; stderr
-    /// so stdout stays byte-identical across cache states).
+    /// so stdout stays byte-identical across cache states). When a schema
+    /// bump invalidated entries, the miss count is annotated so v1 → v2
+    /// migrations are observable in sweep logs.
     pub fn report(&self) {
         let s = self.stats();
+        let invalidated = if s.schema_invalidated > 0 {
+            format!(" ({} schema-invalidated)", s.schema_invalidated)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[dmt-runner] cache: {} hits, {} misses, {} stored ({})",
+            "[dmt-runner] cache: {} hits, {} misses{}, {} stored ({})",
             s.hits,
             s.misses,
+            invalidated,
             s.stores,
             self.dir.display()
         );
@@ -295,16 +328,50 @@ pub fn encode_entry(spec: &JobSpec, outcome: &JobOutcome) -> Json {
     crate::artifact::with_outcome(doc, outcome)
 }
 
+/// How one on-disk entry answered a lookup.
+enum EntryClass {
+    /// Well-formed, current-schema, identity-matching: a hit.
+    Valid(JobOutcome),
+    /// Well-formed entry of another schema version: a miss, counted as
+    /// invalidated-by-the-version-bump.
+    StaleSchema,
+    /// Anything else (corrupt, truncated, identity mismatch, missing or
+    /// inconsistent fields): a plain miss.
+    Defective,
+}
+
+/// Parses and fully validates one entry, classifying the failure mode.
+fn classify_entry(text: &str, spec: &JobSpec) -> EntryClass {
+    let Ok(doc) = Json::parse(text) else {
+        return EntryClass::Defective;
+    };
+    if doc.get("kind").and_then(Json::as_str) != Some("job_cache_entry") {
+        return EntryClass::Defective;
+    }
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(_) => return EntryClass::StaleSchema,
+        None => return EntryClass::Defective,
+    }
+    match decode_validated(&doc, spec) {
+        Some(outcome) => EntryClass::Valid(outcome),
+        None => EntryClass::Defective,
+    }
+}
+
 /// Decodes a cache entry, validating it against the spec it is answering
-/// for. `None` on any defect.
+/// for. `None` on any defect (including another schema version).
 #[must_use]
 pub fn decode_entry(text: &str, spec: &JobSpec) -> Option<JobOutcome> {
-    let doc = Json::parse(text).ok()?;
-    if doc.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION)
-        || doc.get("kind").and_then(Json::as_str) != Some("job_cache_entry")
-    {
-        return None;
+    match classify_entry(text, spec) {
+        EntryClass::Valid(outcome) => Some(outcome),
+        EntryClass::StaleSchema | EntryClass::Defective => None,
     }
+}
+
+/// The identity and measurement checks behind [`decode_entry`] (schema
+/// version and kind already verified by the caller).
+fn decode_validated(doc: &Json, spec: &JobSpec) -> Option<JobOutcome> {
     // The filename already encodes the job hash; re-checking it (and the
     // human-readable identity echo) guards against renamed files and the
     // astronomically unlikely hash collision turning into wrong numbers.
@@ -319,58 +386,59 @@ pub fn decode_entry(text: &str, spec: &JobSpec) -> Option<JobOutcome> {
         "infeasible" => Some(JobOutcome::Infeasible(
             doc.get("error")?.as_str()?.to_owned(),
         )),
-        "ok" => Some(JobOutcome::completed(JobMetrics {
-            kernel: doc.get("kernel")?.as_str()?.to_owned(),
-            stats: stats_from_json(doc.get("stats")?)?,
-            energy: energy_from_json(doc.get("energy")?)?,
-        })),
+        "ok" => {
+            let mut stats = stats_from_json(doc.get("stats")?)?;
+            stats.per_phase = phases_from_json(doc.get("phases")?)?;
+            // A breakdown that does not sum to the totals would re-render
+            // differently than it measured: treat it as corruption.
+            if !stats.phase_sums_match() {
+                return None;
+            }
+            Some(JobOutcome::completed(JobMetrics {
+                kernel: doc.get("kernel")?.as_str()?.to_owned(),
+                stats,
+                energy: energy_from_json(doc.get("energy")?)?,
+            }))
+        }
         _ => None,
     }
 }
 
-/// Decodes a full [`RunStats`] (exhaustive struct literal: adding a
-/// counter without decoding it is a compile error, mirroring
-/// [`stats_json`]). `None` when any counter is absent or mistyped.
+// Both counter decoders are generated from the one counter list in
+// `dmt_common::stats`: adding a counter there adds it to the structs, the
+// serializers and these decoders in one edit — the four can never drift.
+macro_rules! gen_counter_decoders {
+    ($(($field:ident, $doc:literal)),+ $(,)?) => {
+        /// Decodes a full [`RunStats`] totals block (the per-phase
+        /// breakdown travels separately under `"phases"`; see
+        /// [`phases_from_json`]). `None` when any counter is absent or
+        /// mistyped.
+        #[must_use]
+        pub fn stats_from_json(j: &Json) -> Option<RunStats> {
+            Some(RunStats {
+                $($field: j.get(stringify!($field)).and_then(Json::as_u64)?,)+
+                per_phase: Vec::new(),
+            })
+        }
+
+        /// Decodes one [`PhaseStats`] record — the same counter set as
+        /// [`stats_from_json`].
+        #[must_use]
+        pub fn phase_stats_from_json(j: &Json) -> Option<PhaseStats> {
+            Some(PhaseStats {
+                $($field: j.get(stringify!($field)).and_then(Json::as_u64)?,)+
+            })
+        }
+    };
+}
+
+dmt_common::for_each_run_counter!(gen_counter_decoders);
+
+/// Decodes the `"phases"` array into per-phase records. `None` when the
+/// value is not an array or any phase record is defective.
 #[must_use]
-pub fn stats_from_json(j: &Json) -> Option<RunStats> {
-    let g = |name: &str| j.get(name).and_then(Json::as_u64);
-    Some(RunStats {
-        cycles: g("cycles")?,
-        threads_retired: g("threads_retired")?,
-        phases: g("phases")?,
-        alu_ops: g("alu_ops")?,
-        fpu_ops: g("fpu_ops")?,
-        special_ops: g("special_ops")?,
-        control_ops: g("control_ops")?,
-        sju_ops: g("sju_ops")?,
-        elevator_ops: g("elevator_ops")?,
-        elevator_const_tokens: g("elevator_const_tokens")?,
-        eldst_forwards: g("eldst_forwards")?,
-        tokens_routed: g("tokens_routed")?,
-        noc_hops: g("noc_hops")?,
-        token_buffer_writes: g("token_buffer_writes")?,
-        backpressure_cycles: g("backpressure_cycles")?,
-        global_loads: g("global_loads")?,
-        global_stores: g("global_stores")?,
-        l1_hits: g("l1_hits")?,
-        l1_misses: g("l1_misses")?,
-        l2_hits: g("l2_hits")?,
-        l2_misses: g("l2_misses")?,
-        dram_reads: g("dram_reads")?,
-        dram_writes: g("dram_writes")?,
-        shared_loads: g("shared_loads")?,
-        shared_stores: g("shared_stores")?,
-        shared_bank_conflicts: g("shared_bank_conflicts")?,
-        lvc_reads: g("lvc_reads")?,
-        lvc_writes: g("lvc_writes")?,
-        gpu_instructions: g("gpu_instructions")?,
-        gpu_thread_instructions: g("gpu_thread_instructions")?,
-        register_reads: g("register_reads")?,
-        register_writes: g("register_writes")?,
-        barrier_wait_cycles: g("barrier_wait_cycles")?,
-        barriers: g("barriers")?,
-        gpu_stall_cycles: g("gpu_stall_cycles")?,
-    })
+pub fn phases_from_json(j: &Json) -> Option<Vec<PhaseStats>> {
+    j.as_arr()?.iter().map(phase_stats_from_json).collect()
 }
 
 /// Decodes an [`EnergyReport`] (exhaustive, like [`stats_from_json`]).
@@ -446,7 +514,8 @@ mod tests {
             CacheStats {
                 hits: 2,
                 misses: 0,
-                stores: 2
+                stores: 2,
+                schema_invalidated: 0
             }
         );
         let _ = std::fs::remove_dir_all(cache.dir());
@@ -464,11 +533,15 @@ mod tests {
         std::fs::write(cache.entry_path(&s), "{\"schema_version\": 1,").unwrap();
         assert_eq!(cache.lookup(&s), None);
 
-        // Valid JSON, wrong schema version.
+        // Valid JSON, wrong schema version (counted as invalidated).
         let mut doc = encode_entry(&s, &ok_outcome(9)).render();
-        doc = doc.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        doc = doc.replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
         std::fs::write(cache.entry_path(&s), &doc).unwrap();
         assert_eq!(cache.lookup(&s), None);
+        assert_eq!(cache.stats().schema_invalidated, 1);
 
         // Valid entry filed under the wrong key (identity mismatch).
         let other = spec("reduce", Arch::FermiSm, 7);

@@ -10,7 +10,10 @@
 //! * `--smoke` — reduced suite, where the binary supports it.
 //!
 //! Unrecognized arguments are passed through in order (`rest`) for
-//! binary-specific positionals (e.g. `sweep_csv token_buffer`).
+//! binary-specific positionals (e.g. `sweep_csv token_buffer`). Unknown
+//! `--flags` are rejected; a binary with its own boolean flags registers
+//! them via [`RunnerArgs::from_env_with`] (e.g. `report_utilization
+//! --per-phase`) and reads them back with [`RunnerArgs::has_flag`].
 
 use crate::cache::Cache;
 use std::path::PathBuf;
@@ -39,7 +42,16 @@ impl RunnerArgs {
     /// skipped), exiting with status 2 on malformed flags.
     #[must_use]
     pub fn from_env() -> RunnerArgs {
-        match RunnerArgs::parse(std::env::args().skip(1)) {
+        RunnerArgs::from_env_with(&[])
+    }
+
+    /// [`RunnerArgs::from_env`] with binary-specific boolean flags:
+    /// flags named in `extra_flags` pass through to [`RunnerArgs::rest`]
+    /// instead of being rejected as unknown (check them with
+    /// [`RunnerArgs::has_flag`]). Every other `--flag` is still an error.
+    #[must_use]
+    pub fn from_env_with(extra_flags: &[&str]) -> RunnerArgs {
+        match RunnerArgs::parse_with(std::env::args().skip(1), extra_flags) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -58,9 +70,33 @@ impl RunnerArgs {
     ///
     /// Returns a message for a missing or malformed flag value.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<RunnerArgs, String> {
+        RunnerArgs::parse_with(args, &[])
+    }
+
+    /// True when a passed-through binary-specific flag (see
+    /// [`RunnerArgs::from_env_with`]) was given.
+    #[must_use]
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// [`RunnerArgs::parse`] with binary-specific boolean pass-through
+    /// flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a missing or malformed flag value.
+    pub fn parse_with(
+        args: impl IntoIterator<Item = String>,
+        extra_flags: &[&str],
+    ) -> Result<RunnerArgs, String> {
         let mut out = RunnerArgs::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
+            if extra_flags.contains(&arg.as_str()) {
+                out.rest.push(arg);
+                continue;
+            }
             match arg.as_str() {
                 "--smoke" => out.smoke = true,
                 "--progress" => out.progress = true,
@@ -301,6 +337,27 @@ mod tests {
         assert!(RunnerArgs::parse(["--Smoke".to_owned()]).is_err());
         let a = parse(&["token_buffer"]);
         assert_eq!(a.rest, vec!["token_buffer"]);
+    }
+
+    #[test]
+    fn extra_flags_pass_through_only_when_registered() {
+        // Unregistered: still an error (a typo must not degrade the run).
+        assert!(RunnerArgs::parse(["--per-phase".to_owned()]).is_err());
+        // Registered: passes through to rest, composing with shared flags.
+        let a = RunnerArgs::parse_with(
+            [
+                "--threads".to_owned(),
+                "2".to_owned(),
+                "--per-phase".to_owned(),
+            ],
+            &["--per-phase"],
+        )
+        .unwrap();
+        assert_eq!(a.threads, Some(2));
+        assert!(a.has_flag("--per-phase"));
+        assert!(!a.has_flag("--other"));
+        // Registration does not leak to other unknown flags.
+        assert!(RunnerArgs::parse_with(["--nope".to_owned()], &["--per-phase"]).is_err());
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl JobMetrics {
     pub fn from_report(report: &RunReport) -> JobMetrics {
         JobMetrics {
             kernel: report.kernel.clone(),
-            stats: report.stats,
+            stats: report.stats.clone(),
             energy: report.energy,
         }
     }

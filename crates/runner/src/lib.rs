@@ -17,7 +17,7 @@
 //! | [`job`] | `JobSpec` descriptors, outcomes, stable job hashes |
 //! | [`pool`] | `std::thread::scope` worker pool, index-ordered results |
 //! | [`hash`] | order-independent FNV/splitmix stable hashing |
-//! | [`artifact`] | versioned JSON artifacts (`schema_version: 1`) + parser |
+//! | [`artifact`] | versioned JSON artifacts (`schema_version: 2`, per-phase stats) + parser |
 //! | [`cache`] | content-addressed result cache, resume, cost-sorted scheduling |
 //! | [`progress`] | completion-ordered stderr ticker |
 //! | [`cli`] | the shared `--threads/--json/--cache/--progress/--smoke` surface |

@@ -1,0 +1,168 @@
+//! Phase-resolved statistics invariants, property-tested across random
+//! kernels and configurations on all three architectures:
+//!
+//! 1. `sum(per_phase) == totals` for **every** counter (asserted as one
+//!    structural equality over the whole counter record, so a counter can
+//!    never silently drop out of the invariant);
+//! 2. one `PhaseStats` record per executed phase
+//!    (`per_phase.len() == phases`);
+//! 3. a single-phase kernel reports exactly one phase equal to its
+//!    totals;
+//! 4. per-phase cycle shares are all positive and the phase breakdown is
+//!    deterministic (same run twice → same breakdown).
+
+use dmt_core::common::geom::{Delta, Dim3};
+use dmt_core::common::ids::Addr;
+use dmt_core::common::stats::{PhaseStats, RunStats};
+use dmt_core::{Arch, Kernel, KernelBuilder, LaunchInput, Machine, MemImage, SystemConfig, Word};
+use proptest::prelude::*;
+
+/// A shared-memory kernel with `phases` barrier-delimited phases,
+/// executable on all three architectures (no inter-thread communication).
+/// Each staging phase publishes a per-thread value to the scratchpad; the
+/// final phase reads a neighbour's slot and writes it out.
+fn staged_kernel(phases: usize, n: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("phase_prop", Dim3::linear(n));
+    kb.set_shared_words(n);
+    for stage in 0..phases.saturating_sub(1) {
+        let tid = kb.thread_idx(0);
+        let z = kb.const_i(0);
+        let sa = kb.index_addr(z, tid, 4);
+        let c = kb.const_i(stage as i32 + 1);
+        let v = kb.mul_i(tid, c);
+        kb.store_shared(sa, v);
+        kb.barrier();
+    }
+    let tid = kb.thread_idx(0);
+    let out = kb.param("out");
+    let value = if phases > 1 {
+        // Read the wrapped neighbour's slot: a classic post-barrier read.
+        let one = kb.const_i(1);
+        let nn = kb.const_i(n as i32);
+        let z = kb.const_i(0);
+        let tplus = kb.add_i(tid, one);
+        let wrapped = kb.rem_i(tplus, nn);
+        let sa = kb.index_addr(z, wrapped, 4);
+        kb.load_shared(sa)
+    } else {
+        kb.mul_i(tid, tid)
+    };
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, value);
+    kb.finish().expect("well-formed")
+}
+
+/// A dMT kernel using an elevator (`from_thread_or_const`): the paper's
+/// single-phase direct-communication shape.
+fn comm_kernel(delta: i32, window: u32, n: u32) -> Kernel {
+    let mut kb = KernelBuilder::new("phase_prop_comm", Dim3::linear(n));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(inp, tid, 4);
+    let x = kb.load_global(a);
+    let v = kb.from_thread_or_const(x, Delta::new(delta), Word::from_i32(-1), Some(window));
+    let s = kb.add_i(v, x);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, s);
+    kb.finish().expect("well-formed")
+}
+
+/// The invariants every phase-resolved record must satisfy.
+fn assert_phase_invariants(stats: &RunStats, context: &str) {
+    assert!(
+        !stats.per_phase.is_empty(),
+        "{context}: engines must attach a phase breakdown"
+    );
+    assert_eq!(
+        stats.per_phase.len() as u64,
+        stats.phases,
+        "{context}: one record per executed phase"
+    );
+    // One structural equality covers every counter: if any counter's
+    // phase shares failed to sum to its total, the records differ.
+    let mut sum = PhaseStats::default();
+    for p in &stats.per_phase {
+        sum.accumulate(p);
+    }
+    assert_eq!(
+        sum,
+        stats.totals(),
+        "{context}: per-phase sums must equal totals for every counter"
+    );
+    assert!(stats.phase_sums_match(), "{context}: helper must agree");
+    for (i, p) in stats.per_phase.iter().enumerate() {
+        assert!(p.cycles > 0, "{context}: phase {i} has a zero cycle share");
+        assert_eq!(p.phases, 1, "{context}: each record is one phase");
+    }
+    if stats.per_phase.len() == 1 {
+        assert_eq!(
+            stats.per_phase[0],
+            stats.totals(),
+            "{context}: a single-phase run reports one phase equal to totals"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random phase counts × thread counts × in-flight windows, on all
+    /// three machines: the breakdown always sums exactly to the totals.
+    #[test]
+    fn per_phase_sums_equal_totals_on_every_arch(
+        phases in 1usize..=3,
+        n_pow in 5u32..=7,       // 32..=128 threads
+        window_pow in 5u32..=9,  // in-flight window 32..=512
+    ) {
+        let n = 1u32 << n_pow;
+        let kernel = staged_kernel(phases, n);
+        let mut cfg = SystemConfig::default();
+        cfg.fabric.inflight_threads = 1 << window_pow;
+        for arch in Arch::ALL {
+            let report = Machine::new(arch, cfg)
+                .run(
+                    &kernel,
+                    LaunchInput::new(
+                        vec![Word::from_u32(0)],
+                        MemImage::with_words(n as usize),
+                    ),
+                )
+                .expect("feasible");
+            let ctx = format!("{arch} phases={phases} n={n} window=2^{window_pow}");
+            assert_phase_invariants(&report.stats, &ctx);
+            prop_assert_eq!(report.stats.phases, phases as u64);
+        }
+    }
+
+    /// Elevator kernels (dMT-CGRA only): single-phase streaming with
+    /// random ΔTID and transmission windows, including LVC-spill ranges.
+    #[test]
+    fn comm_kernel_phase_breakdown_is_exact_and_deterministic(
+        delta in (-24i32..=24).prop_filter("non-zero", |d| *d != 0),
+        window_pow in 3u32..=7, // windows 8..=128
+        data in proptest::collection::vec(-1000i32..1000, 128),
+    ) {
+        let n = 128u32;
+        let window = 1u32 << window_pow;
+        prop_assume!(delta.unsigned_abs() < window);
+        let kernel = comm_kernel(delta, window, n);
+        let run = || {
+            let mut mem = MemImage::with_words(2 * n as usize);
+            mem.write_i32_slice(Addr(0), &data);
+            Machine::new(Arch::DmtCgra, SystemConfig::default())
+                .run(
+                    &kernel,
+                    LaunchInput::new(
+                        vec![Word::from_u32(0), Word::from_u32(4 * n)],
+                        mem,
+                    ),
+                )
+                .expect("feasible")
+                .stats
+        };
+        let stats = run();
+        assert_phase_invariants(&stats, &format!("dMT delta={delta} window={window}"));
+        prop_assert_eq!(&stats, &run());
+    }
+}

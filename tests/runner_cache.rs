@@ -7,7 +7,10 @@
 //! 2. corrupted or truncated cache entries are ignored and recomputed,
 //!    never trusted and never fatal;
 //! 3. an interrupted run resumes: only the jobs missing from the cache
-//!    are re-executed.
+//!    are re-executed;
+//! 4. a schema bump invalidates a warm directory as counted misses (no
+//!    parse errors), and the rerun rewrites it at the current version —
+//!    the designed v1 → v2 migration path.
 //!
 //! Simulations are counted by instrumenting the executor around
 //! `dmt_bench::execute_job` — the same leaf the binaries use — so "zero
@@ -109,11 +112,12 @@ fn corrupted_and_truncated_entries_are_ignored_and_recomputed() {
     std::fs::write(cache.entry_path(&jobs[4]), "not json at all").unwrap();
     let e8 = cache.entry_path(&jobs[8]);
     let text = std::fs::read_to_string(&e8).unwrap();
-    std::fs::write(
-        &e8,
-        text.replace("\"schema_version\": 1", "\"schema_version\": 999"),
-    )
-    .unwrap();
+    let current = format!(
+        "\"schema_version\": {}",
+        dmt_runner::artifact::SCHEMA_VERSION
+    );
+    assert!(text.contains(&current), "entry must carry the version");
+    std::fs::write(&e8, text.replace(&current, "\"schema_version\": 999")).unwrap();
 
     let warm = Cache::open(&dir).unwrap();
     let (repaired, sims) = smoke_run(&jobs, &warm);
@@ -126,6 +130,83 @@ fn corrupted_and_truncated_entries_are_ignored_and_recomputed() {
     let (again, sims) = smoke_run(&jobs, &Cache::open(&dir).unwrap());
     assert_eq!(sims, 0);
     assert_eq!(again, cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_cache_entries_are_invalidated_as_miss_and_rewritten_as_v2() {
+    use dmt_runner::artifact::{Json, SCHEMA_VERSION};
+
+    let dir = scratch("v1_migration");
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+    let cache = Cache::open(&dir).unwrap();
+    let (cold, _) = smoke_run(&jobs, &cache);
+
+    // Downgrade every entry to schema v1: version field rewritten, the
+    // per-job "phases" array dropped — exactly the shape the v1 writer
+    // produced (v2 added "phases" and changed nothing else per job).
+    for job in &jobs {
+        let path = cache.entry_path(job);
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Obj(entries) = doc else {
+            panic!("entry is not an object")
+        };
+        let v1 = Json::Obj(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "phases")
+                .map(|(k, v)| {
+                    if k == "schema_version" {
+                        (k, Json::U64(1))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        );
+        std::fs::write(&path, v1.render()).unwrap();
+    }
+
+    // A warm v1 directory under the v2 binary: no parse error aborts the
+    // run — every entry is a counted schema-invalidated miss, every job
+    // recomputes, and the outcomes match the original cold run.
+    let warm = Cache::open(&dir).unwrap();
+    let (migrated, sims) = smoke_run(&jobs, &warm);
+    assert_eq!(sims, jobs.len(), "every v1 entry must re-simulate");
+    assert_eq!(warm.stats().hits, 0);
+    assert_eq!(warm.stats().misses, jobs.len() as u64);
+    assert_eq!(
+        warm.stats().schema_invalidated,
+        jobs.len() as u64,
+        "v1 entries are specifically schema-invalidated, not generic misses"
+    );
+    assert_eq!(warm.stats().stores, jobs.len() as u64);
+    assert_eq!(migrated, cold);
+
+    // The directory is now v2-populated: a third pass is all hits with
+    // zero schema invalidations, and every entry carries the current
+    // version plus a non-empty phases array that sums to its totals.
+    let third = Cache::open(&dir).unwrap();
+    let (again, sims) = smoke_run(&jobs, &third);
+    assert_eq!(sims, 0, "migrated cache must be fully warm");
+    assert_eq!(third.stats().schema_invalidated, 0);
+    assert_eq!(again, cold);
+    for job in &jobs {
+        let doc = Json::parse(&std::fs::read_to_string(cache.entry_path(job)).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert!(!phases.is_empty(), "rewritten entries carry phases");
+        let totals = doc.get("stats").unwrap().get("cycles").unwrap().as_u64();
+        let sum: u64 = phases
+            .iter()
+            .map(|p| p.get("cycles").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(Some(sum), totals, "phase cycles sum to the job's cycles");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -43,7 +43,7 @@ fn artifact_records_every_job_with_stable_hashes() {
     let art = run.artifact("smoke");
     let text = art.to_json().render();
 
-    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"schema_version\": 2"), "{text}");
     assert!(text.contains("\"suite\": \"smoke\""), "{text}");
     for needle in [
         "\"bench\": \"scan\"",
@@ -56,6 +56,7 @@ fn artifact_records_every_job_with_stable_hashes() {
         "\"total_j\":",
         "\"config_hash\": \"0x",
         "\"job_hash\": \"0x",
+        "\"phases\": [",
     ] {
         assert!(text.contains(needle), "artifact missing {needle}: {text}");
     }
