@@ -1,9 +1,9 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke perf-smoke perf-full clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke perf-full serve-smoke clean
 
-all: build test lint bench-smoke perf-smoke
+all: build test lint bench-smoke perf-smoke serve-smoke
 
 # CI job: build (release)
 build:
@@ -53,6 +53,15 @@ perf-smoke:
 perf-full:
 	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
 		--full --json artifacts/BENCH_hotpath_full.json
+
+# CI job: serve-smoke — boot the daemon, race 4 clients through the
+# smoke grid over TCP, assert byte-identical results, memoized
+# duplicates, and a clean drain (exit 0). The cache dir is wiped first
+# so wave 1 genuinely simulates.
+serve-smoke:
+	cargo build --release --locked -p dmt-serve
+	rm -rf artifacts/serve-smoke
+	python3 ci/serve_smoke.py --binary target/release/dmt-serve --out artifacts/serve-smoke
 
 clean:
 	cargo clean

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Concurrent-client smoke test for the dmt-serve daemon.
+
+Boots the built daemon on a free port, fans out N clients that all
+submit the same smoke grid (first three Table 3 benchmarks x three
+machines), polls to completion, and asserts every client fetched
+byte-identical result lines. A follow-up duplicate wave must come back
+entirely "done" without new queue slots (the daemon memoizes in its
+result cache). Finally drains and asserts a clean exit 0.
+
+Artifacts land in --out: results.jsonl (one result line per job) and
+summary.json (counts + the daemon's exit status). Stdlib only.
+"""
+
+import argparse
+import json
+import pathlib
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+GRID = [
+    {"bench": bench, "arch": arch}
+    for bench in ("scan", "matrixMul", "convolution")
+    for arch in ("fermi_sm", "mt_cgra", "dmt_cgra")
+]
+
+
+class Client:
+    """One line-delimited JSON connection."""
+
+    def __init__(self, addr):
+        self.sock = socket.create_connection(addr, timeout=120)
+        self.rfile = self.sock.makefile("r")
+
+    def req(self, obj):
+        """Sends one request; returns (parsed, raw-line)."""
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+        line = self.rfile.readline()
+        if not line:
+            raise RuntimeError("server closed the connection")
+        return json.loads(line), line.rstrip("\n")
+
+    def submit_and_fetch(self):
+        """Submits the grid, waits for every job, fetches every result."""
+        resp, _ = self.req({"verb": "submit", "jobs": GRID})
+        if not resp.get("ok"):
+            raise RuntimeError(f"submit rejected: {resp}")
+        hashes = [job["job_hash"] for job in resp["jobs"]]
+        deadline = time.monotonic() + 300
+        for job_hash in hashes:
+            while True:
+                status, _ = self.req({"verb": "status", "job_hash": job_hash})
+                state = status.get("state")
+                if state == "done":
+                    break
+                if state == "failed" or time.monotonic() > deadline:
+                    raise RuntimeError(f"job {job_hash}: {status}")
+                time.sleep(0.05)
+        return [
+            self.req({"verb": "result", "job_hash": h})[1] for h in hashes
+        ]
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_ready(addr, proc, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon exited early: {proc.returncode}")
+        try:
+            socket.create_connection(addr, timeout=1).close()
+            return
+        except OSError:
+            time.sleep(0.1)
+    raise RuntimeError("daemon never came up")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", default="target/release/dmt-serve")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--out", default="artifacts/serve-smoke")
+    args = ap.parse_args()
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    port = free_port()
+    addr = ("127.0.0.1", port)
+    proc = subprocess.Popen(
+        [
+            args.binary,
+            "--addr",
+            f"127.0.0.1:{port}",
+            "--cache",
+            str(out / "cache"),
+            "--threads",
+            "2",
+        ]
+    )
+    try:
+        wait_ready(addr, proc)
+
+        # Wave 1: N clients race the same grid in; the daemon dedupes,
+        # simulates each job once, and everyone reads the same bytes.
+        fetched = [None] * args.clients
+        errors = []
+
+        def run_client(i):
+            try:
+                fetched[i] = Client(addr).submit_and_fetch()
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"client {i}: {exc}")
+
+        workers = [
+            threading.Thread(target=run_client, args=(i,))
+            for i in range(args.clients)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        for i, lines in enumerate(fetched[1:], start=1):
+            if lines != fetched[0]:
+                raise RuntimeError(f"client {i} read different bytes")
+
+        # Wave 2: a duplicate submission is answered wholly from the
+        # memo table — every job already done, nothing queued.
+        dup, _ = Client(addr).req({"verb": "submit", "jobs": GRID})
+        if not dup.get("ok"):
+            raise RuntimeError(f"duplicate submit rejected: {dup}")
+        not_done = [j for j in dup["jobs"] if j.get("state") != "done"]
+        if not_done:
+            raise RuntimeError(f"duplicates not memoized: {not_done}")
+
+        drained, _ = Client(addr).req({"verb": "drain"})
+        if not drained.get("ok"):
+            raise RuntimeError(f"drain rejected: {drained}")
+        code = proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    if code != 0:
+        raise RuntimeError(f"daemon exited {code} after drain")
+    (out / "results.jsonl").write_text("\n".join(fetched[0]) + "\n")
+    (out / "summary.json").write_text(
+        json.dumps(
+            {
+                "clients": args.clients,
+                "jobs": len(GRID),
+                "results": len(fetched[0]),
+                "duplicate_wave_done": len(dup["jobs"]),
+                "exit_code": code,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"serve-smoke: {args.clients} clients x {len(GRID)} jobs, "
+        f"byte-identical results, duplicates memoized, clean drain"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

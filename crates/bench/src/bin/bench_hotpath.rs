@@ -43,6 +43,7 @@ use dmt_bench::{run_suite_pooled, try_run_one, SEED};
 use dmt_core::{Arch, SystemConfig};
 use dmt_kernels::suite;
 use dmt_runner::artifact::{write_json_logged, Json};
+use dmt_runner::{Flag, RunnerArgs};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -52,6 +53,12 @@ const BASELINE: &str = include_str!("../../baselines/hotpath_serial.json");
 /// Benchmarks in the smoke per-job set (the vendored baseline's scope).
 const SMOKE_BENCHES: usize = 3;
 
+/// Binary-specific flags, composing with the shared runner registry.
+const FLAGS: &[Flag] = &[
+    Flag::with_value("--iters", "N", "best-of-N timing repetitions (default 3)"),
+    Flag::switch("--full", "per-job coverage of the whole Table 3 suite"),
+];
+
 struct Args {
     json: PathBuf,
     iters: u32,
@@ -59,32 +66,33 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        json: PathBuf::from("artifacts/BENCH_hotpath.json"),
-        iters: 3,
-        full: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => match it.next() {
-                Some(p) => args.json = PathBuf::from(p),
-                None => usage_exit("--json requires a path"),
-            },
-            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => args.iters = n,
-                _ => usage_exit("--iters requires a positive integer"),
-            },
-            "--full" => args.full = true,
-            other => usage_exit(&format!("unknown argument {other:?}")),
-        }
+    let args = RunnerArgs::from_env_registry(FLAGS);
+    // A throughput benchmark is serial and uncached by construction:
+    // a cache hit or a second worker would time the wrong thing.
+    args.forbid_threads("bench_hotpath");
+    args.forbid_cache("bench_hotpath");
+    args.forbid_progress("bench_hotpath");
+    args.forbid_smoke("bench_hotpath");
+    if let Some(first) = args.rest.first() {
+        eprintln!("error: unknown argument {first:?}");
+        std::process::exit(2);
     }
-    args
-}
-
-fn usage_exit(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: bench_hotpath [--json PATH] [--iters N] [--full]");
-    std::process::exit(2);
+    let iters = match args.flag_value("--iters").map(str::parse::<u32>) {
+        None => 3,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: --iters requires a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let full = args.has_flag("--full");
+    Args {
+        json: args
+            .json
+            .unwrap_or_else(|| PathBuf::from("artifacts/BENCH_hotpath.json")),
+        iters,
+        full,
+    }
 }
 
 fn main() {

@@ -9,11 +9,19 @@
 
 use dmt_core::dfg::pretty;
 use dmt_kernels::suite;
+use dmt_runner::RunnerArgs;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("scan");
-    let variant = args.get(1).map(String::as_str).unwrap_or("dmt");
+    // Shared-registry parsing for uniform --help and flag rejection; the
+    // runner flags themselves are meaningless for a one-graph dump.
+    let args = RunnerArgs::from_env();
+    args.forbid_threads("kernel_dot");
+    args.forbid_json("kernel_dot");
+    args.forbid_cache("kernel_dot");
+    args.forbid_progress("kernel_dot");
+    args.forbid_smoke("kernel_dot");
+    let name = args.rest.first().map(String::as_str).unwrap_or("scan");
+    let variant = args.rest.get(1).map(String::as_str).unwrap_or("dmt");
     let Some(bench) = suite::all()
         .into_iter()
         .find(|b| b.info().name.eq_ignore_ascii_case(name))

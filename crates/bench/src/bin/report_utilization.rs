@@ -19,10 +19,16 @@
 
 use dmt_bench::{run_suite_pooled, RowOutcome, SEED};
 use dmt_core::{Arch, EnergyModel, SystemConfig};
-use dmt_runner::{JobMetrics, RunnerArgs};
+use dmt_runner::{Flag, JobMetrics, RunnerArgs};
+
+/// Binary-specific flags, composing with the shared runner registry.
+const FLAGS: &[Flag] = &[Flag::switch(
+    "--per-phase",
+    "phase-by-phase utilization and energy for multi-phase kernels",
+)];
 
 fn main() {
-    let args = RunnerArgs::from_env_with(&["--per-phase"]);
+    let args = RunnerArgs::from_env_registry(FLAGS);
     args.forbid_smoke("report_utilization");
     let per_phase = args.has_flag("--per-phase");
     let progress = args.progress_reporter();

@@ -1,8 +1,17 @@
 //! Table 2 — the simulated system configuration.
 
 use dmt_core::SystemConfig;
+use dmt_runner::RunnerArgs;
 
 fn main() {
+    // Shared-registry parsing for uniform --help and flag rejection; a
+    // static table has no grid to thread, cache or record.
+    let args = RunnerArgs::from_env();
+    args.forbid_threads("table2_config");
+    args.forbid_json("table2_config");
+    args.forbid_cache("table2_config");
+    args.forbid_progress("table2_config");
+    args.forbid_smoke("table2_config");
     println!("Table 2: dMT-CGRA system configuration\n");
     print!("{}", SystemConfig::default().to_table());
     let cfg = SystemConfig::default();

@@ -297,7 +297,11 @@ pub fn run_jobs_pooled(
     cache: Option<&Cache>,
 ) -> SuiteRun {
     let start = Instant::now();
-    let outcomes = dmt_runner::run_jobs_cached(&jobs, threads, progress, cache, execute_job);
+    let outcomes = dmt_runner::ExecPlan::new(&jobs)
+        .threads(threads)
+        .progress(progress)
+        .cache(cache)
+        .run(execute_job);
     SuiteRun {
         jobs,
         outcomes,

@@ -451,6 +451,40 @@ impl WritePolicy {
             WritePolicy::WriteThroughNoAllocate => "write_through_no_allocate",
         }
     }
+
+    /// Parses a canonical variant name (the inverse of
+    /// [`WritePolicy::tag`]).
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<WritePolicy> {
+        match tag {
+            "write_back_allocate" => Some(WritePolicy::WriteBackAllocate),
+            "write_through_no_allocate" => Some(WritePolicy::WriteThroughNoAllocate),
+            _ => None,
+        }
+    }
+}
+
+/// A runtime-supplied value for [`SystemConfig::set_field`] — the
+/// write-side counterpart of [`CfgValue`], with a borrowed tag so
+/// callers can pass strings parsed from requests or files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CfgInput<'a> {
+    /// An unsigned integer value.
+    U64(u64),
+    /// A floating-point value.
+    F64(f64),
+    /// An enumerated value by its canonical variant name.
+    Tag(&'a str),
+}
+
+impl From<CfgValue> for CfgInput<'static> {
+    fn from(v: CfgValue) -> CfgInput<'static> {
+        match v {
+            CfgValue::U64(n) => CfgInput::U64(n),
+            CfgValue::F64(x) => CfgInput::F64(x),
+            CfgValue::Tag(t) => CfgInput::Tag(t),
+        }
+    }
 }
 
 impl SystemConfig {
@@ -642,6 +676,125 @@ impl SystemConfig {
         visit("clocks.dram_ghz", CfgValue::F64(dram_ghz));
     }
 
+    /// Sets one scalar leaf by its [`SystemConfig::visit_fields`] dotted
+    /// name — the write half of the field reflection that `dmt-serve`
+    /// uses to apply per-request configuration overrides.
+    ///
+    /// The name table below mirrors `visit_fields` arm for arm; the
+    /// round-trip test walks every visited leaf through this setter, so
+    /// a field added to `visit_fields` (itself a compile error to skip)
+    /// without a matching arm here fails the suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown field name, a type mismatch, an
+    /// integer that overflows the field's width, or an unknown enum tag.
+    pub fn set_field(&mut self, name: &str, value: CfgInput) -> Result<(), String> {
+        fn u64_of(name: &str, v: CfgInput) -> Result<u64, String> {
+            match v {
+                CfgInput::U64(n) => Ok(n),
+                other => Err(format!("{name} wants an unsigned integer, got {other:?}")),
+            }
+        }
+        fn u32_of(name: &str, v: CfgInput) -> Result<u32, String> {
+            let n = u64_of(name, v)?;
+            u32::try_from(n).map_err(|_| format!("{name}: {n} does not fit in 32 bits"))
+        }
+        fn f64_of(name: &str, v: CfgInput) -> Result<f64, String> {
+            match v {
+                CfgInput::F64(x) => Ok(x),
+                // Whole numbers arrive as integers from JSON ("2" not
+                // "2.0"); widen rather than bounce the request.
+                #[allow(clippy::cast_precision_loss)]
+                CfgInput::U64(n) => Ok(n as f64),
+                other @ CfgInput::Tag(_) => Err(format!("{name} wants a number, got {other:?}")),
+            }
+        }
+        fn policy_of(name: &str, v: CfgInput) -> Result<WritePolicy, String> {
+            match v {
+                CfgInput::Tag(t) => WritePolicy::from_tag(t).ok_or_else(|| {
+                    format!(
+                        "{name}: unknown write policy {t:?} \
+                         (write_back_allocate | write_through_no_allocate)"
+                    )
+                }),
+                other => Err(format!("{name} wants a policy tag, got {other:?}")),
+            }
+        }
+        match name {
+            "grid.alus" => self.grid.alus = u32_of(name, value)?,
+            "grid.fpus" => self.grid.fpus = u32_of(name, value)?,
+            "grid.specials" => self.grid.specials = u32_of(name, value)?,
+            "grid.ldsts" => self.grid.ldsts = u32_of(name, value)?,
+            "grid.sjus" => self.grid.sjus = u32_of(name, value)?,
+            "grid.controls" => self.grid.controls = u32_of(name, value)?,
+            "fabric.token_buffer_entries" => {
+                self.fabric.token_buffer_entries = u32_of(name, value)?;
+            }
+            "fabric.ldst_queue_entries" => {
+                self.fabric.ldst_queue_entries = u32_of(name, value)?;
+            }
+            "fabric.inflight_threads" => self.fabric.inflight_threads = u32_of(name, value)?,
+            "fabric.noc_hop_latency" => self.fabric.noc_hop_latency = u64_of(name, value)?,
+            "fabric.threads_injected_per_cycle" => {
+                self.fabric.threads_injected_per_cycle = u32_of(name, value)?;
+            }
+            "fabric.grid_width" => self.fabric.grid_width = u32_of(name, value)?,
+            "fabric.reconfiguration_cycles" => {
+                self.fabric.reconfiguration_cycles = u64_of(name, value)?;
+            }
+            "latencies.alu" => self.latencies.alu = u64_of(name, value)?,
+            "latencies.fpu" => self.latencies.fpu = u64_of(name, value)?,
+            "latencies.special" => self.latencies.special = u64_of(name, value)?,
+            "latencies.control" => self.latencies.control = u64_of(name, value)?,
+            "latencies.sju" => self.latencies.sju = u64_of(name, value)?,
+            "latencies.elevator" => self.latencies.elevator = u64_of(name, value)?,
+            "latencies.ldst_issue" => self.latencies.ldst_issue = u64_of(name, value)?,
+            "mem.l1.size_bytes" => self.mem.l1.size_bytes = u64_of(name, value)?,
+            "mem.l1.line_bytes" => self.mem.l1.line_bytes = u64_of(name, value)?,
+            "mem.l1.ways" => self.mem.l1.ways = u32_of(name, value)?,
+            "mem.l1.banks" => self.mem.l1.banks = u32_of(name, value)?,
+            "mem.l1.hit_latency" => self.mem.l1.hit_latency = u64_of(name, value)?,
+            "mem.l1.mshrs" => self.mem.l1.mshrs = u32_of(name, value)?,
+            "mem.l1.write_policy" => self.mem.l1.write_policy = policy_of(name, value)?,
+            "mem.l2.size_bytes" => self.mem.l2.size_bytes = u64_of(name, value)?,
+            "mem.l2.line_bytes" => self.mem.l2.line_bytes = u64_of(name, value)?,
+            "mem.l2.ways" => self.mem.l2.ways = u32_of(name, value)?,
+            "mem.l2.banks" => self.mem.l2.banks = u32_of(name, value)?,
+            "mem.l2.hit_latency" => self.mem.l2.hit_latency = u64_of(name, value)?,
+            "mem.l2.mshrs" => self.mem.l2.mshrs = u32_of(name, value)?,
+            "mem.l2.write_policy" => self.mem.l2.write_policy = policy_of(name, value)?,
+            "mem.dram.channels" => self.mem.dram.channels = u32_of(name, value)?,
+            "mem.dram.banks_per_channel" => {
+                self.mem.dram.banks_per_channel = u32_of(name, value)?;
+            }
+            "mem.dram.latency" => self.mem.dram.latency = u64_of(name, value)?,
+            "mem.dram.bank_busy_cycles" => {
+                self.mem.dram.bank_busy_cycles = u64_of(name, value)?;
+            }
+            "mem.scratchpad.size_bytes" => {
+                self.mem.scratchpad.size_bytes = u64_of(name, value)?;
+            }
+            "mem.scratchpad.banks" => self.mem.scratchpad.banks = u32_of(name, value)?,
+            "mem.scratchpad.latency" => self.mem.scratchpad.latency = u64_of(name, value)?,
+            "mem.lvc.entries" => self.mem.lvc.entries = u32_of(name, value)?,
+            "mem.lvc.latency" => self.mem.lvc.latency = u64_of(name, value)?,
+            "gpu.warp_width" => self.gpu.warp_width = u32_of(name, value)?,
+            "gpu.max_warps" => self.gpu.max_warps = u32_of(name, value)?,
+            "gpu.issue_latency" => self.gpu.issue_latency = u64_of(name, value)?,
+            "gpu.alu_latency" => self.gpu.alu_latency = u64_of(name, value)?,
+            "gpu.fpu_latency" => self.gpu.fpu_latency = u64_of(name, value)?,
+            "gpu.sfu_latency" => self.gpu.sfu_latency = u64_of(name, value)?,
+            "gpu.sfu_lanes" => self.gpu.sfu_lanes = u32_of(name, value)?,
+            "clocks.core_ghz" => self.clocks.core_ghz = f64_of(name, value)?,
+            "clocks.interconnect_ghz" => self.clocks.interconnect_ghz = f64_of(name, value)?,
+            "clocks.l2_ghz" => self.clocks.l2_ghz = f64_of(name, value)?,
+            "clocks.dram_ghz" => self.clocks.dram_ghz = f64_of(name, value)?,
+            _ => return Err(format!("unknown config field {name:?}")),
+        }
+        Ok(())
+    }
+
     /// Renders the configuration as the paper's Table 2.
     #[must_use]
     pub fn to_table(&self) -> String {
@@ -756,6 +909,72 @@ mod tests {
                 .any(|&(n, v)| n == "mem.l1.write_policy"
                     && v == CfgValue::Tag("write_back_allocate"))
         );
+    }
+
+    #[test]
+    fn set_field_round_trips_every_visited_leaf() {
+        let base = SystemConfig::default();
+        let mut fields = Vec::new();
+        base.visit_fields(&mut |n, v| fields.push((n, v)));
+        // Nudge every leaf through its visited name...
+        let nudged = |v: &CfgValue| match *v {
+            CfgValue::U64(n) => CfgValue::U64(n + 1),
+            CfgValue::F64(x) => CfgValue::F64(x * 2.0),
+            CfgValue::Tag(_) => CfgValue::Tag("write_through_no_allocate"),
+        };
+        let mut cfg = base;
+        for (name, value) in &fields {
+            cfg.set_field(name, nudged(value).into()).unwrap();
+        }
+        // ...and confirm the visit reads every change back, proving the
+        // setter's name table covers visit_fields arm for arm and never
+        // writes the wrong leaf.
+        let mut after = std::collections::BTreeMap::new();
+        cfg.visit_fields(&mut |n, v| {
+            after.insert(n, v);
+        });
+        assert_eq!(after.len(), fields.len());
+        for (name, value) in &fields {
+            assert_eq!(after[name], nudged(value), "{name}");
+        }
+    }
+
+    #[test]
+    fn set_field_rejects_bad_names_types_and_ranges() {
+        let mut cfg = SystemConfig::default();
+        assert!(cfg
+            .set_field("grid.alus_typo", CfgInput::U64(1))
+            .unwrap_err()
+            .contains("unknown config field"));
+        // u32 fields must not silently truncate.
+        assert!(cfg
+            .set_field("grid.alus", CfgInput::U64(1 << 40))
+            .unwrap_err()
+            .contains("32 bits"));
+        assert!(cfg.set_field("grid.alus", CfgInput::F64(3.5)).is_err());
+        assert!(cfg
+            .set_field("mem.l1.write_policy", CfgInput::Tag("nope"))
+            .unwrap_err()
+            .contains("unknown write policy"));
+        assert!(cfg
+            .set_field("mem.l1.write_policy", CfgInput::U64(0))
+            .is_err());
+        // Whole numbers widen into float fields (JSON integers).
+        cfg.set_field("clocks.core_ghz", CfgInput::U64(2)).unwrap();
+        assert_eq!(cfg.clocks.core_ghz, 2.0);
+        // The config is otherwise untouched by the failed writes.
+        assert_eq!(cfg.grid, GridConfig::default());
+    }
+
+    #[test]
+    fn write_policy_tags_round_trip() {
+        for p in [
+            WritePolicy::WriteBackAllocate,
+            WritePolicy::WriteThroughNoAllocate,
+        ] {
+            assert_eq!(WritePolicy::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(WritePolicy::from_tag("x"), None);
     }
 
     #[test]

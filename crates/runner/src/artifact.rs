@@ -121,6 +121,45 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no whitespace — the wire
+    /// format of line-delimited protocols (`dmt-serve`), where a
+    /// newline terminates the message. Scalars render exactly as in
+    /// [`Json::render`], so `parse ∘ render_compact = id` too.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -757,6 +796,26 @@ mod tests {
         assert!(text.contains("\"nan\": null"), "{text}");
         assert!(text.contains("\"empty\": {}"), "{text}");
         assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let doc = Json::obj()
+            .with("verb", "status")
+            .with("f", 2.0)
+            .with("arr", vec![Json::U64(1), Json::Null])
+            .with("nested", Json::obj().with("k", "v\n"))
+            .with("empty", Json::Arr(Vec::new()));
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(!line.contains(' '), "{line}");
+        assert_eq!(
+            line,
+            r#"{"verb":"status","f":2.0,"arr":[1,null],"nested":{"k":"v\n"},"empty":[]}"#
+        );
+        // The same parser reads both renderings back to the same doc.
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
     }
 
     #[test]

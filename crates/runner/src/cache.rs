@@ -63,7 +63,7 @@
 //! schedule: [`Cache::cost_index`] scans the completed entries into a
 //! `(bench, arch) → max cycles` table and [`cost_order`] sorts pending
 //! jobs by that estimate (grid order on a cold cache). See
-//! [`crate::pool::run_jobs_cached`].
+//! [`crate::plan::ExecPlan`].
 
 use crate::artifact::{Json, SCHEMA_VERSION};
 use crate::job::{JobMetrics, JobOutcome, JobSpec};

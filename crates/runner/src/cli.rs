@@ -1,22 +1,137 @@
 //! The shared command-line surface of every experiment binary.
 //!
-//! All `dmt-bench` binaries accept the same runner flags:
+//! Flags are **declared, not hand-parsed**: a [`Flag`] names one flag,
+//! says whether it takes a value, and carries its help line. The
+//! [`SHARED_FLAGS`] registry declares the runner flags every binary
+//! accepts (`--threads/--json/--cache/--no-cache/--progress/--smoke`);
+//! a binary with flags of its own passes one more `&[Flag]` table to
+//! [`RunnerArgs::from_env_registry`] and reads them back with
+//! [`RunnerArgs::has_flag`] / [`RunnerArgs::flag_value`]. From the two
+//! tables the parser generates `--help` output and the usage line shown
+//! on errors, so help text can never drift from what is actually
+//! parsed, and unknown-`--flag` rejection is uniform across all
+//! binaries (a misspelled flag must not silently degrade the run).
 //!
-//! * `--threads N` — worker count (default: `DMT_THREADS`, else all cores);
-//! * `--json PATH` — also write the versioned JSON artifact to `PATH`;
-//! * `--cache DIR` — content-addressed result cache (or `DMT_CACHE=DIR`);
-//! * `--no-cache` — disable caching even when `DMT_CACHE` is set;
-//! * `--progress` — live per-job progress on stderr (or `DMT_PROGRESS=1`);
-//! * `--smoke` — reduced suite, where the binary supports it.
-//!
-//! Unrecognized arguments are passed through in order (`rest`) for
-//! binary-specific positionals (e.g. `sweep_csv token_buffer`). Unknown
-//! `--flags` are rejected; a binary with its own boolean flags registers
-//! them via [`RunnerArgs::from_env_with`] (e.g. `report_utilization
-//! --per-phase`) and reads them back with [`RunnerArgs::has_flag`].
+//! Unrecognized bare arguments pass through in order (`rest`) for
+//! binary-specific positionals (e.g. `sweep_csv token_buffer`).
 
 use crate::cache::Cache;
 use std::path::PathBuf;
+
+/// One declared command-line flag: its name, whether it takes a value,
+/// and the help line `--help` prints for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flag {
+    /// The flag itself, `--`-prefixed (e.g. `"--threads"`).
+    pub name: &'static str,
+    /// Value placeholder for the help text (`None` for a switch).
+    pub value_name: Option<&'static str>,
+    /// One-line description shown by `--help`.
+    pub help: &'static str,
+}
+
+impl Flag {
+    /// Declares a boolean switch (`--per-phase`).
+    #[must_use]
+    pub const fn switch(name: &'static str, help: &'static str) -> Flag {
+        Flag {
+            name,
+            value_name: None,
+            help,
+        }
+    }
+
+    /// Declares a flag that takes a value (`--iters N`, also accepted
+    /// as `--iters=N`).
+    #[must_use]
+    pub const fn with_value(
+        name: &'static str,
+        value_name: &'static str,
+        help: &'static str,
+    ) -> Flag {
+        Flag {
+            name,
+            value_name: Some(value_name),
+            help,
+        }
+    }
+
+    /// The flag as it appears in a usage line: `--iters N` or
+    /// `--per-phase`.
+    fn synopsis(&self) -> String {
+        match self.value_name {
+            Some(v) => format!("{} {v}", self.name),
+            None => self.name.to_owned(),
+        }
+    }
+
+    /// The two-column help line for this flag.
+    fn help_line(&self) -> String {
+        format!("  {:<22} {}\n", self.synopsis(), self.help)
+    }
+}
+
+/// The runner flags every experiment binary accepts. Binary-specific
+/// tables compose with (never override) this one.
+pub const SHARED_FLAGS: &[Flag] = &[
+    Flag::with_value(
+        "--threads",
+        "N",
+        "worker count (default: DMT_THREADS, else all cores)",
+    ),
+    Flag::with_value("--json", "PATH", "also write the versioned JSON artifact"),
+    Flag::with_value(
+        "--cache",
+        "DIR",
+        "content-addressed result cache (or DMT_CACHE=DIR)",
+    ),
+    Flag::switch("--no-cache", "disable caching even when DMT_CACHE is set"),
+    Flag::switch(
+        "--progress",
+        "live per-job progress on stderr (or DMT_PROGRESS=1)",
+    ),
+    Flag::switch("--smoke", "reduced suite, where the binary supports it"),
+];
+
+/// The generated `--help` text: usage line, the shared registry, then
+/// the binary's own table.
+#[must_use]
+pub fn help_text(binary: &str, extra: &[Flag]) -> String {
+    let mut s = format!("{}\n\nrunner flags:\n", usage_line(binary, extra));
+    for f in SHARED_FLAGS {
+        s.push_str(&f.help_line());
+    }
+    if !extra.is_empty() {
+        s.push_str("\nbinary flags:\n");
+        for f in extra {
+            s.push_str(&f.help_line());
+        }
+    }
+    s.push('\n');
+    s.push_str(&Flag::switch("--help", "print this help").help_line());
+    s
+}
+
+/// The generated one-line usage summary (also shown on parse errors).
+#[must_use]
+pub fn usage_line(binary: &str, extra: &[Flag]) -> String {
+    let mut s = format!("usage: {binary}");
+    for f in SHARED_FLAGS.iter().chain(extra) {
+        s.push_str(&format!(" [{}]", f.synopsis()));
+    }
+    s.push_str(" [args...]");
+    s
+}
+
+// The binary name for usage/help lines, recovered from argv[0].
+fn binary_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem())
+        .map_or_else(|| "dmt".to_owned(), |s| s.to_string_lossy().into_owned())
+}
 
 /// Parsed runner arguments.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,69 +148,158 @@ pub struct RunnerArgs {
     pub smoke: bool,
     /// `--progress`: live stderr progress.
     pub progress: bool,
+    /// `--help`/`-h`: print generated help and exit.
+    pub help: bool,
+    /// Binary-specific registered flags, in order of appearance
+    /// (`(name, value)`; read via [`RunnerArgs::has_flag`] and
+    /// [`RunnerArgs::flag_value`]).
+    pub extras: Vec<(String, Option<String>)>,
     /// Positional / binary-specific arguments, in order.
     pub rest: Vec<String>,
 }
 
 impl RunnerArgs {
     /// Parses the process arguments (`std::env::args`, program name
-    /// skipped), exiting with status 2 on malformed flags.
+    /// skipped) against the shared registry only: prints generated help
+    /// on `--help`, exits with status 2 on malformed flags.
     #[must_use]
     pub fn from_env() -> RunnerArgs {
-        RunnerArgs::from_env_with(&[])
+        RunnerArgs::from_env_registry(&[])
     }
 
-    /// [`RunnerArgs::from_env`] with binary-specific boolean flags:
-    /// flags named in `extra_flags` pass through to [`RunnerArgs::rest`]
-    /// instead of being rejected as unknown (check them with
-    /// [`RunnerArgs::has_flag`]). Every other `--flag` is still an error.
+    /// [`RunnerArgs::from_env`] with a binary-specific flag table on
+    /// top of [`SHARED_FLAGS`]. The binary name in help/usage output is
+    /// recovered from `argv[0]`.
     #[must_use]
-    pub fn from_env_with(extra_flags: &[&str]) -> RunnerArgs {
-        match RunnerArgs::parse_with(std::env::args().skip(1), extra_flags) {
+    pub fn from_env_registry(extra: &[Flag]) -> RunnerArgs {
+        let binary = binary_name();
+        match RunnerArgs::parse_registry(std::env::args().skip(1), extra) {
+            Ok(a) if a.help => {
+                print!("{}", help_text(&binary, extra));
+                std::process::exit(0);
+            }
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!(
-                    "usage: [--threads N] [--json PATH] [--cache DIR | --no-cache] \
-                     [--progress] [--smoke] [args...]"
-                );
+                eprintln!("{}", usage_line(&binary, extra));
                 std::process::exit(2);
             }
         }
     }
 
-    /// Parses an argument list.
+    /// [`RunnerArgs::from_env`] with binary-specific boolean flags
+    /// named as bare strings.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare a `&[Flag]` table and use from_env_registry (generated --help)"
+    )]
+    #[must_use]
+    pub fn from_env_with(extra_flags: &[&str]) -> RunnerArgs {
+        let binary = binary_name();
+        #[allow(deprecated)]
+        match RunnerArgs::parse_with(std::env::args().skip(1), extra_flags) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", usage_line(&binary, &[]));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list against the shared registry.
     ///
     /// # Errors
     ///
     /// Returns a message for a missing or malformed flag value.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<RunnerArgs, String> {
-        RunnerArgs::parse_with(args, &[])
+        RunnerArgs::parse_registry(args, &[])
     }
 
-    /// True when a passed-through binary-specific flag (see
-    /// [`RunnerArgs::from_env_with`]) was given.
+    /// True when a registered binary-specific flag was given.
     #[must_use]
     pub fn has_flag(&self, flag: &str) -> bool {
-        self.rest.iter().any(|a| a == flag)
+        self.extras.iter().any(|(n, _)| n == flag) || self.rest.iter().any(|a| a == flag)
+    }
+
+    /// The value of a registered value-taking flag (last occurrence
+    /// wins, matching the usual CLI override idiom).
+    #[must_use]
+    pub fn flag_value(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(n, _)| n == flag)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     /// [`RunnerArgs::parse`] with binary-specific boolean pass-through
-    /// flags.
+    /// flags named as bare strings.
     ///
     /// # Errors
     ///
     /// Returns a message for a missing or malformed flag value.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare a `&[Flag]` table and use parse_registry"
+    )]
     pub fn parse_with(
         args: impl IntoIterator<Item = String>,
         extra_flags: &[&str],
     ) -> Result<RunnerArgs, String> {
+        // The legacy table is switches only, so occurrences can be
+        // lifted out before registry parsing without reordering any
+        // value that follows its flag.
+        let mut out_extras = Vec::new();
+        let remaining: Vec<String> = args
+            .into_iter()
+            .filter(|a| {
+                let registered = extra_flags.contains(&a.as_str());
+                if registered {
+                    out_extras.push((a.clone(), None));
+                }
+                !registered
+            })
+            .collect();
+        let mut out = RunnerArgs::parse_registry(remaining, &[])?;
+        out.extras = out_extras;
+        Ok(out)
+    }
+
+    /// Parses an argument list against [`SHARED_FLAGS`] plus a
+    /// binary-specific flag table. `--help`/`-h` set
+    /// [`RunnerArgs::help`] instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown flag or a missing or malformed
+    /// flag value.
+    pub fn parse_registry(
+        args: impl IntoIterator<Item = String>,
+        extra: &[Flag],
+    ) -> Result<RunnerArgs, String> {
         let mut out = RunnerArgs::default();
         let mut it = args.into_iter();
-        while let Some(arg) = it.next() {
-            if extra_flags.contains(&arg.as_str()) {
-                out.rest.push(arg);
+        'args: while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                out.help = true;
                 continue;
+            }
+            for f in extra {
+                if arg == f.name {
+                    let v = match f.value_name {
+                        Some(_) => Some(it.next().ok_or(format!("{} needs a value", f.name))?),
+                        None => None,
+                    };
+                    out.extras.push((f.name.to_owned(), v));
+                    continue 'args;
+                }
+                if f.value_name.is_some() {
+                    if let Some(v) = arg.strip_prefix(f.name).and_then(|r| r.strip_prefix('=')) {
+                        out.extras.push((f.name.to_owned(), Some(v.to_owned())));
+                        continue 'args;
+                    }
+                }
             }
             match arg.as_str() {
                 "--smoke" => out.smoke = true,
@@ -340,10 +544,43 @@ mod tests {
     }
 
     #[test]
-    fn extra_flags_pass_through_only_when_registered() {
+    fn registry_accepts_switches_and_value_flags() {
+        const FLAGS: &[Flag] = &[
+            Flag::switch("--per-phase", "per-phase breakdown"),
+            Flag::with_value("--iters", "N", "iteration count"),
+        ];
         // Unregistered: still an error (a typo must not degrade the run).
         assert!(RunnerArgs::parse(["--per-phase".to_owned()]).is_err());
-        // Registered: passes through to rest, composing with shared flags.
+        let a = RunnerArgs::parse_registry(
+            ["--threads", "2", "--per-phase", "--iters", "5"]
+                .iter()
+                .map(ToString::to_string),
+            FLAGS,
+        )
+        .unwrap();
+        assert_eq!(a.threads, Some(2));
+        assert!(a.has_flag("--per-phase"));
+        assert!(!a.has_flag("--other"));
+        assert_eq!(a.flag_value("--iters"), Some("5"));
+        assert_eq!(a.flag_value("--per-phase"), None);
+        // Inline form and last-occurrence-wins for value flags.
+        let a = RunnerArgs::parse_registry(
+            ["--iters=3", "--iters", "7"]
+                .iter()
+                .map(ToString::to_string),
+            FLAGS,
+        )
+        .unwrap();
+        assert_eq!(a.flag_value("--iters"), Some("7"));
+        // A registered value flag with no value is an error, and
+        // registration does not leak to other unknown flags.
+        assert!(RunnerArgs::parse_registry(["--iters".to_owned()].into_iter(), FLAGS).is_err());
+        assert!(RunnerArgs::parse_registry(["--nope".to_owned()].into_iter(), FLAGS).is_err());
+    }
+
+    #[test]
+    fn legacy_bare_string_registration_still_works() {
+        #![allow(deprecated)]
         let a = RunnerArgs::parse_with(
             [
                 "--threads".to_owned(),
@@ -355,9 +592,25 @@ mod tests {
         .unwrap();
         assert_eq!(a.threads, Some(2));
         assert!(a.has_flag("--per-phase"));
-        assert!(!a.has_flag("--other"));
-        // Registration does not leak to other unknown flags.
         assert!(RunnerArgs::parse_with(["--nope".to_owned()], &["--per-phase"]).is_err());
+    }
+
+    #[test]
+    fn help_is_parsed_not_errored_and_text_is_generated() {
+        let a = parse(&["--help"]);
+        assert!(a.help);
+        let a = parse(&["-h"]);
+        assert!(a.help);
+        const FLAGS: &[Flag] = &[Flag::with_value("--iters", "N", "timing repetitions")];
+        let text = help_text("bench_hotpath", FLAGS);
+        // Every registered flag appears with its help line; the usage
+        // line leads.
+        assert!(text.starts_with("usage: bench_hotpath"));
+        for f in SHARED_FLAGS.iter().chain(FLAGS) {
+            assert!(text.contains(f.name), "help must mention {}", f.name);
+            assert!(text.contains(f.help), "help must describe {}", f.name);
+        }
+        assert!(usage_line("bench_hotpath", FLAGS).contains("[--iters N]"));
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`job`] | `JobSpec` descriptors, outcomes, stable job hashes |
+//! | [`plan`] | [`ExecPlan`]: the one builder every job grid runs through |
 //! | [`pool`] | `std::thread::scope` worker pool, index-ordered results |
 //! | [`hash`] | order-independent FNV/splitmix stable hashing |
 //! | [`artifact`] | versioned JSON artifacts (`schema_version: 2`, per-phase stats) + parser |
 //! | [`cache`] | content-addressed result cache, resume, cost-sorted scheduling |
 //! | [`progress`] | completion-ordered stderr ticker |
-//! | [`cli`] | the shared `--threads/--json/--cache/--progress/--smoke` surface |
+//! | [`cli`] | declarative flag registry + the shared `--threads/--json/--cache/...` surface |
 //!
 //! # Example
 //!
@@ -28,7 +29,7 @@
 //! lives in `dmt-bench`):
 //!
 //! ```
-//! use dmt_runner::{Artifact, JobOutcome, JobSpec, JobMetrics, pool};
+//! use dmt_runner::{Artifact, ExecPlan, JobOutcome, JobSpec, JobMetrics};
 //! use dmt_core::{Arch, SystemConfig};
 //!
 //! // Two architectures × two seeds.
@@ -52,8 +53,8 @@
 //! };
 //!
 //! // Aggregation is by job index: 4 workers or 1, same vector.
-//! let parallel = pool::run_jobs(&jobs, 4, None, exec);
-//! let serial = pool::run_jobs(&jobs, 1, None, exec);
+//! let parallel = ExecPlan::new(&jobs).threads(4).run(exec);
+//! let serial = ExecPlan::new(&jobs).run(exec);
 //! assert_eq!(parallel, serial);
 //!
 //! // And the artifact's jobs array is fully deterministic.
@@ -66,13 +67,17 @@ pub mod cache;
 pub mod cli;
 pub mod hash;
 pub mod job;
+pub mod plan;
 pub mod pool;
 pub mod progress;
 
 pub use artifact::{write_json, write_json_logged, Artifact, Json, SCHEMA_VERSION};
 pub use cache::{Cache, CacheStats, CostIndex};
-pub use cli::{resolve_threads, RunnerArgs};
+pub use cli::{resolve_threads, Flag, RunnerArgs};
 pub use hash::{config_hash, StableHasher};
 pub use job::{JobMetrics, JobOutcome, JobSpec};
-pub use pool::{run_indexed, run_jobs, run_jobs_cached, run_scheduled};
+pub use plan::ExecPlan;
+pub use pool::run_indexed;
+#[allow(deprecated)]
+pub use pool::{run_jobs, run_jobs_cached, run_scheduled};
 pub use progress::Progress;

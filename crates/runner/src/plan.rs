@@ -1,0 +1,251 @@
+//! The one way to execute a job grid: the [`ExecPlan`] builder.
+//!
+//! Three generations of positional entry points (`run_jobs`,
+//! `run_jobs_cached`, `run_scheduled` — each adding one more parameter
+//! to the previous signature) collapsed into a single builder that both
+//! the CLI binaries and the `dmt-serve` daemon consume:
+//!
+//! ```text
+//! ExecPlan::new(&jobs).threads(n).cache(Some(&c)).progress(Some(&p)).run(exec)
+//! ```
+//!
+//! Every knob is optional and defaults to the serial, uncached,
+//! unreported run, so the minimal call reads exactly like what it does:
+//! `ExecPlan::new(&jobs).run(exec)`. The execution semantics are
+//! unchanged from the functions it replaces:
+//!
+//! * **deterministic aggregation** — outcomes land by job index, so the
+//!   result vector is byte-identical for any thread count;
+//! * **cache-as-memo-table** — with a cache, hits skip simulation,
+//!   misses run longest-expected-first (cost-sorted against the cache's
+//!   cycle history) and persist via temp-file+rename as soon as each
+//!   completes, so a killed run resumes from exactly the jobs it
+//!   finished;
+//! * **completion-ordered progress** — the ticker counts only jobs
+//!   actually executed; hits are summarized by [`Cache::report`].
+
+use crate::cache::{cost_order, Cache};
+use crate::job::{JobOutcome, JobSpec};
+use crate::pool::run_ordered;
+use crate::progress::Progress;
+
+/// A declarative description of one pooled execution over a job grid.
+///
+/// Borrowers: the plan holds references only — the job list, cache and
+/// progress reporter all outlive the run, which returns plain owned
+/// outcomes.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "an ExecPlan does nothing until .run(exec) is called"]
+pub struct ExecPlan<'a> {
+    jobs: &'a [JobSpec],
+    threads: usize,
+    progress: Option<&'a Progress>,
+    cache: Option<&'a Cache>,
+}
+
+impl<'a> ExecPlan<'a> {
+    /// A serial, uncached, unreported plan over `jobs`.
+    pub fn new(jobs: &'a [JobSpec]) -> ExecPlan<'a> {
+        ExecPlan {
+            jobs,
+            threads: 1,
+            progress: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1; `1` runs inline on
+    /// the calling thread — no pool, no locks).
+    pub fn threads(mut self, threads: usize) -> ExecPlan<'a> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a completion-ordered stderr progress ticker.
+    pub fn progress(mut self, progress: Option<&'a Progress>) -> ExecPlan<'a> {
+        self.progress = progress;
+        self
+    }
+
+    /// Routes the run through a content-addressed result cache: hits
+    /// skip simulation, misses are cost-sorted and persisted on
+    /// completion. `None` runs everything.
+    pub fn cache(mut self, cache: Option<&'a Cache>) -> ExecPlan<'a> {
+        self.cache = cache;
+        self
+    }
+
+    /// Executes the plan and returns outcomes in job-index order.
+    ///
+    /// `exec` is the leaf runner (for the benchmark suite:
+    /// `dmt_bench::execute_job`). A panicking executor poisons the pool
+    /// and propagates; no result is silently dropped.
+    pub fn run<F>(self, exec: F) -> Vec<JobOutcome>
+    where
+        F: Fn(&JobSpec) -> JobOutcome + Sync,
+    {
+        let jobs = self.jobs;
+        let Some(cache) = self.cache else {
+            if let Some(p) = self.progress {
+                p.begin(jobs.len());
+            }
+            return run_ordered(jobs.len(), self.threads, None, |i| {
+                let outcome = exec(&jobs[i]);
+                if let Some(p) = self.progress {
+                    p.completed(&jobs[i], &outcome);
+                }
+                outcome
+            });
+        };
+        let mut slots: Vec<Option<JobOutcome>> = jobs.iter().map(|j| cache.lookup(j)).collect();
+        let pending: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+        if let Some(p) = self.progress {
+            p.begin(pending.len());
+        }
+        if !pending.is_empty() {
+            let specs: Vec<&JobSpec> = pending.iter().map(|&i| &jobs[i]).collect();
+            let order = cost_order(&specs, &cache.cost_index());
+            let executed = run_ordered(pending.len(), self.threads, Some(&order), |k| {
+                let spec = &jobs[pending[k]];
+                let outcome = exec(spec);
+                // Persist immediately — resume depends on completed work
+                // surviving a kill, not on reaching the end of the run. A
+                // failed store costs a future re-simulation, not this run.
+                if let Err(e) = cache.store(spec, &outcome) {
+                    eprintln!(
+                        "[dmt-runner] warning: cache store failed for {spec}: {e} ({})",
+                        cache.entry_path(spec).display()
+                    );
+                }
+                if let Some(p) = self.progress {
+                    p.completed(spec, &outcome);
+                }
+                outcome
+            });
+            for (k, outcome) in executed.into_iter().enumerate() {
+                slots[pending[k]] = Some(outcome);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobMetrics;
+    use dmt_core::{Arch, SystemConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn jobs(n: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|seed| JobSpec::new("scan", Arch::DmtCgra, SystemConfig::default(), seed))
+            .collect()
+    }
+
+    fn exec(spec: &JobSpec) -> JobOutcome {
+        JobOutcome::completed(JobMetrics {
+            kernel: spec.bench.clone(),
+            stats: dmt_common::stats::RunStats {
+                cycles: (spec.seed + 1) * 100,
+                ..Default::default()
+            },
+            energy: dmt_core::energy::EnergyReport::default(),
+        })
+    }
+
+    #[test]
+    fn outcomes_are_index_ordered_for_any_thread_count() {
+        let grid = jobs(9);
+        let serial = ExecPlan::new(&grid).run(exec);
+        for threads in [2, 3, 8] {
+            let parallel = ExecPlan::new(&grid).threads(threads).run(exec);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_serial() {
+        let grid = jobs(3);
+        assert_eq!(
+            ExecPlan::new(&grid).threads(0).run(exec),
+            ExecPlan::new(&grid).run(exec)
+        );
+    }
+
+    #[test]
+    fn progress_counts_executed_jobs() {
+        let grid = jobs(4);
+        let p = Progress::new(false);
+        let _ = ExecPlan::new(&grid).progress(Some(&p)).run(exec);
+        assert_eq!(p.done(), 4);
+    }
+
+    #[test]
+    fn cached_plan_skips_hits_executes_misses_and_persists() {
+        let dir = std::env::temp_dir().join(format!("dmt_plan_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(&dir).unwrap();
+        let grid = jobs(4);
+        let exec_count = AtomicUsize::new(0);
+        let counted = |spec: &JobSpec| {
+            exec_count.fetch_add(1, Ordering::Relaxed);
+            exec(spec)
+        };
+
+        // Pre-warm two of the four jobs.
+        cache.store(&grid[1], &exec(&grid[1])).unwrap();
+        cache.store(&grid[3], &exec(&grid[3])).unwrap();
+
+        let outcomes = ExecPlan::new(&grid)
+            .threads(2)
+            .cache(Some(&cache))
+            .run(counted);
+        assert_eq!(exec_count.load(Ordering::Relaxed), 2, "only the misses run");
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.metrics().unwrap().cycles(), (i as u64 + 1) * 100);
+        }
+
+        // Everything is now persisted: a fresh handle serves all 4 jobs
+        // without a single execution.
+        let cache2 = Cache::open(&dir).unwrap();
+        let again = ExecPlan::new(&grid)
+            .threads(2)
+            .cache(Some(&cache2))
+            .run(|_: &JobSpec| panic!("warm run must not execute"));
+        assert_eq!(again, outcomes);
+        assert_eq!(cache2.stats().hits, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_ticker_counts_only_misses_on_a_warm_cache() {
+        let dir = std::env::temp_dir().join(format!("dmt_plan_prog_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(&dir).unwrap();
+        let grid = jobs(3);
+        cache.store(&grid[0], &exec(&grid[0])).unwrap();
+        let p = Progress::new(false);
+        let _ = ExecPlan::new(&grid)
+            .cache(Some(&cache))
+            .progress(Some(&p))
+            .run(exec);
+        assert_eq!(p.done(), 2, "hits must not tick the progress counter");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_plan() {
+        #![allow(deprecated)]
+        let grid = jobs(5);
+        let planned = ExecPlan::new(&grid).threads(2).run(exec);
+        assert_eq!(crate::pool::run_jobs(&grid, 2, None, exec), planned);
+        assert_eq!(
+            crate::pool::run_jobs_cached(&grid, 2, None, None, exec),
+            planned
+        );
+    }
+}

@@ -1,22 +1,26 @@
 //! The shared-nothing worker pool with deterministic aggregation.
 //!
 //! Workers pull positions off one atomic counter — in grid order, or in
-//! an explicit schedule ([`run_scheduled`], used for longest-job-first
-//! dispatch against a result cache) — and run a caller-supplied
-//! executor; each result is stored into a slot addressed by the item's
-//! **original index**, never by completion or dispatch order. The
-//! aggregated vector is therefore identical for any thread count and any
-//! schedule — a parallel run is byte-for-byte the serial run, just
-//! faster.
+//! an explicit schedule (used for longest-job-first dispatch against a
+//! result cache) — and run a caller-supplied executor; each result is
+//! stored into a slot addressed by the item's **original index**, never
+//! by completion or dispatch order. The aggregated vector is therefore
+//! identical for any thread count and any schedule — a parallel run is
+//! byte-for-byte the serial run, just faster.
 //!
 //! Workers share nothing but the counter and the result slots: the
 //! executor receives only the item, and is expected to build whatever
 //! heavyweight state it needs (machines, suites, kernels) from scratch
 //! per item. Simulations are seconds-long, so per-item setup is noise.
+//!
+//! Job-grid execution lives in [`crate::plan::ExecPlan`]; this module
+//! keeps the index-level primitive ([`run_indexed`]) plus deprecated
+//! shims for the pre-`ExecPlan` entry points.
 
-use crate::cache::{cost_order, Cache};
 use crate::job::{JobOutcome, JobSpec};
+use crate::plan::ExecPlan;
 use crate::progress::Progress;
+use crate::Cache;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -35,20 +39,19 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_scheduled(n, threads, None, f)
+    run_ordered(n, threads, None, f)
 }
 
-/// [`run_indexed`] with an explicit execution schedule: workers pull
-/// positions from `order` front to back, but every result is still
-/// stored by its **item index** — the schedule shifts wall-clock (run
-/// long jobs first, shrink the tail), never output bytes. `None` (or an
-/// identity permutation) is plain grid order.
+/// The execution core behind [`run_indexed`] and
+/// [`crate::plan::ExecPlan`]: an optional schedule shifts wall-clock
+/// (workers pull positions from `order` front to back), never output
+/// bytes (results land by item index).
 ///
 /// # Panics
 ///
 /// Panics when `order` is not a permutation of `0..n`, and propagates
 /// executor panics like [`run_indexed`].
-pub fn run_scheduled<T, F>(n: usize, threads: usize, order: Option<&[usize]>, f: F) -> Vec<T>
+pub(crate) fn run_ordered<T, F>(n: usize, threads: usize, order: Option<&[usize]>, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -101,13 +104,29 @@ where
         .collect()
 }
 
-/// Executes a job list on the pool and aggregates outcomes by job index.
+/// [`run_indexed`] with an explicit execution schedule.
 ///
-/// `exec` is the leaf runner (for the benchmark suite:
-/// `dmt_bench::execute_job`, which resolves the named benchmark, builds a
-/// fresh `Machine` and calls `try_run_one`). Progress, when provided, is
-/// reported in completion order on stderr; stdout-facing results are
-/// index-ordered and thread-count-invariant.
+/// # Panics
+///
+/// Panics when `order` is not a permutation of `0..n`, and propagates
+/// executor panics like [`run_indexed`].
+#[deprecated(
+    since = "0.1.0",
+    note = "schedules are an ExecPlan implementation detail; use run_indexed or ExecPlan"
+)]
+pub fn run_scheduled<T, F>(n: usize, threads: usize, order: Option<&[usize]>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_ordered(n, threads, order, f)
+}
+
+/// Executes a job list on the pool and aggregates outcomes by job index.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecPlan::new(jobs).threads(n).progress(p).run(exec)"
+)]
 pub fn run_jobs<F>(
     jobs: &[JobSpec],
     threads: usize,
@@ -117,31 +136,17 @@ pub fn run_jobs<F>(
 where
     F: Fn(&JobSpec) -> JobOutcome + Sync,
 {
-    if let Some(p) = progress {
-        p.begin(jobs.len());
-    }
-    run_indexed(jobs.len(), threads, |i| {
-        let outcome = exec(&jobs[i]);
-        if let Some(p) = progress {
-            p.completed(&jobs[i], &outcome);
-        }
-        outcome
-    })
+    ExecPlan::new(jobs)
+        .threads(threads)
+        .progress(progress)
+        .run(exec)
 }
 
-/// [`run_jobs`] through a content-addressed result cache: cache hits
-/// skip simulation entirely, misses are executed longest-expected-first
-/// (cost-sorted against the cache's cycle history; grid order on a cold
-/// cache) and persisted as soon as each completes — so a killed run
-/// resumes from exactly the jobs it had finished.
-///
-/// Aggregation is unchanged: outcomes land by job index, and a decoded
-/// hit is byte-for-byte the outcome the original simulation produced, so
-/// stdout and artifacts are identical in every cache state. The progress
-/// ticker counts only the jobs actually executed; hits are summarized by
-/// the cache's stderr stats line ([`Cache::report`]).
-///
-/// With `cache == None` this is exactly [`run_jobs`].
+/// Executes a job list through a content-addressed result cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecPlan::new(jobs).threads(n).progress(p).cache(c).run(exec)"
+)]
 pub fn run_jobs_cached<F>(
     jobs: &[JobSpec],
     threads: usize,
@@ -152,42 +157,11 @@ pub fn run_jobs_cached<F>(
 where
     F: Fn(&JobSpec) -> JobOutcome + Sync,
 {
-    let Some(cache) = cache else {
-        return run_jobs(jobs, threads, progress, exec);
-    };
-    let mut slots: Vec<Option<JobOutcome>> = jobs.iter().map(|j| cache.lookup(j)).collect();
-    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
-    if let Some(p) = progress {
-        p.begin(pending.len());
-    }
-    if !pending.is_empty() {
-        let specs: Vec<&JobSpec> = pending.iter().map(|&i| &jobs[i]).collect();
-        let order = cost_order(&specs, &cache.cost_index());
-        let executed = run_scheduled(pending.len(), threads, Some(&order), |k| {
-            let spec = &jobs[pending[k]];
-            let outcome = exec(spec);
-            // Persist immediately — resume depends on completed work
-            // surviving a kill, not on reaching the end of the run. A
-            // failed store costs a future re-simulation, not this run.
-            if let Err(e) = cache.store(spec, &outcome) {
-                eprintln!(
-                    "[dmt-runner] warning: cache store failed for {spec}: {e} ({})",
-                    cache.entry_path(spec).display()
-                );
-            }
-            if let Some(p) = progress {
-                p.completed(spec, &outcome);
-            }
-            outcome
-        });
-        for (k, outcome) in executed.into_iter().enumerate() {
-            slots[pending[k]] = Some(outcome);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    ExecPlan::new(jobs)
+        .threads(threads)
+        .progress(progress)
+        .cache(cache)
+        .run(exec)
 }
 
 #[cfg(test)]
@@ -238,7 +212,7 @@ mod tests {
     fn schedule_changes_execution_order_but_not_results() {
         let order = vec![3, 1, 0, 2];
         let executed = Mutex::new(Vec::new());
-        let out = run_scheduled(4, 1, Some(&order), |i| {
+        let out = run_ordered(4, 1, Some(&order), |i| {
             executed.lock().unwrap().push(i);
             i * 10
         });
@@ -249,7 +223,7 @@ mod tests {
         // Parallel: same results for any schedule and thread count.
         for threads in [2, 4] {
             assert_eq!(
-                run_scheduled(4, threads, Some(&order), |i| i * 10),
+                run_ordered(4, threads, Some(&order), |i| i * 10),
                 vec![0, 10, 20, 30]
             );
         }
@@ -258,76 +232,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "schedule must cover every item")]
     fn schedule_of_the_wrong_length_panics() {
-        let _ = run_scheduled(3, 2, Some(&[0, 1]), |i| i);
-    }
-
-    #[test]
-    fn cached_run_skips_hits_executes_misses_and_persists() {
-        use crate::job::JobMetrics;
-        use dmt_core::{Arch, SystemConfig};
-
-        let dir = std::env::temp_dir().join(format!("dmt_pool_cache_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let cache = Cache::open(&dir).unwrap();
-        let jobs: Vec<JobSpec> = (0..4)
-            .map(|seed| JobSpec::new("scan", Arch::DmtCgra, SystemConfig::default(), seed))
-            .collect();
-        let exec_count = AtomicUsize::new(0);
-        let exec = |spec: &JobSpec| {
-            exec_count.fetch_add(1, Ordering::Relaxed);
-            JobOutcome::completed(JobMetrics {
-                kernel: spec.bench.clone(),
-                stats: dmt_common::stats::RunStats {
-                    cycles: (spec.seed + 1) * 100,
-                    ..Default::default()
-                },
-                energy: dmt_core::energy::EnergyReport::default(),
-            })
-        };
-
-        // Pre-warm two of the four jobs.
-        cache.store(&jobs[1], &exec(&jobs[1])).unwrap();
-        cache.store(&jobs[3], &exec(&jobs[3])).unwrap();
-        exec_count.store(0, Ordering::Relaxed);
-
-        let outcomes = run_jobs_cached(&jobs, 2, None, Some(&cache), exec);
-        assert_eq!(exec_count.load(Ordering::Relaxed), 2, "only the misses run");
-        assert_eq!(outcomes.len(), 4);
-        for (i, o) in outcomes.iter().enumerate() {
-            assert_eq!(o.metrics().unwrap().cycles(), (i as u64 + 1) * 100);
-        }
-
-        // Everything is now persisted: a fresh handle serves all 4 jobs
-        // without a single execution.
-        let cache2 = Cache::open(&dir).unwrap();
-        let again = run_jobs_cached(&jobs, 2, None, Some(&cache2), |_: &JobSpec| {
-            panic!("warm run must not execute")
-        });
-        assert_eq!(again, outcomes);
-        assert_eq!(cache2.stats().hits, 4);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn cached_run_without_a_cache_is_run_jobs() {
-        use crate::job::JobMetrics;
-        use dmt_core::{Arch, SystemConfig};
-        let jobs = [JobSpec::new(
-            "scan",
-            Arch::DmtCgra,
-            SystemConfig::default(),
-            1,
-        )];
-        let exec = |spec: &JobSpec| {
-            JobOutcome::completed(JobMetrics {
-                kernel: spec.bench.clone(),
-                stats: dmt_common::stats::RunStats::default(),
-                energy: dmt_core::energy::EnergyReport::default(),
-            })
-        };
-        assert_eq!(
-            run_jobs_cached(&jobs, 1, None, None, exec),
-            run_jobs(&jobs, 1, None, exec)
-        );
+        let _ = run_ordered(3, 2, Some(&[0, 1]), |i| i);
     }
 }

@@ -1,0 +1,50 @@
+//! # dmt-serve — simulation as a service
+//!
+//! A long-running daemon that exposes the batch runner over TCP: clients
+//! speak line-delimited JSON (one request object per line, one compact
+//! response object per line), and every simulation the daemon runs is
+//! memoized in the runner's content-addressed result
+//! [`Cache`](dmt_runner::Cache) — a
+//! duplicate `submit` is answered from disk without simulating, across
+//! restarts as well as within one process. The four verbs are `submit`,
+//! `status`, `result` and `drain`; see [`protocol`] for the wire shapes.
+//!
+//! Admission is bounded: at most `--queue-depth` jobs may be queued or
+//! running, and a `submit` that would exceed the bound is rejected whole
+//! with `{"ok":false,...,"retry_after_ms":N}` — clients back off and
+//! retry rather than the daemon buffering unboundedly. Admitted batches
+//! are cost-sorted (longest first, from the cache's observed per-key
+//! costs) and executed on the same [`ExecPlan`](dmt_runner::ExecPlan)
+//! worker pool the bench
+//! binaries use, so a grid submitted over the wire is scheduled exactly
+//! like `fig11_speedup` would schedule it.
+//!
+//! ## Status logging
+//!
+//! Operational logging follows the runner's cache-report idiom — one
+//! terse bracketed-prefix stderr line per event, counters inline,
+//! machine-greppable (`[dmt-runner] cache: 7 hits, 2 misses, 2 stored
+//! ...` is the model). The daemon's lines:
+//!
+//! ```text
+//! [dmt-serve] listening on 127.0.0.1:7177 (threads 4, queue depth 256, cache artifacts/serve-cache)
+//! [dmt-serve] submit: 9 jobs (2 hits, 0 known, 7 queued; depth 7/256)
+//! [dmt-serve] 86c1b2... : scan@dMT-CGRA (seed 42) ok in 12 ms (attempt 1)
+//! [dmt-serve] drain: 3 outstanding
+//! [dmt-serve] drained: 9 done, 0 failed; exiting
+//! ```
+//!
+//! Requests never get per-line logs beyond these (no access log): the
+//! interesting events are admissions, executions and lifecycle edges.
+
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use protocol::{parse_request, Request};
+pub use server::{Executor, ServeOptions, ServeSummary, Server};
+pub use state::{Inner, JobEntry, JobState};
+
+/// The seed a submitted job gets when the request omits one — the same
+/// seed the paper-figure binaries use for the Table 3 suite.
+pub const DEFAULT_SEED: u64 = 42;

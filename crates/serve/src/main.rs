@@ -1,0 +1,88 @@
+//! `dmt-serve` — the simulation daemon binary.
+//!
+//! Serves the Table 3 suite over TCP with the real bench executor.
+//! Runner flags `--threads` and `--cache DIR` apply (cache default:
+//! `artifacts/serve-cache`; the daemon *requires* a cache — it is the
+//! result store); `--json`, `--progress` and `--smoke` do not. Binary
+//! flags: `--addr HOST:PORT`, `--queue-depth N`, `--retry-after-ms MS`.
+
+use dmt_runner::{Flag, RunnerArgs};
+use dmt_serve::{ServeOptions, Server};
+use std::path::PathBuf;
+use std::process::exit;
+
+const FLAGS: &[Flag] = &[
+    Flag::with_value(
+        "--addr",
+        "HOST:PORT",
+        "listen address (default 127.0.0.1:7177)",
+    ),
+    Flag::with_value(
+        "--queue-depth",
+        "N",
+        "admission bound on queued+running jobs (default 256)",
+    ),
+    Flag::with_value(
+        "--retry-after-ms",
+        "MS",
+        "backoff hint sent with queue-full rejections (default 500)",
+    ),
+];
+
+fn value_or<T: std::str::FromStr>(args: &RunnerArgs, flag: &str, default: T) -> T {
+    match args.flag_value(flag) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} got invalid value {raw:?}");
+            exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args = RunnerArgs::from_env_registry(FLAGS);
+    args.forbid_json("dmt-serve");
+    args.forbid_progress("dmt-serve");
+    args.forbid_smoke("dmt-serve");
+    if args.no_cache {
+        eprintln!("error: dmt-serve requires a result cache (it is the result store)");
+        exit(2);
+    }
+    if let Some(first) = args.rest.first() {
+        eprintln!("error: unknown argument {first:?}");
+        exit(2);
+    }
+    let addr = args
+        .flag_value("--addr")
+        .unwrap_or("127.0.0.1:7177")
+        .to_owned();
+    let queue_depth: usize = value_or(&args, "--queue-depth", 256);
+    if queue_depth == 0 {
+        eprintln!("error: --queue-depth must be at least 1");
+        exit(2);
+    }
+    let opts = ServeOptions {
+        threads: args.effective_threads(),
+        queue_depth,
+        retry_after_ms: value_or(&args, "--retry-after-ms", 500),
+        benches: dmt_kernels::suite::all()
+            .iter()
+            .map(|b| b.info().name.to_owned())
+            .collect(),
+    };
+    let cache_dir = args
+        .cache_dir()
+        .unwrap_or_else(|| PathBuf::from("artifacts/serve-cache"));
+    let server = Server::bind(&*addr, &cache_dir, opts, Box::new(dmt_bench::execute_job))
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot start on {addr}: {e}");
+            exit(2);
+        });
+    match server.run() {
+        Ok(_) => exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line with a `"verb"` field;
+//! every response is one compact JSON object on one line (see
+//! [`dmt_runner::artifact::Json::render_compact`]). The four verbs:
+//!
+//! - `submit` — admit a job grid: `{"verb":"submit","jobs":[...]}` (or a
+//!   single `"job":{...}`). Each job object names a `"bench"` and an
+//!   `"arch"` (key or paper name), with optional `"seed"` (default 42,
+//!   the suite seed) and an optional `"config"` object of dotted-path
+//!   overrides onto [`SystemConfig::default`] — the same 54 leaves
+//!   [`SystemConfig::visit_fields`] walks, e.g.
+//!   `{"fabric.inflight_threads":512}`.
+//! - `status` — `{"verb":"status","job_hash":"<16 hex>"}`.
+//! - `result` — `{"verb":"result","job_hash":"<16 hex>"}`.
+//! - `drain` — `{"verb":"drain"}`.
+//!
+//! Job hashes are the runner's content hash ([`JobSpec::job_hash`]),
+//! rendered as 16 lowercase hex digits (the cache filename stem); an
+//! optional `0x` prefix is accepted on input.
+
+use dmt_common::config::CfgInput;
+use dmt_core::{Arch, SystemConfig};
+use dmt_runner::artifact::Json;
+use dmt_runner::JobSpec;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a grid of jobs (possibly a single one).
+    Submit(Vec<JobSpec>),
+    /// Report one job's lifecycle state.
+    Status(u64),
+    /// Serve one job's artifact JSON.
+    Result(u64),
+    /// Stop accepting work, finish in-flight jobs, exit.
+    Drain,
+}
+
+/// A job hash in wire form: 16 lowercase hex digits.
+#[must_use]
+pub fn hash_str(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses one request line into a [`Request`].
+///
+/// Errors are human-readable strings suitable for the `"error"` field of
+/// an `{"ok":false}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let verb = doc
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or("missing \"verb\"")?;
+    match verb {
+        "submit" => parse_submit(&doc),
+        "status" => Ok(Request::Status(parse_hash(&doc)?)),
+        "result" => Ok(Request::Result(parse_hash(&doc)?)),
+        "drain" => Ok(Request::Drain),
+        other => Err(format!(
+            "unknown verb {other:?} (expected submit, status, result or drain)"
+        )),
+    }
+}
+
+fn parse_submit(doc: &Json) -> Result<Request, String> {
+    let jobs: Vec<&Json> = match (doc.get("jobs"), doc.get("job")) {
+        (Some(Json::Arr(items)), None) => items.iter().collect(),
+        (None, Some(one)) => vec![one],
+        (Some(_), None) => return Err("\"jobs\" must be an array".into()),
+        (None, None) => return Err("submit needs \"jobs\" or \"job\"".into()),
+        (Some(_), Some(_)) => return Err("give \"jobs\" or \"job\", not both".into()),
+    };
+    let mut specs = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        specs.push(parse_job(job).map_err(|e| format!("job {i}: {e}"))?);
+    }
+    Ok(Request::Submit(specs))
+}
+
+fn parse_job(job: &Json) -> Result<JobSpec, String> {
+    let bench = job
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing \"bench\"")?;
+    let arch: Arch = job
+        .get("arch")
+        .and_then(Json::as_str)
+        .ok_or("missing \"arch\"")?
+        .parse()?;
+    let seed = match job.get("seed") {
+        None => crate::DEFAULT_SEED,
+        Some(s) => s.as_u64().ok_or("\"seed\" must be an unsigned integer")?,
+    };
+    let mut cfg = SystemConfig::default();
+    match job.get("config") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (name, value) in fields {
+                let input = match value {
+                    Json::U64(v) => CfgInput::U64(*v),
+                    Json::F64(v) => CfgInput::F64(*v),
+                    Json::Str(v) => CfgInput::Tag(v),
+                    _ => return Err(format!("config field {name:?} must be a number or string")),
+                };
+                cfg.set_field(name, input)?;
+            }
+        }
+        Some(_) => return Err("\"config\" must be an object".into()),
+    }
+    Ok(JobSpec::new(bench, arch, cfg, seed))
+}
+
+fn parse_hash(doc: &Json) -> Result<u64, String> {
+    match doc.get("job_hash") {
+        Some(Json::Str(s)) => {
+            let digits = s.strip_prefix("0x").unwrap_or(s);
+            u64::from_str_radix(digits, 16).map_err(|_| format!("bad job hash {s:?}"))
+        }
+        Some(other) => other
+            .as_u64()
+            .ok_or("\"job_hash\" must be a hex string or integer".into()),
+        None => Err("missing \"job_hash\"".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_parses_grid_seed_and_config_overrides() {
+        let req = parse_request(
+            r#"{"verb":"submit","jobs":[
+                {"bench":"scan","arch":"dmt_cgra"},
+                {"bench":"matrixMul","arch":"MT-CGRA","seed":7,
+                 "config":{"fabric.inflight_threads":512}}]}"#,
+        )
+        .expect("parses");
+        let Request::Submit(specs) = req else {
+            panic!("expected submit")
+        };
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].bench, "scan");
+        assert_eq!(specs[0].arch, Arch::DmtCgra);
+        assert_eq!(specs[0].seed, crate::DEFAULT_SEED);
+        assert_eq!(specs[1].arch, Arch::MtCgra);
+        assert_eq!(specs[1].seed, 7);
+        assert_eq!(specs[1].cfg.fabric.inflight_threads, 512);
+        // The override must flow into the content hash.
+        let default = JobSpec::new("matrixMul", Arch::MtCgra, SystemConfig::default(), 7);
+        assert_ne!(specs[1].job_hash(), default.job_hash());
+    }
+
+    #[test]
+    fn single_job_form_and_hash_prefixes_are_accepted() {
+        let req = parse_request(r#"{"verb":"submit","job":{"bench":"scan","arch":"fermi_sm"}}"#)
+            .expect("parses");
+        assert!(matches!(req, Request::Submit(ref s) if s.len() == 1));
+        let a = parse_request(r#"{"verb":"status","job_hash":"00000000deadbeef"}"#).unwrap();
+        let b = parse_request(r#"{"verb":"result","job_hash":"0xdeadbeef"}"#).unwrap();
+        assert_eq!(a, Request::Status(0xdead_beef));
+        assert_eq!(b, Request::Result(0xdead_beef));
+        assert_eq!(hash_str(0xdead_beef), "00000000deadbeef");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        for (line, needle) in [
+            ("{", "bad JSON"),
+            (r#"{"verb":"reset"}"#, "unknown verb"),
+            (r#"{"jobs":[]}"#, "missing \"verb\""),
+            (r#"{"verb":"status"}"#, "missing \"job_hash\""),
+            (r#"{"verb":"status","job_hash":"xyz"}"#, "bad job hash"),
+            (r#"{"verb":"submit"}"#, "\"jobs\" or \"job\""),
+            (
+                r#"{"verb":"submit","jobs":[{"arch":"dmt_cgra"}]}"#,
+                "job 0: missing \"bench\"",
+            ),
+            (
+                r#"{"verb":"submit","jobs":[{"bench":"scan","arch":"dmt_cgra","config":{"no.such":1}}]}"#,
+                "unknown config field",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err:?} missing {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! The daemon: TCP accept loop, per-connection handlers, and the
+//! dispatcher that feeds admitted jobs to the [`ExecPlan`] worker pool.
+//!
+//! Concurrency shape: one nonblocking accept loop (the thread that
+//! called [`Server::run`]), one detached handler thread per connection,
+//! and one dispatcher thread. All shared state is [`Inner`] behind a
+//! single mutex plus a condvar the dispatcher waits on; executors run
+//! outside the lock. The dispatcher takes the whole admission queue as
+//! a batch, sorts it by [`cost_order`] (longest first, from the cache's
+//! observed costs), and runs it on [`ExecPlan`] — so an idle daemon
+//! that receives a grid schedules it exactly like the batch runner
+//! would.
+
+use crate::protocol::{self, parse_request, Request};
+use crate::state::{Inner, JobEntry, JobState};
+use dmt_runner::artifact::{Json, SCHEMA_VERSION};
+use dmt_runner::cache::cost_order;
+use dmt_runner::{Cache, ExecPlan, JobOutcome, JobSpec};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a job outcome is produced; injected so tests can count or gate
+/// executions.
+pub type Executor = Box<dyn Fn(&JobSpec) -> JobOutcome + Send + Sync>;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads for the dispatch pool.
+    pub threads: usize,
+    /// Admission bound: maximum queued + running jobs. A `submit` that
+    /// would push `outstanding` past this is rejected whole with a
+    /// `retry_after_ms` hint.
+    pub queue_depth: usize,
+    /// The hint returned with a backpressure rejection.
+    pub retry_after_ms: u64,
+    /// Accepted benchmark names; empty means accept any.
+    pub benches: Vec<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 1,
+            queue_depth: 256,
+            retry_after_ms: 500,
+            benches: Vec::new(),
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs executed to completion.
+    pub done: u64,
+    /// Jobs whose executor panicked.
+    pub failed: u64,
+}
+
+struct Shared {
+    opts: ServeOptions,
+    cache: Cache,
+    exec: Executor,
+    inner: Mutex<Inner>,
+    work: Condvar,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and opens (creating if needed) the result
+    /// cache that backs `result` responses and restart memoization.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cache_dir: &Path,
+        opts: ServeOptions,
+        exec: Executor,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = Cache::open(cache_dir)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                opts,
+                cache,
+                exec,
+                inner: Mutex::new(Inner::default()),
+                work: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `drain` request has been honored: accepts
+    /// connections, finishes all admitted work, then returns the
+    /// lifetime summary (and prints the cache report to stderr).
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let addr = self.listener.local_addr()?;
+        eprintln!(
+            "[dmt-serve] listening on {addr} (threads {}, queue depth {}, cache {})",
+            self.shared.opts.threads,
+            self.shared.opts.queue_depth,
+            self.shared.cache.dir().display()
+        );
+        self.listener.set_nonblocking(true)?;
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || dispatch(&shared))
+        };
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_client(&shared, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.shared.inner.lock().expect("state lock").draining {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        drop(self.listener);
+        dispatcher.join().expect("dispatcher thread");
+        self.shared.cache.report();
+        let inner = self.shared.inner.lock().expect("state lock");
+        eprintln!(
+            "[dmt-serve] drained: {} done, {} failed; exiting",
+            inner.done, inner.failed
+        );
+        Ok(ServeSummary {
+            done: inner.done,
+            failed: inner.failed,
+        })
+    }
+}
+
+/// The dispatcher loop: wait for admitted work, take the whole queue as
+/// a batch, cost-sort it, run it on the worker pool. Returns once
+/// draining is set and the queue is empty.
+fn dispatch(shared: &Shared) {
+    loop {
+        let batch: Vec<JobSpec> = {
+            let mut inner = shared.inner.lock().expect("state lock");
+            while inner.queue.is_empty() && !inner.draining {
+                inner = shared.work.wait(inner).expect("state lock");
+            }
+            if inner.queue.is_empty() {
+                return;
+            }
+            let hashes = std::mem::take(&mut inner.queue);
+            hashes.iter().map(|h| inner.jobs[h].spec.clone()).collect()
+        };
+        // Longest-first over the whole batch, from the cache's observed
+        // costs — the same policy the batch runner applies to misses.
+        let refs: Vec<&JobSpec> = batch.iter().collect();
+        let order = cost_order(&refs, &shared.cache.cost_index());
+        let sorted: Vec<JobSpec> = order.iter().map(|&i| batch[i].clone()).collect();
+        ExecPlan::new(&sorted)
+            .threads(shared.opts.threads)
+            .run(|spec| run_one(shared, spec));
+    }
+}
+
+/// Executes one admitted job: marks it running, runs the executor under
+/// `catch_unwind`, stores successful outcomes to the cache, and updates
+/// the table. Panics become `Failed` entries and are never cached.
+fn run_one(shared: &Shared, spec: &JobSpec) -> JobOutcome {
+    let hash = spec.job_hash();
+    let attempt = {
+        let mut inner = shared.inner.lock().expect("state lock");
+        match inner.jobs.get_mut(&hash) {
+            Some(entry) => {
+                entry.state = JobState::Running;
+                entry.attempts += 1;
+                entry.attempts
+            }
+            None => 1,
+        }
+    };
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| (shared.exec)(spec)));
+    let ms = start.elapsed().as_millis();
+    match result {
+        Ok(outcome) => {
+            if let Err(e) = shared.cache.store(spec, &outcome) {
+                eprintln!(
+                    "[dmt-serve] warning: cache store failed for {spec}: {e} ({})",
+                    shared.cache.entry_path(spec).display()
+                );
+            }
+            let mut inner = shared.inner.lock().expect("state lock");
+            if let Some(entry) = inner.jobs.get_mut(&hash) {
+                entry.state = JobState::Done;
+            }
+            inner.outstanding = inner.outstanding.saturating_sub(1);
+            inner.done += 1;
+            eprintln!(
+                "[dmt-serve] {}: {spec} {} in {ms} ms (attempt {attempt})",
+                protocol::hash_str(hash),
+                outcome.status()
+            );
+            outcome
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            let mut inner = shared.inner.lock().expect("state lock");
+            if let Some(entry) = inner.jobs.get_mut(&hash) {
+                entry.state = JobState::Failed;
+                entry.error = Some(msg.clone());
+            }
+            inner.outstanding = inner.outstanding.saturating_sub(1);
+            inner.failed += 1;
+            eprintln!(
+                "[dmt-serve] {}: {spec} FAILED after {ms} ms (attempt {attempt}): {msg}",
+                protocol::hash_str(hash)
+            );
+            // Sentinel for the pool's result slot; never stored, so a
+            // resubmission after restart retries the job.
+            JobOutcome::Infeasible(format!("executor panicked: {msg}"))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "executor panicked".to_owned()
+    }
+}
+
+/// One connection: read request lines, write one compact response line
+/// each, until the client hangs up.
+fn handle_client(shared: &Shared, stream: TcpStream) {
+    // The accepted socket must block even though the listener does not.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut out = respond(shared, &line).render_compact();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() {
+            break;
+        }
+    }
+}
+
+fn respond(shared: &Shared, line: &str) -> Json {
+    match parse_request(line) {
+        Err(e) => {
+            eprintln!("[dmt-serve] request error: {e}");
+            Json::obj().with("ok", false).with("error", e)
+        }
+        Ok(Request::Submit(specs)) => submit(shared, specs),
+        Ok(Request::Status(hash)) => status(shared, hash),
+        Ok(Request::Result(hash)) => result(shared, hash),
+        Ok(Request::Drain) => drain(shared),
+    }
+}
+
+/// Admission. The whole request is examined under one lock hold:
+/// unknown benchmarks reject it, and if the genuinely-new jobs would
+/// push `outstanding` past the bound it is rejected whole (no partial
+/// admission) with a `retry_after_ms` hint. Otherwise every job gets a
+/// table entry: duplicates of known jobs report their current state,
+/// cache hits are born `done` without touching the pool, and the rest
+/// join the queue.
+fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
+    if !shared.opts.benches.is_empty() {
+        if let Some(bad) = specs
+            .iter()
+            .find(|s| !shared.opts.benches.contains(&s.bench))
+        {
+            return Json::obj().with("ok", false).with(
+                "error",
+                format!(
+                    "unknown benchmark {:?} (available: {})",
+                    bad.bench,
+                    shared.opts.benches.join(", ")
+                ),
+            );
+        }
+    }
+    let mut inner = shared.inner.lock().expect("state lock");
+    if inner.draining {
+        return Json::obj()
+            .with("ok", false)
+            .with("error", "draining; not accepting new work");
+    }
+    // Classify before admitting anything: known duplicates and cache
+    // hits cost no queue slots, so only genuinely-new jobs count
+    // against the bound.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Class {
+        Known,
+        Hit,
+        New,
+    }
+    let classes: Vec<(u64, Class)> = specs
+        .iter()
+        .map(|spec| {
+            let hash = spec.job_hash();
+            let class = if inner.jobs.contains_key(&hash) {
+                Class::Known
+            } else if shared.cache.lookup(spec).is_some() {
+                Class::Hit
+            } else {
+                Class::New
+            };
+            (hash, class)
+        })
+        .collect();
+    // In-request duplicates: the first occurrence decides, later ones
+    // are Known.
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let classes: Vec<(u64, Class)> = classes
+        .into_iter()
+        .map(|(hash, class)| {
+            if seen.insert(hash) {
+                (hash, class)
+            } else {
+                (hash, Class::Known)
+            }
+        })
+        .collect();
+    let fresh = classes.iter().filter(|(_, c)| *c == Class::New).count();
+    if inner.outstanding + fresh > shared.opts.queue_depth {
+        eprintln!(
+            "[dmt-serve] submit: rejected {} jobs ({} outstanding, depth {})",
+            specs.len(),
+            inner.outstanding,
+            shared.opts.queue_depth
+        );
+        return Json::obj()
+            .with("ok", false)
+            .with(
+                "error",
+                format!(
+                    "queue full ({} outstanding, depth {})",
+                    inner.outstanding, shared.opts.queue_depth
+                ),
+            )
+            .with("retry_after_ms", shared.opts.retry_after_ms);
+    }
+    let (mut hits, mut known) = (0usize, 0usize);
+    let mut jobs_json = Vec::with_capacity(specs.len());
+    for (spec, (hash, class)) in specs.into_iter().zip(classes) {
+        let doc = Json::obj().with("job_hash", protocol::hash_str(hash));
+        jobs_json.push(match class {
+            Class::Known => {
+                known += 1;
+                let entry = &inner.jobs[&hash];
+                doc.with("state", entry.state.name()).with("cached", false)
+            }
+            Class::Hit => {
+                hits += 1;
+                inner.jobs.insert(
+                    hash,
+                    JobEntry {
+                        spec,
+                        state: JobState::Done,
+                        attempts: 0,
+                        error: None,
+                    },
+                );
+                doc.with("state", "done").with("cached", true)
+            }
+            Class::New => {
+                inner.jobs.insert(
+                    hash,
+                    JobEntry {
+                        spec,
+                        state: JobState::Queued,
+                        attempts: 0,
+                        error: None,
+                    },
+                );
+                inner.queue.push(hash);
+                inner.outstanding += 1;
+                doc.with("state", "queued")
+                    .with("cached", false)
+                    .with("position", inner.queue.len())
+            }
+        });
+    }
+    eprintln!(
+        "[dmt-serve] submit: {} jobs ({hits} hits, {known} known, {fresh} queued; depth {}/{})",
+        jobs_json.len(),
+        inner.outstanding,
+        shared.opts.queue_depth
+    );
+    shared.work.notify_all();
+    Json::obj()
+        .with("ok", true)
+        .with("jobs", Json::Arr(jobs_json))
+}
+
+fn status(shared: &Shared, hash: u64) -> Json {
+    let key = protocol::hash_str(hash);
+    {
+        let inner = shared.inner.lock().expect("state lock");
+        if let Some(entry) = inner.jobs.get(&hash) {
+            let mut doc = Json::obj()
+                .with("ok", true)
+                .with("job_hash", key)
+                .with("state", entry.state.name())
+                .with("attempts", u64::from(entry.attempts));
+            if let Some(e) = &entry.error {
+                doc = doc.with("error", e.clone());
+            }
+            return doc;
+        }
+    }
+    // Unknown to this process — but the cache is a memo table across
+    // restarts, so a valid on-disk entry still answers `done`.
+    if cached_doc(shared, hash).is_some() {
+        Json::obj()
+            .with("ok", true)
+            .with("job_hash", key)
+            .with("state", "done")
+            .with("attempts", 0u64)
+            .with("cached", true)
+    } else {
+        Json::obj()
+            .with("ok", false)
+            .with("job_hash", key)
+            .with("error", "unknown job")
+    }
+}
+
+fn result(shared: &Shared, hash: u64) -> Json {
+    let key = protocol::hash_str(hash);
+    let known = {
+        let inner = shared.inner.lock().expect("state lock");
+        inner.jobs.get(&hash).map(|e| (e.state, e.error.clone()))
+    };
+    match known {
+        Some((JobState::Done, _)) | None => match cached_doc(shared, hash) {
+            Some(doc) => Json::obj()
+                .with("ok", true)
+                .with("job_hash", key)
+                .with("artifact", doc),
+            None if known.is_some() => Json::obj()
+                .with("ok", false)
+                .with("job_hash", key)
+                .with("error", "result missing from cache (store failed?)"),
+            None => Json::obj()
+                .with("ok", false)
+                .with("job_hash", key)
+                .with("error", "unknown job"),
+        },
+        Some((JobState::Failed, error)) => Json::obj()
+            .with("ok", false)
+            .with("job_hash", key)
+            .with("state", "failed")
+            .with("error", error.unwrap_or_else(|| "executor failed".into())),
+        Some((state, _)) => Json::obj()
+            .with("ok", false)
+            .with("job_hash", key)
+            .with("state", state.name())
+            .with("error", "not ready"),
+    }
+}
+
+fn drain(shared: &Shared) -> Json {
+    let mut inner = shared.inner.lock().expect("state lock");
+    inner.draining = true;
+    let pending = inner.outstanding;
+    eprintln!("[dmt-serve] drain: {pending} outstanding");
+    shared.work.notify_all();
+    Json::obj()
+        .with("ok", true)
+        .with("draining", true)
+        .with("pending", pending)
+}
+
+/// Reads and validates one cache entry by hash. The file name is the
+/// hash, but the entry also echoes its identity — kind, schema version
+/// and `job_hash` — all of which must match before the daemon serves it.
+fn cached_doc(shared: &Shared, hash: u64) -> Option<Json> {
+    let path = shared
+        .cache
+        .dir()
+        .join(format!("{}.json", protocol::hash_str(hash)));
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let identity_ok = doc.get("kind").and_then(Json::as_str) == Some("job_cache_entry")
+        && doc.get("schema_version").and_then(Json::as_u64) == Some(SCHEMA_VERSION)
+        && doc.get("job_hash").and_then(Json::as_str) == Some(format!("{hash:#018x}").as_str());
+    identity_ok.then_some(doc)
+}

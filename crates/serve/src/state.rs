@@ -1,0 +1,67 @@
+//! In-memory job table and admission queue.
+//!
+//! Everything mutable lives in [`Inner`] behind one mutex (see
+//! [`crate::server`]); the cache on disk is the durable half — this
+//! table only tracks the current process's view.
+
+use dmt_runner::JobSpec;
+use std::collections::HashMap;
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// An executor is simulating it now.
+    Running,
+    /// Finished; its artifact is in the cache.
+    Done,
+    /// The executor panicked; nothing was cached.
+    Failed,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Book-keeping for one admitted job.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// The full spec (kept so the dispatcher and the cache can re-derive
+    /// paths and costs from the hash alone).
+    pub spec: JobSpec,
+    /// Where the job is in its lifecycle.
+    pub state: JobState,
+    /// Executor invocations so far (0 for cache hits).
+    pub attempts: u32,
+    /// The failure message, when `state` is [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// The mutable server state, guarded by the server's mutex.
+#[derive(Debug, Default)]
+pub struct Inner {
+    /// Every job this process has seen, by content hash.
+    pub jobs: HashMap<u64, JobEntry>,
+    /// Hashes admitted but not yet handed to the worker pool, in
+    /// admission order.
+    pub queue: Vec<u64>,
+    /// Jobs admitted and not yet finished (queued + running) — the
+    /// quantity the admission bound applies to.
+    pub outstanding: usize,
+    /// Set by `drain`: stop admitting, finish what is in flight.
+    pub draining: bool,
+    /// Jobs executed to completion by this process.
+    pub done: u64,
+    /// Jobs whose executor panicked.
+    pub failed: u64,
+}

@@ -1,0 +1,373 @@
+//! End-to-end daemon contracts, exercised over real TCP connections:
+//!
+//! 1. N concurrent clients submitting the same grid get byte-identical
+//!    artifact JSON, and the bytes match across `threads 1` and
+//!    `threads 4` daemons (real simulations, scan × all machines);
+//! 2. duplicate submissions are cache hits: a warm restart on the same
+//!    cache directory re-serves every artifact with **zero** executor
+//!    invocations (counted, not inferred);
+//! 3. `drain` finishes in-flight work before the server exits, and
+//!    post-drain submissions are rejected;
+//! 4. the admission bound rejects whole requests with the configured
+//!    `retry_after_ms` hint, and admits again once the queue drains;
+//! 5. malformed requests get `{"ok":false}` answers with context, and
+//!    never wedge the connection.
+
+use dmt_runner::artifact::Json;
+use dmt_runner::JobOutcome;
+use dmt_serve::{Executor, ServeOptions, ServeSummary, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unique, empty scratch directory per test (tests share one process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmt_serve_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boots a daemon on an ephemeral port; returns its address and the
+/// thread that will yield the run summary once it drains.
+fn boot(
+    cache_dir: &Path,
+    opts: ServeOptions,
+    exec: Executor,
+) -> (SocketAddr, JoinHandle<ServeSummary>) {
+    let server = Server::bind("127.0.0.1:0", cache_dir, opts, exec).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+/// One line-delimited JSON client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Sends one request line; returns the raw response line.
+    fn req_raw(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("recv");
+        assert!(resp.ends_with('\n'), "response is one full line: {resp:?}");
+        resp.trim_end().to_owned()
+    }
+
+    fn req(&mut self, line: &str) -> Json {
+        let raw = self.req_raw(line);
+        Json::parse(&raw).unwrap_or_else(|e| panic!("bad response {raw:?}: {e}"))
+    }
+
+    /// Polls `status` until the job is done (or failed — asserted done).
+    fn wait_done(&mut self, hash: &str) {
+        for _ in 0..2000 {
+            let resp = self.req(&format!(r#"{{"verb":"status","job_hash":"{hash}"}}"#));
+            match resp.get("state").and_then(Json::as_str) {
+                Some("done") => return,
+                Some("failed") => panic!("job {hash} failed"),
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        panic!("job {hash} never finished");
+    }
+}
+
+fn ok(resp: &Json) -> bool {
+    resp.get("ok") == Some(&Json::Bool(true))
+}
+
+/// The job hashes out of a submit response, in request order.
+fn hashes(resp: &Json) -> Vec<String> {
+    let Some(Json::Arr(jobs)) = resp.get("jobs") else {
+        panic!("no jobs in {resp:?}")
+    };
+    jobs.iter()
+        .map(|j| {
+            j.get("job_hash")
+                .and_then(Json::as_str)
+                .expect("hash")
+                .to_owned()
+        })
+        .collect()
+}
+
+/// The scan benchmark on all three machines — real simulations, small
+/// enough for a debug-build test.
+const SCAN_GRID: &str = r#"{"verb":"submit","jobs":[
+    {"bench":"scan","arch":"fermi_sm"},
+    {"bench":"scan","arch":"mt_cgra"},
+    {"bench":"scan","arch":"dmt_cgra"}]}"#;
+
+/// Stub executor counting invocations; outcomes are deterministic
+/// functions of the spec so artifacts are comparable.
+fn counting_exec(count: &Arc<AtomicUsize>) -> Executor {
+    let count = Arc::clone(count);
+    Box::new(move |spec| {
+        count.fetch_add(1, Ordering::SeqCst);
+        JobOutcome::Infeasible(format!("stub outcome for {spec}"))
+    })
+}
+
+#[test]
+fn concurrent_clients_get_identical_artifacts_across_thread_counts() {
+    let mut by_threads: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = scratch(&format!("identity_t{threads}"));
+        let opts = ServeOptions {
+            threads,
+            ..ServeOptions::default()
+        };
+        let (addr, handle) = boot(&dir, opts, Box::new(dmt_bench::execute_job));
+        // Four clients race the same grid in; dedup admits each job once.
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let resp = c.req(&SCAN_GRID.replace('\n', " "));
+                    assert!(ok(&resp), "submit failed: {resp:?}");
+                    let hs = hashes(&resp);
+                    assert_eq!(hs.len(), 3);
+                    for h in &hs {
+                        c.wait_done(h);
+                    }
+                    // Fetch raw response lines — byte comparison below.
+                    hs.iter()
+                        .map(|h| c.req_raw(&format!(r#"{{"verb":"result","job_hash":"{h}"}}"#)))
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        let fetched: Vec<Vec<String>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        // Every client saw the same bytes.
+        for other in &fetched[1..] {
+            assert_eq!(&fetched[0], other, "clients disagree");
+        }
+        Client::connect(addr).req(r#"{"verb":"drain"}"#);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary, ServeSummary { done: 3, failed: 0 });
+        by_threads.push(fetched.into_iter().next().unwrap());
+    }
+    // threads 1 vs threads 4: byte-identical artifact responses.
+    assert_eq!(
+        by_threads[0], by_threads[1],
+        "thread count changed artifact bytes"
+    );
+    for line in &by_threads[0] {
+        let doc = Json::parse(line).expect("result parses");
+        assert!(ok(&doc));
+        let artifact = doc.get("artifact").expect("artifact");
+        assert_eq!(
+            artifact.get("kind").and_then(Json::as_str),
+            Some("job_cache_entry")
+        );
+        assert_eq!(artifact.get("status").and_then(Json::as_str), Some("ok"));
+    }
+}
+
+#[test]
+fn duplicate_submissions_are_cache_hits_with_zero_simulations() {
+    let dir = scratch("dup");
+    let grid = r#"{"verb":"submit","jobs":[{"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"mt_cgra"}]}"#;
+
+    // Cold daemon: two simulations, then in-table duplicates.
+    let count = Arc::new(AtomicUsize::new(0));
+    let (addr, handle) = boot(&dir, ServeOptions::default(), counting_exec(&count));
+    let mut c = Client::connect(addr);
+    let first = c.req(grid);
+    assert!(ok(&first));
+    let hs = hashes(&first);
+    for h in &hs {
+        c.wait_done(h);
+    }
+    assert_eq!(count.load(Ordering::SeqCst), 2);
+    let again = c.req(grid);
+    assert!(ok(&again));
+    assert_eq!(hashes(&again), hs, "same grid, same hashes");
+    let results_a: Vec<String> = hs
+        .iter()
+        .map(|h| c.req_raw(&format!(r#"{{"verb":"result","job_hash":"{h}"}}"#)))
+        .collect();
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(handle.join().unwrap().done, 2);
+    assert_eq!(
+        count.load(Ordering::SeqCst),
+        2,
+        "duplicates must not simulate"
+    );
+
+    // Warm restart on the same cache directory: the memo table answers
+    // everything; the executor is never invoked.
+    let count2 = Arc::new(AtomicUsize::new(0));
+    let (addr, handle) = boot(&dir, ServeOptions::default(), counting_exec(&count2));
+    let mut c = Client::connect(addr);
+    let warm = c.req(grid);
+    assert!(ok(&warm));
+    let Some(Json::Arr(jobs)) = warm.get("jobs") else {
+        panic!("no jobs")
+    };
+    for job in jobs {
+        assert_eq!(job.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(job.get("cached"), Some(&Json::Bool(true)));
+    }
+    // `status` by hash alone also answers from disk for unknown hashes
+    // on a daemon that never ran the job.
+    let status = c.req(&format!(r#"{{"verb":"status","job_hash":"{}"}}"#, hs[0]));
+    assert!(ok(&status));
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    let results_b: Vec<String> = hs
+        .iter()
+        .map(|h| c.req_raw(&format!(r#"{{"verb":"result","job_hash":"{h}"}}"#)))
+        .collect();
+    assert_eq!(results_a, results_b, "restart changed served bytes");
+    c.req(r#"{"verb":"drain"}"#);
+    let summary = handle.join().unwrap();
+    assert_eq!(
+        count2.load(Ordering::SeqCst),
+        0,
+        "warm daemon must not simulate"
+    );
+    assert_eq!(summary.done, 0, "nothing executed, only served");
+}
+
+#[test]
+fn drain_finishes_in_flight_work_then_rejects() {
+    let dir = scratch("drain");
+    let exec: Executor = Box::new(|spec| {
+        std::thread::sleep(Duration::from_millis(20));
+        JobOutcome::Infeasible(format!("slow stub for {spec}"))
+    });
+    let (addr, handle) = boot(&dir, ServeOptions::default(), exec);
+    let mut c = Client::connect(addr);
+    let grid = r#"{"verb":"submit","jobs":[
+        {"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"dmt_cgra"},
+        {"bench":"c","arch":"dmt_cgra"},{"bench":"d","arch":"dmt_cgra"}]}"#
+        .replace('\n', " ");
+    let resp = c.req(&grid);
+    assert!(ok(&resp));
+    // Drain races the sleeping executors; all four must still finish.
+    let drained = c.req(r#"{"verb":"drain"}"#);
+    assert!(ok(&drained));
+    let summary = handle.join().unwrap();
+    assert_eq!(summary, ServeSummary { done: 4, failed: 0 });
+    // The lingering connection still answers; new work is refused.
+    let refused = c.req(&grid);
+    assert!(!ok(&refused));
+    assert!(
+        refused
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("draining")),
+        "{refused:?}"
+    );
+}
+
+#[test]
+fn full_queue_rejects_whole_requests_with_retry_hint() {
+    let dir = scratch("backpressure");
+    let gate = Arc::new(AtomicBool::new(false));
+    let exec: Executor = {
+        let gate = Arc::clone(&gate);
+        Box::new(move |spec| {
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            JobOutcome::Infeasible(format!("gated stub for {spec}"))
+        })
+    };
+    let opts = ServeOptions {
+        queue_depth: 2,
+        retry_after_ms: 123,
+        ..ServeOptions::default()
+    };
+    let (addr, handle) = boot(&dir, opts, exec);
+    let mut c = Client::connect(addr);
+    let fill = c.req(r#"{"verb":"submit","jobs":[{"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"dmt_cgra"}]}"#);
+    assert!(ok(&fill));
+    let overflow = c.req(r#"{"verb":"submit","job":{"bench":"c","arch":"dmt_cgra"}}"#);
+    assert!(!ok(&overflow), "third job must be rejected: {overflow:?}");
+    assert_eq!(
+        overflow.get("retry_after_ms").and_then(Json::as_u64),
+        Some(123)
+    );
+    // Resubmitting the admitted grid is free (no new queue slots).
+    let dup = c.req(r#"{"verb":"submit","jobs":[{"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"dmt_cgra"}]}"#);
+    assert!(ok(&dup), "duplicates need no slots: {dup:?}");
+    // Open the gate; once drained, the retried job is admitted.
+    gate.store(true, Ordering::SeqCst);
+    for h in hashes(&fill) {
+        c.wait_done(&h);
+    }
+    let retry = c.req(r#"{"verb":"submit","job":{"bench":"c","arch":"dmt_cgra"}}"#);
+    assert!(ok(&retry), "retry after drain must admit: {retry:?}");
+    for h in hashes(&retry) {
+        c.wait_done(&h);
+    }
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(handle.join().unwrap().done, 3);
+}
+
+#[test]
+fn malformed_requests_get_contextual_errors() {
+    let dir = scratch("errors");
+    let opts = ServeOptions {
+        benches: vec!["scan".into()],
+        ..ServeOptions::default()
+    };
+    let (addr, handle) = boot(&dir, opts, counting_exec(&Arc::new(AtomicUsize::new(0))));
+    let mut c = Client::connect(addr);
+    for (req, needle) in [
+        ("{", "bad JSON"),
+        (r#"{"verb":"reboot"}"#, "unknown verb"),
+        (r#"{"verb":"status","job_hash":"zz"}"#, "bad job hash"),
+        (
+            r#"{"verb":"status","job_hash":"ffffffffffffffff"}"#,
+            "unknown job",
+        ),
+        (
+            r#"{"verb":"result","job_hash":"ffffffffffffffff"}"#,
+            "unknown job",
+        ),
+        (
+            r#"{"verb":"submit","job":{"bench":"nosuch","arch":"dmt_cgra"}}"#,
+            "unknown benchmark",
+        ),
+        (
+            r#"{"verb":"submit","job":{"bench":"scan","arch":"warp9"}}"#,
+            "",
+        ),
+    ] {
+        let resp = c.req(req);
+        assert!(!ok(&resp), "{req} must fail: {resp:?}");
+        let err = resp
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error field");
+        assert!(err.contains(needle), "{req}: {err:?} missing {needle:?}");
+    }
+    // The connection survives all of the above.
+    let good = c.req(r#"{"verb":"submit","job":{"bench":"scan","arch":"dmt_cgra"}}"#);
+    assert!(ok(&good));
+    for h in hashes(&good) {
+        c.wait_done(&h);
+    }
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(handle.join().unwrap().done, 1);
+}

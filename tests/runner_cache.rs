@@ -18,7 +18,7 @@
 
 use dmt_bench::{execute_job, fig11_report, run_suite_pooled, suite_jobs, RowOutcome, SEED};
 use dmt_core::SystemConfig;
-use dmt_runner::{run_jobs_cached, Artifact, Cache, JobOutcome, JobSpec};
+use dmt_runner::{Artifact, Cache, ExecPlan, JobOutcome, JobSpec};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -33,10 +33,13 @@ fn scratch(tag: &str) -> PathBuf {
 /// returning the outcomes and the number of real simulations performed.
 fn smoke_run(jobs: &[JobSpec], cache: &Cache) -> (Vec<JobOutcome>, usize) {
     let sims = AtomicUsize::new(0);
-    let outcomes = run_jobs_cached(jobs, 2, None, Some(cache), |spec| {
-        sims.fetch_add(1, Ordering::Relaxed);
-        execute_job(spec)
-    });
+    let outcomes = ExecPlan::new(jobs)
+        .threads(2)
+        .cache(Some(cache))
+        .run(|spec| {
+            sims.fetch_add(1, Ordering::Relaxed);
+            execute_job(spec)
+        });
     (outcomes, sims.load(Ordering::Relaxed))
 }
 
