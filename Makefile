@@ -1,9 +1,9 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke perf-smoke perf-full serve-smoke clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke profile-smoke perf-full serve-smoke clean
 
-all: build test lint bench-smoke perf-smoke serve-smoke
+all: build test lint bench-smoke perf-smoke profile-smoke serve-smoke
 
 # CI job: build (release)
 build:
@@ -41,10 +41,19 @@ bench-smoke:
 		--require-identical
 
 # CI step: perf-smoke — simulator wall-clock throughput (informational,
-# host-dependent; the deterministic-cycles gate lives in bench-smoke).
+# host-dependent; the deterministic-cycles gate lives in bench-smoke),
+# followed by the tracing-overhead gate: the untraced engine must stay
+# ahead of the vendored pre-overhaul baseline.
 perf-smoke:
 	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
 		--json artifacts/BENCH_hotpath.json
+	python3 ci/overhead_gate.py artifacts/BENCH_hotpath.json
+
+# CI step: profile-smoke — the hot-spot profile of the smoke suite
+# (byte-identical for any --threads N; locked by tests/golden_profile.rs).
+profile-smoke:
+	cargo run --release --locked -p dmt-bench --bin profile_hotspots -- \
+		--smoke --threads 2 --json artifacts/BENCH_profile.json
 
 # Full Table 3 throughput sweep (all nine benchmarks × three machines).
 # Deliberately NOT part of `all` or CI's push path — the headline `total`

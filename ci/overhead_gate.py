@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gates simulator wall-clock against the vendored hotpath baseline.
+
+Usage:
+    overhead_gate.py BENCH_hotpath.json [--min-speedup X]
+
+The observability layer (``dmt-obs``) promises zero overhead when
+disabled: every recording call is gated on one inlined boolean, so a
+default (untraced, unprofiled) run must be as fast as it was before the
+instrumentation existed. Deterministic cycle counts are already gated
+exactly (``bench_regress.py``, golden fixtures); this script backstops
+the *wall-clock* half of the promise.
+
+``bench_hotpath`` records ``total.speedup_vs_baseline`` — the serial
+smoke suite's wall time relative to the vendored pre-overhaul engine
+measurement (``crates/bench/baselines/hotpath_serial.json``). The gate
+fails when that speedup falls below ``--min-speedup`` (default 0.95,
+i.e. a >5% regression against the vendored baseline). The overhauled
+engine is severalfold faster than that baseline on any host, so the
+bound absorbs CI-runner variance while still catching the failure mode
+it exists for: instrumentation leaking into the hot path and eating the
+overhaul's headroom.
+
+A missing or unreadable hotpath artifact fails the gate — the CI step
+ordering guarantees the measurement exists.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("hotpath", help="BENCH_hotpath.json from bench_hotpath")
+    ap.add_argument(
+        "--min-speedup", type=float, default=0.95,
+        help="fail below this speedup vs the vendored baseline (default 0.95)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.hotpath, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"overhead gate: cannot read {args.hotpath}: {e}", file=sys.stderr)
+        return 1
+
+    total = doc.get("total", {})
+    speedup = total.get("speedup_vs_baseline")
+    wall_us = total.get("wall_us")
+    if not isinstance(speedup, (int, float)):
+        print(f"overhead gate: {args.hotpath} has no total.speedup_vs_baseline",
+              file=sys.stderr)
+        return 1
+
+    verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+    print(f"overhead gate: smoke suite {wall_us} us, "
+          f"{speedup:.2f}x vs vendored pre-overhaul baseline "
+          f"(floor {args.min_speedup:.2f}x) — {verdict}")
+    if speedup < args.min_speedup:
+        print("overhead gate: wall-clock regressed past the baseline floor; "
+              "if no instrumentation changed, suspect the runner host — "
+              "cycle counts (bench_regress.py) are the deterministic gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

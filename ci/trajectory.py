@@ -28,9 +28,26 @@ TRAJECTORY_SCHEMA_VERSION = 1
 
 # Artifact schema versions this reader understands. v2 added the per-job
 # "phases" array (every v1 field unchanged); the trajectory records the
-# totals either way, plus the phase count when present, so a series may
-# hold v1 and v2 rows side by side.
+# totals either way, plus the per-phase cycle breakdown when present, so
+# a series may hold v1 and v2 rows side by side.
 SUPPORTED_ARTIFACT_SCHEMAS = (1, 2)
+
+
+def phase_fields(job):
+    """The per-phase keys of one v2 job record (empty for v1 rows).
+
+    Records the phase count and the per-phase cycle vector — the data
+    the summary's per-phase table rows render. Kept as plain lists so
+    any two pushes in history compare phase-by-phase.
+    """
+    phases = job.get("phases")
+    if not isinstance(phases, list):
+        return {}
+    fields = {"phases": len(phases)}
+    cycles = [p.get("cycles") for p in phases]
+    if all(isinstance(c, int) for c in cycles):
+        fields["phase_cycles"] = cycles
+    return fields
 
 
 def main():
@@ -95,10 +112,10 @@ def main():
                 "status": j["status"],
                 **({"cycles": j["cycles"], "total_j": j["total_j"]}
                    if j.get("status") == "ok" else {}),
-                # v2 artifacts: record the phase count (informational; v1
-                # rows in the same series simply lack the key).
-                **({"phases": len(j["phases"])}
-                   if isinstance(j.get("phases"), list) else {}),
+                # v2 artifacts: record the phase count and per-phase
+                # cycles (informational; v1 rows in the same series
+                # simply lack the keys).
+                **phase_fields(j),
             }
             for j in artifact.get("jobs", [])
         ],

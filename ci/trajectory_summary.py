@@ -14,9 +14,12 @@ A trailing column shows the informational ``hotpath`` simulator
 throughput (sim-cycles/sec) when the entry recorded one.
 
 Entries recorded from schema-v2 artifacts carry a per-job ``phases``
-count; multi-phase cells are annotated ``·Np``. Entries recorded from v1
-artifacts (older rows of the same series) simply lack the key and render
-unannotated — both row shapes coexist in one table.
+count and a ``phase_cycles`` vector; multi-phase cells are annotated
+``·Np``, and each push whose entry resolved more than one phase
+anywhere gets indented per-phase sub-rows (``↳ phase k``) breaking the
+totals down phase by phase. Entries recorded from v1 artifacts (older
+rows of the same series) simply lack the keys and render unannotated —
+both row shapes coexist in one table.
 
 ``--out`` appends to the given file (pass ``$GITHUB_STEP_SUMMARY`` in CI
 to publish the table on the job page); the table is always printed to
@@ -57,6 +60,33 @@ def fmt_cell(job, prev_job):
         arrow = "▲" if delta > 0 else "▼"
         cell += f" ({arrow}{abs(delta)})"
     return cell
+
+
+def phase_rows(entry, columns):
+    """Indented per-phase sub-rows for one push, or [] for v1 entries.
+
+    Emitted only when some job resolved more than one phase — a single
+    all-phase-1 row would just repeat the totals row above it.
+    """
+    by_key = {(j["bench"], j["arch"]): j for j in entry.get("jobs", [])}
+    vectors = {
+        k: j["phase_cycles"]
+        for k, j in by_key.items()
+        if isinstance(j.get("phase_cycles"), list)
+    }
+    depth = max((len(v) for v in vectors.values()), default=0)
+    if depth <= 1:
+        return []
+    rows = []
+    for p in range(depth):
+        cells = [
+            str(vectors[k][p])
+            if k in vectors and p < len(vectors[k])
+            else "-"
+            for k in columns
+        ]
+        rows.append(f"| ↳ phase {p} | " + " | ".join(cells) + " | - |")
+    return rows
 
 
 def fmt_hotpath(entry):
@@ -101,11 +131,13 @@ def render(trajectory, last):
         lines.append(
             f"| `{sha}` | " + " | ".join(cells) + f" | {fmt_hotpath(e)} |"
         )
+        lines.extend(phase_rows(e, columns))
         prev_by_key = by_key
     lines.append("")
     lines.append(
         "Cycle deltas are marked only at identical `config_hash`; "
-        "`·Np` marks multi-phase jobs (schema-v2 entries); "
+        "`·Np` marks multi-phase jobs and `↳ phase k` rows break their "
+        "cycles down per phase (schema-v2 entries); "
         "`hotpath` is host-dependent simulator throughput (informational)."
     )
     return "\n".join(lines) + "\n"

@@ -23,6 +23,7 @@ const WINDOWS: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
 fn main() {
     let args = RunnerArgs::from_env();
+    args.forbid_trace("ablate_inflight");
     args.forbid_smoke("ablate_inflight");
     let progress = args.progress_reporter();
     let cache = args.cache_store();

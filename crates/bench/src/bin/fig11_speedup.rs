@@ -9,11 +9,14 @@
 //! versioned artifact, `--progress` for a live stderr ticker, and
 //! `--cache DIR` (or `DMT_CACHE`) to serve completed jobs from the
 //! content-addressed result cache — a warm rerun simulates nothing and
-//! prints the same bytes.
+//! prints the same bytes. `--trace PATH` (or `DMT_TRACE`) additionally
+//! exports a Chrome-trace/Perfetto JSON timeline of every run; tracing
+//! bypasses the cache, since a trace requires actually simulating.
 
-use dmt_bench::{fig11_report, run_suite_pooled, SEED};
+use dmt_bench::{fig11_report, job_label, run_jobs_observed, run_suite_pooled, suite_jobs, SEED};
 use dmt_core::SystemConfig;
-use dmt_runner::RunnerArgs;
+use dmt_obs::chrome_trace_json;
+use dmt_runner::{write_json, RunnerArgs};
 
 fn main() {
     let args = RunnerArgs::from_env();
@@ -21,20 +24,45 @@ fn main() {
     let threads = args.effective_threads();
     let progress = args.progress_reporter();
     let cache = args.cache_store();
-    let run = run_suite_pooled(
-        SystemConfig::default(),
-        SEED,
-        take,
-        threads,
-        Some(&progress),
-        cache.as_ref(),
-    );
+    let trace = args.trace_path();
+    let run = if let Some(path) = &trace {
+        let jobs = suite_jobs(SystemConfig::default(), SEED, take);
+        let (run, observations) = run_jobs_observed(jobs, SEED, threads, true, false);
+        let named: Vec<(String, &dmt_obs::Tracer)> = run
+            .jobs
+            .iter()
+            .zip(&observations)
+            .map(|(spec, obs)| (job_label(spec), &obs.tracer))
+            .collect();
+        write_json(path, &chrome_trace_json(&named))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        let events: usize = observations.iter().map(|o| o.tracer.len()).sum();
+        let dropped: u64 = observations.iter().map(|o| o.tracer.dropped()).sum();
+        eprintln!(
+            "[dmt-runner] wrote {} ({} events, {} dropped) — open in chrome://tracing or Perfetto",
+            path.display(),
+            events,
+            dropped,
+        );
+        run
+    } else {
+        run_suite_pooled(
+            SystemConfig::default(),
+            SEED,
+            take,
+            threads,
+            Some(&progress),
+            cache.as_ref(),
+        )
+    };
     let rows = run.rows();
     print!("{}", fig11_report(&rows));
     println!("\nSee EXPERIMENTS.md for the paper-vs-measured discussion.");
     run.write_artifact(&args, "fig11_speedup");
-    if let Some(c) = &cache {
-        c.report();
+    if trace.is_none() {
+        if let Some(c) = &cache {
+            c.report();
+        }
     }
     dmt_bench::exit_on_incomplete(&rows);
 }

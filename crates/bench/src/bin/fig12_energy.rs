@@ -12,6 +12,7 @@ use dmt_runner::RunnerArgs;
 
 fn main() {
     let args = RunnerArgs::from_env();
+    args.forbid_trace("fig12_energy");
     let take = if args.smoke { 3 } else { usize::MAX };
     let threads = args.effective_threads();
     let progress = args.progress_reporter();

@@ -15,6 +15,7 @@ fn main() {
     // Shared-registry parsing for uniform --help and flag rejection; the
     // runner flags themselves are meaningless for a one-graph dump.
     let args = RunnerArgs::from_env();
+    args.forbid_trace("kernel_dot");
     args.forbid_threads("kernel_dot");
     args.forbid_json("kernel_dot");
     args.forbid_cache("kernel_dot");

@@ -1,0 +1,61 @@
+//! `profile_hotspots` — where the suite's token traffic concentrates.
+//!
+//! Runs the Table 3 suite (first three benchmarks with `--smoke`) on all
+//! three machines with the `dmt-obs` profiler attached, and prints per
+//! job the top-K hottest nodes (by firings) and edges (by tokens), plus
+//! spill counts, calendar-queue marks and ring-occupancy maxima. Writes
+//! the versioned profile artifact with `--json PATH` (default
+//! `artifacts/BENCH_profile.json`):
+//!
+//! ```json
+//! {
+//!   "profile_schema_version": 1,
+//!   "suite": "profile",
+//!   "jobs": [ {"job": "dot/dmt_cgra", "seed": 42, "profile": {...}}, ... ],
+//!   "meta": {"threads": ..., "wall_ms": ...}
+//! }
+//! ```
+//!
+//! The `"jobs"` array (and the whole stdout report) is byte-identical
+//! for any `--threads N` — per-job observation merges by job index, and
+//! the rankings are total-ordered. Profiling bypasses the result cache
+//! by construction (a profile requires actually simulating), so
+//! `--cache` is rejected.
+
+use dmt_bench::{profile_artifact, profile_report, run_jobs_observed, suite_jobs, SEED};
+use dmt_core::SystemConfig;
+use dmt_runner::artifact::write_json_logged;
+use dmt_runner::{Flag, RunnerArgs};
+use std::path::PathBuf;
+
+/// Binary-specific flags, composing with the shared runner registry.
+const FLAGS: &[Flag] = &[Flag::with_value(
+    "--top",
+    "K",
+    "rows per ranking (default 10)",
+)];
+
+fn main() {
+    let args = RunnerArgs::from_env_registry(FLAGS);
+    args.forbid_trace("profile_hotspots");
+    args.forbid_cache("profile_hotspots");
+    args.forbid_progress("profile_hotspots");
+    let top = match args.flag_value("--top").map(str::parse::<usize>) {
+        None => 10,
+        Some(Ok(k)) if k > 0 => k,
+        Some(_) => {
+            eprintln!("error: --top requires a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let take = if args.smoke { 3 } else { usize::MAX };
+    let threads = args.effective_threads();
+    let jobs = suite_jobs(SystemConfig::default(), SEED, take);
+    let (run, observations) = run_jobs_observed(jobs, SEED, threads, false, true);
+    print!("{}", profile_report(&run, &observations, top));
+    let path = args
+        .json
+        .unwrap_or_else(|| PathBuf::from("artifacts/BENCH_profile.json"));
+    write_json_logged(&path, &profile_artifact(&run, &observations, top));
+    dmt_bench::exit_on_incomplete(&run.rows());
+}

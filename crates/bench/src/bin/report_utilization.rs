@@ -29,6 +29,7 @@ const FLAGS: &[Flag] = &[Flag::switch(
 
 fn main() {
     let args = RunnerArgs::from_env_registry(FLAGS);
+    args.forbid_trace("report_utilization");
     args.forbid_smoke("report_utilization");
     let per_phase = args.has_flag("--per-phase");
     let progress = args.progress_reporter();

@@ -23,6 +23,7 @@ use dmt_runner::RunnerArgs;
 
 fn main() {
     let args = RunnerArgs::from_env();
+    args.forbid_trace("sweep_csv");
     args.forbid_smoke("sweep_csv");
     let threads = args.effective_threads();
     let progress = args.progress_reporter();

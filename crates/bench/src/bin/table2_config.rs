@@ -7,6 +7,7 @@ fn main() {
     // Shared-registry parsing for uniform --help and flag rejection; a
     // static table has no grid to thread, cache or record.
     let args = RunnerArgs::from_env();
+    args.forbid_trace("table2_config");
     args.forbid_threads("table2_config");
     args.forbid_json("table2_config");
     args.forbid_cache("table2_config");

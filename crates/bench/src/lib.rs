@@ -28,7 +28,8 @@ pub mod sweep;
 
 use dmt_core::{experiment, Arch, Machine, RunReport, SystemConfig};
 use dmt_kernels::{suite, Benchmark};
-use dmt_runner::{Artifact, Cache, JobMetrics, JobOutcome, JobSpec, Progress, RunnerArgs};
+use dmt_obs::Obs;
+use dmt_runner::{Artifact, Cache, JobMetrics, JobOutcome, JobSpec, Json, Progress, RunnerArgs};
 use std::time::Instant;
 
 /// Seed used by every headline experiment (results are deterministic).
@@ -65,11 +66,33 @@ pub fn try_run_one(
     cfg: SystemConfig,
     seed: u64,
 ) -> dmt_core::Result<RunReport> {
+    try_run_one_observed(bench, arch, cfg, seed, &mut Obs::disabled())
+}
+
+/// [`try_run_one`] with an observation handle: the engine reports its
+/// event stream into `obs` (see `dmt_obs`). Output validation is
+/// unchanged — observed runs compute the same results.
+///
+/// # Errors
+///
+/// As [`try_run_one`].
+///
+/// # Panics
+///
+/// As [`try_run_one`].
+pub fn try_run_one_observed(
+    bench: &dyn Benchmark,
+    arch: Arch,
+    cfg: SystemConfig,
+    seed: u64,
+    obs: &mut Obs,
+) -> dmt_core::Result<RunReport> {
     let kernel = match arch {
         Arch::DmtCgra => bench.dmt_kernel(),
         Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),
     };
-    let report = Machine::new(arch, cfg).run(&kernel, bench.workload(seed).launch())?;
+    let report =
+        Machine::new(arch, cfg).run_observed(&kernel, bench.workload(seed).launch(), obs)?;
     bench
         .check(seed, &report.memory)
         .unwrap_or_else(|e| panic!("{} on {arch}: wrong result: {e}", bench.info().name));
@@ -96,11 +119,22 @@ pub fn bar(value: f64) -> String {
 /// validation failures (wrong results must never become numbers).
 #[must_use]
 pub fn execute_job(spec: &JobSpec) -> JobOutcome {
+    execute_job_observed(spec, &mut Obs::disabled())
+}
+
+/// [`execute_job`] with an observation handle (see
+/// [`try_run_one_observed`]).
+///
+/// # Panics
+///
+/// As [`execute_job`].
+#[must_use]
+pub fn execute_job_observed(spec: &JobSpec, obs: &mut Obs) -> JobOutcome {
     let bench = suite::all()
         .into_iter()
         .find(|b| b.info().name == spec.bench)
         .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.bench));
-    match try_run_one(bench.as_ref(), spec.arch, spec.cfg, spec.seed) {
+    match try_run_one_observed(bench.as_ref(), spec.arch, spec.cfg, spec.seed, obs) {
         Ok(report) => JobOutcome::completed(JobMetrics::from_report(&report)),
         Err(e) => JobOutcome::Infeasible(e.to_string()),
     }
@@ -309,6 +343,125 @@ pub fn run_jobs_pooled(
         wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
         seed,
     }
+}
+
+/// Executes a job grid with per-job observation: every job gets its own
+/// [`Obs`] handle (tracing and/or profiling per the flags) and the
+/// handles are returned index-aligned with the outcomes, for any thread
+/// count — `run_indexed` aggregates by job index, and each handle lives
+/// on exactly one worker. Observation bypasses the [`Cache`]
+/// deliberately: tracing a run means actually running it.
+#[must_use]
+pub fn run_jobs_observed(
+    jobs: Vec<JobSpec>,
+    seed: u64,
+    threads: usize,
+    trace: bool,
+    profile: bool,
+) -> (SuiteRun, Vec<Obs>) {
+    let start = Instant::now();
+    let mut pairs = dmt_runner::run_indexed(jobs.len(), threads, |i| {
+        let mut obs = Obs::new(trace, profile);
+        let outcome = execute_job_observed(&jobs[i], &mut obs);
+        (outcome, obs)
+    });
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let mut observations = Vec::with_capacity(pairs.len());
+    for (outcome, obs) in pairs.drain(..) {
+        outcomes.push(outcome);
+        observations.push(obs);
+    }
+    let run = SuiteRun {
+        jobs,
+        outcomes,
+        threads,
+        wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        seed,
+    };
+    (run, observations)
+}
+
+/// A job's stable label in observation artifacts: `bench/arch`.
+#[must_use]
+pub fn job_label(spec: &JobSpec) -> String {
+    format!("{}/{}", spec.bench, spec.arch.key())
+}
+
+/// Assembles `BENCH_profile.json`: one deterministic per-job profile
+/// document (labelled `bench/arch`, top-`k` rankings) plus volatile run
+/// metadata under `"meta"`. The `"jobs"` array is byte-stable across
+/// thread counts and hosts; comparisons (goldens, cross-thread checks)
+/// should render only that part.
+#[must_use]
+pub fn profile_artifact(run: &SuiteRun, observations: &[Obs], top_k: usize) -> Json {
+    Json::obj()
+        .with("profile_schema_version", 1u64)
+        .with("suite", "profile")
+        .with(
+            "jobs",
+            Json::Arr(
+                run.jobs
+                    .iter()
+                    .zip(observations)
+                    .map(|(spec, obs)| {
+                        Json::obj()
+                            .with("job", job_label(spec))
+                            .with("seed", spec.seed)
+                            .with("profile", obs.profile.to_json(top_k))
+                    })
+                    .collect(),
+            ),
+        )
+        .with(
+            "meta",
+            Json::obj()
+                .with("threads", run.threads)
+                .with("wall_ms", run.wall_ms),
+        )
+}
+
+/// Renders the `profile_hotspots` stdout report: per job, the traffic
+/// totals and the top-`k` node/edge rankings. Deterministic for any
+/// thread count (rankings are total-ordered; see
+/// [`dmt_obs::RunProfile::top_nodes`]).
+#[must_use]
+pub fn profile_report(run: &SuiteRun, observations: &[Obs], k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "Hot-spot profile (top {k} per job, seed {})", run.seed);
+    for (spec, obs) in run.jobs.iter().zip(observations) {
+        let p = &obs.profile;
+        let _ = writeln!(s, "\n== {} ==", job_label(spec));
+        let _ = writeln!(
+            s,
+            "cycles {}  phases {}  tokens {} (direct {}, elevator {}, eldst {})",
+            p.cycles,
+            p.phases,
+            p.total_tokens(),
+            p.class_tokens[dmt_obs::EdgeClass::Direct as usize],
+            p.class_tokens[dmt_obs::EdgeClass::Elevator as usize],
+            p.class_tokens[dmt_obs::EdgeClass::Eldst as usize],
+        );
+        let _ = writeln!(
+            s,
+            "spills: matching_store {}, eldst {}; calendar high-water {}, scheduled {}; \
+             ring occupancy max {}",
+            p.spills[dmt_obs::StoreKind::Match as usize],
+            p.spills[dmt_obs::StoreKind::Eldst as usize],
+            p.calendar_high_water,
+            p.calendar_scheduled,
+            p.ring_occupancy.max(),
+        );
+        let _ = writeln!(s, "top nodes (fires):");
+        for ((phase, node), fires) in p.top_nodes(k) {
+            let _ = writeln!(s, "  phase {phase} node {node:<4} {fires:>10}");
+        }
+        let _ = writeln!(s, "top edges (tokens):");
+        for ((phase, src, dst), tokens) in p.top_edges(k) {
+            let _ = writeln!(s, "  phase {phase} edge {src:>3} -> {dst:<4} {tokens:>10}");
+        }
+    }
+    s
 }
 
 /// Runs the first `take` Table 3 benchmarks on all three machines via

@@ -3,8 +3,9 @@
 //! This crate holds the vocabulary types used by every other crate in the
 //! workspace: identifier newtypes ([`ids`]), the 32-bit machine word model
 //! ([`value`]), CUDA-style thread geometry ([`geom`]), the Table 2 system
-//! configuration ([`config`]), run-statistics counters ([`stats`]) and the
-//! shared error type ([`error`]).
+//! configuration ([`config`]), run-statistics counters ([`stats`]), the
+//! hand-rolled JSON document model ([`json`]) and the shared error type
+//! ([`error`]).
 //!
 //! The paper reproduced here is Voitsechov & Etsion, *"Inter-Thread
 //! Communication in Multithreaded, Reconfigurable Coarse-Grain Arrays"*
@@ -27,6 +28,7 @@ pub mod config;
 pub mod error;
 pub mod geom;
 pub mod ids;
+pub mod json;
 pub mod memimg;
 pub mod sched;
 pub mod stats;
@@ -36,6 +38,7 @@ pub use config::SystemConfig;
 pub use error::{Error, Result};
 pub use geom::{Delta, Dim3};
 pub use ids::{Addr, Cycle, NodeId, PortIx, ThreadId, UnitId};
+pub use json::Json;
 pub use memimg::MemImage;
 pub use stats::{PhaseStats, RunStats};
 pub use value::Word;

@@ -8,6 +8,7 @@ use dmt_dfg::{Kernel, LaunchInput};
 use dmt_energy::{ArchKind, EnergyModel, EnergyReport};
 use dmt_fabric::FabricMachine;
 use dmt_gpu::GpuMachine;
+use dmt_obs::Obs;
 use std::fmt;
 
 /// The three machines the paper evaluates (§5).
@@ -188,9 +189,27 @@ impl Machine {
     ///   grid;
     /// * [`Error::Runtime`] / [`Error::Deadlock`] for execution failures.
     pub fn run(&self, kernel: &Kernel, input: LaunchInput) -> Result<RunReport> {
+        self.run_observed(kernel, input, &mut Obs::disabled())
+    }
+
+    /// [`Machine::run`] with an observation handle: the backend engine
+    /// reports phase spans, firings, token traffic and counter samples
+    /// into `obs` (see `dmt_obs`). A disabled handle (what
+    /// [`Machine::run`] passes) costs one branch per report site, so
+    /// observed and unobserved runs are result-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_observed(
+        &self,
+        kernel: &Kernel,
+        input: LaunchInput,
+        obs: &mut Obs,
+    ) -> Result<RunReport> {
         let (memory, stats) = match self.arch {
             Arch::FermiSm => {
-                let run = GpuMachine::new(self.cfg).run(kernel, input)?;
+                let run = GpuMachine::new(self.cfg).run_observed(kernel, input, obs)?;
                 (run.memory, run.stats)
             }
             Arch::MtCgra => {
@@ -201,9 +220,9 @@ impl Machine {
                         kernel.name()
                     )));
                 }
-                self.run_fabric(kernel, input)?
+                self.run_fabric(kernel, input, obs)?
             }
-            Arch::DmtCgra => self.run_fabric(kernel, input)?,
+            Arch::DmtCgra => self.run_fabric(kernel, input, obs)?,
         };
         let energy = self
             .energy
@@ -217,9 +236,14 @@ impl Machine {
         })
     }
 
-    fn run_fabric(&self, kernel: &Kernel, input: LaunchInput) -> Result<(MemImage, RunStats)> {
+    fn run_fabric(
+        &self,
+        kernel: &Kernel,
+        input: LaunchInput,
+        obs: &mut Obs,
+    ) -> Result<(MemImage, RunStats)> {
         let program = dmt_compiler::compile(kernel, &self.cfg)?;
-        let run = FabricMachine::new(self.cfg).run(&program, input)?;
+        let run = FabricMachine::new(self.cfg).run_observed(&program, input, obs)?;
         Ok((run.memory, run.stats))
     }
 }

@@ -63,6 +63,7 @@ use dmt_common::{Error, Result};
 use dmt_dfg::kernel::LaunchInput;
 use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
 use dmt_mem::{AccessOutcome, Lvc, MemSystem, Scratchpad};
+use dmt_obs::{CycleSample, EdgeClass, Obs, StoreKind};
 use std::collections::{HashMap, VecDeque};
 
 /// Result of a fabric run: final memory image plus statistics.
@@ -109,6 +110,25 @@ impl FabricMachine {
     /// addresses, and [`Error::Deadlock`] when the fabric cannot make
     /// progress.
     pub fn run(&self, program: &FabricProgram, input: LaunchInput) -> Result<FabricRunResult> {
+        self.run_observed(program, input, &mut Obs::disabled())
+    }
+
+    /// [`FabricMachine::run`] with an observation handle: the engine
+    /// reports phase boundaries, node firings, per-edge tokens, spills
+    /// and periodic counter samples into `obs`. Passing
+    /// [`Obs::disabled`] (which [`FabricMachine::run`] does) reduces
+    /// every report to one predicted-not-taken branch, so observed and
+    /// unobserved runs produce identical results and statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`FabricMachine::run`].
+    pub fn run_observed(
+        &self,
+        program: &FabricProgram,
+        input: LaunchInput,
+        obs: &mut Obs,
+    ) -> Result<FabricRunResult> {
         if input.params.len() != program.param_count {
             return Err(Error::Runtime(format!(
                 "program {} expects {} parameters, got {}",
@@ -146,6 +166,7 @@ impl FabricMachine {
             if pi > 0 {
                 now += self.cfg.fabric.reconfiguration_cycles;
             }
+            obs.phase_begin(pi as u32, now);
             let mut exec = PhaseExec::new(
                 &self.cfg,
                 program,
@@ -155,6 +176,7 @@ impl FabricMachine {
                 now,
                 program.grid_blocks,
                 &mut arena,
+                obs,
             );
             now = exec.run(
                 &mut global,
@@ -165,11 +187,13 @@ impl FabricMachine {
                 &mut stats,
             )?;
             exec.recycle(&mut arena);
+            obs.phase_end(now);
             stats.phases += 1;
             let cum = cumulative_snapshot(&stats, now, &mem, &scratch, &lvc);
             per_phase.push(cum.minus(&prev));
             prev = cum;
         }
+        obs.finish(now);
         Ok(FabricRunResult {
             memory: global,
             stats: RunStats::from_phases(per_phase),
@@ -351,8 +375,9 @@ struct PhaseExec<'a> {
     ready_total: u32,
     /// Threads currently parked at eLDST buffers (completion check).
     parked_total: u32,
-    /// `DMT_TRACE` presence, hoisted out of the cycle loop.
-    trace: bool,
+    /// The run's observation handle (disabled on unobserved runs; every
+    /// report degrades to one branch — see `dmt_obs`).
+    obs: &'a mut Obs,
     source_nodes: Vec<NodeId>,
     /// Elevator nodes with their configuration: fallback constants are
     /// generated at thread injection (the controller tracks the TID stream,
@@ -372,6 +397,7 @@ impl<'a> PhaseExec<'a> {
         start: u64,
         blocks_covered: u32,
         arena: &mut StoreArena,
+        obs: &'a mut Obs,
     ) -> PhaseExec<'a> {
         let n = phase.graph.len();
         let threads = program.threads_per_block() * blocks_covered;
@@ -456,7 +482,7 @@ impl<'a> PhaseExec<'a> {
             retired_count: 0,
             ready_total: 0,
             parked_total: 0,
-            trace: std::env::var_os("DMT_TRACE").is_some(),
+            obs,
             source_nodes,
             elevator_nodes,
         }
@@ -476,10 +502,24 @@ impl<'a> PhaseExec<'a> {
             self.schedule(base, Ev::SinkDone { tid });
             return;
         }
+        // Edges are classified by their producer: elevator and eLDST
+        // outputs are the paper's inter-thread channels, everything else
+        // is ordinary dataflow. The kind lookup is gated so unobserved
+        // runs pay one branch here, nothing more.
+        let class = if self.obs.on() {
+            match self.phase.graph.kind(node) {
+                NodeKind::Elevator { .. } => EdgeClass::Elevator,
+                NodeKind::ELoad { .. } => EdgeClass::Eldst,
+                _ => EdgeClass::Direct,
+            }
+        } else {
+            EdgeClass::Direct
+        };
         for (i, &(consumer, port)) in consumers.iter().enumerate() {
             let hops = self.phase.edge_hops[node.index()][i];
             stats.tokens_routed += 1;
             stats.noc_hops += hops;
+            self.obs.edge_token(class, node.0, consumer.0);
             let arrival = base + self.cfg.fabric.noc_hop_latency * hops;
             self.schedule(
                 arrival,
@@ -578,6 +618,7 @@ impl<'a> PhaseExec<'a> {
         let ix = node.index();
         let arity = self.arity[ix];
         let mask = self.ring_mask;
+        let now = self.now;
         let unit = &mut self.units[ix];
         let si = (tid & mask) as usize;
         // Resolve the slot for `tid`: its ring slot, its spill entry, or a
@@ -590,10 +631,12 @@ impl<'a> PhaseExec<'a> {
         } else if !unit.spill.is_empty() && unit.spill.contains_key(&tid) {
             unit.spill.get_mut(&tid).expect("present")
         } else if unit.pending[si].tag == EMPTY_TAG {
+            self.obs.ring_claim();
             let s = &mut unit.pending[si];
             s.tag = tid;
             s
         } else {
+            self.obs.spill(StoreKind::Match, now, node.0);
             unit.spill.entry(tid).or_insert(MatchSlot {
                 tag: tid,
                 ..MatchSlot::EMPTY
@@ -606,6 +649,7 @@ impl<'a> PhaseExec<'a> {
             let ops = slot.ops;
             if ring_hit || unit.pending[si].tag == tid {
                 unit.pending[si] = MatchSlot::EMPTY;
+                self.obs.ring_free();
             } else {
                 unit.spill.remove(&tid);
             }
@@ -655,7 +699,10 @@ impl<'a> PhaseExec<'a> {
                         lvc,
                         stats,
                     )? {
-                        Fired::Done => self.ready_total -= 1,
+                        Fired::Done => {
+                            self.ready_total -= 1;
+                            self.obs.node_fire(node.0);
+                        }
                         Fired::Blocked => {
                             // Structural stall: retry the same token next cycle.
                             self.units[ix].ready.push_front((tid, ops));
@@ -684,6 +731,7 @@ impl<'a> PhaseExec<'a> {
         if unit.eldst[si].tag == tid {
             let state = unit.eldst[si].state;
             unit.eldst[si] = EldstSlot::EMPTY;
+            self.obs.ring_free();
             return Some(state);
         }
         if unit.eldst_spill.is_empty() {
@@ -699,11 +747,14 @@ impl<'a> PhaseExec<'a> {
     /// holds both a ring slot and a spill entry.
     fn eldst_insert(&mut self, ix: usize, tid: u32, state: EldstState) {
         let si = (tid & self.ring_mask) as usize;
+        let now = self.now;
         let unit = &mut self.units[ix];
         if unit.eldst[si].tag == EMPTY_TAG {
             unit.eldst[si] = EldstSlot { tag: tid, state };
+            self.obs.ring_claim();
         } else {
             debug_assert_ne!(unit.eldst[si].tag, tid, "duplicate eLDST entry for {tid}");
+            self.obs.spill(StoreKind::Eldst, now, ix as u32);
             unit.eldst_spill.insert(tid, EldstSlot { tag: tid, state });
         }
     }
@@ -1110,23 +1161,28 @@ impl<'a> PhaseExec<'a> {
             self.fire_all(global, shared_imgs, mem, scratch, lvc, stats)?;
             // 4. Done?
             if self.complete() {
+                self.obs.calendar_scheduled(self.events.scheduled_total());
                 return Ok(self.now);
             }
-            // 5. Advance time.
-            if self.trace && self.now % 200 == 0 {
-                eprintln!(
-                    "[trace] cycle={} injected={}/{} retired={} events={} (scheduled {}) \
-                     ready={} outstanding={}",
-                    self.now,
-                    self.next_inject,
-                    self.threads,
-                    self.retired_count,
-                    self.events.len(),
-                    self.events.scheduled_total(),
-                    self.ready_total,
-                    self.units.iter().map(|u| u.outstanding).sum::<u32>(),
-                );
+            // 5. Observe. Disabled handles reduce both calls to one
+            // branch each; the counter gathering runs only at sample
+            // boundaries of an enabled handle.
+            self.obs.calendar_depth(self.events.len() as u64);
+            if self.obs.due(self.now) {
+                let (l1_fills, l2_fills) = mem.fill_counts();
+                let sample = CycleSample {
+                    cycle: self.now,
+                    injected: u64::from(self.next_inject),
+                    retired: u64::from(self.retired_count),
+                    calendar: self.events.len() as u64,
+                    ready: u64::from(self.ready_total),
+                    outstanding: self.units.iter().map(|u| u64::from(u.outstanding)).sum(),
+                    l1_fills,
+                    l2_fills,
+                };
+                self.obs.sample(sample);
             }
+            // 6. Advance time.
             if self.has_local_work() {
                 self.now += 1;
             } else if let Some(t) = self.events.next_time() {

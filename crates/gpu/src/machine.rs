@@ -28,6 +28,7 @@ use dmt_dfg::kernel::LaunchInput;
 use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
 use dmt_dfg::{Dfg, Kernel};
 use dmt_mem::{AccessOutcome, MemSystem, Scratchpad};
+use dmt_obs::{CycleSample, Obs};
 
 /// Result of a GPU run: final memory image plus statistics.
 #[derive(Debug, Clone)]
@@ -65,6 +66,24 @@ impl GpuMachine {
     /// Returns [`Error::Compile`] for kernels using inter-thread
     /// communication and [`Error::Runtime`] for parameter/address errors.
     pub fn run(&self, kernel: &Kernel, input: LaunchInput) -> Result<GpuRunResult> {
+        self.run_observed(kernel, input, &mut Obs::disabled())
+    }
+
+    /// [`GpuMachine::run`] with an observation handle. The SIMT model is
+    /// wave-scheduled, so observation is wave-granular: each wave of
+    /// resident blocks is reported as one span with a counter sample at
+    /// its boundary (the fabric engines report true per-phase spans and
+    /// in-loop samples). A disabled handle costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuMachine::run`].
+    pub fn run_observed(
+        &self,
+        kernel: &Kernel,
+        input: LaunchInput,
+        obs: &mut Obs,
+    ) -> Result<GpuRunResult> {
         let program = lower(kernel)?;
         if input.params.len() != kernel.param_names().len() {
             return Err(Error::Runtime(format!(
@@ -107,8 +126,10 @@ impl GpuMachine {
         let mut per_phase = vec![PhaseStats::default(); phase_count];
         let mut prev = PhaseStats::default();
         let mut first = 0u32;
+        let mut wave_ix = 0u32;
         while first < kernel.grid_blocks() {
             let last = (first + wave).min(kernel.grid_blocks());
+            obs.phase_begin(wave_ix, now);
             let mut exec =
                 WaveExec::new(&self.cfg, kernel, &program, first..last, &input.params, now);
             now = exec.run(
@@ -125,7 +146,22 @@ impl GpuMachine {
             per_phase[phase_count - 1].accumulate(&cum.minus(&prev));
             prev = cum;
             first = last;
+            if obs.on() {
+                let threads = u64::from(last) * u64::from(kernel.threads_per_block());
+                let (l1_fills, l2_fills) = mem.fill_counts();
+                obs.sample(CycleSample {
+                    cycle: now,
+                    injected: threads,
+                    retired: threads,
+                    l1_fills,
+                    l2_fills,
+                    ..Default::default()
+                });
+            }
+            obs.phase_end(now);
+            wave_ix += 1;
         }
+        obs.finish(now);
         // Each phase executed once architecturally (waves re-run the same
         // configuration); the totals' phase count is the kernel's.
         for p in &mut per_phase {

@@ -111,6 +111,14 @@ impl MemSystem {
         stats.dram_writes = self.dram.writes;
     }
 
+    /// Cumulative `(l1, l2)` fill counts — misses that pulled a line into
+    /// the level. Cheap enough to read every cycle; the observability
+    /// sampler polls this at trace sample boundaries.
+    #[must_use]
+    pub fn fill_counts(&self) -> (u64, u64) {
+        (self.l1.misses, self.l2.misses)
+    }
+
     /// The earliest cycle at which the whole hierarchy is quiescent.
     #[must_use]
     pub fn idle_at(&self) -> u64 {

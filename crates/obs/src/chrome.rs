@@ -1,0 +1,236 @@
+//! Chrome-trace (Perfetto / `chrome://tracing`) export.
+//!
+//! Renders one or more run traces as a Chrome-trace JSON document —
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` — with one *pid*
+//! per run, phase spans as `"B"`/`"E"` duration events, periodic counter
+//! tracks as `"C"` events and spills as `"i"` instants. Timestamps are
+//! simulation cycles (Chrome renders them as microseconds; relative
+//! widths are what matters).
+
+use crate::trace::{TraceEvent, Tracer};
+use dmt_common::json::Json;
+
+fn base(name: &str, ph: &str, pid: u64, cycle: u64) -> Json {
+    Json::obj()
+        .with("name", name)
+        .with("ph", ph)
+        .with("pid", pid)
+        .with("tid", 0u64)
+        .with("ts", cycle)
+}
+
+fn counter(name: &str, pid: u64, cycle: u64, args: Json) -> Json {
+    base(name, "C", pid, cycle).with("args", args)
+}
+
+fn push_event(out: &mut Vec<Json>, pid: u64, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::PhaseBegin { phase, cycle } => {
+            out.push(base(&format!("phase {phase}"), "B", pid, cycle));
+        }
+        TraceEvent::PhaseEnd { phase, cycle } => {
+            out.push(base(&format!("phase {phase}"), "E", pid, cycle));
+        }
+        TraceEvent::Sample {
+            cycle,
+            injected,
+            retired,
+            calendar,
+            ready,
+            outstanding,
+            ring_live,
+            fires,
+            direct,
+            elevator,
+            eldst,
+            l1_fills,
+            l2_fills,
+        } => {
+            out.push(counter(
+                "threads",
+                pid,
+                cycle,
+                Json::obj()
+                    .with("injected", injected)
+                    .with("retired", retired),
+            ));
+            out.push(counter(
+                "engine",
+                pid,
+                cycle,
+                Json::obj()
+                    .with("calendar", calendar)
+                    .with("ready", ready)
+                    .with("outstanding", outstanding)
+                    .with("ring_live", ring_live),
+            ));
+            out.push(counter(
+                "window",
+                pid,
+                cycle,
+                Json::obj()
+                    .with("fires", fires)
+                    .with("direct", direct)
+                    .with("elevator", elevator)
+                    .with("eldst", eldst),
+            ));
+            out.push(counter(
+                "cache_fills",
+                pid,
+                cycle,
+                Json::obj().with("l1", l1_fills).with("l2", l2_fills),
+            ));
+        }
+        TraceEvent::Spill { kind, cycle, node } => {
+            out.push(
+                base(&format!("spill:{}", kind.key()), "i", pid, cycle)
+                    .with("s", "t")
+                    .with("args", Json::obj().with("node", u64::from(node))),
+            );
+        }
+    }
+}
+
+/// Renders named run traces as one Chrome-trace document. Each run gets
+/// its own pid with a `process_name` metadata record; a run that
+/// overflowed its ring also gets a `dropped_events` instant at ts 0 so
+/// the lost-history count is visible in the viewer.
+#[must_use]
+pub fn chrome_trace_json(runs: &[(String, &Tracer)]) -> Json {
+    let mut events = Vec::new();
+    for (i, (name, tracer)) in runs.iter().enumerate() {
+        let pid = i as u64;
+        events.push(
+            Json::obj()
+                .with("name", "process_name")
+                .with("ph", "M")
+                .with("pid", pid)
+                .with("tid", 0u64)
+                .with("args", Json::obj().with("name", name.as_str())),
+        );
+        if tracer.dropped() > 0 {
+            events.push(
+                base("dropped_events", "i", pid, 0)
+                    .with("s", "p")
+                    .with("args", Json::obj().with("count", tracer.dropped())),
+            );
+        }
+        for ev in tracer.events() {
+            push_event(&mut events, pid, ev);
+        }
+    }
+    Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", "ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::StoreKind;
+
+    fn tracer() -> Tracer {
+        let mut t = Tracer::new(16);
+        t.push(TraceEvent::PhaseBegin { phase: 0, cycle: 0 });
+        t.push(TraceEvent::Sample {
+            cycle: 256,
+            injected: 32,
+            retired: 10,
+            calendar: 4,
+            ready: 2,
+            outstanding: 1,
+            ring_live: 7,
+            fires: 900,
+            direct: 800,
+            elevator: 64,
+            eldst: 16,
+            l1_fills: 12,
+            l2_fills: 3,
+        });
+        t.push(TraceEvent::Spill {
+            kind: StoreKind::Match,
+            cycle: 300,
+            node: 5,
+        });
+        t.push(TraceEvent::PhaseEnd {
+            phase: 0,
+            cycle: 410,
+        });
+        t
+    }
+
+    #[test]
+    fn export_round_trips_through_json_parse() {
+        let t = tracer();
+        let doc = chrome_trace_json(&[("dot/dmt_cgra".to_string(), &t)]);
+        let text = doc.render();
+        let back = Json::parse(&text).expect("exported trace must be valid JSON");
+        assert_eq!(back, doc);
+        // And the compact rendering parses identically too.
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn phases_become_duration_spans() {
+        let t = tracer();
+        let doc = chrome_trace_json(&[("run".to_string(), &t)]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phs: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("phase 0"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs, vec!["B", "E"]);
+        let begin = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("B"))
+            .unwrap();
+        assert_eq!(begin.get("ts").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn samples_fan_out_into_counter_tracks() {
+        let t = tracer();
+        let doc = chrome_trace_json(&[("run".to_string(), &t)]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(counters, vec!["threads", "engine", "window", "cache_fills"]);
+        let window = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("window"))
+            .unwrap();
+        let args = window.get("args").unwrap();
+        assert_eq!(args.get("fires").unwrap().as_u64(), Some(900));
+        assert_eq!(args.get("eldst").unwrap().as_u64(), Some(16));
+    }
+
+    #[test]
+    fn each_run_gets_metadata_and_dropped_marker() {
+        let mut t = Tracer::new(2);
+        for c in 0..5 {
+            t.push(TraceEvent::PhaseBegin { phase: 0, cycle: c });
+        }
+        let full = tracer();
+        let doc = chrome_trace_json(&[("a".to_string(), &full), ("b".to_string(), &t)]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let metas: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("pid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(metas, vec![0, 1]);
+        let dropped = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("dropped_events"))
+            .unwrap();
+        assert_eq!(dropped.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            dropped.get("args").unwrap().get("count").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+}

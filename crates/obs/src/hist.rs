@@ -1,0 +1,158 @@
+//! A log2-bucketed histogram for occupancies and latencies.
+//!
+//! Thirty-three fixed buckets cover the whole `u64` range — bucket 0
+//! holds the value 0, bucket *i* (1..=32) holds `2^(i-1) ..= 2^i - 1`,
+//! and everything at or beyond `2^32` lands in the last bucket —
+//! so recording is branch-light, allocation-free and `O(1)`. Used for
+//! matching-store ring occupancies in run profiles and per-verb request
+//! latencies in the `dmt-serve` `metrics` verb.
+
+use dmt_common::json::Json;
+
+const BUCKETS: usize = 33;
+
+/// A fixed-size power-of-two histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - u64::leading_zeros(v)) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    fn upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i == BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Values recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value recorded (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Occupied buckets as `(inclusive_upper_bound, count)` pairs, in
+    /// ascending bound order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::upper(i), n))
+            .collect()
+    }
+
+    /// Serializes as `{"count", "max", "buckets": [{"le", "n"}...]}`
+    /// (empty buckets omitted).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", self.total)
+            .with("max", self.max)
+            .with(
+                "buckets",
+                Json::Arr(
+                    self.buckets()
+                        .into_iter()
+                        .map(|(le, n)| Json::obj().with("le", le).with("n", n))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        let b = h.buckets();
+        // 0 | 1 | 2..=3 (two values) | 4..=7 (two) | 8..=15 | 512..=1023 | top
+        assert_eq!(
+            b,
+            vec![
+                (0, 1),
+                (1, 1),
+                (3, 2),
+                (7, 2),
+                (15, 1),
+                (1023, 1),
+                (u64::MAX, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_shape_omits_empty_buckets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("max").unwrap().as_u64(), Some(6));
+        let buckets = doc.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("le").unwrap().as_u64(), Some(7));
+        assert_eq!(buckets[0].get("n").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn empty_histogram_serializes_cleanly() {
+        let h = Histogram::new();
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(0));
+        assert!(doc.get("buckets").unwrap().as_arr().unwrap().is_empty());
+    }
+}

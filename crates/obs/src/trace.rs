@@ -1,0 +1,216 @@
+//! The bounded ring-buffer event tracer.
+//!
+//! Events are fixed-size [`Copy`] records pushed into a ring
+//! preallocated at construction — the hot path is one bounds check and
+//! one slot write, never an allocation. When the ring is full the
+//! *oldest* event is overwritten (a trace's most recent window is the
+//! diagnostic one) and the drop is counted, so an exported trace always
+//! says how much history it lost.
+
+use crate::profile::StoreKind;
+
+/// Default tracer ring capacity, in events (~1.5 MiB per run).
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// One typed simulation event. Cycle stamps are simulation cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A phase began executing.
+    PhaseBegin {
+        /// Phase index within the program.
+        phase: u32,
+        /// Start cycle.
+        cycle: u64,
+    },
+    /// A phase finished executing.
+    PhaseEnd {
+        /// Phase index within the program.
+        phase: u32,
+        /// End cycle.
+        cycle: u64,
+    },
+    /// A periodic counter sample (aggregation window: see
+    /// [`crate::DEFAULT_SAMPLE_EVERY`]). `fires` and the per-class token
+    /// counts cover the window since the previous sample; the remaining
+    /// counters are cumulative at `cycle`.
+    Sample {
+        /// Sample cycle.
+        cycle: u64,
+        /// Threads injected so far.
+        injected: u64,
+        /// Threads retired so far.
+        retired: u64,
+        /// Calendar-queue events pending.
+        calendar: u64,
+        /// Operand sets queued at firing units.
+        ready: u64,
+        /// Outstanding memory operations.
+        outstanding: u64,
+        /// Occupied matching-store / eLDST ring slots.
+        ring_live: u64,
+        /// Node firings in this window.
+        fires: u64,
+        /// Direct-edge tokens in this window.
+        direct: u64,
+        /// Elevator tokens in this window.
+        elevator: u64,
+        /// eLDST tokens in this window.
+        eldst: u64,
+        /// Cumulative L1 fills.
+        l1_fills: u64,
+        /// Cumulative L2 fills.
+        l2_fills: u64,
+    },
+    /// A ring overflow into a spill map.
+    Spill {
+        /// Which store spilled.
+        kind: StoreKind,
+        /// Spill cycle.
+        cycle: u64,
+        /// The node whose store spilled.
+        node: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's cycle stamp.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::PhaseBegin { cycle, .. }
+            | TraceEvent::PhaseEnd { cycle, .. }
+            | TraceEvent::Sample { cycle, .. }
+            | TraceEvent::Spill { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s: drop-oldest on overflow, with a
+/// drop count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tracer {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    cap: usize,
+}
+
+impl Tracer {
+    /// A ring holding at most `capacity` events (0 disables recording —
+    /// every push is dropped and *not* counted, matching the
+    /// zero-overhead contract of a disabled handle).
+    #[must_use]
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+            cap: capacity,
+        }
+    }
+
+    /// Appends an event, overwriting (and counting) the oldest when
+    /// full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological (push) order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(&self.buf[..self.head])
+    }
+
+    /// Events retained in the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Oldest events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ring's capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::Spill {
+            kind: StoreKind::Match,
+            cycle,
+            node: 0,
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut t = Tracer::new(4);
+        for c in 0..7 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 3);
+        let cycles: Vec<u64> = t.events().map(TraceEvent::cycle).collect();
+        // Events 0..=2 were overwritten; the newest four remain, in order.
+        assert_eq!(cycles, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ring_wraps_repeatedly_without_losing_order() {
+        let mut t = Tracer::new(3);
+        for c in 0..10 {
+            t.push(ev(c));
+        }
+        let cycles: Vec<u64> = t.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_inert() {
+        let mut t = Tracer::new(0);
+        t.push(ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut t = Tracer::new(8);
+        for c in 0..5 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events().count(), 5);
+    }
+}

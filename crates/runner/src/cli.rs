@@ -91,6 +91,11 @@ pub const SHARED_FLAGS: &[Flag] = &[
         "live per-job progress on stderr (or DMT_PROGRESS=1)",
     ),
     Flag::switch("--smoke", "reduced suite, where the binary supports it"),
+    Flag::with_value(
+        "--trace",
+        "PATH",
+        "export a Chrome-trace JSON of the runs (or DMT_TRACE=1|PATH)",
+    ),
 ];
 
 /// The generated `--help` text: usage line, the shared registry, then
@@ -146,6 +151,8 @@ pub struct RunnerArgs {
     pub no_cache: bool,
     /// `--smoke`: reduced suite.
     pub smoke: bool,
+    /// `--trace PATH`: Chrome-trace destination.
+    pub trace: Option<PathBuf>,
     /// `--progress`: live stderr progress.
     pub progress: bool,
     /// `--help`/`-h`: print generated help and exit.
@@ -326,6 +333,13 @@ impl RunnerArgs {
                     out.cache = Some(parse_cache_dir(&s["--cache=".len()..])?);
                 }
                 "--no-cache" => out.no_cache = true,
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a path")?;
+                    out.trace = Some(PathBuf::from(v));
+                }
+                s if s.starts_with("--trace=") => {
+                    out.trace = Some(PathBuf::from(&s["--trace=".len()..]));
+                }
                 // A misspelled flag must not silently degrade the run
                 // (e.g. `--thread 8` quietly using all cores); only bare
                 // positionals pass through to the binary.
@@ -386,6 +400,37 @@ impl RunnerArgs {
                 eprintln!("error: cannot open cache directory {}: {e}", dir.display());
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// The effective Chrome-trace destination: `--trace PATH` wins, then
+    /// the `DMT_TRACE` environment variable — the historical tracing
+    /// switch, kept as an alias. An empty value, `1` or `true` selects
+    /// the default `artifacts/trace.json`; `0`/`false` disables; any
+    /// other value is the destination path.
+    #[must_use]
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        if let Some(p) = &self.trace {
+            return Some(p.clone());
+        }
+        match std::env::var("DMT_TRACE") {
+            Err(_) => None,
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") => None,
+            Ok(v) if v.is_empty() || v == "1" || v.eq_ignore_ascii_case("true") => {
+                Some(PathBuf::from("artifacts/trace.json"))
+            }
+            Ok(v) => Some(PathBuf::from(v)),
+        }
+    }
+
+    /// Exits with status 2 when `--trace` was passed to a binary that
+    /// does not export run traces (`DMT_TRACE` alone is ignored there,
+    /// like `DMT_CACHE` — an environment default must not break binaries
+    /// it cannot apply to).
+    pub fn forbid_trace(&self, binary: &str) {
+        if self.trace.is_some() {
+            eprintln!("error: {binary} does not support --trace (use fig11_speedup)");
+            std::process::exit(2);
         }
     }
 
@@ -533,6 +578,17 @@ mod tests {
         // An empty directory must not scatter entries into the cwd.
         assert!(RunnerArgs::parse(["--cache=".to_owned()].into_iter()).is_err());
         assert!(RunnerArgs::parse(["--cache".to_owned(), String::new()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses_and_wins_over_env() {
+        let a = parse(&["--trace", "artifacts/t.json"]);
+        assert_eq!(a.trace, Some(PathBuf::from("artifacts/t.json")));
+        assert_eq!(a.trace_path(), Some(PathBuf::from("artifacts/t.json")));
+        let a = parse(&["--trace=x.json"]);
+        assert_eq!(a.trace, Some(PathBuf::from("x.json")));
+        // No flag, no env (the test env does not set DMT_TRACE): off.
+        assert!(RunnerArgs::parse(["--trace".to_owned()]).is_err());
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //! memoized in the runner's content-addressed result
 //! [`Cache`](dmt_runner::Cache) — a
 //! duplicate `submit` is answered from disk without simulating, across
-//! restarts as well as within one process. The four verbs are `submit`,
-//! `status`, `result` and `drain`; see [`protocol`] for the wire shapes.
+//! restarts as well as within one process. The five verbs are `submit`,
+//! `status`, `result`, `metrics` and `drain`; see [`protocol`] for the
+//! wire shapes. `metrics` is the live observability surface: queue
+//! pressure, lifecycle totals, cache hit/miss/schema-invalidated
+//! counts, and per-verb request-latency histograms
+//! ([`dmt_obs::Histogram`], log2-bucketed microseconds); finished jobs
+//! also carry their executor wall-clock in `status` responses.
 //!
 //! Admission is bounded: at most `--queue-depth` jobs may be queued or
 //! running, and a `submit` that would exceed the bound is rejected whole

@@ -44,6 +44,7 @@ fn main() {
     args.forbid_json("dmt-serve");
     args.forbid_progress("dmt-serve");
     args.forbid_smoke("dmt-serve");
+    args.forbid_trace("dmt-serve");
     if args.no_cache {
         eprintln!("error: dmt-serve requires a result cache (it is the result store)");
         exit(2);

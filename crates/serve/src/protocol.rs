@@ -2,7 +2,7 @@
 //!
 //! Every request is one JSON object on one line with a `"verb"` field;
 //! every response is one compact JSON object on one line (see
-//! [`dmt_runner::artifact::Json::render_compact`]). The four verbs:
+//! [`dmt_runner::artifact::Json::render_compact`]). The five verbs:
 //!
 //! - `submit` — admit a job grid: `{"verb":"submit","jobs":[...]}` (or a
 //!   single `"job":{...}`). Each job object names a `"bench"` and an
@@ -13,6 +13,9 @@
 //!   `{"fabric.inflight_threads":512}`.
 //! - `status` — `{"verb":"status","job_hash":"<16 hex>"}`.
 //! - `result` — `{"verb":"result","job_hash":"<16 hex>"}`.
+//! - `metrics` — `{"verb":"metrics"}`: daemon counters — queue depth,
+//!   lifecycle totals, cache hit/miss/schema-invalidated counts, and
+//!   per-verb request-latency histograms.
 //! - `drain` — `{"verb":"drain"}`.
 //!
 //! Job hashes are the runner's content hash ([`JobSpec::job_hash`]),
@@ -33,8 +36,28 @@ pub enum Request {
     Status(u64),
     /// Serve one job's artifact JSON.
     Result(u64),
+    /// Report daemon-level counters and latency histograms.
+    Metrics,
     /// Stop accepting work, finish in-flight jobs, exit.
     Drain,
+}
+
+/// Wire verb names, in [`Request::verb_index`] order — the index into
+/// the per-verb latency histograms in [`crate::state::Inner`].
+pub const VERBS: [&str; 5] = ["submit", "status", "result", "metrics", "drain"];
+
+impl Request {
+    /// This request's index into [`VERBS`].
+    #[must_use]
+    pub fn verb_index(&self) -> usize {
+        match self {
+            Request::Submit(_) => 0,
+            Request::Status(_) => 1,
+            Request::Result(_) => 2,
+            Request::Metrics => 3,
+            Request::Drain => 4,
+        }
+    }
 }
 
 /// A job hash in wire form: 16 lowercase hex digits.
@@ -57,9 +80,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "submit" => parse_submit(&doc),
         "status" => Ok(Request::Status(parse_hash(&doc)?)),
         "result" => Ok(Request::Result(parse_hash(&doc)?)),
+        "metrics" => Ok(Request::Metrics),
         "drain" => Ok(Request::Drain),
         other => Err(format!(
-            "unknown verb {other:?} (expected submit, status, result or drain)"
+            "unknown verb {other:?} (expected submit, status, result, metrics or drain)"
         )),
     }
 }
@@ -163,6 +187,24 @@ mod tests {
         assert_eq!(a, Request::Status(0xdead_beef));
         assert_eq!(b, Request::Result(0xdead_beef));
         assert_eq!(hash_str(0xdead_beef), "00000000deadbeef");
+    }
+
+    #[test]
+    fn metrics_verb_parses_and_verb_indices_cover_the_table() {
+        assert_eq!(
+            parse_request(r#"{"verb":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        // Every variant's index names itself in the wire table.
+        for (req, name) in [
+            (Request::Submit(Vec::new()), "submit"),
+            (Request::Status(0), "status"),
+            (Request::Result(0), "result"),
+            (Request::Metrics, "metrics"),
+            (Request::Drain, "drain"),
+        ] {
+            assert_eq!(VERBS[req.verb_index()], name);
+        }
     }
 
     #[test]

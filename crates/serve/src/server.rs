@@ -195,7 +195,7 @@ fn run_one(shared: &Shared, spec: &JobSpec) -> JobOutcome {
     };
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| (shared.exec)(spec)));
-    let ms = start.elapsed().as_millis();
+    let ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
     match result {
         Ok(outcome) => {
             if let Err(e) = shared.cache.store(spec, &outcome) {
@@ -207,6 +207,7 @@ fn run_one(shared: &Shared, spec: &JobSpec) -> JobOutcome {
             let mut inner = shared.inner.lock().expect("state lock");
             if let Some(entry) = inner.jobs.get_mut(&hash) {
                 entry.state = JobState::Done;
+                entry.wall_ms = Some(ms);
             }
             inner.outstanding = inner.outstanding.saturating_sub(1);
             inner.done += 1;
@@ -223,6 +224,7 @@ fn run_one(shared: &Shared, spec: &JobSpec) -> JobOutcome {
             if let Some(entry) = inner.jobs.get_mut(&hash) {
                 entry.state = JobState::Failed;
                 entry.error = Some(msg.clone());
+                entry.wall_ms = Some(ms);
             }
             inner.outstanding = inner.outstanding.saturating_sub(1);
             inner.failed += 1;
@@ -272,8 +274,15 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Parses and dispatches one request line, recording its wall-clock
+/// into the matching per-verb latency histogram (microseconds). Lines
+/// that fail to parse have no verb to attribute and count as
+/// `bad_requests`.
 fn respond(shared: &Shared, line: &str) -> Json {
-    match parse_request(line) {
+    let start = Instant::now();
+    let parsed = parse_request(line);
+    let verb = parsed.as_ref().ok().map(Request::verb_index);
+    let doc = match parsed {
         Err(e) => {
             eprintln!("[dmt-serve] request error: {e}");
             Json::obj().with("ok", false).with("error", e)
@@ -281,8 +290,70 @@ fn respond(shared: &Shared, line: &str) -> Json {
         Ok(Request::Submit(specs)) => submit(shared, specs),
         Ok(Request::Status(hash)) => status(shared, hash),
         Ok(Request::Result(hash)) => result(shared, hash),
+        Ok(Request::Metrics) => metrics(shared),
         Ok(Request::Drain) => drain(shared),
+    };
+    let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut inner = shared.inner.lock().expect("state lock");
+    match verb {
+        Some(ix) => inner.latency[ix].record(us),
+        None => inner.bad_requests += 1,
     }
+    doc
+}
+
+/// The `metrics` response: a point-in-time snapshot of queue pressure,
+/// job lifecycle totals, cache effectiveness and request latencies.
+/// The snapshot is taken under one lock hold, so the queue numbers are
+/// mutually consistent; the reporting `metrics` request itself is only
+/// recorded after the snapshot (its own latency shows up next call).
+fn metrics(shared: &Shared) -> Json {
+    let cache = shared.cache.stats();
+    let inner = shared.inner.lock().expect("state lock");
+    let (mut queued, mut running) = (0u64, 0u64);
+    for entry in inner.jobs.values() {
+        match entry.state {
+            JobState::Queued => queued += 1,
+            JobState::Running => running += 1,
+            JobState::Done | JobState::Failed => {}
+        }
+    }
+    let mut latency = Json::obj();
+    for (name, hist) in protocol::VERBS.iter().zip(&inner.latency) {
+        latency = latency.with(name, hist.to_json());
+    }
+    Json::obj()
+        .with("ok", true)
+        .with(
+            "queue",
+            Json::obj()
+                .with("queued", queued)
+                .with("running", running)
+                .with("outstanding", inner.outstanding as u64)
+                .with("depth", shared.opts.queue_depth as u64)
+                .with("draining", inner.draining),
+        )
+        .with(
+            "jobs",
+            Json::obj()
+                .with("known", inner.jobs.len() as u64)
+                .with("done", inner.done)
+                .with("failed", inner.failed),
+        )
+        .with(
+            "cache",
+            Json::obj()
+                .with("hits", cache.hits)
+                .with("misses", cache.misses)
+                .with("stores", cache.stores)
+                .with("schema_invalidated", cache.schema_invalidated),
+        )
+        .with(
+            "requests",
+            Json::obj()
+                .with("bad", inner.bad_requests)
+                .with("latency_us", latency),
+        )
 }
 
 /// Admission. The whole request is examined under one lock hold:
@@ -388,6 +459,7 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
                         state: JobState::Done,
                         attempts: 0,
                         error: None,
+                        wall_ms: None,
                     },
                 );
                 doc.with("state", "done").with("cached", true)
@@ -400,6 +472,7 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
                         state: JobState::Queued,
                         attempts: 0,
                         error: None,
+                        wall_ms: None,
                     },
                 );
                 inner.queue.push(hash);
@@ -432,6 +505,9 @@ fn status(shared: &Shared, hash: u64) -> Json {
                 .with("job_hash", key)
                 .with("state", entry.state.name())
                 .with("attempts", u64::from(entry.attempts));
+            if let Some(ms) = entry.wall_ms {
+                doc = doc.with("wall_ms", ms);
+            }
             if let Some(e) = &entry.error {
                 doc = doc.with("error", e.clone());
             }

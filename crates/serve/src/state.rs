@@ -4,6 +4,7 @@
 //! [`crate::server`]); the cache on disk is the durable half — this
 //! table only tracks the current process's view.
 
+use dmt_obs::Histogram;
 use dmt_runner::JobSpec;
 use std::collections::HashMap;
 
@@ -45,6 +46,9 @@ pub struct JobEntry {
     pub attempts: u32,
     /// The failure message, when `state` is [`JobState::Failed`].
     pub error: Option<String>,
+    /// Executor wall-clock of the last attempt, once one has finished
+    /// (`None` while queued/running and for cache hits).
+    pub wall_ms: Option<u64>,
 }
 
 /// The mutable server state, guarded by the server's mutex.
@@ -64,4 +68,9 @@ pub struct Inner {
     pub done: u64,
     /// Jobs whose executor panicked.
     pub failed: u64,
+    /// Per-verb request-latency histograms (microseconds), indexed by
+    /// [`crate::protocol::Request::verb_index`].
+    pub latency: [Histogram; crate::protocol::VERBS.len()],
+    /// Request lines that failed to parse (no verb to attribute).
+    pub bad_requests: u64,
 }

@@ -11,7 +11,11 @@
 //! 4. the admission bound rejects whole requests with the configured
 //!    `retry_after_ms` hint, and admits again once the queue drains;
 //! 5. malformed requests get `{"ok":false}` answers with context, and
-//!    never wedge the connection.
+//!    never wedge the connection;
+//! 6. `metrics` tracks the daemon's life faithfully: queue and
+//!    lifecycle totals move across submit → duplicate submit → drain,
+//!    cache counters match the executions, per-verb latency histograms
+//!    count every request, and finished jobs report `wall_ms`.
 
 use dmt_runner::artifact::Json;
 use dmt_runner::JobOutcome;
@@ -322,6 +326,106 @@ fn full_queue_rejects_whole_requests_with_retry_hint() {
     }
     c.req(r#"{"verb":"drain"}"#);
     assert_eq!(handle.join().unwrap().done, 3);
+}
+
+#[test]
+fn metrics_track_submit_duplicate_and_drain() {
+    let dir = scratch("metrics");
+    let count = Arc::new(AtomicUsize::new(0));
+    let (addr, handle) = boot(&dir, ServeOptions::default(), counting_exec(&count));
+    let mut c = Client::connect(addr);
+
+    // Helper views into the nested response.
+    let num = |doc: &Json, path: [&str; 2]| {
+        doc.get(path[0])
+            .and_then(|s| s.get(path[1]))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing {path:?} in {doc:?}"))
+    };
+    let verb_count = |doc: &Json, verb: &str| {
+        doc.get("requests")
+            .and_then(|r| r.get("latency_us"))
+            .and_then(|l| l.get(verb))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing latency for {verb} in {doc:?}"))
+    };
+
+    // Fresh daemon: everything zero; all five verbs present. The
+    // metrics request itself is recorded after its snapshot, so its
+    // own histogram still reads 0 here.
+    let fresh = c.req(r#"{"verb":"metrics"}"#);
+    assert!(ok(&fresh));
+    for path in [
+        ["queue", "queued"],
+        ["queue", "running"],
+        ["queue", "outstanding"],
+        ["jobs", "known"],
+        ["jobs", "done"],
+        ["jobs", "failed"],
+        ["cache", "hits"],
+        ["cache", "stores"],
+        ["requests", "bad"],
+    ] {
+        assert_eq!(num(&fresh, path), 0, "{path:?} on a fresh daemon");
+    }
+    for verb in ["submit", "status", "result", "metrics", "drain"] {
+        assert_eq!(verb_count(&fresh, verb), 0, "{verb} count on fresh daemon");
+    }
+    assert_eq!(num(&fresh, ["queue", "depth"]), 256);
+
+    // Two real admissions: both were cache misses at classification,
+    // both executed and stored.
+    let grid = r#"{"verb":"submit","jobs":[{"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"mt_cgra"}]}"#;
+    let first = c.req(grid);
+    assert!(ok(&first));
+    let hs = hashes(&first);
+    for h in &hs {
+        c.wait_done(h);
+    }
+    let after = c.req(r#"{"verb":"metrics"}"#);
+    assert_eq!(num(&after, ["jobs", "known"]), 2);
+    assert_eq!(num(&after, ["jobs", "done"]), 2);
+    assert_eq!(num(&after, ["jobs", "failed"]), 0);
+    assert_eq!(num(&after, ["queue", "outstanding"]), 0);
+    assert_eq!(num(&after, ["cache", "misses"]), 2);
+    assert_eq!(num(&after, ["cache", "stores"]), 2);
+    assert_eq!(num(&after, ["cache", "hits"]), 0);
+    assert_eq!(verb_count(&after, "metrics"), 1, "the fresh-daemon call");
+    assert!(verb_count(&after, "status") >= 2, "wait_done polls status");
+
+    // Finished jobs report their executor wall-clock in status.
+    let status = c.req(&format!(r#"{{"verb":"status","job_hash":"{}"}}"#, hs[0]));
+    assert!(
+        status.get("wall_ms").and_then(Json::as_u64).is_some(),
+        "done jobs carry wall_ms: {status:?}"
+    );
+
+    // A duplicate submit touches neither the executor nor the cache
+    // counters — only the submit histogram moves.
+    let dup = c.req(grid);
+    assert!(ok(&dup));
+    let after_dup = c.req(r#"{"verb":"metrics"}"#);
+    assert_eq!(count.load(Ordering::SeqCst), 2, "duplicates never execute");
+    assert_eq!(num(&after_dup, ["jobs", "known"]), 2);
+    assert_eq!(num(&after_dup, ["cache", "misses"]), 2);
+    assert_eq!(verb_count(&after_dup, "submit"), 2);
+
+    // Malformed lines are counted, not attributed to any verb.
+    let bad = c.req("{");
+    assert!(!ok(&bad));
+    let after_bad = c.req(r#"{"verb":"metrics"}"#);
+    assert_eq!(num(&after_bad, ["requests", "bad"]), 1);
+
+    // Drain flips the flag; the lingering connection still reports.
+    c.req(r#"{"verb":"drain"}"#);
+    let drained = c.req(r#"{"verb":"metrics"}"#);
+    assert_eq!(
+        drained.get("queue").and_then(|q| q.get("draining")),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(verb_count(&drained, "drain"), 1);
+    assert_eq!(handle.join().unwrap(), ServeSummary { done: 2, failed: 0 });
 }
 
 #[test]

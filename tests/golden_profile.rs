@@ -1,0 +1,81 @@
+//! Golden-output test locking the hot-spot profiler's measurements.
+//!
+//! The fixture pins the `profile_hotspots` report for the smoke suite —
+//! per-job token totals by edge class, spill counts, calendar marks,
+//! ring-occupancy maxima and the top-K node/edge rankings. The profile
+//! is derived purely from simulated events, so any drift is an
+//! instrumentation or simulation-semantics change, never noise. The
+//! companion test pins the thread-invariance contract: observations
+//! merge by job index, so the report and the artifact's `jobs` array
+//! are byte-identical for any worker count.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! DMT_UPDATE_GOLDEN=1 cargo test --test golden_profile
+//! git diff tests/fixtures/   # review: only intended fields may move
+//! ```
+
+use dmt_bench::{profile_artifact, profile_report, run_jobs_observed, suite_jobs, SEED};
+use dmt_core::SystemConfig;
+
+/// The smoke suite (first three benchmarks × all machines) under the
+/// profiler, on `threads` workers.
+fn profiled(threads: usize) -> (dmt_bench::SuiteRun, Vec<dmt_obs::Obs>) {
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+    run_jobs_observed(jobs, SEED, threads, false, true)
+}
+
+/// With `DMT_UPDATE_GOLDEN=1`, rewrites the fixture instead of comparing
+/// (the test then trivially passes; review the diff before committing).
+fn check_or_update(got: &str, want: &str, fixture: &str) {
+    if std::env::var_os("DMT_UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(fixture);
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    assert!(
+        got == want,
+        "profile output drifted from the golden fixture {fixture} \
+         (DMT_UPDATE_GOLDEN=1 regenerates after intentional changes)\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}
+
+#[test]
+fn smoke_profile_report_is_byte_identical_to_fixture() {
+    let (run, observations) = profiled(1);
+    let got = profile_report(&run, &observations, 3);
+    check_or_update(
+        &got,
+        include_str!("fixtures/smoke_profile.golden.txt"),
+        "smoke_profile.golden.txt",
+    );
+}
+
+#[test]
+fn profile_is_byte_identical_across_thread_counts() {
+    let (run1, obs1) = profiled(1);
+    let (run4, obs4) = profiled(4);
+    assert_eq!(
+        profile_report(&run1, &obs1, 10),
+        profile_report(&run4, &obs4, 10),
+        "thread count changed the profile report"
+    );
+    // The artifact's deterministic half must match too; only the
+    // volatile "meta" block (threads, wall time) may differ.
+    let jobs = |run, obs: &[_]| {
+        profile_artifact(run, obs, 10)
+            .get("jobs")
+            .expect("jobs array")
+            .render()
+    };
+    assert_eq!(
+        jobs(&run1, &obs1),
+        jobs(&run4, &obs4),
+        "thread count changed the profile artifact"
+    );
+}
