@@ -1,7 +1,7 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke perf-smoke profile-smoke perf-full serve-smoke clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke arch-gate profile-smoke perf-full proptest-deep serve-smoke clean
 
 all: build test lint bench-smoke perf-smoke profile-smoke serve-smoke
 
@@ -49,6 +49,16 @@ perf-smoke:
 		--json artifacts/BENCH_hotpath.json
 	python3 ci/overhead_gate.py artifacts/BENCH_hotpath.json
 
+# CI step: arch-gate — fresh hotpath measurement, then the per-arch
+# throughput gate: MT-CGRA sim-cycles/sec must stay within 5% of the
+# previous run's artifact (CI persists it as baseline-hotpath.json; the
+# first run skips cleanly). Mirrors the bench-artifact job's step.
+arch-gate:
+	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
+		--json artifacts/BENCH_hotpath.json
+	python3 ci/arch_gate.py artifacts/BENCH_hotpath.json \
+		--baseline artifacts/trajectory/baseline-hotpath.json
+
 # CI step: profile-smoke — the hot-spot profile of the smoke suite
 # (byte-identical for any --threads N; locked by tests/golden_profile.rs).
 profile-smoke:
@@ -62,6 +72,15 @@ profile-smoke:
 perf-full:
 	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
 		--full --json artifacts/BENCH_hotpath_full.json
+
+# CI job (scheduled): proptest-deep — the differential property suites
+# at 16x the push-path case count. DMT_PROPTEST_CASES overrides every
+# suite's configured count; the vendored proptest scales its rejection
+# budget to match. Override locally: make proptest-deep DEEP_CASES=512.
+DEEP_CASES ?= 2048
+proptest-deep:
+	DMT_PROPTEST_CASES=$(DEEP_CASES) cargo test -q --locked \
+		--test properties --test token_storm
 
 # CI job: serve-smoke — boot the daemon, race 4 clients through the
 # smoke grid over TCP, assert byte-identical results, memoized

@@ -14,8 +14,11 @@ comparable job-by-job. Creates the trajectory on first use.
 
 With ``--hotpath``, the entry additionally records the simulator
 wall-clock measurement from ``bench_hotpath`` (sim-cycles/sec and the
-speedup over the vendored pre-overhaul baseline). This is informational
-— wall time depends on the runner host — and never gates the job;
+speedup over the vendored pre-overhaul baseline, plus — from schema-v2
+hotpath artifacts — per-architecture sim-cycles/sec and the MT-CGRA/SM
+throughput ratio, the history ``ci/arch_gate.py`` gates against from
+this push forward). This is informational — wall time depends on the
+runner host — and never gates the trajectory append itself;
 ``bench_regress.py`` gates on deterministic cycles only.
 """
 
@@ -78,6 +81,17 @@ def main():
                 "sim_cycles_per_sec": total.get("sim_cycles_per_sec"),
                 "speedup_vs_baseline": total.get("speedup_vs_baseline"),
             }
+            # Schema-v2 hotpath artifacts: per-arch throughput history
+            # (v1 rows in the same series simply lack the keys).
+            archs = doc.get("archs")
+            if isinstance(archs, dict):
+                hotpath["archs"] = {
+                    name: rec.get("sim_cycles_per_sec")
+                    for name, rec in archs.items()
+                    if isinstance(rec, dict)
+                }
+            if isinstance(doc.get("mt_vs_sm_slowdown"), (int, float)):
+                hotpath["mt_vs_sm_slowdown"] = doc["mt_vs_sm_slowdown"]
         except (OSError, json.JSONDecodeError) as e:
             # Informational only: a missing/corrupt hotpath record must not
             # fail the trajectory append.

@@ -11,7 +11,11 @@ across history. Cells are annotated with the delta against the previous
 push (``▲`` regression / ``▼`` improvement) when the job's
 ``config_hash`` is unchanged, so only like-for-like changes are marked.
 A trailing column shows the informational ``hotpath`` simulator
-throughput (sim-cycles/sec) when the entry recorded one.
+throughput (sim-cycles/sec) when the entry recorded one, and a final
+``MT/SM`` column the MT-CGRA-over-Fermi-SM throughput ratio (how many
+times slower the MT-CGRA engine simulates than the SM engine on the
+same smoke work — the series the edge-batching work drives down;
+entries recorded before the per-arch block render ``-``).
 
 Entries recorded from schema-v2 artifacts carry a per-job ``phases``
 count and a ``phase_cycles`` vector; multi-phase cells are annotated
@@ -85,7 +89,7 @@ def phase_rows(entry, columns):
             else "-"
             for k in columns
         ]
-        rows.append(f"| ↳ phase {p} | " + " | ".join(cells) + " | - |")
+        rows.append(f"| ↳ phase {p} | " + " | ".join(cells) + " | - | - |")
     return rows
 
 
@@ -99,6 +103,15 @@ def fmt_hotpath(entry):
     if speedup is not None:
         cell += f" ({speedup:.2f}x)"
     return cell
+
+
+def fmt_mt_over_sm(entry):
+    """MT-CGRA/SM throughput ratio cell ('-' for pre-per-arch entries)."""
+    h = entry.get("hotpath") or {}
+    ratio = h.get("mt_vs_sm_slowdown")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        return "-"
+    return f"{ratio:.2f}x"
 
 
 def render(trajectory, last):
@@ -117,8 +130,8 @@ def render(trajectory, last):
         "",
         "| push | "
         + " | ".join(f"{b}/{a}" for b, a in columns)
-        + " | hotpath [cyc/s] |",
-        "|---" * (len(columns) + 2) + "|",
+        + " | hotpath [cyc/s] | MT/SM |",
+        "|---" * (len(columns) + 3) + "|",
     ]
     prev_by_key = {}
     for e in entries:
@@ -129,7 +142,9 @@ def render(trajectory, last):
         ]
         sha = str(e.get("sha", "?"))[:10]
         lines.append(
-            f"| `{sha}` | " + " | ".join(cells) + f" | {fmt_hotpath(e)} |"
+            f"| `{sha}` | "
+            + " | ".join(cells)
+            + f" | {fmt_hotpath(e)} | {fmt_mt_over_sm(e)} |"
         )
         lines.extend(phase_rows(e, columns))
         prev_by_key = by_key
@@ -138,7 +153,10 @@ def render(trajectory, last):
         "Cycle deltas are marked only at identical `config_hash`; "
         "`·Np` marks multi-phase jobs and `↳ phase k` rows break their "
         "cycles down per phase (schema-v2 entries); "
-        "`hotpath` is host-dependent simulator throughput (informational)."
+        "`hotpath` is host-dependent simulator throughput (informational); "
+        "`MT/SM` is how many times slower the MT-CGRA engine simulates "
+        "than the Fermi-SM engine on the smoke work (gated push-over-push "
+        "by `ci/arch_gate.py`)."
     )
     return "\n".join(lines) + "\n"
 

@@ -12,7 +12,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "kind": "bench_hotpath",
 //!   "iters": 3,
 //!   "baseline": { ... the vendored pre-overhaul measurement ... },
@@ -22,9 +22,22 @@
 //!     "sim_cycles_per_sec": ...,
 //!     "speedup_vs_baseline": ...  // baseline.wall_us / total.wall_us
 //!   },
+//!   "archs": {                   // smoke-scope per-arch aggregates
+//!     "fermi_sm":  {"sim_cycles": ..., "wall_us": ..., "sim_cycles_per_sec": ...},
+//!     "mt_cgra":   { ... },
+//!     "dmt_cgra":  { ... }
+//!   },
+//!   "mt_vs_sm_slowdown": ...,    // fermi_sm cyc/s ÷ mt_cgra cyc/s
 //!   "jobs": [ {"bench", "arch", "cycles", "wall_us", "sim_cycles_per_sec"}, ... ]
 //! }
 //! ```
+//!
+//! Schema v2 added the `archs` block and the `mt_vs_sm_slowdown` ratio
+//! (every v1 field unchanged): per-architecture sim-throughput over the
+//! smoke per-job set, the series `ci/arch_gate.py` gates on and
+//! `ci/trajectory.py` records push over push. Like `total`, the block
+//! keeps the smoke scope even under `--full` so history stays
+//! like-for-like.
 //!
 //! The baseline block is the pre-rewrite engine measured on the same
 //! suite (`crates/bench/baselines/hotpath_serial.json`); the recorded
@@ -109,9 +122,12 @@ fn main() {
     // — the smoke trio by default, the full Table 3 suite with --full.
     let take = if args.full { usize::MAX } else { SMOKE_BENCHES };
     let mut jobs = Vec::new();
-    for b in suite::all().into_iter().take(take) {
+    // Per-arch smoke-scope aggregates (cycles, wall) in Arch::ALL order.
+    let mut arch_cycles = [0u64; Arch::ALL.len()];
+    let mut arch_us = [0u64; Arch::ALL.len()];
+    for (bi, b) in suite::all().into_iter().take(take).enumerate() {
         let name = b.info().name;
-        for arch in Arch::ALL {
+        for (ai, arch) in Arch::ALL.into_iter().enumerate() {
             let mut best_us = u64::MAX;
             let mut cycles = 0u64;
             for _ in 0..args.iters {
@@ -125,6 +141,12 @@ fn main() {
                 "{name:>12} {arch:<8} {cycles:>8} cycles in {best_us:>7} us ({:>10.0} cyc/s)",
                 cps(cycles, best_us)
             );
+            // The aggregates keep the smoke scope even under --full, like
+            // the headline total, so the gated series is like-for-like.
+            if bi < SMOKE_BENCHES {
+                arch_cycles[ai] += cycles;
+                arch_us[ai] += best_us;
+            }
             jobs.push(
                 Json::obj()
                     .with("bench", name)
@@ -135,6 +157,25 @@ fn main() {
             );
         }
     }
+
+    let mut archs = Json::obj();
+    for (ai, arch) in Arch::ALL.into_iter().enumerate() {
+        archs = archs.with(
+            arch.key(),
+            Json::obj()
+                .with("sim_cycles", arch_cycles[ai])
+                .with("wall_us", arch_us[ai])
+                .with("sim_cycles_per_sec", cps(arch_cycles[ai], arch_us[ai])),
+        );
+    }
+    let sm_cps = cps(arch_cycles[0], arch_us[0]);
+    let mt_cps = cps(arch_cycles[1], arch_us[1]);
+    let mt_vs_sm = if mt_cps > 0.0 { sm_cps / mt_cps } else { 0.0 };
+    println!(
+        "per-arch smoke throughput: SM {sm_cps:.0} cyc/s, MT-CGRA {mt_cps:.0} cyc/s \
+         ({mt_vs_sm:.2}x slower), dMT-CGRA {:.0} cyc/s",
+        cps(arch_cycles[2], arch_us[2])
+    );
 
     // The headline quantity: the whole smoke suite, serially, in-process —
     // the same work `fig11_speedup --smoke --threads 1` performs. This
@@ -160,7 +201,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .with("schema_version", 1u64)
+        .with("schema_version", 2u64)
         .with("generator", "bench_hotpath")
         .with("kind", "bench_hotpath")
         .with("iters", u64::from(args.iters))
@@ -174,6 +215,8 @@ fn main() {
                 .with("sim_cycles_per_sec", cps(total_cycles, total_us))
                 .with("speedup_vs_baseline", speedup),
         )
+        .with("archs", archs)
+        .with("mt_vs_sm_slowdown", mt_vs_sm)
         .with("jobs", Json::Arr(jobs));
     write_json_logged(&args.json, &doc);
 }

@@ -199,6 +199,23 @@ impl<T> CalendarQueue<T> {
         item
     }
 
+    /// Drains every event due at the current cycle (set via
+    /// [`CalendarQueue::advance`]) into `out`, preserving FIFO order —
+    /// equivalent to popping [`CalendarQueue::pop_due`] until `None`,
+    /// but with one occupancy-bitmap update for the whole bucket. Added
+    /// for the fabric engine's batched delivery pass, which collects a
+    /// cycle's entries before dispatching them.
+    pub fn drain_due_into(&mut self, out: &mut Vec<T>) {
+        let slot = Self::slot_of(self.now);
+        if self.occupied[slot / 64] & (1 << (slot % 64)) == 0 {
+            return;
+        }
+        let bucket = &mut self.wheel[slot];
+        self.len -= bucket.len();
+        out.extend(bucket.drain(..));
+        self.unmark(slot);
+    }
+
     /// The cycle of the earliest pending event, or `None` when empty.
     /// Used by the engines to jump over idle gaps.
     #[must_use]
@@ -336,6 +353,28 @@ mod tests {
         q.advance(700);
         let _ = q.pop_due();
         assert_eq!(q.next_time(), Some(900));
+    }
+
+    #[test]
+    fn drain_due_matches_repeated_pops() {
+        let mut q = CalendarQueue::new();
+        let t = WHEEL_HORIZON + 7;
+        q.schedule(t, 1u32); // overflows, drains back first
+        q.schedule(3, 2u32);
+        q.schedule(3, 3u32);
+        q.advance(3);
+        let mut out = Vec::new();
+        q.drain_due_into(&mut out);
+        assert_eq!(out, vec![2, 3]);
+        assert_eq!(q.len(), 1);
+        q.drain_due_into(&mut out); // empty bucket: no-op
+        assert_eq!(out.len(), 2);
+        q.advance(t);
+        q.schedule(t + 1, 4u32);
+        q.drain_due_into(&mut out);
+        assert_eq!(out, vec![2, 3, 1]);
+        assert_eq!(q.next_time(), Some(t + 1));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -44,6 +44,35 @@
 //!   cycle, a bitmask tracks nodes with complete operand sets; firing
 //!   iterates set bits in ascending node order (the same order the full
 //!   scan used), so drained nodes cost nothing.
+//! * **Edge-batched token delivery.** On highly replicated graphs a
+//!   firing node's fan-out does not schedule one calendar event per
+//!   token: all tokens crossing the same `(edge, arrival cycle)` coalesce
+//!   into one calendar entry carrying an SoA payload (parallel
+//!   seq/tid/value arrays, pooled in the [`StoreArena`] like the rings
+//!   above), so a replicated graph pays the calendar once per edge per
+//!   cycle instead of once per thread. Delivery preserves the **per-edge
+//!   FIFO invariant**: every logical event is stamped with its global
+//!   schedule sequence number, a batch's payload is appended in schedule
+//!   order (strictly ascending seq), and at delivery each node's due
+//!   in-edge batches are merged back into ascending-seq order — so every
+//!   matching store observes its tokens in exactly the order the
+//!   per-token engine delivered them, and operand sets complete (and
+//!   fire) in the same order. Deliveries to *different* nodes touch
+//!   disjoint matching-store state and commute, which is why the
+//!   per-node merge is sufficient for byte-identical results;
+//!   bookkeeping events (releases, sink completions, the eLDST
+//!   offer/produce hops) stay per-token and are processed in schedule
+//!   order among themselves. A batch holds at most `R` tokens (a node
+//!   fires ≤ R ops per cycle and an edge's hop delay is fixed), so
+//!   coalescing only amortizes its slab/merge overhead past a
+//!   replication threshold ([`BATCH_MIN_REPLICATION`]); below it the
+//!   engine delivers per token — the same mechanism, batch length 1 —
+//!   which the bucket-wheel calendar already makes cheap. Both paths are
+//!   forceable (`DMT_BATCHED_DELIVERY=1` / `DMT_UNBATCHED_DELIVERY=1`,
+//!   [`FabricMachine::with_batched_delivery`] /
+//!   [`FabricMachine::with_unbatched_delivery`]) and differentially
+//!   tested cycle- and byte-identical against each other
+//!   (`tests/properties.rs`, `tests/token_storm.rs`).
 //!
 //! Ring allocations are pooled per launch ([`StoreArena`]): a multi-phase
 //! kernel re-initializes the previous phase's buffers instead of paying an
@@ -75,6 +104,29 @@ pub struct FabricRunResult {
     pub stats: RunStats,
 }
 
+/// Minimum program replication at which edge batching is engaged by
+/// default. A batch carries at most `R` tokens (one fire per replica per
+/// cycle, fixed per-edge hop delay), while its fixed overhead — slab
+/// alloc/free, a calendar entry, the per-cycle grouping sort, and the
+/// per-node seq merge — is roughly an order of magnitude more than one
+/// bucket-wheel push. Measured on the smoke suite, batching loses ~10%
+/// at R = 3–5 and wins clearly from R ≈ 8 up; below the threshold the
+/// per-token path (identical results) is used.
+pub const BATCH_MIN_REPLICATION: u32 = 8;
+
+/// How tokens are scheduled for delivery (see the module docs; results
+/// are byte-identical in every mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum DeliveryMode {
+    /// Batch when `replication ≥ BATCH_MIN_REPLICATION`, else per token.
+    #[default]
+    Auto,
+    /// Always coalesce per-edge batches.
+    Batched,
+    /// Always schedule one calendar event per token (reference path).
+    Unbatched,
+}
+
 /// The CGRA core simulator. Construct once per configuration and run
 /// compiled programs on it.
 ///
@@ -85,14 +137,53 @@ pub struct FabricRunResult {
 #[derive(Debug, Clone)]
 pub struct FabricMachine {
     cfg: SystemConfig,
+    delivery: DeliveryMode,
 }
 
 impl FabricMachine {
     /// Creates a machine with the given configuration (Table 2 defaults via
     /// `SystemConfig::default()`).
+    ///
+    /// Delivery defaults to the profitability-gated automatic mode;
+    /// `DMT_BATCHED_DELIVERY=1` / `DMT_UNBATCHED_DELIVERY=1` force one
+    /// path (the batched flag wins if both are set).
     #[must_use]
     pub fn new(cfg: SystemConfig) -> FabricMachine {
-        FabricMachine { cfg }
+        let delivery = if env_flag("DMT_BATCHED_DELIVERY") {
+            DeliveryMode::Batched
+        } else if env_flag("DMT_UNBATCHED_DELIVERY") {
+            DeliveryMode::Unbatched
+        } else {
+            DeliveryMode::Auto
+        };
+        FabricMachine { cfg, delivery }
+    }
+
+    /// A machine that schedules one calendar event per token instead of
+    /// coalescing per-edge batches — the reference delivery path the
+    /// batched engine is differentially tested against (also reachable
+    /// via `DMT_UNBATCHED_DELIVERY=1`). Outputs, statistics and cycle
+    /// counts are identical to [`FabricMachine::new`]; only simulator
+    /// wall-clock differs.
+    #[must_use]
+    pub fn with_unbatched_delivery(cfg: SystemConfig) -> FabricMachine {
+        FabricMachine {
+            cfg,
+            delivery: DeliveryMode::Unbatched,
+        }
+    }
+
+    /// A machine that always coalesces per-edge batches, regardless of
+    /// the program's replication (also reachable via
+    /// `DMT_BATCHED_DELIVERY=1`). Outputs, statistics and cycle counts
+    /// are identical to [`FabricMachine::new`]; only simulator
+    /// wall-clock differs.
+    #[must_use]
+    pub fn with_batched_delivery(cfg: SystemConfig) -> FabricMachine {
+        FabricMachine {
+            cfg,
+            delivery: DeliveryMode::Batched,
+        }
     }
 
     /// The machine's configuration.
@@ -177,6 +268,7 @@ impl FabricMachine {
                 program.grid_blocks,
                 &mut arena,
                 obs,
+                self.delivery,
             );
             now = exec.run(
                 &mut global,
@@ -199,6 +291,12 @@ impl FabricMachine {
             stats: RunStats::from_phases(per_phase),
         })
     }
+}
+
+/// True when the environment variable `name` is set to something other
+/// than `""`, `"0"` or `"false"`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
 }
 
 /// The run's cumulative counters at one instant: everything accumulated in
@@ -232,6 +330,9 @@ fn cumulative_snapshot(
 struct StoreArena {
     match_rings: Vec<Vec<MatchSlot>>,
     eldst_rings: Vec<Vec<EldstSlot>>,
+    /// Cleared [`TokenBatch`]es with retained payload capacity, recycled
+    /// across phases exactly like the rings.
+    token_batches: Vec<TokenBatch>,
 }
 
 impl StoreArena {
@@ -273,6 +374,72 @@ enum Ev {
     Release { node: NodeId },
     /// A sink operation of `tid` completed.
     SinkDone { tid: u32 },
+    /// A coalesced per-`(edge, cycle)` token batch is due: index into
+    /// `PhaseExec::batches` (batched delivery only; never scheduled on
+    /// the per-token reference path). Folding the reference into [`Ev`]
+    /// keeps calendar entries at the per-token engine's 16 bytes.
+    Batch { batch: u32 },
+}
+
+/// All tokens crossing one `(edge, arrival cycle)`, coalesced into a
+/// single calendar entry with an SoA payload. `seqs` is strictly
+/// ascending: tokens are appended in schedule order, which is what the
+/// delivery merge relies on (see the module docs).
+#[derive(Debug, Default)]
+struct TokenBatch {
+    /// Destination node of the edge.
+    node: u32,
+    /// Destination operand port of the edge.
+    port: u8,
+    seqs: Vec<u64>,
+    tids: Vec<u32>,
+    vals: Vec<Word>,
+}
+
+impl TokenBatch {
+    fn clear(&mut self) {
+        self.seqs.clear();
+        self.tids.clear();
+        self.vals.clear();
+    }
+}
+
+/// One CSR out-edge: destination node/port and the precomputed arrival
+/// delta (`noc_hop_latency · hops`) added to a producer's result cycle.
+#[derive(Debug, Clone, Copy)]
+struct EdgeOut {
+    node: u32,
+    port: u8,
+    delta: u64,
+}
+
+/// Per-edge coalescing state: the batch currently accepting tokens for
+/// the edge, valid only while `cycle` is still in the future. A consumed
+/// batch's entry goes stale harmlessly — its `cycle` is in the past and
+/// new arrivals always land at `now + 1` or later, so it can never match.
+#[derive(Debug, Clone, Copy)]
+struct OpenBatch {
+    cycle: u64,
+    batch: u32,
+}
+
+impl OpenBatch {
+    const CLOSED: OpenBatch = OpenBatch {
+        cycle: u64::MAX,
+        batch: 0,
+    };
+}
+
+/// A due batch's delivery cursor for one cycle's merge pass; the payload
+/// stays in the slab and is read in place. `node` and `seq0` (the head
+/// token's seq) are copied out at drain time so the grouping sort never
+/// chases into the slab.
+#[derive(Debug, Clone, Copy)]
+struct DueCursor {
+    id: u32,
+    pos: u32,
+    node: u32,
+    seq0: u64,
 }
 
 /// Tag marking a matching-store or eLDST ring slot as free.
@@ -364,6 +531,37 @@ struct PhaseExec<'a> {
     /// `ring_size − 1` for the power-of-two matching-store rings.
     ring_mask: u32,
     events: CalendarQueue<Ev>,
+    /// Global schedule sequence: one increment per *logical* event (each
+    /// token and each bookkeeping event), batched or not. Doubles as the
+    /// scheduled-event total the profile reports.
+    seq: u64,
+    /// Logical events handled so far; `seq − handled` is the pending
+    /// logical depth the cycle samples report (token-denominated, so
+    /// batching is invisible to the observability layer).
+    handled: u64,
+    /// Per-token reference delivery (no coalescing); see the module docs.
+    unbatched: bool,
+    /// `edge_base[n]` = id of node `n`'s first out-edge; edge `(n, i)`
+    /// has id `edge_base[n] + i` (aligned with `graph.consumers(n)`).
+    /// Carries an end sentinel: node `n`'s out-degree is
+    /// `edge_base[n + 1] − edge_base[n]`.
+    edge_base: Vec<u32>,
+    /// Flat CSR out-edge payload, indexed by edge id (see `edge_base`).
+    out_edges: Vec<EdgeOut>,
+    /// Per-node Σ hops over out-edges (bulk NoC-hop accounting in `send`).
+    hops_sum: Vec<u64>,
+    /// Per-edge open batch (indexed by edge id).
+    open: Vec<OpenBatch>,
+    /// Batch slab; `Ev::Batch` holds indices into it. Payloads are read
+    /// in place during delivery and cleared in place afterwards — no
+    /// per-cycle moves.
+    batches: Vec<TokenBatch>,
+    /// Free slab slots (their payload capacity is retained in place).
+    free_batches: Vec<u32>,
+    /// Spare cleared batches (arena-pooled across phases).
+    batch_pool: Vec<TokenBatch>,
+    /// Per-cycle scratch: due batches with merge cursors.
+    due_batches: Vec<DueCursor>,
     now: u64,
     next_inject: u32,
     retire_floor: u32,
@@ -398,6 +596,7 @@ impl<'a> PhaseExec<'a> {
         blocks_covered: u32,
         arena: &mut StoreArena,
         obs: &'a mut Obs,
+        delivery: DeliveryMode,
     ) -> PhaseExec<'a> {
         let n = phase.graph.len();
         let threads = program.threads_per_block() * blocks_covered;
@@ -444,7 +643,10 @@ impl<'a> PhaseExec<'a> {
             .collect();
         let mut units = Vec::with_capacity(n);
         for id in phase.graph.node_ids() {
-            let needs_store = arity[id.index()] > 0;
+            // Single-operand nodes never match: a token is an operand set
+            // by itself, so delivery bypasses the ring (see
+            // `deliver_into`) and no ring is allocated.
+            let needs_store = arity[id.index()] > 1;
             let is_eldst = matches!(phase.graph.kind(id), NodeKind::ELoad { .. });
             units.push(UnitState {
                 pending: if needs_store {
@@ -460,6 +662,32 @@ impl<'a> PhaseExec<'a> {
                 ..UnitState::default()
             });
         }
+        // Edge ids: a prefix sum over out-degrees (with an end sentinel),
+        // so the per-edge tables are flat arrays indexed in O(1) from
+        // `send`. `out_edges` is the CSR payload: destination, port, and
+        // the edge's precomputed arrival delta (hop latency already
+        // multiplied in), replacing two nested-`Vec` derefs and a multiply
+        // per token on the hot send path.
+        let mut edge_base = Vec::with_capacity(n + 1);
+        let mut edges = 0u32;
+        for id in phase.graph.node_ids() {
+            edge_base.push(edges);
+            edges += phase.graph.consumers(id).len() as u32;
+        }
+        edge_base.push(edges);
+        let mut out_edges = Vec::with_capacity(edges as usize);
+        let mut hops_sum = Vec::with_capacity(n);
+        for id in phase.graph.node_ids() {
+            let row = &phase.edge_hops[id.index()];
+            hops_sum.push(row.iter().sum());
+            for (i, &(consumer, port)) in phase.graph.consumers(id).iter().enumerate() {
+                out_edges.push(EdgeOut {
+                    node: consumer.0,
+                    port: port.0,
+                    delta: cfg.fabric.noc_hop_latency * row[i],
+                });
+            }
+        }
         PhaseExec {
             cfg,
             program,
@@ -473,6 +701,26 @@ impl<'a> PhaseExec<'a> {
             arity,
             ring_mask: (ring_size - 1) as u32,
             events: CalendarQueue::new(),
+            seq: 0,
+            handled: 0,
+            // Batching only amortizes its overhead when batches are deep
+            // enough (≤ R tokens each — a producer fires at most R ops
+            // per cycle and an edge's hop delay is fixed); below the
+            // threshold the per-token path delivers identical results
+            // faster. See `BATCH_MIN_REPLICATION`.
+            unbatched: match delivery {
+                DeliveryMode::Batched => false,
+                DeliveryMode::Unbatched => true,
+                DeliveryMode::Auto => program.replication < BATCH_MIN_REPLICATION,
+            },
+            edge_base,
+            out_edges,
+            hops_sum,
+            open: vec![OpenBatch::CLOSED; edges as usize],
+            batches: Vec::new(),
+            free_batches: Vec::new(),
+            batch_pool: std::mem::take(&mut arena.token_batches),
+            due_batches: Vec::new(),
             now: start,
             next_inject: 0,
             retire_floor: 0,
@@ -491,45 +739,92 @@ impl<'a> PhaseExec<'a> {
     fn schedule(&mut self, at: u64, ev: Ev) {
         // Nothing lands in the cycle that scheduled it: tokens cross at
         // least one pipeline boundary.
+        self.seq += 1;
         self.events.schedule(at.max(self.now + 1), ev);
+    }
+
+    /// A batch slab slot for the given destination, reusing payload
+    /// capacity from the free list or the arena pool.
+    fn alloc_batch(&mut self, node: u32, port: u8) -> u32 {
+        let id = match self.free_batches.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.batches.len() as u32;
+                self.batches.push(self.batch_pool.pop().unwrap_or_default());
+                id
+            }
+        };
+        let b = &mut self.batches[id as usize];
+        debug_assert!(b.seqs.is_empty(), "allocated batch not cleared");
+        b.node = node;
+        b.port = port;
+        id
     }
 
     /// Fans `value` out from `node` to all consumers, booking NoC hops.
     /// `base` is the cycle the producing unit's result is available.
+    ///
+    /// Each token appends to its edge's open batch when one is already
+    /// headed for the same arrival cycle; otherwise a fresh batch opens
+    /// and a single calendar entry is scheduled for the whole coalesced
+    /// payload. An edge can legitimately have several batches due at one
+    /// cycle (arrival times are not monotonic on load edges); the
+    /// delivery merge orders them by seq.
     fn send(&mut self, node: NodeId, tid: u32, value: Word, base: u64, stats: &mut RunStats) {
-        let consumers = self.phase.graph.consumers(node);
-        if consumers.is_empty() {
+        let ix = node.index();
+        let first = self.edge_base[ix] as usize;
+        let last = self.edge_base[ix + 1] as usize;
+        if first == last {
             self.schedule(base, Ev::SinkDone { tid });
             return;
         }
-        // Edges are classified by their producer: elevator and eLDST
-        // outputs are the paper's inter-thread channels, everything else
-        // is ordinary dataflow. The kind lookup is gated so unobserved
-        // runs pay one branch here, nothing more.
-        let class = if self.obs.on() {
-            match self.phase.graph.kind(node) {
+        stats.tokens_routed += (last - first) as u64;
+        stats.noc_hops += self.hops_sum[ix];
+        if self.obs.on() {
+            // Edges are classified by their producer: elevator and eLDST
+            // outputs are the paper's inter-thread channels, everything
+            // else is ordinary dataflow. Unobserved runs pay one branch.
+            let class = match self.phase.graph.kind(node) {
                 NodeKind::Elevator { .. } => EdgeClass::Elevator,
                 NodeKind::ELoad { .. } => EdgeClass::Eldst,
                 _ => EdgeClass::Direct,
+            };
+            for eid in first..last {
+                self.obs.edge_token(class, node.0, self.out_edges[eid].node);
             }
-        } else {
-            EdgeClass::Direct
-        };
-        for (i, &(consumer, port)) in consumers.iter().enumerate() {
-            let hops = self.phase.edge_hops[node.index()][i];
-            stats.tokens_routed += 1;
-            stats.noc_hops += hops;
-            self.obs.edge_token(class, node.0, consumer.0);
-            let arrival = base + self.cfg.fabric.noc_hop_latency * hops;
-            self.schedule(
-                arrival,
-                Ev::Deliver {
-                    node: consumer,
-                    port: port.0,
-                    tid,
-                    value,
-                },
-            );
+        }
+        for eid in first..last {
+            let e = self.out_edges[eid];
+            let arrival = (base + e.delta).max(self.now + 1);
+            self.seq += 1;
+            if self.unbatched {
+                self.events.schedule(
+                    arrival,
+                    Ev::Deliver {
+                        node: NodeId(e.node),
+                        port: e.port,
+                        tid,
+                        value,
+                    },
+                );
+                continue;
+            }
+            let slot = self.open[eid];
+            let id = if slot.cycle == arrival {
+                slot.batch
+            } else {
+                let id = self.alloc_batch(e.node, e.port);
+                self.open[eid] = OpenBatch {
+                    cycle: arrival,
+                    batch: id,
+                };
+                self.events.schedule(arrival, Ev::Batch { batch: id });
+                id
+            };
+            let b = &mut self.batches[id as usize];
+            b.seqs.push(self.seq);
+            b.tids.push(tid);
+            b.vals.push(value);
         }
     }
 
@@ -614,48 +909,135 @@ impl<'a> PhaseExec<'a> {
 
     fn deliver(&mut self, node: NodeId, port: u8, tid: u32, value: Word, stats: &mut RunStats) {
         stats.token_buffer_writes += 1;
-        debug_assert_ne!(tid, EMPTY_TAG, "tid collides with the empty-slot tag");
         let ix = node.index();
+        if deliver_into(
+            &mut self.units[ix],
+            self.obs,
+            self.arity[ix],
+            self.ring_mask,
+            self.now,
+            node.0,
+            port,
+            tid,
+            value,
+        ) {
+            self.ready_total += 1;
+            self.mark_active(ix);
+        }
+    }
+
+    /// Delivers a run of one batch's tokens — `pos` up to (exclusive) the
+    /// first seq ≥ `limit` — with the unit borrow, arity, and ring mask
+    /// hoisted out of the per-token loop. Returns the new cursor.
+    fn deliver_batch_run(
+        &mut self,
+        id: u32,
+        mut pos: usize,
+        limit: u64,
+        stats: &mut RunStats,
+    ) -> usize {
+        let b = &self.batches[id as usize];
+        let ix = b.node as usize;
+        let port = b.port;
         let arity = self.arity[ix];
         let mask = self.ring_mask;
         let now = self.now;
+        let len = b.tids.len();
         let unit = &mut self.units[ix];
-        let si = (tid & mask) as usize;
-        // Resolve the slot for `tid`: its ring slot, its spill entry, or a
-        // fresh claim (ring when free, spill when occupied by another tid).
-        // A tid must never hold both a ring slot and a spill entry, so a
-        // spilled tid is looked up before an empty ring slot is claimed.
-        let ring_hit = unit.pending[si].tag == tid;
-        let slot: &mut MatchSlot = if ring_hit {
-            &mut unit.pending[si]
-        } else if !unit.spill.is_empty() && unit.spill.contains_key(&tid) {
-            unit.spill.get_mut(&tid).expect("present")
-        } else if unit.pending[si].tag == EMPTY_TAG {
-            self.obs.ring_claim();
-            let s = &mut unit.pending[si];
-            s.tag = tid;
-            s
-        } else {
-            self.obs.spill(StoreKind::Match, now, node.0);
-            unit.spill.entry(tid).or_insert(MatchSlot {
-                tag: tid,
-                ..MatchSlot::EMPTY
-            })
-        };
-        debug_assert_eq!(slot.filled & (1 << port), 0, "duplicate operand");
-        slot.filled |= 1 << port;
-        slot.ops[port as usize] = value;
-        if slot.filled.count_ones() == u32::from(arity) {
-            let ops = slot.ops;
-            if ring_hit || unit.pending[si].tag == tid {
-                unit.pending[si] = MatchSlot::EMPTY;
-                self.obs.ring_free();
-            } else {
-                unit.spill.remove(&tid);
+        let obs = &mut *self.obs;
+        let start = pos;
+        let mut completed = 0u32;
+        if limit == u64::MAX {
+            // Whole-batch sweep (no competing stream): seqs untouched.
+            while pos < len {
+                completed += u32::from(deliver_into(
+                    unit,
+                    obs,
+                    arity,
+                    mask,
+                    now,
+                    b.node,
+                    port,
+                    b.tids[pos],
+                    b.vals[pos],
+                ));
+                pos += 1;
             }
-            unit.ready.push_back((tid, ops));
-            self.ready_total += 1;
+        } else {
+            while pos < len && b.seqs[pos] < limit {
+                completed += u32::from(deliver_into(
+                    unit,
+                    obs,
+                    arity,
+                    mask,
+                    now,
+                    b.node,
+                    port,
+                    b.tids[pos],
+                    b.vals[pos],
+                ));
+                pos += 1;
+            }
+        }
+        stats.token_buffer_writes += (pos - start) as u64;
+        if completed > 0 {
+            self.ready_total += completed;
             self.mark_active(ix);
+        }
+        pos
+    }
+
+    /// Delivers every batch due this cycle, restoring per-node schedule
+    /// order: batches are grouped by destination node and each group's
+    /// streams are merged by ascending seq (deliveries to different nodes
+    /// commute — see the module docs). The common case — one due batch
+    /// per node — is a straight SoA sweep with no merge at all.
+    fn deliver_due(&mut self, due: &mut [DueCursor], stats: &mut RunStats) {
+        if due.len() > 1 {
+            due.sort_unstable_by_key(|c| (c.node, c.seq0));
+        }
+        let mut i = 0;
+        while i < due.len() {
+            let node = due[i].node;
+            let mut j = i + 1;
+            while j < due.len() && due[j].node == node {
+                j += 1;
+            }
+            if j - i == 1 {
+                self.deliver_batch_run(due[i].id, 0, u64::MAX, stats);
+            } else {
+                self.deliver_merged(&mut due[i..j], stats);
+            }
+            i = j;
+        }
+    }
+
+    /// Merges one node's due in-edge batches by seq: repeatedly run the
+    /// stream with the earliest head token up to the runner-up's head.
+    /// Groups are bounded by the node's in-degree (operand arity ≤ 3), so
+    /// a linear min scan beats any heap.
+    fn deliver_merged(&mut self, group: &mut [DueCursor], stats: &mut RunStats) {
+        loop {
+            let mut best = usize::MAX;
+            let mut best_seq = u64::MAX;
+            let mut limit = u64::MAX;
+            for (k, c) in group.iter().enumerate() {
+                let b = &self.batches[c.id as usize];
+                if let Some(&s) = b.seqs.get(c.pos as usize) {
+                    if s < best_seq {
+                        limit = best_seq;
+                        best_seq = s;
+                        best = k;
+                    } else {
+                        limit = limit.min(s);
+                    }
+                }
+            }
+            if best == usize::MAX {
+                return;
+            }
+            let (id, pos) = (group[best].id, group[best].pos as usize);
+            group[best].pos = self.deliver_batch_run(id, pos, limit, stats) as u32;
         }
     }
 
@@ -773,8 +1155,11 @@ impl<'a> PhaseExec<'a> {
         stats: &mut RunStats,
     ) -> Result<Fired> {
         let lat = &self.cfg.latencies;
-        let kind = *self.phase.graph.kind(node);
-        match kind {
+        // Borrowed from the phase program (lifetime `'a`, not `&self`), so
+        // the match arms below can call `&mut self` methods — and firing
+        // skips a `NodeKind` copy per operation.
+        let kind: &'a NodeKind = self.phase.graph.kind(node);
+        match *kind {
             NodeKind::Alu(_)
             | NodeKind::Fpu(_)
             | NodeKind::Special(_)
@@ -784,7 +1169,7 @@ impl<'a> PhaseExec<'a> {
             | NodeKind::Join
             | NodeKind::Split => {
                 let arity = kind.arity();
-                let value = eval_pure(&kind, &ops[..arity]);
+                let value = eval_pure(kind, &ops[..arity]);
                 let (latency, class) = match kind.unit_class().expect("compute node") {
                     UnitClass::Alu => (lat.alu, &mut stats.alu_ops),
                     UnitClass::Fpu => (lat.fpu, &mut stats.fpu_ops),
@@ -1114,6 +1499,15 @@ impl<'a> PhaseExec<'a> {
                 arena.eldst_rings.push(std::mem::take(&mut unit.eldst));
             }
         }
+        // Batch payload buffers ride the same pool (a drained phase has
+        // consumed and cleared every batch, so slab entries are empty).
+        arena.token_batches.append(&mut self.batch_pool);
+        for mut b in self.batches.drain(..) {
+            debug_assert!(b.seqs.is_empty(), "batch survived its phase");
+            b.clear();
+            arena.token_batches.push(b);
+        }
+        self.free_batches.clear();
     }
 
     fn run(
@@ -1132,10 +1526,28 @@ impl<'a> PhaseExec<'a> {
             )));
         }
         loop {
-            // 1. Deliver everything due this cycle.
+            // 1. Deliver everything due this cycle. Single (bookkeeping)
+            // events run immediately in pop order — which is schedule
+            // order among themselves — while token batches are set aside
+            // and then merged back into per-node schedule order. The two
+            // classes touch disjoint state and deliveries create no
+            // events, so this matches the per-token engine byte for byte.
             self.events.advance(self.now);
+            let mut due = std::mem::take(&mut self.due_batches);
+            let mut handled = 0u64;
             while let Some(ev) = self.events.pop_due() {
+                handled += 1;
                 match ev {
+                    Ev::Batch { batch } => {
+                        handled -= 1; // counted per token when freed below
+                        let b = &self.batches[batch as usize];
+                        due.push(DueCursor {
+                            id: batch,
+                            pos: 0,
+                            node: b.node,
+                            seq0: b.seqs[0],
+                        });
+                    }
                     Ev::Deliver {
                         node,
                         port,
@@ -1155,26 +1567,41 @@ impl<'a> PhaseExec<'a> {
                     Ev::SinkDone { tid } => self.sink_done(tid, stats),
                 }
             }
+            self.handled += handled;
+            if !due.is_empty() {
+                self.deliver_due(&mut due, stats);
+                for c in due.drain(..) {
+                    let b = &mut self.batches[c.id as usize];
+                    self.handled += b.seqs.len() as u64;
+                    b.clear();
+                    self.free_batches.push(c.id);
+                }
+            }
+            self.due_batches = due;
             // 2. Inject new threads.
             self.inject(stats);
             // 3. Fire ready units (one op per unit per cycle).
             self.fire_all(global, shared_imgs, mem, scratch, lvc, stats)?;
             // 4. Done?
             if self.complete() {
-                self.obs.calendar_scheduled(self.events.scheduled_total());
+                debug_assert_eq!(self.seq, self.handled, "logical events leaked");
+                self.obs.calendar_scheduled(self.seq);
                 return Ok(self.now);
             }
             // 5. Observe. Disabled handles reduce both calls to one
             // branch each; the counter gathering runs only at sample
-            // boundaries of an enabled handle.
-            self.obs.calendar_depth(self.events.len() as u64);
+            // boundaries of an enabled handle. Calendar depth counts
+            // pending *logical* events (tokens, not batch entries), so
+            // the profile and samples are identical with and without
+            // edge batching.
+            self.obs.calendar_depth(self.seq - self.handled);
             if self.obs.due(self.now) {
                 let (l1_fills, l2_fills) = mem.fill_counts();
                 let sample = CycleSample {
                     cycle: self.now,
                     injected: u64::from(self.next_inject),
                     retired: u64::from(self.retired_count),
-                    calendar: self.events.len() as u64,
+                    calendar: self.seq - self.handled,
                     ready: u64::from(self.ready_total),
                     outstanding: self.units.iter().map(|u| u64::from(u.outstanding)).sum(),
                     l1_fills,
@@ -1206,6 +1633,72 @@ impl<'a> PhaseExec<'a> {
             }
         }
     }
+}
+
+/// Writes one token into `unit`'s matching store and returns whether it
+/// completed an operand set (pushed to `unit.ready`). A free function so
+/// batch sweeps can hoist the unit borrow and per-node lookups out of
+/// their token loop; `PhaseExec::deliver` wraps it for singles.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn deliver_into(
+    unit: &mut UnitState,
+    obs: &mut Obs,
+    arity: u8,
+    mask: u32,
+    now: u64,
+    node: u32,
+    port: u8,
+    tid: u32,
+    value: Word,
+) -> bool {
+    debug_assert_ne!(tid, EMPTY_TAG, "tid collides with the empty-slot tag");
+    if arity == 1 {
+        // A single-operand token is a complete set by itself: the ring
+        // claim/free pair would cancel before the next occupancy sample,
+        // so the store is bypassed entirely (and never allocated).
+        let mut ops = [Word::ZERO; 3];
+        ops[port as usize] = value;
+        unit.ready.push_back((tid, ops));
+        return true;
+    }
+    let si = (tid & mask) as usize;
+    // Resolve the slot for `tid`: its ring slot, its spill entry, or a
+    // fresh claim (ring when free, spill when occupied by another tid).
+    // A tid must never hold both a ring slot and a spill entry, so a
+    // spilled tid is looked up before an empty ring slot is claimed.
+    let ring_hit = unit.pending[si].tag == tid;
+    let slot: &mut MatchSlot = if ring_hit {
+        &mut unit.pending[si]
+    } else if !unit.spill.is_empty() && unit.spill.contains_key(&tid) {
+        unit.spill.get_mut(&tid).expect("present")
+    } else if unit.pending[si].tag == EMPTY_TAG {
+        obs.ring_claim();
+        let s = &mut unit.pending[si];
+        s.tag = tid;
+        s
+    } else {
+        obs.spill(StoreKind::Match, now, node);
+        unit.spill.entry(tid).or_insert(MatchSlot {
+            tag: tid,
+            ..MatchSlot::EMPTY
+        })
+    };
+    debug_assert_eq!(slot.filled & (1 << port), 0, "duplicate operand");
+    slot.filled |= 1 << port;
+    slot.ops[port as usize] = value;
+    if slot.filled.count_ones() == u32::from(arity) {
+        let ops = slot.ops;
+        if ring_hit || unit.pending[si].tag == tid {
+            unit.pending[si] = MatchSlot::EMPTY;
+            obs.ring_free();
+        } else {
+            unit.spill.remove(&tid);
+        }
+        unit.ready.push_back((tid, ops));
+        return true;
+    }
+    false
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -55,7 +55,10 @@ pub struct CycleSample {
     pub injected: u64,
     /// Threads retired so far.
     pub retired: u64,
-    /// Calendar-queue events currently pending.
+    /// Scheduled deliveries currently pending, in *tokens*: an engine
+    /// that coalesces several tokens into one calendar entry still
+    /// reports every token, so the series is identical whether or not
+    /// delivery is batched.
     pub calendar: u64,
     /// Operand sets queued at firing units.
     pub ready: u64,
@@ -251,6 +254,18 @@ impl Obs {
         if self.profile_on {
             self.profile.calendar_scheduled += total;
         }
+    }
+
+    /// Tokens recorded since the last flushed sample window, per edge
+    /// class (`EdgeClass` discriminant order). The tracer flushes these
+    /// into `Sample` events at each boundary; the run's final partial
+    /// window stays here, so for any completed run
+    /// `Σ sampled tokens + Σ pending == Σ profile.class_tokens` exactly
+    /// — the invariant tying the tracer's windowed counters to the
+    /// profiler's per-edge aggregates.
+    #[must_use]
+    pub fn pending_window_tokens(&self) -> [u64; 3] {
+        self.tokens_since
     }
 
     /// Whether `cycle` has reached the next sample boundary — guard the

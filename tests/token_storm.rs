@@ -1,0 +1,273 @@
+//! Token-storm coverage for edge-batched delivery: many threads, a tiny
+//! graph, one hot edge.
+//!
+//! A small kernel compiles at the replication cap (16 graph copies), so a
+//! firing load node emits up to 16 tokens per cycle down the *same* edge —
+//! exactly the traffic pattern the edge-batched delivery path in
+//! `dmt-fabric` coalesces into one calendar event per `(edge, cycle)`.
+//! The golden fixture pins the storm's cycles, token counters and output
+//! checksum on all three backends; the differential tests assert the
+//! batched and per-token delivery paths are cycle- and byte-identical
+//! (they share `tests/fixtures/token_storm.golden.txt` regeneration via
+//! `DMT_UPDATE_GOLDEN=1`, like `tests/golden_smoke.rs`).
+
+use dmt_core::common::geom::Dim3;
+use dmt_core::common::ids::Addr;
+use dmt_core::fabric::{FabricMachine, BATCH_MIN_REPLICATION};
+use dmt_core::{
+    compiler, dfg::interp, Arch, Kernel, KernelBuilder, LaunchInput, Machine, MemImage,
+    SystemConfig, Word,
+};
+use dmt_obs::{Obs, TraceEvent};
+
+const THREADS: u32 = 512;
+
+/// `out[tid] = tid*tid + tid` over a five-node graph: the thread-id value
+/// fans out to both multiplier inputs, the adder and the address
+/// computation, so each of its out-edges carries one token per thread —
+/// `THREADS` tokens through a handful of edges, the storm the batcher
+/// must keep in per-edge FIFO order. Deliberately store-only: a single
+/// load/store unit keeps the graph tiny enough to replicate past the
+/// batching threshold (`storm_compiles_past_the_batching_threshold`).
+fn storm_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("token_storm", Dim3::linear(THREADS));
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let sq = kb.mul_i(tid, tid);
+    let s = kb.add_i(sq, tid);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, s);
+    kb.finish().expect("token-storm kernel is well-formed")
+}
+
+fn storm_input() -> (Vec<Word>, MemImage) {
+    (
+        vec![Word::from_u32(0)],
+        MemImage::with_words(THREADS as usize),
+    )
+}
+
+fn output_checksum(mem: &MemImage) -> u64 {
+    mem.read_i32_slice(Addr(0), THREADS as usize)
+        .iter()
+        .fold(0u64, |h, &v| h.rotate_left(5) ^ u64::from(v as u32))
+}
+
+/// With `DMT_UPDATE_GOLDEN=1`, rewrites the fixture instead of comparing
+/// (the test then trivially passes; review the diff before committing).
+fn check_or_update(got: &str, want: &str, fixture: &str) {
+    if std::env::var_os("DMT_UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(fixture);
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    assert!(
+        got == want,
+        "token-storm output drifted from the golden fixture {fixture} \
+         (DMT_UPDATE_GOLDEN=1 regenerates after intentional changes)\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}
+
+/// The storm on all three backends, pinned byte-for-byte: simulated
+/// cycles, the token-traffic counters the batcher touches, and the
+/// output checksum.
+#[test]
+fn storm_report_is_byte_identical_to_fixture() {
+    let kernel = storm_kernel();
+    let cfg = SystemConfig::default();
+    let mut got = format!("token_storm threads={THREADS}\n");
+    for arch in Arch::ALL {
+        let (params, mem) = storm_input();
+        let report = Machine::new(arch, cfg)
+            .run(&kernel, LaunchInput::new(params, mem))
+            .unwrap_or_else(|e| panic!("token_storm on {arch}: {e}"));
+        let s = &report.stats;
+        got.push_str(&format!(
+            "{:<8} cycles={} tokens_routed={} noc_hops={} token_buffer_writes={} \
+             threads_retired={} checksum={:#018x}\n",
+            arch.key(),
+            s.cycles,
+            s.tokens_routed,
+            s.noc_hops,
+            s.token_buffer_writes,
+            s.threads_retired,
+            output_checksum(&report.memory),
+        ));
+    }
+    check_or_update(
+        &got,
+        include_str!("fixtures/token_storm.golden.txt"),
+        "token_storm.golden.txt",
+    );
+}
+
+/// The storm graph is small enough to replicate at the cap, which is past
+/// the profitability threshold — the default (Auto) machine really does
+/// take the batched path on this fixture.
+#[test]
+fn storm_compiles_past_the_batching_threshold() {
+    let cfg = SystemConfig::default();
+    let program = compiler::compile(&storm_kernel(), &cfg).expect("compiles");
+    assert!(
+        program.replication >= BATCH_MIN_REPLICATION,
+        "storm replication {} is below the batching threshold {}; the \
+         fixture no longer exercises edge-batched delivery",
+        program.replication,
+        BATCH_MIN_REPLICATION
+    );
+}
+
+/// Forced-batched and forced-per-token delivery agree with each other —
+/// and with the functional interpreter — on memory, statistics (every
+/// counter, per phase) and cycles.
+#[test]
+fn batched_and_unbatched_delivery_are_byte_identical() {
+    let kernel = storm_kernel();
+    let cfg = SystemConfig::default();
+    let program = compiler::compile(&kernel, &cfg).expect("compiles");
+    let (params, mem) = storm_input();
+
+    let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+    let batched = FabricMachine::with_batched_delivery(cfg)
+        .run(&program, LaunchInput::new(params.clone(), mem.clone()))
+        .expect("batched run");
+    let unbatched = FabricMachine::with_unbatched_delivery(cfg)
+        .run(&program, LaunchInput::new(params, mem))
+        .expect("unbatched run");
+
+    assert_eq!(
+        batched.memory, oracle.memory,
+        "batched diverges from interpreter"
+    );
+    assert_eq!(
+        batched.memory, unbatched.memory,
+        "delivery paths disagree on memory"
+    );
+    assert_eq!(
+        batched.stats, unbatched.stats,
+        "delivery paths disagree on statistics"
+    );
+}
+
+/// The profiler's per-edge token aggregates and the tracer's sampled
+/// token-window counters are two views of the same event stream: the
+/// per-edge totals must equal the per-class totals, and the sampled
+/// windows plus the final unflushed window must account for every token
+/// — with batched delivery exactly as with per-token delivery (a
+/// coalesced delivery reports once per *token*, never once per batch).
+#[test]
+fn profile_and_tracer_token_counts_agree() {
+    let kernel = elevator_kernel();
+    let cfg = SystemConfig::default();
+    let program = compiler::compile(&kernel, &cfg).expect("compiles");
+    let mut totals = Vec::new();
+    for batched in [true, false] {
+        let machine = if batched {
+            FabricMachine::with_batched_delivery(cfg)
+        } else {
+            FabricMachine::with_unbatched_delivery(cfg)
+        };
+        let (params, mem) = elevator_input();
+        let mut obs = Obs::new(true, true);
+        machine
+            .run_observed(&program, LaunchInput::new(params, mem), &mut obs)
+            .expect("observed run");
+
+        let per_class: u64 = obs.profile.class_tokens.iter().sum();
+        let per_edge: u64 = obs.profile.edge_tokens.values().sum();
+        let sampled: u64 = obs
+            .tracer
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Sample {
+                    direct,
+                    elevator,
+                    eldst,
+                    ..
+                } => Some(direct + elevator + eldst),
+                _ => None,
+            })
+            .sum();
+        let pending: u64 = obs.pending_window_tokens().iter().sum();
+        assert!(per_class > 0, "storm produced no tokens");
+        assert_eq!(
+            per_edge, per_class,
+            "per-edge and per-class profile totals disagree (batched={batched})"
+        );
+        assert_eq!(
+            sampled + pending,
+            per_class,
+            "tracer windows lose or double-count tokens (batched={batched})"
+        );
+        assert_eq!(obs.tracer.dropped(), 0, "ring overflow would void the sum");
+        totals.push(per_class);
+    }
+    assert_eq!(
+        totals[0], totals[1],
+        "batched and per-token runs observe different token totals"
+    );
+}
+
+/// The storm through an elevator: each thread receives its left
+/// neighbour's loaded value, so the hot edges cross the re-tagging path
+/// (dMT-only; the elevator's fan-in/fan-out edges batch like any other).
+fn elevator_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("token_storm_elev", Dim3::linear(THREADS));
+    let inp = kb.param("in");
+    let out = kb.param("out");
+    let tid = kb.thread_idx(0);
+    let a = kb.index_addr(inp, tid, 4);
+    let x = kb.load_global(a);
+    let prev = kb.from_thread_or_const(
+        x,
+        dmt_core::common::geom::Delta::new(-1),
+        Word::from_i32(0),
+        Some(64),
+    );
+    let s = kb.add_i(prev, x);
+    let oa = kb.index_addr(out, tid, 4);
+    kb.store_global(oa, s);
+    kb.finish().expect("well-formed")
+}
+
+fn elevator_input() -> (Vec<Word>, MemImage) {
+    // Deterministic, sign-mixed data (no RNG needed for a fixture).
+    let data: Vec<i32> = (0..THREADS as i32)
+        .map(|i| (i.wrapping_mul(2_654_435_761u32 as i32)) >> 16)
+        .collect();
+    let mut mem = MemImage::with_words(2 * THREADS as usize);
+    mem.write_i32_slice(Addr(0), &data);
+    (vec![Word::from_u32(0), Word::from_u32(4 * THREADS)], mem)
+}
+
+#[test]
+fn delivery_paths_agree_on_an_elevator_storm() {
+    let kernel = elevator_kernel();
+    let cfg = SystemConfig::default();
+    let program = compiler::compile(&kernel, &cfg).expect("compiles");
+    let (params, mem) = elevator_input();
+    let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+    let batched = FabricMachine::with_batched_delivery(cfg)
+        .run(&program, LaunchInput::new(params.clone(), mem.clone()))
+        .expect("batched run");
+    let unbatched = FabricMachine::with_unbatched_delivery(cfg)
+        .run(&program, LaunchInput::new(params, mem))
+        .expect("unbatched run");
+
+    assert_eq!(
+        batched.memory, oracle.memory,
+        "batched diverges from interpreter"
+    );
+    assert_eq!(
+        batched.memory, unbatched.memory,
+        "delivery paths disagree on memory"
+    );
+    assert_eq!(
+        batched.stats, unbatched.stats,
+        "delivery paths disagree on statistics"
+    );
+}

@@ -240,7 +240,23 @@ pub mod collection {
     }
 }
 
-/// Drives one property: draws cases until `config.cases` pass, rejecting
+/// The case count one property actually runs: `config.cases`, unless the
+/// `DMT_PROPTEST_CASES` environment variable names a positive integer, in
+/// which case that count overrides every property's configured one. This
+/// is the deep-fuzzing knob the scheduled `proptest-deep` CI job turns —
+/// push CI keeps the cheap per-test defaults, the weekly job cranks every
+/// property to the same raised count without touching test sources.
+#[must_use]
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("DMT_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(config.cases)
+}
+
+/// Drives one property: draws cases until `config.cases` pass (or the
+/// `DMT_PROPTEST_CASES` override, see [`effective_cases`]), rejecting
 /// via [`TestCaseError::Reject`] and panicking on [`TestCaseError::Fail`].
 ///
 /// This is the runtime behind the [`proptest!`] macro; `name` seeds the RNG.
@@ -252,16 +268,21 @@ pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    let cases = effective_cases(config);
+    // Scale the reject budget with a raised case count so assume-heavy
+    // properties keep their configured reject-to-pass headroom.
+    let scale = u64::from(cases.max(1)).div_ceil(u64::from(config.cases.max(1)));
+    let max_rejects = u64::from(config.max_global_rejects).saturating_mul(scale);
     let mut rng = TestRng::for_property(name);
     let mut passed = 0u32;
-    let mut rejected = 0u32;
-    while passed < config.cases {
+    let mut rejected = 0u64;
+    while passed < cases {
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
                 rejected += 1;
                 assert!(
-                    rejected <= config.max_global_rejects,
+                    rejected <= max_rejects,
                     "property {name:?}: too many prop_assume! rejections \
                      ({rejected} rejects for {passed} passing cases)"
                 );
@@ -419,6 +440,26 @@ mod tests {
         let mut rng = crate::TestRng::for_property("any_i32");
         let a: Vec<i32> = (0..8).map(|_| i32::arbitrary(&mut rng)).collect();
         assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn env_knob_overrides_case_count() {
+        // Serial with respect to this binary's other properties only in
+        // effect, not in execution: a concurrent property reads the knob
+        // once at entry, so a transient override never strands a runner.
+        std::env::set_var("DMT_PROPTEST_CASES", "7");
+        let mut runs = 0u32;
+        crate::run_property("env_knob", &ProptestConfig::with_cases(64), |_| {
+            runs += 1;
+            Ok(())
+        });
+        std::env::remove_var("DMT_PROPTEST_CASES");
+        assert_eq!(runs, 7, "DMT_PROPTEST_CASES must override the config");
+        assert_eq!(
+            crate::effective_cases(&ProptestConfig::with_cases(64)),
+            64,
+            "without the knob the configured count stands"
+        );
     }
 
     #[test]
