@@ -1,9 +1,9 @@
 # Local verification targets, kept in lock-step with .github/workflows/ci.yml
 # so "make <target>" locally reproduces exactly what CI gates on.
 
-.PHONY: all build test lint fmt bench-smoke perf-smoke arch-gate profile-smoke perf-full proptest-deep serve-smoke clean
+.PHONY: all build test lint fmt bench-smoke perf-smoke arch-gate profile-smoke perf-full proptest-deep serve-smoke chaos clean
 
-all: build test lint bench-smoke perf-smoke profile-smoke serve-smoke
+all: build test lint bench-smoke perf-smoke profile-smoke serve-smoke chaos
 
 # CI job: build (release)
 build:
@@ -90,6 +90,20 @@ serve-smoke:
 	cargo build --release --locked -p dmt-serve
 	rm -rf artifacts/serve-smoke
 	python3 ci/serve_smoke.py --binary target/release/dmt-serve --out artifacts/serve-smoke
+
+# CI job: chaos-smoke — the built binaries under a fixed adversarial
+# fault schedule: cache write/rename faults absorbed and replayed
+# byte-identically, deadlines typed as timed_out, one pool.exec fault
+# costs exactly one job, and the daemon survives a poisoned response
+# plus a per-job deadline and still drains clean. The in-process chaos
+# invariants live in tests/chaos.rs (part of `make test`); this drives
+# the same seams over argv and TCP.
+chaos:
+	cargo build --release --locked -p dmt-bench -p dmt-serve
+	python3 ci/chaos_smoke.py \
+		--bench-binary target/release/fig11_speedup \
+		--serve-binary target/release/dmt-serve \
+		--out artifacts/chaos-smoke
 
 clean:
 	cargo clean

@@ -36,12 +36,13 @@ fn main() {
         })
         .collect();
     let per_window = jobs.len() / WINDOWS.len();
-    let run = dmt_bench::run_jobs_pooled(
+    let run = dmt_bench::run_jobs_pooled_limited(
         jobs,
         SEED,
         args.effective_threads(),
         Some(&progress),
         cache.as_ref(),
+        args.deadline_cycles,
     );
 
     println!("Ablation: in-flight thread window\n");

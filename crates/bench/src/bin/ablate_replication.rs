@@ -24,6 +24,7 @@ struct Row {
 fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_trace("ablate_replication");
+    args.forbid_deadline("ablate_replication");
     args.forbid_smoke("ablate_replication");
     args.forbid_json("ablate_replication");
     args.forbid_progress("ablate_replication");

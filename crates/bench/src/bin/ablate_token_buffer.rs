@@ -32,6 +32,7 @@ fn benches() -> [Box<dyn Benchmark>; 2] {
 fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_trace("ablate_token_buffer");
+    args.forbid_deadline("ablate_token_buffer");
     args.forbid_smoke("ablate_token_buffer");
     args.forbid_json("ablate_token_buffer");
     args.forbid_progress("ablate_token_buffer");

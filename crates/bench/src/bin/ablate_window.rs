@@ -42,6 +42,7 @@ struct Row {
 fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_trace("ablate_window");
+    args.forbid_deadline("ablate_window");
     args.forbid_smoke("ablate_window");
     args.forbid_json("ablate_window");
     args.forbid_progress("ablate_window");

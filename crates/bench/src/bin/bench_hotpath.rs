@@ -81,6 +81,7 @@ struct Args {
 fn parse_args() -> Args {
     let args = RunnerArgs::from_env_registry(FLAGS);
     args.forbid_trace("bench_hotpath");
+    args.forbid_deadline("bench_hotpath");
     // A throughput benchmark is serial and uncached by construction:
     // a cache hit or a second worker would time the wrong thing.
     args.forbid_threads("bench_hotpath");

@@ -25,6 +25,7 @@ const METRICS: [(DistanceMetric, &str, &str); 2] = [
 fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_trace("fig05_delta_cdf");
+    args.forbid_deadline("fig05_delta_cdf");
     args.forbid_smoke("fig05_delta_cdf");
     args.forbid_threads("fig05_delta_cdf");
     args.forbid_progress("fig05_delta_cdf");

@@ -13,7 +13,9 @@
 //! exports a Chrome-trace/Perfetto JSON timeline of every run; tracing
 //! bypasses the cache, since a trace requires actually simulating.
 
-use dmt_bench::{fig11_report, job_label, run_jobs_observed, run_suite_pooled, suite_jobs, SEED};
+use dmt_bench::{
+    fig11_report, job_label, run_jobs_observed, run_suite_pooled_limited, suite_jobs, SEED,
+};
 use dmt_core::SystemConfig;
 use dmt_obs::chrome_trace_json;
 use dmt_runner::{write_json, RunnerArgs};
@@ -26,6 +28,9 @@ fn main() {
     let cache = args.cache_store();
     let trace = args.trace_path();
     let run = if let Some(path) = &trace {
+        // Observed runs bypass the limit-aware pool; a requested budget
+        // must not be silently dropped alongside them.
+        args.forbid_deadline("fig11_speedup --trace");
         let jobs = suite_jobs(SystemConfig::default(), SEED, take);
         let (run, observations) = run_jobs_observed(jobs, SEED, threads, true, false);
         let named: Vec<(String, &dmt_obs::Tracer)> = run
@@ -46,13 +51,14 @@ fn main() {
         );
         run
     } else {
-        run_suite_pooled(
+        run_suite_pooled_limited(
             SystemConfig::default(),
             SEED,
             take,
             threads,
             Some(&progress),
             cache.as_ref(),
+            args.deadline_cycles,
         )
     };
     let rows = run.rows();

@@ -6,7 +6,7 @@
 //! artifact, `--smoke` runs the first three benchmarks, `--cache DIR`
 //! (or `DMT_CACHE`) serves completed jobs from the result cache.
 
-use dmt_bench::{fig12_report, run_suite_pooled, SEED};
+use dmt_bench::{fig12_report, run_suite_pooled_limited, SEED};
 use dmt_core::SystemConfig;
 use dmt_runner::RunnerArgs;
 
@@ -17,13 +17,14 @@ fn main() {
     let threads = args.effective_threads();
     let progress = args.progress_reporter();
     let cache = args.cache_store();
-    let run = run_suite_pooled(
+    let run = run_suite_pooled_limited(
         SystemConfig::default(),
         SEED,
         take,
         threads,
         Some(&progress),
         cache.as_ref(),
+        args.deadline_cycles,
     );
     let rows = run.rows();
     print!("{}", fig12_report(&rows));

@@ -16,6 +16,7 @@ fn main() {
     // runner flags themselves are meaningless for a one-graph dump.
     let args = RunnerArgs::from_env();
     args.forbid_trace("kernel_dot");
+    args.forbid_deadline("kernel_dot");
     args.forbid_threads("kernel_dot");
     args.forbid_json("kernel_dot");
     args.forbid_cache("kernel_dot");

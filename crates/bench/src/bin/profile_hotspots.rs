@@ -38,6 +38,7 @@ const FLAGS: &[Flag] = &[Flag::with_value(
 fn main() {
     let args = RunnerArgs::from_env_registry(FLAGS);
     args.forbid_trace("profile_hotspots");
+    args.forbid_deadline("profile_hotspots");
     args.forbid_cache("profile_hotspots");
     args.forbid_progress("profile_hotspots");
     let top = match args.flag_value("--top").map(str::parse::<usize>) {

@@ -17,7 +17,7 @@
 //! output; `--json PATH` records every job (schema v2: per-job `"phases"`
 //! arrays ride along).
 
-use dmt_bench::{run_suite_pooled, RowOutcome, SEED};
+use dmt_bench::{run_suite_pooled_limited, RowOutcome, SEED};
 use dmt_core::{Arch, EnergyModel, SystemConfig};
 use dmt_runner::{Flag, JobMetrics, RunnerArgs};
 
@@ -35,13 +35,14 @@ fn main() {
     let progress = args.progress_reporter();
     let cache = args.cache_store();
     let cfg = SystemConfig::default();
-    let run = run_suite_pooled(
+    let run = run_suite_pooled_limited(
         cfg,
         SEED,
         usize::MAX,
         args.effective_threads(),
         Some(&progress),
         cache.as_ref(),
+        args.deadline_cycles,
     );
     let grid_units = f64::from(cfg.grid.total_units());
     let lanes = f64::from(cfg.gpu.warp_width);

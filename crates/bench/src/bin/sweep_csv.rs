@@ -16,7 +16,7 @@
 //! points are served from the result cache, so a killed sweep re-executes
 //! only its missing jobs.
 
-use dmt_bench::sweep::{skipped, sweep_run, to_csv, SweepPoint};
+use dmt_bench::sweep::{skipped, sweep_run_limited, to_csv, SweepPoint};
 use dmt_bench::SuiteRun;
 use dmt_bench::SEED;
 use dmt_runner::RunnerArgs;
@@ -32,7 +32,15 @@ fn main() {
     let run = |values: Vec<u32>,
                f: &mut dyn FnMut(&u32, &mut dmt_core::SystemConfig)|
      -> (SuiteRun, Vec<SweepPoint>) {
-        sweep_run(values, SEED, f, threads, Some(&progress), cache.as_ref())
+        sweep_run_limited(
+            values,
+            SEED,
+            f,
+            threads,
+            Some(&progress),
+            cache.as_ref(),
+            args.deadline_cycles,
+        )
     };
     let ((run, points), x_name) = match which {
         "token_buffer" => (
@@ -48,13 +56,14 @@ fn main() {
             "inflight_threads",
         ),
         "baseline" => (
-            sweep_run(
+            sweep_run_limited(
                 ["table2"],
                 SEED,
                 &mut |_, _| {},
                 threads,
                 Some(&progress),
                 cache.as_ref(),
+                args.deadline_cycles,
             ),
             "config",
         ),

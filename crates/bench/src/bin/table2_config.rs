@@ -8,6 +8,7 @@ fn main() {
     // static table has no grid to thread, cache or record.
     let args = RunnerArgs::from_env();
     args.forbid_trace("table2_config");
+    args.forbid_deadline("table2_config");
     args.forbid_threads("table2_config");
     args.forbid_json("table2_config");
     args.forbid_cache("table2_config");

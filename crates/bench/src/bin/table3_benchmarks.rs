@@ -7,6 +7,7 @@ use dmt_runner::{Json, RunnerArgs, SCHEMA_VERSION};
 fn main() {
     let args = RunnerArgs::from_env();
     args.forbid_trace("table3_benchmarks");
+    args.forbid_deadline("table3_benchmarks");
     args.forbid_smoke("table3_benchmarks");
     args.forbid_threads("table3_benchmarks");
     args.forbid_progress("table3_benchmarks");

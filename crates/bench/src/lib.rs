@@ -26,6 +26,7 @@
 
 pub mod sweep;
 
+use dmt_core::common::RunLimits;
 use dmt_core::{experiment, Arch, Machine, RunReport, SystemConfig};
 use dmt_kernels::{suite, Benchmark};
 use dmt_obs::Obs;
@@ -87,12 +88,36 @@ pub fn try_run_one_observed(
     seed: u64,
     obs: &mut Obs,
 ) -> dmt_core::Result<RunReport> {
+    try_run_one_limited(bench, arch, cfg, seed, obs, &RunLimits::unlimited())
+}
+
+/// [`try_run_one_observed`] under cooperative run limits: the engines
+/// check the simulated-cycle deadline and the cancellation token at
+/// every cycle boundary and return `Error::TimedOut`/`Error::Cancelled`
+/// instead of running to completion. Output validation only runs for
+/// completed runs (a cut-short run has no result to validate).
+///
+/// # Errors
+///
+/// As [`try_run_one`], plus `TimedOut`/`Cancelled` from the limits.
+///
+/// # Panics
+///
+/// As [`try_run_one`].
+pub fn try_run_one_limited(
+    bench: &dyn Benchmark,
+    arch: Arch,
+    cfg: SystemConfig,
+    seed: u64,
+    obs: &mut Obs,
+    limits: &RunLimits<'_>,
+) -> dmt_core::Result<RunReport> {
     let kernel = match arch {
         Arch::DmtCgra => bench.dmt_kernel(),
         Arch::FermiSm | Arch::MtCgra => bench.shared_kernel(),
     };
     let report =
-        Machine::new(arch, cfg).run_observed(&kernel, bench.workload(seed).launch(), obs)?;
+        Machine::new(arch, cfg).run_limited(&kernel, bench.workload(seed).launch(), obs, limits)?;
     bench
         .check(seed, &report.memory)
         .unwrap_or_else(|e| panic!("{} on {arch}: wrong result: {e}", bench.info().name));
@@ -130,12 +155,32 @@ pub fn execute_job(spec: &JobSpec) -> JobOutcome {
 /// As [`execute_job`].
 #[must_use]
 pub fn execute_job_observed(spec: &JobSpec, obs: &mut Obs) -> JobOutcome {
+    execute_job_inner(spec, obs, &RunLimits::unlimited())
+}
+
+/// The limit-aware leaf executor `ExecPlan::run_limited` expects: maps
+/// `Error::TimedOut` to [`JobOutcome::TimedOut`] (permanent under this
+/// budget), `Error::Cancelled` to [`JobOutcome::Failed`] (transient —
+/// the same job may be resubmitted), and every other leaf error to
+/// [`JobOutcome::Infeasible`] as before.
+///
+/// # Panics
+///
+/// As [`execute_job`].
+#[must_use]
+pub fn execute_job_limited(spec: &JobSpec, limits: &RunLimits<'_>) -> JobOutcome {
+    execute_job_inner(spec, &mut Obs::disabled(), limits)
+}
+
+fn execute_job_inner(spec: &JobSpec, obs: &mut Obs, limits: &RunLimits<'_>) -> JobOutcome {
     let bench = suite::all()
         .into_iter()
         .find(|b| b.info().name == spec.bench)
         .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.bench));
-    match try_run_one_observed(bench.as_ref(), spec.arch, spec.cfg, spec.seed, obs) {
+    match try_run_one_limited(bench.as_ref(), spec.arch, spec.cfg, spec.seed, obs, limits) {
         Ok(report) => JobOutcome::completed(JobMetrics::from_report(&report)),
+        Err(e @ dmt_core::Error::TimedOut { .. }) => JobOutcome::TimedOut(e.to_string()),
+        Err(e @ dmt_core::Error::Cancelled { .. }) => JobOutcome::Failed(e.to_string()),
         Err(e) => JobOutcome::Infeasible(e.to_string()),
     }
 }
@@ -330,12 +375,30 @@ pub fn run_jobs_pooled(
     progress: Option<&Progress>,
     cache: Option<&Cache>,
 ) -> SuiteRun {
+    run_jobs_pooled_limited(jobs, seed, threads, progress, cache, None)
+}
+
+/// [`run_jobs_pooled`] with an optional per-job simulated-cycle budget
+/// (`--deadline-cycles`): jobs whose simulation reaches the budget end
+/// as [`JobOutcome::TimedOut`] instead of running on, and are never
+/// cached (the budget is not part of the job hash). `None` is exactly
+/// [`run_jobs_pooled`].
+#[must_use]
+pub fn run_jobs_pooled_limited(
+    jobs: Vec<JobSpec>,
+    seed: u64,
+    threads: usize,
+    progress: Option<&Progress>,
+    cache: Option<&Cache>,
+    deadline_cycles: Option<u64>,
+) -> SuiteRun {
     let start = Instant::now();
     let outcomes = dmt_runner::ExecPlan::new(&jobs)
         .threads(threads)
         .progress(progress)
         .cache(cache)
-        .run(execute_job);
+        .deadline_cycles(deadline_cycles)
+        .run_limited(execute_job_limited);
     SuiteRun {
         jobs,
         outcomes,
@@ -477,6 +540,28 @@ pub fn run_suite_pooled(
     cache: Option<&Cache>,
 ) -> SuiteRun {
     run_jobs_pooled(suite_jobs(cfg, seed, take), seed, threads, progress, cache)
+}
+
+/// [`run_suite_pooled`] with an optional per-job simulated-cycle budget;
+/// see [`run_jobs_pooled_limited`].
+#[must_use]
+pub fn run_suite_pooled_limited(
+    cfg: SystemConfig,
+    seed: u64,
+    take: usize,
+    threads: usize,
+    progress: Option<&Progress>,
+    cache: Option<&Cache>,
+    deadline_cycles: Option<u64>,
+) -> SuiteRun {
+    run_jobs_pooled_limited(
+        suite_jobs(cfg, seed, take),
+        seed,
+        threads,
+        progress,
+        cache,
+        deadline_cycles,
+    )
 }
 
 /// The headline binaries' shared failure policy: they run the *default*
@@ -677,8 +762,59 @@ mod tests {
         let spec = dmt_runner::JobSpec::new("reduce", Arch::DmtCgra, cfg, SEED);
         match execute_job(&spec) {
             JobOutcome::Infeasible(e) => assert!(!e.is_empty()),
-            JobOutcome::Completed(_) => panic!("expected an infeasible point"),
+            other => panic!("expected an infeasible point, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_times_out_and_a_generous_budget_does_not() {
+        let spec =
+            dmt_runner::JobSpec::new("convolution", Arch::DmtCgra, SystemConfig::default(), 1);
+        let full = execute_job(&spec);
+        let cycles = full.metrics().expect("feasible").cycles();
+
+        // A one-cycle budget cannot finish any real kernel.
+        match execute_job_limited(&spec, &RunLimits::deadline(1)) {
+            JobOutcome::TimedOut(e) => {
+                assert!(e.contains("deadline exceeded"), "{e}");
+                assert!(e.contains("budget 1 cycles"), "{e}");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+
+        // A budget past the real run length changes nothing.
+        let roomy = execute_job_limited(&spec, &RunLimits::deadline(cycles + 1));
+        assert_eq!(roomy, full, "an unexercised deadline must not perturb");
+    }
+
+    #[test]
+    fn cancellation_fails_the_job_transiently() {
+        use std::sync::atomic::AtomicBool;
+        let spec =
+            dmt_runner::JobSpec::new("convolution", Arch::DmtCgra, SystemConfig::default(), 1);
+        let token = AtomicBool::new(true);
+        match execute_job_limited(&spec, &RunLimits::unlimited().with_cancel(&token)) {
+            JobOutcome::Failed(e) => assert!(e.contains("cancelled"), "{e}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_run_with_deadline_types_every_outcome() {
+        let run =
+            run_suite_pooled_limited(SystemConfig::default(), SEED, 2, 2, None, None, Some(1));
+        assert!(
+            run.outcomes
+                .iter()
+                .all(|o| matches!(o, JobOutcome::TimedOut(_))),
+            "{:?}",
+            run.outcomes
+        );
+        // And the unlimited run through the same limited entry point is
+        // byte-identical to the plain pooled run.
+        let a = run_suite_pooled_limited(SystemConfig::default(), SEED, 2, 2, None, None, None);
+        let b = run_suite_pooled(SystemConfig::default(), SEED, 2, 2, None, None);
+        assert_eq!(a.outcomes, b.outcomes);
     }
 
     #[test]

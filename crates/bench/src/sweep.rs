@@ -68,6 +68,27 @@ where
     I::Item: std::fmt::Display,
     F: ?Sized + FnMut(&I::Item, &mut SystemConfig),
 {
+    sweep_run_limited(values, seed, configure, threads, progress, cache, None)
+}
+
+/// [`sweep_run`] with an optional per-job simulated-cycle budget
+/// (`--deadline-cycles`); timed-out points render like infeasible ones
+/// (omitted from the CSV, reported by [`skipped`]).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_run_limited<I, F>(
+    values: I,
+    seed: u64,
+    configure: &mut F,
+    threads: usize,
+    progress: Option<&Progress>,
+    cache: Option<&Cache>,
+    deadline_cycles: Option<u64>,
+) -> (SuiteRun, Vec<SweepPoint>)
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+    F: ?Sized + FnMut(&I::Item, &mut SystemConfig),
+{
     let mut labels = Vec::new();
     let mut jobs = Vec::new();
     for v in values {
@@ -81,7 +102,7 @@ where
     } else {
         jobs.len() / labels.len()
     };
-    let run = crate::run_jobs_pooled(jobs, seed, threads, progress, cache);
+    let run = crate::run_jobs_pooled_limited(jobs, seed, threads, progress, cache, deadline_cycles);
     let points = regroup(&run, &labels, per_point);
     (run, points)
 }

@@ -38,6 +38,19 @@ pub enum Error {
         /// Description of the stuck state.
         detail: String,
     },
+    /// The run exceeded its simulated-cycle deadline (see
+    /// `crate::limits::RunLimits`).
+    TimedOut {
+        /// Cycle at which the budget check tripped.
+        cycle: u64,
+        /// The configured budget.
+        deadline_cycles: u64,
+    },
+    /// The run was cooperatively cancelled via its token.
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +72,14 @@ impl fmt::Display for Error {
             Error::Deadlock { cycle, detail } => {
                 write!(f, "fabric deadlock at cycle {cycle}: {detail}")
             }
+            Error::TimedOut {
+                cycle,
+                deadline_cycles,
+            } => write!(
+                f,
+                "deadline exceeded at cycle {cycle} (budget {deadline_cycles} cycles)"
+            ),
+            Error::Cancelled { cycle } => write!(f, "run cancelled at cycle {cycle}"),
         }
     }
 }
@@ -86,6 +107,18 @@ mod tests {
     fn error_is_std_error() {
         fn assert_error<E: std::error::Error + Send + Sync>() {}
         assert_error::<Error>();
+    }
+
+    #[test]
+    fn timeout_and_cancel_messages_mention_the_cycle() {
+        let t = Error::TimedOut {
+            cycle: 500,
+            deadline_cycles: 500,
+        };
+        assert!(t.to_string().contains("500"));
+        assert!(t.to_string().contains("deadline"));
+        let c = Error::Cancelled { cycle: 7 };
+        assert!(c.to_string().contains("cancelled at cycle 7"));
     }
 
     #[test]

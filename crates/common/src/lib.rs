@@ -4,8 +4,9 @@
 //! workspace: identifier newtypes ([`ids`]), the 32-bit machine word model
 //! ([`value`]), CUDA-style thread geometry ([`geom`]), the Table 2 system
 //! configuration ([`config`]), run-statistics counters ([`stats`]), the
-//! hand-rolled JSON document model ([`json`]) and the shared error type
-//! ([`error`]).
+//! hand-rolled JSON document model ([`json`]), the shared error type
+//! ([`error`]), the deterministic failpoint registry ([`faults`]) and
+//! cooperative run limits — deadlines and cancellation ([`limits`]).
 //!
 //! The paper reproduced here is Voitsechov & Etsion, *"Inter-Thread
 //! Communication in Multithreaded, Reconfigurable Coarse-Grain Arrays"*
@@ -26,9 +27,11 @@
 
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod geom;
 pub mod ids;
 pub mod json;
+pub mod limits;
 pub mod memimg;
 pub mod sched;
 pub mod stats;
@@ -39,6 +42,7 @@ pub use error::{Error, Result};
 pub use geom::{Delta, Dim3};
 pub use ids::{Addr, Cycle, NodeId, PortIx, ThreadId, UnitId};
 pub use json::Json;
+pub use limits::RunLimits;
 pub use memimg::MemImage;
 pub use stats::{PhaseStats, RunStats};
 pub use value::Word;

@@ -1,0 +1,136 @@
+//! Cooperative run limits: per-job cycle deadlines and cancellation.
+//!
+//! Both cycle engines check a [`RunLimits`] at the top of their loops.
+//! A run that reaches its deadline stops with [`Error::TimedOut`]; a
+//! run whose cancellation token flips stops with [`Error::Cancelled`].
+//! The unlimited check is one integer compare plus an `Option` test per
+//! simulated cycle — far below measurement noise next to the work a
+//! cycle already does — so `run_observed` callers pay nothing.
+//!
+//! Deadlines are *simulated-cycle* budgets, not wall-clock: the same
+//! job with the same deadline times out at the same cycle on every
+//! host and thread count, preserving the byte-identical-replay
+//! discipline.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmt_common::limits::RunLimits;
+//!
+//! let limits = RunLimits::deadline(100);
+//! assert!(limits.check(99).is_ok());
+//! assert!(limits.check(100).is_err()); // first cycle >= deadline
+//! assert!(RunLimits::unlimited().check(u64::MAX - 1).is_ok());
+//! ```
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Limits a single run: a cycle deadline and an optional cancel token.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits<'a> {
+    /// First simulated cycle at which the run times out; `u64::MAX`
+    /// means unlimited.
+    pub deadline_cycles: u64,
+    /// Cooperative cancellation: when the token reads `true`, the run
+    /// stops at its next cycle boundary with [`Error::Cancelled`].
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl RunLimits<'static> {
+    /// No deadline, no cancellation — what `run_observed` forwards.
+    pub const fn unlimited() -> RunLimits<'static> {
+        RunLimits {
+            deadline_cycles: u64::MAX,
+            cancel: None,
+        }
+    }
+
+    /// A cycle-budget deadline with no cancellation token.
+    pub const fn deadline(cycles: u64) -> RunLimits<'static> {
+        RunLimits {
+            deadline_cycles: cycles,
+            cancel: None,
+        }
+    }
+}
+
+impl<'a> RunLimits<'a> {
+    /// Attaches a cancellation token.
+    pub fn with_cancel(self, token: &'a AtomicBool) -> RunLimits<'a> {
+        RunLimits {
+            cancel: Some(token),
+            ..self
+        }
+    }
+
+    /// True when no limit can ever trip.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_cycles == u64::MAX && self.cancel.is_none()
+    }
+
+    /// Checked at the top of every engine cycle.
+    #[inline]
+    pub fn check(&self, now: u64) -> Result<()> {
+        if now >= self.deadline_cycles {
+            return Err(Error::TimedOut {
+                cycle: now,
+                deadline_cycles: self.deadline_cycles,
+            });
+        }
+        if let Some(token) = self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return Err(Error::Cancelled { cycle: now });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let l = RunLimits::unlimited();
+        assert!(l.is_unlimited());
+        assert!(l.check(0).is_ok());
+        assert!(l.check(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn deadline_trips_at_the_first_cycle_past_the_budget() {
+        let l = RunLimits::deadline(10);
+        assert!(!l.is_unlimited());
+        assert!(l.check(9).is_ok());
+        match l.check(10) {
+            Err(Error::TimedOut {
+                cycle,
+                deadline_cycles,
+            }) => {
+                assert_eq!(cycle, 10);
+                assert_eq!(deadline_cycles, 10);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_trips_cooperatively() {
+        let token = AtomicBool::new(false);
+        let l = RunLimits::unlimited().with_cancel(&token);
+        assert!(!l.is_unlimited());
+        assert!(l.check(5).is_ok());
+        token.store(true, Ordering::Relaxed);
+        assert!(matches!(l.check(6), Err(Error::Cancelled { cycle: 6 })));
+    }
+
+    #[test]
+    fn deadline_wins_over_cancellation_at_the_same_cycle() {
+        let token = AtomicBool::new(true);
+        let l = RunLimits::deadline(4).with_cancel(&token);
+        assert!(matches!(l.check(4), Err(Error::TimedOut { .. })));
+        assert!(matches!(l.check(3), Err(Error::Cancelled { .. })));
+    }
+}

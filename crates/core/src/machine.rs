@@ -3,7 +3,7 @@
 use dmt_common::config::SystemConfig;
 use dmt_common::memimg::MemImage;
 use dmt_common::stats::RunStats;
-use dmt_common::{Error, Result};
+use dmt_common::{Error, Result, RunLimits};
 use dmt_dfg::{Kernel, LaunchInput};
 use dmt_energy::{ArchKind, EnergyModel, EnergyReport};
 use dmt_fabric::FabricMachine;
@@ -207,9 +207,28 @@ impl Machine {
         input: LaunchInput,
         obs: &mut Obs,
     ) -> Result<RunReport> {
+        self.run_limited(kernel, input, obs, &RunLimits::unlimited())
+    }
+
+    /// [`Machine::run_observed`] under cooperative [`RunLimits`]: the
+    /// backend engine checks the simulated-cycle deadline and the
+    /// cancellation token every cycle. The compile step is not covered
+    /// by the budget (it is not cycle-accurate work).
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`], plus [`Error::TimedOut`] /
+    /// [`Error::Cancelled`] when a limit trips.
+    pub fn run_limited(
+        &self,
+        kernel: &Kernel,
+        input: LaunchInput,
+        obs: &mut Obs,
+        limits: &RunLimits<'_>,
+    ) -> Result<RunReport> {
         let (memory, stats) = match self.arch {
             Arch::FermiSm => {
-                let run = GpuMachine::new(self.cfg).run_observed(kernel, input, obs)?;
+                let run = GpuMachine::new(self.cfg).run_limited(kernel, input, obs, limits)?;
                 (run.memory, run.stats)
             }
             Arch::MtCgra => {
@@ -220,9 +239,9 @@ impl Machine {
                         kernel.name()
                     )));
                 }
-                self.run_fabric(kernel, input, obs)?
+                self.run_fabric(kernel, input, obs, limits)?
             }
-            Arch::DmtCgra => self.run_fabric(kernel, input, obs)?,
+            Arch::DmtCgra => self.run_fabric(kernel, input, obs, limits)?,
         };
         let energy = self
             .energy
@@ -241,9 +260,10 @@ impl Machine {
         kernel: &Kernel,
         input: LaunchInput,
         obs: &mut Obs,
+        limits: &RunLimits<'_>,
     ) -> Result<(MemImage, RunStats)> {
         let program = dmt_compiler::compile(kernel, &self.cfg)?;
-        let run = FabricMachine::new(self.cfg).run_observed(&program, input, obs)?;
+        let run = FabricMachine::new(self.cfg).run_limited(&program, input, obs, limits)?;
         Ok((run.memory, run.stats))
     }
 }

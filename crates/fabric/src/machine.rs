@@ -88,7 +88,7 @@ use dmt_common::memimg::MemImage;
 use dmt_common::sched::CalendarQueue;
 use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_common::value::Word;
-use dmt_common::{Error, Result};
+use dmt_common::{Error, Result, RunLimits};
 use dmt_dfg::kernel::LaunchInput;
 use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
 use dmt_mem::{AccessOutcome, Lvc, MemSystem, Scratchpad};
@@ -220,6 +220,26 @@ impl FabricMachine {
         input: LaunchInput,
         obs: &mut Obs,
     ) -> Result<FabricRunResult> {
+        self.run_limited(program, input, obs, &RunLimits::unlimited())
+    }
+
+    /// [`FabricMachine::run_observed`] under cooperative [`RunLimits`]:
+    /// the cycle loop checks the deadline and cancellation token every
+    /// cycle (`now` carries across phases, so the budget bounds the
+    /// whole launch, reconfiguration gaps included). The unlimited
+    /// check is one compare per cycle.
+    ///
+    /// # Errors
+    ///
+    /// As [`FabricMachine::run`], plus [`Error::TimedOut`] /
+    /// [`Error::Cancelled`] when a limit trips.
+    pub fn run_limited(
+        &self,
+        program: &FabricProgram,
+        input: LaunchInput,
+        obs: &mut Obs,
+        limits: &RunLimits<'_>,
+    ) -> Result<FabricRunResult> {
         if input.params.len() != program.param_count {
             return Err(Error::Runtime(format!(
                 "program {} expects {} parameters, got {}",
@@ -277,6 +297,7 @@ impl FabricMachine {
                 &mut scratch,
                 &mut lvc,
                 &mut stats,
+                limits,
             )?;
             exec.recycle(&mut arena);
             obs.phase_end(now);
@@ -1510,6 +1531,7 @@ impl<'a> PhaseExec<'a> {
         self.free_batches.clear();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         global: &mut MemImage,
@@ -1518,6 +1540,7 @@ impl<'a> PhaseExec<'a> {
         scratch: &mut Scratchpad,
         lvc: &mut Lvc,
         stats: &mut RunStats,
+        limits: &RunLimits<'_>,
     ) -> Result<u64> {
         if self.sink_count == 0 {
             return Err(Error::Runtime(format!(
@@ -1526,6 +1549,10 @@ impl<'a> PhaseExec<'a> {
             )));
         }
         loop {
+            // 0. Cooperative limits: deadline / cancellation, checked at
+            // the cycle boundary so a timed-out run stops deterministically
+            // at the same simulated cycle on every host.
+            limits.check(self.now)?;
             // 1. Deliver everything due this cycle. Single (bookkeeping)
             // events run immediately in pop order — which is schedule
             // order among themselves — while token batches are set aside

@@ -23,7 +23,7 @@ use dmt_common::ids::{Addr, NodeId, ThreadId};
 use dmt_common::memimg::MemImage;
 use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_common::value::Word;
-use dmt_common::{Error, Result};
+use dmt_common::{Error, Result, RunLimits};
 use dmt_dfg::kernel::LaunchInput;
 use dmt_dfg::node::{eval_pure, MemSpace, NodeKind};
 use dmt_dfg::{Dfg, Kernel};
@@ -84,6 +84,25 @@ impl GpuMachine {
         input: LaunchInput,
         obs: &mut Obs,
     ) -> Result<GpuRunResult> {
+        self.run_limited(kernel, input, obs, &RunLimits::unlimited())
+    }
+
+    /// [`GpuMachine::run_observed`] under cooperative [`RunLimits`]:
+    /// the issue loop checks the deadline and cancellation token every
+    /// cycle (`now` carries across waves, so the budget bounds the
+    /// whole launch). The unlimited check is one compare per cycle.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuMachine::run`], plus [`Error::TimedOut`] /
+    /// [`Error::Cancelled`] when a limit trips.
+    pub fn run_limited(
+        &self,
+        kernel: &Kernel,
+        input: LaunchInput,
+        obs: &mut Obs,
+        limits: &RunLimits<'_>,
+    ) -> Result<GpuRunResult> {
         let program = lower(kernel)?;
         if input.params.len() != kernel.param_names().len() {
             return Err(Error::Runtime(format!(
@@ -139,6 +158,7 @@ impl GpuMachine {
                 &mut stats,
                 &mut per_phase,
                 &mut prev,
+                limits,
             )?;
             // Wave tail (including the final memory settle): the last
             // phase's share of this wave.
@@ -609,6 +629,7 @@ impl<'a> WaveExec<'a> {
         stats: &mut RunStats,
         per_phase: &mut [PhaseStats],
         prev: &mut PhaseStats,
+        limits: &RunLimits<'_>,
     ) -> Result<u64> {
         if self.stream.is_empty() {
             return Ok(self.now);
@@ -627,6 +648,11 @@ impl<'a> WaveExec<'a> {
                     .unwrap_or(self.now);
                 return Ok(self.now.max(settle));
             }
+            // Cooperative limits: deadline / cancellation, checked after
+            // the completion test so a wave that finished exactly at the
+            // budget still returns, and deterministically at the same
+            // simulated cycle on every host.
+            limits.check(self.now)?;
 
             // Barrier releases are the only events that can advance the
             // phase frontier; when it moves, credit everything since the

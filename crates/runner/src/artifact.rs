@@ -147,7 +147,9 @@ pub fn energy_json(e: &EnergyReport) -> Json {
 pub fn with_outcome(doc: Json, outcome: &JobOutcome) -> Json {
     let doc = doc.with("status", outcome.status());
     match outcome {
-        JobOutcome::Infeasible(e) => doc.with("error", e.as_str()),
+        JobOutcome::Infeasible(e) | JobOutcome::Failed(e) | JobOutcome::TimedOut(e) => {
+            doc.with("error", e.as_str())
+        }
         JobOutcome::Completed(m) => doc
             .with("kernel", m.kernel.as_str())
             .with("cycles", m.cycles())

@@ -45,6 +45,15 @@
 //! summary line, so a sweep log shows how much of a warm directory a
 //! version bump (e.g. v1 → v2) invalidated-as-miss.
 //!
+//! Store failures are counted too ([`CacheStats::store_failures`]), and
+//! an *unusable* directory degrades rather than errors:
+//! [`Cache::open_or_degraded`] falls back to counted no-cache operation
+//! (every lookup a miss, every store a counted skip) with one stderr
+//! line, so a read-only or broken cache path costs re-simulation, never
+//! the run. The `cache.read` / `cache.write` / `cache.rename`
+//! failpoints (`dmt_common::faults`) inject exactly these I/O failures
+//! deterministically.
+//!
 //! # What the key does NOT cover: the simulator itself
 //!
 //! `job_hash` addresses the *experiment point*, not the code that
@@ -67,6 +76,7 @@
 
 use crate::artifact::{Json, SCHEMA_VERSION};
 use crate::job::{JobMetrics, JobOutcome, JobSpec};
+use dmt_common::faults;
 use dmt_common::stats::{PhaseStats, RunStats};
 use dmt_core::energy::EnergyReport;
 use std::collections::HashMap;
@@ -87,6 +97,10 @@ pub struct CacheStats {
     /// schema version, invalidated by the version bump (the observable
     /// cost of a v1 → v2 migration in a warm directory).
     pub schema_invalidated: u64,
+    /// Stores that could not be persisted (I/O error, injected fault,
+    /// or skipped because the handle is degraded). Each one costs a
+    /// future re-simulation, never this run's results.
+    pub store_failures: u64,
 }
 
 /// An on-disk result store addressed by [`JobSpec::cache_key`].
@@ -96,13 +110,29 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct Cache {
     dir: PathBuf,
+    /// Degraded handles never touch the filesystem: lookups are counted
+    /// misses, stores are counted skips. Set once at open, never after.
+    degraded: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     schema_invalidated: AtomicU64,
+    store_failures: AtomicU64,
 }
 
 impl Cache {
+    fn with_dir(dir: PathBuf, degraded: bool) -> Cache {
+        Cache {
+            dir,
+            degraded,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            schema_invalidated: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+        }
+    }
+
     /// Opens (and creates, if needed) a cache directory.
     ///
     /// # Errors
@@ -112,13 +142,34 @@ impl Cache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Cache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Cache {
-            dir,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            stores: AtomicU64::new(0),
-            schema_invalidated: AtomicU64::new(0),
-        })
+        Ok(Cache::with_dir(dir, false))
+    }
+
+    /// [`Cache::open`] that never fails: when the directory cannot be
+    /// created (unwritable parent, a file in the way…), the handle
+    /// *degrades* to counted no-cache operation — every lookup is a
+    /// miss, every store a counted skip — and announces the degradation
+    /// once on stderr in the cache-report idiom. The run proceeds at
+    /// full correctness, paying re-simulation instead of persistence.
+    #[must_use]
+    pub fn open_or_degraded(dir: impl Into<PathBuf>) -> Cache {
+        let dir = dir.into();
+        match Cache::open(&dir) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!(
+                    "[dmt-runner] cache: degraded to no-cache operation — cannot open {}: {e}",
+                    dir.display()
+                );
+                Cache::with_dir(dir, true)
+            }
+        }
+    }
+
+    /// True when this handle degraded at open and performs no I/O.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The cache directory.
@@ -141,6 +192,7 @@ impl Cache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             schema_invalidated: self.schema_invalidated.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -151,6 +203,10 @@ impl Cache {
     /// invalidations are observable in the stderr summary.
     #[must_use]
     pub fn lookup(&self, spec: &JobSpec) -> Option<JobOutcome> {
+        if self.degraded || faults::hit(faults::site::CACHE_READ) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let found = std::fs::read_to_string(self.entry_path(spec))
             .ok()
             .map(|text| classify_entry(&text, spec));
@@ -177,16 +233,48 @@ impl Cache {
     /// writers of the same key race benignly (same content), and a kill
     /// mid-write cannot leave a half-entry under the final name.
     ///
+    /// Transient and timed-out outcomes are never persisted: a failed
+    /// job must retry, and a timed-out one depends on a deadline the
+    /// job hash does not cover — both are silently skipped.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors (callers log-and-continue: a failed
     /// store costs a future re-simulation, not this run's results).
+    /// Every error — propagated, injected or degraded-skip — is counted
+    /// in [`CacheStats::store_failures`].
     pub fn store(&self, spec: &JobSpec, outcome: &JobOutcome) -> std::io::Result<()> {
+        if !outcome.cacheable() {
+            return Ok(());
+        }
+        if self.degraded {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // announced once at open; not a per-job error
+        }
+        let result = self.store_inner(spec, outcome);
+        if result.is_err() {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn store_inner(&self, spec: &JobSpec, outcome: &JobOutcome) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
         let path = self.entry_path(spec);
         let tmp = self
             .dir
             .join(format!("{}.tmp.{}", spec.cache_key(), std::process::id()));
+        if faults::hit(faults::site::CACHE_WRITE) {
+            return Err(Error::new(
+                ErrorKind::StorageFull,
+                "injected fault: cache.write",
+            ));
+        }
         std::fs::write(&tmp, encode_entry(spec, outcome).render())?;
+        if faults::hit(faults::site::CACHE_RENAME) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(Error::other("injected fault: cache.rename"));
+        }
         std::fs::rename(&tmp, &path)?;
         self.stores.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -203,13 +291,27 @@ impl Cache {
         } else {
             String::new()
         };
+        // Annotations appear only when non-zero, so the healthy-path
+        // line stays byte-identical to what CI logs have always grepped.
+        let store_failures = if s.store_failures > 0 {
+            format!(", {} store-failures", s.store_failures)
+        } else {
+            String::new()
+        };
+        let degraded = if self.degraded {
+            " [degraded: no-cache]"
+        } else {
+            ""
+        };
         eprintln!(
-            "[dmt-runner] cache: {} hits, {} misses{}, {} stored ({})",
+            "[dmt-runner] cache: {} hits, {} misses{}, {} stored{} ({}){}",
             s.hits,
             s.misses,
             invalidated,
             s.stores,
-            self.dir.display()
+            store_failures,
+            self.dir.display(),
+            degraded
         );
     }
 
@@ -515,9 +617,89 @@ mod tests {
                 hits: 2,
                 misses: 0,
                 stores: 2,
-                schema_invalidated: 0
+                schema_invalidated: 0,
+                store_failures: 0
             }
         );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn transient_and_timed_out_outcomes_are_never_persisted() {
+        let cache = Cache::open(tmp_dir("no_persist")).unwrap();
+        let s = spec("scan", Arch::DmtCgra, 1);
+        cache
+            .store(&s, &JobOutcome::Failed("executor panicked".into()))
+            .unwrap();
+        cache
+            .store(&s, &JobOutcome::TimedOut("deadline".into()))
+            .unwrap();
+        assert!(!cache.entry_path(&s).exists(), "nothing may hit the disk");
+        assert_eq!(cache.stats().stores, 0);
+        // A handcrafted entry with a non-cacheable status is defective on
+        // read, so even a forged file cannot serve a failed outcome.
+        let forged = encode_entry(&s, &ok_outcome(9))
+            .render()
+            .replace("\"status\": \"ok\"", "\"status\": \"failed\"");
+        std::fs::write(cache.entry_path(&s), forged).unwrap();
+        assert_eq!(cache.lookup(&s), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn degraded_handle_counts_misses_and_skipped_stores_without_io() {
+        let parent = tmp_dir("degraded_parent");
+        // A *file* where the cache directory should go: create_dir_all
+        // fails, so open degrades instead of erroring.
+        std::fs::create_dir_all(&parent).unwrap();
+        let blocker = parent.join("cache");
+        std::fs::write(&blocker, "a file, not a directory").unwrap();
+        assert!(Cache::open(&blocker).is_err(), "open propagates");
+
+        let cache = Cache::open_or_degraded(&blocker);
+        assert!(cache.is_degraded());
+        let s = spec("scan", Arch::DmtCgra, 1);
+        assert_eq!(cache.lookup(&s), None);
+        cache.store(&s, &ok_outcome(5)).unwrap();
+        assert_eq!(cache.lookup(&s), None, "stores never land");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        assert_eq!((stats.stores, stats.store_failures), (0, 1));
+        assert!(cache.cost_index().is_empty());
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn injected_cache_faults_fail_reads_and_stores_deterministically() {
+        use dmt_common::faults::{install_guarded, FaultPlan};
+        let cache = Cache::open(tmp_dir("faults")).unwrap();
+        let s = spec("scan", Arch::DmtCgra, 1);
+        cache.store(&s, &ok_outcome(7)).unwrap();
+
+        {
+            let _guard = install_guarded(FaultPlan::parse("cache.read:nth=1").unwrap());
+            assert_eq!(cache.lookup(&s), None, "injected read fault is a miss");
+            assert_eq!(cache.lookup(&s), Some(ok_outcome(7)), "only hit 1 fires");
+        }
+        {
+            let _guard = install_guarded(FaultPlan::parse("cache.write:nth=1").unwrap());
+            let err = cache.store(&s, &ok_outcome(8)).unwrap_err();
+            assert!(err.to_string().contains("injected fault: cache.write"));
+        }
+        {
+            let _guard = install_guarded(FaultPlan::parse("cache.rename:nth=1").unwrap());
+            let err = cache.store(&s, &ok_outcome(8)).unwrap_err();
+            assert!(err.to_string().contains("injected fault: cache.rename"));
+            let tmp_leftovers = std::fs::read_dir(cache.dir())
+                .unwrap()
+                .flatten()
+                .filter(|e| e.path().to_string_lossy().contains(".tmp."))
+                .count();
+            assert_eq!(tmp_leftovers, 0, "failed rename cleans its temp file");
+        }
+        assert_eq!(cache.stats().store_failures, 2);
+        // The original entry survived both failed stores.
+        assert_eq!(cache.lookup(&s), Some(ok_outcome(7)));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -3,7 +3,8 @@
 //! Flags are **declared, not hand-parsed**: a [`Flag`] names one flag,
 //! says whether it takes a value, and carries its help line. The
 //! [`SHARED_FLAGS`] registry declares the runner flags every binary
-//! accepts (`--threads/--json/--cache/--no-cache/--progress/--smoke`);
+//! accepts (`--threads/--json/--cache/--no-cache/--progress/--smoke/`
+//! `--trace/--faults/--deadline-cycles`);
 //! a binary with flags of its own passes one more `&[Flag]` table to
 //! [`RunnerArgs::from_env_registry`] and reads them back with
 //! [`RunnerArgs::has_flag`] / [`RunnerArgs::flag_value`]. From the two
@@ -96,6 +97,16 @@ pub const SHARED_FLAGS: &[Flag] = &[
         "PATH",
         "export a Chrome-trace JSON of the runs (or DMT_TRACE=1|PATH)",
     ),
+    Flag::with_value(
+        "--faults",
+        "SPEC",
+        "deterministic fault injection, e.g. 'seed=1;cache.read:nth=2' (or DMT_FAULTS)",
+    ),
+    Flag::with_value(
+        "--deadline-cycles",
+        "N",
+        "per-job simulated-cycle budget; exceeding jobs report timed_out",
+    ),
 ];
 
 /// The generated `--help` text: usage line, the shared registry, then
@@ -153,6 +164,10 @@ pub struct RunnerArgs {
     pub smoke: bool,
     /// `--trace PATH`: Chrome-trace destination.
     pub trace: Option<PathBuf>,
+    /// `--faults SPEC`: deterministic fault-injection plan.
+    pub faults: Option<String>,
+    /// `--deadline-cycles N`: per-job simulated-cycle budget.
+    pub deadline_cycles: Option<u64>,
     /// `--progress`: live stderr progress.
     pub progress: bool,
     /// `--help`/`-h`: print generated help and exit.
@@ -185,7 +200,17 @@ impl RunnerArgs {
                 print!("{}", help_text(&binary, extra));
                 std::process::exit(0);
             }
-            Ok(a) => a,
+            Ok(a) => {
+                // Every binary honors fault injection: the plan installs
+                // into the process-global registry here, so seams deep in
+                // the stack (cache I/O, pool execution) see it without
+                // any per-binary wiring.
+                if let Err(e) = a.install_faults() {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+                a
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("{}", usage_line(&binary, extra));
@@ -340,6 +365,20 @@ impl RunnerArgs {
                 s if s.starts_with("--trace=") => {
                     out.trace = Some(PathBuf::from(&s["--trace=".len()..]));
                 }
+                "--faults" => {
+                    let v = it.next().ok_or("--faults needs a spec")?;
+                    out.faults = Some(parse_faults_spec(&v)?);
+                }
+                s if s.starts_with("--faults=") => {
+                    out.faults = Some(parse_faults_spec(&s["--faults=".len()..])?);
+                }
+                "--deadline-cycles" => {
+                    let v = it.next().ok_or("--deadline-cycles needs a value")?;
+                    out.deadline_cycles = Some(parse_deadline(&v)?);
+                }
+                s if s.starts_with("--deadline-cycles=") => {
+                    out.deadline_cycles = Some(parse_deadline(&s["--deadline-cycles=".len()..])?);
+                }
                 // A misspelled flag must not silently degrade the run
                 // (e.g. `--thread 8` quietly using all cores); only bare
                 // positionals pass through to the binary.
@@ -388,19 +427,30 @@ impl RunnerArgs {
         }
     }
 
-    /// Opens the result cache these arguments ask for, exiting with
-    /// status 2 when the requested directory cannot be created — a run
-    /// the user asked to cache must not silently run uncached.
+    /// Opens the result cache these arguments ask for. An unusable
+    /// directory **degrades** to counted no-cache operation with one
+    /// stderr line instead of aborting the run — hours of simulation
+    /// must not die over a full disk, and the degradation is visible in
+    /// the cache report (`[degraded: no-cache]`).
     #[must_use]
     pub fn cache_store(&self) -> Option<Cache> {
-        let dir = self.cache_dir()?;
-        match Cache::open(&dir) {
-            Ok(c) => Some(c),
-            Err(e) => {
-                eprintln!("error: cannot open cache directory {}: {e}", dir.display());
-                std::process::exit(2);
-            }
+        Some(Cache::open_or_degraded(&self.cache_dir()?))
+    }
+
+    /// Installs the fault-injection plan these arguments ask for:
+    /// `--faults SPEC` wins, else `DMT_FAULTS`, else the failpoints stay
+    /// disabled (the zero-overhead path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse message for a malformed spec — a CLI must
+    /// refuse to run with a half-applied fault schedule.
+    pub fn install_faults(&self) -> Result<bool, String> {
+        if let Some(spec) = &self.faults {
+            dmt_common::faults::install(dmt_common::faults::FaultPlan::parse(spec)?);
+            return Ok(true);
         }
+        dmt_common::faults::init_from_env()
     }
 
     /// The effective Chrome-trace destination: `--trace PATH` wins, then
@@ -481,6 +531,16 @@ impl RunnerArgs {
             std::process::exit(2);
         }
     }
+
+    /// Exits with status 2 when `--deadline-cycles` was passed to a
+    /// binary whose runs bypass the limit-aware executor — a requested
+    /// budget must never be silently ignored.
+    pub fn forbid_deadline(&self, binary: &str) {
+        if self.deadline_cycles.is_some() {
+            eprintln!("error: {binary} does not support --deadline-cycles");
+            std::process::exit(2);
+        }
+    }
 }
 
 // An empty directory would resolve entries to bare `<hash>.json` in the
@@ -491,6 +551,22 @@ fn parse_cache_dir(v: &str) -> Result<PathBuf, String> {
         return Err("--cache needs a directory".to_owned());
     }
     Ok(PathBuf::from(v))
+}
+
+// The spec is validated at parse time (not at install time) so a typo'd
+// site name dies with the usage line, before any simulation starts.
+fn parse_faults_spec(v: &str) -> Result<String, String> {
+    dmt_common::faults::FaultPlan::parse(v)?;
+    Ok(v.to_owned())
+}
+
+fn parse_deadline(v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid deadline {v:?} (need a cycle count >= 1; omit the flag for unlimited)"
+        )),
+    }
 }
 
 fn parse_threads(v: &str) -> Result<usize, String> {
@@ -667,6 +743,30 @@ mod tests {
             assert!(text.contains(f.help), "help must describe {}", f.name);
         }
         assert!(usage_line("bench_hotpath", FLAGS).contains("[--iters N]"));
+    }
+
+    #[test]
+    fn faults_and_deadline_flags_parse_and_validate() {
+        let a = parse(&[
+            "--faults",
+            "cache.read:nth=1;seed=3",
+            "--deadline-cycles",
+            "500",
+        ]);
+        assert_eq!(a.faults.as_deref(), Some("cache.read:nth=1;seed=3"));
+        assert_eq!(a.deadline_cycles, Some(500));
+        let a = parse(&["--faults=pool.exec:prob=0.5", "--deadline-cycles=1"]);
+        assert_eq!(a.faults.as_deref(), Some("pool.exec:prob=0.5"));
+        assert_eq!(a.deadline_cycles, Some(1));
+        // A typo'd site name dies at the CLI with the parse message,
+        // long before any simulation starts.
+        let err = RunnerArgs::parse(["--faults=bogus:nth=1".to_owned()]).unwrap_err();
+        assert!(err.contains("unknown fault site"), "{err}");
+        assert!(RunnerArgs::parse(["--faults".to_owned()]).is_err());
+        // Deadline 0 would time out every job before cycle 0 — reject.
+        assert!(RunnerArgs::parse(["--deadline-cycles".to_owned(), "0".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--deadline-cycles=x".to_owned()]).is_err());
+        assert!(RunnerArgs::parse(["--deadline-cycles".to_owned()]).is_err());
     }
 
     #[test]

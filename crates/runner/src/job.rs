@@ -121,6 +121,17 @@ pub enum JobOutcome {
     /// The point is infeasible (e.g. a kernel whose |ΔTID| exceeds the
     /// swept window cannot compile); the message is the leaf error.
     Infeasible(String),
+    /// The job failed *transiently*: the executor panicked, was
+    /// cancelled, or an injected fault tripped. Unlike
+    /// [`Infeasible`](JobOutcome::Infeasible) this says nothing about
+    /// the point itself — a retry may succeed, so failed outcomes are
+    /// never cached.
+    Failed(String),
+    /// The run exceeded its simulated-cycle deadline. Permanent for the
+    /// deadline it ran under, but the deadline is not part of the job
+    /// hash, so timed-out outcomes are never cached either (an entry
+    /// cached under one budget would poison runs with a larger one).
+    TimedOut(String),
 }
 
 impl JobOutcome {
@@ -135,26 +146,46 @@ impl JobOutcome {
     pub fn metrics(&self) -> Option<&JobMetrics> {
         match self {
             JobOutcome::Completed(m) => Some(m.as_ref()),
-            JobOutcome::Infeasible(_) => None,
+            _ => None,
         }
     }
 
-    /// The error message, when the point was infeasible.
+    /// The error message, when the job did not complete.
     #[must_use]
     pub fn error(&self) -> Option<&str> {
         match self {
             JobOutcome::Completed(_) => None,
-            JobOutcome::Infeasible(e) => Some(e),
+            JobOutcome::Infeasible(e) | JobOutcome::Failed(e) | JobOutcome::TimedOut(e) => Some(e),
         }
     }
 
-    /// `"ok"` or `"infeasible"` — the artifact status string.
+    /// `"ok"`, `"infeasible"`, `"failed"` or `"timed_out"` — the
+    /// artifact status string.
     #[must_use]
     pub fn status(&self) -> &'static str {
         match self {
             JobOutcome::Completed(_) => "ok",
             JobOutcome::Infeasible(_) => "infeasible",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::TimedOut(_) => "timed_out",
         }
+    }
+
+    /// True for outcomes a retry may change ([`Failed`]); infeasible
+    /// and timed-out outcomes are permanent under the same inputs.
+    ///
+    /// [`Failed`]: JobOutcome::Failed
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobOutcome::Failed(_))
+    }
+
+    /// True for the outcomes a result cache may persist: completed and
+    /// infeasible. Failed is retryable; timed-out depends on a deadline
+    /// that is not part of the job hash.
+    #[must_use]
+    pub fn cacheable(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_) | JobOutcome::Infeasible(_))
     }
 }
 
@@ -198,6 +229,21 @@ mod tests {
         assert_eq!(inf.status(), "infeasible");
         assert_eq!(inf.error(), Some("no"));
         assert!(inf.metrics().is_none());
+        assert!(!inf.is_transient());
+        assert!(inf.cacheable());
+
+        let failed = JobOutcome::Failed("executor panicked".into());
+        assert_eq!(failed.status(), "failed");
+        assert_eq!(failed.error(), Some("executor panicked"));
+        assert!(failed.metrics().is_none());
+        assert!(failed.is_transient());
+        assert!(!failed.cacheable());
+
+        let timed = JobOutcome::TimedOut("deadline exceeded at cycle 10".into());
+        assert_eq!(timed.status(), "timed_out");
+        assert!(timed.error().unwrap().contains("cycle 10"));
+        assert!(!timed.is_transient());
+        assert!(!timed.cacheable());
     }
 
     #[test]

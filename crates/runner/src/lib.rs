@@ -76,7 +76,7 @@ pub use cache::{Cache, CacheStats, CostIndex};
 pub use cli::{resolve_threads, Flag, RunnerArgs};
 pub use hash::{config_hash, StableHasher};
 pub use job::{JobMetrics, JobOutcome, JobSpec};
-pub use plan::ExecPlan;
+pub use plan::{panic_message, ExecPlan};
 pub use pool::run_indexed;
 #[allow(deprecated)]
 pub use pool::{run_jobs, run_jobs_cached, run_scheduled};

@@ -32,8 +32,12 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// A panicking executor poisons the pool and propagates: the scope joins
-/// every worker before unwinding, so no result is silently dropped.
+/// A panicking executor propagates — but only after every worker has
+/// joined, and sibling items already dispatched keep running to
+/// completion first; no result slot is corrupted. Callers who want a
+/// panic to cost one *job* rather than the whole run get that isolation
+/// from [`crate::plan::ExecPlan`], which wraps its executor in
+/// `catch_unwind` and turns the panic into a typed `Failed` slot.
 pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -92,13 +96,19 @@ where
                 }
                 let i = at(k);
                 let out = f(i);
-                slots.lock().expect("pool poisoned")[i] = Some(out);
+                // Recover a poisoned lock: each slot is written exactly
+                // once, so a sibling's panic cannot have left the vector
+                // half-updated — refusing the lock would only discard
+                // finished work.
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(out);
             });
         }
     });
     slots
         .into_inner()
-        .expect("pool poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()

@@ -68,6 +68,12 @@ impl Progress {
             JobOutcome::Infeasible(e) => {
                 eprintln!("[dmt-runner] [{done}/{total}] {spec}: infeasible ({e})");
             }
+            JobOutcome::Failed(e) => {
+                eprintln!("[dmt-runner] [{done}/{total}] {spec}: failed ({e})");
+            }
+            JobOutcome::TimedOut(e) => {
+                eprintln!("[dmt-runner] [{done}/{total}] {spec}: timed out ({e})");
+            }
         }
     }
 

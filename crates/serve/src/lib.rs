@@ -16,13 +16,29 @@
 //!
 //! Admission is bounded: at most `--queue-depth` jobs may be queued or
 //! running, and a `submit` that would exceed the bound is rejected whole
-//! with `{"ok":false,...,"retry_after_ms":N}` — clients back off and
-//! retry rather than the daemon buffering unboundedly. Admitted batches
-//! are cost-sorted (longest first, from the cache's observed per-key
-//! costs) and executed on the same [`ExecPlan`](dmt_runner::ExecPlan)
-//! worker pool the bench
-//! binaries use, so a grid submitted over the wire is scheduled exactly
-//! like `fig11_speedup` would schedule it.
+//! with `{"ok":false,...,"retry_after_ms":N}` (the hint carries
+//! deterministic jitter so rejected clients spread their retries) —
+//! clients back off and retry rather than the daemon buffering
+//! unboundedly. Admitted batches are cost-sorted (longest first, from
+//! the cache's observed per-key costs) and executed index-ordered on
+//! the runner's worker pool, so a grid submitted over the wire is
+//! scheduled exactly like `fig11_speedup` would schedule it.
+//!
+//! ## Robustness
+//!
+//! Every executor attempt runs under `catch_unwind` with a per-job
+//! simulated-cycle budget ([`dmt_common::RunLimits`]): a panicking or
+//! transiently-failing job (injected fault, cancellation) is retried
+//! with exponential backoff and deterministic jitter up to
+//! `--max-retries` extra attempts, then marked `failed`; a job that
+//! exceeds its `deadline_cycles` (per-job in the submit, or the
+//! daemon's `--deadline-cycles` default) is marked `timed_out` and
+//! never retried or cached. `status` reports the full attempt history.
+//! Client connections are expendable — a disconnect mid-request or
+//! mid-response is logged and the connection recycled. Fault injection
+//! (`--faults` / `DMT_FAULTS`, see [`dmt_common::faults`]) covers the
+//! daemon's own sites: `serve.conn` drops accepted connections,
+//! `serve.request` fails parsed requests.
 //!
 //! ## Status logging
 //!
@@ -36,7 +52,7 @@
 //! [dmt-serve] submit: 9 jobs (2 hits, 0 known, 7 queued; depth 7/256)
 //! [dmt-serve] 86c1b2... : scan@dMT-CGRA (seed 42) ok in 12 ms (attempt 1)
 //! [dmt-serve] drain: 3 outstanding
-//! [dmt-serve] drained: 9 done, 0 failed; exiting
+//! [dmt-serve] drained: 9 done, 0 failed, 0 timed out; exiting
 //! ```
 //!
 //! Requests never get per-line logs beyond these (no access log): the
@@ -46,9 +62,9 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, Request, SubmitJob};
 pub use server::{Executor, ServeOptions, ServeSummary, Server};
-pub use state::{Inner, JobEntry, JobState};
+pub use state::{AttemptRecord, Inner, JobEntry, JobState};
 
 /// The seed a submitted job gets when the request omits one — the same
 /// seed the paper-figure binaries use for the Table 3 suite.

@@ -1,10 +1,13 @@
 //! `dmt-serve` — the simulation daemon binary.
 //!
 //! Serves the Table 3 suite over TCP with the real bench executor.
-//! Runner flags `--threads` and `--cache DIR` apply (cache default:
-//! `artifacts/serve-cache`; the daemon *requires* a cache — it is the
-//! result store); `--json`, `--progress` and `--smoke` do not. Binary
-//! flags: `--addr HOST:PORT`, `--queue-depth N`, `--retry-after-ms MS`.
+//! Runner flags `--threads`, `--cache DIR`, `--faults SPEC` and
+//! `--deadline-cycles N` (the default per-job budget; a submit may
+//! override it per job) apply (cache default: `artifacts/serve-cache`;
+//! the daemon *requires* a cache — it is the result store); `--json`,
+//! `--progress` and `--smoke` do not. Binary flags: `--addr HOST:PORT`,
+//! `--queue-depth N`, `--retry-after-ms MS`, `--max-retries N`,
+//! `--retry-backoff-ms MS`.
 
 use dmt_runner::{Flag, RunnerArgs};
 use dmt_serve::{ServeOptions, Server};
@@ -26,6 +29,16 @@ const FLAGS: &[Flag] = &[
         "--retry-after-ms",
         "MS",
         "backoff hint sent with queue-full rejections (default 500)",
+    ),
+    Flag::with_value(
+        "--max-retries",
+        "N",
+        "extra attempts for transiently-failed jobs (default 2; 0 disables retry)",
+    ),
+    Flag::with_value(
+        "--retry-backoff-ms",
+        "MS",
+        "base retry backoff, doubled per attempt plus jitter (default 50)",
     ),
 ];
 
@@ -66,6 +79,9 @@ fn main() {
         threads: args.effective_threads(),
         queue_depth,
         retry_after_ms: value_or(&args, "--retry-after-ms", 500),
+        max_retries: value_or(&args, "--max-retries", 2),
+        retry_backoff_ms: value_or(&args, "--retry-backoff-ms", 50),
+        deadline_cycles: args.deadline_cycles,
         benches: dmt_kernels::suite::all()
             .iter()
             .map(|b| b.info().name.to_owned())
@@ -74,11 +90,16 @@ fn main() {
     let cache_dir = args
         .cache_dir()
         .unwrap_or_else(|| PathBuf::from("artifacts/serve-cache"));
-    let server = Server::bind(&*addr, &cache_dir, opts, Box::new(dmt_bench::execute_job))
-        .unwrap_or_else(|e| {
-            eprintln!("error: cannot start on {addr}: {e}");
-            exit(2);
-        });
+    let server = Server::bind(
+        &*addr,
+        &cache_dir,
+        opts,
+        Box::new(dmt_bench::execute_job_limited),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot start on {addr}: {e}");
+        exit(2);
+    });
     match server.run() {
         Ok(_) => exit(0),
         Err(e) => {

@@ -10,7 +10,9 @@
 //!   the suite seed) and an optional `"config"` object of dotted-path
 //!   overrides onto [`SystemConfig::default`] — the same 54 leaves
 //!   [`SystemConfig::visit_fields`] walks, e.g.
-//!   `{"fabric.inflight_threads":512}`.
+//!   `{"fabric.inflight_threads":512}`. An optional per-job
+//!   `"deadline_cycles"` caps the simulated-cycle budget (not part of
+//!   the job hash; see [`SubmitJob`]).
 //! - `status` — `{"verb":"status","job_hash":"<16 hex>"}`.
 //! - `result` — `{"verb":"result","job_hash":"<16 hex>"}`.
 //! - `metrics` — `{"verb":"metrics"}`: daemon counters — queue depth,
@@ -27,11 +29,25 @@ use dmt_core::{Arch, SystemConfig};
 use dmt_runner::artifact::Json;
 use dmt_runner::JobSpec;
 
+/// One job of a `submit` request: the spec plus per-job execution
+/// knobs that are **not** part of the job's content hash (a deadline
+/// changes when a run is cut short, not what the job computes — and a
+/// timed-out outcome is never cached, so the hash must not depend on
+/// it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitJob {
+    /// The content-hashed job identity.
+    pub spec: JobSpec,
+    /// Optional simulated-cycle budget (`"deadline_cycles"`); `None`
+    /// falls back to the daemon's `--deadline-cycles` default.
+    pub deadline_cycles: Option<u64>,
+}
+
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Admit a grid of jobs (possibly a single one).
-    Submit(Vec<JobSpec>),
+    Submit(Vec<SubmitJob>),
     /// Report one job's lifecycle state.
     Status(u64),
     /// Serve one job's artifact JSON.
@@ -103,7 +119,7 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
     Ok(Request::Submit(specs))
 }
 
-fn parse_job(job: &Json) -> Result<JobSpec, String> {
+fn parse_job(job: &Json) -> Result<SubmitJob, String> {
     let bench = job
         .get("bench")
         .and_then(Json::as_str)
@@ -133,7 +149,22 @@ fn parse_job(job: &Json) -> Result<JobSpec, String> {
         }
         Some(_) => return Err("\"config\" must be an object".into()),
     }
-    Ok(JobSpec::new(bench, arch, cfg, seed))
+    let deadline_cycles = match job.get("deadline_cycles") {
+        None => None,
+        Some(d) => {
+            let n = d
+                .as_u64()
+                .ok_or("\"deadline_cycles\" must be an unsigned integer")?;
+            if n == 0 {
+                return Err("\"deadline_cycles\" must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    Ok(SubmitJob {
+        spec: JobSpec::new(bench, arch, cfg, seed),
+        deadline_cycles,
+    })
 }
 
 fn parse_hash(doc: &Json) -> Result<u64, String> {
@@ -166,15 +197,49 @@ mod tests {
             panic!("expected submit")
         };
         assert_eq!(specs.len(), 2);
-        assert_eq!(specs[0].bench, "scan");
-        assert_eq!(specs[0].arch, Arch::DmtCgra);
-        assert_eq!(specs[0].seed, crate::DEFAULT_SEED);
-        assert_eq!(specs[1].arch, Arch::MtCgra);
-        assert_eq!(specs[1].seed, 7);
-        assert_eq!(specs[1].cfg.fabric.inflight_threads, 512);
+        assert_eq!(specs[0].spec.bench, "scan");
+        assert_eq!(specs[0].spec.arch, Arch::DmtCgra);
+        assert_eq!(specs[0].spec.seed, crate::DEFAULT_SEED);
+        assert_eq!(specs[0].deadline_cycles, None);
+        assert_eq!(specs[1].spec.arch, Arch::MtCgra);
+        assert_eq!(specs[1].spec.seed, 7);
+        assert_eq!(specs[1].spec.cfg.fabric.inflight_threads, 512);
         // The override must flow into the content hash.
         let default = JobSpec::new("matrixMul", Arch::MtCgra, SystemConfig::default(), 7);
-        assert_ne!(specs[1].job_hash(), default.job_hash());
+        assert_ne!(specs[1].spec.job_hash(), default.job_hash());
+    }
+
+    #[test]
+    fn deadline_cycles_parses_but_stays_out_of_the_job_hash() {
+        let req = parse_request(
+            r#"{"verb":"submit","job":{"bench":"scan","arch":"dmt_cgra","deadline_cycles":500}}"#,
+        )
+        .expect("parses");
+        let Request::Submit(jobs) = req else {
+            panic!("expected submit")
+        };
+        assert_eq!(jobs[0].deadline_cycles, Some(500));
+        // Same spec without a deadline: identical content hash — the
+        // budget changes when a run is cut short, not what it computes.
+        let bare = parse_request(r#"{"verb":"submit","job":{"bench":"scan","arch":"dmt_cgra"}}"#)
+            .expect("parses");
+        let Request::Submit(bare) = bare else {
+            panic!("expected submit")
+        };
+        assert_eq!(jobs[0].spec.job_hash(), bare[0].spec.job_hash());
+        for (line, needle) in [
+            (
+                r#"{"verb":"submit","job":{"bench":"scan","arch":"dmt_cgra","deadline_cycles":0}}"#,
+                "at least 1",
+            ),
+            (
+                r#"{"verb":"submit","job":{"bench":"scan","arch":"dmt_cgra","deadline_cycles":"x"}}"#,
+                "unsigned integer",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err:?}");
+        }
     }
 
     #[test]

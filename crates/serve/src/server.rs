@@ -1,5 +1,5 @@
 //! The daemon: TCP accept loop, per-connection handlers, and the
-//! dispatcher that feeds admitted jobs to the [`ExecPlan`] worker pool.
+//! dispatcher that feeds admitted jobs to the worker pool.
 //!
 //! Concurrency shape: one nonblocking accept loop (the thread that
 //! called [`Server::run`]), one detached handler thread per connection,
@@ -7,25 +7,45 @@
 //! single mutex plus a condvar the dispatcher waits on; executors run
 //! outside the lock. The dispatcher takes the whole admission queue as
 //! a batch, sorts it by [`cost_order`] (longest first, from the cache's
-//! observed costs), and runs it on [`ExecPlan`] — so an idle daemon
-//! that receives a grid schedules it exactly like the batch runner
-//! would.
+//! observed costs), and runs it on the runner's index-ordered pool — so
+//! an idle daemon that receives a grid schedules it exactly like the
+//! batch runner would.
+//!
+//! # Failure handling
+//!
+//! Every executor attempt runs under `catch_unwind` with a per-job
+//! [`RunLimits`] deadline. Outcomes are classified:
+//!
+//! * **done** (`ok`/`infeasible`) — stored to the cache, counted;
+//! * **timed out** — permanent for the budget it ran under, never
+//!   cached, counted separately;
+//! * **transient** (panic, cancellation, injected fault) — re-queued
+//!   with exponential backoff plus deterministic jitter, up to
+//!   `max_retries` extra attempts, then marked failed. Nothing
+//!   transient is ever cached, so a resubmission after restart retries.
+//!
+//! Client connections are likewise expendable: a read or write error is
+//! logged and the connection recycled; a panicking request handler
+//! answers `{"ok":false}` instead of killing the handler thread.
 
-use crate::protocol::{self, parse_request, Request};
-use crate::state::{Inner, JobEntry, JobState};
+use crate::protocol::{self, parse_request, Request, SubmitJob};
+use crate::state::{AttemptRecord, Inner, JobEntry, JobState, Retry};
+use dmt_common::faults;
+use dmt_common::RunLimits;
 use dmt_runner::artifact::{Json, SCHEMA_VERSION};
 use dmt_runner::cache::cost_order;
-use dmt_runner::{Cache, ExecPlan, JobOutcome, JobSpec};
+use dmt_runner::{panic_message, Cache, JobOutcome, JobSpec};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How a job outcome is produced; injected so tests can count or gate
-/// executions.
-pub type Executor = Box<dyn Fn(&JobSpec) -> JobOutcome + Send + Sync>;
+/// executions. The executor must honor the [`RunLimits`] cooperatively
+/// (the bench executor's `execute_job_limited` does).
+pub type Executor = Box<dyn Fn(&JobSpec, &RunLimits<'_>) -> JobOutcome + Send + Sync>;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,8 +56,19 @@ pub struct ServeOptions {
     /// would push `outstanding` past this is rejected whole with a
     /// `retry_after_ms` hint.
     pub queue_depth: usize,
-    /// The hint returned with a backpressure rejection.
+    /// The base hint returned with a backpressure rejection; each
+    /// rejection adds deterministic jitter (up to half the base) so a
+    /// thundering herd of rejected clients does not retry in lockstep.
     pub retry_after_ms: u64,
+    /// Extra executor attempts granted to transiently-failed jobs
+    /// (panic, cancellation, injected fault). 0 disables retry.
+    pub max_retries: u32,
+    /// Base backoff before a retry attempt; doubles per attempt (capped
+    /// at 64×) plus deterministic jitter from the job hash.
+    pub retry_backoff_ms: u64,
+    /// Default simulated-cycle budget for jobs that do not carry their
+    /// own `deadline_cycles`; `None` means unlimited.
+    pub deadline_cycles: Option<u64>,
     /// Accepted benchmark names; empty means accept any.
     pub benches: Vec<String>,
 }
@@ -48,6 +79,9 @@ impl Default for ServeOptions {
             threads: 1,
             queue_depth: 256,
             retry_after_ms: 500,
+            max_retries: 2,
+            retry_backoff_ms: 50,
+            deadline_cycles: None,
             benches: Vec::new(),
         }
     }
@@ -58,8 +92,10 @@ impl Default for ServeOptions {
 pub struct ServeSummary {
     /// Jobs executed to completion.
     pub done: u64,
-    /// Jobs whose executor panicked.
+    /// Jobs that exhausted their retry budget.
     pub failed: u64,
+    /// Jobs that exceeded their simulated-cycle deadline.
+    pub timed_out: u64,
 }
 
 struct Shared {
@@ -68,6 +104,13 @@ struct Shared {
     exec: Executor,
     inner: Mutex<Inner>,
     work: Condvar,
+}
+
+/// Locks the state, recovering from poisoning: a panicking handler
+/// thread must not wedge the daemon (the state it guards is counters
+/// and a job table, each updated atomically under one lock hold).
+fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A bound, not-yet-running daemon.
@@ -105,8 +148,9 @@ impl Server {
     }
 
     /// Serves until a `drain` request has been honored: accepts
-    /// connections, finishes all admitted work, then returns the
-    /// lifetime summary (and prints the cache report to stderr).
+    /// connections, finishes all admitted work (including pending
+    /// retries), then returns the lifetime summary (and prints the
+    /// cache report to stderr).
     pub fn run(self) -> io::Result<ServeSummary> {
         let addr = self.listener.local_addr()?;
         eprintln!(
@@ -127,7 +171,7 @@ impl Server {
                     std::thread::spawn(move || handle_client(&shared, stream));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if self.shared.inner.lock().expect("state lock").draining {
+                    if lock_inner(&self.shared).draining {
                         break;
                     }
                     std::thread::sleep(Duration::from_millis(15));
@@ -138,30 +182,59 @@ impl Server {
         drop(self.listener);
         dispatcher.join().expect("dispatcher thread");
         self.shared.cache.report();
-        let inner = self.shared.inner.lock().expect("state lock");
+        let inner = lock_inner(&self.shared);
         eprintln!(
-            "[dmt-serve] drained: {} done, {} failed; exiting",
-            inner.done, inner.failed
+            "[dmt-serve] drained: {} done, {} failed, {} timed out; exiting",
+            inner.done, inner.failed, inner.timed_out
         );
         Ok(ServeSummary {
             done: inner.done,
             failed: inner.failed,
+            timed_out: inner.timed_out,
         })
     }
 }
 
-/// The dispatcher loop: wait for admitted work, take the whole queue as
-/// a batch, cost-sort it, run it on the worker pool. Returns once
-/// draining is set and the queue is empty.
+/// The dispatcher loop: wait for admitted work (promoting due retries
+/// back into the queue), take the whole queue as a batch, cost-sort it,
+/// run it on the worker pool. Returns once draining is set and both the
+/// queue and the retry schedule are empty.
 fn dispatch(shared: &Shared) {
     loop {
         let batch: Vec<JobSpec> = {
-            let mut inner = shared.inner.lock().expect("state lock");
-            while inner.queue.is_empty() && !inner.draining {
-                inner = shared.work.wait(inner).expect("state lock");
-            }
-            if inner.queue.is_empty() {
-                return;
+            let mut inner = lock_inner(shared);
+            loop {
+                // Promote retries whose backoff has elapsed.
+                let now = Instant::now();
+                let mut due = Vec::new();
+                inner.retries.retain(|r| {
+                    if r.due <= now {
+                        due.push(r.hash);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                inner.queue.extend(due);
+                if !inner.queue.is_empty() {
+                    break;
+                }
+                if inner.draining && inner.retries.is_empty() {
+                    return;
+                }
+                // Sleep until the earliest retry is due; submit/drain
+                // notifications wake the wait early.
+                let wait = inner
+                    .retries
+                    .iter()
+                    .map(|r| r.due.saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_secs(3600));
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(inner, wait)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
             }
             let hashes = std::mem::take(&mut inner.queue);
             hashes.iter().map(|h| inner.jobs[h].spec.clone()).collect()
@@ -171,87 +244,149 @@ fn dispatch(shared: &Shared) {
         let refs: Vec<&JobSpec> = batch.iter().collect();
         let order = cost_order(&refs, &shared.cache.cost_index());
         let sorted: Vec<JobSpec> = order.iter().map(|&i| batch[i].clone()).collect();
-        ExecPlan::new(&sorted)
-            .threads(shared.opts.threads)
-            .run(|spec| run_one(shared, spec));
+        // run_indexed rather than ExecPlan: the daemon does its own
+        // outcome accounting (retry, timed_out, history) in run_one, and
+        // the plan's job-level fault isolation would produce outcomes
+        // outside that accounting.
+        dmt_runner::run_indexed(sorted.len(), shared.opts.threads, |i| {
+            run_one(shared, &sorted[i]);
+        });
     }
 }
 
-/// Executes one admitted job: marks it running, runs the executor under
-/// `catch_unwind`, stores successful outcomes to the cache, and updates
-/// the table. Panics become `Failed` entries and are never cached.
-fn run_one(shared: &Shared, spec: &JobSpec) -> JobOutcome {
+/// Executes one admitted job attempt: marks it running, runs the
+/// executor under `catch_unwind` with the job's deadline, classifies
+/// the outcome (done / timed out / transient), stores cacheable
+/// outcomes, and updates the table — scheduling a backoff retry for
+/// transient failures with budget left.
+fn run_one(shared: &Shared, spec: &JobSpec) {
     let hash = spec.job_hash();
-    let attempt = {
-        let mut inner = shared.inner.lock().expect("state lock");
+    let (attempt, deadline) = {
+        let mut inner = lock_inner(shared);
         match inner.jobs.get_mut(&hash) {
             Some(entry) => {
                 entry.state = JobState::Running;
                 entry.attempts += 1;
-                entry.attempts
+                (
+                    entry.attempts,
+                    entry.deadline_cycles.or(shared.opts.deadline_cycles),
+                )
             }
-            None => 1,
+            None => (1, shared.opts.deadline_cycles),
         }
     };
+    let limits = RunLimits {
+        deadline_cycles: deadline.unwrap_or(u64::MAX),
+        cancel: None,
+    };
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| (shared.exec)(spec)));
+    let result = catch_unwind(AssertUnwindSafe(|| (shared.exec)(spec, &limits)));
     let ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
-    match result {
-        Ok(outcome) => {
-            if let Err(e) = shared.cache.store(spec, &outcome) {
-                eprintln!(
-                    "[dmt-serve] warning: cache store failed for {spec}: {e} ({})",
-                    shared.cache.entry_path(spec).display()
-                );
-            }
-            let mut inner = shared.inner.lock().expect("state lock");
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            JobOutcome::Failed(format!("executor panicked: {}", panic_message(payload)))
+        }
+    };
+    // The cache itself refuses transient and timed-out outcomes; this
+    // guard just skips the I/O (and the store-failure warning) for them.
+    if outcome.cacheable() {
+        if let Err(e) = shared.cache.store(spec, &outcome) {
+            eprintln!(
+                "[dmt-serve] warning: cache store failed for {spec}: {e} ({})",
+                shared.cache.entry_path(spec).display()
+            );
+        }
+    }
+    let record = AttemptRecord {
+        status: outcome.status(),
+        wall_ms: ms,
+        error: outcome.error().map(str::to_owned),
+    };
+    let key = protocol::hash_str(hash);
+    let mut inner = lock_inner(shared);
+    match &outcome {
+        JobOutcome::Completed(_) | JobOutcome::Infeasible(_) => {
             if let Some(entry) = inner.jobs.get_mut(&hash) {
                 entry.state = JobState::Done;
+                entry.error = None;
                 entry.wall_ms = Some(ms);
+                entry.history.push(record);
             }
             inner.outstanding = inner.outstanding.saturating_sub(1);
             inner.done += 1;
             eprintln!(
-                "[dmt-serve] {}: {spec} {} in {ms} ms (attempt {attempt})",
-                protocol::hash_str(hash),
+                "[dmt-serve] {key}: {spec} {} in {ms} ms (attempt {attempt})",
                 outcome.status()
             );
-            outcome
         }
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            let mut inner = shared.inner.lock().expect("state lock");
+        JobOutcome::TimedOut(msg) => {
             if let Some(entry) = inner.jobs.get_mut(&hash) {
-                entry.state = JobState::Failed;
+                entry.state = JobState::TimedOut;
                 entry.error = Some(msg.clone());
                 entry.wall_ms = Some(ms);
+                entry.history.push(record);
             }
             inner.outstanding = inner.outstanding.saturating_sub(1);
-            inner.failed += 1;
+            inner.timed_out += 1;
             eprintln!(
-                "[dmt-serve] {}: {spec} FAILED after {ms} ms (attempt {attempt}): {msg}",
-                protocol::hash_str(hash)
+                "[dmt-serve] {key}: {spec} TIMED OUT after {ms} ms (attempt {attempt}): {msg}"
             );
-            // Sentinel for the pool's result slot; never stored, so a
-            // resubmission after restart retries the job.
-            JobOutcome::Infeasible(format!("executor panicked: {msg}"))
         }
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "executor panicked".to_owned()
+        JobOutcome::Failed(msg) => {
+            if attempt <= shared.opts.max_retries {
+                // Transient, budget left: exponential backoff (base ×
+                // 2^(attempt-1), capped at 64×) plus jitter derived
+                // deterministically from the job hash and attempt.
+                let backoff = shared.opts.retry_backoff_ms << (attempt - 1).min(6);
+                let jitter = faults::splitmix64(hash ^ u64::from(attempt)) % (backoff / 2 + 1);
+                let delay = Duration::from_millis(backoff + jitter);
+                if let Some(entry) = inner.jobs.get_mut(&hash) {
+                    entry.state = JobState::Queued;
+                    entry.error = Some(msg.clone());
+                    entry.wall_ms = Some(ms);
+                    entry.history.push(record);
+                }
+                inner.retries.push(Retry {
+                    hash,
+                    due: Instant::now() + delay,
+                });
+                eprintln!(
+                    "[dmt-serve] {key}: {spec} failed transiently (attempt {attempt}/{}), \
+                     retrying in {} ms: {msg}",
+                    shared.opts.max_retries + 1,
+                    delay.as_millis()
+                );
+                // The dispatcher may be asleep with no other work: wake
+                // it so it re-computes its wait for the new due time.
+                shared.work.notify_all();
+            } else {
+                if let Some(entry) = inner.jobs.get_mut(&hash) {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(msg.clone());
+                    entry.wall_ms = Some(ms);
+                    entry.history.push(record);
+                }
+                inner.outstanding = inner.outstanding.saturating_sub(1);
+                inner.failed += 1;
+                eprintln!(
+                    "[dmt-serve] {key}: {spec} FAILED after {ms} ms \
+                     (attempt {attempt}, retries exhausted): {msg}"
+                );
+            }
+        }
     }
 }
 
 /// One connection: read request lines, write one compact response line
-/// each, until the client hangs up.
+/// each, until the client hangs up. I/O errors (client disconnected
+/// mid-request or mid-response) are logged and the connection recycled;
+/// they never take the daemon down.
 fn handle_client(shared: &Shared, stream: TcpStream) {
+    if faults::hit(faults::site::SERVE_CONN) {
+        eprintln!("[dmt-serve] injected fault: dropping connection (serve.conn)");
+        return;
+    }
     // The accepted socket must block even though the listener does not.
     if stream.set_nonblocking(false).is_err() {
         return;
@@ -262,13 +397,20 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
     let reader = BufReader::new(read_half);
     let mut writer = stream;
     for line in reader.lines() {
-        let Ok(line) = line else { break };
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("[dmt-serve] client read error: {e}; recycling connection");
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let mut out = respond(shared, &line).render_compact();
         out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() {
+        if let Err(e) = writer.write_all(out.as_bytes()) {
+            eprintln!("[dmt-serve] client write error: {e}; recycling connection");
             break;
         }
     }
@@ -277,24 +419,39 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
 /// Parses and dispatches one request line, recording its wall-clock
 /// into the matching per-verb latency histogram (microseconds). Lines
 /// that fail to parse have no verb to attribute and count as
-/// `bad_requests`.
+/// `bad_requests`. A panicking verb handler answers `{"ok":false}`
+/// instead of killing the connection.
 fn respond(shared: &Shared, line: &str) -> Json {
     let start = Instant::now();
     let parsed = parse_request(line);
     let verb = parsed.as_ref().ok().map(Request::verb_index);
-    let doc = match parsed {
-        Err(e) => {
-            eprintln!("[dmt-serve] request error: {e}");
-            Json::obj().with("ok", false).with("error", e)
-        }
-        Ok(Request::Submit(specs)) => submit(shared, specs),
-        Ok(Request::Status(hash)) => status(shared, hash),
-        Ok(Request::Result(hash)) => result(shared, hash),
-        Ok(Request::Metrics) => metrics(shared),
-        Ok(Request::Drain) => drain(shared),
+    let doc = if faults::hit(faults::site::SERVE_REQUEST) {
+        eprintln!("[dmt-serve] injected fault: failing request (serve.request)");
+        Json::obj()
+            .with("ok", false)
+            .with("error", "injected fault: serve.request")
+    } else {
+        let handled = catch_unwind(AssertUnwindSafe(|| match parsed {
+            Err(e) => {
+                eprintln!("[dmt-serve] request error: {e}");
+                Json::obj().with("ok", false).with("error", e)
+            }
+            Ok(Request::Submit(jobs)) => submit(shared, jobs),
+            Ok(Request::Status(hash)) => status(shared, hash),
+            Ok(Request::Result(hash)) => result(shared, hash),
+            Ok(Request::Metrics) => metrics(shared),
+            Ok(Request::Drain) => drain(shared),
+        }));
+        handled.unwrap_or_else(|payload| {
+            let msg = panic_message(payload);
+            eprintln!("[dmt-serve] request handler panicked: {msg}");
+            Json::obj()
+                .with("ok", false)
+                .with("error", format!("internal error: {msg}"))
+        })
     };
     let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    let mut inner = shared.inner.lock().expect("state lock");
+    let mut inner = lock_inner(shared);
     match verb {
         Some(ix) => inner.latency[ix].record(us),
         None => inner.bad_requests += 1,
@@ -309,13 +466,13 @@ fn respond(shared: &Shared, line: &str) -> Json {
 /// recorded after the snapshot (its own latency shows up next call).
 fn metrics(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
-    let inner = shared.inner.lock().expect("state lock");
+    let inner = lock_inner(shared);
     let (mut queued, mut running) = (0u64, 0u64);
     for entry in inner.jobs.values() {
         match entry.state {
             JobState::Queued => queued += 1,
             JobState::Running => running += 1,
-            JobState::Done | JobState::Failed => {}
+            JobState::Done | JobState::Failed | JobState::TimedOut => {}
         }
     }
     let mut latency = Json::obj();
@@ -329,8 +486,10 @@ fn metrics(shared: &Shared) -> Json {
             Json::obj()
                 .with("queued", queued)
                 .with("running", running)
+                .with("retrying", inner.retries.len() as u64)
                 .with("outstanding", inner.outstanding as u64)
                 .with("depth", shared.opts.queue_depth as u64)
+                .with("rejections", inner.rejections)
                 .with("draining", inner.draining),
         )
         .with(
@@ -338,7 +497,8 @@ fn metrics(shared: &Shared) -> Json {
             Json::obj()
                 .with("known", inner.jobs.len() as u64)
                 .with("done", inner.done)
-                .with("failed", inner.failed),
+                .with("failed", inner.failed)
+                .with("timed_out", inner.timed_out),
         )
         .with(
             "cache",
@@ -346,6 +506,7 @@ fn metrics(shared: &Shared) -> Json {
                 .with("hits", cache.hits)
                 .with("misses", cache.misses)
                 .with("stores", cache.stores)
+                .with("store_failures", cache.store_failures)
                 .with("schema_invalidated", cache.schema_invalidated),
         )
         .with(
@@ -359,27 +520,27 @@ fn metrics(shared: &Shared) -> Json {
 /// Admission. The whole request is examined under one lock hold:
 /// unknown benchmarks reject it, and if the genuinely-new jobs would
 /// push `outstanding` past the bound it is rejected whole (no partial
-/// admission) with a `retry_after_ms` hint. Otherwise every job gets a
-/// table entry: duplicates of known jobs report their current state,
-/// cache hits are born `done` without touching the pool, and the rest
-/// join the queue.
-fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
+/// admission) with a jittered `retry_after_ms` hint. Otherwise every
+/// job gets a table entry: duplicates of known jobs report their
+/// current state, cache hits are born `done` without touching the pool,
+/// and the rest join the queue.
+fn submit(shared: &Shared, jobs: Vec<SubmitJob>) -> Json {
     if !shared.opts.benches.is_empty() {
-        if let Some(bad) = specs
+        if let Some(bad) = jobs
             .iter()
-            .find(|s| !shared.opts.benches.contains(&s.bench))
+            .find(|j| !shared.opts.benches.contains(&j.spec.bench))
         {
             return Json::obj().with("ok", false).with(
                 "error",
                 format!(
                     "unknown benchmark {:?} (available: {})",
-                    bad.bench,
+                    bad.spec.bench,
                     shared.opts.benches.join(", ")
                 ),
             );
         }
     }
-    let mut inner = shared.inner.lock().expect("state lock");
+    let mut inner = lock_inner(shared);
     if inner.draining {
         return Json::obj()
             .with("ok", false)
@@ -394,13 +555,13 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
         Hit,
         New,
     }
-    let classes: Vec<(u64, Class)> = specs
+    let classes: Vec<(u64, Class)> = jobs
         .iter()
-        .map(|spec| {
-            let hash = spec.job_hash();
+        .map(|job| {
+            let hash = job.spec.job_hash();
             let class = if inner.jobs.contains_key(&hash) {
                 Class::Known
-            } else if shared.cache.lookup(spec).is_some() {
+            } else if shared.cache.lookup(&job.spec).is_some() {
                 Class::Hit
             } else {
                 Class::New
@@ -423,9 +584,16 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
         .collect();
     let fresh = classes.iter().filter(|(_, c)| *c == Class::New).count();
     if inner.outstanding + fresh > shared.opts.queue_depth {
+        inner.rejections += 1;
+        // Deterministic jitter (up to half the base) from the rejection
+        // ordinal: rejected clients spread their retries instead of
+        // hammering back in lockstep, and the same rejection sequence
+        // produces the same hints on every run.
+        let base = shared.opts.retry_after_ms;
+        let hint = base + faults::splitmix64(inner.rejections) % (base / 2 + 1);
         eprintln!(
-            "[dmt-serve] submit: rejected {} jobs ({} outstanding, depth {})",
-            specs.len(),
+            "[dmt-serve] submit: rejected {} jobs ({} outstanding, depth {}; retry in {hint} ms)",
+            jobs.len(),
             inner.outstanding,
             shared.opts.queue_depth
         );
@@ -438,11 +606,11 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
                     inner.outstanding, shared.opts.queue_depth
                 ),
             )
-            .with("retry_after_ms", shared.opts.retry_after_ms);
+            .with("retry_after_ms", hint);
     }
     let (mut hits, mut known) = (0usize, 0usize);
-    let mut jobs_json = Vec::with_capacity(specs.len());
-    for (spec, (hash, class)) in specs.into_iter().zip(classes) {
+    let mut jobs_json = Vec::with_capacity(jobs.len());
+    for (job, (hash, class)) in jobs.into_iter().zip(classes) {
         let doc = Json::obj().with("job_hash", protocol::hash_str(hash));
         jobs_json.push(match class {
             Class::Known => {
@@ -455,11 +623,13 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
                 inner.jobs.insert(
                     hash,
                     JobEntry {
-                        spec,
+                        spec: job.spec,
                         state: JobState::Done,
                         attempts: 0,
                         error: None,
                         wall_ms: None,
+                        deadline_cycles: job.deadline_cycles,
+                        history: Vec::new(),
                     },
                 );
                 doc.with("state", "done").with("cached", true)
@@ -468,11 +638,13 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
                 inner.jobs.insert(
                     hash,
                     JobEntry {
-                        spec,
+                        spec: job.spec,
                         state: JobState::Queued,
                         attempts: 0,
                         error: None,
                         wall_ms: None,
+                        deadline_cycles: job.deadline_cycles,
+                        history: Vec::new(),
                     },
                 );
                 inner.queue.push(hash);
@@ -498,7 +670,7 @@ fn submit(shared: &Shared, specs: Vec<JobSpec>) -> Json {
 fn status(shared: &Shared, hash: u64) -> Json {
     let key = protocol::hash_str(hash);
     {
-        let inner = shared.inner.lock().expect("state lock");
+        let inner = lock_inner(shared);
         if let Some(entry) = inner.jobs.get(&hash) {
             let mut doc = Json::obj()
                 .with("ok", true)
@@ -510,6 +682,26 @@ fn status(shared: &Shared, hash: u64) -> Json {
             }
             if let Some(e) = &entry.error {
                 doc = doc.with("error", e.clone());
+            }
+            if !entry.history.is_empty() {
+                doc = doc.with(
+                    "history",
+                    Json::Arr(
+                        entry
+                            .history
+                            .iter()
+                            .map(|a| {
+                                let rec = Json::obj()
+                                    .with("status", a.status)
+                                    .with("wall_ms", a.wall_ms);
+                                match &a.error {
+                                    Some(e) => rec.with("error", e.clone()),
+                                    None => rec,
+                                }
+                            })
+                            .collect(),
+                    ),
+                );
             }
             return doc;
         }
@@ -534,7 +726,7 @@ fn status(shared: &Shared, hash: u64) -> Json {
 fn result(shared: &Shared, hash: u64) -> Json {
     let key = protocol::hash_str(hash);
     let known = {
-        let inner = shared.inner.lock().expect("state lock");
+        let inner = lock_inner(shared);
         inner.jobs.get(&hash).map(|e| (e.state, e.error.clone()))
     };
     match known {
@@ -552,10 +744,10 @@ fn result(shared: &Shared, hash: u64) -> Json {
                 .with("job_hash", key)
                 .with("error", "unknown job"),
         },
-        Some((JobState::Failed, error)) => Json::obj()
+        Some((state @ (JobState::Failed | JobState::TimedOut), error)) => Json::obj()
             .with("ok", false)
             .with("job_hash", key)
-            .with("state", "failed")
+            .with("state", state.name())
             .with("error", error.unwrap_or_else(|| "executor failed".into())),
         Some((state, _)) => Json::obj()
             .with("ok", false)
@@ -566,7 +758,7 @@ fn result(shared: &Shared, hash: u64) -> Json {
 }
 
 fn drain(shared: &Shared) -> Json {
-    let mut inner = shared.inner.lock().expect("state lock");
+    let mut inner = lock_inner(shared);
     inner.draining = true;
     let pending = inner.outstanding;
     eprintln!("[dmt-serve] drain: {pending} outstanding");

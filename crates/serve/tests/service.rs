@@ -15,7 +15,14 @@
 //! 6. `metrics` tracks the daemon's life faithfully: queue and
 //!    lifecycle totals move across submit → duplicate submit → drain,
 //!    cache counters match the executions, per-verb latency histograms
-//!    count every request, and finished jobs report `wall_ms`.
+//!    count every request, and finished jobs report `wall_ms`;
+//! 7. transiently-failing jobs are retried with backoff until they
+//!    succeed (attempt history reported) or exhaust the budget;
+//! 8. jobs exceeding their `deadline_cycles` land in `timed_out` —
+//!    permanently, without retry, and without poisoning the cache;
+//! 9. a client disconnecting mid-request neither wedges the daemon nor
+//!    leaks its work: other clients keep being served and drain is
+//!    clean.
 
 use dmt_runner::artifact::Json;
 use dmt_runner::JobOutcome;
@@ -124,10 +131,15 @@ const SCAN_GRID: &str = r#"{"verb":"submit","jobs":[
 /// functions of the spec so artifacts are comparable.
 fn counting_exec(count: &Arc<AtomicUsize>) -> Executor {
     let count = Arc::clone(count);
-    Box::new(move |spec| {
+    Box::new(move |spec, _| {
         count.fetch_add(1, Ordering::SeqCst);
         JobOutcome::Infeasible(format!("stub outcome for {spec}"))
     })
+}
+
+/// The real bench executor, honoring per-job limits.
+fn bench_exec() -> Executor {
+    Box::new(dmt_bench::execute_job_limited)
 }
 
 #[test]
@@ -139,7 +151,7 @@ fn concurrent_clients_get_identical_artifacts_across_thread_counts() {
             threads,
             ..ServeOptions::default()
         };
-        let (addr, handle) = boot(&dir, opts, Box::new(dmt_bench::execute_job));
+        let (addr, handle) = boot(&dir, opts, bench_exec());
         // Four clients race the same grid in; dedup admits each job once.
         let clients: Vec<_> = (0..4)
             .map(|_| {
@@ -166,7 +178,14 @@ fn concurrent_clients_get_identical_artifacts_across_thread_counts() {
         }
         Client::connect(addr).req(r#"{"verb":"drain"}"#);
         let summary = handle.join().unwrap();
-        assert_eq!(summary, ServeSummary { done: 3, failed: 0 });
+        assert_eq!(
+            summary,
+            ServeSummary {
+                done: 3,
+                failed: 0,
+                timed_out: 0
+            }
+        );
         by_threads.push(fetched.into_iter().next().unwrap());
     }
     // threads 1 vs threads 4: byte-identical artifact responses.
@@ -254,7 +273,7 @@ fn duplicate_submissions_are_cache_hits_with_zero_simulations() {
 #[test]
 fn drain_finishes_in_flight_work_then_rejects() {
     let dir = scratch("drain");
-    let exec: Executor = Box::new(|spec| {
+    let exec: Executor = Box::new(|spec, _| {
         std::thread::sleep(Duration::from_millis(20));
         JobOutcome::Infeasible(format!("slow stub for {spec}"))
     });
@@ -270,7 +289,14 @@ fn drain_finishes_in_flight_work_then_rejects() {
     let drained = c.req(r#"{"verb":"drain"}"#);
     assert!(ok(&drained));
     let summary = handle.join().unwrap();
-    assert_eq!(summary, ServeSummary { done: 4, failed: 0 });
+    assert_eq!(
+        summary,
+        ServeSummary {
+            done: 4,
+            failed: 0,
+            timed_out: 0
+        }
+    );
     // The lingering connection still answers; new work is refused.
     let refused = c.req(&grid);
     assert!(!ok(&refused));
@@ -289,7 +315,7 @@ fn full_queue_rejects_whole_requests_with_retry_hint() {
     let gate = Arc::new(AtomicBool::new(false));
     let exec: Executor = {
         let gate = Arc::clone(&gate);
-        Box::new(move |spec| {
+        Box::new(move |spec, _| {
             while !gate.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -307,10 +333,12 @@ fn full_queue_rejects_whole_requests_with_retry_hint() {
     assert!(ok(&fill));
     let overflow = c.req(r#"{"verb":"submit","job":{"bench":"c","arch":"dmt_cgra"}}"#);
     assert!(!ok(&overflow), "third job must be rejected: {overflow:?}");
-    assert_eq!(
-        overflow.get("retry_after_ms").and_then(Json::as_u64),
-        Some(123)
-    );
+    // Base 123 plus deterministic jitter of up to half the base.
+    let hint = overflow
+        .get("retry_after_ms")
+        .and_then(Json::as_u64)
+        .expect("retry_after_ms");
+    assert!((123..=184).contains(&hint), "hint {hint} out of range");
     // Resubmitting the admitted grid is free (no new queue slots).
     let dup = c.req(r#"{"verb":"submit","jobs":[{"bench":"a","arch":"dmt_cgra"},{"bench":"b","arch":"dmt_cgra"}]}"#);
     assert!(ok(&dup), "duplicates need no slots: {dup:?}");
@@ -425,7 +453,14 @@ fn metrics_track_submit_duplicate_and_drain() {
         Some(&Json::Bool(true))
     );
     assert_eq!(verb_count(&drained, "drain"), 1);
-    assert_eq!(handle.join().unwrap(), ServeSummary { done: 2, failed: 0 });
+    assert_eq!(
+        handle.join().unwrap(),
+        ServeSummary {
+            done: 2,
+            failed: 0,
+            timed_out: 0
+        }
+    );
 }
 
 #[test]
@@ -474,4 +509,256 @@ fn malformed_requests_get_contextual_errors() {
     }
     c.req(r#"{"verb":"drain"}"#);
     assert_eq!(handle.join().unwrap().done, 1);
+}
+
+#[test]
+fn transient_failures_retry_with_backoff_until_success() {
+    let dir = scratch("retry");
+    // Fail the first two attempts, then succeed: with max_retries 2
+    // (three attempts total) the job must end done.
+    let count = Arc::new(AtomicUsize::new(0));
+    let exec: Executor = {
+        let count = Arc::clone(&count);
+        Box::new(move |spec, _| {
+            if count.fetch_add(1, Ordering::SeqCst) < 2 {
+                JobOutcome::Failed(format!("flaky stub for {spec}"))
+            } else {
+                JobOutcome::Infeasible(format!("stub outcome for {spec}"))
+            }
+        })
+    };
+    let opts = ServeOptions {
+        max_retries: 2,
+        retry_backoff_ms: 1,
+        ..ServeOptions::default()
+    };
+    let (addr, handle) = boot(&dir, opts, exec);
+    let mut c = Client::connect(addr);
+    let resp = c.req(r#"{"verb":"submit","job":{"bench":"flaky","arch":"dmt_cgra"}}"#);
+    assert!(ok(&resp));
+    let h = hashes(&resp).remove(0);
+    c.wait_done(&h);
+    assert_eq!(
+        count.load(Ordering::SeqCst),
+        3,
+        "two failures + one success"
+    );
+    // status reports the full attempt history, failures first.
+    let status = c.req(&format!(r#"{{"verb":"status","job_hash":"{h}"}}"#));
+    assert_eq!(status.get("attempts").and_then(Json::as_u64), Some(3));
+    let Some(Json::Arr(history)) = status.get("history") else {
+        panic!("no history in {status:?}")
+    };
+    let statuses: Vec<_> = history
+        .iter()
+        .map(|a| a.get("status").and_then(Json::as_str).expect("status"))
+        .collect();
+    assert_eq!(statuses, ["failed", "failed", "infeasible"]);
+    assert!(
+        history[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("flaky stub")),
+        "{history:?}"
+    );
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(
+        handle.join().unwrap(),
+        ServeSummary {
+            done: 1,
+            failed: 0,
+            timed_out: 0
+        }
+    );
+}
+
+#[test]
+fn exhausted_retries_mark_the_job_failed_with_history() {
+    let dir = scratch("exhaust");
+    let exec: Executor = Box::new(|spec, _| JobOutcome::Failed(format!("always fails: {spec}")));
+    let opts = ServeOptions {
+        max_retries: 1,
+        retry_backoff_ms: 1,
+        ..ServeOptions::default()
+    };
+    let (addr, handle) = boot(&dir, opts, exec);
+    let mut c = Client::connect(addr);
+    let resp = c.req(r#"{"verb":"submit","job":{"bench":"doomed","arch":"dmt_cgra"}}"#);
+    assert!(ok(&resp));
+    let h = hashes(&resp).remove(0);
+    // Poll until the retry budget (two attempts) is spent.
+    let status = loop {
+        let s = c.req(&format!(r#"{{"verb":"status","job_hash":"{h}"}}"#));
+        if s.get("state").and_then(Json::as_str) == Some("failed") {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(status.get("attempts").and_then(Json::as_u64), Some(2));
+    // A failed job has no artifact to serve.
+    let result = c.req(&format!(r#"{{"verb":"result","job_hash":"{h}"}}"#));
+    assert!(!ok(&result));
+    assert_eq!(result.get("state").and_then(Json::as_str), Some("failed"));
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(
+        handle.join().unwrap(),
+        ServeSummary {
+            done: 0,
+            failed: 1,
+            timed_out: 0
+        }
+    );
+}
+
+#[test]
+fn deadline_cycles_times_out_without_retry_or_cache_poisoning() {
+    let dir = scratch("deadline");
+    let (addr, handle) = boot(&dir, ServeOptions::default(), bench_exec());
+    let mut c = Client::connect(addr);
+    // The same spec with and without a one-cycle budget: the budgeted
+    // job times out, the free one completes.
+    let resp = c.req(
+        r#"{"verb":"submit","jobs":[
+            {"bench":"scan","arch":"dmt_cgra","deadline_cycles":1},
+            {"bench":"scan","arch":"mt_cgra"}]}"#
+            .replace('\n', " ")
+            .as_str(),
+    );
+    assert!(ok(&resp), "{resp:?}");
+    let hs = hashes(&resp);
+    let timed = loop {
+        let s = c.req(&format!(r#"{{"verb":"status","job_hash":"{}"}}"#, hs[0]));
+        if s.get("state").and_then(Json::as_str) == Some("timed_out") {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    // Timed out is permanent for the budget: exactly one attempt.
+    assert_eq!(timed.get("attempts").and_then(Json::as_u64), Some(1));
+    assert!(
+        timed
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("deadline")),
+        "{timed:?}"
+    );
+    c.wait_done(&hs[1]);
+    let result = c.req(&format!(r#"{{"verb":"result","job_hash":"{}"}}"#, hs[0]));
+    assert!(!ok(&result));
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("timed_out")
+    );
+    let metrics = c.req(r#"{"verb":"metrics"}"#);
+    assert_eq!(
+        metrics
+            .get("jobs")
+            .and_then(|j| j.get("timed_out"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    // Nothing timed out was cached: only the completing job stored.
+    assert_eq!(
+        metrics
+            .get("cache")
+            .and_then(|j| j.get("stores"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    c.req(r#"{"verb":"drain"}"#);
+    assert_eq!(
+        handle.join().unwrap(),
+        ServeSummary {
+            done: 1,
+            failed: 0,
+            timed_out: 1
+        }
+    );
+}
+
+#[test]
+fn client_disconnect_mid_request_leaves_the_daemon_serving() {
+    let dir = scratch("disconnect");
+    let count = Arc::new(AtomicUsize::new(0));
+    let (addr, handle) = boot(&dir, ServeOptions::default(), counting_exec(&count));
+    // One client drops mid-line (no newline, connection closed); another
+    // submits half a grid and vanishes before reading its response.
+    {
+        let mut rude = TcpStream::connect(addr).expect("connect");
+        rude.write_all(br#"{"verb":"submit","job"#).expect("send");
+    }
+    {
+        let mut fire_and_forget = TcpStream::connect(addr).expect("connect");
+        fire_and_forget
+            .write_all(b"{\"verb\":\"submit\",\"job\":{\"bench\":\"a\",\"arch\":\"dmt_cgra\"}}\n")
+            .expect("send");
+        // Dropped without reading: the daemon's write may fail mid-response.
+    }
+    // The daemon still serves a well-behaved client, and the abandoned
+    // job still runs to completion.
+    let mut c = Client::connect(addr);
+    let resp = c.req(r#"{"verb":"submit","job":{"bench":"b","arch":"dmt_cgra"}}"#);
+    assert!(ok(&resp), "{resp:?}");
+    for h in hashes(&resp) {
+        c.wait_done(&h);
+    }
+    c.req(r#"{"verb":"drain"}"#);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.timed_out, 0);
+    // Both the abandoned and the attended submissions executed.
+    assert_eq!(
+        summary.done,
+        u64::try_from(count.load(Ordering::SeqCst)).unwrap()
+    );
+    assert!(summary.done >= 1, "the attended job must have run");
+}
+
+#[test]
+fn retry_hints_are_deterministic_across_daemons() {
+    // The same rejection sequence produces the same jittered hints on
+    // two independent daemons (the ordinal, not the clock, drives it).
+    let mut runs: Vec<Vec<u64>> = Vec::new();
+    for tag in ["jitter_a", "jitter_b"] {
+        let dir = scratch(tag);
+        let gate = Arc::new(AtomicBool::new(false));
+        let exec: Executor = {
+            let gate = Arc::clone(&gate);
+            Box::new(move |spec, _| {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                JobOutcome::Infeasible(format!("gated stub for {spec}"))
+            })
+        };
+        let opts = ServeOptions {
+            queue_depth: 1,
+            retry_after_ms: 100,
+            ..ServeOptions::default()
+        };
+        let (addr, handle) = boot(&dir, opts, exec);
+        let mut c = Client::connect(addr);
+        let fill = c.req(r#"{"verb":"submit","job":{"bench":"a","arch":"dmt_cgra"}}"#);
+        assert!(ok(&fill));
+        let hints: Vec<u64> = (0..4)
+            .map(|_| {
+                let resp = c.req(r#"{"verb":"submit","job":{"bench":"z","arch":"dmt_cgra"}}"#);
+                assert!(!ok(&resp));
+                let hint = resp
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .expect("hint");
+                assert!((100..=150).contains(&hint), "hint {hint} out of range");
+                hint
+            })
+            .collect();
+        gate.store(true, Ordering::SeqCst);
+        for h in hashes(&fill) {
+            c.wait_done(&h);
+        }
+        c.req(r#"{"verb":"drain"}"#);
+        handle.join().unwrap();
+        runs.push(hints);
+    }
+    assert_eq!(runs[0], runs[1], "hints must not depend on the clock");
 }

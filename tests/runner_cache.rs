@@ -10,7 +10,11 @@
 //!    are re-executed;
 //! 4. a schema bump invalidates a warm directory as counted misses (no
 //!    parse errors), and the rerun rewrites it at the current version —
-//!    the designed v1 → v2 migration path.
+//!    the designed v1 → v2 migration path;
+//! 5. degraded operation: an unusable cache directory, an ENOSPC-style
+//!    write fault and a rename fault each produce counted misses or
+//!    store failures — never an abort — and the run's artifacts stay
+//!    byte-identical to an undisturbed run.
 //!
 //! Simulations are counted by instrumenting the executor around
 //! `dmt_bench::execute_job` — the same leaf the binaries use — so "zero
@@ -212,6 +216,114 @@ fn v1_cache_entries_are_invalidated_as_miss_and_rewritten_as_v2() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic stub executor for the degradation tests: a pure
+/// function of the spec, so artifact byte-identity is checkable without
+/// paying for real simulations inside fault windows.
+fn stub(spec: &JobSpec) -> JobOutcome {
+    JobOutcome::completed(dmt_runner::JobMetrics {
+        kernel: spec.bench.clone(),
+        stats: dmt_common::stats::RunStats {
+            cycles: spec.job_hash() % 10_000 + 1,
+            ..Default::default()
+        },
+        energy: dmt_core::energy::EnergyReport::default(),
+    })
+}
+
+/// The deterministic artifact bytes of a (jobs, outcomes) pair.
+fn artifact_bytes(jobs: &[JobSpec], outcomes: &[JobOutcome]) -> String {
+    Artifact::new("degraded", 1, 0, SEED, jobs.to_vec(), outcomes.to_vec())
+        .jobs_json()
+        .render()
+}
+
+#[test]
+fn unusable_cache_dir_degrades_to_counted_no_cache_operation() {
+    // A *file* where the cache directory should go: `open` would error,
+    // `open_or_degraded` hands back a no-I/O handle instead. (Permission
+    // bits can't model this under root, which ignores them.)
+    let parent = scratch("degraded");
+    std::fs::create_dir_all(&parent).unwrap();
+    let blocker = parent.join("cache");
+    std::fs::write(&blocker, "a file, not a directory").unwrap();
+
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+    let baseline: Vec<JobOutcome> = ExecPlan::new(&jobs).run(stub);
+
+    let cache = Cache::open_or_degraded(&blocker);
+    assert!(cache.is_degraded());
+    for pass in 0..2 {
+        let outcomes = ExecPlan::new(&jobs).cache(Some(&cache)).run(stub);
+        assert_eq!(
+            artifact_bytes(&jobs, &outcomes),
+            artifact_bytes(&jobs, &baseline),
+            "pass {pass}: degraded artifacts must match the uncached run"
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "a degraded handle never hits");
+    assert_eq!(stats.misses, 2 * jobs.len() as u64, "every lookup counted");
+    assert_eq!(stats.stores, 0, "nothing may reach the disk");
+    assert_eq!(stats.store_failures, 2 * jobs.len() as u64);
+    let _ = std::fs::remove_dir_all(&parent);
+}
+
+#[test]
+fn write_and_rename_faults_cost_one_counted_miss_each_not_the_run() {
+    use dmt_common::faults::{install_guarded, FaultPlan};
+
+    let jobs = suite_jobs(SystemConfig::default(), SEED, 3);
+    let baseline: Vec<JobOutcome> = ExecPlan::new(&jobs).run(stub);
+    let base_bytes = artifact_bytes(&jobs, &baseline);
+
+    // ENOSPC-style temp-file write fault, then a rename (publish) fault:
+    // each fails exactly one store mid-run. The run's outcomes and
+    // artifacts are untouched; the failed entry is simply absent, so a
+    // warm rerun re-simulates exactly that one job as a counted miss.
+    for (spec, tag) in [
+        ("cache.write:nth=3", "write_fault"),
+        ("cache.rename:nth=7", "rename_fault"),
+    ] {
+        let dir = scratch(tag);
+        let cache = Cache::open(&dir).unwrap();
+        let outcomes = {
+            let _guard = install_guarded(FaultPlan::parse(spec).unwrap());
+            ExecPlan::new(&jobs).cache(Some(&cache)).run(stub)
+        };
+        assert_eq!(
+            artifact_bytes(&jobs, &outcomes),
+            base_bytes,
+            "{spec}: a failed store must not change the run's artifacts"
+        );
+        assert_eq!(cache.stats().store_failures, 1, "{spec}");
+        assert_eq!(cache.stats().stores, jobs.len() as u64 - 1, "{spec}");
+
+        // Fault window closed: the rerun serves the surviving entries
+        // and re-executes only the one whose store failed.
+        let warm = Cache::open(&dir).unwrap();
+        let (repaired, sims) = smoke_run_with(&jobs, &warm, stub);
+        assert_eq!(sims, 1, "{spec}: exactly the lost entry re-simulates");
+        assert_eq!(warm.stats().misses, 1, "{spec}");
+        assert_eq!(warm.stats().hits, jobs.len() as u64 - 1, "{spec}");
+        assert_eq!(artifact_bytes(&jobs, &repaired), base_bytes, "{spec}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// [`smoke_run`] with a caller-chosen executor.
+fn smoke_run_with(
+    jobs: &[JobSpec],
+    cache: &Cache,
+    exec: fn(&JobSpec) -> JobOutcome,
+) -> (Vec<JobOutcome>, usize) {
+    let sims = AtomicUsize::new(0);
+    let outcomes = ExecPlan::new(jobs).cache(Some(cache)).run(|spec| {
+        sims.fetch_add(1, Ordering::Relaxed);
+        exec(spec)
+    });
+    (outcomes, sims.load(Ordering::Relaxed))
 }
 
 #[test]

@@ -5,7 +5,7 @@
 
 use dmt_bench::{fig11_report, fig12_report, run_suite_pooled, suite_jobs, SEED};
 use dmt_core::SystemConfig;
-use dmt_runner::Artifact;
+use dmt_runner::{Artifact, ExecPlan, JobOutcome};
 
 #[test]
 fn parallel_suite_is_byte_identical_to_serial() {
@@ -87,6 +87,35 @@ fn artifact_round_trips_through_a_rebuild() {
     );
     let b = run.artifact("x");
     assert_eq!(a.to_json().render(), b.to_json().render());
+}
+
+#[test]
+fn panicking_job_does_not_abort_dispatched_siblings() {
+    // One panicking executor must cost exactly one job: its slot becomes
+    // a typed Failed outcome, and every sibling outcome is byte-identical
+    // to a panic-free run — for any worker count. (Regression: the pool
+    // used to let an executor panic poison the whole run.)
+    let grid = suite_jobs(SystemConfig::default(), SEED, 3);
+    let victim = grid[4].job_hash();
+    let clean: Vec<JobOutcome> = ExecPlan::new(&grid).threads(2).run(dmt_bench::execute_job);
+    for threads in [1, 4] {
+        let outcomes = ExecPlan::new(&grid).threads(threads).run(|spec| {
+            assert!(spec.job_hash() != victim, "panic before producing");
+            dmt_bench::execute_job(spec)
+        });
+        assert_eq!(outcomes.len(), grid.len());
+        for (i, (got, want)) in outcomes.iter().zip(&clean).enumerate() {
+            if grid[i].job_hash() == victim {
+                assert_eq!(got.status(), "failed", "threads={threads}: {got:?}");
+                assert!(
+                    got.error().unwrap().contains("panic before producing"),
+                    "threads={threads}: {got:?}"
+                );
+            } else {
+                assert_eq!(got, want, "threads={threads}: sibling {i} diverged");
+            }
+        }
+    }
 }
 
 #[test]
