@@ -52,12 +52,16 @@ perf-smoke:
 # CI step: arch-gate — fresh hotpath measurement, then the per-arch
 # throughput gate: MT-CGRA sim-cycles/sec must stay within 5% of the
 # previous run's artifact (CI persists it as baseline-hotpath.json; the
-# first run skips cleanly). Mirrors the bench-artifact job's step.
+# first run skips cleanly) and the absolute MT/SM slowdown ceiling
+# (DMT_MAX_MT_SM_RATIO, kept in lockstep with the workflow env).
+# Mirrors the bench-artifact job's step.
+DMT_MAX_MT_SM_RATIO ?= 8.5
 arch-gate:
 	cargo run --release --locked -p dmt-bench --bin bench_hotpath -- \
 		--json artifacts/BENCH_hotpath.json
 	python3 ci/arch_gate.py artifacts/BENCH_hotpath.json \
-		--baseline artifacts/trajectory/baseline-hotpath.json
+		--baseline artifacts/trajectory/baseline-hotpath.json \
+		--max-mt-sm-ratio $(DMT_MAX_MT_SM_RATIO)
 
 # CI step: profile-smoke — the hot-spot profile of the smoke suite
 # (byte-identical for any --threads N; locked by tests/golden_profile.rs).

@@ -3,7 +3,7 @@
 
 Usage:
     arch_gate.py NEW_hotpath.json --baseline PREV_hotpath.json \
-        [--min-ratio 0.95] [--arch mt_cgra]
+        [--min-ratio 0.95] [--arch mt_cgra] [--max-mt-sm-ratio 6.5]
 
 Reads the schema-v2 ``archs`` block of ``BENCH_hotpath.json`` (per-arch
 sim-cycles/sec over the smoke per-job set) from the current run and from
@@ -16,6 +16,14 @@ edge-batched delivery work targets; the other architectures print
 informationally. Skips cleanly (exit 0, message) when the baseline is
 missing, unreadable, or predates the ``archs`` block — the first run of
 a fresh repository has nothing to compare against.
+
+Additionally fails when the current artifact's ``mt_vs_sm_slowdown``
+(how many times slower the MT-CGRA engine simulates than the Fermi SM
+on the same smoke work) exceeds ``--max-mt-sm-ratio`` — an *absolute*
+ceiling that needs no baseline, so the MT/SM gap can only ratchet down.
+The workflow env sets the operative value (``DMT_MAX_MT_SM_RATIO``);
+tighten it there as engine work closes the gap. Skips cleanly when the
+artifact predates the ratio field (pre-v2 schemas).
 
 Wall-clock throughput is host-dependent; this gate backstops the
 MT-CGRA engine's simulator performance between pushes on comparable CI
@@ -50,6 +58,10 @@ def main():
                          "below this (default 0.95, i.e. a >5%% regression)")
     ap.add_argument("--arch", default="mt_cgra",
                     help="architecture key to gate on (default mt_cgra)")
+    ap.add_argument("--max-mt-sm-ratio", type=float, default=6.5,
+                    help="fail when mt_vs_sm_slowdown exceeds this absolute "
+                         "ceiling (default 6.5; set via DMT_MAX_MT_SM_RATIO "
+                         "in the workflow and ratchet down as the gap closes)")
     args = ap.parse_args()
 
     try:
@@ -64,44 +76,66 @@ def main():
               f"(schema_version {new.get('schema_version')!r})", file=sys.stderr)
         return 1
 
+    # Absolute MT/SM ceiling: independent of the push-over-push baseline,
+    # so it runs (and can fail) even on a fresh repository.
+    failed = False
+    ratio = new.get("mt_vs_sm_slowdown")
+    if isinstance(ratio, (int, float)) and ratio > 0:
+        mode = ""
+        mt = new.get("archs", {}).get("mt_cgra")
+        if isinstance(mt, dict) and isinstance(mt.get("fire_mode"), str):
+            mode = (f" (fire {mt['fire_mode']}, "
+                    f"delivery {mt.get('delivery_mode', '?')})")
+        if ratio > args.max_mt_sm_ratio:
+            print(f"arch gate: mt_vs_sm_slowdown {ratio:.2f}x exceeds the "
+                  f"{args.max_mt_sm_ratio:.2f}x ceiling{mode}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"  mt_vs_sm_slowdown {ratio:.2f}x within the "
+                  f"{args.max_mt_sm_ratio:.2f}x ceiling{mode}")
+    else:
+        print("arch gate: artifact has no mt_vs_sm_slowdown; "
+              "skipping the absolute ceiling")
+
     try:
         with open(args.baseline, encoding="utf-8") as f:
             base = json.load(f)
         base_cps = arch_cps(base)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"arch gate: no baseline ({e}); skipping cleanly")
-        return 0
+        print(f"arch gate: no baseline ({e}); skipping the push-over-push gate")
+        return 1 if failed else 0
     if base_cps is None:
-        print("arch gate: baseline predates the per-arch block; skipping cleanly")
-        return 0
+        print("arch gate: baseline predates the per-arch block; "
+              "skipping the push-over-push gate")
+        return 1 if failed else 0
 
-    failed = False
+    regressed = False
     for name in sorted(set(new_cps) | set(base_cps)):
         if name not in new_cps or name not in base_cps:
             print(f"  {name}: present in only one artifact; skipped")
             continue
-        ratio = new_cps[name] / base_cps[name]
+        push_ratio = new_cps[name] / base_cps[name]
         gated = name == args.arch
         verdict = ""
         if gated:
-            verdict = " — ok" if ratio >= args.min_ratio else " <-- REGRESSION"
-            failed = failed or ratio < args.min_ratio
+            verdict = " — ok" if push_ratio >= args.min_ratio else " <-- REGRESSION"
+            regressed = regressed or push_ratio < args.min_ratio
         print(f"  {name}: {base_cps[name]:.0f} -> {new_cps[name]:.0f} cyc/s "
-              f"({ratio:.3f}x){verdict}")
+              f"({push_ratio:.3f}x){verdict}")
 
     if args.arch not in new_cps or args.arch not in base_cps:
         print(f"arch gate: gated arch {args.arch!r} not in both artifacts; "
-              "skipping cleanly")
-        return 0
-    if failed:
+              "skipping the push-over-push gate")
+        return 1 if failed else 0
+    if regressed:
         print(f"arch gate: {args.arch} throughput regressed below "
               f"{args.min_ratio:.2f}x of the previous push; if no engine "
               "code changed, suspect the runner host (cycle counts are the "
               "deterministic gate)", file=sys.stderr)
-        return 1
-    print(f"arch gate: {args.arch} within {args.min_ratio:.2f}x of the "
-          "previous push; OK")
-    return 0
+    else:
+        print(f"arch gate: {args.arch} within {args.min_ratio:.2f}x of the "
+              "previous push; OK")
+    return 1 if (failed or regressed) else 0
 
 
 if __name__ == "__main__":

@@ -8,6 +8,15 @@
 //! (a contended DRAM completion) overflows into a small heap that is
 //! drained back into the wheel as time advances.
 //!
+//! The single most common arrival distance is exactly one cycle
+//! (unit-latency ops on zero-hop edges, releases, sink retirements), so
+//! events due at `now + 1` skip the wheel entirely and land in a flat
+//! next-cycle lane — no slot hashing, no occupancy-bitmap updates, and a
+//! straight `VecDeque` pop on the consuming side. The lane preserves the
+//! ordering contract for free: the wheel bucket for cycle `t` can only
+//! hold events scheduled at cycles `< t - 1` (a distance-1 schedule goes
+//! to the lane), so bucket-before-lane *is* global FIFO order.
+//!
 //! # Ordering contract
 //!
 //! Events pop in ascending `(cycle, insertion order)` — exactly the order
@@ -69,6 +78,13 @@ pub struct CalendarQueue<T> {
     /// Occupancy bitmap over wheel slots (one bit per slot) so
     /// [`CalendarQueue::next_time`] skips empty buckets a word at a time.
     occupied: Box<[u64]>,
+    /// Events due exactly at `now + 1` — the dominant arrival distance —
+    /// bypassing wheel indexing and occupancy bookkeeping. Swapped into
+    /// `cur_lane` when time advances one cycle.
+    next_lane: VecDeque<T>,
+    /// The lane's events for the *current* cycle, served by
+    /// [`CalendarQueue::pop_due`] after the wheel bucket.
+    cur_lane: VecDeque<T>,
     /// Far-future events, drained into the wheel as `now` advances.
     overflow: BinaryHeap<Reverse<Overflow<T>>>,
     /// Monotonic insertion counter; makes overflow ordering total.
@@ -98,6 +114,8 @@ impl<T> CalendarQueue<T> {
         CalendarQueue {
             wheel: wheel.into_boxed_slice(),
             occupied: vec![0u64; (WHEEL_HORIZON / 64) as usize].into_boxed_slice(),
+            next_lane: VecDeque::new(),
+            cur_lane: VecDeque::new(),
             overflow: BinaryHeap::new(),
             seq: 0,
             now: 0,
@@ -149,7 +167,9 @@ impl<T> CalendarQueue<T> {
         debug_assert!(at > self.now, "event at {at} not after now {}", self.now);
         self.seq += 1;
         self.len += 1;
-        if at.saturating_sub(self.now) < WHEEL_HORIZON {
+        if at == self.now + 1 {
+            self.next_lane.push_back(item);
+        } else if at.saturating_sub(self.now) < WHEEL_HORIZON {
             let slot = Self::slot_of(at);
             self.wheel[slot].push_back(item);
             self.mark(slot);
@@ -167,6 +187,17 @@ impl<T> CalendarQueue<T> {
     /// buckets. Must be called before popping or scheduling at `now`.
     pub fn advance(&mut self, now: u64) {
         debug_assert!(now >= self.now, "time went backwards");
+        if now > self.now {
+            debug_assert!(self.cur_lane.is_empty(), "undrained lane events");
+            if now == self.now + 1 {
+                std::mem::swap(&mut self.cur_lane, &mut self.next_lane);
+            } else {
+                // A multi-cycle jump can only happen when no event is due
+                // in between — next_time() reports now + 1 whenever the
+                // lane is non-empty, so nothing can be skipped here.
+                debug_assert!(self.next_lane.is_empty(), "lane events skipped");
+            }
+        }
         self.now = now;
         while let Some(Reverse(head)) = self.overflow.peek() {
             if head.time.saturating_sub(now) >= WHEEL_HORIZON {
@@ -181,20 +212,25 @@ impl<T> CalendarQueue<T> {
 
     /// Pops the next event due at the current cycle (set via
     /// [`CalendarQueue::advance`]), in FIFO order, or `None` when the
-    /// current cycle's bucket is empty.
+    /// current cycle is exhausted. The wheel bucket drains before the
+    /// next-cycle lane: every bucket entry for this cycle was scheduled
+    /// at least two cycles ago, before any lane entry, so that *is*
+    /// schedule order.
     pub fn pop_due(&mut self) -> Option<T> {
         let slot = Self::slot_of(self.now);
-        if self.occupied[slot / 64] & (1 << (slot % 64)) == 0 {
-            return None;
+        if self.occupied[slot / 64] & (1 << (slot % 64)) != 0 {
+            if let Some(item) = self.wheel[slot].pop_front() {
+                self.len -= 1;
+                if self.wheel[slot].is_empty() {
+                    self.unmark(slot);
+                }
+                return Some(item);
+            }
+            self.unmark(slot);
         }
-        let item = self.wheel[slot].pop_front();
+        let item = self.cur_lane.pop_front();
         if item.is_some() {
             self.len -= 1;
-            if self.wheel[slot].is_empty() {
-                self.unmark(slot);
-            }
-        } else {
-            self.unmark(slot);
         }
         item
     }
@@ -207,13 +243,14 @@ impl<T> CalendarQueue<T> {
     /// cycle's entries before dispatching them.
     pub fn drain_due_into(&mut self, out: &mut Vec<T>) {
         let slot = Self::slot_of(self.now);
-        if self.occupied[slot / 64] & (1 << (slot % 64)) == 0 {
-            return;
+        if self.occupied[slot / 64] & (1 << (slot % 64)) != 0 {
+            let bucket = &mut self.wheel[slot];
+            self.len -= bucket.len();
+            out.extend(bucket.drain(..));
+            self.unmark(slot);
         }
-        let bucket = &mut self.wheel[slot];
-        self.len -= bucket.len();
-        out.extend(bucket.drain(..));
-        self.unmark(slot);
+        self.len -= self.cur_lane.len();
+        out.extend(self.cur_lane.drain(..));
     }
 
     /// The cycle of the earliest pending event, or `None` when empty.
@@ -223,6 +260,18 @@ impl<T> CalendarQueue<T> {
         if self.len == 0 {
             return None;
         }
+        // Lane events bound the answer: current-cycle remnants are due
+        // now, pending next-cycle events at now + 1. Only an occupied
+        // bucket at `now` itself can beat the latter, and the ring scan
+        // below starts there, so taking the scan's min stays exact.
+        if !self.cur_lane.is_empty() {
+            return Some(self.now);
+        }
+        let lane_next = if self.next_lane.is_empty() {
+            None
+        } else {
+            Some(self.now + 1)
+        };
         // Scan the occupancy bitmap a word at a time, in ring order from
         // `now`'s slot; every wheel event lies within
         // [now, now + WHEEL_HORIZON), so ring distance equals time order.
@@ -248,12 +297,16 @@ impl<T> CalendarQueue<T> {
                 }
             }
         }
-        match found {
+        let wheel_next = match found {
             Some(slot) => {
                 let dist = (slot + WHEEL_HORIZON as usize - start) % WHEEL_HORIZON as usize;
                 Some(self.now + dist as u64)
             }
             None => self.overflow.peek().map(|Reverse(o)| o.time),
+        };
+        match (wheel_next, lane_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 }
@@ -341,6 +394,33 @@ mod tests {
         q.advance(t);
         assert_eq!(q.pop_due(), Some(1));
         assert_eq!(q.pop_due(), Some(2));
+    }
+
+    #[test]
+    fn lane_pops_after_the_bucket_and_drains_with_it() {
+        let mut q = CalendarQueue::new();
+        // Distance 2 from cycle 0: wheel bucket for cycle 2.
+        q.schedule(2, 1u32);
+        q.advance(1);
+        // Distance 1 from cycle 1: the next-cycle lane. Scheduled later,
+        // so it must pop after the bucket entry.
+        q.schedule(2, 2u32);
+        assert_eq!(q.next_time(), Some(2));
+        q.advance(2);
+        assert_eq!(q.pop_due(), Some(1));
+        assert_eq!(q.next_time(), Some(2)); // lane remnant still due now
+        assert_eq!(q.pop_due(), Some(2));
+        assert_eq!(q.pop_due(), None);
+        assert!(q.is_empty());
+        // Same shape through the bulk drain path.
+        q.schedule(4, 3u32);
+        q.advance(3);
+        q.schedule(4, 4u32);
+        q.advance(4);
+        let mut out = Vec::new();
+        q.drain_due_into(&mut out);
+        assert_eq!(out, vec![3, 4]);
+        assert!(q.is_empty());
     }
 
     #[test]

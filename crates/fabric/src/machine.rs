@@ -73,6 +73,42 @@
 //!   [`FabricMachine::with_unbatched_delivery`]) and differentially
 //!   tested cycle- and byte-identical against each other
 //!   (`tests/properties.rs`, `tests/token_storm.rs`).
+//! * **Block-fired compute nodes.** A replicated node holds up to `R`
+//!   ready operand sets per cycle, all executing the *same static
+//!   operation* — the paper's premise, and what makes block execution
+//!   legal. When block firing is engaged ([`FireMode`]; auto-enabled at
+//!   the same [`BATCH_MIN_REPLICATION`] threshold as delivery), a pure
+//!   compute node (`Alu`/`Fpu`/`Special`/`Ctrl`/`Unary`/`Select`/`Join`/
+//!   `Split`) drains its whole firing quota into reused SoA scratch and
+//!   evaluates it in one tight loop with the `NodeKind` dispatch, the
+//!   unit-class/latency lookup, the stat-counter increment and the
+//!   `Obs::node_fire` upkeep hoisted out per block; results enter the
+//!   delivery path through one batch append per out-edge instead of one
+//!   `send` per token. Two invariants make this exact:
+//!   - *Same-cycle readiness cannot change mid-block.* All deliveries
+//!     due in a cycle complete (step 1 of the cycle loop) before any
+//!     node fires (step 3), and every token a firing emits lands at
+//!     `now + 1` or later — so the ready queue a node sees at its firing
+//!     slot is frozen for the cycle, and draining `k` entries up front
+//!     observes exactly the tokens the per-token loop would have popped
+//!     one by one.
+//!   - *The stall-requeue FIFO rule.* Memory, eLDST and elevator nodes
+//!     keep the per-token path: a structural stall (MSHR or LDST queue
+//!     full) can interrupt them mid-quota, and the stalled token is
+//!     pushed back at the *front* of the ready queue, so the queue stays
+//!     in FIFO order and the next cycle retries the same token first.
+//!     Pure nodes can never stall, which is why only they block-fire —
+//!     a drained block always completes.
+//!
+//!   Within one block, seqs are assigned edge-major instead of
+//!   token-major; each per-edge stream still carries strictly ascending
+//!   seqs in token order, and the whole block occupies the same
+//!   contiguous seq range the per-token fire loop would have used, so
+//!   every consumer's per-node merge (and therefore every output byte)
+//!   is unchanged. Both paths are forceable (`DMT_BATCHED_FIRE=1` /
+//!   `DMT_UNBATCHED_FIRE=1`, [`FabricMachine::with_modes`]) and the full
+//!   fire × delivery mode grid is differentially tested byte-identical
+//!   (`tests/properties.rs`, `tests/token_storm.rs`).
 //!
 //! Ring allocations are pooled per launch ([`StoreArena`]): a multi-phase
 //! kernel re-initializes the previous phase's buffers instead of paying an
@@ -117,7 +153,7 @@ pub const BATCH_MIN_REPLICATION: u32 = 8;
 /// How tokens are scheduled for delivery (see the module docs; results
 /// are byte-identical in every mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum DeliveryMode {
+pub enum DeliveryMode {
     /// Batch when `replication ≥ BATCH_MIN_REPLICATION`, else per token.
     #[default]
     Auto,
@@ -125,6 +161,97 @@ enum DeliveryMode {
     Batched,
     /// Always schedule one calendar event per token (reference path).
     Unbatched,
+}
+
+impl DeliveryMode {
+    /// Resolves the mode from `DMT_BATCHED_DELIVERY` /
+    /// `DMT_UNBATCHED_DELIVERY` (the batched flag wins if both are set),
+    /// defaulting to the profitability-gated [`DeliveryMode::Auto`].
+    #[must_use]
+    pub fn from_env() -> DeliveryMode {
+        if env_flag("DMT_BATCHED_DELIVERY") {
+            DeliveryMode::Batched
+        } else if env_flag("DMT_UNBATCHED_DELIVERY") {
+            DeliveryMode::Unbatched
+        } else {
+            DeliveryMode::Auto
+        }
+    }
+
+    /// Whether this mode coalesces batches for a program of the given
+    /// replication.
+    #[must_use]
+    pub fn batched_for(self, replication: u32) -> bool {
+        match self {
+            DeliveryMode::Batched => true,
+            DeliveryMode::Unbatched => false,
+            DeliveryMode::Auto => replication >= BATCH_MIN_REPLICATION,
+        }
+    }
+
+    /// The stable artifact key for the path taken at `replication`
+    /// (`"batched"` / `"per_token"` — what `bench_hotpath` records).
+    #[must_use]
+    pub fn key_for(self, replication: u32) -> &'static str {
+        if self.batched_for(replication) {
+            "batched"
+        } else {
+            "per_token"
+        }
+    }
+}
+
+/// How ready operand sets are fired (see the module docs; results are
+/// byte-identical in every mode). Only pure compute nodes ever
+/// block-fire — memory, eLDST and elevator nodes stay per-token in
+/// every mode because they can stall mid-quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FireMode {
+    /// Block-fire when `replication ≥ BATCH_MIN_REPLICATION`, else per
+    /// token.
+    #[default]
+    Auto,
+    /// Always block-fire pure compute nodes.
+    Batched,
+    /// Always fire one operation at a time (reference path).
+    Unbatched,
+}
+
+impl FireMode {
+    /// Resolves the mode from `DMT_BATCHED_FIRE` / `DMT_UNBATCHED_FIRE`
+    /// (the batched flag wins if both are set), defaulting to the
+    /// profitability-gated [`FireMode::Auto`].
+    #[must_use]
+    pub fn from_env() -> FireMode {
+        if env_flag("DMT_BATCHED_FIRE") {
+            FireMode::Batched
+        } else if env_flag("DMT_UNBATCHED_FIRE") {
+            FireMode::Unbatched
+        } else {
+            FireMode::Auto
+        }
+    }
+
+    /// Whether this mode block-fires a program of the given replication.
+    #[must_use]
+    pub fn batched_for(self, replication: u32) -> bool {
+        match self {
+            FireMode::Batched => true,
+            FireMode::Unbatched => false,
+            FireMode::Auto => replication >= BATCH_MIN_REPLICATION,
+        }
+    }
+
+    /// The stable artifact key for the path taken at `replication`
+    /// (`"batched"` / `"per_token"` — what `bench_hotpath` records).
+    #[must_use]
+    pub fn key_for(self, replication: u32) -> &'static str {
+        if self.batched_for(replication) {
+            "batched"
+        } else {
+            "per_token"
+        }
+    }
 }
 
 /// The CGRA core simulator. Construct once per configuration and run
@@ -137,6 +264,7 @@ enum DeliveryMode {
 #[derive(Debug, Clone)]
 pub struct FabricMachine {
     cfg: SystemConfig,
+    fire: FireMode,
     delivery: DeliveryMode,
 }
 
@@ -144,46 +272,45 @@ impl FabricMachine {
     /// Creates a machine with the given configuration (Table 2 defaults via
     /// `SystemConfig::default()`).
     ///
-    /// Delivery defaults to the profitability-gated automatic mode;
-    /// `DMT_BATCHED_DELIVERY=1` / `DMT_UNBATCHED_DELIVERY=1` force one
-    /// path (the batched flag wins if both are set).
+    /// Delivery and firing default to the profitability-gated automatic
+    /// modes; `DMT_BATCHED_DELIVERY=1` / `DMT_UNBATCHED_DELIVERY=1` and
+    /// `DMT_BATCHED_FIRE=1` / `DMT_UNBATCHED_FIRE=1` force one path
+    /// (the batched flag wins if both are set).
     #[must_use]
     pub fn new(cfg: SystemConfig) -> FabricMachine {
-        let delivery = if env_flag("DMT_BATCHED_DELIVERY") {
-            DeliveryMode::Batched
-        } else if env_flag("DMT_UNBATCHED_DELIVERY") {
-            DeliveryMode::Unbatched
-        } else {
-            DeliveryMode::Auto
-        };
-        FabricMachine { cfg, delivery }
+        FabricMachine::with_modes(cfg, FireMode::from_env(), DeliveryMode::from_env())
+    }
+
+    /// A machine with explicit fire and delivery modes, bypassing the
+    /// environment knobs — what the mode-grid differential tests use.
+    /// Outputs, statistics and cycle counts are identical across all
+    /// mode combinations; only simulator wall-clock differs.
+    #[must_use]
+    pub fn with_modes(cfg: SystemConfig, fire: FireMode, delivery: DeliveryMode) -> FabricMachine {
+        FabricMachine {
+            cfg,
+            fire,
+            delivery,
+        }
     }
 
     /// A machine that schedules one calendar event per token instead of
     /// coalescing per-edge batches — the reference delivery path the
     /// batched engine is differentially tested against (also reachable
-    /// via `DMT_UNBATCHED_DELIVERY=1`). Outputs, statistics and cycle
-    /// counts are identical to [`FabricMachine::new`]; only simulator
-    /// wall-clock differs.
+    /// via `DMT_UNBATCHED_DELIVERY=1`). Firing still resolves from the
+    /// environment; use [`FabricMachine::with_modes`] to pin both axes.
     #[must_use]
     pub fn with_unbatched_delivery(cfg: SystemConfig) -> FabricMachine {
-        FabricMachine {
-            cfg,
-            delivery: DeliveryMode::Unbatched,
-        }
+        FabricMachine::with_modes(cfg, FireMode::from_env(), DeliveryMode::Unbatched)
     }
 
     /// A machine that always coalesces per-edge batches, regardless of
     /// the program's replication (also reachable via
-    /// `DMT_BATCHED_DELIVERY=1`). Outputs, statistics and cycle counts
-    /// are identical to [`FabricMachine::new`]; only simulator
-    /// wall-clock differs.
+    /// `DMT_BATCHED_DELIVERY=1`). Firing still resolves from the
+    /// environment; use [`FabricMachine::with_modes`] to pin both axes.
     #[must_use]
     pub fn with_batched_delivery(cfg: SystemConfig) -> FabricMachine {
-        FabricMachine {
-            cfg,
-            delivery: DeliveryMode::Batched,
-        }
+        FabricMachine::with_modes(cfg, FireMode::from_env(), DeliveryMode::Batched)
     }
 
     /// The machine's configuration.
@@ -288,6 +415,7 @@ impl FabricMachine {
                 program.grid_blocks,
                 &mut arena,
                 obs,
+                self.fire,
                 self.delivery,
             );
             now = exec.run(
@@ -354,6 +482,19 @@ struct StoreArena {
     /// Cleared [`TokenBatch`]es with retained payload capacity, recycled
     /// across phases exactly like the rings.
     token_batches: Vec<TokenBatch>,
+    /// Block-firing SoA scratch (tids + results), pooled likewise.
+    fire_scratch: FireScratch,
+}
+
+/// SoA scratch a block firing drains its ready operand sets into: the
+/// thread ids and, after the tight evaluation loop, the result words.
+/// One instance lives on [`PhaseExec`] (pooled across phases via
+/// [`StoreArena`]) and is reused by every block, so steady-state block
+/// firing allocates nothing.
+#[derive(Debug, Default)]
+struct FireScratch {
+    tids: Vec<u32>,
+    vals: Vec<Word>,
 }
 
 impl StoreArena {
@@ -509,6 +650,42 @@ impl EldstSlot {
     };
 }
 
+/// Per-node firing invariants, precomputed once at phase load so the
+/// fire paths stop re-matching `NodeKind` and re-reading
+/// `cfg.latencies` per token: operand arity, the unit class that names
+/// the stat counter, the result latency, and whether the node is pure
+/// compute (eligible for block firing — it can never stall).
+#[derive(Debug, Clone, Copy)]
+struct FireMeta {
+    /// Result latency (`now + latency` is the send base). Meaningful
+    /// for pure nodes only; memory and communication nodes derive their
+    /// timing inside their `fire_one` arms.
+    latency: u64,
+    /// Unit class for stat accounting ([`UnitClass::LoadStore`] for
+    /// non-pure nodes, where it is never read).
+    class: UnitClass,
+    /// Operand arity (also the matching-store trigger: arity > 1).
+    arity: u8,
+    /// Pure compute (`Alu/Fpu/Special/Ctrl/Unary/Select/Join/Split`):
+    /// evaluated by `eval_pure`, never blocked, block-firable. Note
+    /// elevators are *not* pure despite `UnitClass::Control` — they
+    /// re-tag tids and may touch the LVC.
+    pure: bool,
+}
+
+/// The `RunStats` operation counter a unit class increments per firing
+/// (hoisted per block on the batched path).
+fn class_counter(stats: &mut RunStats, class: UnitClass) -> &mut u64 {
+    match class {
+        UnitClass::Alu => &mut stats.alu_ops,
+        UnitClass::Fpu => &mut stats.fpu_ops,
+        UnitClass::Special => &mut stats.special_ops,
+        UnitClass::Control => &mut stats.control_ops,
+        UnitClass::SplitJoin => &mut stats.sju_ops,
+        UnitClass::LoadStore => unreachable!("pure compute classes only"),
+    }
+}
+
 /// Per-node runtime state.
 #[derive(Debug, Default)]
 struct UnitState {
@@ -547,8 +724,9 @@ struct PhaseExec<'a> {
     /// Bitmask over nodes with at least one complete operand set; firing
     /// walks set bits in ascending node order.
     active: Vec<u64>,
-    /// Cached per-node operand arity (avoids a `NodeKind` match per token).
-    arity: Vec<u8>,
+    /// Per-node firing invariants (arity, class, latency, purity),
+    /// precomputed at phase load (see [`FireMeta`]).
+    meta: Vec<FireMeta>,
     /// `ring_size − 1` for the power-of-two matching-store rings.
     ring_mask: u32,
     events: CalendarQueue<Ev>,
@@ -562,6 +740,12 @@ struct PhaseExec<'a> {
     handled: u64,
     /// Per-token reference delivery (no coalescing); see the module docs.
     unbatched: bool,
+    /// Block-fire pure compute nodes (drain a node's ready block into
+    /// [`FireScratch`] and evaluate it in one tight loop); see the
+    /// module docs.
+    batched_fire: bool,
+    /// Block-firing SoA scratch, pooled across phases via [`StoreArena`].
+    fire_scratch: FireScratch,
     /// `edge_base[n]` = id of node `n`'s first out-edge; edge `(n, i)`
     /// has id `edge_base[n] + i` (aligned with `graph.consumers(n)`).
     /// Carries an end sentinel: node `n`'s out-degree is
@@ -617,6 +801,7 @@ impl<'a> PhaseExec<'a> {
         blocks_covered: u32,
         arena: &mut StoreArena,
         obs: &'a mut Obs,
+        fire: FireMode,
         delivery: DeliveryMode,
     ) -> PhaseExec<'a> {
         let n = phase.graph.len();
@@ -657,17 +842,51 @@ impl<'a> PhaseExec<'a> {
             .sum();
         let live_bound = u64::from(cfg.fabric.inflight_threads.min(threads).max(1)) + 2 * shift_sum;
         let ring_size = live_bound.next_power_of_two().min(1 << 20) as usize;
-        let arity: Vec<u8> = phase
+        let lat = &cfg.latencies;
+        let meta: Vec<FireMeta> = phase
             .graph
             .node_ids()
-            .map(|id| phase.graph.kind(id).arity() as u8)
+            .map(|id| {
+                let kind = phase.graph.kind(id);
+                let pure = matches!(
+                    kind,
+                    NodeKind::Alu(_)
+                        | NodeKind::Fpu(_)
+                        | NodeKind::Special(_)
+                        | NodeKind::Ctrl(_)
+                        | NodeKind::Unary(_)
+                        | NodeKind::Select
+                        | NodeKind::Join
+                        | NodeKind::Split
+                );
+                let (latency, class) = if pure {
+                    let class = kind.unit_class().expect("compute node");
+                    let latency = match class {
+                        UnitClass::Alu => lat.alu,
+                        UnitClass::Fpu => lat.fpu,
+                        UnitClass::Special => lat.special,
+                        UnitClass::Control => lat.control,
+                        UnitClass::SplitJoin => lat.sju,
+                        UnitClass::LoadStore => unreachable!("pure nodes are not load/store"),
+                    };
+                    (latency, class)
+                } else {
+                    (0, UnitClass::LoadStore)
+                };
+                FireMeta {
+                    latency,
+                    class,
+                    arity: kind.arity() as u8,
+                    pure,
+                }
+            })
             .collect();
         let mut units = Vec::with_capacity(n);
         for id in phase.graph.node_ids() {
             // Single-operand nodes never match: a token is an operand set
             // by itself, so delivery bypasses the ring (see
             // `deliver_into`) and no ring is allocated.
-            let needs_store = arity[id.index()] > 1;
+            let needs_store = meta[id.index()].arity > 1;
             let is_eldst = matches!(phase.graph.kind(id), NodeKind::ELoad { .. });
             units.push(UnitState {
                 pending: if needs_store {
@@ -719,7 +938,7 @@ impl<'a> PhaseExec<'a> {
             block_threads: program.threads_per_block(),
             units,
             active: vec![0u64; n.div_ceil(64)],
-            arity,
+            meta,
             ring_mask: (ring_size - 1) as u32,
             events: CalendarQueue::new(),
             seq: 0,
@@ -734,6 +953,11 @@ impl<'a> PhaseExec<'a> {
                 DeliveryMode::Unbatched => true,
                 DeliveryMode::Auto => program.replication < BATCH_MIN_REPLICATION,
             },
+            // Block firing amortizes the same way delivery batching does
+            // (a ready block is at most R deep), so it shares the same
+            // profitability threshold.
+            batched_fire: fire.batched_for(program.replication),
+            fire_scratch: std::mem::take(&mut arena.fire_scratch),
             edge_base,
             out_edges,
             hops_sum,
@@ -893,33 +1117,95 @@ impl<'a> PhaseExec<'a> {
     fn inject(&mut self, stats: &mut RunStats) {
         // One injector per graph replica (§3): R threads enter per cycle.
         let per_cycle = self.cfg.fabric.threads_injected_per_cycle * self.program.replication;
-        for _ in 0..per_cycle {
-            if !self.can_inject() {
-                return;
-            }
-            let tid = self.next_inject;
-            self.next_inject += 1;
-            for i in 0..self.source_nodes.len() {
-                let node = self.source_nodes[i];
-                let v = self.source_value(self.phase.graph.kind(node), tid);
-                self.send(node, tid, v, self.now, stats);
-            }
-            // Elevator fallback constants for threads with no in-window
-            // producer: generated from the TID stream at injection.
-            for i in 0..self.elevator_nodes.len() {
-                let (node, comm, fallback) = self.elevator_nodes[i];
-                if self.comm_source(&comm, tid).is_none() {
-                    stats.elevator_const_tokens += 1;
-                    self.send(
-                        node,
-                        tid,
-                        fallback,
-                        self.now + self.cfg.latencies.elevator,
-                        stats,
-                    );
-                }
+        // Both injection bounds depend only on `next_inject` (the retire
+        // floor moves during delivery, not here), so the cycle's intake
+        // is a contiguous tid block known up front.
+        let cap = (self.retire_floor + self.cfg.fabric.inflight_threads).min(self.threads);
+        let count = per_cycle.min(cap.saturating_sub(self.next_inject));
+        if count == 0 {
+            return;
+        }
+        let t0 = self.next_inject;
+        self.next_inject += count;
+        if count > 1 {
+            return self.inject_block(t0, count, stats);
+        }
+        let tid = t0;
+        for i in 0..self.source_nodes.len() {
+            let node = self.source_nodes[i];
+            let v = self.source_value(self.phase.graph.kind(node), tid);
+            self.send(node, tid, v, self.now, stats);
+        }
+        // Elevator fallback constants for threads with no in-window
+        // producer: generated from the TID stream at injection.
+        for i in 0..self.elevator_nodes.len() {
+            let (node, comm, fallback) = self.elevator_nodes[i];
+            if self.comm_source(&comm, tid).is_none() {
+                stats.elevator_const_tokens += 1;
+                self.send(
+                    node,
+                    tid,
+                    fallback,
+                    self.now + self.cfg.latencies.elevator,
+                    stats,
+                );
             }
         }
+    }
+
+    /// [`PhaseExec::inject`] for a whole intake block: each source node
+    /// fans its `count` tokens out through one [`PhaseExec::send_block`]
+    /// instead of `count` per-thread [`PhaseExec::send`] calls, hoisting
+    /// the `NodeKind` lookup, edge walk, stat upkeep, and observer report
+    /// out of the thread loop. Reordering thread-major injection into
+    /// source-major blocks is output-invariant: source nodes own disjoint
+    /// out-edges, every per-edge stream stays ascending in tid, and each
+    /// consumer's completion order follows its last-arriving port's
+    /// stream — the same commutation argument the module docs make for
+    /// block-fired compute nodes.
+    fn inject_block(&mut self, t0: u32, count: u32, stats: &mut RunStats) {
+        let mut scratch = std::mem::take(&mut self.fire_scratch);
+        scratch.tids.clear();
+        scratch.tids.extend(t0..t0 + count);
+        for i in 0..self.source_nodes.len() {
+            let node = self.source_nodes[i];
+            scratch.vals.clear();
+            let kind = self.phase.graph.kind(node);
+            for tid in t0..t0 + count {
+                scratch.vals.push(self.source_value(kind, tid));
+            }
+            self.send_block(
+                node,
+                EdgeClass::Direct,
+                &scratch.tids,
+                &scratch.vals,
+                self.now,
+                stats,
+            );
+        }
+        for i in 0..self.elevator_nodes.len() {
+            let (node, comm, fallback) = self.elevator_nodes[i];
+            scratch.tids.clear();
+            scratch.vals.clear();
+            for tid in t0..t0 + count {
+                if self.comm_source(&comm, tid).is_none() {
+                    scratch.tids.push(tid);
+                    scratch.vals.push(fallback);
+                }
+            }
+            if !scratch.tids.is_empty() {
+                stats.elevator_const_tokens += scratch.tids.len() as u64;
+                self.send_block(
+                    node,
+                    EdgeClass::Elevator,
+                    &scratch.tids,
+                    &scratch.vals,
+                    self.now + self.cfg.latencies.elevator,
+                    stats,
+                );
+            }
+        }
+        self.fire_scratch = scratch;
     }
 
     /// Marks `node` as having a complete operand set ready to fire.
@@ -934,7 +1220,7 @@ impl<'a> PhaseExec<'a> {
         if deliver_into(
             &mut self.units[ix],
             self.obs,
-            self.arity[ix],
+            self.meta[ix].arity,
             self.ring_mask,
             self.now,
             node.0,
@@ -960,7 +1246,7 @@ impl<'a> PhaseExec<'a> {
         let b = &self.batches[id as usize];
         let ix = b.node as usize;
         let port = b.port;
-        let arity = self.arity[ix];
+        let arity = self.meta[ix].arity;
         let mask = self.ring_mask;
         let now = self.now;
         let len = b.tids.len();
@@ -1087,30 +1373,44 @@ impl<'a> PhaseExec<'a> {
                 word &= word - 1;
                 let ix = w * 64 + bit;
                 let node = NodeId(ix as u32);
-                for _ in 0..fires_per_cycle {
-                    let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
-                        break;
-                    };
-                    match self.fire_one(
-                        node,
-                        tid,
-                        ops,
-                        global,
-                        shared_imgs,
-                        mem,
-                        scratch,
-                        lvc,
-                        stats,
-                    )? {
-                        Fired::Done => {
-                            self.ready_total -= 1;
-                            self.obs.node_fire(node.0);
-                        }
-                        Fired::Blocked => {
-                            // Structural stall: retry the same token next cycle.
-                            self.units[ix].ready.push_front((tid, ops));
-                            any_blocked = true;
+                let meta = self.meta[ix];
+                if self.batched_fire && meta.pure {
+                    // Pure compute never stalls: the whole quota-bounded
+                    // block fires in one tight loop with dispatch,
+                    // latency, stat and obs upkeep hoisted out (see the
+                    // module docs).
+                    let count = self.units[ix].ready.len().min(fires_per_cycle as usize);
+                    self.fire_block(node, ix, count, meta, stats);
+                    self.ready_total -= count as u32;
+                    self.obs.node_fires(node.0, count as u64);
+                } else {
+                    for _ in 0..fires_per_cycle {
+                        let Some((tid, ops)) = self.units[ix].ready.pop_front() else {
                             break;
+                        };
+                        match self.fire_one(
+                            node,
+                            tid,
+                            ops,
+                            global,
+                            shared_imgs,
+                            mem,
+                            scratch,
+                            lvc,
+                            stats,
+                        )? {
+                            Fired::Done => {
+                                self.ready_total -= 1;
+                                self.obs.node_fire(node.0);
+                            }
+                            Fired::Blocked => {
+                                // Structural stall: retry the same token
+                                // next cycle (FIFO: back at the front, so
+                                // the undrained tail keeps its order).
+                                self.units[ix].ready.push_front((tid, ops));
+                                any_blocked = true;
+                                break;
+                            }
                         }
                     }
                 }
@@ -1123,6 +1423,127 @@ impl<'a> PhaseExec<'a> {
             stats.backpressure_cycles += 1;
         }
         Ok(())
+    }
+
+    /// Fires `count` ready operand sets of a pure compute node as one
+    /// block: drain into the SoA scratch, evaluate in a tight loop with
+    /// the `NodeKind` dispatch hoisted, bump the class counter once, and
+    /// hand the whole result vector to [`PhaseExec::send_block`]. The
+    /// caller guarantees `meta.pure` (the block can never stall) and
+    /// `count ≤ ready.len()`.
+    fn fire_block(
+        &mut self,
+        node: NodeId,
+        ix: usize,
+        count: usize,
+        meta: FireMeta,
+        stats: &mut RunStats,
+    ) {
+        let mut scratch = std::mem::take(&mut self.fire_scratch);
+        scratch.tids.clear();
+        scratch.vals.clear();
+        scratch.tids.reserve(count);
+        scratch.vals.reserve(count);
+        // Borrowed at the phase lifetime (not `&self`) so the drain loop
+        // below can hold `&mut self.units[ix]` concurrently.
+        let kind: &'a NodeKind = self.phase.graph.kind(node);
+        let arity = usize::from(meta.arity);
+        let unit = &mut self.units[ix];
+        for _ in 0..count {
+            let (tid, ops) = unit.ready.pop_front().expect("caller bounded count");
+            scratch.tids.push(tid);
+            scratch.vals.push(eval_pure(kind, &ops[..arity]));
+        }
+        *class_counter(stats, meta.class) += count as u64;
+        // Block-fired nodes are pure compute, hence ordinary dataflow
+        // edges (elevators and eLDSTs never block-fire).
+        self.send_block(
+            node,
+            EdgeClass::Direct,
+            &scratch.tids,
+            &scratch.vals,
+            self.now + meta.latency,
+            stats,
+        );
+        self.fire_scratch = scratch;
+    }
+
+    /// [`PhaseExec::send`] for a whole result block: fans every
+    /// `(tids[i], vals[i])` token out from `node`, with the edge walk
+    /// hoisted outside the token loop (edge-major). Per-edge streams stay
+    /// strictly ascending in seq and all tokens share one arrival cycle
+    /// per edge, so on the batched delivery path each out-edge costs one
+    /// open-batch probe and one bulk append; results are byte-identical
+    /// to `count` per-token sends (see the module docs for the seq
+    /// commutation argument).
+    fn send_block(
+        &mut self,
+        node: NodeId,
+        class: EdgeClass,
+        tids: &[u32],
+        vals: &[Word],
+        base: u64,
+        stats: &mut RunStats,
+    ) {
+        let ix = node.index();
+        let first = self.edge_base[ix] as usize;
+        let last = self.edge_base[ix + 1] as usize;
+        let count = tids.len();
+        if first == last {
+            let at = base.max(self.now + 1);
+            for &tid in tids {
+                self.seq += 1;
+                self.events.schedule(at, Ev::SinkDone { tid });
+            }
+            return;
+        }
+        stats.tokens_routed += ((last - first) * count) as u64;
+        stats.noc_hops += self.hops_sum[ix] * count as u64;
+        if self.obs.on() {
+            for eid in first..last {
+                self.obs
+                    .edge_tokens(class, node.0, self.out_edges[eid].node, count as u64);
+            }
+        }
+        for eid in first..last {
+            let e = self.out_edges[eid];
+            let arrival = (base + e.delta).max(self.now + 1);
+            if self.unbatched {
+                for i in 0..count {
+                    self.seq += 1;
+                    self.events.schedule(
+                        arrival,
+                        Ev::Deliver {
+                            node: NodeId(e.node),
+                            port: e.port,
+                            tid: tids[i],
+                            value: vals[i],
+                        },
+                    );
+                }
+                continue;
+            }
+            let slot = self.open[eid];
+            let id = if slot.cycle == arrival {
+                slot.batch
+            } else {
+                let id = self.alloc_batch(e.node, e.port);
+                self.open[eid] = OpenBatch {
+                    cycle: arrival,
+                    batch: id,
+                };
+                self.events.schedule(arrival, Ev::Batch { batch: id });
+                id
+            };
+            let b = &mut self.batches[id as usize];
+            b.tids.extend_from_slice(tids);
+            b.vals.extend_from_slice(vals);
+            b.seqs.reserve(count);
+            for _ in 0..count {
+                self.seq += 1;
+                b.seqs.push(self.seq);
+            }
+        }
     }
 
     /// Removes and returns thread `tid`'s eLDST token-buffer entry at node
@@ -1189,18 +1610,13 @@ impl<'a> PhaseExec<'a> {
             | NodeKind::Select
             | NodeKind::Join
             | NodeKind::Split => {
-                let arity = kind.arity();
-                let value = eval_pure(kind, &ops[..arity]);
-                let (latency, class) = match kind.unit_class().expect("compute node") {
-                    UnitClass::Alu => (lat.alu, &mut stats.alu_ops),
-                    UnitClass::Fpu => (lat.fpu, &mut stats.fpu_ops),
-                    UnitClass::Special => (lat.special, &mut stats.special_ops),
-                    UnitClass::Control => (lat.control, &mut stats.control_ops),
-                    UnitClass::SplitJoin => (lat.sju, &mut stats.sju_ops),
-                    UnitClass::LoadStore => unreachable!("handled below"),
-                };
-                *class += 1;
-                self.send(node, tid, value, self.now + latency, stats);
+                // Arity, class and latency come from the precomputed
+                // per-node table — no `NodeKind` re-match or latency
+                // re-read per token, batched or not.
+                let meta = self.meta[node.index()];
+                let value = eval_pure(kind, &ops[..usize::from(meta.arity)]);
+                *class_counter(stats, meta.class) += 1;
+                self.send(node, tid, value, self.now + meta.latency, stats);
                 Ok(Fired::Done)
             }
             NodeKind::Load(space) => self.memory_load(
@@ -1529,6 +1945,7 @@ impl<'a> PhaseExec<'a> {
             arena.token_batches.push(b);
         }
         self.free_batches.clear();
+        arena.fire_scratch = std::mem::take(&mut self.fire_scratch);
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -175,16 +175,26 @@ impl Obs {
     /// per sample window, the profiler per (phase, node) totals).
     #[inline]
     pub fn node_fire(&mut self, node: u32) {
+        self.node_fires(node, 1);
+    }
+
+    /// Records `count` firings of `node` in one call — what the
+    /// block-firing fabric engine reports, so a node's whole ready block
+    /// costs the same bookkeeping as a single per-token firing.
+    /// Aggregates are count-denominated, so batched and per-token
+    /// reporting produce identical windows and profiles.
+    #[inline]
+    pub fn node_fires(&mut self, node: u32, count: u64) {
         if !self.on {
             return;
         }
-        self.fires_since += 1;
+        self.fires_since += count;
         if self.profile_on {
             *self
                 .profile
                 .node_fires
                 .entry((self.phase, node))
-                .or_insert(0) += 1;
+                .or_insert(0) += count;
         }
     }
 
@@ -192,17 +202,24 @@ impl Obs {
     /// class.
     #[inline]
     pub fn edge_token(&mut self, class: EdgeClass, src: u32, dst: u32) {
+        self.edge_tokens(class, src, dst, 1);
+    }
+
+    /// Records `count` token deliveries on the `src → dst` edge in one
+    /// call (the block-send counterpart of [`Obs::node_fires`]).
+    #[inline]
+    pub fn edge_tokens(&mut self, class: EdgeClass, src: u32, dst: u32, count: u64) {
         if !self.on {
             return;
         }
-        self.tokens_since[class as usize] += 1;
+        self.tokens_since[class as usize] += count;
         if self.profile_on {
-            self.profile.class_tokens[class as usize] += 1;
+            self.profile.class_tokens[class as usize] += count;
             *self
                 .profile
                 .edge_tokens
                 .entry((self.phase, src, dst))
-                .or_insert(0) += 1;
+                .or_insert(0) += count;
         }
     }
 
@@ -396,6 +413,39 @@ mod tests {
         assert_eq!(obs.profile.spills[StoreKind::Eldst as usize], 1);
         // Tracing off: the ring stays empty.
         assert_eq!(obs.tracer.events().count(), 0);
+    }
+
+    #[test]
+    fn counted_reports_equal_repeated_singular_reports() {
+        // The block-firing engine's counted calls must aggregate exactly
+        // like N singular ones — windows, profile maps and class totals.
+        let mut per_token = Obs::new(false, true);
+        per_token.phase_begin(0, 0);
+        for _ in 0..7 {
+            per_token.node_fire(4);
+            per_token.edge_token(EdgeClass::Direct, 4, 9);
+        }
+        per_token.finish(10);
+
+        let mut counted = Obs::new(false, true);
+        counted.phase_begin(0, 0);
+        counted.node_fires(4, 7);
+        counted.edge_tokens(EdgeClass::Direct, 4, 9, 7);
+        counted.finish(10);
+
+        assert_eq!(per_token.profile, counted.profile);
+        assert_eq!(
+            per_token.pending_window_tokens(),
+            counted.pending_window_tokens()
+        );
+    }
+
+    #[test]
+    fn counted_reports_on_disabled_handle_record_nothing() {
+        let mut obs = Obs::disabled();
+        obs.node_fires(1, 100);
+        obs.edge_tokens(EdgeClass::Eldst, 1, 2, 100);
+        assert_eq!(obs.profile, RunProfile::default());
     }
 
     #[test]

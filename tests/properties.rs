@@ -7,8 +7,10 @@ use dmt_core::common::geom::{Delta, Dim3};
 use dmt_core::common::ids::Addr;
 use dmt_core::dfg::node::CommConfig;
 use dmt_core::{
-    compiler, dfg::interp, fabric::FabricMachine, Kernel, KernelBuilder, LaunchInput, MemImage,
-    SystemConfig, Word,
+    compiler,
+    dfg::interp,
+    fabric::{DeliveryMode, FabricMachine, FireMode},
+    Kernel, KernelBuilder, LaunchInput, MemImage, SystemConfig, Word,
 };
 use proptest::prelude::*;
 
@@ -51,6 +53,48 @@ proptest! {
             .run(&program, LaunchInput::new(params, mem))
             .expect("fabric");
         prop_assert_eq!(run.memory, oracle.memory);
+    }
+
+    /// Fabric == interpreter under every fire × delivery mode combination:
+    /// forcing block-fire (below its auto threshold) or per-token paths must
+    /// never change a byte of memory, and all four combinations must agree
+    /// on the cycle-level `RunStats` too — batching is a pure reordering.
+    #[test]
+    fn fire_and_delivery_modes_agree_for_any_comm_pattern(
+        delta in (-24i32..=24).prop_filter("non-zero", |d| *d != 0),
+        window_pow in 3u32..=7, // windows 8..=128
+        data in proptest::collection::vec(-1000i32..1000, 128),
+    ) {
+        let n = 128u32;
+        let window = 1u32 << window_pow;
+        prop_assume!((delta.unsigned_abs()) < window);
+        let kernel = comm_kernel(delta, window, n);
+        let mut mem = MemImage::with_words(2 * n as usize);
+        mem.write_i32_slice(Addr(0), &data);
+        let params = vec![Word::from_u32(0), Word::from_u32(4 * n)];
+
+        let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+        let cfg = SystemConfig::default();
+        let program = compiler::compile(&kernel, &cfg).expect("compiles");
+        let mut baseline_stats = None;
+        for fire in [FireMode::Batched, FireMode::Unbatched] {
+            for delivery in [DeliveryMode::Batched, DeliveryMode::Unbatched] {
+                let run = FabricMachine::with_modes(cfg, fire, delivery)
+                    .run(&program, LaunchInput::new(params.clone(), mem.clone()))
+                    .expect("fabric");
+                prop_assert_eq!(
+                    &run.memory, &oracle.memory,
+                    "memory diverged under fire {:?} / delivery {:?}", fire, delivery
+                );
+                match &baseline_stats {
+                    None => baseline_stats = Some(run.stats),
+                    Some(stats) => prop_assert_eq!(
+                        stats, &run.stats,
+                        "stats diverged under fire {:?} / delivery {:?}", fire, delivery
+                    ),
+                }
+            }
+        }
     }
 
     /// Every thread receives exactly one token from an elevator: either a

@@ -13,7 +13,7 @@
 
 use dmt_core::common::geom::Dim3;
 use dmt_core::common::ids::Addr;
-use dmt_core::fabric::{FabricMachine, BATCH_MIN_REPLICATION};
+use dmt_core::fabric::{DeliveryMode, FabricMachine, FireMode, BATCH_MIN_REPLICATION};
 use dmt_core::{
     compiler, dfg::interp, Arch, Kernel, KernelBuilder, LaunchInput, Machine, MemImage,
     SystemConfig, Word,
@@ -270,4 +270,56 @@ fn delivery_paths_agree_on_an_elevator_storm() {
         batched.stats, unbatched.stats,
         "delivery paths disagree on statistics"
     );
+}
+
+/// The full fire × delivery mode grid — {batched, per-token}² — on both
+/// storm fixtures: every combination must match the interpreter oracle
+/// on memory, and all four must agree byte-for-byte on `RunStats` and
+/// the rendered per-job profile (the deterministic `BENCH_profile.json`
+/// body). The plain storm replicates past `BATCH_MIN_REPLICATION`
+/// (`storm_compiles_past_the_batching_threshold`), so the batched-fire
+/// combinations genuinely drain whole ready blocks; the elevator storm
+/// covers the re-tagging path that must stay per-token mid-block.
+#[test]
+fn fire_and_delivery_mode_grid_is_byte_identical() {
+    let cfg = SystemConfig::default();
+    let fixtures = [
+        ("storm", storm_kernel(), storm_input()),
+        ("elevator", elevator_kernel(), elevator_input()),
+    ];
+    for (name, kernel, (params, mem)) in fixtures {
+        let program = compiler::compile(&kernel, &cfg).expect("compiles");
+        let oracle = interp::run_ref(&kernel, &params, &mem).expect("interp");
+        let mut first = None;
+        for fire in [FireMode::Batched, FireMode::Unbatched] {
+            for delivery in [DeliveryMode::Batched, DeliveryMode::Unbatched] {
+                let mut obs = Obs::new(false, true);
+                let run = FabricMachine::with_modes(cfg, fire, delivery)
+                    .run_observed(
+                        &program,
+                        LaunchInput::new(params.clone(), mem.clone()),
+                        &mut obs,
+                    )
+                    .unwrap_or_else(|e| panic!("{name} {fire:?}×{delivery:?}: {e}"));
+                assert_eq!(
+                    run.memory, oracle.memory,
+                    "{name} {fire:?}×{delivery:?} diverges from the interpreter"
+                );
+                let profile = obs.profile.to_json(10).render();
+                match &first {
+                    None => first = Some((run.stats, profile)),
+                    Some((stats0, profile0)) => {
+                        assert_eq!(
+                            &run.stats, stats0,
+                            "{name} {fire:?}×{delivery:?} changed RunStats"
+                        );
+                        assert_eq!(
+                            &profile, profile0,
+                            "{name} {fire:?}×{delivery:?} changed the profile artifact"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
